@@ -1,0 +1,199 @@
+//! # mutsvc-apps — the paper's two test applications
+//!
+//! Component models of **Java Pet Store 1.1.2** ([`petstore`]) and **RUBiS**
+//! ([`rubis`]) as studied by the paper: their schemas (§3.4 sizing), their
+//! component inventories (Table 1 / §2.2), the call trees of every measured
+//! page (Tables 6/7 columns) and their service usage patterns (Tables 2–5).
+//!
+//! The [`App`] enum gives the workload driver a uniform way to generate
+//! sessions for either application:
+//!
+//! ```
+//! use mutsvc_apps::{App, SessionKind};
+//! use mutsvc_desim::SimRng;
+//!
+//! let (app, _registry, _db) = App::petstore(true);
+//! let mut rng = SimRng::seed_from_u64(1);
+//! let mut session = app.new_session(SessionKind::Browser, &mut rng);
+//! let (label, request) = app.next_page(&mut session, &mut rng).unwrap();
+//! assert_eq!(label, "Main");
+//! assert!(request.response_bytes > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod petstore;
+pub mod rubis;
+
+use mutsvc_desim::rng::SimRng;
+use mutsvc_middleware::{ComponentRegistry, PageRequest};
+use mutsvc_relstore::Database;
+
+pub use petstore::PetStore;
+pub use rubis::Rubis;
+
+/// The two service usage pattern families of §3.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SessionKind {
+    /// Read-only browsing (Pet Store *Browser*, RUBiS *Browser*).
+    Browser,
+    /// Read-write sessions (Pet Store *Buyer*, RUBiS *Bidder*).
+    Transactional,
+}
+
+/// One of the two applications, with uniform session generation.
+#[derive(Debug, Clone)]
+pub enum App {
+    /// Java Pet Store.
+    PetStore(PetStore),
+    /// RUBiS.
+    Rubis(Rubis),
+}
+
+/// Generator state of one client session.
+#[derive(Debug, Clone)]
+pub enum SessionState {
+    /// Pet Store browser.
+    PsBrowser(petstore::BrowserSession),
+    /// Pet Store buyer.
+    PsBuyer(petstore::BuyerSession),
+    /// RUBiS browser.
+    RubisBrowser(rubis::BrowserSession),
+    /// RUBiS bidder.
+    RubisBidder(rubis::BidderSession),
+}
+
+impl App {
+    /// Builds the Pet Store application (see [`PetStore::build`]).
+    pub fn petstore(facade: bool) -> (App, ComponentRegistry, Database) {
+        let (app, registry, db) = PetStore::build(facade);
+        (App::PetStore(app), registry, db)
+    }
+
+    /// Builds the RUBiS application.
+    pub fn rubis() -> (App, ComponentRegistry, Database) {
+        let (app, registry, db) = Rubis::build();
+        (App::Rubis(app), registry, db)
+    }
+
+    /// The application name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            App::PetStore(_) => "petstore",
+            App::Rubis(_) => "rubis",
+        }
+    }
+
+    /// The label of the transactional pattern ("Buyer" / "Bidder").
+    pub fn transactional_label(&self) -> &'static str {
+        match self {
+            App::PetStore(_) => "Buyer",
+            App::Rubis(_) => "Bidder",
+        }
+    }
+
+    /// Starts a new session of the given kind.
+    pub fn new_session(&self, kind: SessionKind, rng: &mut SimRng) -> SessionState {
+        match (self, kind) {
+            (App::PetStore(_), SessionKind::Browser) => {
+                SessionState::PsBrowser(petstore::BrowserSession::new())
+            }
+            (App::PetStore(app), SessionKind::Transactional) => {
+                SessionState::PsBuyer(petstore::BuyerSession::new(&app.shape, rng))
+            }
+            (App::Rubis(_), SessionKind::Browser) => {
+                SessionState::RubisBrowser(rubis::BrowserSession::new())
+            }
+            (App::Rubis(app), SessionKind::Transactional) => {
+                SessionState::RubisBidder(rubis::BidderSession::new(&app.shape, rng))
+            }
+        }
+    }
+
+    /// Draws the next page of a session, or `None` when the session is over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` belongs to the other application.
+    pub fn next_page(
+        &self,
+        state: &mut SessionState,
+        rng: &mut SimRng,
+    ) -> Option<(&'static str, PageRequest)> {
+        match (self, state) {
+            (App::PetStore(app), SessionState::PsBrowser(s)) => s
+                .next(&app.shape, rng)
+                .map(|(page, params)| (page.name(), app.page(page, &params))),
+            (App::PetStore(app), SessionState::PsBuyer(s)) => {
+                s.next().map(|(page, params)| (page.name(), app.page(page, &params)))
+            }
+            (App::Rubis(app), SessionState::RubisBrowser(s)) => s
+                .next(&app.shape, rng)
+                .map(|(page, params)| (page.name(), app.page(page, &params))),
+            (App::Rubis(app), SessionState::RubisBidder(s)) => {
+                s.next().map(|(page, params)| (page.name(), app.page(page, &params)))
+            }
+            _ => panic!("session state does not belong to this application"),
+        }
+    }
+
+    /// Every cacheable query instance the workload can issue (for eager
+    /// edge-cache population).
+    pub fn cacheable_query_instances(&self) -> Vec<(String, mutsvc_relstore::Query)> {
+        match self {
+            App::PetStore(app) => app.cacheable_query_instances(),
+            App::Rubis(app) => app.cacheable_query_instances(),
+        }
+    }
+
+    /// Nominal session length of a pattern (number of page requests).
+    pub fn session_length(&self, kind: SessionKind) -> usize {
+        match (self, kind) {
+            (App::PetStore(_), SessionKind::Browser) => petstore::BROWSER_SESSION_LENGTH,
+            (App::PetStore(_), SessionKind::Transactional) => petstore::BUYER_SEQUENCE.len(),
+            (App::Rubis(_), SessionKind::Browser) => rubis::BROWSER_SESSION_LENGTH,
+            (App::Rubis(_), SessionKind::Transactional) => rubis::BIDDER_SEQUENCE.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sessions_drain_to_none() {
+        for (app, _, _) in [App::petstore(true), App::rubis()] {
+            let mut rng = SimRng::seed_from_u64(5);
+            for kind in [SessionKind::Browser, SessionKind::Transactional] {
+                let mut s = app.new_session(kind, &mut rng);
+                let mut n = 0;
+                while app.next_page(&mut s, &mut rng).is_some() {
+                    n += 1;
+                }
+                assert_eq!(n, app.session_length(kind), "{} {kind:?}", app.name());
+                assert!(app.next_page(&mut s, &mut rng).is_none());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not belong")]
+    fn cross_app_session_state_panics() {
+        let (ps, _, _) = App::petstore(true);
+        let (rubis, _, _) = App::rubis();
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut s = rubis.new_session(SessionKind::Browser, &mut rng);
+        let _ = ps.next_page(&mut s, &mut rng);
+    }
+
+    #[test]
+    fn labels() {
+        let (ps, _, _) = App::petstore(true);
+        let (rubis, _, _) = App::rubis();
+        assert_eq!(ps.name(), "petstore");
+        assert_eq!(ps.transactional_label(), "Buyer");
+        assert_eq!(rubis.transactional_label(), "Bidder");
+    }
+}

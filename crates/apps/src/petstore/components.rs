@@ -1,0 +1,156 @@
+//! Pet Store component inventory (Table 1 and Figure 1 of the paper).
+
+use mutsvc_middleware::{ComponentId, ComponentKind, ComponentRegistry};
+
+use super::schema::PsTables;
+
+/// Handles to the Pet Store's logical components.
+#[derive(Debug, Clone, Copy)]
+pub struct PsComponents {
+    /// The web tier as a unit: JSPs, servlets and web-tier JavaBeans
+    /// (`CatalogWebImpl`, the web half of the MVC controller).
+    pub web: ComponentId,
+    /// `ShoppingClientController` — stateful session bean, EJB-tier half of
+    /// the MVC controller.
+    pub controller: ComponentId,
+    /// `ShoppingCart` — stateful session bean.
+    pub cart: ComponentId,
+    /// `Catalog` — stateless session façade over the product catalog.
+    pub catalog: ComponentId,
+    /// `Customer` — stateless session façade to `Order` and `Account`.
+    pub customer: ComponentId,
+    /// `Updater` — stateless session façade receiving pushed updates (§4.3).
+    pub updater: ComponentId,
+    /// `UpdateSubscriber` — message-driven bean applying async updates (§4.5).
+    pub update_subscriber: ComponentId,
+    /// `Category` entity (introduced in §4.3).
+    pub category: ComponentId,
+    /// `Product` entity (introduced in §4.3).
+    pub product: ComponentId,
+    /// `Item` entity (introduced in §4.3).
+    pub item: ComponentId,
+    /// `Inventory` entity.
+    pub inventory: ComponentId,
+    /// `SignOn` entity (userid/password).
+    pub signon: ComponentId,
+    /// `Order` entity.
+    pub order: ComponentId,
+    /// `Account` entity.
+    pub account: ComponentId,
+}
+
+impl PsComponents {
+    /// Registers every Pet Store component.
+    pub fn register(registry: &mut ComponentRegistry, tables: &PsTables) -> Self {
+        PsComponents {
+            web: registry.register("web", ComponentKind::Web),
+            controller: registry.register("ShoppingClientController", ComponentKind::StatefulSession),
+            cart: registry.register("ShoppingCart", ComponentKind::StatefulSession),
+            catalog: registry.register("Catalog", ComponentKind::StatelessSession),
+            customer: registry.register("Customer", ComponentKind::StatelessSession),
+            updater: registry.register("Updater", ComponentKind::StatelessSession),
+            update_subscriber: registry.register("UpdateSubscriber", ComponentKind::MessageDriven),
+            category: registry.register_entity("CategoryEJB", tables.category),
+            product: registry.register_entity("ProductEJB", tables.product),
+            item: registry.register_entity("ItemEJB", tables.item),
+            inventory: registry.register_entity("InventoryEJB", tables.inventory),
+            signon: registry.register_entity("SignOnEJB", tables.signon),
+            order: registry.register_entity("OrderEJB", tables.orders),
+            account: registry.register_entity("AccountEJB", tables.account),
+        }
+    }
+
+    /// All components, for descriptors that place everything uniformly.
+    pub fn all(&self) -> [ComponentId; 14] {
+        [
+            self.web,
+            self.controller,
+            self.cart,
+            self.catalog,
+            self.customer,
+            self.updater,
+            self.update_subscriber,
+            self.category,
+            self.product,
+            self.item,
+            self.inventory,
+            self.signon,
+            self.order,
+            self.account,
+        ]
+    }
+
+    /// The entities that §4.3 replicates read-only on the edges.
+    pub fn cacheable_entities(&self) -> [ComponentId; 4] {
+        [self.category, self.product, self.item, self.inventory]
+    }
+
+    /// The session-oriented components that §4.2 deploys on the edges
+    /// (web tier plus stateful session beans).
+    pub fn edge_session_components(&self) -> [ComponentId; 3] {
+        [self.web, self.controller, self.cart]
+    }
+
+    /// The main relationships among the most-accessed components
+    /// (Figure 1), as `(caller, callee)` name pairs — used by the
+    /// architecture test and by placement-graph derivation.
+    pub fn architecture_edges(&self) -> Vec<(ComponentId, ComponentId)> {
+        vec![
+            (self.web, self.controller),
+            (self.controller, self.cart),
+            (self.controller, self.catalog),
+            (self.controller, self.customer),
+            (self.controller, self.signon),
+            (self.cart, self.catalog),
+            (self.catalog, self.category),
+            (self.catalog, self.product),
+            (self.catalog, self.item),
+            (self.catalog, self.inventory),
+            (self.customer, self.order),
+            (self.customer, self.account),
+            (self.customer, self.inventory),
+            (self.updater, self.category),
+            (self.updater, self.product),
+            (self.updater, self.item),
+            (self.updater, self.inventory),
+            (self.update_subscriber, self.updater),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::schema::build_database;
+    use super::*;
+
+    #[test]
+    fn registry_matches_table_1() {
+        let (_, tables, _) = build_database();
+        let mut reg = ComponentRegistry::new();
+        let c = PsComponents::register(&mut reg, &tables);
+        assert_eq!(reg.len(), 14);
+        // Table 1 kinds.
+        assert_eq!(reg.spec(c.catalog).kind, ComponentKind::StatelessSession);
+        assert_eq!(reg.spec(c.customer).kind, ComponentKind::StatelessSession);
+        assert_eq!(reg.spec(c.cart).kind, ComponentKind::StatefulSession);
+        assert_eq!(reg.spec(c.controller).kind, ComponentKind::StatefulSession);
+        for e in [c.inventory, c.signon, c.order, c.account, c.category, c.product, c.item] {
+            assert_eq!(reg.spec(e).kind, ComponentKind::Entity);
+        }
+        assert_eq!(reg.spec(c.inventory).table, Some(tables.inventory));
+    }
+
+    #[test]
+    fn architecture_has_no_web_to_entity_shortcuts() {
+        let (_, tables, _) = build_database();
+        let mut reg = ComponentRegistry::new();
+        let c = PsComponents::register(&mut reg, &tables);
+        // §5's design-rule: entities are only reachable through façades /
+        // the EJB-tier controller, never directly from the web tier.
+        for (from, to) in c.architecture_edges() {
+            if from == c.web {
+                assert_ne!(reg.spec(to).kind, ComponentKind::Entity);
+            }
+        }
+    }
+}

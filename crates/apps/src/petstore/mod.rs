@@ -1,0 +1,106 @@
+//! Sun's Java Pet Store 1.1.2, as modelled in the paper (§2.2, §3.4).
+//!
+//! A deliberately heavyweight "best practices" e-commerce application:
+//! MVC split across web and EJB tiers, stateful session beans for
+//! conversational state, entity beans over a nine-table schema.
+
+pub mod components;
+pub mod pages;
+pub mod schema;
+pub mod sessions;
+
+use mutsvc_middleware::{ComponentRegistry, PageRequest};
+use mutsvc_relstore::Database;
+
+pub use components::PsComponents;
+pub use pages::{PsCosts, PsPage, PsParams, TAG_ITEMS_BY_PRODUCT, TAG_PRODUCTS_BY_CATEGORY};
+pub use schema::{PsShape, PsTables};
+pub use sessions::{BrowserSession, BuyerSession, BROWSER_MIX, BROWSER_SESSION_LENGTH, BUYER_SEQUENCE};
+
+/// The Pet Store application model: components, schema handles, parameter
+/// spaces and page builders. The backing [`Database`] is returned separately
+/// so the simulation world can own it mutably.
+#[derive(Debug, Clone)]
+pub struct PetStore {
+    /// Component handles.
+    pub components: PsComponents,
+    /// Table handles.
+    pub tables: PsTables,
+    /// Parameter spaces for workload sampling.
+    pub shape: PsShape,
+    /// CPU/size calibration.
+    pub costs: PsCosts,
+    /// `true` for the façade-refactored variant (§4.2+), `false` for the
+    /// original direct-JDBC web tier (§4.1 baseline).
+    pub facade: bool,
+}
+
+impl PetStore {
+    /// Builds the application (with default calibration), its component
+    /// registry and its populated database.
+    pub fn build(facade: bool) -> (PetStore, ComponentRegistry, Database) {
+        let (db, tables, shape) = schema::build_database();
+        let mut registry = ComponentRegistry::new();
+        let components = PsComponents::register(&mut registry, &tables);
+        (
+            PetStore { components, tables, shape, costs: PsCosts::default(), facade },
+            registry,
+            db,
+        )
+    }
+
+    /// Builds the call tree of one page request.
+    pub fn page(&self, page: PsPage, params: &PsParams) -> PageRequest {
+        pages::build_page(&self.components, &self.tables, &self.costs, page, params, self.facade)
+    }
+
+    /// Every cacheable query instance the workload can issue, for eager
+    /// edge-cache population (`(tag, query)` pairs).
+    pub fn cacheable_query_instances(&self) -> Vec<(String, mutsvc_relstore::Query)> {
+        use mutsvc_relstore::Query;
+        let mut out = Vec::new();
+        for &cat in &self.shape.categories {
+            out.push((
+                TAG_PRODUCTS_BY_CATEGORY.to_string(),
+                Query::Eq { table: self.tables.product, column: 1, value: cat.into() },
+            ));
+        }
+        for products in &self.shape.products_by_category {
+            for &product in products {
+                out.push((
+                    TAG_ITEMS_BY_PRODUCT.to_string(),
+                    Query::Eq { table: self.tables.item, column: 1, value: product.into() },
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_produces_consistent_handles() {
+        let (app, registry, db) = PetStore::build(true);
+        assert_eq!(registry.len(), 14);
+        assert_eq!(db.table(app.tables.item).len(), 300);
+        assert!(app.facade);
+    }
+
+    #[test]
+    fn page_builder_round_trips_through_the_app() {
+        let (app, _, _) = PetStore::build(true);
+        let product = app.shape.products(1)[2];
+        let params = PsParams {
+            category: app.shape.categories[1],
+            product,
+            item: app.shape.items(product)[0],
+            keyword: "fish".into(),
+            account: app.shape.accounts[3],
+        };
+        let req = app.page(PsPage::Item, &params);
+        assert_eq!(req.page, "Item");
+    }
+}

@@ -1,0 +1,220 @@
+//! Java Pet Store database schema and test data.
+//!
+//! The paper enlarged the stock database "to allow testing a greater number
+//! of concurrent users without contention for the data" (§3.4): five
+//! artificial categories, 50 products and 300 items. We reproduce exactly
+//! that: 5 categories × 10 products × 6 items, one inventory row per item,
+//! 200 customer accounts with sign-on credentials, and empty order tables
+//! that fill as buyers commit.
+
+use mutsvc_relstore::{Database, DatabaseBuilder, RowId, TableId, Value};
+
+/// Table handles of the Pet Store schema (Figure 1's data tier).
+#[derive(Debug, Clone, Copy)]
+pub struct PsTables {
+    /// `category(name, description)`
+    pub category: TableId,
+    /// `product(name, *category, description)`
+    pub product: TableId,
+    /// `item(name, *product, price_cents, attribute)`
+    pub item: TableId,
+    /// `inventory(*item, qty)` — row *n* tracks item *n*.
+    pub inventory: TableId,
+    /// `account(owner, email, address)`
+    pub account: TableId,
+    /// `signon(*username, password)` — row ids align with `account`.
+    pub signon: TableId,
+    /// `orders(*account, total_cents, status)`
+    pub orders: TableId,
+    /// `lineitem(*order, item, qty, unit_price_cents)`
+    pub lineitem: TableId,
+    /// `orderstatus(*order, status)`
+    pub orderstatus: TableId,
+}
+
+/// Id spaces for workload parameter sampling (which category, which item…).
+#[derive(Debug, Clone)]
+pub struct PsShape {
+    /// All category ids.
+    pub categories: Vec<RowId>,
+    /// Products per category, parallel to `categories`.
+    pub products_by_category: Vec<Vec<RowId>>,
+    /// Items per product, keyed by dense product index (`RowId - 1`).
+    pub items_by_product: Vec<Vec<RowId>>,
+    /// All account ids (same id space as sign-on rows).
+    pub accounts: Vec<RowId>,
+    /// Search keywords with non-empty result sets.
+    pub keywords: Vec<String>,
+}
+
+/// Categories in the enlarged catalog.
+pub const CATEGORY_COUNT: usize = 5;
+/// Products per category (5 × 10 = 50 products).
+pub const PRODUCTS_PER_CATEGORY: usize = 10;
+/// Items per product (50 × 6 = 300 items).
+pub const ITEMS_PER_PRODUCT: usize = 6;
+/// Customer accounts.
+pub const ACCOUNT_COUNT: usize = 200;
+/// Initial stock per item.
+pub const INITIAL_STOCK: i64 = 10_000;
+
+const SPECIES: [&str; 5] = ["fish", "dogs", "reptiles", "cats", "birds"];
+
+/// Builds and populates the Pet Store database.
+pub fn build_database() -> (Database, PsTables, PsShape) {
+    let mut b = DatabaseBuilder::new();
+    let tables = PsTables {
+        category: b.table("category", &["name", "description"], 150),
+        product: b.table("product", &["name", "*category", "description"], 180),
+        item: b.table("item", &["name", "*product", "price_cents", "attribute"], 250),
+        inventory: b.table("inventory", &["*item", "qty"], 60),
+        account: b.table("account", &["owner", "email", "address"], 300),
+        signon: b.table("signon", &["*username", "password"], 80),
+        orders: b.table("orders", &["*account", "total_cents", "status"], 200),
+        lineitem: b.table("lineitem", &["*order", "item", "qty", "unit_price_cents"], 100),
+        orderstatus: b.table("orderstatus", &["*order", "status"], 80),
+    };
+    let mut db = b.build();
+
+    let mut shape = PsShape {
+        categories: Vec::new(),
+        products_by_category: Vec::new(),
+        items_by_product: Vec::new(),
+        accounts: Vec::new(),
+        keywords: SPECIES.iter().map(|s| s.to_string()).collect(),
+    };
+
+    for (c, species) in SPECIES.iter().enumerate() {
+        let cat = db.table_mut(tables.category).insert(vec![
+            Value::from(*species),
+            format!("All about {species}").into(),
+        ]);
+        shape.categories.push(cat);
+        let mut products = Vec::new();
+        for p in 0..PRODUCTS_PER_CATEGORY {
+            let product = db.table_mut(tables.product).insert(vec![
+                format!("{species}-product-{p}").into(),
+                cat.into(),
+                format!("A fine specimen of {species} #{p}").into(),
+            ]);
+            products.push(product);
+            let mut items = Vec::new();
+            for i in 0..ITEMS_PER_PRODUCT {
+                let item = db.table_mut(tables.item).insert(vec![
+                    format!("{species}-item-{c}-{p}-{i}").into(),
+                    product.into(),
+                    Value::Int(1_500 + (c * 37 + p * 11 + i * 3) as i64),
+                    format!("variant {i}").into(),
+                ]);
+                items.push(item);
+                let inv = db
+                    .table_mut(tables.inventory)
+                    .insert(vec![item.into(), Value::Int(INITIAL_STOCK)]);
+                debug_assert_eq!(inv, item, "inventory rows align with item ids");
+            }
+            shape.items_by_product.push(items);
+        }
+        shape.products_by_category.push(products);
+    }
+
+    for a in 0..ACCOUNT_COUNT {
+        let account = db.table_mut(tables.account).insert(vec![
+            format!("customer-{a}").into(),
+            format!("customer-{a}@example.com").into(),
+            format!("{a} Main Street").into(),
+        ]);
+        let signon = db.table_mut(tables.signon).insert(vec![
+            format!("customer-{a}").into(),
+            format!("pw-{a}").into(),
+        ]);
+        debug_assert_eq!(account, signon, "sign-on rows align with account ids");
+        shape.accounts.push(account);
+    }
+
+    (db, tables, shape)
+}
+
+impl PsShape {
+    /// The product ids of `category` (by dense index into `categories`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `category_idx` is out of range.
+    pub fn products(&self, category_idx: usize) -> &[RowId] {
+        &self.products_by_category[category_idx]
+    }
+
+    /// The item ids of `product`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the product id was not created by [`build_database`].
+    pub fn items(&self, product: RowId) -> &[RowId] {
+        &self.items_by_product[(product.0 - 1) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mutsvc_relstore::Query;
+
+    #[test]
+    fn catalog_matches_the_papers_sizing() {
+        let (db, t, shape) = build_database();
+        assert_eq!(db.table(t.category).len(), 5);
+        assert_eq!(db.table(t.product).len(), 50);
+        assert_eq!(db.table(t.item).len(), 300);
+        assert_eq!(db.table(t.inventory).len(), 300);
+        assert_eq!(db.table(t.account).len(), 200);
+        assert_eq!(shape.categories.len(), 5);
+        assert_eq!(shape.products_by_category.iter().map(Vec::len).sum::<usize>(), 50);
+        assert_eq!(shape.items_by_product.iter().map(Vec::len).sum::<usize>(), 300);
+    }
+
+    #[test]
+    fn products_by_category_query_returns_ten() {
+        let (db, t, shape) = build_database();
+        for &cat in &shape.categories {
+            let out = db.execute(&Query::Eq { table: t.product, column: 1, value: cat.into() });
+            assert_eq!(out.row_count(), 10);
+        }
+    }
+
+    #[test]
+    fn items_by_product_query_returns_six() {
+        let (db, t, shape) = build_database();
+        let product = shape.products(2)[3];
+        let out = db.execute(&Query::Eq { table: t.item, column: 1, value: product.into() });
+        assert_eq!(out.row_count(), 6);
+        assert_eq!(shape.items(product).len(), 6);
+    }
+
+    #[test]
+    fn inventory_aligns_with_items() {
+        let (db, t, shape) = build_database();
+        let item = shape.items(shape.products(0)[0])[0];
+        let inv = db.execute(&Query::ByPk { table: t.inventory, id: item });
+        assert_eq!(inv.row_count(), 1);
+    }
+
+    #[test]
+    fn keyword_searches_are_nonempty() {
+        let (db, t, shape) = build_database();
+        for kw in &shape.keywords {
+            let out = db.execute(&Query::Like { table: t.item, column: 0, needle: kw.clone() });
+            assert!(out.row_count() >= ITEMS_PER_PRODUCT as u64, "keyword {kw}");
+        }
+    }
+
+    #[test]
+    fn signon_lookup_by_username() {
+        let (db, t, _) = build_database();
+        let out = db.execute(&Query::Eq {
+            table: t.signon,
+            column: 0,
+            value: "customer-7".into(),
+        });
+        assert_eq!(out.row_count(), 1);
+    }
+}

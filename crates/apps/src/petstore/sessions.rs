@@ -1,0 +1,279 @@
+//! Pet Store service usage patterns: the Browser (Table 2) and Buyer
+//! (Table 3) sessions.
+//!
+//! Browser sessions are 20 logically-ordered requests starting at *Main*,
+//! with the paper's page mix; an *Item* request always refers to an item of
+//! the previously requested product, a *Product* request to a product of the
+//! current category. Buyer sessions are the fixed nine-page sequence
+//! sign-in → buy one item → sign-out.
+
+use mutsvc_desim::rng::SimRng;
+use mutsvc_relstore::RowId;
+
+use super::pages::{PsPage, PsParams};
+use super::schema::PsShape;
+
+/// Browser session length (Table 2: "sessions consisting of 20 requests").
+pub const BROWSER_SESSION_LENGTH: usize = 20;
+
+/// Table 2 page mix (weights in percent).
+pub const BROWSER_MIX: [(PsPage, f64); 5] = [
+    (PsPage::Main, 5.0),
+    (PsPage::Category, 15.0),
+    (PsPage::Product, 30.0),
+    (PsPage::Item, 45.0),
+    (PsPage::Search, 5.0),
+];
+
+/// Table 3 buyer sequence.
+pub const BUYER_SEQUENCE: [PsPage; 9] = [
+    PsPage::Main,
+    PsPage::SignIn,
+    PsPage::VerifySignIn,
+    PsPage::Cart,
+    PsPage::Checkout,
+    PsPage::PlaceOrder,
+    PsPage::Billing,
+    PsPage::Commit,
+    PsPage::SignOut,
+];
+
+/// A browsing session: weighted page draws over a drilling-down context.
+#[derive(Debug, Clone)]
+pub struct BrowserSession {
+    issued: usize,
+    category_idx: Option<usize>,
+    product: Option<RowId>,
+    item: Option<RowId>,
+}
+
+impl BrowserSession {
+    /// Starts a fresh session.
+    pub fn new() -> Self {
+        BrowserSession { issued: 0, category_idx: None, product: None, item: None }
+    }
+
+    /// Whether the session has issued all its requests.
+    pub fn finished(&self) -> bool {
+        self.issued >= BROWSER_SESSION_LENGTH
+    }
+
+    /// Draws the next page and its parameters, or `None` when finished.
+    pub fn next(&mut self, shape: &PsShape, rng: &mut SimRng) -> Option<(PsPage, PsParams)> {
+        if self.finished() {
+            return None;
+        }
+        let page = if self.issued == 0 {
+            PsPage::Main
+        } else {
+            let weights: Vec<f64> = BROWSER_MIX.iter().map(|&(_, w)| w).collect();
+            BROWSER_MIX[rng.weighted_index(&weights)].0
+        };
+        self.issued += 1;
+
+        // Maintain the drill-down context so requests are logically ordered.
+        match page {
+            PsPage::Category => {
+                self.category_idx = Some(rng.index(shape.categories.len()));
+                self.product = None;
+                self.item = None;
+            }
+            PsPage::Product => {
+                let cat = self.ensure_category(shape, rng);
+                let products = shape.products(cat);
+                self.product = Some(products[rng.index(products.len())]);
+                self.item = None;
+            }
+            PsPage::Item => {
+                let product = self.ensure_product(shape, rng);
+                let items = shape.items(product);
+                self.item = Some(items[rng.index(items.len())]);
+            }
+            _ => {}
+        }
+        Some((page, self.params(shape, rng)))
+    }
+
+    fn ensure_category(&mut self, shape: &PsShape, rng: &mut SimRng) -> usize {
+        *self
+            .category_idx
+            .get_or_insert_with(|| rng.index(shape.categories.len()))
+    }
+
+    fn ensure_product(&mut self, shape: &PsShape, rng: &mut SimRng) -> RowId {
+        if self.product.is_none() {
+            let cat = self.ensure_category(shape, rng);
+            let products = shape.products(cat);
+            self.product = Some(products[rng.index(products.len())]);
+        }
+        self.product.expect("just ensured")
+    }
+
+    fn params(&mut self, shape: &PsShape, rng: &mut SimRng) -> PsParams {
+        let category_idx = self.ensure_category(shape, rng);
+        let product = self.ensure_product(shape, rng);
+        let item = *self.item.get_or_insert_with(|| {
+            let items = shape.items(product);
+            items[rng.index(items.len())]
+        });
+        PsParams {
+            category: shape.categories[category_idx],
+            product,
+            item,
+            keyword: shape.keywords[rng.index(shape.keywords.len())].clone(),
+            account: shape.accounts[rng.index(shape.accounts.len())],
+        }
+    }
+}
+
+impl Default for BrowserSession {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A buyer session: the fixed Table 3 sequence with parameters drawn once.
+#[derive(Debug, Clone)]
+pub struct BuyerSession {
+    step: usize,
+    params: PsParams,
+}
+
+impl BuyerSession {
+    /// Starts a session for a random account buying a random item.
+    pub fn new(shape: &PsShape, rng: &mut SimRng) -> Self {
+        let category_idx = rng.index(shape.categories.len());
+        let products = shape.products(category_idx);
+        let product = products[rng.index(products.len())];
+        let items = shape.items(product);
+        let item = items[rng.index(items.len())];
+        BuyerSession {
+            step: 0,
+            params: PsParams {
+                category: shape.categories[category_idx],
+                product,
+                item,
+                keyword: shape.keywords[rng.index(shape.keywords.len())].clone(),
+                account: shape.accounts[rng.index(shape.accounts.len())],
+            },
+        }
+    }
+
+    /// Whether the sequence is exhausted.
+    pub fn finished(&self) -> bool {
+        self.step >= BUYER_SEQUENCE.len()
+    }
+
+    /// The next page of the sequence.
+    pub fn next(&mut self) -> Option<(PsPage, PsParams)> {
+        if self.finished() {
+            return None;
+        }
+        let page = BUYER_SEQUENCE[self.step];
+        self.step += 1;
+        Some((page, self.params.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::schema::build_database;
+    use super::*;
+
+    #[test]
+    fn browser_sessions_start_with_main_and_have_twenty_requests() {
+        let (_, _, shape) = build_database();
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut s = BrowserSession::new();
+        let mut pages = Vec::new();
+        while let Some((page, _)) = s.next(&shape, &mut rng) {
+            pages.push(page);
+        }
+        assert_eq!(pages.len(), BROWSER_SESSION_LENGTH);
+        assert_eq!(pages[0], PsPage::Main);
+        assert!(s.finished());
+        assert!(s.next(&shape, &mut rng).is_none());
+    }
+
+    #[test]
+    fn browser_mix_approximates_table_2() {
+        let (_, _, shape) = build_database();
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut counts = std::collections::HashMap::new();
+        let total = 40_000usize;
+        let mut issued = 0;
+        while issued < total {
+            let mut s = BrowserSession::new();
+            // Skip the deterministic first request when counting the mix.
+            let _ = s.next(&shape, &mut rng);
+            issued += 1;
+            while let Some((page, _)) = s.next(&shape, &mut rng) {
+                *counts.entry(page).or_insert(0usize) += 1;
+                issued += 1;
+            }
+        }
+        let sampled: usize = counts.values().sum();
+        for (page, pct) in BROWSER_MIX {
+            let share = *counts.get(&page).unwrap_or(&0) as f64 / sampled as f64 * 100.0;
+            assert!(
+                (share - pct).abs() < 1.5,
+                "{}: {share:.1}% vs table {pct}%",
+                page.name()
+            );
+        }
+    }
+
+    #[test]
+    fn item_requests_follow_product_context() {
+        let (_, _, shape) = build_database();
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut s = BrowserSession::new();
+        for _ in 0..BROWSER_SESSION_LENGTH {
+            if let Some((page, params)) = s.next(&shape, &mut rng) {
+                if page == PsPage::Item {
+                    // The item belongs to the current product, which belongs
+                    // to the current category.
+                    assert!(shape.items(params.product).contains(&params.item));
+                    let cat_idx = shape
+                        .categories
+                        .iter()
+                        .position(|&c| c == params.category)
+                        .unwrap();
+                    assert!(shape.products(cat_idx).contains(&params.product));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn buyer_follows_table_3_sequence() {
+        let (_, _, shape) = build_database();
+        let mut rng = SimRng::seed_from_u64(4);
+        let mut s = BuyerSession::new(&shape, &mut rng);
+        let mut pages = Vec::new();
+        let mut params_seen = Vec::new();
+        while let Some((page, params)) = s.next() {
+            pages.push(page);
+            params_seen.push(params.item);
+        }
+        assert_eq!(pages, BUYER_SEQUENCE);
+        // Same item throughout the session.
+        assert!(params_seen.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn sessions_are_deterministic_per_seed() {
+        let (_, _, shape) = build_database();
+        let run = |seed| {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let mut s = BrowserSession::new();
+            let mut pages = Vec::new();
+            while let Some((page, params)) = s.next(&shape, &mut rng) {
+                pages.push((page, params.item));
+            }
+            pages
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

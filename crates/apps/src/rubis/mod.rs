@@ -1,0 +1,117 @@
+//! Rice University's RUBiS auction site (Session Façade configuration),
+//! as modelled in the paper (§2.2, §3.4).
+//!
+//! A deliberately lean, high-performance application: no per-client session
+//! state, one dedicated stateless session bean per page, authentication
+//! per non-browsing action.
+
+pub mod components;
+pub mod pages;
+pub mod schema;
+pub mod sessions;
+
+use mutsvc_middleware::{ComponentRegistry, PageRequest};
+use mutsvc_relstore::Database;
+
+pub use components::RubisComponents;
+pub use pages::{tags, RubisCosts, RubisPage, RubisParams};
+pub use schema::{RubisShape, RubisTables};
+pub use sessions::{BidderSession, BrowserSession, BIDDER_SEQUENCE, BROWSER_MIX, BROWSER_SESSION_LENGTH};
+
+/// The RUBiS application model.
+#[derive(Debug, Clone)]
+pub struct Rubis {
+    /// Component handles.
+    pub components: RubisComponents,
+    /// Table handles.
+    pub tables: RubisTables,
+    /// Parameter spaces for workload sampling.
+    pub shape: RubisShape,
+    /// CPU/size calibration.
+    pub costs: RubisCosts,
+}
+
+impl Rubis {
+    /// Builds the application, its component registry and its database.
+    pub fn build() -> (Rubis, ComponentRegistry, Database) {
+        let (db, tables, shape) = schema::build_database();
+        let mut registry = ComponentRegistry::new();
+        let components = RubisComponents::register(&mut registry, &tables);
+        (Rubis { components, tables, shape, costs: RubisCosts::default() }, registry, db)
+    }
+
+    /// Builds the call tree of one page request.
+    pub fn page(&self, page: RubisPage, params: &RubisParams) -> PageRequest {
+        pages::build_page(&self.components, &self.tables, &self.costs, page, params)
+    }
+
+    /// Every cacheable query instance the workload can issue, for eager
+    /// edge-cache population (`(tag, query)` pairs). §4.4 caches all queries
+    /// of the browser and bidder sessions.
+    pub fn cacheable_query_instances(&self) -> Vec<(String, mutsvc_relstore::Query)> {
+        use mutsvc_relstore::Query;
+        let t = &self.tables;
+        let mut out = vec![
+            (tags::ALL_CATEGORIES.to_string(), Query::All { table: t.category }),
+            (tags::ALL_REGIONS.to_string(), Query::All { table: t.region }),
+        ];
+        for &cat in &self.shape.categories {
+            out.push((
+                tags::ITEMS_BY_CATEGORY.to_string(),
+                Query::Eq { table: t.item, column: 1, value: cat.into() },
+            ));
+            for &region in &self.shape.regions {
+                out.push((
+                    tags::ITEMS_BY_CATREGION.to_string(),
+                    Query::Eq {
+                        table: t.item,
+                        column: 3,
+                        value: schema::catregion_key(cat, region),
+                    },
+                ));
+            }
+        }
+        for &item in &self.shape.items {
+            out.push((
+                tags::BIDS_BY_ITEM.to_string(),
+                Query::Eq { table: t.bid, column: 0, value: item.into() },
+            ));
+        }
+        for (i, &user) in self.shape.users.iter().enumerate() {
+            out.push((
+                tags::COMMENTS_BY_USER.to_string(),
+                Query::Eq { table: t.comment, column: 0, value: user.into() },
+            ));
+            out.push((
+                tags::USER_BY_NICKNAME.to_string(),
+                Query::Eq { table: t.user, column: 0, value: format!("user-{i}").into() },
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_produces_consistent_handles() {
+        let (app, registry, db) = Rubis::build();
+        assert_eq!(registry.len(), 20);
+        assert_eq!(db.table(app.tables.item).len(), 400);
+    }
+
+    #[test]
+    fn page_builder_round_trips() {
+        let (app, _, _) = Rubis::build();
+        let params = RubisParams {
+            category: app.shape.categories[0],
+            region: app.shape.regions[0],
+            item: app.shape.items[0],
+            target_user: app.shape.users[0],
+            user: app.shape.users[1],
+        };
+        assert_eq!(app.page(RubisPage::Bids, &params).page, "Bids");
+    }
+}

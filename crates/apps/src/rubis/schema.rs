@@ -1,0 +1,205 @@
+//! RUBiS database schema and test data.
+//!
+//! Per the paper's §3.4 sizing: 400 users from 20 regions, selling 400 items
+//! in 20 categories. Bids and comments are pre-seeded so history pages have
+//! content, and grow as bidders run.
+
+use mutsvc_relstore::{Database, DatabaseBuilder, RowId, TableId, Value};
+
+/// Table handles of the RUBiS schema.
+#[derive(Debug, Clone, Copy)]
+pub struct RubisTables {
+    /// `region(name)`
+    pub region: TableId,
+    /// `category(name)`
+    pub category: TableId,
+    /// `user(*nickname, password, *region, rating, email)`
+    pub user: TableId,
+    /// `item(name, *category, *region, *catregion, price_cents, *seller, nb_bids)`
+    /// — `catregion` is the composite browse key `category * 1000 + region`.
+    pub item: TableId,
+    /// `bid(*item, user, amount_cents)`
+    pub bid: TableId,
+    /// `comment(*to_user, from_user, text)`
+    pub comment: TableId,
+}
+
+/// Id spaces for workload sampling.
+#[derive(Debug, Clone)]
+pub struct RubisShape {
+    /// All region ids.
+    pub regions: Vec<RowId>,
+    /// All category ids.
+    pub categories: Vec<RowId>,
+    /// All user ids.
+    pub users: Vec<RowId>,
+    /// All item ids.
+    pub items: Vec<RowId>,
+    /// Items per category (dense category index).
+    pub items_by_category: Vec<Vec<RowId>>,
+    /// `(category index, region index)` of each item (dense item index).
+    pub item_coords: Vec<(usize, usize)>,
+}
+
+/// Regions (§3.4).
+pub const REGION_COUNT: usize = 20;
+/// Categories (§3.4).
+pub const CATEGORY_COUNT: usize = 20;
+/// Users (§3.4).
+pub const USER_COUNT: usize = 400;
+/// Items (§3.4).
+pub const ITEM_COUNT: usize = 400;
+/// Pre-seeded bids per item.
+pub const SEED_BIDS_PER_ITEM: usize = 5;
+/// Pre-seeded comments per user.
+pub const SEED_COMMENTS_PER_USER: usize = 2;
+
+/// The composite browse key for `(category, region)` equality queries.
+pub fn catregion_key(category: RowId, region: RowId) -> Value {
+    Value::Int(category.0 as i64 * 1_000 + region.0 as i64)
+}
+
+/// Builds and populates the RUBiS database.
+pub fn build_database() -> (Database, RubisTables, RubisShape) {
+    let mut b = DatabaseBuilder::new();
+    let tables = RubisTables {
+        region: b.table("region", &["name"], 60),
+        category: b.table("category", &["name"], 60),
+        user: b.table("user", &["*nickname", "password", "*region", "rating", "email"], 220),
+        item: b.table(
+            "item",
+            &["name", "*category", "*region", "*catregion", "price_cents", "*seller", "nb_bids"],
+            260,
+        ),
+        bid: b.table("bid", &["*item", "user", "amount_cents"], 90),
+        comment: b.table("comment", &["*to_user", "from_user", "text"], 150),
+    };
+    let mut db = b.build();
+
+    let mut shape = RubisShape {
+        regions: Vec::new(),
+        categories: Vec::new(),
+        users: Vec::new(),
+        items: Vec::new(),
+        items_by_category: vec![Vec::new(); CATEGORY_COUNT],
+        item_coords: Vec::new(),
+    };
+
+    for r in 0..REGION_COUNT {
+        shape.regions.push(db.table_mut(tables.region).insert(vec![format!("region-{r}").into()]));
+    }
+    for c in 0..CATEGORY_COUNT {
+        shape
+            .categories
+            .push(db.table_mut(tables.category).insert(vec![format!("category-{c}").into()]));
+    }
+    for u in 0..USER_COUNT {
+        let region = shape.regions[u % REGION_COUNT];
+        shape.users.push(db.table_mut(tables.user).insert(vec![
+            format!("user-{u}").into(),
+            format!("pw-{u}").into(),
+            region.into(),
+            Value::Int(0),
+            format!("user-{u}@example.com").into(),
+        ]));
+    }
+    for i in 0..ITEM_COUNT {
+        let cat_idx = i % CATEGORY_COUNT;
+        let region_idx = (i / CATEGORY_COUNT) % REGION_COUNT;
+        let category = shape.categories[cat_idx];
+        let region = shape.regions[region_idx];
+        let seller = shape.users[i % USER_COUNT];
+        let item = db.table_mut(tables.item).insert(vec![
+            format!("item-{i}").into(),
+            category.into(),
+            region.into(),
+            catregion_key(category, region),
+            Value::Int(2_000 + i as i64),
+            seller.into(),
+            Value::Int(SEED_BIDS_PER_ITEM as i64),
+        ]);
+        shape.items.push(item);
+        shape.items_by_category[cat_idx].push(item);
+        shape.item_coords.push((cat_idx, region_idx));
+
+        for k in 0..SEED_BIDS_PER_ITEM {
+            let bidder = shape.users[(i * 7 + k * 13) % USER_COUNT];
+            db.table_mut(tables.bid).insert(vec![
+                item.into(),
+                bidder.into(),
+                Value::Int(2_000 + i as i64 + k as i64 * 50),
+            ]);
+        }
+    }
+    for u in 0..USER_COUNT {
+        for k in 0..SEED_COMMENTS_PER_USER {
+            let from = shape.users[(u + k + 1) % USER_COUNT];
+            db.table_mut(tables.comment).insert(vec![
+                shape.users[u].into(),
+                from.into(),
+                format!("great seller #{k}").into(),
+            ]);
+        }
+    }
+
+    (db, tables, shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mutsvc_relstore::Query;
+
+    #[test]
+    fn sizing_matches_the_paper() {
+        let (db, t, shape) = build_database();
+        assert_eq!(db.table(t.region).len(), 20);
+        assert_eq!(db.table(t.category).len(), 20);
+        assert_eq!(db.table(t.user).len(), 400);
+        assert_eq!(db.table(t.item).len(), 400);
+        assert_eq!(db.table(t.bid).len(), 400 * SEED_BIDS_PER_ITEM);
+        assert_eq!(db.table(t.comment).len(), 400 * SEED_COMMENTS_PER_USER);
+        assert_eq!(shape.items.len(), 400);
+    }
+
+    #[test]
+    fn twenty_items_per_category() {
+        let (db, t, shape) = build_database();
+        for &cat in &shape.categories {
+            let out = db.execute(&Query::Eq { table: t.item, column: 1, value: cat.into() });
+            assert_eq!(out.row_count(), 20);
+        }
+    }
+
+    #[test]
+    fn catregion_queries_return_the_intersection() {
+        let (db, t, shape) = build_database();
+        let item_idx = 42;
+        let (c, r) = shape.item_coords[item_idx];
+        let key = catregion_key(shape.categories[c], shape.regions[r]);
+        let out = db.execute(&Query::Eq { table: t.item, column: 3, value: key });
+        assert!(out.row_count() >= 1);
+        assert!(out.rows.contains(&shape.items[item_idx]));
+    }
+
+    #[test]
+    fn bids_by_item_returns_seeded_history() {
+        let (db, t, shape) = build_database();
+        let out = db.execute(&Query::Eq { table: t.bid, column: 0, value: shape.items[5].into() });
+        assert_eq!(out.row_count(), SEED_BIDS_PER_ITEM as u64);
+    }
+
+    #[test]
+    fn nickname_lookup_is_unique() {
+        let (db, t, _) = build_database();
+        let out = db.execute(&Query::Eq { table: t.user, column: 0, value: "user-123".into() });
+        assert_eq!(out.row_count(), 1);
+    }
+
+    #[test]
+    fn comments_by_user_returns_seeded_history() {
+        let (db, t, shape) = build_database();
+        let out = db.execute(&Query::Eq { table: t.comment, column: 0, value: shape.users[9].into() });
+        assert_eq!(out.row_count(), SEED_COMMENTS_PER_USER as u64);
+    }
+}

@@ -1,0 +1,235 @@
+//! RUBiS service usage patterns: the Browser (Table 4) and Bidder (Table 5)
+//! sessions.
+
+use mutsvc_desim::rng::SimRng;
+
+use super::pages::{RubisPage, RubisParams};
+use super::schema::RubisShape;
+
+/// Browser session length (Table 4: "sessions of length 40").
+pub const BROWSER_SESSION_LENGTH: usize = 40;
+
+/// Table 4 page mix (weights in percent).
+pub const BROWSER_MIX: [(RubisPage, f64); 10] = [
+    (RubisPage::Main, 2.5),
+    (RubisPage::Browse, 2.5),
+    (RubisPage::AllCategories, 2.5),
+    (RubisPage::AllRegions, 2.5),
+    (RubisPage::Region, 2.5),
+    (RubisPage::Category, 7.5),
+    (RubisPage::CategoryRegion, 7.5),
+    (RubisPage::Item, 42.5),
+    (RubisPage::Bids, 15.0),
+    (RubisPage::UserInfo, 15.0),
+];
+
+/// Table 5 bidder sequence: bid on an item, then comment on its seller.
+pub const BIDDER_SEQUENCE: [RubisPage; 7] = [
+    RubisPage::Main,
+    RubisPage::PutBidAuth,
+    RubisPage::PutBidForm,
+    RubisPage::StoreBid,
+    RubisPage::PutCommentAuth,
+    RubisPage::PutCommentForm,
+    RubisPage::StoreComment,
+];
+
+/// A browsing session over a drilling-down context.
+#[derive(Debug, Clone)]
+pub struct BrowserSession {
+    issued: usize,
+    category_idx: Option<usize>,
+    region_idx: Option<usize>,
+    item_idx: Option<usize>,
+}
+
+impl BrowserSession {
+    /// Starts a fresh session.
+    pub fn new() -> Self {
+        BrowserSession { issued: 0, category_idx: None, region_idx: None, item_idx: None }
+    }
+
+    /// Whether the session has issued all its requests.
+    pub fn finished(&self) -> bool {
+        self.issued >= BROWSER_SESSION_LENGTH
+    }
+
+    /// Draws the next page and parameters, or `None` when finished.
+    pub fn next(&mut self, shape: &RubisShape, rng: &mut SimRng) -> Option<(RubisPage, RubisParams)> {
+        if self.finished() {
+            return None;
+        }
+        let page = if self.issued == 0 {
+            RubisPage::Main
+        } else {
+            let weights: Vec<f64> = BROWSER_MIX.iter().map(|&(_, w)| w).collect();
+            BROWSER_MIX[rng.weighted_index(&weights)].0
+        };
+        self.issued += 1;
+
+        match page {
+            RubisPage::AllCategories | RubisPage::Browse => {
+                self.item_idx = None;
+            }
+            RubisPage::Region | RubisPage::AllRegions => {
+                self.region_idx = Some(rng.index(shape.regions.len()));
+                self.item_idx = None;
+            }
+            RubisPage::Category => {
+                self.category_idx = Some(rng.index(shape.categories.len()));
+                self.item_idx = None;
+            }
+            RubisPage::CategoryRegion => {
+                self.category_idx = Some(rng.index(shape.categories.len()));
+                self.region_idx = Some(rng.index(shape.regions.len()));
+                self.item_idx = None;
+            }
+            RubisPage::Item => {
+                // An item of the current category, if any.
+                let cat = *self
+                    .category_idx
+                    .get_or_insert_with(|| rng.index(shape.categories.len()));
+                let items = &shape.items_by_category[cat];
+                let item = items[rng.index(items.len())];
+                self.item_idx = Some((item.0 - 1) as usize);
+            }
+            _ => {}
+        }
+        Some((page, self.params(shape, rng)))
+    }
+
+    fn params(&mut self, shape: &RubisShape, rng: &mut SimRng) -> RubisParams {
+        let category_idx = *self
+            .category_idx
+            .get_or_insert_with(|| rng.index(shape.categories.len()));
+        let region_idx = *self.region_idx.get_or_insert_with(|| rng.index(shape.regions.len()));
+        let item_idx = *self.item_idx.get_or_insert_with(|| {
+            let items = &shape.items_by_category[category_idx];
+            (items[rng.index(items.len())].0 - 1) as usize
+        });
+        RubisParams {
+            category: shape.categories[category_idx],
+            region: shape.regions[region_idx],
+            item: shape.items[item_idx],
+            target_user: shape.users[rng.index(shape.users.len())],
+            user: shape.users[rng.index(shape.users.len())],
+        }
+    }
+}
+
+impl Default for BrowserSession {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A bidder session: the fixed Table 5 sequence. The comment target is the
+/// seller of the bid item.
+#[derive(Debug, Clone)]
+pub struct BidderSession {
+    step: usize,
+    params: RubisParams,
+}
+
+impl BidderSession {
+    /// Starts a session for a random user bidding on a random item.
+    pub fn new(shape: &RubisShape, rng: &mut SimRng) -> Self {
+        let item_idx = rng.index(shape.items.len());
+        let (cat_idx, region_idx) = shape.item_coords[item_idx];
+        // Seller assignment in the schema: item i is sold by user i % USER_COUNT.
+        let seller = shape.users[item_idx % shape.users.len()];
+        BidderSession {
+            step: 0,
+            params: RubisParams {
+                category: shape.categories[cat_idx],
+                region: shape.regions[region_idx],
+                item: shape.items[item_idx],
+                target_user: seller,
+                user: shape.users[rng.index(shape.users.len())],
+            },
+        }
+    }
+
+    /// Whether the sequence is exhausted.
+    pub fn finished(&self) -> bool {
+        self.step >= BIDDER_SEQUENCE.len()
+    }
+
+    /// The next page of the sequence.
+    pub fn next(&mut self) -> Option<(RubisPage, RubisParams)> {
+        if self.finished() {
+            return None;
+        }
+        let page = BIDDER_SEQUENCE[self.step];
+        self.step += 1;
+        Some((page, self.params.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::schema::build_database;
+    use super::*;
+
+    #[test]
+    fn browser_sessions_are_forty_requests_starting_main() {
+        let (_, _, shape) = build_database();
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut s = BrowserSession::new();
+        let mut pages = Vec::new();
+        while let Some((p, _)) = s.next(&shape, &mut rng) {
+            pages.push(p);
+        }
+        assert_eq!(pages.len(), BROWSER_SESSION_LENGTH);
+        assert_eq!(pages[0], RubisPage::Main);
+    }
+
+    #[test]
+    fn browser_mix_approximates_table_4() {
+        let (_, _, shape) = build_database();
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..1_500 {
+            let mut s = BrowserSession::new();
+            let _ = s.next(&shape, &mut rng); // skip the fixed Main
+            while let Some((p, _)) = s.next(&shape, &mut rng) {
+                *counts.entry(p).or_insert(0usize) += 1;
+            }
+        }
+        let total: usize = counts.values().sum();
+        for (page, pct) in BROWSER_MIX {
+            let share = *counts.get(&page).unwrap_or(&0) as f64 / total as f64 * 100.0;
+            assert!((share - pct).abs() < 1.2, "{}: {share:.1}% vs {pct}%", page.name());
+        }
+    }
+
+    #[test]
+    fn items_belong_to_the_current_category() {
+        let (_, _, shape) = build_database();
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut s = BrowserSession::new();
+        while let Some((page, params)) = s.next(&shape, &mut rng) {
+            if page == RubisPage::Item {
+                let cat_idx = shape.categories.iter().position(|&c| c == params.category).unwrap();
+                assert!(shape.items_by_category[cat_idx].contains(&params.item));
+            }
+        }
+    }
+
+    #[test]
+    fn bidder_follows_table_5_and_comments_on_the_seller() {
+        let (_, _, shape) = build_database();
+        let mut rng = SimRng::seed_from_u64(4);
+        let mut s = BidderSession::new(&shape, &mut rng);
+        let mut pages = Vec::new();
+        let mut last_params = None;
+        while let Some((p, params)) = s.next() {
+            pages.push(p);
+            last_params = Some(params);
+        }
+        assert_eq!(pages, BIDDER_SEQUENCE);
+        let params = last_params.unwrap();
+        let item_idx = (params.item.0 - 1) as usize;
+        assert_eq!(params.target_user, shape.users[item_idx % shape.users.len()]);
+    }
+}

@@ -1,0 +1,49 @@
+//! Table 6 / Table 7 / Figures 7–8 regeneration benches.
+//!
+//! Each bench iteration runs one full configuration sweep (quick windows)
+//! and, once per process, prints the regenerated table and figure so that
+//! `cargo bench` output doubles as the reproduction artifact. Absolute
+//! Criterion timings measure the simulator itself.
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mutsvc_core::{render_figure, render_table, run_sweep, validate_shapes, AppKind};
+
+static PRINT_PETSTORE: Once = Once::new();
+static PRINT_RUBIS: Once = Once::new();
+
+fn table6_and_figure7(c: &mut Criterion) {
+    PRINT_PETSTORE.call_once(|| {
+        let reports = run_sweep(AppKind::PetStore, true, 42);
+        println!("\n{}", render_table(AppKind::PetStore, &reports));
+        println!("{}", render_figure(AppKind::PetStore, &reports));
+        let violations = validate_shapes(AppKind::PetStore, &reports);
+        println!("shape criteria (quick windows): {} violations\n", violations.len());
+    });
+    let mut group = c.benchmark_group("table6");
+    group.sample_size(10);
+    group.bench_function("petstore_five_config_sweep", |b| {
+        b.iter(|| run_sweep(AppKind::PetStore, true, 42))
+    });
+    group.finish();
+}
+
+fn table7_and_figure8(c: &mut Criterion) {
+    PRINT_RUBIS.call_once(|| {
+        let reports = run_sweep(AppKind::Rubis, true, 42);
+        println!("\n{}", render_table(AppKind::Rubis, &reports));
+        println!("{}", render_figure(AppKind::Rubis, &reports));
+        let violations = validate_shapes(AppKind::Rubis, &reports);
+        println!("shape criteria (quick windows): {} violations\n", violations.len());
+    });
+    let mut group = c.benchmark_group("table7");
+    group.sample_size(10);
+    group.bench_function("rubis_five_config_sweep", |b| {
+        b.iter(|| run_sweep(AppKind::Rubis, true, 42))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table6_and_figure7, table7_and_figure8);
+criterion_main!(benches);

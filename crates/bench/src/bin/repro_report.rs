@@ -1,0 +1,227 @@
+//! `repro-report` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro-report [--app petstore|rubis|all] [--paper|--quick] [--seed N]
+//!              [--tables] [--figures] [--compare] [--validate]
+//!              [--sessions] [--topology] [--wiring]
+//! ```
+//!
+//! With no selection flags, everything is printed. `--quick` (default) uses
+//! a 90 s warm-up + 300 s measured window; `--paper` runs the full
+//! one-hour windows of §3.3.
+
+use mutsvc_apps::petstore::{BROWSER_MIX as PS_MIX, BUYER_SEQUENCE};
+use mutsvc_apps::rubis::{BIDDER_SEQUENCE, BROWSER_MIX as RUBIS_MIX};
+use mutsvc_bench::run_sweep_parallel;
+use mutsvc_core::{
+    paper_topology, render_comparison, render_figure, render_percentiles, render_table,
+    validate_shapes, AppKind, Config,
+};
+
+struct Options {
+    apps: Vec<AppKind>,
+    quick: bool,
+    seed: u64,
+    tables: bool,
+    figures: bool,
+    compare: bool,
+    validate: bool,
+    sessions: bool,
+    topology: bool,
+    wiring: bool,
+    percentiles: bool,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        apps: vec![AppKind::PetStore, AppKind::Rubis],
+        quick: true,
+        seed: 42,
+        tables: false,
+        figures: false,
+        compare: false,
+        validate: false,
+        sessions: false,
+        topology: false,
+        wiring: false,
+        percentiles: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--app" => match args.next().as_deref() {
+                Some("petstore") => opts.apps = vec![AppKind::PetStore],
+                Some("rubis") => opts.apps = vec![AppKind::Rubis],
+                Some("all") => {}
+                other => {
+                    eprintln!("unknown --app {other:?}");
+                    std::process::exit(2);
+                }
+            },
+            "--paper" => opts.quick = false,
+            "--quick" => opts.quick = true,
+            "--seed" => {
+                opts.seed = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs an integer");
+                    std::process::exit(2);
+                })
+            }
+            "--tables" => opts.tables = true,
+            "--figures" => opts.figures = true,
+            "--compare" => opts.compare = true,
+            "--validate" => opts.validate = true,
+            "--sessions" => opts.sessions = true,
+            "--topology" => opts.topology = true,
+            "--wiring" => opts.wiring = true,
+            "--percentiles" => opts.percentiles = true,
+            "--help" | "-h" => {
+                println!(
+                    "repro-report [--app petstore|rubis|all] [--paper|--quick] [--seed N]\n             [--tables] [--figures] [--compare] [--validate] [--percentiles]\n             [--sessions] [--topology] [--wiring]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if !(opts.tables
+        || opts.figures
+        || opts.compare
+        || opts.validate
+        || opts.percentiles
+        || opts.sessions
+        || opts.topology
+        || opts.wiring)
+    {
+        opts.tables = true;
+        opts.figures = true;
+        opts.compare = true;
+        opts.validate = true;
+    }
+    opts
+}
+
+fn print_sessions() {
+    println!("Table 2: Java Pet Store Browser session mix (20 requests)");
+    for (page, pct) in PS_MIX {
+        println!("  {:<10} {pct:>5.1}%", page.name());
+    }
+    println!("Table 3: Java Pet Store Buyer session sequence");
+    for page in BUYER_SEQUENCE {
+        println!("  {}", page.name());
+    }
+    println!("Table 4: RUBiS Browser session mix (40 requests)");
+    for (page, pct) in RUBIS_MIX {
+        println!("  {:<16} {pct:>5.1}%", page.name());
+    }
+    println!("Table 5: RUBiS Bidder session sequence");
+    for page in BIDDER_SEQUENCE {
+        println!("  {}", page.name());
+    }
+}
+
+fn print_topology() {
+    for (label, db_on_main) in [("Pet Store (Oracle on a LAN host)", false), ("RUBiS (MySQL on main)", true)] {
+        let (topology, nodes) = paper_topology(db_on_main);
+        println!("Figure 2 topology — {label}");
+        for id in topology.node_ids() {
+            let spec = topology.node(id);
+            println!("  node {:<14} cpus={}", spec.name, spec.cpus);
+        }
+        println!(
+            "  WAN one-way main<->edge1: {:.1} ms; edge1<->edge2: {:.1} ms",
+            topology.path_latency(nodes.main, nodes.edge1).as_millis_f64(),
+            topology.path_latency(nodes.edge1, nodes.edge2).as_millis_f64(),
+        );
+    }
+}
+
+fn print_wiring(app: AppKind) {
+    println!("Figures 3-6 wiring — {} deployment descriptors", app.name());
+    for config in Config::all() {
+        let scenario = mutsvc_core::Scenario::quick(app, config);
+        let (input, nodes) = scenario.build();
+        println!("-- {} (§{})", config.name(), config.section());
+        println!(
+            "   entity propagation: {:?}; query cache tags: {}; stub caching: {}",
+            input.descriptor.entity_propagation,
+            input.descriptor.query_cache.cacheable_tags.len(),
+            input.descriptor.stub_caching,
+        );
+        let mut edge_hosted = Vec::new();
+        for (&component, placement) in &input.descriptor.placements {
+            if placement.hosts(nodes.edge1) {
+                edge_hosted.push(input.registry.spec(component).name.clone());
+            }
+        }
+        edge_hosted.sort();
+        println!("   on edges: {}", if edge_hosted.is_empty() { "(nothing)".to_string() } else { edge_hosted.join(", ") });
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    if opts.sessions {
+        print_sessions();
+    }
+    if opts.topology {
+        print_topology();
+    }
+    if opts.wiring {
+        for &app in &opts.apps {
+            print_wiring(app);
+        }
+    }
+    if !(opts.tables || opts.figures || opts.compare || opts.validate || opts.percentiles) {
+        return;
+    }
+    for &app in &opts.apps {
+        eprintln!(
+            "running {} sweep ({} mode, seed {})...",
+            app.name(),
+            if opts.quick { "quick" } else { "paper" },
+            opts.seed
+        );
+        let reports = run_sweep_parallel(app, opts.quick, opts.seed);
+        if opts.tables {
+            println!("{}", render_table(app, &reports));
+        }
+        if opts.percentiles {
+            println!("{}", render_percentiles(app, &reports));
+        }
+        if opts.compare {
+            println!("{}", render_comparison(app, &reports));
+        }
+        if opts.figures {
+            println!("{}", render_figure(app, &reports));
+        }
+        if opts.validate {
+            let violations = validate_shapes(app, &reports);
+            if violations.is_empty() {
+                println!("shape validation ({}): all criteria hold\n", app.name());
+            } else {
+                println!("shape validation ({}): {} violations", app.name(), violations.len());
+                for v in &violations {
+                    println!("  - {v}");
+                }
+                println!();
+            }
+        }
+        for report in &reports {
+            let util: Vec<String> = report
+                .cpu_utilization
+                .iter()
+                .filter(|(n, _)| !n.starts_with("client") && n != "router")
+                .map(|(n, u)| format!("{n}={:.0}%", u * 100.0))
+                .collect();
+            eprintln!(
+                "  {}: {} requests, cpu {}",
+                report.config,
+                report.completed,
+                util.join(" ")
+            );
+        }
+    }
+}

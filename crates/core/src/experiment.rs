@@ -1,0 +1,219 @@
+//! Scenario assembly: application × configuration → a runnable experiment.
+
+use mutsvc_apps::App;
+use mutsvc_desim::time::SimDuration;
+use mutsvc_middleware::ContainerCosts;
+use mutsvc_netsim::ProtocolParams;
+use mutsvc_workload::{paper_groups, run_experiment, ExperimentInput, ExperimentReport, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::configs::{petstore_descriptor, rubis_descriptor, Config};
+use crate::topology::{paper_topology, PaperNodes};
+
+/// Which application a scenario drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AppKind {
+    /// Java Pet Store.
+    PetStore,
+    /// RUBiS.
+    Rubis,
+}
+
+impl AppKind {
+    /// Both applications.
+    pub fn all() -> [AppKind; 2] {
+        [AppKind::PetStore, AppKind::Rubis]
+    }
+
+    /// The application name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppKind::PetStore => "petstore",
+            AppKind::Rubis => "rubis",
+        }
+    }
+}
+
+/// One experiment: an application under one configuration at the paper's load.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// The application.
+    pub app: AppKind,
+    /// The configuration under test.
+    pub config: Config,
+    /// RNG seed.
+    pub seed: u64,
+    /// Warm-up excluded from statistics.
+    pub warmup: SimDuration,
+    /// Measured duration.
+    pub duration: SimDuration,
+    /// One-way WAN latency override (ablation; default 100 ms).
+    pub wan_one_way: Option<SimDuration>,
+    /// RMI extra-round-trip probability override (ablation).
+    pub rmi_extra_round_trip_prob: Option<f64>,
+}
+
+impl Scenario {
+    /// A scenario with the paper's full measurement window (§3.3: roughly
+    /// one hour preceded by warm-up).
+    pub fn paper(app: AppKind, config: Config) -> Self {
+        Scenario {
+            app,
+            config,
+            seed: 42,
+            warmup: SimDuration::from_secs(180),
+            duration: SimDuration::from_secs(3_600),
+            wan_one_way: None,
+            rmi_extra_round_trip_prob: None,
+        }
+    }
+
+    /// A shortened scenario for tests and quick reports. The page means
+    /// stabilize well before the full hour: at 30 req/s even a 5-minute
+    /// window collects ~9000 samples.
+    pub fn quick(app: AppKind, config: Config) -> Self {
+        Scenario {
+            app,
+            config,
+            seed: 42,
+            warmup: SimDuration::from_secs(90),
+            duration: SimDuration::from_secs(300),
+            wan_one_way: None,
+            rmi_extra_round_trip_prob: None,
+        }
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the one-way WAN latency (ablation sweeps).
+    pub fn with_wan_latency(mut self, one_way: SimDuration) -> Self {
+        self.wan_one_way = Some(one_way);
+        self
+    }
+
+    /// Overrides the RMI extra-round-trip probability (stack chattiness).
+    pub fn with_rmi_chattiness(mut self, prob: f64) -> Self {
+        self.rmi_extra_round_trip_prob = Some(prob);
+        self
+    }
+
+    /// Assembles the runnable input: topology, application, descriptor,
+    /// protocol stack and the paper's client groups.
+    pub fn build(&self) -> (ExperimentInput, PaperNodes) {
+        let db_on_main = matches!(self.app, AppKind::Rubis);
+        let (topology, nodes) = match self.wan_one_way {
+            Some(wan) => crate::topology::topology_with_wan(db_on_main, wan),
+            None => paper_topology(db_on_main),
+        };
+
+        let (app, registry, db, descriptor, mut protocols) = match self.app {
+            AppKind::PetStore => {
+                let (app, registry, db) = App::petstore(self.config.uses_facade_app());
+                let c = match &app {
+                    App::PetStore(ps) => ps.components,
+                    App::Rubis(_) => unreachable!(),
+                };
+                let descriptor = petstore_descriptor(self.config, &registry, &c, &nodes);
+                (app, registry, db, descriptor, ProtocolParams::petstore_stack())
+            }
+            AppKind::Rubis => {
+                let (app, registry, db) = App::rubis();
+                let c = match &app {
+                    App::Rubis(r) => r.components,
+                    App::PetStore(_) => unreachable!(),
+                };
+                let descriptor = rubis_descriptor(self.config, &registry, &c, &nodes);
+                (app, registry, db, descriptor, ProtocolParams::rubis_stack())
+            }
+        };
+
+        if let Some(prob) = self.rmi_extra_round_trip_prob {
+            protocols.rmi_extra_round_trip_prob = prob;
+        }
+
+        // Remote client groups enter through their edge server whenever the
+        // web tier is deployed there; the centralized baseline leaves the
+        // edge servers unused (§4.1).
+        let (entry1, entry2) = if self.config == Config::Centralized {
+            (nodes.main, nodes.main)
+        } else {
+            (nodes.edge1, nodes.edge2)
+        };
+        let groups = paper_groups(
+            (nodes.client_local, nodes.main),
+            (nodes.client_edge1, entry1),
+            (nodes.client_edge2, entry2),
+        );
+        let spec = WorkloadSpec::paper_load(groups)
+            .with_duration(self.warmup, self.duration)
+            .with_seed(self.seed);
+
+        (
+            ExperimentInput {
+                app,
+                registry,
+                db,
+                descriptor,
+                topology,
+                protocols,
+                container_costs: ContainerCosts::default(),
+                spec,
+            },
+            nodes,
+        )
+    }
+
+    /// Builds and runs the experiment.
+    pub fn run(&self) -> ExperimentReport {
+        let (input, _) = self.build();
+        run_experiment(input)
+    }
+}
+
+/// Runs the five configurations of one application (the full Table 6 or
+/// Table 7 sweep).
+pub fn run_sweep(app: AppKind, quick: bool, seed: u64) -> Vec<ExperimentReport> {
+    Config::all()
+        .into_iter()
+        .map(|config| {
+            let scenario = if quick { Scenario::quick(app, config) } else { Scenario::paper(app, config) };
+            scenario.with_seed(seed).run()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_assemble_for_every_cell() {
+        for app in AppKind::all() {
+            for config in Config::all() {
+                let (input, nodes) = Scenario::quick(app, config).build();
+                assert_eq!(input.descriptor.name, config.name());
+                assert_eq!(input.spec.total_rate(), 30.0);
+                // Entry servers: centralized keeps everyone on main.
+                let remote_entry = input.spec.groups[1].entry_node;
+                if config == Config::Centralized {
+                    assert_eq!(remote_entry, nodes.main);
+                } else {
+                    assert_eq!(remote_entry, nodes.edge1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rubis_db_is_colocated_petstore_db_is_not() {
+        let (input, nodes) = Scenario::quick(AppKind::Rubis, Config::Centralized).build();
+        assert_eq!(input.descriptor.db_node, nodes.main);
+        let (input, nodes) = Scenario::quick(AppKind::PetStore, Config::Centralized).build();
+        assert_ne!(input.descriptor.db_node, nodes.main);
+        assert_eq!(input.descriptor.central_node, nodes.main);
+    }
+}

@@ -1,0 +1,38 @@
+//! # mutsvc-core — the wide-area distribution study
+//!
+//! Ties the testbed together and reproduces the paper's evaluation:
+//!
+//! * [`topology`] — the Figure 2 network (three application servers, shaped
+//!   100 ms WAN legs through a software router);
+//! * [`configs`] — the five configurations of §4 as deployment descriptors;
+//! * [`experiment`] — scenario assembly and sweeps;
+//! * [`paper`] — the published Tables 6/7 as reference data;
+//! * [`report`] — regenerating Tables 6/7 and Figures 7/8, comparing against
+//!   the paper, and validating the qualitative shape criteria.
+//!
+//! ## Example: one cell of Table 6
+//!
+//! ```no_run
+//! use mutsvc_core::{AppKind, Config, Scenario};
+//!
+//! let report = Scenario::quick(AppKind::PetStore, Config::RemoteFacade).run();
+//! let item = report.stats.mean_ms("local", "Browser", "Item").unwrap();
+//! println!("local browser Item page: {item:.0} ms");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod configs;
+pub mod experiment;
+pub mod paper;
+pub mod report;
+pub mod topology;
+
+pub use configs::{petstore_descriptor, rubis_descriptor, Config};
+pub use experiment::{run_sweep, AppKind, Scenario};
+pub use report::{
+    figure_series, measured_mean, render_comparison, render_figure, render_percentiles,
+    render_table, validate_shapes, FigureBar,
+};
+pub use topology::{paper_topology, PaperNodes};

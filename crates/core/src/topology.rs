@@ -1,0 +1,145 @@
+//! The paper's testbed network (Figure 2).
+//!
+//! Three application servers and a database host joined by a Click-style
+//! software router: the main server, its clients and the database sit on
+//! fast LAN legs; the two edge servers hang off 100 ms shaped WAN legs with
+//! their own client LANs. For the RUBiS experiments the database runs *on*
+//! the main server's workstation (§3.1), which `db_on_main` reproduces.
+
+use mutsvc_desim::time::SimDuration;
+use mutsvc_netsim::{NodeId, Topology, TopologyBuilder};
+use serde::{Deserialize, Serialize};
+
+/// One-way WAN latency (§3.1: "100 ms latency each way").
+pub const WAN_ONE_WAY: SimDuration = SimDuration::from_millis(100);
+/// LAN leg latency.
+pub const LAN_ONE_WAY: SimDuration = SimDuration::from_micros(200);
+/// Link bandwidth (§3.1: 100 Mbit/s maximum combined).
+pub const LINK_BANDWIDTH_BPS: f64 = 100e6;
+
+/// Node handles of the paper topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PaperNodes {
+    /// Main application server (dual-CPU workstation).
+    pub main: NodeId,
+    /// First edge application server.
+    pub edge1: NodeId,
+    /// Second edge application server.
+    pub edge2: NodeId,
+    /// Database host. Equal to `main` when the database is co-located
+    /// (RUBiS / MySQL); a separate LAN host otherwise (Pet Store / Oracle).
+    pub db: NodeId,
+    /// The software router at the topology's center.
+    pub router: NodeId,
+    /// Client machines co-located with the main server.
+    pub client_local: NodeId,
+    /// Client machines co-located with edge 1.
+    pub client_edge1: NodeId,
+    /// Client machines co-located with edge 2.
+    pub client_edge2: NodeId,
+}
+
+impl PaperNodes {
+    /// The three application servers.
+    pub fn servers(&self) -> [NodeId; 3] {
+        [self.main, self.edge1, self.edge2]
+    }
+
+    /// The two edge servers.
+    pub fn edges(&self) -> [NodeId; 2] {
+        [self.edge1, self.edge2]
+    }
+
+    /// Whether `(a, b)` crosses a WAN leg.
+    pub fn is_wan(&self, a: NodeId, b: NodeId) -> bool {
+        let edge_side = |n: NodeId| {
+            if n == self.edge1 || n == self.client_edge1 {
+                1
+            } else if n == self.edge2 || n == self.client_edge2 {
+                2
+            } else {
+                0
+            }
+        };
+        edge_side(a) != edge_side(b)
+    }
+}
+
+/// Builds the Figure 2 topology with the paper's 100 ms WAN legs.
+pub fn paper_topology(db_on_main: bool) -> (Topology, PaperNodes) {
+    topology_with_wan(db_on_main, WAN_ONE_WAY)
+}
+
+/// Builds the Figure 2 topology with a custom one-way WAN latency
+/// (ablation studies).
+pub fn topology_with_wan(db_on_main: bool, wan_one_way: SimDuration) -> (Topology, PaperNodes) {
+    let mut b = TopologyBuilder::new();
+    // Dual-processor Pentium III workstations (§3.1); client machines are
+    // aggregated per group (three physical boxes each).
+    let main = b.node("main", 2);
+    let edge1 = b.node("edge1", 2);
+    let edge2 = b.node("edge2", 2);
+    let db = if db_on_main { main } else { b.node("db", 2) };
+    let router = b.node("router", 8);
+    let client_local = b.node("client-local", 6);
+    let client_edge1 = b.node("client-edge1", 6);
+    let client_edge2 = b.node("client-edge2", 6);
+
+    b.duplex_link(main, router, LAN_ONE_WAY, LINK_BANDWIDTH_BPS);
+    if !db_on_main {
+        b.duplex_link(db, router, LAN_ONE_WAY, LINK_BANDWIDTH_BPS);
+    }
+    b.duplex_link(client_local, router, LAN_ONE_WAY, LINK_BANDWIDTH_BPS);
+    b.duplex_link(edge1, router, wan_one_way, LINK_BANDWIDTH_BPS);
+    b.duplex_link(edge2, router, wan_one_way, LINK_BANDWIDTH_BPS);
+    b.duplex_link(client_edge1, edge1, LAN_ONE_WAY, LINK_BANDWIDTH_BPS);
+    b.duplex_link(client_edge2, edge2, LAN_ONE_WAY, LINK_BANDWIDTH_BPS);
+
+    let nodes =
+        PaperNodes { main, edge1, edge2, db, router, client_local, client_edge1, client_edge2 };
+    (b.finalize(), nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wan_rtt_is_two_hundred_ms() {
+        let (t, n) = paper_topology(false);
+        let rtt = t.rtt(n.main, n.edge1).as_millis_f64();
+        assert!((rtt - 200.8).abs() < 0.5, "rtt {rtt}");
+        // Edge-to-edge crosses two WAN legs.
+        let rtt2 = t.rtt(n.edge1, n.edge2).as_millis_f64();
+        assert!((rtt2 - 400.0).abs() < 1.0, "rtt {rtt2}");
+    }
+
+    #[test]
+    fn local_clients_reach_main_over_lan() {
+        let (t, n) = paper_topology(false);
+        assert!(t.rtt(n.client_local, n.main).as_millis_f64() < 1.0);
+        assert!(t.rtt(n.client_edge1, n.edge1).as_millis_f64() < 1.0);
+        // Remote clients pay the WAN to reach main.
+        assert!(t.rtt(n.client_edge1, n.main).as_millis_f64() > 200.0);
+    }
+
+    #[test]
+    fn db_placement_variants() {
+        let (t, n) = paper_topology(false);
+        assert_ne!(n.db, n.main);
+        assert!(t.rtt(n.main, n.db).as_millis_f64() < 1.0);
+        let (_, n) = paper_topology(true);
+        assert_eq!(n.db, n.main);
+    }
+
+    #[test]
+    fn wan_classification() {
+        let (_, n) = paper_topology(false);
+        assert!(n.is_wan(n.main, n.edge1));
+        assert!(n.is_wan(n.client_edge1, n.main));
+        assert!(n.is_wan(n.edge1, n.edge2));
+        assert!(!n.is_wan(n.main, n.db));
+        assert!(!n.is_wan(n.edge1, n.client_edge1));
+        assert!(!n.is_wan(n.client_local, n.main));
+    }
+}

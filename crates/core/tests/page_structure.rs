@@ -1,0 +1,146 @@
+//! Per-page structural fidelity: the binder's resolution of every Pet Store
+//! page under every configuration matches the paper's wide-area call counts
+//! (§4.2: "no more than one RMI call to shared components… the only
+//! exception is the Verify Signin page, which makes two").
+
+use mutsvc_apps::petstore::{PsPage, PsParams};
+use mutsvc_apps::App;
+use mutsvc_core::{AppKind, Config, Scenario};
+use mutsvc_desim::SimRng;
+use mutsvc_middleware::{Binder, ContainerCosts, ContainerState};
+
+struct Bench {
+    input: mutsvc_workload::ExperimentInput,
+    nodes: mutsvc_core::PaperNodes,
+    state: ContainerState,
+    rng: SimRng,
+    tag: u64,
+    costs: ContainerCosts,
+}
+
+fn bench(config: Config) -> (Bench, PsParams) {
+    let (input, nodes) = Scenario::quick(AppKind::PetStore, config).build();
+    let params = {
+        let App::PetStore(ps) = &input.app else { unreachable!() };
+        let product = ps.shape.products(0)[0];
+        PsParams {
+            category: ps.shape.categories[0],
+            product,
+            item: ps.shape.items(product)[0],
+            keyword: "fish".into(),
+            account: ps.shape.accounts[0],
+        }
+    };
+    (
+        Bench {
+            input,
+            nodes,
+            state: ContainerState::new(),
+            rng: SimRng::seed_from_u64(1),
+            tag: 0,
+            costs: ContainerCosts::default(),
+        },
+        params,
+    )
+}
+
+/// Binds `page` from the edge-1 client twice and returns the **warm**
+/// (second) bind's stats — steady-state behaviour, caches populated.
+fn warm_bind(b: &mut Bench, params: &PsParams, page: PsPage) -> mutsvc_middleware::BindStats {
+    let App::PetStore(ps) = &b.input.app else { unreachable!() };
+    let request = ps.page(page, params);
+    let entry = if b.input.descriptor.placement(request.root.component).hosts(b.nodes.edge1) {
+        b.nodes.edge1
+    } else {
+        b.nodes.main
+    };
+    let mut last = None;
+    for _ in 0..2 {
+        let bound = Binder::new(
+            &b.input.registry,
+            &b.input.descriptor,
+            &b.input.protocols,
+            &b.costs,
+            &mut b.input.db,
+            &mut b.state,
+            &mut b.rng,
+            &mut b.tag,
+        )
+        .bind_page(b.nodes.client_edge1, entry, &request);
+        last = Some(bound.stats);
+    }
+    last.expect("two binds")
+}
+
+#[test]
+fn centralized_pages_make_no_rmi_calls() {
+    let (mut b, params) = bench(Config::Centralized);
+    for page in PsPage::all() {
+        let stats = warm_bind(&mut b, &params, page);
+        assert_eq!(stats.remote_invocations, 0, "{}", page.name());
+    }
+}
+
+#[test]
+fn facade_config_matches_the_papers_rmi_counts() {
+    let (mut b, params) = bench(Config::RemoteFacade);
+    for page in PsPage::all() {
+        let stats = warm_bind(&mut b, &params, page);
+        let expected = match page {
+            // Pure-session pages: fully local at the edge.
+            PsPage::Main | PsPage::SignIn | PsPage::Checkout | PsPage::PlaceOrder
+            | PsPage::Billing | PsPage::SignOut => 0,
+            // The documented exception.
+            PsPage::VerifySignIn => 2,
+            // Everything else: exactly one wide-area call.
+            _ => 1,
+        };
+        assert_eq!(stats.remote_invocations, expected, "{}", page.name());
+    }
+}
+
+#[test]
+fn caching_config_localizes_entity_pages() {
+    let (mut b, params) = bench(Config::StatefulCaching);
+    for (page, expected) in [
+        (PsPage::Item, 0),    // read-only Item + Inventory replicas
+        (PsPage::Cart, 0),    // cart add served by the edge catalog
+        (PsPage::Category, 0),// edge catalog… but the query delegates (below)
+        (PsPage::VerifySignIn, 2),
+    ] {
+        let stats = warm_bind(&mut b, &params, page);
+        assert_eq!(stats.remote_invocations, expected, "{}", page.name());
+        if page == PsPage::Category {
+            // The aggregate query still travels: one central fetch inside
+            // the (locally invoked) edge catalog.
+            assert!(stats.db_statements >= 1);
+        }
+    }
+    // Warm Item pages read exclusively from replica caches.
+    let stats = warm_bind(&mut b, &params, PsPage::Item);
+    assert_eq!(stats.entity_cache_hits, 2, "item + inventory rows");
+    assert_eq!(stats.entity_cache_misses, 0);
+}
+
+#[test]
+fn query_caching_serves_aggregates_from_the_edge() {
+    let (mut b, params) = bench(Config::QueryCaching);
+    let _ = warm_bind(&mut b, &params, PsPage::Category);
+    let stats = warm_bind(&mut b, &params, PsPage::Category);
+    assert_eq!(stats.query_cache_hits, 1);
+    assert_eq!(stats.db_statements, 0, "no database work on a warm hit");
+    // Keyword search is never cached: the central fetch always happens.
+    let stats = warm_bind(&mut b, &params, PsPage::Search);
+    assert_eq!(stats.query_cache_hits, 0);
+    assert_eq!(stats.db_statements, 1);
+}
+
+#[test]
+fn async_config_defers_commit_propagation() {
+    let (mut b, params) = bench(Config::AsyncUpdates);
+    // Load the inventory row into the edge replicas first (Item page).
+    let _ = warm_bind(&mut b, &params, PsPage::Item);
+    let stats = warm_bind(&mut b, &params, PsPage::Commit);
+    assert_eq!(stats.sync_push_nodes, 0, "no blocking pushes");
+    assert!(stats.async_push_nodes >= 1, "JMS fan-out to warmed edges");
+}

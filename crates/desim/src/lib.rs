@@ -1,0 +1,56 @@
+//! # mutsvc-desim — deterministic discrete-event simulation kernel
+//!
+//! The foundation of the Mutable Services wide-area distribution testbed:
+//! a minimal, allocation-conscious discrete-event engine with
+//!
+//! * exact integer [`time`] (microsecond instants/durations),
+//! * a closure-based event [`sim`] scheduler with deterministic tie-breaking,
+//! * analytic multi-server FIFO [`resource`]s (CPUs, link serialization),
+//! * seeded, stream-splittable randomness ([`rng`]),
+//! * constant-memory streaming [`metrics`] (Welford, P² quantiles, histograms).
+//!
+//! Higher layers (network, middleware, applications) are worlds `W` plugged
+//! into [`Simulation<W>`].
+//!
+//! ## Example
+//!
+//! ```
+//! use mutsvc_desim::{FifoResource, SimDuration, Simulation};
+//!
+//! struct World {
+//!     cpu: FifoResource,
+//!     completions: Vec<f64>,
+//! }
+//!
+//! let mut sim = Simulation::new(World {
+//!     cpu: FifoResource::new("cpu", 2),
+//!     completions: Vec::new(),
+//! });
+//!
+//! // Three jobs arrive together on a dual-CPU box: two run at once.
+//! for _ in 0..3 {
+//!     sim.schedule_in(SimDuration::ZERO, |w: &mut World, ctx| {
+//!         let done = w.cpu.admit(ctx.now(), SimDuration::from_millis(10));
+//!         ctx.schedule_at(done, |w: &mut World, ctx| {
+//!             w.completions.push(ctx.now().as_millis_f64());
+//!         });
+//!     });
+//! }
+//! sim.run();
+//! assert_eq!(sim.world().completions, vec![10.0, 10.0, 20.0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod resource;
+pub mod rng;
+pub mod sim;
+pub mod time;
+
+pub use metrics::{Histogram, P2Quantile, Summary, Welford};
+pub use resource::FifoResource;
+pub use rng::SimRng;
+pub use sim::{Context, EventFn, Simulation};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,588 @@
+//! Streaming measurement primitives.
+//!
+//! Experiments run for (simulated) hours at tens of requests per second, so
+//! per-sample storage is wasteful. This module provides constant-memory
+//! estimators: [`Welford`] for mean/variance, [`P2Quantile`] for arbitrary
+//! quantiles (the Jain/Chlamtac P² algorithm), and a fixed-geometry
+//! [`Histogram`]. [`Summary`] bundles the usual set for a response-time
+//! series.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// Welford's online algorithm for mean and variance.
+///
+/// ```
+/// use mutsvc_desim::metrics::Welford;
+///
+/// let mut w = Welford::new();
+/// for x in [2.0, 4.0, 6.0] {
+///     w.record(x);
+/// }
+/// assert_eq!(w.mean(), 4.0);
+/// assert_eq!(w.variance(), 4.0); // sample variance
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Welford { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds a sample. Non-finite samples are ignored (and debug-asserted).
+    pub fn record(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "non-finite sample {x}");
+        if !x.is_finite() {
+            return;
+        }
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample (0 if empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 if empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// The P² (piecewise-parabolic) streaming quantile estimator of
+/// Jain & Chlamtac (CACM 1985): five markers track `q` without storing samples.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights.
+    heights: [f64; 5],
+    /// Marker positions (1-based sample ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments.
+    increments: [f64; 5],
+    count: u64,
+    /// First five samples, buffered until initialization.
+    warmup: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `q` in `(0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < q < 1`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must lie strictly in (0, 1), got {q}");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+            warmup: Vec::with_capacity(5),
+        }
+    }
+
+    /// The quantile being estimated.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Adds a sample.
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            debug_assert!(false, "non-finite sample {x}");
+            return;
+        }
+        self.count += 1;
+        if self.count <= 5 {
+            self.warmup.push(x);
+            if self.count == 5 {
+                self.warmup.sort_by(|a, b| a.total_cmp(b));
+                for (i, &v) in self.warmup.iter().enumerate() {
+                    self.heights[i] = v;
+                }
+            }
+            return;
+        }
+
+        // Find the cell k such that heights[k] <= x < heights[k+1].
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if x >= self.heights[i] && x < self.heights[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.increments) {
+            *d += inc;
+        }
+
+        // Adjust interior markers with the parabolic formula, falling back to
+        // linear interpolation when the parabola would reorder markers.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                    self.heights[i] = candidate;
+                } else {
+                    self.heights[i] = self.linear(i, d);
+                }
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let n = &self.positions;
+        let h = &self.heights;
+        h[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (h[i] - h[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// The current estimate. With fewer than five samples this is the exact
+    /// quantile of the buffered values (by nearest-rank); 0 if empty.
+    pub fn estimate(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if self.count < 5 {
+            let mut buf = self.warmup.clone();
+            buf.sort_by(|a, b| a.total_cmp(b));
+            let rank = ((self.q * buf.len() as f64).ceil() as usize).clamp(1, buf.len());
+            return buf[rank - 1];
+        }
+        self.heights[2]
+    }
+}
+
+/// A histogram with fixed uniform buckets over `[0, limit)` plus an overflow
+/// bucket, intended for response-time distributions in milliseconds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    bucket_width: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram covering `[0, limit)` with `buckets` uniform cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets == 0` or `limit` is not positive and finite.
+    pub fn new(limit: f64, buckets: usize) -> Self {
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        assert!(limit.is_finite() && limit > 0.0, "histogram limit must be positive");
+        Histogram { bucket_width: limit / buckets as f64, counts: vec![0; buckets], overflow: 0, total: 0 }
+    }
+
+    /// Records a sample; values ≥ limit (or non-finite) land in overflow.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        if !x.is_finite() || x < 0.0 {
+            self.overflow += 1;
+            return;
+        }
+        let idx = (x / self.bucket_width) as usize;
+        if idx < self.counts.len() {
+            self.counts[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Samples beyond the covered range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Iterates `(bucket_lower_bound, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.counts.iter().enumerate().map(move |(i, &c)| (i as f64 * self.bucket_width, c))
+    }
+
+    /// Nearest-rank quantile from the histogram (bucket upper bound).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return (i + 1) as f64 * self.bucket_width;
+            }
+        }
+        f64::INFINITY
+    }
+}
+
+/// A bundle of estimators for one measured series (e.g. one page's response
+/// time for one client group): mean/variance, median, p95, p99.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Summary {
+    welford: Welford,
+    p50: P2Quantile,
+    p95: P2Quantile,
+    p99: P2Quantile,
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            welford: Welford::new(),
+            p50: P2Quantile::new(0.5),
+            p95: P2Quantile::new(0.95),
+            p99: P2Quantile::new(0.99),
+        }
+    }
+
+    /// Records one sample (typically milliseconds).
+    pub fn record(&mut self, x: f64) {
+        self.welford.record(x);
+        self.p50.record(x);
+        self.p95.record(x);
+        self.p99.record(x);
+    }
+
+    /// Records a duration sample in milliseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_millis_f64());
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.welford.count()
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.welford.mean()
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.welford.std_dev()
+    }
+
+    /// Estimated median.
+    pub fn p50(&self) -> f64 {
+        self.p50.estimate()
+    }
+
+    /// Estimated 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.p95.estimate()
+    }
+
+    /// Estimated 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.p99.estimate()
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.welford.min()
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        self.welford.max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let data: Vec<f64> = (1..=100).map(|i| (i as f64).sin() * 10.0 + 50.0).collect();
+        let mut w = Welford::new();
+        for &x in &data {
+            w.record(x);
+        }
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        assert!((w.mean() - mean).abs() < 1e-9);
+        assert!((w.variance() - var).abs() < 1e-9);
+        assert_eq!(w.count(), 100);
+    }
+
+    #[test]
+    fn welford_merge_equals_single_stream() {
+        let data: Vec<f64> = (0..500).map(|i| (i as f64 * 0.37).cos() * 3.0).collect();
+        let mut all = Welford::new();
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for (i, &x) in data.iter().enumerate() {
+            all.record(x);
+            if i % 2 == 0 {
+                a.record(x)
+            } else {
+                b.record(x)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn empty_accumulators_report_zero() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.min(), 0.0);
+        assert_eq!(w.max(), 0.0);
+        assert_eq!(P2Quantile::new(0.5).estimate(), 0.0);
+        assert_eq!(Summary::new().p95(), 0.0);
+    }
+
+    #[test]
+    fn p2_median_of_uniform_stream() {
+        let mut est = P2Quantile::new(0.5);
+        // Deterministic low-discrepancy stream over [0, 1000).
+        let mut x = 0.0f64;
+        for _ in 0..10_000 {
+            x = (x + 618.033_988_75) % 1000.0;
+            est.record(x);
+        }
+        let median = est.estimate();
+        assert!((median - 500.0).abs() < 25.0, "median estimate {median} too far from 500");
+    }
+
+    #[test]
+    fn p2_p95_of_uniform_stream() {
+        let mut est = P2Quantile::new(0.95);
+        let mut x = 0.0f64;
+        for _ in 0..20_000 {
+            x = (x + 618.033_988_75) % 1000.0;
+            est.record(x);
+        }
+        let p95 = est.estimate();
+        assert!((p95 - 950.0).abs() < 30.0, "p95 estimate {p95} too far from 950");
+    }
+
+    #[test]
+    fn p2_small_sample_is_exact() {
+        let mut est = P2Quantile::new(0.5);
+        est.record(30.0);
+        est.record(10.0);
+        est.record(20.0);
+        assert_eq!(est.estimate(), 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly in (0, 1)")]
+    fn p2_rejects_degenerate_quantile() {
+        let _ = P2Quantile::new(1.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(100.0, 10);
+        for x in [5.0, 15.0, 15.5, 99.9, 100.0, 250.0] {
+            h.record(x);
+        }
+        let counts: Vec<u64> = h.iter().map(|(_, c)| c).collect();
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[1], 2);
+        assert_eq!(counts[9], 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn histogram_quantile_nearest_rank() {
+        let mut h = Histogram::new(100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64 + 0.5);
+        }
+        assert!((h.quantile(0.5) - 50.0).abs() <= 1.0);
+        assert!((h.quantile(0.99) - 99.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn summary_tracks_duration_samples() {
+        let mut s = Summary::new();
+        for ms in 1..=99u64 {
+            s.record_duration(SimDuration::from_millis(ms));
+        }
+        assert_eq!(s.count(), 99);
+        assert!((s.mean() - 50.0).abs() < 1e-9);
+        assert!((s.p50() - 50.0).abs() < 5.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 99.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn welford_mean_within_bounds(xs in proptest::collection::vec(-1e6f64..1e6, 1..300)) {
+                let mut w = Welford::new();
+                for &x in &xs {
+                    w.record(x);
+                }
+                let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                prop_assert!(w.mean() >= lo - 1e-6 && w.mean() <= hi + 1e-6);
+                prop_assert!(w.variance() >= -1e-9);
+            }
+
+            #[test]
+            fn p2_estimate_within_range(xs in proptest::collection::vec(0f64..1e4, 6..500)) {
+                let mut est = P2Quantile::new(0.9);
+                for &x in &xs {
+                    est.record(x);
+                }
+                let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let e = est.estimate();
+                prop_assert!(e >= lo - 1e-9 && e <= hi + 1e-9, "estimate {} outside [{}, {}]", e, lo, hi);
+            }
+
+            #[test]
+            fn histogram_conserves_samples(xs in proptest::collection::vec(0f64..500.0, 0..200)) {
+                let mut h = Histogram::new(100.0, 7);
+                for &x in &xs {
+                    h.record(x);
+                }
+                let bucketed: u64 = h.iter().map(|(_, c)| c).sum();
+                prop_assert_eq!(bucketed + h.overflow(), xs.len() as u64);
+            }
+        }
+    }
+}

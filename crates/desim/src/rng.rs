@@ -1,0 +1,202 @@
+//! Seeded randomness helpers.
+//!
+//! All stochastic choices in the simulator flow through a [`SimRng`], a
+//! ChaCha8-based generator with explicit seeding so that every experiment is
+//! reproducible. Derived streams ([`SimRng::derive`]) give independent,
+//! stable sub-streams to different model parts (workload generation, protocol
+//! jitter, …) so that adding draws to one part does not perturb another.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::time::SimDuration;
+
+/// A deterministic random number generator for simulations.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: ChaCha8Rng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng { inner: ChaCha8Rng::seed_from_u64(seed) }
+    }
+
+    /// Derives an independent sub-stream identified by `stream`.
+    ///
+    /// Two derivations with distinct identifiers are statistically
+    /// independent; the same identifier always yields the same stream.
+    pub fn derive(&self, stream: u64) -> SimRng {
+        let mut rng = self.inner.clone();
+        rng.set_stream(stream);
+        rng.set_word_pos(0);
+        SimRng { inner: rng }
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot draw an index from an empty set");
+        self.inner.random_range(0..n)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        if p == 0.0 {
+            return false;
+        }
+        if p == 1.0 {
+            return true;
+        }
+        self.inner.random::<f64>() < p
+    }
+
+    /// Exponentially distributed duration with the given mean.
+    ///
+    /// Used for Poisson arrival processes and think-time jitter.
+    pub fn exponential(&mut self, mean: SimDuration) -> SimDuration {
+        if mean.is_zero() {
+            return SimDuration::ZERO;
+        }
+        let u: f64 = self.inner.random::<f64>();
+        // Inverse-CDF; (1 - u) avoids ln(0).
+        let sample = -(1.0 - u).ln() * mean.as_secs_f64();
+        SimDuration::from_secs_f64(sample)
+    }
+
+    /// Draws an index according to non-negative `weights`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "weighted draw from an empty set");
+        let total: f64 = weights.iter().copied().map(|w| w.max(0.0)).sum();
+        assert!(total > 0.0, "weights sum to zero");
+        let mut draw = self.inner.random::<f64>() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            let w = w.max(0.0);
+            if draw < w {
+                return i;
+            }
+            draw -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Access to the underlying `rand` RNG for distribution adapters.
+    pub fn raw(&mut self) -> &mut impl Rng {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.uniform().to_bits() == b.uniform().to_bits()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn derived_streams_are_stable_and_distinct() {
+        let root = SimRng::seed_from_u64(7);
+        let mut s1a = root.derive(1);
+        let mut s1b = root.derive(1);
+        let mut s2 = root.derive(2);
+        for _ in 0..50 {
+            assert_eq!(s1a.uniform().to_bits(), s1b.uniform().to_bits());
+        }
+        let mut s1c = root.derive(1);
+        let same = (0..32).filter(|_| s1c.uniform().to_bits() == s2.uniform().to_bits()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut rng = SimRng::seed_from_u64(99);
+        let mean = SimDuration::from_millis(100);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| rng.exponential(mean).as_millis_f64()).sum();
+        let sample_mean = total / n as f64;
+        assert!((sample_mean - 100.0).abs() < 3.0, "sample mean {sample_mean}");
+    }
+
+    #[test]
+    fn exponential_of_zero_mean_is_zero() {
+        let mut rng = SimRng::seed_from_u64(1);
+        assert_eq!(rng.exponential(SimDuration::ZERO), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let weights = [0.1, 0.0, 0.9];
+        let mut counts = [0u32; 3];
+        for _ in 0..10_000 {
+            counts[rng.weighted_index(&weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let share2 = counts[2] as f64 / 10_000.0;
+        assert!((share2 - 0.9).abs() < 0.03, "share {share2}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from_u64(3);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-1.0));
+        assert!(rng.chance(2.0));
+    }
+
+    #[test]
+    fn index_covers_domain() {
+        let mut rng = SimRng::seed_from_u64(11);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.index(5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty set")]
+    fn index_on_empty_panics() {
+        SimRng::seed_from_u64(0).index(0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Logical invocation trees.
+//!
+//! An application page is described as a tree of component invocations with
+//! CPU demands, database operations and payload sizes — *logical* in that it
+//! names components, not nodes. The [`binding`](crate::binding) module
+//! resolves a tree against a deployment descriptor into a concrete network
+//! step program. The same tree therefore serves every configuration, which is
+//! exactly how the paper's applications behave once the façade refactoring is
+//! in place.
+
+use mutsvc_desim::time::SimDuration;
+use mutsvc_relstore::{Mutation, Query};
+
+use crate::component::ComponentId;
+
+/// How a component executes a read query against the database (§5 discusses
+/// the cost difference at length — the "n+1 calls problem").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DbAccess {
+    /// One statement round trip (CMP-rendered finders, prepared queries).
+    Single,
+    /// A BMP-style finder: one statement for the keys plus one `ejbLoad` per
+    /// returned row — `n + 1` round trips.
+    BmpFinder,
+}
+
+impl DbAccess {
+    /// JDBC round trips needed to fetch `rows` rows.
+    pub fn round_trips(self, rows: u64) -> u32 {
+        match self {
+            DbAccess::Single => 1,
+            DbAccess::BmpFinder => (rows + 1).min(u32::MAX as u64) as u32,
+        }
+    }
+}
+
+/// One step in a component's business method.
+#[derive(Debug, Clone)]
+pub enum Action {
+    /// Invoke another component (local call or RMI, decided at bind time).
+    Invoke(Invoke),
+    /// Execute a read query from this component's node.
+    Query(QueryAction),
+    /// Execute a write from this component's node and trigger update
+    /// propagation to replicas/caches.
+    Mutate(MutateAction),
+}
+
+/// A sub-invocation.
+#[derive(Debug, Clone)]
+pub struct Invoke {
+    /// The invoked call.
+    pub call: Call,
+    /// Marshalled argument size.
+    pub args_bytes: u64,
+    /// Marshalled return size.
+    pub ret_bytes: u64,
+}
+
+/// A read query executed by a component.
+#[derive(Debug, Clone)]
+pub struct QueryAction {
+    /// The query.
+    pub query: Query,
+    /// Cacheability tag from the extended deployment descriptor
+    /// (`"products-by-category"`, …). Untagged queries are never cached.
+    pub tag: Option<String>,
+    /// JDBC access style.
+    pub access: DbAccess,
+}
+
+/// A write executed by a component.
+#[derive(Debug, Clone)]
+pub struct MutateAction {
+    /// The mutation.
+    pub mutation: Mutation,
+}
+
+/// One component invocation: CPU work plus an ordered list of actions.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// The invoked component.
+    pub component: ComponentId,
+    /// Business method name (reporting only).
+    pub op: String,
+    /// CPU demand of the method body at the hosting node (excluding nested
+    /// invocations and database work).
+    pub cpu: SimDuration,
+    /// Ordered method body.
+    pub actions: Vec<Action>,
+}
+
+impl Call {
+    /// Creates a call with an empty body.
+    pub fn new(component: ComponentId, op: impl Into<String>, cpu: SimDuration) -> Self {
+        Call { component, op: op.into(), cpu, actions: Vec::new() }
+    }
+
+    /// Appends a sub-invocation.
+    pub fn invoke(mut self, call: Call, args_bytes: u64, ret_bytes: u64) -> Self {
+        self.actions.push(Action::Invoke(Invoke { call, args_bytes, ret_bytes }));
+        self
+    }
+
+    /// Appends an uncacheable read query.
+    pub fn query(mut self, query: Query, access: DbAccess) -> Self {
+        self.actions.push(Action::Query(QueryAction { query, tag: None, access }));
+        self
+    }
+
+    /// Appends a read query cacheable under `tag`.
+    pub fn tagged_query(mut self, query: Query, tag: &str, access: DbAccess) -> Self {
+        self.actions.push(Action::Query(QueryAction {
+            query,
+            tag: Some(tag.to_string()),
+            access,
+        }));
+        self
+    }
+
+    /// Appends a write.
+    pub fn mutate(mut self, mutation: Mutation) -> Self {
+        self.actions.push(Action::Mutate(MutateAction { mutation }));
+        self
+    }
+
+    /// Total number of `Invoke` actions in the subtree (excluding the root).
+    pub fn invocation_count(&self) -> usize {
+        self.actions
+            .iter()
+            .map(|a| match a {
+                Action::Invoke(i) => 1 + i.call.invocation_count(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Iterates every call in the subtree, root first.
+    pub fn walk(&self, f: &mut dyn FnMut(&Call)) {
+        f(self);
+        for action in &self.actions {
+            if let Action::Invoke(i) = action {
+                i.call.walk(f);
+            }
+        }
+    }
+
+    /// Whether the subtree contains any write.
+    pub fn has_writes(&self) -> bool {
+        self.actions.iter().any(|a| match a {
+            Action::Mutate(_) => true,
+            Action::Invoke(i) => i.call.has_writes(),
+            Action::Query(_) => false,
+        })
+    }
+}
+
+/// A page request: the HTTP envelope around a root call.
+#[derive(Debug, Clone)]
+pub struct PageRequest {
+    /// Page name (reporting key: "Item", "Commit", …).
+    pub page: String,
+    /// The root (web-tier) call.
+    pub root: Call,
+    /// HTML response size.
+    pub response_bytes: u64,
+    /// Number of HTTP request/response exchanges. Form POSTs that redirect
+    /// to a result page (Pet Store *Cart*, *Place Order*, *Commit*) cost 2.
+    pub http_exchanges: u32,
+    /// Fixed serving latency at the entry server that does not consume CPU:
+    /// connection handling, serialization, container dispatch.
+    pub overhead: SimDuration,
+}
+
+impl PageRequest {
+    /// Creates a single-exchange page request.
+    pub fn new(page: impl Into<String>, root: Call, response_bytes: u64) -> Self {
+        PageRequest {
+            page: page.into(),
+            root,
+            response_bytes,
+            http_exchanges: 1,
+            overhead: SimDuration::ZERO,
+        }
+    }
+
+    /// Marks the page as a POST-plus-redirect interaction (2 exchanges).
+    pub fn with_redirect(mut self) -> Self {
+        self.http_exchanges = 2;
+        self
+    }
+
+    /// Sets the fixed (non-CPU) serving overhead.
+    pub fn with_overhead(mut self, overhead: SimDuration) -> Self {
+        self.overhead = overhead;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{ComponentKind, ComponentRegistry};
+    use mutsvc_relstore::{DatabaseBuilder, RowId, Value};
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn db_access_round_trips() {
+        assert_eq!(DbAccess::Single.round_trips(100), 1);
+        assert_eq!(DbAccess::BmpFinder.round_trips(0), 1);
+        assert_eq!(DbAccess::BmpFinder.round_trips(10), 11);
+    }
+
+    #[test]
+    fn builder_composes_trees() {
+        let mut dbb = DatabaseBuilder::new();
+        let t = dbb.table("item", &["n"], 10);
+        let mut reg = ComponentRegistry::new();
+        let web = reg.register("web", ComponentKind::Web);
+        let facade = reg.register("Catalog", ComponentKind::StatelessSession);
+        let item = reg.register_entity("Item", t);
+
+        let tree = Call::new(web, "doGet", ms(5)).invoke(
+            Call::new(facade, "getItem", ms(2)).invoke(
+                Call::new(item, "load", ms(1))
+                    .query(Query::ByPk { table: t, id: RowId(1) }, DbAccess::Single),
+                100,
+                500,
+            ),
+            200,
+            2_000,
+        );
+        assert_eq!(tree.invocation_count(), 2);
+        assert!(!tree.has_writes());
+
+        let mut names = Vec::new();
+        tree.walk(&mut |c| names.push(c.op.clone()));
+        assert_eq!(names, vec!["doGet", "getItem", "load"]);
+    }
+
+    #[test]
+    fn writes_detected_recursively() {
+        let mut dbb = DatabaseBuilder::new();
+        let t = dbb.table("inv", &["qty"], 10);
+        let mut reg = ComponentRegistry::new();
+        let web = reg.register("web", ComponentKind::Web);
+        let inv = reg.register_entity("Inventory", t);
+        let tree = Call::new(web, "commit", ms(1)).invoke(
+            Call::new(inv, "decrement", ms(1)).mutate(Mutation::Update {
+                table: t,
+                id: RowId(1),
+                column: 0,
+                value: Value::Int(1),
+            }),
+            50,
+            50,
+        );
+        assert!(tree.has_writes());
+    }
+
+    #[test]
+    fn page_request_exchange_counts() {
+        let mut reg = ComponentRegistry::new();
+        let web = reg.register("web", ComponentKind::Web);
+        let p = PageRequest::new("Main", Call::new(web, "doGet", ms(1)), 4_000);
+        assert_eq!(p.http_exchanges, 1);
+        let p = p.with_redirect();
+        assert_eq!(p.http_exchanges, 2);
+    }
+}

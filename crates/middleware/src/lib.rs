@@ -1,0 +1,39 @@
+//! # mutsvc-middleware — component middleware model
+//!
+//! A J2EE-shaped component middleware for the wide-area distribution testbed:
+//! the layer the paper's §5 wants containers to provide. Applications declare
+//! *logical* component call trees; deployments are *descriptors*; the
+//! [`binding::Binder`] compiles the two into executable network step
+//! programs, maintaining real container state (entity replica caches, query
+//! caches, stub caches) along the way.
+//!
+//! The paper's five experimental configurations (§4.1–§4.5) are five
+//! descriptors over unchanged call trees:
+//!
+//! | Configuration | Descriptor difference |
+//! |---|---|
+//! | Centralized | everything on the main server |
+//! | Remote façade | web + stateful session beans on edges, stub caching |
+//! | Stateful caching | entity read-replicas on edges, `SyncPush` |
+//! | Query caching | edge query caches for tagged aggregate queries |
+//! | Asynchronous updates | `AsyncPush` through a JMS broker |
+//!
+//! See [`binding`] for the resolution rules and [`descriptor`] for the
+//! declaration surface.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binding;
+pub mod component;
+pub mod descriptor;
+pub mod invocation;
+pub mod state;
+
+pub use binding::{Binder, BindStats, BoundRequest, ContainerCosts, DeferredApply};
+pub use component::{ComponentId, ComponentKind, ComponentRegistry, ComponentSpec};
+pub use descriptor::{
+    DeploymentDescriptor, DescriptorBuilder, Placement, QueryCachePolicy, UpdatePropagation,
+};
+pub use invocation::{Action, Call, DbAccess, Invoke, MutateAction, PageRequest, QueryAction};
+pub use state::{ContainerState, RowCacheState};

@@ -1,0 +1,282 @@
+//! Property tests over the binder: random call trees bound under random
+//! deployments always produce well-formed step programs.
+
+use mutsvc_desim::{SimDuration, SimRng};
+use mutsvc_middleware::{
+    Binder, Call, ComponentKind, ComponentRegistry, ContainerCosts, ContainerState, DbAccess,
+    DescriptorBuilder, PageRequest, UpdatePropagation,
+};
+use mutsvc_netsim::{NodeId, ProtocolParams, Step, TopologyBuilder};
+use mutsvc_relstore::{Database, DatabaseBuilder, Mutation, Query, RowId, TableId, Value};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomTree {
+    /// Depth-2 tree description: (facade cpu ms, per-leaf ops).
+    leaves: Vec<LeafOp>,
+    entry_edge: bool,
+    propagation: u8,
+    replicate: bool,
+}
+
+#[derive(Debug, Clone)]
+enum LeafOp {
+    EntityRead(u8),
+    EntityWrite(u8),
+    TaggedQuery(u8),
+    PlainQuery,
+}
+
+fn leaf_strategy() -> impl Strategy<Value = LeafOp> {
+    prop_oneof![
+        (0u8..12).prop_map(LeafOp::EntityRead),
+        (0u8..12).prop_map(LeafOp::EntityWrite),
+        (0u8..3).prop_map(LeafOp::TaggedQuery),
+        Just(LeafOp::PlainQuery),
+    ]
+}
+
+fn tree_strategy() -> impl Strategy<Value = RandomTree> {
+    (
+        proptest::collection::vec(leaf_strategy(), 1..6),
+        any::<bool>(),
+        0u8..3,
+        any::<bool>(),
+    )
+        .prop_map(|(leaves, entry_edge, propagation, replicate)| RandomTree {
+            leaves,
+            entry_edge,
+            propagation,
+            replicate,
+        })
+}
+
+struct World {
+    registry: ComponentRegistry,
+    db: Database,
+    table: TableId,
+    web: mutsvc_middleware::ComponentId,
+    facade: mutsvc_middleware::ComponentId,
+    entity: mutsvc_middleware::ComponentId,
+    main: NodeId,
+    edge: NodeId,
+    dbn: NodeId,
+    client: NodeId,
+    node_count: usize,
+}
+
+fn world() -> World {
+    let mut tb = TopologyBuilder::new();
+    let main = tb.node("main", 2);
+    let edge = tb.node("edge", 2);
+    let dbn = tb.node("db", 2);
+    let client = tb.node("client", 2);
+    tb.duplex_link(main, edge, SimDuration::from_millis(100), 100e6);
+    tb.duplex_link(main, dbn, SimDuration::from_micros(200), 100e6);
+    tb.duplex_link(client, edge, SimDuration::from_micros(200), 100e6);
+    let topology = tb.finalize();
+
+    let mut dbb = DatabaseBuilder::new();
+    let table = dbb.table("t", &["name", "*grp"], 100);
+    let mut db = dbb.build();
+    for i in 0..12i64 {
+        db.table_mut(table).insert(vec![format!("r{i}").into(), Value::Int(i % 3)]);
+    }
+    let mut registry = ComponentRegistry::new();
+    let web = registry.register("web", ComponentKind::Web);
+    let facade = registry.register("facade", ComponentKind::StatelessSession);
+    let entity = registry.register_entity("entity", table);
+    World {
+        registry,
+        db,
+        table,
+        web,
+        facade,
+        entity,
+        main,
+        edge,
+        dbn,
+        client,
+        node_count: topology.node_count(),
+    }
+}
+
+fn build_page(w: &World, t: &RandomTree) -> PageRequest {
+    let ms = SimDuration::from_millis;
+    let mut facade_call = Call::new(w.facade, "op", ms(2));
+    for leaf in &t.leaves {
+        facade_call = match leaf {
+            LeafOp::EntityRead(r) => facade_call.invoke(
+                Call::new(w.entity, "load", ms(1)).query(
+                    Query::ByPk { table: w.table, id: RowId(1 + (*r as u64) % 12) },
+                    DbAccess::Single,
+                ),
+                50,
+                200,
+            ),
+            LeafOp::EntityWrite(r) => facade_call.invoke(
+                Call::new(w.entity, "store", ms(1)).mutate(Mutation::Update {
+                    table: w.table,
+                    id: RowId(1 + (*r as u64) % 12),
+                    column: 0,
+                    value: "x".into(),
+                }),
+                50,
+                50,
+            ),
+            LeafOp::TaggedQuery(g) => facade_call.tagged_query(
+                Query::Eq { table: w.table, column: 1, value: Value::Int(*g as i64 % 3) },
+                "grp",
+                DbAccess::Single,
+            ),
+            LeafOp::PlainQuery =>
+
+                facade_call.query(Query::All { table: w.table }, DbAccess::BmpFinder),
+        };
+    }
+    let root = Call::new(w.web, "page", ms(3)).invoke(facade_call, 100, 500);
+    PageRequest::new("p", root, 5_000)
+}
+
+/// Recursively checks node sanity, and counts blocking/forked branches.
+fn audit(steps: &[Step], node_count: usize) -> (usize, usize) {
+    let mut parallels = 0;
+    let mut forks = 0;
+    for s in steps {
+        match s {
+            Step::Cpu { node, .. } => assert!(node.index() < node_count),
+            Step::Transfer { from, to, .. } => {
+                assert!(from.index() < node_count && to.index() < node_count);
+                assert_ne!(from, to, "self-transfers must be elided");
+            }
+            Step::Exchange { a, b, .. } => {
+                assert!(a.index() < node_count && b.index() < node_count);
+                assert_ne!(a, b);
+            }
+            Step::Delay(_) => {}
+            Step::Parallel(branches) => {
+                parallels += 1;
+                for b in branches {
+                    let (p, f) = audit(b, node_count);
+                    parallels += p;
+                    forks += f;
+                }
+            }
+            Step::Fork { steps, .. } => {
+                forks += 1;
+                let (p, f) = audit(steps, node_count);
+                parallels += p;
+                forks += f;
+            }
+        }
+    }
+    (parallels, forks)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bound_programs_are_well_formed(tree in tree_strategy(), seed in 0u64..1000) {
+        let mut w = world();
+        let propagation = match tree.propagation {
+            0 => UpdatePropagation::Invalidate,
+            1 => UpdatePropagation::SyncPush,
+            _ => UpdatePropagation::AsyncPush,
+        };
+        let mut b = DescriptorBuilder::new(&w.registry, "prop", w.dbn);
+        b.central_node(w.main);
+        if tree.entry_edge {
+            b.place_replicated(w.web, w.main, [w.edge]);
+            b.place_replicated(w.facade, w.main, [w.edge]);
+        } else {
+            b.place(w.web, w.main).place(w.facade, w.main);
+        }
+        if tree.replicate {
+            b.place_replicated(w.entity, w.main, [w.edge]);
+            b.entity_propagation(propagation);
+            b.query_cache([w.edge], ["grp"], propagation);
+        } else {
+            b.place(w.entity, w.main);
+        }
+        let descriptor = b.build().unwrap();
+
+        let page = build_page(&w, &tree);
+        let entry = if tree.entry_edge { w.edge } else { w.main };
+        let mut state = ContainerState::new();
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut tag = 0u64;
+        let costs = ContainerCosts::default();
+        let protocols = ProtocolParams { rmi_extra_round_trip_prob: 0.5, ..Default::default() };
+
+        // Bind several times: cold then warm, with writes mutating state.
+        for round in 0..3 {
+            let bound = Binder::new(
+                &w.registry, &descriptor, &protocols, &costs,
+                &mut w.db, &mut state, &mut rng, &mut tag,
+            )
+            .bind_page(w.client, entry, &page);
+
+            let (parallels, forks) = audit(&bound.steps, w.node_count);
+
+            // Blocking pushes only under SyncPush; deferred applies only
+            // under AsyncPush; tags match deferred entries.
+            if propagation != UpdatePropagation::SyncPush || !tree.replicate {
+                prop_assert_eq!(parallels, 0, "round {}", round);
+            }
+            if propagation != UpdatePropagation::AsyncPush || !tree.replicate {
+                prop_assert!(bound.deferred.is_empty());
+            }
+            prop_assert!(bound.deferred.len() <= forks);
+
+            // Cache counters never exceed the tree's leaf counts.
+            let reads = tree.leaves.iter().filter(|l| matches!(l, LeafOp::EntityRead(_))).count() as u32;
+            prop_assert!(bound.stats.entity_cache_hits + bound.stats.entity_cache_misses <= reads);
+        }
+    }
+
+    #[test]
+    fn warm_binds_never_do_more_remote_work_than_cold(tree in tree_strategy()) {
+        let mut w = world();
+        let mut b = DescriptorBuilder::new(&w.registry, "prop", w.dbn);
+        b.central_node(w.main);
+        b.place_replicated(w.web, w.main, [w.edge]);
+        b.place_replicated(w.facade, w.main, [w.edge]);
+        b.place_replicated(w.entity, w.main, [w.edge]);
+        b.entity_propagation(UpdatePropagation::SyncPush);
+        b.query_cache([w.edge], ["grp"], UpdatePropagation::SyncPush);
+        let descriptor = b.build().unwrap();
+
+        // Read-only version of the tree (drop writes so caches stay valid).
+        let read_tree = RandomTree {
+            leaves: tree
+                .leaves
+                .iter()
+                .map(|l| match l {
+                    LeafOp::EntityWrite(r) => LeafOp::EntityRead(*r),
+                    other => other.clone(),
+                })
+                .collect(),
+            ..tree
+        };
+        let page = build_page(&w, &read_tree);
+        let mut state = ContainerState::new();
+        let mut rng = SimRng::seed_from_u64(9);
+        let mut tag = 0u64;
+        let costs = ContainerCosts::default();
+        let protocols = ProtocolParams { rmi_extra_round_trip_prob: 0.0, ..Default::default() };
+
+        let mut db_statements = Vec::new();
+        for _ in 0..3 {
+            let bound = Binder::new(
+                &w.registry, &descriptor, &protocols, &costs,
+                &mut w.db, &mut state, &mut rng, &mut tag,
+            )
+            .bind_page(w.client, w.edge, &page);
+            db_statements.push(bound.stats.db_statements);
+        }
+        // Monotone warming: later binds never hit the database more.
+        prop_assert!(db_statements[1] <= db_statements[0]);
+        prop_assert!(db_statements[2] <= db_statements[1]);
+    }
+}

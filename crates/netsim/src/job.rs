@@ -1,0 +1,464 @@
+//! Request execution: compiled step programs and their event-driven executor.
+//!
+//! Higher layers compile a page request (or an update propagation) into a
+//! small program of [`Step`]s. The executor drives the program through the
+//! network's CPU and link queues, scheduling one event per step boundary so
+//! that resource admissions happen at the correct simulated times.
+//!
+//! * [`Step::Parallel`] runs branches concurrently and **blocks** until all
+//!   complete — the synchronous (zero-staleness) update push of the paper's
+//!   §4.3 is a `Parallel` over per-edge-server pushes.
+//! * [`Step::Fork`] detaches a branch — the asynchronous JMS propagation of
+//!   §4.5. The fork consumes CPU and link resources but does not delay the
+//!   response; its completion is reported to the world for staleness
+//!   accounting.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use mutsvc_desim::sim::{Context, EventFn};
+use mutsvc_desim::time::{SimDuration, SimTime};
+
+use crate::network::Network;
+use crate::topology::NodeId;
+
+/// One primitive operation in a request program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// Consume CPU time on a node.
+    Cpu {
+        /// Hosting node.
+        node: NodeId,
+        /// Service demand (at relative speed 1.0).
+        demand: SimDuration,
+    },
+    /// One-way message.
+    Transfer {
+        /// Source node.
+        from: NodeId,
+        /// Destination node.
+        to: NodeId,
+        /// Payload size.
+        bytes: u64,
+    },
+    /// A request/response round trip (`a → b → a`).
+    Exchange {
+        /// Initiator.
+        a: NodeId,
+        /// Responder.
+        b: NodeId,
+        /// Bytes sent `a → b`.
+        req_bytes: u64,
+        /// Bytes sent `b → a`.
+        resp_bytes: u64,
+    },
+    /// Pure waiting (e.g. user think time inside a composite job).
+    Delay(SimDuration),
+    /// Run branches concurrently; continue when **all** have completed.
+    Parallel(Vec<Vec<Step>>),
+    /// Detach a branch: it consumes resources but the parent continues
+    /// immediately. `tag` is reported to [`JobWorld::fork_completed`].
+    Fork {
+        /// The detached program.
+        steps: Vec<Step>,
+        /// Correlation tag for staleness accounting.
+        tag: Option<u64>,
+    },
+}
+
+impl Step {
+    /// CPU work helper.
+    pub fn cpu(node: NodeId, demand: SimDuration) -> Step {
+        Step::Cpu { node, demand }
+    }
+
+    /// One-way transfer helper.
+    pub fn transfer(from: NodeId, to: NodeId, bytes: u64) -> Step {
+        Step::Transfer { from, to, bytes }
+    }
+
+    /// Round-trip helper.
+    pub fn exchange(a: NodeId, b: NodeId, req_bytes: u64, resp_bytes: u64) -> Step {
+        Step::Exchange { a, b, req_bytes, resp_bytes }
+    }
+
+    /// Total CPU demand contained in this step (recursing into branches).
+    pub fn total_cpu(&self) -> SimDuration {
+        match self {
+            Step::Cpu { demand, .. } => *demand,
+            Step::Parallel(branches) => {
+                branches.iter().flatten().map(Step::total_cpu).sum()
+            }
+            Step::Fork { steps, .. } => steps.iter().map(Step::total_cpu).sum(),
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Counts round trips crossing `is_wan` node pairs on the *response path*
+    /// (i.e. excluding forked branches). `Transfer` counts as half a trip.
+    pub fn wan_round_trips(&self, is_wan: &dyn Fn(NodeId, NodeId) -> bool) -> f64 {
+        match self {
+            Step::Transfer { from, to, .. } => {
+                if is_wan(*from, *to) {
+                    0.5
+                } else {
+                    0.0
+                }
+            }
+            Step::Exchange { a, b, .. } => {
+                if is_wan(*a, *b) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Step::Parallel(branches) => branches
+                .iter()
+                .map(|b| b.iter().map(|s| s.wan_round_trips(is_wan)).sum::<f64>())
+                .fold(0.0, f64::max),
+            Step::Fork { .. } => 0.0,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Total response-path WAN round trips of a step program.
+pub fn wan_round_trips(steps: &[Step], is_wan: &dyn Fn(NodeId, NodeId) -> bool) -> f64 {
+    steps.iter().map(|s| s.wan_round_trips(is_wan)).sum()
+}
+
+/// The world-side contract required by the executor.
+pub trait JobWorld: Sized + 'static {
+    /// The live network carrying this world's traffic.
+    fn network_mut(&mut self) -> &mut Network;
+
+    /// Called when a tagged [`Step::Fork`] branch finishes (e.g. an
+    /// asynchronous update push has been applied everywhere).
+    fn fork_completed(&mut self, _tag: u64, _at: SimTime) {}
+}
+
+/// Starts executing `steps` now; `done` fires when the program (excluding
+/// forked branches) completes.
+pub fn spawn_job<W: JobWorld>(
+    world: &mut W,
+    ctx: &mut Context<'_, W>,
+    steps: Vec<Step>,
+    done: EventFn<W>,
+) {
+    advance(world, ctx, steps.into_iter(), done);
+}
+
+fn advance<W: JobWorld>(
+    world: &mut W,
+    ctx: &mut Context<'_, W>,
+    mut steps: std::vec::IntoIter<Step>,
+    done: EventFn<W>,
+) {
+    loop {
+        let Some(step) = steps.next() else {
+            done(world, ctx);
+            return;
+        };
+        match step {
+            Step::Cpu { node, demand } => {
+                let completion = world.network_mut().cpu(ctx.now(), node, demand);
+                ctx.schedule_at(completion, move |w, c| advance(w, c, steps, done));
+                return;
+            }
+            Step::Transfer { from, to, bytes } => {
+                send(world, ctx, from, to, bytes, Box::new(move |w, c| advance(w, c, steps, done)));
+                return;
+            }
+            Step::Exchange { a, b, req_bytes, resp_bytes } => {
+                // The return leg starts only when the request arrives, so
+                // every link admission happens at its true time.
+                send(
+                    world,
+                    ctx,
+                    a,
+                    b,
+                    req_bytes,
+                    Box::new(move |w: &mut W, c: &mut Context<'_, W>| {
+                        send(w, c, b, a, resp_bytes, Box::new(move |w, c| advance(w, c, steps, done)));
+                    }),
+                );
+                return;
+            }
+            Step::Delay(d) => {
+                ctx.schedule_in(d, move |w, c| advance(w, c, steps, done));
+                return;
+            }
+            Step::Parallel(branches) => {
+                let branches: Vec<Vec<Step>> = branches.into_iter().filter(|b| !b.is_empty()).collect();
+                if branches.is_empty() {
+                    continue;
+                }
+                let join = Rc::new(RefCell::new(JoinState {
+                    remaining: branches.len(),
+                    continuation: Some(Box::new(move |w: &mut W, c: &mut Context<'_, W>| {
+                        advance(w, c, steps, done)
+                    }) as EventFn<W>),
+                }));
+                for branch in branches {
+                    let join = Rc::clone(&join);
+                    let branch_done: EventFn<W> = Box::new(move |w, c| {
+                        let continuation = {
+                            let mut j = join.borrow_mut();
+                            j.remaining -= 1;
+                            if j.remaining == 0 {
+                                j.continuation.take()
+                            } else {
+                                None
+                            }
+                        };
+                        if let Some(k) = continuation {
+                            k(w, c);
+                        }
+                    });
+                    advance(world, ctx, branch.into_iter(), branch_done);
+                }
+                return;
+            }
+            Step::Fork { steps: branch, tag } => {
+                let fork_done: EventFn<W> = Box::new(move |w, c| {
+                    if let Some(tag) = tag {
+                        let now = c.now();
+                        w.fork_completed(tag, now);
+                    }
+                });
+                advance(world, ctx, branch.into_iter(), fork_done);
+                // Fall through: the parent continues immediately.
+            }
+        }
+    }
+}
+
+struct JoinState<W> {
+    remaining: usize,
+    continuation: Option<EventFn<W>>,
+}
+
+/// Sends one message hop-by-hop: each link is admitted at the simulated time
+/// the message actually reaches it, so link FIFO order matches causality
+/// even across long-latency paths.
+fn send<W: JobWorld>(
+    world: &mut W,
+    ctx: &mut Context<'_, W>,
+    from: NodeId,
+    to: NodeId,
+    bytes: u64,
+    done: EventFn<W>,
+) {
+    if from == to {
+        done(world, ctx);
+        return;
+    }
+    let route = world.network_mut().route_of(from, to);
+    hop(world, ctx, route, 0, bytes, done);
+}
+
+fn hop<W: JobWorld>(
+    world: &mut W,
+    ctx: &mut Context<'_, W>,
+    route: Vec<crate::topology::LinkId>,
+    idx: usize,
+    bytes: u64,
+    done: EventFn<W>,
+) {
+    if idx == route.len() {
+        done(world, ctx);
+        return;
+    }
+    let arrival = world.network_mut().link_send(ctx.now(), route[idx], bytes);
+    ctx.schedule_at(arrival, move |w, c| hop(w, c, route, idx + 1, bytes, done));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyBuilder;
+    use mutsvc_desim::Simulation;
+
+    struct World {
+        net: Network,
+        finished: Vec<(SimTime, &'static str)>,
+        forks: Vec<(u64, SimTime)>,
+    }
+
+    impl JobWorld for World {
+        fn network_mut(&mut self) -> &mut Network {
+            &mut self.net
+        }
+        fn fork_completed(&mut self, tag: u64, at: SimTime) {
+            self.forks.push((tag, at));
+        }
+    }
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+    fn at(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    fn world() -> (World, NodeId, NodeId, NodeId) {
+        let mut b = TopologyBuilder::new();
+        let main = b.node("main", 2);
+        let router = b.node("router", 8);
+        let edge = b.node("edge", 2);
+        b.duplex_link(main, router, ms(10), 1e9);
+        b.duplex_link(router, edge, ms(90), 1e9);
+        let net = Network::new(b.finalize());
+        (World { net, finished: Vec::new(), forks: Vec::new() }, main, router, edge)
+    }
+
+    fn run(world: World, steps: Vec<Step>) -> World {
+        let mut sim = Simulation::new(world);
+        sim.schedule_at(SimTime::ZERO, move |w, c| {
+            spawn_job(w, c, steps, Box::new(|w: &mut World, c| {
+                let now = c.now();
+                w.finished.push((now, "job"));
+            }));
+        });
+        sim.run();
+        sim.into_world()
+    }
+
+    #[test]
+    fn sequential_steps_accumulate() {
+        let (w, main, _, edge) = world();
+        let steps = vec![
+            Step::cpu(edge, ms(5)),
+            Step::exchange(edge, main, 0, 0), // 200ms RTT
+            Step::cpu(edge, ms(5)),
+        ];
+        let w = run(w, steps);
+        assert_eq!(w.finished, vec![(at(210), "job")]);
+    }
+
+    #[test]
+    fn empty_program_completes_immediately() {
+        let (w, ..) = world();
+        let w = run(w, Vec::new());
+        assert_eq!(w.finished, vec![(at(0), "job")]);
+    }
+
+    #[test]
+    fn delay_is_pure_waiting() {
+        let (w, main, ..) = world();
+        let w = run(w, vec![Step::Delay(ms(42)), Step::cpu(main, ms(8))]);
+        assert_eq!(w.finished, vec![(at(50), "job")]);
+        assert_eq!(w.net.cpu_jobs(main), 1);
+    }
+
+    #[test]
+    fn parallel_blocks_on_slowest_branch() {
+        let (w, main, _, edge) = world();
+        let steps = vec![Step::Parallel(vec![
+            vec![Step::cpu(main, ms(5))],
+            vec![Step::exchange(main, edge, 0, 0)], // 200ms
+            vec![Step::Delay(ms(50))],
+        ])];
+        let w = run(w, steps);
+        assert_eq!(w.finished, vec![(at(200), "job")]);
+    }
+
+    #[test]
+    fn parallel_with_empty_branches_is_noop() {
+        let (w, main, ..) = world();
+        let steps = vec![Step::Parallel(vec![vec![], vec![]]), Step::cpu(main, ms(3))];
+        let w = run(w, steps);
+        assert_eq!(w.finished, vec![(at(3), "job")]);
+    }
+
+    #[test]
+    fn fork_does_not_delay_parent_but_reports() {
+        let (w, main, _, edge) = world();
+        let steps = vec![
+            Step::Fork { steps: vec![Step::exchange(main, edge, 0, 0)], tag: Some(7) },
+            Step::cpu(main, ms(5)),
+        ];
+        let w = run(w, steps);
+        assert_eq!(w.finished, vec![(at(5), "job")]);
+        assert_eq!(w.forks, vec![(7, at(200))]);
+    }
+
+    #[test]
+    fn untagged_fork_completes_silently() {
+        let (w, from, _, edge) = world();
+        let steps = vec![
+            Step::Fork { steps: vec![Step::transfer(from, edge, 100)], tag: None },
+            Step::cpu(from, ms(1)),
+        ];
+        let w = run(w, steps);
+        assert!(w.forks.is_empty());
+        assert_eq!(w.finished.len(), 1);
+    }
+
+    #[test]
+    fn nested_parallel_joins_correctly() {
+        let (w, _main, _, edge) = world();
+        let steps = vec![Step::Parallel(vec![
+            vec![Step::Parallel(vec![vec![Step::Delay(ms(10))], vec![Step::Delay(ms(30))]])],
+            vec![Step::Delay(ms(20))],
+        ]), Step::cpu(edge, ms(1))];
+        let w = run(w, steps);
+        assert_eq!(w.finished, vec![(at(31), "job")]);
+    }
+
+    #[test]
+    fn exchange_admits_return_leg_on_arrival() {
+        let (w, main, _, edge) = world();
+        // Two concurrent exchanges: both complete at 200ms (links are fast,
+        // no serialization contention at 1 Gbit/s with zero payload).
+        let steps = vec![Step::Parallel(vec![
+            vec![Step::exchange(edge, main, 0, 0)],
+            vec![Step::exchange(edge, main, 0, 0)],
+        ])];
+        let w = run(w, steps);
+        assert_eq!(w.finished, vec![(at(200), "job")]);
+    }
+
+    #[test]
+    fn total_cpu_recurses() {
+        let (_, main, _, edge) = world();
+        let step = Step::Parallel(vec![
+            vec![Step::cpu(main, ms(5)), Step::cpu(edge, ms(5))],
+            vec![Step::Fork { steps: vec![Step::cpu(main, ms(7))], tag: None }],
+        ]);
+        assert_eq!(step.total_cpu(), ms(17));
+    }
+
+    #[test]
+    fn wan_round_trip_counting() {
+        let (w, main, _, edge) = world();
+        let is_wan = move |a: NodeId, b: NodeId| (a == main) != (b == main);
+        let steps = vec![
+            Step::exchange(edge, main, 0, 0),
+            Step::exchange(edge, edge, 0, 0),
+            Step::Fork { steps: vec![Step::exchange(main, edge, 0, 0)], tag: None },
+        ];
+        assert_eq!(wan_round_trips(&steps, &is_wan), 1.0);
+        drop(w);
+    }
+
+    #[test]
+    fn many_jobs_deterministic() {
+        fn once() -> Vec<(SimTime, &'static str)> {
+            let (w, main, _, edge) = world();
+            let mut sim = Simulation::new(w);
+            for i in 0..50u64 {
+                let steps = vec![Step::cpu(edge, ms(3)), Step::exchange(edge, main, 500, 2_000), Step::cpu(edge, ms(2))];
+                sim.schedule_at(SimTime::from_millis(i * 7), move |w, c| {
+                    spawn_job(w, c, steps, Box::new(|w: &mut World, c| {
+                        let now = c.now();
+                        w.finished.push((now, "j"));
+                    }));
+                });
+            }
+            sim.run();
+            sim.into_world().finished
+        }
+        assert_eq!(once(), once());
+    }
+}

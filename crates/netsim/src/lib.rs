@@ -1,0 +1,59 @@
+//! # mutsvc-netsim — wide-area network emulation
+//!
+//! Models the paper's testbed network (Figure 2): hosts with multi-CPU
+//! queues, a star of shaped links through a software router, and the
+//! protocols whose round trips dominate wide-area response times.
+//!
+//! * [`topology`] — nodes, directed links, latency-shortest routes.
+//! * [`network`] — the live network: CPU and link queueing state.
+//! * [`protocol`] — TCP / HTTP / RMI / JDBC / JMS cost recipes as
+//!   [`Step`](job::Step) fragments.
+//! * [`job`] — the step executor: sequential, parallel (blocking push) and
+//!   forked (asynchronous push) request programs.
+//!
+//! ## Example: a remote HTTP request over a 100 ms WAN
+//!
+//! ```
+//! use mutsvc_desim::{SimDuration, SimTime, Simulation};
+//! use mutsvc_netsim::{Network, ProtocolParams, Step, TopologyBuilder, spawn_job, JobWorld};
+//!
+//! let mut b = TopologyBuilder::new();
+//! let client = b.node("client", 1);
+//! let router = b.node("router", 1);
+//! let server = b.node("server", 2);
+//! b.duplex_link(client, router, SimDuration::from_micros(100), 100e6);
+//! b.duplex_link(router, server, SimDuration::from_millis(100), 100e6);
+//!
+//! struct World { net: Network, done_at: Option<SimTime> }
+//! impl JobWorld for World {
+//!     fn network_mut(&mut self) -> &mut Network { &mut self.net }
+//! }
+//!
+//! let protocols = ProtocolParams::default();
+//! let mut steps = protocols.http_request(client, server, 0);
+//! steps.push(Step::cpu(server, SimDuration::from_millis(20)));
+//! steps.push(protocols.http_response(server, client, 10_000));
+//!
+//! let mut sim = Simulation::new(World { net: Network::new(b.finalize()), done_at: None });
+//! sim.schedule_at(SimTime::ZERO, move |w, ctx| {
+//!     spawn_job(w, ctx, steps, Box::new(|w: &mut World, ctx| w.done_at = Some(ctx.now())));
+//! });
+//! sim.run();
+//!
+//! // Two WAN round trips (~400 ms) + 20 ms service + transmission.
+//! let ms = sim.world().done_at.unwrap().as_millis_f64();
+//! assert!(ms > 420.0 && ms < 430.0, "got {ms}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod job;
+pub mod network;
+pub mod protocol;
+pub mod topology;
+
+pub use job::{spawn_job, wan_round_trips, JobWorld, Step};
+pub use network::Network;
+pub use protocol::ProtocolParams;
+pub use topology::{LinkId, NodeId, NodeSpec, LinkSpec, Topology, TopologyBuilder};

@@ -1,0 +1,294 @@
+//! The live network: topology plus queueing state (CPU and link resources).
+
+use mutsvc_desim::resource::FifoResource;
+use mutsvc_desim::time::{SimDuration, SimTime};
+
+use crate::topology::{LinkId, NodeId, Topology};
+
+/// A topology instantiated with per-node CPU queues and per-link
+/// serialization queues.
+///
+/// Transfers are store-and-forward: a message is serialized onto each hop's
+/// link queue in turn and experiences each hop's propagation latency. Hop
+/// admissions along a path are computed analytically at the time the transfer
+/// is issued; with the sub-millisecond serialization times of this model the
+/// resulting reordering error is negligible (see DESIGN.md §4).
+#[derive(Debug)]
+pub struct Network {
+    topology: Topology,
+    cpus: Vec<FifoResource>,
+    links: Vec<FifoResource>,
+    /// Per-link latency overrides (failure injection / degradation studies).
+    latency_overrides: Vec<Option<SimDuration>>,
+}
+
+impl Network {
+    /// Instantiates queues for every node and link of `topology`.
+    pub fn new(topology: Topology) -> Self {
+        let cpus = topology
+            .node_ids()
+            .map(|id| {
+                let spec = topology.node(id);
+                FifoResource::new(format!("cpu:{}", spec.name), spec.cpus)
+            })
+            .collect();
+        let links = (0..topology.link_count())
+            .map(|i| FifoResource::new(format!("link:{i}"), 1))
+            .collect();
+        let latency_overrides = vec![None; topology.link_count()];
+        Network { topology, cpus, links, latency_overrides }
+    }
+
+    /// The effective one-way latency of `link` (override or base).
+    pub fn link_latency(&self, link: LinkId) -> SimDuration {
+        self.latency_overrides[link.index()].unwrap_or(self.topology.link(link).latency)
+    }
+
+    /// Overrides the latency of one directed link (pass the base latency to
+    /// restore). Models link degradation and routing changes mid-run.
+    pub fn set_link_latency(&mut self, link: LinkId, latency: SimDuration) {
+        self.latency_overrides[link.index()] = Some(latency);
+    }
+
+    /// Scales the latency of every link whose *base* latency is at least
+    /// `threshold` — the WAN legs, for the paper's topology — by `factor`.
+    pub fn scale_latencies_above(&mut self, threshold: SimDuration, factor: f64) {
+        for i in 0..self.topology.link_count() {
+            let base = self.topology.link(LinkId(i)).latency;
+            if base >= threshold {
+                self.latency_overrides[i] = Some(base.mul_f64(factor));
+            }
+        }
+    }
+
+    /// Removes all latency overrides.
+    pub fn clear_latency_overrides(&mut self) {
+        for o in &mut self.latency_overrides {
+            *o = None;
+        }
+    }
+
+    /// The underlying immutable topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Admits `demand` of CPU work on `node` at time `now`; returns the
+    /// completion time. The demand is scaled by the node's relative speed.
+    pub fn cpu(&mut self, now: SimTime, node: NodeId, demand: SimDuration) -> SimTime {
+        if demand.is_zero() {
+            return now;
+        }
+        let speed = self.topology.node(node).speed;
+        let scaled = demand.mul_f64(1.0 / speed);
+        self.cpus[node.index()].admit(now, scaled)
+    }
+
+    /// The route from `from` to `to` as an owned link list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is unreachable from `from`.
+    pub fn route_of(&self, from: NodeId, to: NodeId) -> Vec<LinkId> {
+        self.topology
+            .route(from, to)
+            .unwrap_or_else(|| panic!("no route {from} -> {to}"))
+            .to_vec()
+    }
+
+    /// Serializes `bytes` onto directed link `link` at `now` and returns the
+    /// arrival time at the link's far end (serialization queueing plus
+    /// propagation latency).
+    pub fn link_send(&mut self, now: SimTime, link: LinkId, bytes: u64) -> SimTime {
+        let spec = self.topology.link(link);
+        let serialization = spec.serialization_time(bytes);
+        let latency = self.link_latency(link);
+        let sent = self.links[link.index()].admit(now, serialization);
+        sent + latency
+    }
+
+    /// Sends `bytes` from `from` to `to` starting at `now`; returns the
+    /// arrival time at `to`. A transfer to self arrives immediately.
+    ///
+    /// All hop admissions happen at call time, so a long-latency path
+    /// reserves far-hop link slots "in the future". This is fine for
+    /// one-shot estimates and tests; the event-driven job executor instead
+    /// walks hops with [`Self::link_send`] at their actual times, keeping
+    /// link admissions chronological under load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is unreachable from `from`.
+    pub fn transfer(&mut self, now: SimTime, from: NodeId, to: NodeId, bytes: u64) -> SimTime {
+        if from == to {
+            return now;
+        }
+        let route: Vec<LinkId> = self
+            .topology
+            .route(from, to)
+            .unwrap_or_else(|| panic!("no route {from} -> {to}"))
+            .to_vec();
+        let mut t = now;
+        for link in route {
+            let spec = self.topology.link(link);
+            let serialization = spec.serialization_time(bytes);
+            let latency = self.link_latency(link);
+            let sent = self.links[link.index()].admit(t, serialization);
+            t = sent + latency;
+        }
+        t
+    }
+
+    /// One round trip of `req_bytes` / `resp_bytes` between `a` and `b`;
+    /// returns the time the response arrives back at `a`.
+    pub fn round_trip(
+        &mut self,
+        now: SimTime,
+        a: NodeId,
+        b: NodeId,
+        req_bytes: u64,
+        resp_bytes: u64,
+    ) -> SimTime {
+        let there = self.transfer(now, a, b, req_bytes);
+        self.transfer(there, b, a, resp_bytes)
+    }
+
+    /// CPU utilization of `node` over `[first admission, horizon]`.
+    pub fn cpu_utilization(&self, node: NodeId, horizon: SimTime) -> f64 {
+        self.cpus[node.index()].utilization(horizon)
+    }
+
+    /// Jobs admitted at `node`'s CPU.
+    pub fn cpu_jobs(&self, node: NodeId) -> u64 {
+        self.cpus[node.index()].jobs_admitted()
+    }
+
+    /// Mean CPU queueing delay at `node`.
+    pub fn cpu_mean_wait(&self, node: NodeId) -> SimDuration {
+        self.cpus[node.index()].mean_wait()
+    }
+
+    /// Total bytes-serialization busy time of directed link `link`.
+    pub fn link_busy(&self, link: LinkId) -> SimDuration {
+        self.links[link.index()].busy_time()
+    }
+
+    /// Clears accumulated statistics (not occupancy) on all resources.
+    /// Called when discarding warm-up measurements.
+    pub fn reset_stats(&mut self) {
+        for r in &mut self.cpus {
+            r.reset_stats();
+        }
+        for r in &mut self.links {
+            r.reset_stats();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyBuilder;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+    fn at(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    fn wan_pair() -> (Network, NodeId, NodeId) {
+        let mut b = TopologyBuilder::new();
+        let a = b.node("a", 2);
+        let r = b.node("router", 4);
+        let c = b.node("c", 2);
+        // 12_500_000 bytes/s = 12.5 bytes/us so serialization is visible.
+        b.duplex_link(a, r, ms(10), 100e6);
+        b.duplex_link(r, c, ms(90), 100e6);
+        (Network::new(b.finalize()), a, c)
+    }
+
+    #[test]
+    fn transfer_accumulates_latency_and_serialization() {
+        let (mut net, a, c) = wan_pair();
+        // 12_500 bytes = 1 ms serialization per hop at 100 Mbit/s.
+        let arrival = net.transfer(SimTime::ZERO, a, c, 12_500);
+        // 1ms + 10ms + 1ms + 90ms = 102 ms.
+        assert_eq!(arrival, at(102));
+    }
+
+    #[test]
+    fn transfer_to_self_is_free() {
+        let (mut net, a, _) = wan_pair();
+        assert_eq!(net.transfer(at(5), a, a, 1_000_000), at(5));
+    }
+
+    #[test]
+    fn round_trip_is_two_transfers() {
+        let (mut net, a, c) = wan_pair();
+        let back = net.round_trip(SimTime::ZERO, a, c, 0, 0);
+        assert_eq!(back, at(200));
+    }
+
+    #[test]
+    fn link_contention_queues_transfers() {
+        let (mut net, a, c) = wan_pair();
+        // Two large messages issued at t=0 share the a->router link.
+        let first = net.transfer(SimTime::ZERO, a, c, 125_000); // 10ms serialization/hop
+        let second = net.transfer(SimTime::ZERO, a, c, 125_000);
+        assert_eq!(first, at(120)); // 10 + 10 + 10 + 90
+        // Second waits 10ms for the first on hop 1; and 10 more on hop 2 (the
+        // first message still owns it when the second arrives).
+        assert!(second > first);
+    }
+
+    #[test]
+    fn cpu_respects_node_speed() {
+        let mut b = TopologyBuilder::new();
+        let slow = b.node_with_speed("slow", 1, 0.5);
+        let fast = b.node_with_speed("fast", 1, 2.0);
+        b.duplex_link(slow, fast, ms(1), 1e9);
+        let mut net = Network::new(b.finalize());
+        assert_eq!(net.cpu(SimTime::ZERO, slow, ms(10)), at(20));
+        assert_eq!(net.cpu(SimTime::ZERO, fast, ms(10)), at(5));
+    }
+
+    #[test]
+    fn zero_demand_cpu_is_instant() {
+        let (mut net, a, _) = wan_pair();
+        assert_eq!(net.cpu(at(3), a, SimDuration::ZERO), at(3));
+        assert_eq!(net.cpu_jobs(a), 0);
+    }
+
+    #[test]
+    fn latency_overrides_degrade_and_restore() {
+        // Issue each round trip after the previous one has fully drained so
+        // the FIFO link queues see chronological admissions.
+        let (mut net, a, c) = wan_pair();
+        assert_eq!(net.round_trip(at(0), a, c, 0, 0) - at(0), ms(200));
+        // Double only the WAN legs (base latency >= 50 ms).
+        net.scale_latencies_above(ms(50), 2.0);
+        assert_eq!(net.round_trip(at(1_000), a, c, 0, 0) - at(1_000), ms(380));
+        net.clear_latency_overrides();
+        assert_eq!(net.round_trip(at(2_000), a, c, 0, 0) - at(2_000), ms(200));
+    }
+
+    #[test]
+    fn single_link_override() {
+        let (mut net, a, c) = wan_pair();
+        let route = net.route_of(a, c);
+        net.set_link_latency(route[0], ms(50));
+        assert_eq!(net.link_latency(route[0]), ms(50));
+        // Forward path gains 40ms; reverse path unchanged.
+        assert_eq!(net.round_trip(SimTime::ZERO, a, c, 0, 0), at(240));
+    }
+
+    #[test]
+    fn utilization_reported_per_node() {
+        let (mut net, a, c) = wan_pair();
+        net.cpu(SimTime::ZERO, a, ms(50));
+        let u = net.cpu_utilization(a, at(100));
+        assert!((u - 0.25).abs() < 1e-9, "dual cpu, 50ms busy over 100ms: {u}");
+        assert_eq!(net.cpu_utilization(c, at(100)), 0.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Simulated annealing over placements with replication moves.
+//!
+//! Escapes the local optima that best-improvement hill-climbing can fall
+//! into (e.g. chicken-and-egg chains where a façade replica only pays off
+//! once its entity replica exists, and vice versa). Deterministic given the
+//! seed.
+
+use mutsvc_desim::rng::SimRng;
+
+use crate::cost::cost;
+use crate::graph::{HostId, Placement, PlacementProblem, Role};
+
+/// Annealing schedule parameters.
+#[derive(Debug, Clone)]
+pub struct AnnealingOptions {
+    /// Moves attempted at each temperature step.
+    pub moves_per_step: usize,
+    /// Number of temperature steps.
+    pub steps: usize,
+    /// Initial temperature as a fraction of the starting cost.
+    pub initial_temperature: f64,
+    /// Geometric cooling factor per step.
+    pub cooling: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AnnealingOptions {
+    fn default() -> Self {
+        AnnealingOptions {
+            moves_per_step: 60,
+            steps: 120,
+            initial_temperature: 0.2,
+            cooling: 0.95,
+            seed: 42,
+        }
+    }
+}
+
+/// Runs simulated annealing from `start`, returning the best placement seen.
+pub fn anneal(
+    problem: &PlacementProblem,
+    start: Placement,
+    options: &AnnealingOptions,
+) -> (Placement, f64) {
+    let mut rng = SimRng::seed_from_u64(options.seed);
+    let mut current = start;
+    current.repair_pins(problem);
+    let mut current_cost = cost(problem, &current);
+    let mut best = current.clone();
+    let mut best_cost = current_cost;
+    let mut temperature = (current_cost * options.initial_temperature).max(1.0);
+
+    let nodes: Vec<_> = problem.graph.graph.node_indices().collect();
+    let hosts = problem.hosts.len();
+
+    for _ in 0..options.steps {
+        for _ in 0..options.moves_per_step {
+            let node = nodes[rng.index(nodes.len())];
+            let spec = &problem.graph.graph[node];
+            let idx = node.index();
+            let target = HostId(rng.index(hosts));
+
+            let mut candidate = current.clone();
+            let replica_move = spec.role.replicable()
+                && spec.role != Role::Entry
+                && rng.chance(0.5)
+                && candidate.primary[idx] != target;
+            if replica_move {
+                if !candidate.replicas[idx].remove(&target) {
+                    candidate.replicas[idx].insert(target);
+                }
+            } else {
+                if spec.pinned.is_some() || candidate.primary[idx] == target {
+                    continue;
+                }
+                candidate.primary[idx] = target;
+                candidate.replicas[idx].remove(&target);
+            }
+
+            let candidate_cost = cost(problem, &candidate);
+            let delta = candidate_cost - current_cost;
+            let accept = delta <= 0.0 || rng.chance((-delta / temperature).exp());
+            if accept {
+                current = candidate;
+                current_cost = candidate_cost;
+                if current_cost < best_cost {
+                    best_cost = current_cost;
+                    best = current.clone();
+                }
+            }
+        }
+        temperature *= options.cooling;
+    }
+    (best, best_cost)
+}
+
+/// Anneals from the all-on-main start.
+pub fn solve(problem: &PlacementProblem, options: &AnnealingOptions) -> (Placement, f64) {
+    anneal(problem, Placement::all_on(problem, HostId(0)), options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::greedy::{solve as greedy, GreedyOptions};
+    use crate::derive::{petstore_problem, rubis_problem};
+
+    #[test]
+    fn annealing_matches_greedy_on_the_derived_problems() {
+        for (name, problem) in [("petstore", petstore_problem().0), ("rubis", rubis_problem().0)] {
+            let (_, greedy_cost) = greedy(&problem, &GreedyOptions::default());
+            let (placement, annealed_cost) = solve(&problem, &AnnealingOptions::default());
+            assert!(placement.respects_pins(&problem));
+            assert!(
+                annealed_cost <= greedy_cost * 1.15,
+                "{name}: annealed {annealed_cost:.0} vs greedy {greedy_cost:.0}"
+            );
+        }
+    }
+
+    #[test]
+    fn annealing_is_deterministic_per_seed() {
+        let (problem, _) = rubis_problem();
+        let a = solve(&problem, &AnnealingOptions::default());
+        let b = solve(&problem, &AnnealingOptions::default());
+        assert_eq!(a.1.to_bits(), b.1.to_bits());
+        assert_eq!(a.0, b.0);
+        let c = solve(&problem, &AnnealingOptions { seed: 7, ..Default::default() });
+        // Different seeds explore differently (costs may coincide, the
+        // trajectory rarely does — compare placements loosely).
+        let _ = c;
+    }
+
+    #[test]
+    fn annealing_improves_on_the_centralized_start() {
+        let (problem, _) = petstore_problem();
+        let start_cost = cost(&problem, &Placement::all_on(&problem, HostId(0)));
+        let (_, annealed) = solve(&problem, &AnnealingOptions::default());
+        assert!(annealed < start_cost / 2.0, "{annealed:.0} vs start {start_cost:.0}");
+    }
+}

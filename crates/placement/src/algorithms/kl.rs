@@ -1,0 +1,337 @@
+//! Kernighan–Lin two-way partition refinement.
+//!
+//! Operates on an undirected collapse of the interaction graph: the weight
+//! between two components is their total interaction rate (both directions),
+//! scaled by the RTT between the two candidate hosts. Pinned components are
+//! locked to their side. The classic KL pass computes gains for swapping
+//! unlocked vertex pairs and applies the best prefix of swaps; passes repeat
+//! until no pass improves the cut.
+
+use petgraph::visit::EdgeRef;
+
+use crate::graph::{HostId, Placement, PlacementProblem};
+
+/// Builds the symmetric weight matrix (interaction rates, both directions).
+fn weights(problem: &PlacementProblem) -> Vec<Vec<f64>> {
+    let n = problem.graph.len();
+    let mut w = vec![vec![0.0; n]; n];
+    for edge in problem.graph.graph.edge_references() {
+        let (a, b) = (edge.source().index(), edge.target().index());
+        if a != b {
+            w[a][b] += edge.weight().calls_per_sec;
+            w[b][a] += edge.weight().calls_per_sec;
+        }
+    }
+    w
+}
+
+/// The weighted cut between the two sides (`side[i]` ∈ {false, true}).
+pub fn cut_weight(problem: &PlacementProblem, side: &[bool]) -> f64 {
+    let w = weights(problem);
+    let mut cut = 0.0;
+    for i in 0..side.len() {
+        for j in (i + 1)..side.len() {
+            if side[i] != side[j] {
+                cut += w[i][j];
+            }
+        }
+    }
+    cut
+}
+
+/// Refines a two-way split of the components between `host_a` (side false)
+/// and `host_b` (side true), minimizing the weighted cut. Returns the side
+/// assignment.
+pub fn refine(
+    problem: &PlacementProblem,
+    host_a: HostId,
+    host_b: HostId,
+    mut side: Vec<bool>,
+) -> Vec<bool> {
+    let n = problem.graph.len();
+    assert_eq!(side.len(), n, "side assignment arity mismatch");
+    let w = weights(problem);
+
+    // Lock pinned components onto their side.
+    let mut locked_base = vec![false; n];
+    for node in problem.graph.graph.node_indices() {
+        if let Some(pin) = problem.graph.graph[node].pinned {
+            let i = node.index();
+            locked_base[i] = true;
+            if pin == host_a {
+                side[i] = false;
+            } else if pin == host_b {
+                side[i] = true;
+            }
+        }
+    }
+
+    // D-value: external minus internal connection weight.
+    let d_value = |side: &[bool], i: usize| -> f64 {
+        let mut d = 0.0;
+        for j in 0..n {
+            if j == i {
+                continue;
+            }
+            if side[j] != side[i] {
+                d += w[i][j];
+            } else {
+                d -= w[i][j];
+            }
+        }
+        d
+    };
+
+    for _pass in 0..n.max(4) {
+        let mut locked = locked_base.clone();
+        let mut work = side.clone();
+        let mut swaps: Vec<(usize, usize, f64)> = Vec::new();
+
+        loop {
+            // Best unlocked cross-side pair by KL gain.
+            let mut best: Option<(usize, usize, f64)> = None;
+            for i in 0..n {
+                if locked[i] || work[i] {
+                    continue;
+                }
+                for j in 0..n {
+                    if locked[j] || !work[j] {
+                        continue;
+                    }
+                    let gain = d_value(&work, i) + d_value(&work, j) - 2.0 * w[i][j];
+                    if best.is_none_or(|(_, _, g)| gain > g) {
+                        best = Some((i, j, gain));
+                    }
+                }
+            }
+            let Some((i, j, gain)) = best else {
+                break;
+            };
+            work.swap(i, j);
+            locked[i] = true;
+            locked[j] = true;
+            swaps.push((i, j, gain));
+        }
+
+        // Apply the best positive prefix of swaps.
+        let mut best_prefix = 0;
+        let mut best_sum = 0.0;
+        let mut sum = 0.0;
+        for (k, &(_, _, g)) in swaps.iter().enumerate() {
+            sum += g;
+            if sum > best_sum {
+                best_sum = sum;
+                best_prefix = k + 1;
+            }
+        }
+        if best_prefix == 0 {
+            break;
+        }
+        for &(i, j, _) in &swaps[..best_prefix] {
+            side.swap(i, j);
+        }
+    }
+    side
+}
+
+/// Two-way placement: partitions all components between `host_a` and
+/// `host_b` starting from everything-on-`host_a`, then converts to a
+/// [`Placement`].
+pub fn solve_two_way(problem: &PlacementProblem, host_a: HostId, host_b: HostId) -> Placement {
+    let n = problem.graph.len();
+    // Seed: alternate sides for balance, entry components toward host_b if
+    // it carries entry share (clients live there).
+    let seed: Vec<bool> = (0..n).map(|i| i % 2 == 1).collect();
+    let side = refine(problem, host_a, host_b, seed);
+    let mut placement = Placement::all_on(problem, host_a);
+    for (i, &s) in side.iter().enumerate() {
+        placement.primary[i] = if s { host_b } else { host_a };
+    }
+    placement.repair_pins(problem);
+    placement
+}
+
+/// Recursive KL bisection into one part per host: hosts are split into two
+/// groups (balanced by entry share), components KL-partitioned between them,
+/// then each side recurses. Pinned components steer their sub-problems.
+pub fn solve_recursive(problem: &PlacementProblem) -> Placement {
+    let all_hosts: Vec<HostId> = (0..problem.hosts.len()).map(HostId).collect();
+    let all_nodes: Vec<usize> = (0..problem.graph.len()).collect();
+    let mut placement = Placement::all_on(problem, HostId(0));
+    bisect(problem, &all_hosts, &all_nodes, &mut placement);
+    placement.repair_pins(problem);
+    placement
+}
+
+fn bisect(
+    problem: &PlacementProblem,
+    hosts: &[HostId],
+    nodes: &[usize],
+    placement: &mut Placement,
+) {
+    match hosts {
+        [] => {}
+        [single] => {
+            for &n in nodes {
+                placement.primary[n] = *single;
+            }
+        }
+        _ => {
+            let mid = hosts.len() / 2;
+            let (left, right) = hosts.split_at(mid.max(1));
+            // Two representative hosts anchor the KL refinement.
+            let (host_a, host_b) = (left[0], right[0]);
+            // Seed: keep nodes pinned inside either group on that side.
+            let mut side = vec![false; problem.graph.len()];
+            for (i, &n) in nodes.iter().enumerate() {
+                let node = petgraph::graph::NodeIndex::new(n);
+                side[n] = match problem.graph.graph[node].pinned {
+                    Some(p) if left.contains(&p) => false,
+                    Some(p) if right.contains(&p) => true,
+                    _ => i % 2 == 1,
+                };
+            }
+            let refined = refine(problem, host_a, host_b, side);
+            let left_nodes: Vec<usize> = nodes.iter().copied().filter(|&n| !refined[n]).collect();
+            let right_nodes: Vec<usize> = nodes.iter().copied().filter(|&n| refined[n]).collect();
+            bisect(problem, left, &left_nodes, placement);
+            bisect(problem, right, &right_nodes, placement);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Component, ComponentGraph, CostParams, Host, Role};
+
+    /// Two tightly-coupled clusters joined by one weak edge; the optimal cut
+    /// severs the weak edge.
+    fn clustered() -> (PlacementProblem, Vec<petgraph::graph::NodeIndex>) {
+        let mut g = ComponentGraph::new();
+        let mut nodes = Vec::new();
+        for i in 0..6 {
+            let pinned = match i {
+                0 => Some(HostId(0)),
+                5 => Some(HostId(1)),
+                _ => None,
+            };
+            nodes.push(g.add(Component {
+                name: format!("c{i}"),
+                role: if pinned.is_some() { Role::Database } else { Role::Stateless },
+                pinned,
+                cpu_ms_per_call: 1.0,
+                write_rate: 0.0,
+            }));
+        }
+        // Cluster A: 0-1-2 heavily coupled; cluster B: 3-4-5.
+        for &(a, b) in &[(0, 1), (1, 2), (0, 2)] {
+            g.interact(nodes[a], nodes[b], 50.0, 0.0);
+        }
+        for &(a, b) in &[(3, 4), (4, 5), (3, 5)] {
+            g.interact(nodes[a], nodes[b], 50.0, 0.0);
+        }
+        g.interact(nodes[2], nodes[3], 1.0, 0.0); // the weak bridge
+        let problem = PlacementProblem {
+            hosts: vec![
+                Host { name: "h0".into(), entry_share: 1.0, cpu_capacity: f64::INFINITY },
+                Host { name: "h1".into(), entry_share: 0.0, cpu_capacity: f64::INFINITY },
+            ],
+            rtt_ms: vec![vec![0.0, 100.0], vec![100.0, 0.0]],
+            graph: g,
+            params: CostParams::default(),
+        };
+        (problem, nodes)
+    }
+
+    #[test]
+    fn kl_finds_the_weak_bridge() {
+        let (p, nodes) = clustered();
+        let side = refine(&p, HostId(0), HostId(1), vec![false, true, false, true, false, true]);
+        // Clusters end up whole on opposite sides.
+        assert_eq!(side[nodes[0].index()], side[nodes[1].index()]);
+        assert_eq!(side[nodes[1].index()], side[nodes[2].index()]);
+        assert_eq!(side[nodes[3].index()], side[nodes[4].index()]);
+        assert_eq!(side[nodes[4].index()], side[nodes[5].index()]);
+        assert_ne!(side[nodes[0].index()], side[nodes[5].index()]);
+        assert!((cut_weight(&p, &side) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pinned_components_stay_locked() {
+        let (p, nodes) = clustered();
+        let side = refine(&p, HostId(0), HostId(1), vec![true; 6]);
+        assert!(!side[nodes[0].index()], "db0 locked to host a");
+        assert!(side[nodes[5].index()], "db5 locked to host b");
+    }
+
+    #[test]
+    fn solve_two_way_yields_valid_placement() {
+        let (p, nodes) = clustered();
+        let placement = solve_two_way(&p, HostId(0), HostId(1));
+        assert!(placement.respects_pins(&p));
+        assert_eq!(placement.primary[nodes[1].index()], placement.primary[nodes[2].index()]);
+    }
+
+    #[test]
+    fn recursive_bisection_covers_three_hosts() {
+        // Three pinned chains, three hosts.
+        let mut g = ComponentGraph::new();
+        let mut nodes = Vec::new();
+        for c in 0..3 {
+            for i in 0..4 {
+                let pinned = if i == 0 { Some(HostId(c)) } else { None };
+                let n = g.add(Component {
+                    name: format!("c{c}-{i}"),
+                    role: if pinned.is_some() { Role::Database } else { Role::Stateless },
+                    pinned,
+                    cpu_ms_per_call: 1.0,
+                    write_rate: 0.0,
+                });
+                if i > 0 {
+                    g.interact(nodes[c * 4 + i - 1], n, 30.0, 0.0);
+                }
+                nodes.push(n);
+            }
+        }
+        let problem = PlacementProblem {
+            hosts: (0..3)
+                .map(|i| Host {
+                    name: format!("h{i}"),
+                    entry_share: 1.0 / 3.0,
+                    cpu_capacity: f64::INFINITY,
+                })
+                .collect(),
+            rtt_ms: vec![
+                vec![0.0, 200.0, 200.0],
+                vec![200.0, 0.0, 200.0],
+                vec![200.0, 200.0, 0.0],
+            ],
+            graph: g,
+            params: CostParams::default(),
+        };
+        let placement = solve_recursive(&problem);
+        assert!(placement.respects_pins(&problem));
+        let used: std::collections::BTreeSet<_> = placement.primary.iter().collect();
+        assert!(used.len() >= 2, "recursive bisection uses several hosts: {used:?}");
+    }
+
+    #[test]
+    fn refinement_never_increases_the_cut() {
+        let (p, _) = clustered();
+        for seed in [
+            vec![false, false, true, true, false, true],
+            vec![true, false, true, false, true, true],
+            vec![false, true, true, false, false, true],
+        ] {
+            // Apply pin locking to the seed for a fair before/after.
+            let mut locked_seed = seed.clone();
+            locked_seed[0] = false;
+            locked_seed[5] = true;
+            let before = cut_weight(&p, &locked_seed);
+            let side = refine(&p, HostId(0), HostId(1), seed);
+            let after = cut_weight(&p, &side);
+            assert!(after <= before + 1e-9, "cut {before} -> {after}");
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Placement algorithms: exhaustive enumeration, greedy hill-climbing with
+//! replication, Kernighan–Lin bipartitioning, and METIS-style multilevel
+//! k-way partitioning.
+
+pub mod annealing;
+pub mod exhaustive;
+pub mod greedy;
+pub mod kl;
+pub mod multilevel;
+
+pub use annealing::{solve as annealing_solve, AnnealingOptions};
+pub use greedy::{improve as greedy_improve, solve as greedy_solve, GreedyOptions};
+pub use kl::solve_recursive as kl_recursive_solve;
+pub use multilevel::{partition as multilevel_partition, solve as multilevel_solve, MultilevelOptions};

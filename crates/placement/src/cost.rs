@@ -1,0 +1,226 @@
+//! Placement cost evaluation.
+//!
+//! The objective is the expected **wide-area communication time incurred per
+//! second of operation** (ms/s): every node-crossing interaction pays RMI
+//! round trips plus transmission, every write to a replicated component pays
+//! one consistency push per replica, and CPU overload beyond a host's
+//! capacity is penalized. Minimizing this objective over placements is the
+//! formal version of the paper's design rules: co-locate chatty components
+//! (façade granularity), replicate read-mostly state at the edges, keep
+//! writers next to the database.
+
+use petgraph::visit::EdgeRef;
+
+use crate::graph::{HostId, Placement, PlacementProblem, Role};
+
+/// A cost breakdown for reporting and debugging.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostBreakdown {
+    /// Remote invocation cost (ms/s).
+    pub communication: f64,
+    /// Replica consistency push cost (ms/s).
+    pub consistency: f64,
+    /// Capacity overload penalty (ms/s).
+    pub overload: f64,
+}
+
+impl CostBreakdown {
+    /// The scalar objective.
+    pub fn total(&self) -> f64 {
+        self.communication + self.consistency + self.overload
+    }
+}
+
+/// Evaluates a placement. Lower is better.
+pub fn cost(problem: &PlacementProblem, placement: &Placement) -> f64 {
+    cost_breakdown(problem, placement).total()
+}
+
+/// Evaluates a placement with a per-term breakdown.
+pub fn cost_breakdown(problem: &PlacementProblem, placement: &Placement) -> CostBreakdown {
+    let g = &problem.graph.graph;
+    let mut breakdown = CostBreakdown::default();
+
+    // Interaction cost: traffic splits across entry hosts by share; each
+    // interaction executes between the serving locations of its endpoints.
+    for (oi, host) in problem.hosts.iter().enumerate() {
+        if host.entry_share <= 0.0 {
+            continue;
+        }
+        let origin = HostId(oi);
+        for edge in g.edge_references() {
+            let w = edge.weight();
+            if w.calls_per_sec <= 0.0 {
+                continue;
+            }
+            // Write-path traffic executes at the primaries (replicas are
+            // read-only); read-path traffic follows the serving locations.
+            let (from, to) = if w.write_path {
+                let from = if g[edge.source()].role == Role::Entry {
+                    origin
+                } else {
+                    placement.primary[edge.source().index()]
+                };
+                (from, placement.primary[edge.target().index()])
+            } else {
+                (
+                    placement.location(problem, edge.source(), origin),
+                    placement.location(problem, edge.target(), origin),
+                )
+            };
+            breakdown.communication += host.entry_share
+                * w.calls_per_sec
+                * problem.comm_ms(from, to, w.bytes_per_call, problem.params.rmi_round_trips);
+        }
+    }
+
+    // Consistency cost: each write pushes to every replica.
+    for node in g.node_indices() {
+        let c = &g[node];
+        if c.write_rate <= 0.0 {
+            continue;
+        }
+        let primary = placement.primary[node.index()];
+        for &replica in &placement.replicas[node.index()] {
+            breakdown.consistency += c.write_rate
+                * problem.comm_ms(
+                    primary,
+                    replica,
+                    problem.params.push_bytes,
+                    problem.params.push_round_trips,
+                );
+        }
+    }
+
+    // Capacity: aggregate CPU demand per host (entry components load every
+    // entry host by share; replicas serve their origin's traffic).
+    let mut load = vec![0.0f64; problem.hosts.len()];
+    for (oi, host) in problem.hosts.iter().enumerate() {
+        if host.entry_share <= 0.0 {
+            continue;
+        }
+        let origin = HostId(oi);
+        for node in g.node_indices() {
+            let c = &g[node];
+            let rate = match c.role {
+                Role::Entry => {
+                    // Entry components are driven directly by clients.
+                    problem.graph.read_rate(node).max(
+                        g.edges_directed(node, petgraph::Direction::Outgoing)
+                            .map(|e| e.weight().calls_per_sec)
+                            .sum(),
+                    )
+                }
+                _ => problem.graph.read_rate(node),
+            };
+            let serving = placement.location(problem, node, origin);
+            load[serving.0] += host.entry_share * rate * c.cpu_ms_per_call;
+        }
+    }
+    for (h, l) in load.iter().enumerate() {
+        let over = l - problem.hosts[h].cpu_capacity.max(0.0);
+        if over > 0.0 && problem.hosts[h].cpu_capacity.is_finite() {
+            breakdown.overload += over * problem.params.overload_penalty / 1_000.0;
+        }
+    }
+
+    breakdown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Component, ComponentGraph, CostParams, Host};
+
+    fn problem() -> PlacementProblem {
+        let mut g = ComponentGraph::new();
+        let web = g.add(Component {
+            name: "web".into(),
+            role: Role::Entry,
+            pinned: None,
+            cpu_ms_per_call: 5.0,
+            write_rate: 0.0,
+        });
+        let entity = g.add(Component {
+            name: "entity".into(),
+            role: Role::Entity,
+            pinned: None,
+            cpu_ms_per_call: 1.0,
+            write_rate: 0.5,
+        });
+        let db = g.add(Component {
+            name: "db".into(),
+            role: Role::Database,
+            pinned: Some(HostId(0)),
+            cpu_ms_per_call: 1.0,
+            write_rate: 0.0,
+        });
+        g.interact(web, entity, 10.0, 0.0);
+        g.interact(entity, db, 10.0, 0.0);
+        PlacementProblem {
+            hosts: vec![
+                Host { name: "main".into(), entry_share: 0.5, cpu_capacity: f64::INFINITY },
+                Host { name: "edge".into(), entry_share: 0.5, cpu_capacity: f64::INFINITY },
+            ],
+            rtt_ms: vec![vec![0.0, 200.0], vec![200.0, 0.0]],
+            graph: g,
+            params: CostParams { push_bytes: 0.0, ..Default::default() },
+        }
+    }
+
+    #[test]
+    fn centralized_pays_for_remote_entry_traffic() {
+        let p = problem();
+        let placement = Placement::all_on(&p, HostId(0));
+        let b = cost_breakdown(&p, &placement);
+        // Edge-origin traffic (share 0.5, 10 calls/s) crosses web->entity:
+        // 0.5 * 10 * 200ms * 1.65 = 1650 ms/s.
+        assert!((b.communication - 1650.0).abs() < 1.0, "{b:?}");
+        assert_eq!(b.consistency, 0.0);
+    }
+
+    #[test]
+    fn replication_trades_reads_for_pushes() {
+        let p = problem();
+        let entity = p.graph.by_name("entity").unwrap();
+        let mut placement = Placement::all_on(&p, HostId(0));
+        placement.replicas[entity.index()].insert(HostId(1));
+        let b = cost_breakdown(&p, &placement);
+        // Reads now local everywhere, but entity->db from the edge replica
+        // crosses back… location(entity, edge)=edge, db=main: 0.5*10*330.
+        assert!((b.communication - 1650.0).abs() < 1.0, "{b:?}");
+        // Plus pushes: 0.5 writes/s * 330ms.
+        assert!((b.consistency - 165.0).abs() < 1.0, "{b:?}");
+    }
+
+    #[test]
+    fn full_colocated_edge_stack_minimizes_reads() {
+        // Replicating the entity AND keeping its db access at the primary is
+        // the read-mostly pattern; here the db edge dominates unless the
+        // entity stays with the db — the cost model must expose that tension.
+        let p = problem();
+        let entity = p.graph.by_name("entity").unwrap();
+        let replicated = {
+            let mut pl = Placement::all_on(&p, HostId(0));
+            pl.replicas[entity.index()].insert(HostId(1));
+            cost(&p, &pl)
+        };
+        let centralized = cost(&p, &Placement::all_on(&p, HostId(0)));
+        // With the db edge still crossing, replication alone does not help
+        // here (it wins once the entity caches instead of re-reading the db;
+        // derive.rs models that by dropping per-read db edges for entities).
+        assert!(replicated >= centralized - 1e-9);
+    }
+
+    #[test]
+    fn overload_penalty_applies_beyond_capacity() {
+        let mut p = problem();
+        p.hosts[0].cpu_capacity = 10.0; // ms/s — absurdly small
+        let placement = Placement::all_on(&p, HostId(0));
+        let b = cost_breakdown(&p, &placement);
+        assert!(b.overload > 0.0);
+        p.hosts[0].cpu_capacity = f64::INFINITY;
+        let b = cost_breakdown(&p, &placement);
+        assert_eq!(b.overload, 0.0);
+    }
+}

@@ -1,0 +1,334 @@
+//! Deriving placement problems from the application models.
+//!
+//! Walks every page's call tree, weighted by the paper's workload (30 req/s,
+//! 80 % browsers, the Table 2–5 session mixes), and accumulates component
+//! interaction rates, payload sizes, write rates and roles. The result is
+//! the input an automatic deployer would extract from profiling — the §7
+//! "long-term goal" of demand-driven deployment.
+
+use std::collections::HashMap;
+
+use mutsvc_apps::petstore::{PsPage, PsParams};
+use mutsvc_apps::rubis::{RubisPage, RubisParams};
+use mutsvc_apps::{App, PetStore, Rubis};
+use mutsvc_middleware::{Action, Call, ComponentId, ComponentKind, ComponentRegistry, PageRequest};
+use petgraph::graph::NodeIndex;
+
+use crate::graph::{Component, ComponentGraph, CostParams, Host, HostId, PlacementProblem, Role};
+
+/// The paper's three-server host set: main (with the database and one third
+/// of the clients) plus two edges.
+pub fn paper_hosts() -> (Vec<Host>, Vec<Vec<f64>>) {
+    let hosts = vec![
+        Host { name: "main".into(), entry_share: 1.0 / 3.0, cpu_capacity: f64::INFINITY },
+        Host { name: "edge1".into(), entry_share: 1.0 / 3.0, cpu_capacity: f64::INFINITY },
+        Host { name: "edge2".into(), entry_share: 1.0 / 3.0, cpu_capacity: f64::INFINITY },
+    ];
+    let rtt = vec![
+        vec![0.0, 200.8, 200.8],
+        vec![200.8, 0.0, 400.0],
+        vec![200.8, 400.0, 0.0],
+    ];
+    (hosts, rtt)
+}
+
+struct Accumulator<'a> {
+    registry: &'a ComponentRegistry,
+    /// Per component: (invocations/s, Σ bytes, queries/s handled, writes/s,
+    /// cpu ms sample).
+    nodes: HashMap<ComponentId, NodeStats>,
+    /// (caller, callee) -> (calls/s, Σ rate×bytes).
+    edges: HashMap<(ComponentId, ComponentId, bool), (f64, f64)>,
+}
+
+#[derive(Default)]
+struct NodeStats {
+    cpu_ms: f64,
+    write_rate: f64,
+    /// Rate of *uncacheable* database reads this component performs — keeps
+    /// the component attracted to the database host.
+    db_read_rate: f64,
+    /// Rate of database writes (always executed at the primary).
+    db_write_rate: f64,
+}
+
+impl<'a> Accumulator<'a> {
+    fn new(registry: &'a ComponentRegistry) -> Self {
+        Accumulator { registry, nodes: HashMap::new(), edges: HashMap::new() }
+    }
+
+    fn walk_page(&mut self, page: &PageRequest, rate: f64) {
+        self.walk_call(&page.root, rate);
+    }
+
+    fn walk_call(&mut self, call: &Call, rate: f64) {
+        let stats = self.nodes.entry(call.component).or_default();
+        stats.cpu_ms = stats.cpu_ms.max(call.cpu.as_millis_f64());
+        for action in &call.actions {
+            match action {
+                Action::Invoke(invoke) => {
+                    let write = invoke.call.has_writes();
+                    let key = (call.component, invoke.call.component, write);
+                    let e = self.edges.entry(key).or_insert((0.0, 0.0));
+                    e.0 += rate;
+                    e.1 += rate * (invoke.args_bytes + invoke.ret_bytes) as f64;
+                    self.walk_call(&invoke.call, rate);
+                }
+                Action::Query(qa) => {
+                    let stats = self.nodes.entry(call.component).or_default();
+                    // Cacheable (tagged) queries and entity PK loads become
+                    // local once replicated; only untagged finder queries on
+                    // non-entity components chain the component to the data.
+                    let is_entity =
+                        self.registry.spec(call.component).kind == ComponentKind::Entity;
+                    if qa.tag.is_none() && !is_entity {
+                        stats.db_read_rate += rate;
+                    }
+                }
+                Action::Mutate(_) => {
+                    let stats = self.nodes.entry(call.component).or_default();
+                    stats.write_rate += rate;
+                    stats.db_write_rate += rate;
+                }
+            }
+        }
+    }
+
+    fn into_problem(
+        self,
+        rmi_round_trips: f64,
+        pinned_main: &[ComponentId],
+        db_name: &str,
+    ) -> PlacementProblem {
+        let (hosts, rtt_ms) = paper_hosts();
+        let mut graph = ComponentGraph::new();
+        let mut index: HashMap<ComponentId, NodeIndex> = HashMap::new();
+
+        // The database pseudo-component, pinned to main.
+        let db_node = graph.add(Component {
+            name: db_name.to_string(),
+            role: Role::Database,
+            pinned: Some(HostId(0)),
+            cpu_ms_per_call: 2.0,
+            write_rate: 0.0,
+        });
+
+        for (&component, stats) in &self.nodes {
+            let spec = self.registry.spec(component);
+            let role = if pinned_main.contains(&component) {
+                Role::Database
+            } else {
+                match spec.kind {
+                    ComponentKind::Web => Role::Entry,
+                    ComponentKind::StatefulSession => Role::Session,
+                    ComponentKind::StatelessSession | ComponentKind::MessageDriven => Role::Stateless,
+                    ComponentKind::Entity => Role::Entity,
+                }
+            };
+            let pinned = if role == Role::Database { Some(HostId(0)) } else { None };
+            let node = graph.add(Component {
+                name: spec.name.clone(),
+                role,
+                pinned,
+                cpu_ms_per_call: stats.cpu_ms.max(0.1),
+                write_rate: stats.write_rate,
+            });
+            index.insert(component, node);
+        }
+        for ((from, to, write), (rate, weighted_bytes)) in self.edges {
+            let (Some(&f), Some(&t)) = (index.get(&from), index.get(&to)) else {
+                continue;
+            };
+            let bytes = if rate > 0.0 { weighted_bytes / rate } else { 0.0 };
+            if write {
+                graph.interact_write(f, t, rate, bytes);
+            } else {
+                graph.interact(f, t, rate, bytes);
+            }
+        }
+        // Chain components with uncacheable database work to the database.
+        for (&component, stats) in &self.nodes {
+            let node = index[&component];
+            if stats.db_read_rate > 0.0 {
+                graph.interact(node, db_node, stats.db_read_rate, 400.0);
+            }
+            if stats.db_write_rate > 0.0 {
+                graph.interact_write(node, db_node, stats.db_write_rate, 400.0);
+            }
+        }
+
+        PlacementProblem {
+            hosts,
+            rtt_ms,
+            graph,
+            params: CostParams {
+                rmi_round_trips,
+                push_round_trips: rmi_round_trips,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+/// Workload rates per page (requests/second over the whole system).
+fn petstore_page_rates() -> Vec<(PsPage, f64)> {
+    let browser_total = 24.0;
+    let buyer_total = 6.0;
+    let mut rates: Vec<(PsPage, f64)> = mutsvc_apps::petstore::BROWSER_MIX
+        .iter()
+        .map(|&(page, pct)| (page, browser_total * pct / 100.0))
+        .collect();
+    let per_step = buyer_total / mutsvc_apps::petstore::BUYER_SEQUENCE.len() as f64;
+    for page in mutsvc_apps::petstore::BUYER_SEQUENCE {
+        rates.push((page, per_step));
+    }
+    rates
+}
+
+/// Derives the Pet Store placement problem from the façade application under
+/// the paper's load.
+pub fn petstore_problem() -> (PlacementProblem, PetStore) {
+    let (app, registry, _db) = App::petstore(true);
+    let App::PetStore(ps) = app else { unreachable!() };
+    let mut acc = Accumulator::new(&registry);
+    let product = ps.shape.products(0)[0];
+    let params = PsParams {
+        category: ps.shape.categories[0],
+        product,
+        item: ps.shape.items(product)[0],
+        keyword: ps.shape.keywords[0].clone(),
+        account: ps.shape.accounts[0],
+    };
+    for (page, rate) in petstore_page_rates() {
+        let request = ps.page(page, &params);
+        acc.walk_page(&request, rate);
+    }
+    // Security/transaction-critical entities stay at the main server
+    // (the paper never replicates SignOn, Order or Account).
+    let pinned = vec![ps.components.signon, ps.components.order, ps.components.account];
+    let problem = acc.into_problem(1.65, &pinned, "oracle");
+    (problem, ps)
+}
+
+/// Workload rates per RUBiS page.
+fn rubis_page_rates() -> Vec<(RubisPage, f64)> {
+    let browser_total = 24.0;
+    let bidder_total = 6.0;
+    let mut rates: Vec<(RubisPage, f64)> = mutsvc_apps::rubis::BROWSER_MIX
+        .iter()
+        .map(|&(page, pct)| (page, browser_total * pct / 100.0))
+        .collect();
+    let per_step = bidder_total / mutsvc_apps::rubis::BIDDER_SEQUENCE.len() as f64;
+    for page in mutsvc_apps::rubis::BIDDER_SEQUENCE {
+        rates.push((page, per_step));
+    }
+    rates
+}
+
+/// Derives the RUBiS placement problem under the paper's load.
+pub fn rubis_problem() -> (PlacementProblem, Rubis) {
+    let (app, registry, _db) = App::rubis();
+    let App::Rubis(rubis) = app else { unreachable!() };
+    let mut acc = Accumulator::new(&registry);
+    let params = RubisParams {
+        category: rubis.shape.categories[0],
+        region: rubis.shape.regions[0],
+        item: rubis.shape.items[0],
+        target_user: rubis.shape.users[0],
+        user: rubis.shape.users[1],
+    };
+    for (page, rate) in rubis_page_rates() {
+        let request = rubis.page(page, &params);
+        acc.walk_page(&request, rate);
+    }
+    // Bid and comment entities are append-heavy write logs: authoritative.
+    let pinned = vec![rubis.components.bid, rubis.components.comment];
+    let problem = acc.into_problem(1.35, &pinned, "mysql");
+    (problem, rubis)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::greedy::{solve, GreedyOptions};
+    use crate::cost::cost;
+    use crate::graph::Placement;
+
+    #[test]
+    fn petstore_problem_is_valid_and_nonempty() {
+        let (p, ps) = petstore_problem();
+        p.validate().unwrap();
+        assert!(p.graph.len() >= 10, "components: {}", p.graph.len());
+        // The commit path produces writes on the inventory entity.
+        let inv = p.graph.by_name("InventoryEJB").unwrap();
+        assert!(p.graph.graph[inv].write_rate > 0.0);
+        let _ = ps;
+    }
+
+    #[test]
+    fn rubis_problem_is_valid() {
+        let (p, _) = rubis_problem();
+        p.validate().unwrap();
+        let item = p.graph.by_name("ItemEJB").unwrap();
+        assert!(p.graph.graph[item].write_rate > 0.0, "bids update items");
+        let user = p.graph.by_name("UserEJB").unwrap();
+        assert_eq!(p.graph.graph[user].role, Role::Entity);
+    }
+
+    /// The headline validation: optimizing the derived Pet Store graph
+    /// *recovers the paper's final deployment* — session tier and catalog
+    /// entities replicated at the edges, authoritative state at main.
+    #[test]
+    fn optimizer_recovers_the_papers_petstore_deployment() {
+        let (p, ps) = petstore_problem();
+        let (placement, c) = solve(&p, &GreedyOptions::default());
+        assert!(c < cost(&p, &Placement::all_on(&p, HostId(0))), "optimization helps");
+
+        let at_edges = |name: &str| -> bool {
+            let node = p.graph.by_name(name).unwrap();
+            let idx = node.index();
+            [HostId(1), HostId(2)].iter().all(|h| {
+                placement.primary[idx] == *h || placement.replicas[idx].contains(h)
+            })
+        };
+        // The paper's §4.3–§4.5 deployment:
+        assert!(at_edges("ShoppingCart"), "stateful session beans on the edges");
+        assert!(at_edges("ShoppingClientController"));
+        assert!(at_edges("Catalog"), "catalog facade on the edges");
+        assert!(at_edges("ItemEJB"), "read-only item replicas");
+        assert!(at_edges("InventoryEJB"), "read-only inventory replicas");
+        // Authoritative state stays home.
+        for name in ["SignOnEJB", "OrderEJB", "AccountEJB", "oracle"] {
+            let node = p.graph.by_name(name).unwrap();
+            assert_eq!(placement.primary[node.index()], HostId(0), "{name} at main");
+            assert!(placement.replicas[node.index()].is_empty(), "{name} unreplicated");
+        }
+        let _ = ps;
+    }
+
+    #[test]
+    fn optimizer_recovers_the_papers_rubis_deployment() {
+        let (p, rubis) = rubis_problem();
+        let (placement, _) = solve(&p, &GreedyOptions::default());
+        let at_edges = |name: &str| -> bool {
+            let node = p.graph.by_name(name).unwrap();
+            let idx = node.index();
+            [HostId(1), HostId(2)].iter().all(|h| {
+                placement.primary[idx] == *h || placement.replicas[idx].contains(h)
+            })
+        };
+        assert!(at_edges("SB_ViewItem"), "read facades on the edges");
+        assert!(at_edges("ItemEJB"), "read-only item replicas");
+        assert!(at_edges("UserEJB"), "read-only user replicas");
+        // Bid/Comment rows are written through the store façades and read
+        // through cached finder queries, so they never appear as entity
+        // vertices; the database itself stays pinned and unreplicated.
+        let node = p.graph.by_name("mysql").unwrap();
+        assert_eq!(placement.primary[node.index()], HostId(0), "mysql at main");
+        assert!(placement.replicas[node.index()].is_empty());
+        // Write facades are pulled toward the database by their write edges.
+        let store_bid = p.graph.by_name("SB_StoreBid").unwrap();
+        assert_eq!(placement.primary[store_bid.index()], HostId(0));
+        let _ = rubis;
+    }
+}

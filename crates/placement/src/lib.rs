@@ -1,0 +1,44 @@
+//! # mutsvc-placement — automatic wide-area component placement
+//!
+//! The paper hand-derives its edge deployments and argues (§5, §7) that
+//! containers should automate them. This crate is that automation:
+//!
+//! * [`graph`] — component interaction graphs (petgraph-backed), hosts,
+//!   pinning/replication attributes and placement problems;
+//! * [`cost`] — the wide-area objective: RMI round trips × rates across the
+//!   placement cut, plus replica-consistency pushes and capacity penalties;
+//! * [`algorithms`] — exhaustive enumeration (optimality oracle), greedy
+//!   hill-climbing with replica moves (derives the read-mostly pattern),
+//!   Kernighan–Lin bipartitioning, and a METIS-style multilevel k-way
+//!   partitioner with RTT-aware refinement;
+//! * [`derive`] — extracting problems from the Pet Store and RUBiS models
+//!   under the paper's workload, with validation that the optimizer
+//!   *recovers the paper's final deployments*.
+//!
+//! ## Example
+//!
+//! ```
+//! use mutsvc_placement::algorithms::greedy::{solve, GreedyOptions};
+//! use mutsvc_placement::derive::petstore_problem;
+//!
+//! let (problem, _app) = petstore_problem();
+//! let (placement, cost) = solve(&problem, &GreedyOptions::default());
+//! assert!(cost.is_finite());
+//! // The catalog entities end up replicated on the edge servers.
+//! let item = problem.graph.by_name("ItemEJB").unwrap();
+//! assert_eq!(placement.replicas[item.index()].len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod cost;
+pub mod derive;
+pub mod graph;
+
+pub use cost::{cost, cost_breakdown, CostBreakdown};
+pub use graph::{
+    Component, ComponentGraph, CostParams, Host, HostId, Interaction, Placement, PlacementProblem,
+    Role,
+};

@@ -1,0 +1,146 @@
+//! Cached-query invalidation.
+//!
+//! Edge query caches (paper §4.4) must know which writes invalidate which
+//! cached results. The paper leaves identification of invalidating operations
+//! to the application/deployment descriptor; we implement the precise check a
+//! container could derive automatically from EJB QL (§5): a mutation affects
+//! a cached query iff it can change the query's result *content*.
+
+use crate::database::{MutationEffect, Query};
+
+/// Does `effect` invalidate a cached result of `query`?
+///
+/// Sound but slightly conservative: `Like` queries are invalidated by any
+/// mutation of their table (keyword search predicates are opaque), matching
+/// the paper's observation that such queries are not worth caching.
+pub fn affects(effect: &MutationEffect, query: &Query) -> bool {
+    if !effect.applied || effect.table != query.table() {
+        return false;
+    }
+    match query {
+        Query::ByPk { id, .. } => effect.row == *id,
+        Query::Eq { column, value, .. } => {
+            // The row matches the predicate now…
+            let matches_now = effect
+                .after
+                .as_ref()
+                .and_then(|r| r.get(*column))
+                .is_some_and(|v| v == value);
+            // …or matched before an update/delete changed it.
+            let matched_before = match (&effect.changed, &effect.after) {
+                // An update changed the predicate column: compare the old value.
+                (Some((changed_col, old)), _) if changed_col == column => old == value,
+                // An update of some other column: membership is unchanged and
+                // already decided by `matches_now`.
+                (Some(_), _) => false,
+                // A delete: the old row is gone, so membership before the
+                // write is unknown — be conservative.
+                (None, None) => true,
+                // An insert: membership is decided by `matches_now`.
+                (None, Some(_)) => false,
+            };
+            matches_now || matched_before
+        }
+        Query::Like { .. } => true,
+        Query::All { .. } => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::{DatabaseBuilder, Mutation, Query};
+    use crate::table::TableId;
+    use crate::value::{RowId, Value};
+
+    fn setup() -> (crate::database::Database, TableId, TableId) {
+        let mut b = DatabaseBuilder::new();
+        let item = b.table("item", &["name", "*product"], 100);
+        let inv = b.table("inventory", &["*item", "qty"], 40);
+        let mut db = b.build();
+        for i in 0..4i64 {
+            let id = db.table_mut(item).insert(vec![format!("i{i}").into(), Value::Int(i % 2)]);
+            db.table_mut(inv).insert(vec![id.into(), Value::Int(100)]);
+        }
+        (db, item, inv)
+    }
+
+    #[test]
+    fn cross_table_writes_never_invalidate() {
+        let (mut db, item, inv) = setup();
+        let products_q = Query::Eq { table: item, column: 1, value: Value::Int(0) };
+        // Decrement inventory: must not invalidate an item query.
+        let e = db.mutate(Mutation::Update { table: inv, id: RowId(1), column: 1, value: Value::Int(99) });
+        assert!(!affects(&e, &products_q));
+    }
+
+    #[test]
+    fn matching_insert_invalidates_eq() {
+        let (mut db, item, _) = setup();
+        let q0 = Query::Eq { table: item, column: 1, value: Value::Int(0) };
+        let q1 = Query::Eq { table: item, column: 1, value: Value::Int(1) };
+        let e = db.mutate(Mutation::Insert { table: item, values: vec!["new".into(), Value::Int(0)] });
+        assert!(affects(&e, &q0));
+        assert!(!affects(&e, &q1));
+    }
+
+    #[test]
+    fn update_invalidates_old_and_new_groups() {
+        let (mut db, item, _) = setup();
+        let q0 = Query::Eq { table: item, column: 1, value: Value::Int(0) };
+        let q1 = Query::Eq { table: item, column: 1, value: Value::Int(1) };
+        let q2 = Query::Eq { table: item, column: 1, value: Value::Int(2) };
+        // Move row 1 from product 0 to product 2.
+        let e = db.mutate(Mutation::Update { table: item, id: RowId(1), column: 1, value: Value::Int(2) });
+        assert!(affects(&e, &q0), "old group loses a row");
+        assert!(affects(&e, &q2), "new group gains a row");
+        assert!(!affects(&e, &q1), "unrelated group untouched");
+    }
+
+    #[test]
+    fn update_of_other_column_invalidates_current_group_only() {
+        let (mut db, item, _) = setup();
+        let q0 = Query::Eq { table: item, column: 1, value: Value::Int(0) };
+        let q1 = Query::Eq { table: item, column: 1, value: Value::Int(1) };
+        // Rename row 2 (product 1): content change inside group 1.
+        let e = db.mutate(Mutation::Update { table: item, id: RowId(2), column: 0, value: "renamed".into() });
+        assert!(affects(&e, &q1));
+        assert!(!affects(&e, &q0));
+    }
+
+    #[test]
+    fn pk_query_invalidated_by_its_row_only() {
+        let (mut db, _, inv) = setup();
+        let q = Query::ByPk { table: inv, id: RowId(2) };
+        let hit = db.mutate(Mutation::Update { table: inv, id: RowId(2), column: 1, value: Value::Int(0) });
+        let miss = db.mutate(Mutation::Update { table: inv, id: RowId(3), column: 1, value: Value::Int(0) });
+        assert!(affects(&hit, &q));
+        assert!(!affects(&miss, &q));
+    }
+
+    #[test]
+    fn like_and_all_are_conservatively_invalidated() {
+        let (mut db, item, _) = setup();
+        let like = Query::Like { table: item, column: 0, needle: "i".into() };
+        let all = Query::All { table: item };
+        let e = db.mutate(Mutation::Update { table: item, id: RowId(1), column: 0, value: "x".into() });
+        assert!(affects(&e, &like));
+        assert!(affects(&e, &all));
+    }
+
+    #[test]
+    fn unapplied_mutations_never_invalidate() {
+        let (mut db, item, _) = setup();
+        let q = Query::All { table: item };
+        let e = db.mutate(Mutation::Delete { table: item, id: RowId(99) });
+        assert!(!affects(&e, &q));
+    }
+
+    #[test]
+    fn delete_invalidates_eq_conservatively() {
+        let (mut db, item, _) = setup();
+        let q0 = Query::Eq { table: item, column: 1, value: Value::Int(0) };
+        let e = db.mutate(Mutation::Delete { table: item, id: RowId(1) });
+        assert!(affects(&e, &q0));
+    }
+}

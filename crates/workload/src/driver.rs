@@ -1,0 +1,481 @@
+//! The end-to-end experiment driver.
+//!
+//! Owns the simulation world — network, database, container state, client
+//! sessions — and reproduces the paper's measurement procedure (§3.3): a
+//! warm-up period, then a measured window during which each client session
+//! issues requests with *soft delays* (a fixed interval between request
+//! sends, independent of response times, giving a steady open-loop load).
+
+use std::collections::HashMap;
+
+use mutsvc_apps::{App, SessionKind, SessionState};
+use mutsvc_desim::metrics::Summary;
+use mutsvc_desim::rng::SimRng;
+use mutsvc_desim::sim::{Context, Simulation};
+use mutsvc_desim::time::SimTime;
+use mutsvc_middleware::{
+    Binder, BindStats, ComponentRegistry, ContainerCosts, ContainerState, DeploymentDescriptor,
+    DeferredApply,
+};
+use mutsvc_netsim::{spawn_job, JobWorld, Network, ProtocolParams, Topology};
+use mutsvc_relstore::Database;
+
+use crate::spec::WorkloadSpec;
+use crate::stats::WorkloadStats;
+
+/// Everything needed to run one experiment.
+#[derive(Debug)]
+pub struct ExperimentInput {
+    /// The application model.
+    pub app: App,
+    /// Its component registry.
+    pub registry: ComponentRegistry,
+    /// Its populated database.
+    pub db: Database,
+    /// The configuration under test.
+    pub descriptor: DeploymentDescriptor,
+    /// The network topology.
+    pub topology: Topology,
+    /// Wire protocol cost model.
+    pub protocols: ProtocolParams,
+    /// Container runtime cost model.
+    pub container_costs: ContainerCosts,
+    /// Load specification.
+    pub spec: WorkloadSpec,
+}
+
+/// The measured outcome of one experiment.
+#[derive(Debug)]
+pub struct ExperimentReport {
+    /// Configuration name (from the descriptor).
+    pub config: String,
+    /// Per-page and per-session response-time statistics.
+    pub stats: WorkloadStats,
+    /// Aggregated binder counters (RMI calls, cache hits, pushes…).
+    pub bind_totals: BindStats,
+    /// Asynchronous propagation delay (write commit → all replicas fresh),
+    /// in milliseconds.
+    pub staleness_ms: Summary,
+    /// CPU utilization per node over the measured window.
+    pub cpu_utilization: Vec<(String, f64)>,
+    /// Requests completed within the measured window.
+    pub completed: u64,
+}
+
+struct SessionSlot {
+    group: usize,
+    kind: SessionKind,
+    pattern: &'static str,
+    state: SessionState,
+}
+
+/// The simulation world.
+struct World {
+    net: Network,
+    db: Database,
+    state: ContainerState,
+    registry: ComponentRegistry,
+    descriptor: DeploymentDescriptor,
+    protocols: ProtocolParams,
+    container_costs: ContainerCosts,
+    app: App,
+    rng: SimRng,
+    next_tag: u64,
+    deferred: HashMap<u64, (SimTime, DeferredApply)>,
+    stats: WorkloadStats,
+    staleness_ms: Summary,
+    bind_totals: BindStats,
+    sessions: Vec<SessionSlot>,
+    spec: WorkloadSpec,
+    measuring_from: SimTime,
+    completed: u64,
+}
+
+impl JobWorld for World {
+    fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    fn fork_completed(&mut self, tag: u64, at: SimTime) {
+        if let Some((issued, apply)) = self.deferred.remove(&tag) {
+            apply.apply(&mut self.state);
+            if issued >= self.measuring_from {
+                self.staleness_ms.record((at - issued).as_millis_f64());
+            }
+        }
+    }
+}
+
+/// Issues the next request of session `slot_idx`, then re-schedules itself
+/// after the soft delay.
+fn issue(world: &mut World, ctx: &mut Context<'_, World>, slot_idx: usize) {
+    let now = ctx.now();
+    if now >= world.spec.horizon() {
+        return;
+    }
+
+    // Draw the next page, recycling the session when it finishes.
+    let drawn = {
+        let slot = &mut world.sessions[slot_idx];
+        match world.app.next_page(&mut slot.state, &mut world.rng) {
+            Some(x) => Some(x),
+            None => {
+                slot.state = world.app.new_session(slot.kind, &mut world.rng);
+                world.app.next_page(&mut slot.state, &mut world.rng)
+            }
+        }
+    };
+    let Some((label, page)) = drawn else {
+        return;
+    };
+
+    let (client_node, entry_node, group_name) = {
+        let g = &world.spec.groups[world.sessions[slot_idx].group];
+        (g.client_node, g.entry_node, g.name.clone())
+    };
+    let pattern = world.sessions[slot_idx].pattern;
+
+    let bound = Binder::new(
+        &world.registry,
+        &world.descriptor,
+        &world.protocols,
+        &world.container_costs,
+        &mut world.db,
+        &mut world.state,
+        &mut world.rng,
+        &mut world.next_tag,
+    )
+    .bind_page(client_node, entry_node, &page);
+
+    if now >= world.measuring_from {
+        world.bind_totals.merge(&bound.stats);
+    }
+    for (tag, apply) in bound.deferred {
+        world.deferred.insert(tag, (now, apply));
+    }
+
+    let measured = now >= world.measuring_from;
+    spawn_job(
+        world,
+        ctx,
+        bound.steps,
+        Box::new(move |w: &mut World, c| {
+            if measured {
+                let response = c.now() - now;
+                w.stats.record(&group_name, pattern, label, response);
+                w.completed += 1;
+            }
+        }),
+    );
+
+    let delay = world.spec.soft_delay;
+    ctx.schedule_in(delay, move |w, c| issue(w, c, slot_idx));
+}
+
+/// Runs one experiment to completion and reports its measurements.
+pub fn run_experiment(input: ExperimentInput) -> ExperimentReport {
+    let ExperimentInput {
+        app,
+        registry,
+        db,
+        descriptor,
+        topology,
+        protocols,
+        container_costs,
+        spec,
+    } = input;
+
+    let rng = SimRng::seed_from_u64(spec.seed);
+    let mut session_rng = rng.derive(1);
+    let world_rng = rng.derive(2);
+    let measuring_from = SimTime::ZERO + spec.warmup;
+
+    // Create the session slots: one per concurrent client session.
+    let mut sessions = Vec::new();
+    for (gi, group) in spec.groups.iter().enumerate() {
+        for (kind, rate) in [
+            (SessionKind::Browser, group.browser_rate),
+            (SessionKind::Transactional, group.transactional_rate),
+        ] {
+            for _ in 0..spec.sessions_for_rate(rate) {
+                let pattern = match kind {
+                    SessionKind::Browser => "Browser",
+                    SessionKind::Transactional => app.transactional_label(),
+                };
+                sessions.push(SessionSlot {
+                    group: gi,
+                    kind,
+                    pattern,
+                    state: app.new_session(kind, &mut session_rng),
+                });
+            }
+        }
+    }
+
+    let config = descriptor.name.clone();
+    let horizon = spec.horizon();
+    let n_sessions = sessions.len();
+    let soft_delay = spec.soft_delay;
+
+    let mut state = ContainerState::new();
+    if descriptor.eager_cache_warmup {
+        // Push-based caches are loaded at deployment and kept fresh by
+        // pushes: populate every cacheable query instance at its cache nodes
+        // and every replicated entity row at its replica nodes.
+        for (tag, query) in app.cacheable_query_instances() {
+            for &node in &descriptor.query_cache.nodes {
+                if descriptor.query_cache.covers(node, &tag) {
+                    state.cache_query(node, query.clone());
+                }
+            }
+        }
+        for component in registry.ids() {
+            let spec_c = registry.spec(component);
+            if let Some(table) = spec_c.table {
+                let replicas: Vec<_> = descriptor.replica_nodes(component).collect();
+                if replicas.is_empty() {
+                    continue;
+                }
+                for row in db.table(table).all_ids() {
+                    for &node in &replicas {
+                        state.load_entity_row(component, node, row);
+                    }
+                }
+            }
+        }
+    }
+
+    let world = World {
+        net: Network::new(topology),
+        db,
+        state,
+        registry,
+        descriptor,
+        protocols,
+        container_costs,
+        app,
+        rng: world_rng,
+        next_tag: 0,
+        deferred: HashMap::new(),
+        stats: WorkloadStats::new(),
+        staleness_ms: Summary::new(),
+        bind_totals: BindStats::default(),
+        sessions,
+        spec,
+        measuring_from,
+        completed: 0,
+    };
+
+    let mut sim = Simulation::new(world);
+    // Stagger session starts uniformly across one soft-delay interval.
+    for i in 0..n_sessions {
+        let offset = soft_delay.mul_f64(i as f64 / n_sessions.max(1) as f64);
+        sim.schedule_at(SimTime::ZERO + offset, move |w, c| issue(w, c, i));
+    }
+    // Reset resource statistics when the measured window opens.
+    sim.schedule_at(measuring_from, |w: &mut World, _| w.net.reset_stats());
+    // Failure injection.
+    for p in sim.world().spec.perturbations.clone() {
+        let action = p.action.clone();
+        sim.schedule_at(SimTime::ZERO + p.at, move |w: &mut World, _| match &action {
+            crate::spec::NetAction::ScaleWanLatency { threshold, factor } => {
+                w.net.scale_latencies_above(*threshold, *factor);
+            }
+            crate::spec::NetAction::Restore => w.net.clear_latency_overrides(),
+        });
+    }
+
+    sim.run_until(horizon);
+
+    let world = sim.into_world();
+    let cpu_utilization = world
+        .net
+        .topology()
+        .node_ids()
+        .map(|n| (world.net.topology().node(n).name.clone(), world.net.cpu_utilization(n, horizon)))
+        .collect();
+
+    ExperimentReport {
+        config,
+        stats: world.stats,
+        bind_totals: world.bind_totals,
+        staleness_ms: world.staleness_ms,
+        cpu_utilization,
+        completed: world.completed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{paper_groups, WorkloadSpec};
+    use mutsvc_desim::time::SimDuration;
+    use mutsvc_middleware::DescriptorBuilder;
+    use mutsvc_netsim::TopologyBuilder;
+
+    /// A small Pet Store experiment on a two-server topology.
+    fn small_input(seed: u64) -> ExperimentInput {
+        let (app, registry, db) = App::petstore(false);
+        let mut tb = TopologyBuilder::new();
+        let main = tb.node("main", 2);
+        let dbn = tb.node("db", 2);
+        let router = tb.node("router", 8);
+        let edge = tb.node("edge1", 2);
+        let lc = tb.node("client-local", 4);
+        let rc = tb.node("client-remote", 4);
+        let lan = SimDuration::from_micros(200);
+        let wan = SimDuration::from_millis(100);
+        tb.duplex_link(main, router, lan, 100e6);
+        tb.duplex_link(dbn, router, lan, 100e6);
+        tb.duplex_link(lc, router, lan, 100e6);
+        tb.duplex_link(edge, router, wan, 100e6);
+        tb.duplex_link(rc, edge, lan, 100e6);
+        let topology = tb.finalize();
+
+        let components = match &app {
+            App::PetStore(ps) => ps.components,
+            App::Rubis(_) => unreachable!(),
+        };
+        let mut b = DescriptorBuilder::new(&registry, "centralized", dbn);
+        b.central_node(main);
+        for c in components.all() {
+            b.place(c, main);
+        }
+        let descriptor = b.build().unwrap();
+
+        let mut groups = paper_groups((lc, main), (rc, main), (rc, main));
+        groups.truncate(2); // local + one remote group keeps the test fast
+        let spec = WorkloadSpec::paper_load(groups)
+            .with_duration(SimDuration::from_secs(30), SimDuration::from_secs(120))
+            .with_seed(seed);
+
+        ExperimentInput {
+            app,
+            registry,
+            db,
+            descriptor,
+            topology,
+            protocols: ProtocolParams::petstore_stack(),
+            container_costs: ContainerCosts::default(),
+            spec,
+        }
+    }
+
+    #[test]
+    fn centralized_experiment_measures_the_wan_gap() {
+        let report = run_experiment(small_input(7));
+        assert!(report.completed > 1_000, "completed {}", report.completed);
+
+        let local = report.stats.mean_ms("local", "Browser", "Item").unwrap();
+        let remote = report.stats.mean_ms("remote1", "Browser", "Item").unwrap();
+        assert!(
+            remote - local > 350.0 && remote - local < 500.0,
+            "local {local:.0}ms remote {remote:.0}ms"
+        );
+
+        // Offered load: 20 req/s over 120 s measured ≈ 2400 requests.
+        let expected = 20.0 * 120.0;
+        let ratio = report.completed as f64 / expected;
+        assert!((0.9..1.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn soft_delay_keeps_load_steady_despite_slow_responses() {
+        // Even with every remote page costing ~500ms, the send rate stays
+        // fixed because delays are soft (measured request count unchanged).
+        let report = run_experiment(small_input(8));
+        let sessions_expected = 56 + 14; // per group
+        assert!(report.completed as f64 > 0.9 * 20.0 * 120.0, "{}", report.completed);
+        let _ = sessions_expected;
+    }
+
+    #[test]
+    fn experiments_are_deterministic_per_seed() {
+        let a = run_experiment(small_input(9));
+        let b = run_experiment(small_input(9));
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(
+            a.stats.mean_ms("local", "Browser", "Item"),
+            b.stats.mean_ms("local", "Browser", "Item")
+        );
+        assert_eq!(a.bind_totals, b.bind_totals);
+        let c = run_experiment(small_input(10));
+        assert_ne!(
+            a.stats.mean_ms("local", "Browser", "Item"),
+            c.stats.mean_ms("local", "Browser", "Item")
+        );
+    }
+
+    #[test]
+    fn cpu_stays_in_the_papers_envelope() {
+        let report = run_experiment(small_input(11));
+        for (node, util) in &report.cpu_utilization {
+            assert!(*util < 0.75, "{node} at {util:.2}");
+        }
+        // The main server does carry load.
+        let main = report
+            .cpu_utilization
+            .iter()
+            .find(|(n, _)| n == "main")
+            .map(|(_, u)| *u)
+            .unwrap();
+        assert!(main > 0.05, "main util {main}");
+    }
+
+    #[test]
+    fn wan_degradation_perturbation_slows_remote_clients() {
+        let baseline = run_experiment(small_input(21));
+        let mut degraded_input = small_input(21);
+        // Double the WAN legs for the whole measured window.
+        degraded_input.spec = degraded_input.spec.with_perturbation(
+            SimDuration::from_secs(1),
+            crate::spec::NetAction::ScaleWanLatency {
+                threshold: SimDuration::from_millis(50),
+                factor: 2.0,
+            },
+        );
+        let degraded = run_experiment(degraded_input);
+        let base = baseline.stats.mean_ms("remote1", "Browser", "Item").unwrap();
+        let slow = degraded.stats.mean_ms("remote1", "Browser", "Item").unwrap();
+        assert!(slow > base + 300.0, "degraded {slow:.0} vs baseline {base:.0}");
+        // Local clients are unaffected.
+        let base_local = baseline.stats.mean_ms("local", "Browser", "Item").unwrap();
+        let slow_local = degraded.stats.mean_ms("local", "Browser", "Item").unwrap();
+        assert!((slow_local - base_local).abs() < 10.0);
+    }
+
+    #[test]
+    fn restore_perturbation_heals_mid_run() {
+        let mut input = small_input(22);
+        let horizon = input.spec.horizon();
+        input.spec = input
+            .spec
+            .with_perturbation(
+                SimDuration::from_secs(1),
+                crate::spec::NetAction::ScaleWanLatency {
+                    threshold: SimDuration::from_millis(50),
+                    factor: 3.0,
+                },
+            )
+            .with_perturbation(
+                (horizon - SimTime::ZERO) / 2,
+                crate::spec::NetAction::Restore,
+            );
+        let healed = run_experiment(input);
+        let baseline = run_experiment(small_input(22));
+        let healed_mean = healed.stats.mean_ms("remote1", "Browser", "Item").unwrap();
+        let base_mean = baseline.stats.mean_ms("remote1", "Browser", "Item").unwrap();
+        // Roughly half the window is degraded (+400ms): the mean sits
+        // strictly between the healthy and fully-degraded levels.
+        assert!(healed_mean > base_mean + 100.0, "{healed_mean:.0} vs {base_mean:.0}");
+        assert!(healed_mean < base_mean + 700.0, "{healed_mean:.0} vs {base_mean:.0}");
+    }
+
+    #[test]
+    fn buyer_pattern_is_measured_separately() {
+        let report = run_experiment(small_input(12));
+        assert!(report.stats.mean_ms("local", "Buyer", "Commit").is_some());
+        assert!(report.stats.mean_ms("local", "Browser", "Commit").is_none());
+        assert!(report.stats.session_summary("remote1", "Buyer").is_some());
+    }
+}

@@ -1,0 +1,26 @@
+//! # mutsvc-workload — client simulation and experiment driving
+//!
+//! Reproduces the paper's measurement methodology (§3.3):
+//!
+//! * client groups co-located with their application servers,
+//!   10 requests/s per group, 80 % browsers / 20 % buyers-bidders;
+//! * **soft delays**: a session sends its next request a fixed interval
+//!   after the previous *send*, so the offered load is independent of
+//!   response times;
+//! * a warm-up window excluded from statistics, then a measured window;
+//! * per-page statistics split by client group and usage pattern — exactly
+//!   the axes of Tables 6/7 and Figures 7/8.
+//!
+//! [`driver::run_experiment`] wires an application, a deployment descriptor
+//! and a topology into a deterministic discrete-event run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod spec;
+pub mod stats;
+
+pub use driver::{run_experiment, ExperimentInput, ExperimentReport};
+pub use spec::{paper_groups, ClientGroup, NetAction, Perturbation, WorkloadSpec};
+pub use stats::{SeriesKey, WorkloadStats};

@@ -1,0 +1,156 @@
+//! Workload specification: client groups, rates and soft delays (§3.3).
+
+use serde::{Deserialize, Serialize};
+
+use mutsvc_desim::time::{SimDuration, SimTime};
+use mutsvc_netsim::NodeId;
+
+/// One group of clients co-located with an application server.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClientGroup {
+    /// Group name ("local", "remote1", "remote2").
+    pub name: String,
+    /// The node the clients run on.
+    pub client_node: NodeId,
+    /// The application server the group sends its HTTP requests to.
+    pub entry_node: NodeId,
+    /// Aggregate browser request rate (requests/second).
+    pub browser_rate: f64,
+    /// Aggregate buyer/bidder request rate (requests/second).
+    pub transactional_rate: f64,
+}
+
+/// A scheduled network perturbation (failure injection).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Perturbation {
+    /// Offset from simulation start.
+    pub at: SimDuration,
+    /// What happens.
+    pub action: NetAction,
+}
+
+/// Network-state changes available to perturbations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum NetAction {
+    /// Scale the latency of every link whose base latency is at least
+    /// `threshold` (the WAN legs) by `factor`.
+    ScaleWanLatency {
+        /// Base-latency threshold selecting the links.
+        threshold: SimDuration,
+        /// Multiplier applied to the base latency.
+        factor: f64,
+    },
+    /// Remove all latency overrides.
+    Restore,
+}
+
+/// The complete load specification of one experiment.
+///
+/// Defaults reproduce §3.3: a combined 30 requests/s from 80 % browsers and
+/// 20 % buyers/bidders, split evenly across three client groups (10 req/s
+/// each), soft inter-request delays, one (simulated) hour of measurement
+/// after warm-up.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Client groups.
+    pub groups: Vec<ClientGroup>,
+    /// Soft delay: the fixed interval between successive request *sends*
+    /// within a session ("effectively DELAY becomes the time interval
+    /// between sending requests").
+    pub soft_delay: SimDuration,
+    /// Warm-up period excluded from statistics.
+    pub warmup: SimDuration,
+    /// Measured duration (after warm-up).
+    pub duration: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+    /// Scheduled network perturbations (failure injection).
+    pub perturbations: Vec<Perturbation>,
+}
+
+impl WorkloadSpec {
+    /// The paper's load: 10 req/s per group, 80/20 browser/transactional.
+    pub fn paper_load(groups: Vec<ClientGroup>) -> Self {
+        WorkloadSpec {
+            groups,
+            soft_delay: SimDuration::from_secs(7),
+            warmup: SimDuration::from_secs(120),
+            duration: SimDuration::from_secs(3_600),
+            seed: 42,
+            perturbations: Vec::new(),
+        }
+    }
+
+    /// Schedules a network perturbation.
+    pub fn with_perturbation(mut self, at: SimDuration, action: NetAction) -> Self {
+        self.perturbations.push(Perturbation { at, action });
+        self
+    }
+
+    /// Scales warm-up and measured duration (for quick tests and benches).
+    pub fn with_duration(mut self, warmup: SimDuration, duration: SimDuration) -> Self {
+        self.warmup = warmup;
+        self.duration = duration;
+        self
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// End of the simulation (warm-up plus measurement).
+    pub fn horizon(&self) -> SimTime {
+        SimTime::ZERO + self.warmup + self.duration
+    }
+
+    /// Number of concurrent sessions needed for `rate` with this soft delay.
+    pub fn sessions_for_rate(&self, rate: f64) -> usize {
+        (rate * self.soft_delay.as_secs_f64()).round().max(0.0) as usize
+    }
+
+    /// Aggregate offered load in requests/second.
+    pub fn total_rate(&self) -> f64 {
+        self.groups.iter().map(|g| g.browser_rate + g.transactional_rate).sum()
+    }
+}
+
+/// Builds the paper's three standard groups (10 req/s each, 80 % browser)
+/// given the node placements.
+pub fn paper_groups(
+    local: (NodeId, NodeId),
+    remote1: (NodeId, NodeId),
+    remote2: (NodeId, NodeId),
+) -> Vec<ClientGroup> {
+    let mk = |name: &str, (client, entry): (NodeId, NodeId)| ClientGroup {
+        name: name.to_string(),
+        client_node: client,
+        entry_node: entry,
+        browser_rate: 8.0,
+        transactional_rate: 2.0,
+    };
+    vec![mk("local", local), mk("remote1", remote1), mk("remote2", remote2)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mutsvc_netsim::TopologyBuilder;
+
+    #[test]
+    fn paper_load_matches_section_3_3() {
+        let mut tb = TopologyBuilder::new();
+        let a = tb.node("a", 1);
+        let b = tb.node("b", 1);
+        tb.duplex_link(a, b, SimDuration::from_millis(1), 1e9);
+        let groups = paper_groups((a, a), (b, b), (b, b));
+        let spec = WorkloadSpec::paper_load(groups);
+        assert_eq!(spec.total_rate(), 30.0);
+        assert_eq!(spec.sessions_for_rate(8.0), 56);
+        assert_eq!(spec.sessions_for_rate(2.0), 14);
+        assert_eq!(spec.horizon().as_secs_f64(), 3_720.0);
+        let browser_share: f64 = spec.groups.iter().map(|g| g.browser_rate).sum::<f64>() / spec.total_rate();
+        assert!((browser_share - 0.8).abs() < 1e-9);
+    }
+}

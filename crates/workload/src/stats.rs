@@ -1,0 +1,177 @@
+//! Measurement collection: per-page and per-session-pattern response times,
+//! keyed the way the paper's Tables 6/7 and Figures 7/8 report them.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use mutsvc_desim::metrics::Summary;
+use mutsvc_desim::time::SimDuration;
+
+/// Identifies one measured series: client group × usage pattern × page.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SeriesKey {
+    /// Client group name ("local", "remote1", "remote2").
+    pub group: String,
+    /// Usage pattern ("Browser", "Buyer", "Bidder").
+    pub pattern: String,
+    /// Page label ("Item", "Commit", …).
+    pub page: String,
+}
+
+/// Collected response-time statistics for one experiment run.
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadStats {
+    series: BTreeMap<SeriesKey, Summary>,
+    /// Aggregate per (group, pattern) — the Figures 7/8 session averages.
+    sessions: BTreeMap<(String, String), Summary>,
+    requests: u64,
+}
+
+impl WorkloadStats {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed page request.
+    pub fn record(&mut self, group: &str, pattern: &str, page: &str, response: SimDuration) {
+        self.requests += 1;
+        self.series
+            .entry(SeriesKey {
+                group: group.to_string(),
+                pattern: pattern.to_string(),
+                page: page.to_string(),
+            })
+            .or_default()
+            .record_duration(response);
+        self.sessions
+            .entry((group.to_string(), pattern.to_string()))
+            .or_default()
+            .record_duration(response);
+    }
+
+    /// Total requests recorded.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// The summary of one series, if measured.
+    pub fn series(&self, group: &str, pattern: &str, page: &str) -> Option<&Summary> {
+        self.series.get(&SeriesKey {
+            group: group.to_string(),
+            pattern: pattern.to_string(),
+            page: page.to_string(),
+        })
+    }
+
+    /// Mean response time of one series in milliseconds (`None` if unmeasured).
+    pub fn mean_ms(&self, group: &str, pattern: &str, page: &str) -> Option<f64> {
+        self.series(group, pattern, page).map(Summary::mean)
+    }
+
+    /// Mean response time of a page aggregated over several groups (e.g. the
+    /// paper's single "remote" column covering both edge client groups).
+    pub fn mean_ms_over_groups(&self, groups: &[&str], pattern: &str, page: &str) -> Option<f64> {
+        let mut total = 0.0;
+        let mut n = 0u64;
+        for g in groups {
+            if let Some(s) = self.series(g, pattern, page) {
+                total += s.mean() * s.count() as f64;
+                n += s.count();
+            }
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(total / n as f64)
+        }
+    }
+
+    /// The session-average summary of a (group, pattern) — Figures 7/8 bars.
+    pub fn session_summary(&self, group: &str, pattern: &str) -> Option<&Summary> {
+        self.sessions.get(&(group.to_string(), pattern.to_string()))
+    }
+
+    /// Session-average response time over several groups.
+    pub fn session_mean_over_groups(&self, groups: &[&str], pattern: &str) -> Option<f64> {
+        let mut total = 0.0;
+        let mut n = 0u64;
+        for g in groups {
+            if let Some(s) = self.sessions.get(&(g.to_string(), pattern.to_string())) {
+                total += s.mean() * s.count() as f64;
+                n += s.count();
+            }
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(total / n as f64)
+        }
+    }
+
+    /// Iterates every series, sorted by key.
+    pub fn iter(&self) -> impl Iterator<Item = (&SeriesKey, &Summary)> {
+        self.series.iter()
+    }
+
+    /// All page labels recorded for a pattern, in sorted order.
+    pub fn pages_of(&self, pattern: &str) -> Vec<String> {
+        let mut pages: Vec<String> = self
+            .series
+            .keys()
+            .filter(|k| k.pattern == pattern)
+            .map(|k| k.page.clone())
+            .collect();
+        pages.sort();
+        pages.dedup();
+        pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn records_and_aggregates() {
+        let mut s = WorkloadStats::new();
+        s.record("local", "Browser", "Item", ms(50));
+        s.record("local", "Browser", "Item", ms(70));
+        s.record("local", "Browser", "Main", ms(80));
+        s.record("remote1", "Browser", "Item", ms(400));
+        assert_eq!(s.requests(), 4);
+        assert_eq!(s.mean_ms("local", "Browser", "Item"), Some(60.0));
+        assert_eq!(s.mean_ms("remote1", "Browser", "Item"), Some(400.0));
+        assert_eq!(s.mean_ms("remote2", "Browser", "Item"), None);
+        // Session average over all local browser pages: (50+70+80)/3.
+        let sess = s.session_summary("local", "Browser").unwrap();
+        assert!((sess.mean() - 200.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn group_aggregation_weights_by_count() {
+        let mut s = WorkloadStats::new();
+        s.record("remote1", "Browser", "Item", ms(100));
+        s.record("remote1", "Browser", "Item", ms(100));
+        s.record("remote2", "Browser", "Item", ms(400));
+        let m = s.mean_ms_over_groups(&["remote1", "remote2"], "Browser", "Item").unwrap();
+        assert!((m - 200.0).abs() < 1e-9);
+        assert_eq!(s.mean_ms_over_groups(&["nope"], "Browser", "Item"), None);
+        let sess = s.session_mean_over_groups(&["remote1", "remote2"], "Browser").unwrap();
+        assert!((sess - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pages_of_pattern() {
+        let mut s = WorkloadStats::new();
+        s.record("local", "Buyer", "Commit", ms(1));
+        s.record("local", "Buyer", "Cart", ms(1));
+        s.record("local", "Browser", "Item", ms(1));
+        assert_eq!(s.pages_of("Buyer"), vec!["Cart".to_string(), "Commit".to_string()]);
+    }
+}

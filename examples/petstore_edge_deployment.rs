@@ -1,0 +1,36 @@
+//! The full Pet Store study: all five configurations, Table 6 and Figure 7,
+//! compared against the published numbers.
+//!
+//! ```sh
+//! cargo run --release --example petstore_edge_deployment [-- --paper]
+//! ```
+
+use mutable_services::core::{
+    render_comparison, render_figure, render_table, run_sweep, validate_shapes, AppKind,
+};
+
+fn main() {
+    let paper_mode = std::env::args().any(|a| a == "--paper");
+    eprintln!(
+        "running the five Pet Store configurations ({} windows)...",
+        if paper_mode { "paper one-hour" } else { "quick" }
+    );
+    let reports = run_sweep(AppKind::PetStore, !paper_mode, 42);
+
+    println!("{}", render_table(AppKind::PetStore, &reports));
+    println!("{}", render_figure(AppKind::PetStore, &reports));
+    println!("{}", render_comparison(AppKind::PetStore, &reports));
+
+    let violations = validate_shapes(AppKind::PetStore, &reports);
+    if violations.is_empty() {
+        println!("All DESIGN.md §5 shape criteria hold for this run.");
+    } else {
+        println!("Shape deviations ({}):", violations.len());
+        for v in violations {
+            println!("  - {v}");
+        }
+        if !paper_mode {
+            println!("(quick windows leave edge caches partly cold; try --paper)");
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Quickstart: measure one page under two configurations.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mutable_services::core::{AppKind, Config, Scenario};
+
+fn main() {
+    println!("Java Pet Store, Item page, remote clients (quick windows)\n");
+    for config in [Config::Centralized, Config::RemoteFacade, Config::StatefulCaching] {
+        let report = Scenario::quick(AppKind::PetStore, config).run();
+        let local = report.stats.mean_ms("local", "Browser", "Item").unwrap();
+        let remote = report
+            .stats
+            .mean_ms_over_groups(&["remote1", "remote2"], "Browser", "Item")
+            .unwrap();
+        println!(
+            "{:<18} local {:>5.0} ms   remote {:>5.0} ms   ({} requests measured)",
+            config.name(),
+            local,
+            remote,
+            report.completed
+        );
+    }
+    println!("\nRead-only entity replicas on the edge servers absorb the WAN:");
+    println!("the remote Item page collapses from ~2 round trips to local time.");
+}

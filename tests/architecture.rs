@@ -1,0 +1,95 @@
+//! Structural invariants: Figure 1's component relationships, descriptor
+//! wiring across the five configurations, and the §5 design rules.
+
+use mutable_services::apps::App;
+use mutable_services::core::{AppKind, Config, Scenario};
+use mutable_services::middleware::{ComponentKind, UpdatePropagation};
+
+#[test]
+fn petstore_architecture_matches_figure_1() {
+    let (app, registry, _) = App::petstore(true);
+    let App::PetStore(ps) = app else { unreachable!() };
+    let c = ps.components;
+    let edges = c.architecture_edges();
+    // The figure's core relationships are present.
+    for (from, to) in [
+        (c.web, c.controller),
+        (c.controller, c.cart),
+        (c.cart, c.catalog),
+        (c.catalog, c.item),
+        (c.catalog, c.inventory),
+        (c.customer, c.order),
+        (c.customer, c.account),
+    ] {
+        assert!(edges.contains(&(from, to)), "missing edge");
+    }
+    // §5 design rule: the web tier never references entities directly.
+    for (from, to) in edges {
+        if from == c.web {
+            assert_ne!(registry.spec(to).kind, ComponentKind::Entity);
+        }
+    }
+}
+
+#[test]
+fn configurations_differ_only_in_descriptors() {
+    // The same page built twice under different scenario configs (beyond the
+    // one-time façade refactoring) is structurally identical — the paper's
+    // "application code untouched" claim.
+    let (input_a, _) = Scenario::quick(AppKind::Rubis, Config::RemoteFacade).build();
+    let (input_b, _) = Scenario::quick(AppKind::Rubis, Config::AsyncUpdates).build();
+    assert_eq!(input_a.registry.len(), input_b.registry.len());
+    // Only descriptor knobs change.
+    assert_ne!(input_a.descriptor.entity_propagation, input_b.descriptor.entity_propagation);
+    assert_eq!(input_b.descriptor.entity_propagation, UpdatePropagation::AsyncPush);
+}
+
+#[test]
+fn incremental_configurations_grow_monotonically() {
+    // Each configuration strictly extends the previous one's edge footprint.
+    let mut previous_edge_components = 0;
+    for config in Config::all() {
+        let (input, nodes) = Scenario::quick(AppKind::PetStore, config).build();
+        let on_edge = input
+            .descriptor
+            .placements
+            .values()
+            .filter(|p| p.hosts(nodes.edge1))
+            .count();
+        assert!(
+            on_edge >= previous_edge_components,
+            "{}: {on_edge} < {previous_edge_components}",
+            config.name()
+        );
+        previous_edge_components = on_edge;
+    }
+}
+
+#[test]
+fn every_config_places_every_component() {
+    for app in AppKind::all() {
+        for config in Config::all() {
+            let (input, _) = Scenario::quick(app, config).build();
+            for id in input.registry.ids() {
+                // placement() panics if missing; reaching here proves totality.
+                let _ = input.descriptor.placement(id);
+            }
+        }
+    }
+}
+
+#[test]
+fn facades_are_the_only_wide_area_entry_points() {
+    // §5: "define façades as the only components that can be invoked by
+    // remote clients" — in every distributed config, entities are never
+    // placed on an edge without a co-located façade in front of them.
+    for config in [Config::StatefulCaching, Config::QueryCaching, Config::AsyncUpdates] {
+        let (input, nodes) = Scenario::quick(AppKind::PetStore, config).build();
+        let catalog = input.registry.by_name("Catalog").unwrap();
+        let item = input.registry.by_name("ItemEJB").unwrap();
+        let item_on_edge = input.descriptor.placement(item).hosts(nodes.edge1);
+        let catalog_on_edge = input.descriptor.placement(catalog).hosts(nodes.edge1);
+        assert!(item_on_edge, "{}", config.name());
+        assert!(catalog_on_edge, "entity replica without its façade in {}", config.name());
+    }
+}

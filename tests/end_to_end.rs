@@ -1,0 +1,97 @@
+//! Cross-crate end-to-end tests: full scenarios through the façade crate,
+//! using quick measurement windows. Criteria here are chosen to be robust
+//! at 300 s windows (the full paper-mode validation lives in
+//! `tests/paper_shapes.rs`).
+
+use mutable_services::core::{AppKind, Config, Scenario};
+
+const REMOTE: [&str; 2] = ["remote1", "remote2"];
+
+#[test]
+fn centralized_petstore_pays_two_wan_round_trips() {
+    let report = Scenario::quick(AppKind::PetStore, Config::Centralized).run();
+    let local = report.stats.mean_ms("local", "Browser", "Item").unwrap();
+    let remote = report.stats.mean_ms_over_groups(&REMOTE, "Browser", "Item").unwrap();
+    let gap = remote - local;
+    assert!((330.0..520.0).contains(&gap), "gap {gap:.0}ms");
+    // Redirect pages pay a third round trip.
+    let commit = report.stats.mean_ms_over_groups(&REMOTE, "Buyer", "Commit").unwrap();
+    assert!(commit > remote + 120.0, "commit {commit:.0} vs item {remote:.0}");
+}
+
+#[test]
+fn facade_localizes_session_pages_and_halves_browse_pages() {
+    let centralized = Scenario::quick(AppKind::PetStore, Config::Centralized).run();
+    let facade = Scenario::quick(AppKind::PetStore, Config::RemoteFacade).run();
+    // Session-only buyer pages become local.
+    for page in ["Checkout", "Billing", "SignOut"] {
+        let v = facade.stats.mean_ms_over_groups(&REMOTE, "Buyer", page).unwrap();
+        assert!(v < 120.0, "{page} {v:.0}ms");
+    }
+    // One-RMI pages improve on centralized.
+    let before = centralized.stats.mean_ms_over_groups(&REMOTE, "Browser", "Category").unwrap();
+    let after = facade.stats.mean_ms_over_groups(&REMOTE, "Browser", "Category").unwrap();
+    assert!(after < before - 40.0, "{before:.0} -> {after:.0}");
+    // Verify Sign-in keeps two wide-area calls.
+    let verify = facade.stats.mean_ms_over_groups(&REMOTE, "Buyer", "VerifySignIn").unwrap();
+    assert!(verify > 400.0, "verify {verify:.0}ms");
+}
+
+#[test]
+fn sync_push_blocks_buyers_async_recovers_them() {
+    let caching = Scenario::quick(AppKind::PetStore, Config::StatefulCaching).run();
+    let asynch = Scenario::quick(AppKind::PetStore, Config::AsyncUpdates).run();
+    let sync_commit = caching.stats.mean_ms("local", "Buyer", "Commit").unwrap();
+    let async_commit = asynch.stats.mean_ms("local", "Buyer", "Commit").unwrap();
+    assert!(
+        sync_commit > async_commit * 2.0,
+        "sync {sync_commit:.0} vs async {async_commit:.0}"
+    );
+    // The asynchronous run reports propagation delays (staleness windows).
+    assert!(asynch.staleness_ms.count() > 0);
+    assert!(caching.staleness_ms.count() == 0, "sync pushes are not deferred");
+    // Staleness is roughly a WAN trip (publish + delivery), well under 1s.
+    let mean = asynch.staleness_ms.mean();
+    assert!((100.0..600.0).contains(&mean), "staleness {mean:.0}ms");
+}
+
+#[test]
+fn rubis_query_caching_localizes_remote_browsing() {
+    let report = Scenario::quick(AppKind::Rubis, Config::QueryCaching).run();
+    for page in ["AllCategories", "Category", "Item", "Bids"] {
+        let v = report.stats.mean_ms_over_groups(&REMOTE, "Browser", page).unwrap();
+        assert!(v < 60.0, "{page} {v:.0}ms should be near-local");
+    }
+    // The writers still block on synchronous pushes.
+    let store = report.stats.mean_ms_over_groups(&REMOTE, "Bidder", "StoreBid").unwrap();
+    assert!(store > 400.0, "StoreBid {store:.0}ms");
+}
+
+#[test]
+fn remote_browser_sessions_collapse_across_the_sweep() {
+    let centralized = Scenario::quick(AppKind::Rubis, Config::Centralized).run();
+    let asynch = Scenario::quick(AppKind::Rubis, Config::AsyncUpdates).run();
+    let before = centralized.stats.session_mean_over_groups(&REMOTE, "Browser").unwrap();
+    let after = asynch.stats.session_mean_over_groups(&REMOTE, "Browser").unwrap();
+    assert!(before > 400.0, "centralized {before:.0}ms");
+    assert!(after < 60.0, "async {after:.0}ms");
+    assert!(before / after > 8.0, "collapse factor {:.1}", before / after);
+}
+
+#[test]
+fn load_distribution_shifts_cpu_to_the_edges() {
+    let centralized = Scenario::quick(AppKind::PetStore, Config::Centralized).run();
+    let facade = Scenario::quick(AppKind::PetStore, Config::RemoteFacade).run();
+    let util = |r: &mutable_services::workload::ExperimentReport, n: &str| {
+        r.cpu_utilization.iter().find(|(name, _)| name == n).map(|(_, u)| *u).unwrap()
+    };
+    assert!(util(&centralized, "edge1") < 0.01);
+    assert!(util(&facade, "edge1") > 0.05);
+    assert!(util(&facade, "main") < util(&centralized, "main"));
+    // The paper keeps every server under 40 %.
+    for r in [&centralized, &facade] {
+        for (name, u) in &r.cpu_utilization {
+            assert!(*u < 0.55, "{name} at {u:.2}");
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Full paper-mode shape validation (Tables 6/7, Figures 7/8 criteria from
+//! `DESIGN.md` §5). These run one-hour simulated windows per configuration —
+//! a few seconds each in release mode, slower in debug — so they are
+//! `#[ignore]`d by default:
+//!
+//! ```sh
+//! cargo test --release --test paper_shapes -- --ignored
+//! ```
+//!
+//! The same validation runs on every `repro-report --validate` invocation.
+
+use mutable_services::core::{run_sweep, validate_shapes, AppKind};
+
+#[test]
+#[ignore = "paper-length windows; run with --release -- --ignored"]
+fn petstore_reproduces_table_6_shapes() {
+    let reports = run_sweep(AppKind::PetStore, false, 42);
+    let violations = validate_shapes(AppKind::PetStore, &reports);
+    assert!(violations.is_empty(), "violations: {violations:#?}");
+}
+
+#[test]
+#[ignore = "paper-length windows; run with --release -- --ignored"]
+fn rubis_reproduces_table_7_shapes() {
+    let reports = run_sweep(AppKind::Rubis, false, 42);
+    let violations = validate_shapes(AppKind::Rubis, &reports);
+    assert!(violations.is_empty(), "violations: {violations:#?}");
+}
+
+#[test]
+#[ignore = "paper-length windows; run with --release -- --ignored"]
+fn shapes_hold_across_seeds() {
+    for seed in [1, 99] {
+        let reports = run_sweep(AppKind::PetStore, false, seed);
+        let violations = validate_shapes(AppKind::PetStore, &reports);
+        assert!(violations.is_empty(), "seed {seed}: {violations:#?}");
+    }
+}

@@ -1,0 +1,62 @@
+//! Cross-layer consistency: the placement layer's automatic deployments
+//! agree with the simulator's measurements — the configuration the optimizer
+//! picks really is the one that measures fastest.
+
+use mutable_services::core::{AppKind, Config, Scenario};
+use mutable_services::placement::algorithms::greedy::{solve, GreedyOptions};
+use mutable_services::placement::derive::{petstore_problem, rubis_problem};
+use mutable_services::placement::{cost, HostId, Placement};
+
+const REMOTE: [&str; 2] = ["remote1", "remote2"];
+
+#[test]
+fn optimizer_cost_ordering_matches_measured_ordering() {
+    // Placement cost of centralized vs the optimized (replicated) deployment…
+    let (problem, _) = petstore_problem();
+    let centralized_cost = cost(&problem, &Placement::all_on(&problem, HostId(0)));
+    let (_, optimized_cost) = solve(&problem, &GreedyOptions::default());
+    assert!(optimized_cost < centralized_cost / 2.0);
+
+    // …mirrors the simulator: async-updates beats centralized by a similar
+    // margin for remote browsers.
+    let centralized = Scenario::quick(AppKind::PetStore, Config::Centralized).run();
+    let best = Scenario::quick(AppKind::PetStore, Config::AsyncUpdates).run();
+    let before = centralized.stats.session_mean_over_groups(&REMOTE, "Browser").unwrap();
+    let after = best.stats.session_mean_over_groups(&REMOTE, "Browser").unwrap();
+    assert!(after < before / 2.0, "measured {before:.0} -> {after:.0}");
+}
+
+#[test]
+fn derived_replication_set_matches_the_best_configuration() {
+    // Components the optimizer replicates are exactly those the §4.5
+    // descriptor replicates (modulo infrastructure beans).
+    let (problem, ps) = petstore_problem();
+    let (placement, _) = solve(&problem, &GreedyOptions::default());
+    let (input, nodes) = Scenario::quick(AppKind::PetStore, Config::AsyncUpdates).build();
+
+    for name in ["Catalog", "ItemEJB", "InventoryEJB", "ShoppingCart"] {
+        let node = problem.graph.by_name(name).unwrap();
+        let optimizer_replicates = !placement.replicas[node.index()].is_empty();
+        let component = input.registry.by_name(name).unwrap();
+        let descriptor_replicates = input.descriptor.placement(component).hosts(nodes.edge1);
+        assert_eq!(optimizer_replicates, descriptor_replicates, "{name}");
+    }
+    for name in ["SignOnEJB", "OrderEJB", "AccountEJB"] {
+        let node = problem.graph.by_name(name).unwrap();
+        assert!(placement.replicas[node.index()].is_empty(), "{name}");
+    }
+    let _ = ps;
+}
+
+#[test]
+fn rubis_derivation_is_stable() {
+    // Building the problem twice gives identical structure (determinism of
+    // the derivation walk).
+    let (a, _) = rubis_problem();
+    let (b, _) = rubis_problem();
+    assert_eq!(a.graph.len(), b.graph.len());
+    assert_eq!(a.graph.graph.edge_count(), b.graph.graph.edge_count());
+    let (_, ca) = solve(&a, &GreedyOptions::default());
+    let (_, cb) = solve(&b, &GreedyOptions::default());
+    assert_eq!(ca.to_bits(), cb.to_bits());
+}
