@@ -1,0 +1,124 @@
+//! `mutsvc-analyze` — the static deployment linter CLI.
+//!
+//! ```text
+//! mutsvc-analyze [--app petstore|rubis] [--config NAME] [--all] [--format text|json]
+//! ```
+//!
+//! With no selection flags, `--all` is assumed (both applications × all five
+//! configurations). Exits `1` when any analyzed deployment has errors, `2`
+//! on usage errors.
+
+use std::process::ExitCode;
+
+use mutsvc_analyze::analyze_target;
+use mutsvc_core::{AppKind, Config};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+struct Options {
+    app: Option<AppKind>,
+    config: Option<Config>,
+    all: bool,
+    format: Format,
+}
+
+fn usage() -> String {
+    let configs: Vec<&str> = Config::all().iter().map(|c| c.name()).collect();
+    format!(
+        "usage: mutsvc-analyze [--app petstore|rubis] [--config NAME] [--all] \
+         [--format text|json]\nconfigs: {}",
+        configs.join(", ")
+    )
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        app: None,
+        config: None,
+        all: false,
+        format: Format::Text,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--app" => {
+                let value = it.next().ok_or("--app needs a value")?;
+                opts.app = Some(match value.as_str() {
+                    "petstore" => AppKind::PetStore,
+                    "rubis" => AppKind::Rubis,
+                    other => return Err(format!("unknown application `{other}`")),
+                });
+            }
+            "--config" => {
+                let value = it.next().ok_or("--config needs a value")?;
+                opts.config = Some(
+                    Config::all()
+                        .iter()
+                        .copied()
+                        .find(|c| c.name() == value.as_str())
+                        .ok_or_else(|| format!("unknown configuration `{value}`"))?,
+                );
+            }
+            "--all" => opts.all = true,
+            "--format" => {
+                let value = it.next().ok_or("--format needs a value")?;
+                opts.format = match value.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    let apps: Vec<AppKind> = match (opts.all, opts.app) {
+        (false, Some(app)) => vec![app],
+        _ => AppKind::all().to_vec(),
+    };
+    let configs: Vec<Config> = match (opts.all, opts.config) {
+        (false, Some(config)) => vec![config],
+        _ => Config::all().to_vec(),
+    };
+
+    let mut failed = false;
+    let mut json_reports = Vec::new();
+    for &app in &apps {
+        for &config in &configs {
+            let report = analyze_target(app, config);
+            failed |= report.has_errors();
+            match opts.format {
+                Format::Text => print!("{}", report.render_text()),
+                Format::Json => json_reports.push(report.to_json()),
+            }
+        }
+    }
+    if opts.format == Format::Json {
+        println!("[{}]", json_reports.join(","));
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,330 @@
+//! Diagnostic types and rendering.
+//!
+//! Diagnostics carry stable codes (`E001`…, `W101`…) so CI and editors can
+//! filter on them; rendering mimics rustc's `severity[code]: message` shape
+//! with `-->` location lines. JSON output is emitted by hand (the vendored
+//! `serde` stub has no derive support), with proper string escaping.
+
+use std::fmt::Write as _;
+
+/// Diagnostic severity. Errors fail the build (`mutsvc-analyze` exits
+/// nonzero); warnings are advisory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Violates a hard §4 invariant or makes the deployment unrunnable.
+    Error,
+    /// A wide-area performance or staleness hazard.
+    Warning,
+}
+
+impl Severity {
+    /// The rustc-style label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// Where a diagnostic was found: the page (if page-scoped) and the
+/// invocation path within its call tree.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Span {
+    /// Page name, when the diagnostic is tied to one page's tree.
+    pub page: Option<String>,
+    /// Invocation path (`web.doGet > Catalog.getItem`), or a descriptor
+    /// location for deployment-level findings.
+    pub path: String,
+}
+
+impl Span {
+    /// A descriptor-level span (no page).
+    pub fn descriptor(path: impl Into<String>) -> Self {
+        Span {
+            page: None,
+            path: path.into(),
+        }
+    }
+
+    /// A page-scoped span.
+    pub fn page(page: impl Into<String>, path: impl Into<String>) -> Self {
+        Span {
+            page: Some(page.into()),
+            path: path.into(),
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Stable code (`E001`, `W105`, …).
+    pub code: &'static str,
+    /// Severity.
+    pub severity: Severity,
+    /// The component involved, if one.
+    pub component: Option<String>,
+    /// The node involved, if one.
+    pub node: Option<String>,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Location.
+    pub span: Span,
+}
+
+/// One recorded node crossing, rendered with node names.
+#[derive(Debug, Clone)]
+pub struct CrossingNote {
+    /// Originating node name.
+    pub from: String,
+    /// Destination node name.
+    pub to: String,
+    /// Interaction kind label (`rmi`, `jndi`, `fetch`, `jdbc`).
+    pub kind: String,
+    /// Round trips this crossing costs.
+    pub trips: u32,
+    /// Whether the crossing traverses a WAN leg.
+    pub wan: bool,
+}
+
+/// The wide-area cost summary of one page.
+#[derive(Debug, Clone)]
+pub struct PageWanCost {
+    /// Page name.
+    pub page: String,
+    /// Entry server name for the analyzed (remote) client.
+    pub entry: String,
+    /// Wide-area round trips in the call tree (HTTP envelope excluded).
+    pub wan_round_trips: u32,
+    /// The §4.2 budget that applies to this page.
+    pub limit: u32,
+    /// Every node crossing on the synchronous path.
+    pub crossings: Vec<CrossingNote>,
+}
+
+/// The result of analyzing one application × configuration.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Application name.
+    pub app: String,
+    /// Configuration name.
+    pub config: String,
+    /// Per-page wide-area cost summaries.
+    pub pages: Vec<PageWanCost>,
+    /// Findings, errors first.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Whether any error-severity diagnostic was found.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// The codes of all diagnostics, in report order.
+    pub fn codes(&self) -> Vec<&'static str> {
+        self.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    /// Sorts diagnostics errors-first (stable within a severity).
+    pub fn sort_diagnostics(&mut self) {
+        self.diagnostics.sort_by_key(|d| d.severity);
+    }
+
+    /// Renders the report in rustc-style plain text.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "analyzing {} / {}", self.app, self.config);
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "{}[{}]: {}", d.severity.label(), d.code, d.message);
+            let loc = match &d.span.page {
+                Some(page) if d.span.path.is_empty() => page.clone(),
+                Some(page) => format!("{page}: {}", d.span.path),
+                None => d.span.path.clone(),
+            };
+            let _ = writeln!(out, "  --> {}/{}: {loc}", self.app, self.config);
+            if let Some(c) = &d.component {
+                let _ = writeln!(out, "   = component: {c}");
+            }
+            if let Some(n) = &d.node {
+                let _ = writeln!(out, "   = node: {n}");
+            }
+        }
+        let errors = self
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count();
+        let warnings = self.diagnostics.len() - errors;
+        let _ = writeln!(
+            out,
+            "{} page(s) analyzed, {errors} error(s), {warnings} warning(s)",
+            self.pages.len()
+        );
+        for p in &self.pages {
+            let _ = writeln!(
+                out,
+                "  {:<16} entry {:<6} WAN round trips {}/{}",
+                p.page, p.entry, p.wan_round_trips, p.limit
+            );
+        }
+        out
+    }
+
+    /// Renders the report as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push('{');
+        let _ = write!(out, "\"app\":{},", json_str(&self.app));
+        let _ = write!(out, "\"config\":{},", json_str(&self.config));
+        out.push_str("\"pages\":[");
+        for (i, p) in self.pages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"page\":{},\"entry\":{},\"wan_round_trips\":{},\"limit\":{},\"crossings\":[",
+                json_str(&p.page),
+                json_str(&p.entry),
+                p.wan_round_trips,
+                p.limit
+            );
+            for (j, c) in p.crossings.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"from\":{},\"to\":{},\"kind\":{},\"trips\":{},\"wan\":{}}}",
+                    json_str(&c.from),
+                    json_str(&c.to),
+                    json_str(&c.kind),
+                    c.trips,
+                    c.wan
+                );
+            }
+            out.push_str("]}");
+        }
+        out.push_str("],\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"code\":{},\"severity\":{},\"message\":{},\"component\":{},\"node\":{},\"page\":{},\"path\":{}}}",
+                json_str(d.code),
+                json_str(d.severity.label()),
+                json_str(&d.message),
+                json_opt(d.component.as_deref()),
+                json_opt(d.node.as_deref()),
+                json_opt(d.span.page.as_deref()),
+                json_str(&d.span.path)
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn json_opt(s: Option<&str>) -> String {
+    match s {
+        Some(s) => json_str(s),
+        None => "null".to_string(),
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            app: "petstore".into(),
+            config: "remote-facade".into(),
+            pages: vec![PageWanCost {
+                page: "Item".into(),
+                entry: "edge1".into(),
+                wan_round_trips: 1,
+                limit: 1,
+                crossings: vec![CrossingNote {
+                    from: "edge1".into(),
+                    to: "main".into(),
+                    kind: "rmi".into(),
+                    trips: 1,
+                    wan: true,
+                }],
+            }],
+            diagnostics: vec![Diagnostic {
+                code: "W103",
+                severity: Severity::Warning,
+                component: None,
+                node: None,
+                message: "stub \"caching\" disabled".into(),
+                span: Span::descriptor("descriptor.stub_caching"),
+            }],
+        }
+    }
+
+    #[test]
+    fn text_rendering_is_rustc_shaped() {
+        let text = sample().render_text();
+        assert!(text.contains("warning[W103]:"), "{text}");
+        assert!(text.contains("--> petstore/remote-facade"), "{text}");
+        assert!(
+            text.contains("1 error(s)") || text.contains("0 error(s)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_and_nests() {
+        let json = sample().to_json();
+        assert!(json.contains("\"code\":\"W103\""), "{json}");
+        assert!(json.contains("stub \\\"caching\\\" disabled"), "{json}");
+        assert!(json.contains("\"wan\":true"), "{json}");
+        assert!(json.contains("\"component\":null"), "{json}");
+    }
+
+    #[test]
+    fn sort_puts_errors_first() {
+        let mut r = sample();
+        r.diagnostics.push(Diagnostic {
+            code: "E001",
+            severity: Severity::Error,
+            component: None,
+            node: None,
+            message: "x".into(),
+            span: Span::default(),
+        });
+        r.sort_diagnostics();
+        assert_eq!(r.diagnostics[0].code, "E001");
+        assert!(r.has_errors());
+        assert_eq!(r.codes(), vec!["E001", "W103"]);
+    }
+}

@@ -1,0 +1,537 @@
+//! # mutsvc-analyze — static wide-area deployment linter
+//!
+//! Walks every page's logical invocation tree against a deployment
+//! descriptor **without executing the simulator** and checks the paper's
+//! design rules:
+//!
+//! * the §4.2 invariant — remote-façade pages make at most one wide-area
+//!   round trip (two for Pet Store's *VerifySignIn*), zero for the
+//!   centralized baseline;
+//! * descriptor validity — every component placed, on a hosting node, with
+//!   the propagation machinery its declarations require;
+//! * wide-area anti-pattern lints — `n+1` BMP finders over the WAN (the
+//!   paper's motivating pathology), session façades writing across the WAN,
+//!   disabled stub caching, dead or uncovered cacheable-query tags, and
+//!   read-your-writes staleness hazards under asynchronous propagation.
+//!
+//! The static walker mirrors the binder's resolution rules under steady
+//! state; a golden test cross-validates its crossing sequences against
+//! [`mutsvc_middleware::Binder`]'s own warm-bind introspection, so the
+//! linter cannot drift from the executable semantics.
+//!
+//! Diagnostic codes are stable:
+//!
+//! | Code | Meaning |
+//! |------|---------|
+//! | `E001` | writes to a table land across the WAN from the database |
+//! | `E002` | push propagation declared without the machinery it needs |
+//! | `E003` | page exceeds its §4.2 wide-area round-trip budget |
+//! | `E004` | component unplaced or placed on a non-hosting node |
+//! | `W101` | BMP-style `n+1` finder issued over the WAN |
+//! | `W102` | session façade writes across the WAN |
+//! | `W103` | stub caching disabled while remote calls exist |
+//! | `W104` | cacheable tag never issued, or issued tag not declared |
+//! | `W105` | read-your-writes staleness hazard under async propagation |
+//! | `W106` | replicated stateful session not hosted on the central node |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diagnostics;
+pub mod walker;
+
+use std::collections::BTreeSet;
+
+use mutsvc_core::{wan_invariant, AppKind, Config, PaperNodes, Scenario, WanInvariant};
+use mutsvc_middleware::{
+    ComponentKind, ComponentRegistry, CrossingKind, DeploymentDescriptor, PageRequest,
+    UpdatePropagation,
+};
+use mutsvc_netsim::NodeId;
+use mutsvc_relstore::Database;
+
+pub use diagnostics::{CrossingNote, Diagnostic, PageWanCost, Report, Severity, Span};
+pub use walker::{entry_node, walk_page, PageWalk, ReadVia, WalkEvent, WalkEventKind};
+
+/// Everything the analyzer needs about one application × configuration.
+pub struct AnalyzeInput<'a> {
+    /// Application name for reporting.
+    pub app_name: &'a str,
+    /// Component inventory.
+    pub registry: &'a ComponentRegistry,
+    /// The deployment under analysis.
+    pub descriptor: &'a DeploymentDescriptor,
+    /// Populated database (read-only; used for finder result-set sizes).
+    pub db: &'a Database,
+    /// The paper topology's named nodes (WAN classification).
+    pub nodes: &'a PaperNodes,
+    /// Every page to walk.
+    pub pages: &'a [PageRequest],
+    /// The §4.2 budget to enforce.
+    pub invariant: WanInvariant,
+}
+
+/// The human-readable name of a paper-topology node.
+pub fn node_label(nodes: &PaperNodes, id: NodeId) -> String {
+    let named = [
+        (nodes.main, "main"),
+        (nodes.edge1, "edge1"),
+        (nodes.edge2, "edge2"),
+        (nodes.db, "db"),
+        (nodes.router, "router"),
+        (nodes.client_local, "client-local"),
+        (nodes.client_edge1, "client-edge1"),
+        (nodes.client_edge2, "client-edge2"),
+    ];
+    named
+        .iter()
+        .find(|&&(n, _)| n == id)
+        .map_or_else(|| id.to_string(), |&(_, label)| label.to_string())
+}
+
+fn kind_label(kind: CrossingKind) -> &'static str {
+    match kind {
+        CrossingKind::Rmi => "rmi",
+        CrossingKind::Jndi => "jndi",
+        CrossingKind::Fetch => "fetch",
+        CrossingKind::Jdbc { .. } => "jdbc",
+    }
+}
+
+/// Analyzes one deployment: validity first, then a static walk of every
+/// page, then the budget check and lints. Returns the full report; callers
+/// decide what to do with errors ([`Report::has_errors`]).
+pub fn analyze(input: &AnalyzeInput<'_>) -> Report {
+    let mut report = Report {
+        app: input.app_name.to_string(),
+        config: input.descriptor.name.clone(),
+        pages: Vec::new(),
+        diagnostics: Vec::new(),
+    };
+
+    check_placements(input, &mut report);
+    if report.has_errors() {
+        // Unplaced components would panic the walker; stop at validity.
+        report.sort_diagnostics();
+        return report;
+    }
+
+    let walks = walk_all_pages(input, &mut report);
+    check_wan_budget(input, &walks, &mut report);
+    check_write_locality(input, &walks, &mut report);
+    check_propagation_machinery(input, &mut report);
+    check_stub_caching(input, &walks, &mut report);
+    check_query_tags(input, &walks, &mut report);
+    check_stateful_replicas(input, &mut report);
+    emit_walk_lints(input, &walks, &mut report);
+
+    report.sort_diagnostics();
+    report
+}
+
+/// Builds the full analysis for a paper scenario: application, descriptor,
+/// topology and invariant table exactly as the simulator would assemble them.
+pub fn analyze_target(app: AppKind, config: Config) -> Report {
+    let (input, nodes) = Scenario::quick(app, config).build();
+    let pages = input.app.all_pages();
+    analyze(&AnalyzeInput {
+        app_name: app.name(),
+        registry: &input.registry,
+        descriptor: &input.descriptor,
+        db: &input.db,
+        nodes: &nodes,
+        pages: &pages,
+        invariant: wan_invariant(config),
+    })
+}
+
+/// E004: every component must be placed, and only on hosting nodes (the
+/// three application servers and the database host — never the router or a
+/// client LAN), and every page root must sit on an entry server.
+fn check_placements(input: &AnalyzeInput<'_>, report: &mut Report) {
+    let nodes = input.nodes;
+    let valid_hosts = [nodes.main, nodes.edge1, nodes.edge2, nodes.db];
+    for id in input.registry.ids() {
+        let spec = input.registry.spec(id);
+        match input.descriptor.placements.get(&id) {
+            None => report.diagnostics.push(Diagnostic {
+                code: "E004",
+                severity: Severity::Error,
+                component: Some(spec.name.clone()),
+                node: None,
+                message: format!("component `{}` is not placed on any node", spec.name),
+                span: Span::descriptor("descriptor.placements"),
+            }),
+            Some(placement) => {
+                for node in placement.nodes() {
+                    if !valid_hosts.contains(&node) {
+                        report.diagnostics.push(Diagnostic {
+                            code: "E004",
+                            severity: Severity::Error,
+                            component: Some(spec.name.clone()),
+                            node: Some(node_label(nodes, node)),
+                            message: format!(
+                                "component `{}` is placed on `{}`, which is not an \
+                                 application hosting node",
+                                spec.name,
+                                node_label(nodes, node)
+                            ),
+                            span: Span::descriptor("descriptor.placements"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    for page in input.pages {
+        let Some(placement) = input.descriptor.placements.get(&page.root.component) else {
+            continue; // already reported above
+        };
+        if !placement.hosts(nodes.edge1) && !placement.hosts(nodes.main) {
+            let spec = input.registry.spec(page.root.component);
+            report.diagnostics.push(Diagnostic {
+                code: "E004",
+                severity: Severity::Error,
+                component: Some(spec.name.clone()),
+                node: None,
+                message: format!(
+                    "root web component `{}` of page `{}` is deployed on neither an edge \
+                     entry server nor the central server",
+                    spec.name, page.page
+                ),
+                span: Span::page(page.page.clone(), String::new()),
+            });
+        }
+    }
+}
+
+fn walk_all_pages(input: &AnalyzeInput<'_>, report: &mut Report) -> Vec<PageWalk> {
+    let nodes = input.nodes;
+    let is_wan = |a, b| nodes.is_wan(a, b);
+    let mut walks = Vec::with_capacity(input.pages.len());
+    for page in input.pages {
+        let entry = entry_node(input.descriptor, nodes.edge1, nodes.main, page);
+        let walk = walk_page(
+            input.registry,
+            input.descriptor,
+            input.db,
+            &is_wan,
+            entry,
+            page,
+        );
+        let crossings = walk
+            .crossings
+            .iter()
+            .map(|c| CrossingNote {
+                from: node_label(nodes, c.from),
+                to: node_label(nodes, c.to),
+                kind: kind_label(c.kind).to_string(),
+                trips: c.round_trips(),
+                wan: nodes.is_wan(c.from, c.to),
+            })
+            .collect();
+        report.pages.push(PageWanCost {
+            page: walk.page.clone(),
+            entry: node_label(nodes, entry),
+            wan_round_trips: walk.wan_round_trips(is_wan),
+            limit: input.invariant.page_limit(&walk.page),
+            crossings,
+        });
+        walks.push(walk);
+    }
+    walks
+}
+
+/// E003: the §4.2 invariant — each page within its wide-area budget.
+fn check_wan_budget(input: &AnalyzeInput<'_>, walks: &[PageWalk], report: &mut Report) {
+    let nodes = input.nodes;
+    for walk in walks {
+        let wan = walk.wan_round_trips(|a, b| nodes.is_wan(a, b));
+        let limit = input.invariant.page_limit(&walk.page);
+        if wan > limit {
+            report.diagnostics.push(Diagnostic {
+                code: "E003",
+                severity: Severity::Error,
+                component: None,
+                node: Some(node_label(nodes, walk.entry)),
+                message: format!(
+                    "page `{}` makes {wan} wide-area round trips from entry `{}` \
+                     (budget: {limit})",
+                    walk.page,
+                    node_label(nodes, walk.entry)
+                ),
+                span: Span::page(walk.page.clone(), String::new()),
+            });
+        }
+    }
+}
+
+/// E001: the authoritative (read-write) instance of every written entity
+/// must sit next to the database — a WAN-separated primary means every
+/// write from it crosses the wide area, so the node holds what is
+/// effectively a read-only replica.
+fn check_write_locality(input: &AnalyzeInput<'_>, walks: &[PageWalk], report: &mut Report) {
+    let written: BTreeSet<_> = walks
+        .iter()
+        .flat_map(|w| w.written_tables.iter().copied())
+        .collect();
+    let db_node = input.descriptor.db_node;
+    for table in written {
+        for entity in input.registry.entities_of_table(table) {
+            let primary = input.descriptor.placement(entity).primary;
+            if input.nodes.is_wan(primary, db_node) {
+                let spec = input.registry.spec(entity);
+                report.diagnostics.push(Diagnostic {
+                    code: "E001",
+                    severity: Severity::Error,
+                    component: Some(spec.name.clone()),
+                    node: Some(node_label(input.nodes, primary)),
+                    message: format!(
+                        "writes to table `{}` go through entity `{}` whose primary `{}` is \
+                         across the WAN from the database `{}`",
+                        input.db.table(table).name(),
+                        spec.name,
+                        node_label(input.nodes, primary),
+                        node_label(input.nodes, db_node)
+                    ),
+                    span: Span::descriptor("descriptor.placements"),
+                });
+            }
+        }
+    }
+}
+
+/// E002: push-mode propagation needs its machinery — replicas to push to,
+/// a placed JMS broker, and message-driven receivers at every push target.
+fn check_propagation_machinery(input: &AnalyzeInput<'_>, report: &mut Report) {
+    let d = input.descriptor;
+    let registry = input.registry;
+    let entity_replica_nodes: BTreeSet<NodeId> = registry
+        .ids()
+        .filter(|&id| registry.spec(id).kind == ComponentKind::Entity)
+        .flat_map(|id| d.placement(id).replicas.iter().copied().collect::<Vec<_>>())
+        .collect();
+
+    if matches!(
+        d.entity_propagation,
+        UpdatePropagation::SyncPush | UpdatePropagation::AsyncPush
+    ) && entity_replica_nodes.is_empty()
+    {
+        report.diagnostics.push(Diagnostic {
+            code: "E002",
+            severity: Severity::Error,
+            component: None,
+            node: None,
+            message: format!(
+                "entity propagation `{:?}` is declared but no entity has read-only replicas",
+                d.entity_propagation
+            ),
+            span: Span::descriptor("descriptor.entity_propagation"),
+        });
+    }
+
+    let mut async_targets: BTreeSet<NodeId> = BTreeSet::new();
+    if d.entity_propagation == UpdatePropagation::AsyncPush {
+        async_targets.extend(entity_replica_nodes.iter().copied());
+    }
+    if d.query_cache.propagation == UpdatePropagation::AsyncPush {
+        async_targets.extend(d.query_cache.nodes.iter().copied());
+    }
+    if async_targets.is_empty() {
+        return;
+    }
+
+    let hosted_anywhere: BTreeSet<NodeId> = d
+        .placements
+        .values()
+        .flat_map(|p| p.nodes().collect::<Vec<_>>())
+        .collect();
+    if !hosted_anywhere.contains(&d.jms_broker) {
+        report.diagnostics.push(Diagnostic {
+            code: "E002",
+            severity: Severity::Error,
+            component: None,
+            node: Some(node_label(input.nodes, d.jms_broker)),
+            message: format!(
+                "asynchronous propagation is declared but the JMS broker node `{}` hosts no \
+                 application components",
+                node_label(input.nodes, d.jms_broker)
+            ),
+            span: Span::descriptor("descriptor.jms_broker"),
+        });
+    }
+    for &node in &async_targets {
+        let has_mdb = registry.ids().any(|id| {
+            registry.spec(id).kind == ComponentKind::MessageDriven && d.placement(id).hosts(node)
+        });
+        if !has_mdb {
+            report.diagnostics.push(Diagnostic {
+                code: "E002",
+                severity: Severity::Error,
+                component: None,
+                node: Some(node_label(input.nodes, node)),
+                message: format!(
+                    "node `{}` receives asynchronous pushes but hosts no message-driven \
+                     component to apply them",
+                    node_label(input.nodes, node)
+                ),
+                span: Span::descriptor("descriptor.placements"),
+            });
+        }
+    }
+}
+
+/// W103: remote calls without stub caching pay a JNDI exchange each time.
+fn check_stub_caching(input: &AnalyzeInput<'_>, walks: &[PageWalk], report: &mut Report) {
+    if input.descriptor.stub_caching {
+        return;
+    }
+    let any_remote = walks
+        .iter()
+        .any(|w| w.crossings.iter().any(|c| c.kind == CrossingKind::Rmi));
+    if any_remote {
+        report.diagnostics.push(Diagnostic {
+            code: "W103",
+            severity: Severity::Warning,
+            component: None,
+            node: None,
+            message: "stub caching is disabled: every remote invocation pays an extra JNDI \
+                      round trip (§4.2 recommends EJBHomeFactory caching)"
+                .to_string(),
+            span: Span::descriptor("descriptor.stub_caching"),
+        });
+    }
+}
+
+/// W104: declared-but-dead and issued-but-undeclared cacheable tags.
+fn check_query_tags(input: &AnalyzeInput<'_>, walks: &[PageWalk], report: &mut Report) {
+    let policy = &input.descriptor.query_cache;
+    if policy.nodes.is_empty() {
+        return;
+    }
+    let issued: BTreeSet<&str> = walks
+        .iter()
+        .flat_map(|w| w.tags_issued.iter().map(String::as_str))
+        .collect();
+    for tag in &policy.cacheable_tags {
+        if !issued.contains(tag.as_str()) {
+            report.diagnostics.push(Diagnostic {
+                code: "W104",
+                severity: Severity::Warning,
+                component: None,
+                node: None,
+                message: format!(
+                    "cacheable query tag `{tag}` is declared but never issued by any page"
+                ),
+                span: Span::descriptor("descriptor.query_cache.cacheable_tags"),
+            });
+        }
+    }
+    for tag in issued {
+        if !policy.cacheable_tags.contains(tag) {
+            report.diagnostics.push(Diagnostic {
+                code: "W104",
+                severity: Severity::Warning,
+                component: None,
+                node: None,
+                message: format!(
+                    "query tag `{tag}` is issued by the application but not declared \
+                     cacheable — its queries always travel to the central site"
+                ),
+                span: Span::descriptor("descriptor.query_cache.cacheable_tags"),
+            });
+        }
+    }
+}
+
+/// W106: a replicated stateful session bean should keep an instance on the
+/// central node when entity propagation is active, so conversational state
+/// stays reachable from the write path.
+fn check_stateful_replicas(input: &AnalyzeInput<'_>, report: &mut Report) {
+    let d = input.descriptor;
+    if d.entity_propagation == UpdatePropagation::None {
+        return;
+    }
+    for id in input.registry.ids() {
+        let spec = input.registry.spec(id);
+        if spec.kind != ComponentKind::StatefulSession {
+            continue;
+        }
+        let placement = d.placement(id);
+        if !placement.replicas.is_empty() && !placement.hosts(d.central_node) {
+            report.diagnostics.push(Diagnostic {
+                code: "W106",
+                severity: Severity::Warning,
+                component: Some(spec.name.clone()),
+                node: Some(node_label(input.nodes, d.central_node)),
+                message: format!(
+                    "stateful session bean `{}` is replicated but has no instance on the \
+                     central node while entity propagation is active",
+                    spec.name
+                ),
+                span: Span::descriptor("descriptor.placements"),
+            });
+        }
+    }
+}
+
+/// W101, W102, W105 from per-page walk events.
+fn emit_walk_lints(input: &AnalyzeInput<'_>, walks: &[PageWalk], report: &mut Report) {
+    for walk in walks {
+        for event in &walk.events {
+            let spec = input.registry.spec(event.component);
+            let node = node_label(input.nodes, event.node);
+            let span = Span::page(walk.page.clone(), event.path.clone());
+            let diagnostic = match &event.kind {
+                WalkEventKind::FinderOverWan { table } => Diagnostic {
+                    code: "W101",
+                    severity: Severity::Warning,
+                    component: Some(spec.name.clone()),
+                    node: Some(node.clone()),
+                    message: format!(
+                        "`{}` runs an n+1-style BMP finder on `{}` over the WAN against table \
+                         `{}` — each returned row costs a wide-area round trip",
+                        spec.name,
+                        node,
+                        input.db.table(*table).name()
+                    ),
+                    span,
+                },
+                WalkEventKind::SessionWriteOverWan { table } => Diagnostic {
+                    code: "W102",
+                    severity: Severity::Warning,
+                    component: Some(spec.name.clone()),
+                    node: Some(node.clone()),
+                    message: format!(
+                        "session façade `{}` on `{}` writes table `{}` across the WAN — \
+                         writers belong next to the rows they mutate",
+                        spec.name,
+                        node,
+                        input.db.table(*table).name()
+                    ),
+                    span,
+                },
+                WalkEventKind::StaleReadAfterWrite { table, via } => Diagnostic {
+                    code: "W105",
+                    severity: Severity::Warning,
+                    component: Some(spec.name.clone()),
+                    node: Some(node.clone()),
+                    message: format!(
+                        "page `{}` reads table `{}` from a local {} on `{}` after writing it \
+                         under asynchronous propagation — the response can observe the \
+                         pre-write value (read-your-writes hazard, §4.5)",
+                        walk.page,
+                        input.db.table(*table).name(),
+                        match via {
+                            ReadVia::Replica => "entity replica",
+                            ReadVia::QueryCache => "query cache",
+                        },
+                        node
+                    ),
+                    span,
+                },
+            };
+            report.diagnostics.push(diagnostic);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! The paper's own deployments must lint clean: every configuration of §4,
+//! for both applications, produces **zero** diagnostics — no errors (the
+//! acceptance bar) and no warnings (the descriptors follow their own
+//! advice).
+
+use mutsvc_analyze::analyze_target;
+use mutsvc_core::{AppKind, Config};
+use proptest::proptest;
+
+#[test]
+fn every_paper_deployment_is_diagnostic_free() {
+    for app in AppKind::all() {
+        for config in Config::all() {
+            let report = analyze_target(app, config);
+            assert!(
+                report.diagnostics.is_empty(),
+                "{}/{} should lint clean:\n{}",
+                app.name(),
+                config.name(),
+                report.render_text()
+            );
+            assert!(!report.has_errors());
+            // Every page stays within its §4.2 budget with room to spare
+            // already checked; the summary must cover the full page set.
+            assert!(!report.pages.is_empty());
+            for page in &report.pages {
+                assert!(
+                    page.wan_round_trips <= page.limit,
+                    "{}/{} {}: {} > {}",
+                    app.name(),
+                    config.name(),
+                    page.page,
+                    page.wan_round_trips,
+                    page.limit
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Property form: any sampled application × configuration pair yields a
+    /// report without error-severity diagnostics.
+    #[test]
+    fn sampled_deployments_have_no_errors(app_idx in 0usize..2, cfg_idx in 0usize..5) {
+        let app = AppKind::all()[app_idx];
+        let config = Config::all()[cfg_idx];
+        let report = analyze_target(app, config);
+        proptest::prop_assert!(
+            !report.has_errors(),
+            "{}/{} reported errors: {:?}",
+            app.name(),
+            config.name(),
+            report.codes()
+        );
+    }
+}

@@ -1,0 +1,254 @@
+//! Negative coverage: deliberately broken descriptors must trip the lints.
+//! Each test takes a paper scenario, damages one aspect of its deployment,
+//! and asserts the corresponding diagnostic code fires.
+
+use std::collections::BTreeSet;
+
+use mutsvc_analyze::{analyze, AnalyzeInput};
+use mutsvc_core::{wan_invariant, AppKind, Config, Scenario};
+use mutsvc_desim::SimDuration;
+use mutsvc_middleware::{Call, DbAccess, PageRequest, Placement, UpdatePropagation};
+use mutsvc_relstore::{Mutation, Query, Value};
+
+fn report_for(
+    app: AppKind,
+    config: Config,
+    damage: impl FnOnce(&mut mutsvc_workload::ExperimentInput, &mutsvc_core::PaperNodes),
+) -> mutsvc_analyze::Report {
+    let (mut input, nodes) = Scenario::quick(app, config).build();
+    damage(&mut input, &nodes);
+    let pages = input.app.all_pages();
+    analyze(&AnalyzeInput {
+        app_name: app.name(),
+        registry: &input.registry,
+        descriptor: &input.descriptor,
+        db: &input.db,
+        nodes: &nodes,
+        pages: &pages,
+        invariant: wan_invariant(config),
+    })
+}
+
+#[test]
+fn e001_write_primary_across_the_wan() {
+    // The Commit page writes the inventory table; marooning InventoryEJB's
+    // primary on an edge puts every write across the WAN.
+    let report = report_for(AppKind::PetStore, Config::RemoteFacade, |input, nodes| {
+        let inventory = input.registry.by_name("InventoryEJB").unwrap();
+        input.descriptor.placements.insert(
+            inventory,
+            Placement {
+                primary: nodes.edge1,
+                replicas: BTreeSet::new(),
+            },
+        );
+    });
+    assert!(report.has_errors());
+    assert!(report.codes().contains(&"E001"), "{}", report.render_text());
+}
+
+#[test]
+fn e002_push_propagation_without_replicas() {
+    // Remote-façade keeps every entity centralized; declaring SyncPush
+    // propagation gives the pusher nothing to push to.
+    let report = report_for(AppKind::PetStore, Config::RemoteFacade, |input, _| {
+        input.descriptor.entity_propagation = UpdatePropagation::SyncPush;
+    });
+    assert!(report.codes().contains(&"E002"), "{}", report.render_text());
+}
+
+#[test]
+fn e002_async_push_without_subscribers() {
+    // Async-updates relies on the UpdateSubscriber MDB at each replica
+    // node; unplacing it from the edges leaves pushes with no receiver.
+    let report = report_for(AppKind::PetStore, Config::AsyncUpdates, |input, nodes| {
+        let mdb = input.registry.by_name("UpdateSubscriber").unwrap();
+        input.descriptor.placements.insert(
+            mdb,
+            Placement {
+                primary: nodes.main,
+                replicas: BTreeSet::new(),
+            },
+        );
+    });
+    assert!(report.codes().contains(&"E002"), "{}", report.render_text());
+}
+
+#[test]
+fn e003_budget_exceeded_when_caches_are_stripped() {
+    // Stripping the Item/Inventory replicas from stateful-caching while
+    // keeping its budget of one makes the Item page fetch twice.
+    let report = report_for(AppKind::PetStore, Config::StatefulCaching, |input, _| {
+        for name in ["ItemEJB", "InventoryEJB"] {
+            let id = input.registry.by_name(name).unwrap();
+            let primary = input.descriptor.placement(id).primary;
+            input.descriptor.placements.insert(
+                id,
+                Placement {
+                    primary,
+                    replicas: BTreeSet::new(),
+                },
+            );
+        }
+    });
+    assert!(report.codes().contains(&"E003"), "{}", report.render_text());
+}
+
+#[test]
+fn e004_unplaced_and_misplaced_components() {
+    let report = report_for(AppKind::PetStore, Config::RemoteFacade, |input, nodes| {
+        let catalog = input.registry.by_name("Catalog").unwrap();
+        input.descriptor.placements.remove(&catalog);
+        let customer = input.registry.by_name("Customer").unwrap();
+        input.descriptor.placements.insert(
+            customer,
+            Placement {
+                primary: nodes.router,
+                replicas: BTreeSet::new(),
+            },
+        );
+    });
+    let codes = report.codes();
+    assert!(
+        codes.iter().filter(|&&c| c == "E004").count() >= 2,
+        "{}",
+        report.render_text()
+    );
+    // Validity errors stop the analysis before any page walk.
+    assert!(report.pages.is_empty());
+}
+
+#[test]
+fn w101_bmp_finder_over_the_wan() {
+    // The §4.1 baseline application (direct-JDBC web tier, BMP finders)
+    // deployed naively to an edge: every finder row costs a WAN round trip.
+    let report = report_for(AppKind::PetStore, Config::Centralized, |input, nodes| {
+        for name in ["web", "ShoppingClientController", "ShoppingCart"] {
+            let id = input.registry.by_name(name).unwrap();
+            input.descriptor.placements.insert(
+                id,
+                Placement {
+                    primary: nodes.edge1,
+                    replicas: BTreeSet::new(),
+                },
+            );
+        }
+    });
+    assert!(report.codes().contains(&"W101"), "{}", report.render_text());
+}
+
+#[test]
+fn w102_session_facade_writing_across_the_wan() {
+    // Replicating the Customer façade to the edges makes the Commit page
+    // run its order mutations from edge1, across the WAN from the database.
+    let report = report_for(AppKind::PetStore, Config::RemoteFacade, |input, nodes| {
+        let customer = input.registry.by_name("Customer").unwrap();
+        input.descriptor.placements.insert(
+            customer,
+            Placement {
+                primary: nodes.main,
+                replicas: [nodes.edge1, nodes.edge2].into_iter().collect(),
+            },
+        );
+    });
+    assert!(report.codes().contains(&"W102"), "{}", report.render_text());
+}
+
+#[test]
+fn w105_read_your_writes_under_async_push() {
+    // A page that updates an item and then re-reads it from the edge
+    // replica: under AsyncPush the replica still holds the pre-write value
+    // when the response renders.
+    let (input, nodes) = Scenario::quick(AppKind::PetStore, Config::AsyncUpdates).build();
+    let mutsvc_apps::App::PetStore(ps) = &input.app else {
+        unreachable!()
+    };
+    let params = ps.representative_params();
+    let t = ps.tables.item;
+    let item = ps.components.item;
+    let web = ps.components.web;
+    let root = Call::new(web, "editItem", SimDuration::ZERO)
+        .invoke(
+            Call::new(item, "update", SimDuration::ZERO).mutate(Mutation::Update {
+                table: t,
+                id: params.item,
+                column: 2,
+                value: Value::Int(1),
+            }),
+            100,
+            100,
+        )
+        .invoke(
+            Call::new(item, "load", SimDuration::ZERO).query(
+                Query::ByPk {
+                    table: t,
+                    id: params.item,
+                },
+                DbAccess::Single,
+            ),
+            100,
+            400,
+        );
+    let page = PageRequest::new("EditItem", root, 8_000);
+    let pages = vec![page];
+    let report = analyze(&AnalyzeInput {
+        app_name: "petstore",
+        registry: &input.registry,
+        descriptor: &input.descriptor,
+        db: &input.db,
+        nodes: &nodes,
+        pages: &pages,
+        invariant: wan_invariant(Config::AsyncUpdates),
+    });
+    assert!(report.codes().contains(&"W105"), "{}", report.render_text());
+    assert!(!report.has_errors(), "{}", report.render_text());
+}
+
+#[test]
+fn w103_disabled_stub_caching() {
+    let report = report_for(AppKind::PetStore, Config::RemoteFacade, |input, _| {
+        input.descriptor.stub_caching = false;
+    });
+    assert!(report.codes().contains(&"W103"), "{}", report.render_text());
+}
+
+#[test]
+fn w104_dead_and_undeclared_tags() {
+    let report = report_for(AppKind::PetStore, Config::QueryCaching, |input, _| {
+        input
+            .descriptor
+            .query_cache
+            .cacheable_tags
+            .remove("ps:items-by-product");
+        input
+            .descriptor
+            .query_cache
+            .cacheable_tags
+            .insert("no-such-tag".to_string());
+    });
+    let codes = report.codes();
+    assert!(
+        codes.iter().filter(|&&c| c == "W104").count() >= 2,
+        "{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn w106_replicated_stateful_session_off_the_central_node() {
+    let report = report_for(
+        AppKind::PetStore,
+        Config::StatefulCaching,
+        |input, nodes| {
+            let cart = input.registry.by_name("ShoppingCart").unwrap();
+            input.descriptor.placements.insert(
+                cart,
+                Placement {
+                    primary: nodes.edge1,
+                    replicas: [nodes.edge2].into_iter().collect(),
+                },
+            );
+        },
+    );
+    assert!(report.codes().contains(&"W106"), "{}", report.render_text());
+}

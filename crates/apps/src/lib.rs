@@ -125,16 +125,25 @@ impl App {
             (App::PetStore(app), SessionState::PsBrowser(s)) => s
                 .next(&app.shape, rng)
                 .map(|(page, params)| (page.name(), app.page(page, &params))),
-            (App::PetStore(app), SessionState::PsBuyer(s)) => {
-                s.next().map(|(page, params)| (page.name(), app.page(page, &params)))
-            }
+            (App::PetStore(app), SessionState::PsBuyer(s)) => s
+                .next()
+                .map(|(page, params)| (page.name(), app.page(page, &params))),
             (App::Rubis(app), SessionState::RubisBrowser(s)) => s
                 .next(&app.shape, rng)
                 .map(|(page, params)| (page.name(), app.page(page, &params))),
-            (App::Rubis(app), SessionState::RubisBidder(s)) => {
-                s.next().map(|(page, params)| (page.name(), app.page(page, &params)))
-            }
+            (App::Rubis(app), SessionState::RubisBidder(s)) => s
+                .next()
+                .map(|(page, params)| (page.name(), app.page(page, &params))),
             _ => panic!("session state does not belong to this application"),
+        }
+    }
+
+    /// Every measured page, built with fixed representative parameters (the
+    /// static analyzer's page inventory).
+    pub fn all_pages(&self) -> Vec<PageRequest> {
+        match self {
+            App::PetStore(app) => app.all_pages(),
+            App::Rubis(app) => app.all_pages(),
         }
     }
 

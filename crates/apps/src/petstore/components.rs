@@ -44,7 +44,8 @@ impl PsComponents {
     pub fn register(registry: &mut ComponentRegistry, tables: &PsTables) -> Self {
         PsComponents {
             web: registry.register("web", ComponentKind::Web),
-            controller: registry.register("ShoppingClientController", ComponentKind::StatefulSession),
+            controller: registry
+                .register("ShoppingClientController", ComponentKind::StatefulSession),
             cart: registry.register("ShoppingCart", ComponentKind::StatefulSession),
             catalog: registry.register("Catalog", ComponentKind::StatelessSession),
             customer: registry.register("Customer", ComponentKind::StatelessSession),
@@ -134,7 +135,15 @@ mod tests {
         assert_eq!(reg.spec(c.customer).kind, ComponentKind::StatelessSession);
         assert_eq!(reg.spec(c.cart).kind, ComponentKind::StatefulSession);
         assert_eq!(reg.spec(c.controller).kind, ComponentKind::StatefulSession);
-        for e in [c.inventory, c.signon, c.order, c.account, c.category, c.product, c.item] {
+        for e in [
+            c.inventory,
+            c.signon,
+            c.order,
+            c.account,
+            c.category,
+            c.product,
+            c.item,
+        ] {
             assert_eq!(reg.spec(e).kind, ComponentKind::Entity);
         }
         assert_eq!(reg.spec(c.inventory).table, Some(tables.inventory));

@@ -15,7 +15,9 @@ use mutsvc_relstore::Database;
 pub use components::PsComponents;
 pub use pages::{PsCosts, PsPage, PsParams, TAG_ITEMS_BY_PRODUCT, TAG_PRODUCTS_BY_CATEGORY};
 pub use schema::{PsShape, PsTables};
-pub use sessions::{BrowserSession, BuyerSession, BROWSER_MIX, BROWSER_SESSION_LENGTH, BUYER_SEQUENCE};
+pub use sessions::{
+    BrowserSession, BuyerSession, BROWSER_MIX, BROWSER_SESSION_LENGTH, BUYER_SEQUENCE,
+};
 
 /// The Pet Store application model: components, schema handles, parameter
 /// spaces and page builders. The backing [`Database`] is returned separately
@@ -43,7 +45,13 @@ impl PetStore {
         let mut registry = ComponentRegistry::new();
         let components = PsComponents::register(&mut registry, &tables);
         (
-            PetStore { components, tables, shape, costs: PsCosts::default(), facade },
+            PetStore {
+                components,
+                tables,
+                shape,
+                costs: PsCosts::default(),
+                facade,
+            },
             registry,
             db,
         )
@@ -51,7 +59,37 @@ impl PetStore {
 
     /// Builds the call tree of one page request.
     pub fn page(&self, page: PsPage, params: &PsParams) -> PageRequest {
-        pages::build_page(&self.components, &self.tables, &self.costs, page, params, self.facade)
+        pages::build_page(
+            &self.components,
+            &self.tables,
+            &self.costs,
+            page,
+            params,
+            self.facade,
+        )
+    }
+
+    /// Fixed representative page parameters (first category/product/item,
+    /// first account, a keyword with results): the static analyzer walks
+    /// every page once with these instead of sampling a workload.
+    pub fn representative_params(&self) -> PsParams {
+        let product = self.shape.products(0)[0];
+        PsParams {
+            category: self.shape.categories[0],
+            product,
+            item: self.shape.items(product)[0],
+            keyword: "fish".into(),
+            account: self.shape.accounts[0],
+        }
+    }
+
+    /// Every measured page, built with [`Self::representative_params`].
+    pub fn all_pages(&self) -> Vec<PageRequest> {
+        let params = self.representative_params();
+        PsPage::all()
+            .into_iter()
+            .map(|p| self.page(p, &params))
+            .collect()
     }
 
     /// Every cacheable query instance the workload can issue, for eager
@@ -62,14 +100,22 @@ impl PetStore {
         for &cat in &self.shape.categories {
             out.push((
                 TAG_PRODUCTS_BY_CATEGORY.to_string(),
-                Query::Eq { table: self.tables.product, column: 1, value: cat.into() },
+                Query::Eq {
+                    table: self.tables.product,
+                    column: 1,
+                    value: cat.into(),
+                },
             ));
         }
         for products in &self.shape.products_by_category {
             for &product in products {
                 out.push((
                     TAG_ITEMS_BY_PRODUCT.to_string(),
-                    Query::Eq { table: self.tables.item, column: 1, value: product.into() },
+                    Query::Eq {
+                        table: self.tables.item,
+                        column: 1,
+                        value: product.into(),
+                    },
                 ));
             }
         }

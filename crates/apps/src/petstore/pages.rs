@@ -177,18 +177,46 @@ pub fn build_page(
 ) -> PageRequest {
     let c = components;
     let t = tables;
-    let products_q = Query::Eq { table: t.product, column: 1, value: params.category.into() };
-    let items_q = Query::Eq { table: t.item, column: 1, value: params.product.into() };
-    let item_q = Query::ByPk { table: t.item, id: params.item };
-    let inventory_q = Query::ByPk { table: t.inventory, id: params.item };
-    let signon_q = Query::Eq { table: t.signon, column: 0, value: username(params.account) };
-    let account_q = Query::ByPk { table: t.account, id: params.account };
-    let access = if facade { DbAccess::Single } else { DbAccess::BmpFinder };
+    let products_q = Query::Eq {
+        table: t.product,
+        column: 1,
+        value: params.category.into(),
+    };
+    let items_q = Query::Eq {
+        table: t.item,
+        column: 1,
+        value: params.product.into(),
+    };
+    let item_q = Query::ByPk {
+        table: t.item,
+        id: params.item,
+    };
+    let inventory_q = Query::ByPk {
+        table: t.inventory,
+        id: params.item,
+    };
+    let signon_q = Query::Eq {
+        table: t.signon,
+        column: 0,
+        value: username(params.account),
+    };
+    let account_q = Query::ByPk {
+        table: t.account,
+        id: params.account,
+    };
+    let access = if facade {
+        DbAccess::Single
+    } else {
+        DbAccess::BmpFinder
+    };
 
     let request = match page {
         PsPage::Main => {
-            let root = Call::new(c.web, "main", costs.render(1.3))
-                .invoke(Call::new(c.controller, "initSession", costs.controller()), 100, 200);
+            let root = Call::new(c.web, "main", costs.render(1.3)).invoke(
+                Call::new(c.controller, "initSession", costs.controller()),
+                100,
+                200,
+            );
             PageRequest::new(page.name(), root, 12_000)
         }
         PsPage::Category => {
@@ -201,7 +229,11 @@ pub fn build_page(
                 web_via_controller(c, costs, "category", 1.0, cat, 200, 4_000)
             } else {
                 Call::new(c.web, "category", costs.render(1.0))
-                    .invoke(Call::new(c.controller, "event", costs.controller()), 100, 100)
+                    .invoke(
+                        Call::new(c.controller, "event", costs.controller()),
+                        100,
+                        100,
+                    )
                     .query(products_q, access)
             };
             PageRequest::new(page.name(), root, 15_000)
@@ -216,7 +248,11 @@ pub fn build_page(
                 web_via_controller(c, costs, "product", 1.0, cat, 200, 3_500)
             } else {
                 Call::new(c.web, "product", costs.render(1.0))
-                    .invoke(Call::new(c.controller, "event", costs.controller()), 100, 100)
+                    .invoke(
+                        Call::new(c.controller, "event", costs.controller()),
+                        100,
+                        100,
+                    )
                     .query(items_q, access)
             };
             PageRequest::new(page.name(), root, 14_000)
@@ -238,20 +274,32 @@ pub fn build_page(
                 web_via_controller(c, costs, "item", 0.95, cat, 150, 900)
             } else {
                 Call::new(c.web, "item", costs.render(0.95))
-                    .invoke(Call::new(c.controller, "event", costs.controller()), 100, 100)
+                    .invoke(
+                        Call::new(c.controller, "event", costs.controller()),
+                        100,
+                        100,
+                    )
                     .query(item_q, DbAccess::Single)
                     .query(inventory_q, DbAccess::Single)
             };
             PageRequest::new(page.name(), root, 10_000)
         }
         PsPage::Search => {
-            let search_q = Query::Like { table: t.item, column: 0, needle: params.keyword.clone() };
+            let search_q = Query::Like {
+                table: t.item,
+                column: 0,
+                needle: params.keyword.clone(),
+            };
             let root = if facade {
                 let cat = Call::new(c.catalog, "search", costs.facade()).query(search_q, access);
                 web_via_controller(c, costs, "search", 1.1, cat, 300, 4_500)
             } else {
                 Call::new(c.web, "search", costs.render(1.1))
-                    .invoke(Call::new(c.controller, "event", costs.controller()), 100, 100)
+                    .invoke(
+                        Call::new(c.controller, "event", costs.controller()),
+                        100,
+                        100,
+                    )
                     .query(search_q, access)
             };
             PageRequest::new(page.name(), root, 15_000)
@@ -267,7 +315,8 @@ pub fn build_page(
             let auth = Call::new(c.signon, "authenticate", costs.entity())
                 .query(signon_q.clone(), DbAccess::Single);
             let profile = Call::new(c.customer, "createAndGetProfile", costs.facade()).invoke(
-                Call::new(c.account, "load", costs.entity()).query(account_q.clone(), DbAccess::Single),
+                Call::new(c.account, "load", costs.entity())
+                    .query(account_q.clone(), DbAccess::Single),
                 80,
                 600,
             );
@@ -281,7 +330,11 @@ pub fn build_page(
                 )
             } else {
                 Call::new(c.web, "verify", costs.render(0.8))
-                    .invoke(Call::new(c.controller, "signinEvent", costs.controller()), 150, 100)
+                    .invoke(
+                        Call::new(c.controller, "signinEvent", costs.controller()),
+                        150,
+                        100,
+                    )
                     .query(signon_q, DbAccess::Single)
                     .query(account_q, DbAccess::Single)
             };
@@ -307,8 +360,11 @@ pub fn build_page(
             } else {
                 Call::new(c.web, "cart-add", costs.render(0.9))
                     .invoke(
-                        Call::new(c.controller, "cartEvent", costs.controller())
-                            .invoke(Call::new(c.cart, "addItem", costs.cart()), 120, 300),
+                        Call::new(c.controller, "cartEvent", costs.controller()).invoke(
+                            Call::new(c.cart, "addItem", costs.cart()),
+                            120,
+                            300,
+                        ),
                         200,
                         400,
                     )
@@ -318,8 +374,11 @@ pub fn build_page(
         }
         PsPage::Checkout => {
             let root = Call::new(c.web, "checkout", costs.render(0.85)).invoke(
-                Call::new(c.controller, "checkoutEvent", costs.controller())
-                    .invoke(Call::new(c.cart, "getContents", costs.cart()), 80, 800),
+                Call::new(c.controller, "checkoutEvent", costs.controller()).invoke(
+                    Call::new(c.cart, "getContents", costs.cart()),
+                    80,
+                    800,
+                ),
                 150,
                 900,
             );
@@ -353,8 +412,11 @@ pub fn build_page(
                 for w in writes.clone() {
                     match w {
                         CommitWrite::Order(m) => {
-                            customer = customer
-                                .invoke(Call::new(c.order, "create", costs.entity()).mutate(m), 120, 80);
+                            customer = customer.invoke(
+                                Call::new(c.order, "create", costs.entity()).mutate(m),
+                                120,
+                                80,
+                            );
                         }
                         CommitWrite::Inventory(m) => {
                             customer = customer.invoke(
@@ -369,13 +431,18 @@ pub fn build_page(
                     }
                 }
                 Call::new(c.web, "commit", costs.render(0.9)).invoke(
-                    Call::new(c.controller, "commitEvent", costs.controller()).invoke(customer, 400, 300),
+                    Call::new(c.controller, "commitEvent", costs.controller())
+                        .invoke(customer, 400, 300),
                     400,
                     400,
                 )
             } else {
                 let mut root = Call::new(c.web, "commit", costs.render(0.9))
-                    .invoke(Call::new(c.controller, "commitEvent", costs.controller()), 400, 300)
+                    .invoke(
+                        Call::new(c.controller, "commitEvent", costs.controller()),
+                        400,
+                        300,
+                    )
                     .query(account_q, DbAccess::Single);
                 for w in writes {
                     root = root.mutate(w.into_mutation());
@@ -444,7 +511,12 @@ fn commit_writes(t: &PsTables, params: &PsParams) -> Vec<CommitWrite> {
         // the workload queries line items by order, so the foreign key is 0.
         CommitWrite::Direct(Mutation::Insert {
             table: t.lineitem,
-            values: vec![Value::Int(0), params.item.into(), Value::Int(1), Value::Int(1_500)],
+            values: vec![
+                Value::Int(0),
+                params.item.into(),
+                Value::Int(1),
+                Value::Int(1_500),
+            ],
         }),
         CommitWrite::Direct(Mutation::Insert {
             table: t.orderstatus,
@@ -526,7 +598,12 @@ mod tests {
         for page in PsPage::all() {
             for facade in [false, true] {
                 let req = build_page(&c, &t, &costs, page, &params, facade);
-                assert_eq!(req.root.has_writes(), page == PsPage::Commit, "{}", page.name());
+                assert_eq!(
+                    req.root.has_writes(),
+                    page == PsPage::Commit,
+                    "{}",
+                    page.name()
+                );
             }
         }
     }

@@ -66,12 +66,20 @@ pub fn build_database() -> (Database, PsTables, PsShape) {
     let tables = PsTables {
         category: b.table("category", &["name", "description"], 150),
         product: b.table("product", &["name", "*category", "description"], 180),
-        item: b.table("item", &["name", "*product", "price_cents", "attribute"], 250),
+        item: b.table(
+            "item",
+            &["name", "*product", "price_cents", "attribute"],
+            250,
+        ),
         inventory: b.table("inventory", &["*item", "qty"], 60),
         account: b.table("account", &["owner", "email", "address"], 300),
         signon: b.table("signon", &["*username", "password"], 80),
         orders: b.table("orders", &["*account", "total_cents", "status"], 200),
-        lineitem: b.table("lineitem", &["*order", "item", "qty", "unit_price_cents"], 100),
+        lineitem: b.table(
+            "lineitem",
+            &["*order", "item", "qty", "unit_price_cents"],
+            100,
+        ),
         orderstatus: b.table("orderstatus", &["*order", "status"], 80),
     };
     let mut db = b.build();
@@ -81,7 +89,7 @@ pub fn build_database() -> (Database, PsTables, PsShape) {
         products_by_category: Vec::new(),
         items_by_product: Vec::new(),
         accounts: Vec::new(),
-        keywords: SPECIES.iter().map(|s| s.to_string()).collect(),
+        keywords: SPECIES.iter().map(ToString::to_string).collect(),
     };
 
     for (c, species) in SPECIES.iter().enumerate() {
@@ -168,15 +176,29 @@ mod tests {
         assert_eq!(db.table(t.inventory).len(), 300);
         assert_eq!(db.table(t.account).len(), 200);
         assert_eq!(shape.categories.len(), 5);
-        assert_eq!(shape.products_by_category.iter().map(Vec::len).sum::<usize>(), 50);
-        assert_eq!(shape.items_by_product.iter().map(Vec::len).sum::<usize>(), 300);
+        assert_eq!(
+            shape
+                .products_by_category
+                .iter()
+                .map(Vec::len)
+                .sum::<usize>(),
+            50
+        );
+        assert_eq!(
+            shape.items_by_product.iter().map(Vec::len).sum::<usize>(),
+            300
+        );
     }
 
     #[test]
     fn products_by_category_query_returns_ten() {
         let (db, t, shape) = build_database();
         for &cat in &shape.categories {
-            let out = db.execute(&Query::Eq { table: t.product, column: 1, value: cat.into() });
+            let out = db.execute(&Query::Eq {
+                table: t.product,
+                column: 1,
+                value: cat.into(),
+            });
             assert_eq!(out.row_count(), 10);
         }
     }
@@ -185,7 +207,11 @@ mod tests {
     fn items_by_product_query_returns_six() {
         let (db, t, shape) = build_database();
         let product = shape.products(2)[3];
-        let out = db.execute(&Query::Eq { table: t.item, column: 1, value: product.into() });
+        let out = db.execute(&Query::Eq {
+            table: t.item,
+            column: 1,
+            value: product.into(),
+        });
         assert_eq!(out.row_count(), 6);
         assert_eq!(shape.items(product).len(), 6);
     }
@@ -194,7 +220,10 @@ mod tests {
     fn inventory_aligns_with_items() {
         let (db, t, shape) = build_database();
         let item = shape.items(shape.products(0)[0])[0];
-        let inv = db.execute(&Query::ByPk { table: t.inventory, id: item });
+        let inv = db.execute(&Query::ByPk {
+            table: t.inventory,
+            id: item,
+        });
         assert_eq!(inv.row_count(), 1);
     }
 
@@ -202,7 +231,11 @@ mod tests {
     fn keyword_searches_are_nonempty() {
         let (db, t, shape) = build_database();
         for kw in &shape.keywords {
-            let out = db.execute(&Query::Like { table: t.item, column: 0, needle: kw.clone() });
+            let out = db.execute(&Query::Like {
+                table: t.item,
+                column: 0,
+                needle: kw.clone(),
+            });
             assert!(out.row_count() >= ITEMS_PER_PRODUCT as u64, "keyword {kw}");
         }
     }

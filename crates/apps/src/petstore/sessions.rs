@@ -50,7 +50,12 @@ pub struct BrowserSession {
 impl BrowserSession {
     /// Starts a fresh session.
     pub fn new() -> Self {
-        BrowserSession { issued: 0, category_idx: None, product: None, item: None }
+        BrowserSession {
+            issued: 0,
+            category_idx: None,
+            product: None,
+            item: None,
+        }
     }
 
     /// Whether the session has issued all its requests.
@@ -165,6 +170,10 @@ impl BuyerSession {
     }
 
     /// The next page of the sequence.
+    ///
+    /// Deliberately named like `Iterator::next`; the session types are not
+    /// iterators because callers thread an RNG through the browser variants.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<(PsPage, PsParams)> {
         if self.finished() {
             return None;

@@ -58,13 +58,19 @@ impl RubisComponents {
     pub fn register(registry: &mut ComponentRegistry, tables: &RubisTables) -> Self {
         RubisComponents {
             web: registry.register("web", ComponentKind::Web),
-            sb_browse_categories: registry.register("SB_BrowseCategories", ComponentKind::StatelessSession),
-            sb_browse_regions: registry.register("SB_BrowseRegions", ComponentKind::StatelessSession),
-            sb_items_by_category: registry.register("SB_SearchItemsByCategory", ComponentKind::StatelessSession),
-            sb_items_by_region: registry.register("SB_SearchItemsByRegion", ComponentKind::StatelessSession),
+            sb_browse_categories: registry
+                .register("SB_BrowseCategories", ComponentKind::StatelessSession),
+            sb_browse_regions: registry
+                .register("SB_BrowseRegions", ComponentKind::StatelessSession),
+            sb_items_by_category: registry
+                .register("SB_SearchItemsByCategory", ComponentKind::StatelessSession),
+            sb_items_by_region: registry
+                .register("SB_SearchItemsByRegion", ComponentKind::StatelessSession),
             sb_view_item: registry.register("SB_ViewItem", ComponentKind::StatelessSession),
-            sb_view_bid_history: registry.register("SB_ViewBidHistory", ComponentKind::StatelessSession),
-            sb_view_user_info: registry.register("SB_ViewUserInfo", ComponentKind::StatelessSession),
+            sb_view_bid_history: registry
+                .register("SB_ViewBidHistory", ComponentKind::StatelessSession),
+            sb_view_user_info: registry
+                .register("SB_ViewUserInfo", ComponentKind::StatelessSession),
             sb_put_bid: registry.register("SB_PutBid", ComponentKind::StatelessSession),
             sb_store_bid: registry.register("SB_StoreBid", ComponentKind::StatelessSession),
             sb_put_comment: registry.register("SB_PutComment", ComponentKind::StatelessSession),
@@ -114,7 +120,11 @@ impl RubisComponents {
 
     /// Session beans deployed on the edges in §4.3 (the read-path façades).
     pub fn edge_read_facades(&self) -> [ComponentId; 3] {
-        [self.sb_view_item, self.sb_view_bid_history, self.sb_view_user_info]
+        [
+            self.sb_view_item,
+            self.sb_view_bid_history,
+            self.sb_view_user_info,
+        ]
     }
 
     /// Additional session beans deployed on the edges in §4.4 (every façade
@@ -190,7 +200,10 @@ mod tests {
         for id in reg.ids() {
             assert_ne!(reg.spec(id).kind, ComponentKind::StatefulSession);
         }
-        assert_eq!(reg.spec(c.sb_view_item).kind, ComponentKind::StatelessSession);
+        assert_eq!(
+            reg.spec(c.sb_view_item).kind,
+            ComponentKind::StatelessSession
+        );
         assert_eq!(reg.spec(c.item).table, Some(tables.item));
     }
 

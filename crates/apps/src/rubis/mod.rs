@@ -16,7 +16,9 @@ use mutsvc_relstore::Database;
 pub use components::RubisComponents;
 pub use pages::{tags, RubisCosts, RubisPage, RubisParams};
 pub use schema::{RubisShape, RubisTables};
-pub use sessions::{BidderSession, BrowserSession, BIDDER_SEQUENCE, BROWSER_MIX, BROWSER_SESSION_LENGTH};
+pub use sessions::{
+    BidderSession, BrowserSession, BIDDER_SEQUENCE, BROWSER_MIX, BROWSER_SESSION_LENGTH,
+};
 
 /// The RUBiS application model.
 #[derive(Debug, Clone)]
@@ -37,12 +39,42 @@ impl Rubis {
         let (db, tables, shape) = schema::build_database();
         let mut registry = ComponentRegistry::new();
         let components = RubisComponents::register(&mut registry, &tables);
-        (Rubis { components, tables, shape, costs: RubisCosts::default() }, registry, db)
+        (
+            Rubis {
+                components,
+                tables,
+                shape,
+                costs: RubisCosts::default(),
+            },
+            registry,
+            db,
+        )
     }
 
     /// Builds the call tree of one page request.
     pub fn page(&self, page: RubisPage, params: &RubisParams) -> PageRequest {
         pages::build_page(&self.components, &self.tables, &self.costs, page, params)
+    }
+
+    /// Fixed representative page parameters; the static analyzer walks every
+    /// page once with these instead of sampling a workload.
+    pub fn representative_params(&self) -> RubisParams {
+        RubisParams {
+            category: self.shape.categories[2],
+            region: self.shape.regions[3],
+            item: self.shape.items[42],
+            target_user: self.shape.users[7],
+            user: self.shape.users[11],
+        }
+    }
+
+    /// Every measured page, built with [`Self::representative_params`].
+    pub fn all_pages(&self) -> Vec<PageRequest> {
+        let params = self.representative_params();
+        RubisPage::all()
+            .into_iter()
+            .map(|p| self.page(p, &params))
+            .collect()
     }
 
     /// Every cacheable query instance the workload can issue, for eager
@@ -52,13 +84,23 @@ impl Rubis {
         use mutsvc_relstore::Query;
         let t = &self.tables;
         let mut out = vec![
-            (tags::ALL_CATEGORIES.to_string(), Query::All { table: t.category }),
-            (tags::ALL_REGIONS.to_string(), Query::All { table: t.region }),
+            (
+                tags::ALL_CATEGORIES.to_string(),
+                Query::All { table: t.category },
+            ),
+            (
+                tags::ALL_REGIONS.to_string(),
+                Query::All { table: t.region },
+            ),
         ];
         for &cat in &self.shape.categories {
             out.push((
                 tags::ITEMS_BY_CATEGORY.to_string(),
-                Query::Eq { table: t.item, column: 1, value: cat.into() },
+                Query::Eq {
+                    table: t.item,
+                    column: 1,
+                    value: cat.into(),
+                },
             ));
             for &region in &self.shape.regions {
                 out.push((
@@ -74,17 +116,29 @@ impl Rubis {
         for &item in &self.shape.items {
             out.push((
                 tags::BIDS_BY_ITEM.to_string(),
-                Query::Eq { table: t.bid, column: 0, value: item.into() },
+                Query::Eq {
+                    table: t.bid,
+                    column: 0,
+                    value: item.into(),
+                },
             ));
         }
         for (i, &user) in self.shape.users.iter().enumerate() {
             out.push((
                 tags::COMMENTS_BY_USER.to_string(),
-                Query::Eq { table: t.comment, column: 0, value: user.into() },
+                Query::Eq {
+                    table: t.comment,
+                    column: 0,
+                    value: user.into(),
+                },
             ));
             out.push((
                 tags::USER_BY_NICKNAME.to_string(),
-                Query::Eq { table: t.user, column: 0, value: format!("user-{i}").into() },
+                Query::Eq {
+                    table: t.user,
+                    column: 0,
+                    value: format!("user-{i}").into(),
+                },
             ));
         }
         out

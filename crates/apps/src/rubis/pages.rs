@@ -157,7 +157,13 @@ pub struct RubisCosts {
 
 impl Default for RubisCosts {
     fn default() -> Self {
-        RubisCosts { render_ms: 5.0, overhead_ms: 5.0, sb_ms: 2.0, entity_ms: 1.0, per_row_ms: 0.9 }
+        RubisCosts {
+            render_ms: 5.0,
+            overhead_ms: 5.0,
+            sb_ms: 2.0,
+            entity_ms: 1.0,
+            per_row_ms: 0.9,
+        }
     }
 }
 
@@ -184,15 +190,26 @@ pub fn build_page(
     page: RubisPage,
     params: &RubisParams,
 ) -> PageRequest {
-    let auth_q = Query::Eq { table: t.user, column: 0, value: nickname(params.user) };
-    let item_q = Query::ByPk { table: t.item, id: params.item };
+    let auth_q = Query::Eq {
+        table: t.user,
+        column: 0,
+        value: nickname(params.user),
+    };
+    let item_q = Query::ByPk {
+        table: t.item,
+        id: params.item,
+    };
     let request = match page {
-        RubisPage::Main => {
-            PageRequest::new(page.name(), Call::new(c.web, "main", costs.render(0)), 3_000)
-        }
-        RubisPage::Browse => {
-            PageRequest::new(page.name(), Call::new(c.web, "browse", costs.render(0)), 3_000)
-        }
+        RubisPage::Main => PageRequest::new(
+            page.name(),
+            Call::new(c.web, "main", costs.render(0)),
+            3_000,
+        ),
+        RubisPage::Browse => PageRequest::new(
+            page.name(),
+            Call::new(c.web, "browse", costs.render(0)),
+            3_000,
+        ),
         RubisPage::AllCategories => list_page(
             c,
             costs,
@@ -238,7 +255,11 @@ pub fn build_page(
             page,
             c.sb_items_by_category,
             Call::new(c.sb_items_by_category, "getItems", costs.sb()).tagged_query(
-                Query::Eq { table: t.item, column: 1, value: params.category.into() },
+                Query::Eq {
+                    table: t.item,
+                    column: 1,
+                    value: params.category.into(),
+                },
                 tags::ITEMS_BY_CATEGORY,
                 DbAccess::Single,
             ),
@@ -280,7 +301,11 @@ pub fn build_page(
                     450,
                 )
                 .tagged_query(
-                    Query::Eq { table: t.bid, column: 0, value: params.item.into() },
+                    Query::Eq {
+                        table: t.bid,
+                        column: 0,
+                        value: params.item.into(),
+                    },
                     tags::BIDS_BY_ITEM,
                     DbAccess::Single,
                 );
@@ -291,23 +316,32 @@ pub fn build_page(
             let sb = Call::new(c.sb_view_user_info, "getUserInfo", costs.sb())
                 .invoke(
                     Call::new(c.user, "load", costs.entity()).query(
-                        Query::ByPk { table: t.user, id: params.target_user },
+                        Query::ByPk {
+                            table: t.user,
+                            id: params.target_user,
+                        },
                         DbAccess::Single,
                     ),
                     60,
                     400,
                 )
                 .tagged_query(
-                    Query::Eq { table: t.comment, column: 0, value: params.target_user.into() },
+                    Query::Eq {
+                        table: t.comment,
+                        column: 0,
+                        value: params.target_user.into(),
+                    },
                     tags::COMMENTS_BY_USER,
                     DbAccess::Single,
                 );
             let root = Call::new(c.web, "user-info", costs.render(4)).invoke(sb, 120, 800);
             PageRequest::new(page.name(), root, 6_000)
         }
-        RubisPage::PutBidAuth => {
-            PageRequest::new(page.name(), Call::new(c.web, "put-bid-auth", costs.render(0)), 2_500)
-        }
+        RubisPage::PutBidAuth => PageRequest::new(
+            page.name(),
+            Call::new(c.web, "put-bid-auth", costs.render(0)),
+            2_500,
+        ),
         RubisPage::PutBidForm => {
             let sb = Call::new(c.sb_put_bid, "authenticateAndGetItem", costs.sb())
                 .tagged_query(auth_q, tags::USER_BY_NICKNAME, DbAccess::Single)
@@ -349,7 +383,10 @@ pub fn build_page(
                 .tagged_query(auth_q, tags::USER_BY_NICKNAME, DbAccess::Single)
                 .invoke(
                     Call::new(c.user, "load", costs.entity()).query(
-                        Query::ByPk { table: t.user, id: params.target_user },
+                        Query::ByPk {
+                            table: t.user,
+                            id: params.target_user,
+                        },
                         DbAccess::Single,
                     ),
                     60,
@@ -444,7 +481,10 @@ mod tests {
             assert!(direct_invokes <= 1, "{}: {direct_invokes}", page.name());
             // And no direct queries/writes from the servlet.
             assert!(
-                !req.root.actions.iter().any(|a| !matches!(a, Action::Invoke(_))),
+                !req.root
+                    .actions
+                    .iter()
+                    .any(|a| !matches!(a, Action::Invoke(_))),
                 "{} servlet accesses data directly",
                 page.name()
             );

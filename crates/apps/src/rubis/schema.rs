@@ -65,10 +65,22 @@ pub fn build_database() -> (Database, RubisTables, RubisShape) {
     let tables = RubisTables {
         region: b.table("region", &["name"], 60),
         category: b.table("category", &["name"], 60),
-        user: b.table("user", &["*nickname", "password", "*region", "rating", "email"], 220),
+        user: b.table(
+            "user",
+            &["*nickname", "password", "*region", "rating", "email"],
+            220,
+        ),
         item: b.table(
             "item",
-            &["name", "*category", "*region", "*catregion", "price_cents", "*seller", "nb_bids"],
+            &[
+                "name",
+                "*category",
+                "*region",
+                "*catregion",
+                "price_cents",
+                "*seller",
+                "nb_bids",
+            ],
             260,
         ),
         bid: b.table("bid", &["*item", "user", "amount_cents"], 90),
@@ -86,12 +98,16 @@ pub fn build_database() -> (Database, RubisTables, RubisShape) {
     };
 
     for r in 0..REGION_COUNT {
-        shape.regions.push(db.table_mut(tables.region).insert(vec![format!("region-{r}").into()]));
+        shape.regions.push(
+            db.table_mut(tables.region)
+                .insert(vec![format!("region-{r}").into()]),
+        );
     }
     for c in 0..CATEGORY_COUNT {
-        shape
-            .categories
-            .push(db.table_mut(tables.category).insert(vec![format!("category-{c}").into()]));
+        shape.categories.push(
+            db.table_mut(tables.category)
+                .insert(vec![format!("category-{c}").into()]),
+        );
     }
     for u in 0..USER_COUNT {
         let region = shape.regions[u % REGION_COUNT];
@@ -166,7 +182,11 @@ mod tests {
     fn twenty_items_per_category() {
         let (db, t, shape) = build_database();
         for &cat in &shape.categories {
-            let out = db.execute(&Query::Eq { table: t.item, column: 1, value: cat.into() });
+            let out = db.execute(&Query::Eq {
+                table: t.item,
+                column: 1,
+                value: cat.into(),
+            });
             assert_eq!(out.row_count(), 20);
         }
     }
@@ -177,7 +197,11 @@ mod tests {
         let item_idx = 42;
         let (c, r) = shape.item_coords[item_idx];
         let key = catregion_key(shape.categories[c], shape.regions[r]);
-        let out = db.execute(&Query::Eq { table: t.item, column: 3, value: key });
+        let out = db.execute(&Query::Eq {
+            table: t.item,
+            column: 3,
+            value: key,
+        });
         assert!(out.row_count() >= 1);
         assert!(out.rows.contains(&shape.items[item_idx]));
     }
@@ -185,21 +209,33 @@ mod tests {
     #[test]
     fn bids_by_item_returns_seeded_history() {
         let (db, t, shape) = build_database();
-        let out = db.execute(&Query::Eq { table: t.bid, column: 0, value: shape.items[5].into() });
+        let out = db.execute(&Query::Eq {
+            table: t.bid,
+            column: 0,
+            value: shape.items[5].into(),
+        });
         assert_eq!(out.row_count(), SEED_BIDS_PER_ITEM as u64);
     }
 
     #[test]
     fn nickname_lookup_is_unique() {
         let (db, t, _) = build_database();
-        let out = db.execute(&Query::Eq { table: t.user, column: 0, value: "user-123".into() });
+        let out = db.execute(&Query::Eq {
+            table: t.user,
+            column: 0,
+            value: "user-123".into(),
+        });
         assert_eq!(out.row_count(), 1);
     }
 
     #[test]
     fn comments_by_user_returns_seeded_history() {
         let (db, t, shape) = build_database();
-        let out = db.execute(&Query::Eq { table: t.comment, column: 0, value: shape.users[9].into() });
+        let out = db.execute(&Query::Eq {
+            table: t.comment,
+            column: 0,
+            value: shape.users[9].into(),
+        });
         assert_eq!(out.row_count(), SEED_COMMENTS_PER_USER as u64);
     }
 }

@@ -46,7 +46,12 @@ pub struct BrowserSession {
 impl BrowserSession {
     /// Starts a fresh session.
     pub fn new() -> Self {
-        BrowserSession { issued: 0, category_idx: None, region_idx: None, item_idx: None }
+        BrowserSession {
+            issued: 0,
+            category_idx: None,
+            region_idx: None,
+            item_idx: None,
+        }
     }
 
     /// Whether the session has issued all its requests.
@@ -55,7 +60,11 @@ impl BrowserSession {
     }
 
     /// Draws the next page and parameters, or `None` when finished.
-    pub fn next(&mut self, shape: &RubisShape, rng: &mut SimRng) -> Option<(RubisPage, RubisParams)> {
+    pub fn next(
+        &mut self,
+        shape: &RubisShape,
+        rng: &mut SimRng,
+    ) -> Option<(RubisPage, RubisParams)> {
         if self.finished() {
             return None;
         }
@@ -102,7 +111,9 @@ impl BrowserSession {
         let category_idx = *self
             .category_idx
             .get_or_insert_with(|| rng.index(shape.categories.len()));
-        let region_idx = *self.region_idx.get_or_insert_with(|| rng.index(shape.regions.len()));
+        let region_idx = *self
+            .region_idx
+            .get_or_insert_with(|| rng.index(shape.regions.len()));
         let item_idx = *self.item_idx.get_or_insert_with(|| {
             let items = &shape.items_by_category[category_idx];
             (items[rng.index(items.len())].0 - 1) as usize
@@ -156,6 +167,10 @@ impl BidderSession {
     }
 
     /// The next page of the sequence.
+    ///
+    /// Deliberately named like `Iterator::next`; the session types are not
+    /// iterators because callers thread an RNG through the browser variants.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<(RubisPage, RubisParams)> {
         if self.finished() {
             return None;
@@ -199,7 +214,11 @@ mod tests {
         let total: usize = counts.values().sum();
         for (page, pct) in BROWSER_MIX {
             let share = *counts.get(&page).unwrap_or(&0) as f64 / total as f64 * 100.0;
-            assert!((share - pct).abs() < 1.2, "{}: {share:.1}% vs {pct}%", page.name());
+            assert!(
+                (share - pct).abs() < 1.2,
+                "{}: {share:.1}% vs {pct}%",
+                page.name()
+            );
         }
     }
 
@@ -210,7 +229,11 @@ mod tests {
         let mut s = BrowserSession::new();
         while let Some((page, params)) = s.next(&shape, &mut rng) {
             if page == RubisPage::Item {
-                let cat_idx = shape.categories.iter().position(|&c| c == params.category).unwrap();
+                let cat_idx = shape
+                    .categories
+                    .iter()
+                    .position(|&c| c == params.category)
+                    .unwrap();
                 assert!(shape.items_by_category[cat_idx].contains(&params.item));
             }
         }
@@ -230,6 +253,9 @@ mod tests {
         assert_eq!(pages, BIDDER_SEQUENCE);
         let params = last_params.unwrap();
         let item_idx = (params.item.0 - 1) as usize;
-        assert_eq!(params.target_user, shape.users[item_idx % shape.users.len()]);
+        assert_eq!(
+            params.target_user,
+            shape.users[item_idx % shape.users.len()]
+        );
     }
 }

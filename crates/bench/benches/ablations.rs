@@ -28,11 +28,18 @@ fn print_series() {
     );
     for ms in [25, 50, 100, 200] {
         let mut row = format!("{ms:<12}");
-        for config in [Config::Centralized, Config::RemoteFacade, Config::AsyncUpdates] {
+        for config in [
+            Config::Centralized,
+            Config::RemoteFacade,
+            Config::AsyncUpdates,
+        ] {
             let report = Scenario::quick(AppKind::PetStore, config)
                 .with_wan_latency(SimDuration::from_millis(ms))
                 .run();
-            let v = report.stats.session_mean_over_groups(&REMOTE, "Browser").unwrap();
+            let v = report
+                .stats
+                .session_mean_over_groups(&REMOTE, "Browser")
+                .unwrap();
             row.push_str(&format!(" {v:>12.0}ms"));
         }
         println!("{row}");
@@ -44,16 +51,26 @@ fn print_series() {
         let report = Scenario::quick(AppKind::PetStore, Config::RemoteFacade)
             .with_rmi_chattiness(prob)
             .run();
-        let v = report.stats.mean_ms_over_groups(&REMOTE, "Browser", "Category").unwrap();
+        let v = report
+            .stats
+            .mean_ms_over_groups(&REMOTE, "Browser", "Category")
+            .unwrap();
         println!("{prob:<12} {v:>12.0}ms");
     }
 
     println!("\n== ablation: writer path — blocking push vs async (Pet Store Commit) ==");
     println!("{:<18} {:>10} {:>10}", "configuration", "local", "remote");
-    for config in [Config::RemoteFacade, Config::StatefulCaching, Config::AsyncUpdates] {
+    for config in [
+        Config::RemoteFacade,
+        Config::StatefulCaching,
+        Config::AsyncUpdates,
+    ] {
         let report = Scenario::quick(AppKind::PetStore, config).run();
         let local = report.stats.mean_ms("local", "Buyer", "Commit").unwrap();
-        let remote = report.stats.mean_ms_over_groups(&REMOTE, "Buyer", "Commit").unwrap();
+        let remote = report
+            .stats
+            .mean_ms_over_groups(&REMOTE, "Buyer", "Commit")
+            .unwrap();
         println!("{:<18} {local:>8.0}ms {remote:>8.0}ms", config.name());
     }
     println!();
@@ -68,7 +85,7 @@ fn ablations(c: &mut Criterion) {
             Scenario::quick(AppKind::PetStore, Config::AsyncUpdates)
                 .with_wan_latency(SimDuration::from_millis(200))
                 .run()
-        })
+        });
     });
     group.finish();
 }

@@ -15,7 +15,7 @@ fn event_scheduling(c: &mut Criterion) {
             }
             sim.run();
             assert_eq!(*sim.world(), 100_000);
-        })
+        });
     });
 }
 
@@ -31,7 +31,7 @@ fn resource_admission(c: &mut Criterion) {
                 r
             },
             BatchSize::SmallInput,
-        )
+        );
     });
 }
 
@@ -53,7 +53,7 @@ fn network_transfers(c: &mut Criterion) {
                 net
             },
             BatchSize::SmallInput,
-        )
+        );
     });
 }
 
@@ -61,10 +61,16 @@ fn full_scenario(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine/scenario");
     group.sample_size(10);
     group.bench_function("petstore_query_caching_quick", |b| {
-        b.iter(|| Scenario::quick(AppKind::PetStore, Config::QueryCaching).run())
+        b.iter(|| Scenario::quick(AppKind::PetStore, Config::QueryCaching).run());
     });
     group.finish();
 }
 
-criterion_group!(benches, event_scheduling, resource_admission, network_transfers, full_scenario);
+criterion_group!(
+    benches,
+    event_scheduling,
+    resource_admission,
+    network_transfers,
+    full_scenario
+);
 criterion_main!(benches);

@@ -7,17 +7,34 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use mutsvc_placement::algorithms::greedy::{solve as greedy, GreedyOptions};
 use mutsvc_placement::algorithms::multilevel::{solve as multilevel, MultilevelOptions};
 use mutsvc_placement::derive::{petstore_problem, rubis_problem};
-use mutsvc_placement::{cost, Component, ComponentGraph, CostParams, Host, HostId, Placement, PlacementProblem, Role};
+use mutsvc_placement::{
+    cost, Component, ComponentGraph, CostParams, Host, HostId, Placement, PlacementProblem, Role,
+};
 
 static PRINT: Once = Once::new();
 
 fn print_quality() {
     println!("\n== placement quality: cost (ms/s) per algorithm ==");
-    println!("{:<12} {:>12} {:>12} {:>14} {:>14}", "problem", "centralized", "multilevel", "greedy", "greedy+repl");
-    for (name, problem) in [("petstore", petstore_problem().0), ("rubis", rubis_problem().0)] {
+    println!(
+        "{:<12} {:>12} {:>12} {:>14} {:>14}",
+        "problem", "centralized", "multilevel", "greedy", "greedy+repl"
+    );
+    for (name, problem) in [
+        ("petstore", petstore_problem().0),
+        ("rubis", rubis_problem().0),
+    ] {
         let central = cost(&problem, &Placement::all_on(&problem, HostId(0)));
-        let ml = cost(&problem, &multilevel(&problem, &MultilevelOptions::default()));
-        let (_, g) = greedy(&problem, &GreedyOptions { with_replication: false, ..Default::default() });
+        let ml = cost(
+            &problem,
+            &multilevel(&problem, &MultilevelOptions::default()),
+        );
+        let (_, g) = greedy(
+            &problem,
+            &GreedyOptions {
+                with_replication: false,
+                ..Default::default()
+            },
+        );
         let (_, gr) = greedy(&problem, &GreedyOptions::default());
         println!("{name:<12} {central:>12.0} {ml:>12.0} {g:>14.0} {gr:>14.0}");
     }
@@ -29,25 +46,47 @@ fn synthetic(n: usize, k: usize) -> PlacementProblem {
     let mut g = ComponentGraph::new();
     let mut nodes = Vec::new();
     for i in 0..n {
-        let pinned = if i % (n / k).max(1) == 0 { Some(HostId((i / (n / k).max(1)) % k)) } else { None };
+        let pinned = if i % (n / k).max(1) == 0 {
+            Some(HostId((i / (n / k).max(1)) % k))
+        } else {
+            None
+        };
         nodes.push(g.add(Component {
             name: format!("c{i}"),
-            role: if pinned.is_some() { Role::Database } else { Role::Stateless },
+            role: if pinned.is_some() {
+                Role::Database
+            } else {
+                Role::Stateless
+            },
             pinned,
             cpu_ms_per_call: 1.0,
             write_rate: 0.0,
         }));
     }
     for i in 1..n {
-        g.interact(nodes[i - 1], nodes[i], if i % (n / k).max(1) == 0 { 0.5 } else { 20.0 }, 200.0);
+        g.interact(
+            nodes[i - 1],
+            nodes[i],
+            if i % (n / k).max(1) == 0 { 0.5 } else { 20.0 },
+            200.0,
+        );
     }
     let hosts = (0..k)
-        .map(|i| Host { name: format!("h{i}"), entry_share: 1.0 / k as f64, cpu_capacity: f64::INFINITY })
+        .map(|i| Host {
+            name: format!("h{i}"),
+            entry_share: 1.0 / k as f64,
+            cpu_capacity: f64::INFINITY,
+        })
         .collect();
     let rtt = (0..k)
         .map(|i| (0..k).map(|j| if i == j { 0.0 } else { 200.0 }).collect())
         .collect();
-    PlacementProblem { hosts, rtt_ms: rtt, graph: g, params: CostParams::default() }
+    PlacementProblem {
+        hosts,
+        rtt_ms: rtt,
+        graph: g,
+        params: CostParams::default(),
+    }
 }
 
 fn placement_benches(c: &mut Criterion) {
@@ -55,16 +94,16 @@ fn placement_benches(c: &mut Criterion) {
 
     c.bench_function("placement/greedy_petstore", |b| {
         let (problem, _) = petstore_problem();
-        b.iter(|| greedy(&problem, &GreedyOptions::default()))
+        b.iter(|| greedy(&problem, &GreedyOptions::default()));
     });
     c.bench_function("placement/greedy_rubis", |b| {
         let (problem, _) = rubis_problem();
-        b.iter(|| greedy(&problem, &GreedyOptions::default()))
+        b.iter(|| greedy(&problem, &GreedyOptions::default()));
     });
     for n in [30usize, 90] {
         let problem = synthetic(n, 3);
         c.bench_function(&format!("placement/multilevel_synthetic_{n}"), |b| {
-            b.iter(|| multilevel(&problem, &MultilevelOptions::default()))
+            b.iter(|| multilevel(&problem, &MultilevelOptions::default()));
         });
     }
 }

@@ -19,12 +19,15 @@ fn table6_and_figure7(c: &mut Criterion) {
         println!("\n{}", render_table(AppKind::PetStore, &reports));
         println!("{}", render_figure(AppKind::PetStore, &reports));
         let violations = validate_shapes(AppKind::PetStore, &reports);
-        println!("shape criteria (quick windows): {} violations\n", violations.len());
+        println!(
+            "shape criteria (quick windows): {} violations\n",
+            violations.len()
+        );
     });
     let mut group = c.benchmark_group("table6");
     group.sample_size(10);
     group.bench_function("petstore_five_config_sweep", |b| {
-        b.iter(|| run_sweep(AppKind::PetStore, true, 42))
+        b.iter(|| run_sweep(AppKind::PetStore, true, 42));
     });
     group.finish();
 }
@@ -35,12 +38,15 @@ fn table7_and_figure8(c: &mut Criterion) {
         println!("\n{}", render_table(AppKind::Rubis, &reports));
         println!("{}", render_figure(AppKind::Rubis, &reports));
         let violations = validate_shapes(AppKind::Rubis, &reports);
-        println!("shape criteria (quick windows): {} violations\n", violations.len());
+        println!(
+            "shape criteria (quick windows): {} violations\n",
+            violations.len()
+        );
     });
     let mut group = c.benchmark_group("table7");
     group.sample_size(10);
     group.bench_function("rubis_five_config_sweep", |b| {
-        b.iter(|| run_sweep(AppKind::Rubis, true, 42))
+        b.iter(|| run_sweep(AppKind::Rubis, true, 42));
     });
     group.finish();
 }

@@ -64,7 +64,7 @@ fn parse_args() -> Options {
                 opts.seed = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--seed needs an integer");
                     std::process::exit(2);
-                })
+                });
             }
             "--tables" => opts.tables = true,
             "--figures" => opts.figures = true,
@@ -123,7 +123,10 @@ fn print_sessions() {
 }
 
 fn print_topology() {
-    for (label, db_on_main) in [("Pet Store (Oracle on a LAN host)", false), ("RUBiS (MySQL on main)", true)] {
+    for (label, db_on_main) in [
+        ("Pet Store (Oracle on a LAN host)", false),
+        ("RUBiS (MySQL on main)", true),
+    ] {
         let (topology, nodes) = paper_topology(db_on_main);
         println!("Figure 2 topology — {label}");
         for id in topology.node_ids() {
@@ -132,8 +135,12 @@ fn print_topology() {
         }
         println!(
             "  WAN one-way main<->edge1: {:.1} ms; edge1<->edge2: {:.1} ms",
-            topology.path_latency(nodes.main, nodes.edge1).as_millis_f64(),
-            topology.path_latency(nodes.edge1, nodes.edge2).as_millis_f64(),
+            topology
+                .path_latency(nodes.main, nodes.edge1)
+                .as_millis_f64(),
+            topology
+                .path_latency(nodes.edge1, nodes.edge2)
+                .as_millis_f64(),
         );
     }
 }
@@ -157,7 +164,14 @@ fn print_wiring(app: AppKind) {
             }
         }
         edge_hosted.sort();
-        println!("   on edges: {}", if edge_hosted.is_empty() { "(nothing)".to_string() } else { edge_hosted.join(", ") });
+        println!(
+            "   on edges: {}",
+            if edge_hosted.is_empty() {
+                "(nothing)".to_string()
+            } else {
+                edge_hosted.join(", ")
+            }
+        );
     }
 }
 
@@ -202,7 +216,11 @@ fn main() {
             if violations.is_empty() {
                 println!("shape validation ({}): all criteria hold\n", app.name());
             } else {
-                println!("shape validation ({}): {} violations", app.name(), violations.len());
+                println!(
+                    "shape validation ({}): {} violations",
+                    app.name(),
+                    violations.len()
+                );
                 for v in &violations {
                     println!("  - {v}");
                 }

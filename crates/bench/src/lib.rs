@@ -16,12 +16,18 @@ pub fn run_sweep_parallel(app: AppKind, quick: bool, seed: u64) -> Vec<Experimen
     let mut handles = Vec::new();
     for config in Config::all() {
         handles.push(std::thread::spawn(move || {
-            let scenario =
-                if quick { Scenario::quick(app, config) } else { Scenario::paper(app, config) };
+            let scenario = if quick {
+                Scenario::quick(app, config)
+            } else {
+                Scenario::paper(app, config)
+            };
             scenario.with_seed(seed).run()
         }));
     }
-    handles.into_iter().map(|h| h.join().expect("scenario thread panicked")).collect()
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("scenario thread panicked"))
+        .collect()
 }
 
 #[cfg(test)]

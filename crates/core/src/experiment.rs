@@ -4,7 +4,9 @@ use mutsvc_apps::App;
 use mutsvc_desim::time::SimDuration;
 use mutsvc_middleware::ContainerCosts;
 use mutsvc_netsim::ProtocolParams;
-use mutsvc_workload::{paper_groups, run_experiment, ExperimentInput, ExperimentReport, WorkloadSpec};
+use mutsvc_workload::{
+    paper_groups, run_experiment, ExperimentInput, ExperimentReport, WorkloadSpec,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::configs::{petstore_descriptor, rubis_descriptor, Config};
@@ -118,7 +120,13 @@ impl Scenario {
                     App::Rubis(_) => unreachable!(),
                 };
                 let descriptor = petstore_descriptor(self.config, &registry, &c, &nodes);
-                (app, registry, db, descriptor, ProtocolParams::petstore_stack())
+                (
+                    app,
+                    registry,
+                    db,
+                    descriptor,
+                    ProtocolParams::petstore_stack(),
+                )
             }
             AppKind::Rubis => {
                 let (app, registry, db) = App::rubis();
@@ -180,7 +188,11 @@ pub fn run_sweep(app: AppKind, quick: bool, seed: u64) -> Vec<ExperimentReport> 
     Config::all()
         .into_iter()
         .map(|config| {
-            let scenario = if quick { Scenario::quick(app, config) } else { Scenario::paper(app, config) };
+            let scenario = if quick {
+                Scenario::quick(app, config)
+            } else {
+                Scenario::paper(app, config)
+            };
             scenario.with_seed(seed).run()
         })
         .collect()

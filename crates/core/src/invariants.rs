@@ -1,0 +1,79 @@
+//! Expected wide-area invariants per configuration.
+//!
+//! §4.2's structural claim is that the remote-façade refactoring bounds every
+//! page to **one** wide-area round trip between an edge server and the
+//! central site, with the documented exception of Pet Store's *VerifySignIn*
+//! (authentication deliberately crosses twice: sign-on check, then profile
+//! retrieval). The centralized baseline keeps all components on the main
+//! server, so its call trees cross the WAN zero times — clients only pay the
+//! HTTP leg. These tables give the static analyzer its per-page budgets.
+
+use crate::configs::Config;
+
+/// The WAN round-trip budget of one configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct WanInvariant {
+    /// Default per-page ceiling on wide-area crossings inside the call tree
+    /// (RMI, delegated fetches, JDBC — the HTTP envelope is excluded).
+    pub max_wan_round_trips: u32,
+    /// `(page name, ceiling)` overrides for pages the paper documents as
+    /// exceptions.
+    pub exceptions: &'static [(&'static str, u32)],
+}
+
+impl WanInvariant {
+    /// The ceiling that applies to `page`.
+    pub fn page_limit(&self, page: &str) -> u32 {
+        self.exceptions
+            .iter()
+            .find(|(name, _)| *name == page)
+            .map_or(self.max_wan_round_trips, |&(_, limit)| limit)
+    }
+}
+
+/// §4.2's sign-in exception: two wide-area exchanges (credential check, then
+/// profile retrieval).
+const SIGN_IN_EXCEPTIONS: &[(&str, u32)] = &[("VerifySignIn", 2)];
+
+/// The wide-area budget of `config` (identical for both applications).
+pub fn wan_invariant(config: Config) -> WanInvariant {
+    match config {
+        Config::Centralized => WanInvariant {
+            max_wan_round_trips: 0,
+            exceptions: &[],
+        },
+        Config::RemoteFacade
+        | Config::StatefulCaching
+        | Config::QueryCaching
+        | Config::AsyncUpdates => WanInvariant {
+            max_wan_round_trips: 1,
+            exceptions: SIGN_IN_EXCEPTIONS,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centralized_allows_no_wan_crossings() {
+        let inv = wan_invariant(Config::Centralized);
+        assert_eq!(inv.page_limit("Item"), 0);
+        assert_eq!(inv.page_limit("VerifySignIn"), 0);
+    }
+
+    #[test]
+    fn facade_configs_allow_one_with_sign_in_exception() {
+        for config in [
+            Config::RemoteFacade,
+            Config::StatefulCaching,
+            Config::QueryCaching,
+            Config::AsyncUpdates,
+        ] {
+            let inv = wan_invariant(config);
+            assert_eq!(inv.page_limit("Item"), 1, "{config:?}");
+            assert_eq!(inv.page_limit("VerifySignIn"), 2, "{config:?}");
+        }
+    }
+}

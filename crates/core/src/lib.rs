@@ -25,12 +25,14 @@
 
 pub mod configs;
 pub mod experiment;
+pub mod invariants;
 pub mod paper;
 pub mod report;
 pub mod topology;
 
 pub use configs::{petstore_descriptor, rubis_descriptor, Config};
 pub use experiment::{run_sweep, AppKind, Scenario};
+pub use invariants::{wan_invariant, WanInvariant};
 pub use report::{
     figure_series, measured_mean, render_comparison, render_figure, render_percentiles,
     render_table, validate_shapes, FigureBar,

@@ -60,28 +60,50 @@ pub struct PaperRow {
 pub const TABLE6: [PaperRow; 5] = [
     PaperRow {
         config: Config::Centralized,
-        local: &[87.0, 95.0, 94.0, 88.0, 106.0, 98.0, 78.0, 89.0, 120.0, 76.0, 70.0, 70.0, 158.0, 90.0],
-        remote: &[488.0, 492.0, 492.0, 486.0, 496.0, 489.0, 480.0, 482.0, 658.0, 477.0, 646.0, 482.0, 708.0, 447.0],
+        local: &[
+            87.0, 95.0, 94.0, 88.0, 106.0, 98.0, 78.0, 89.0, 120.0, 76.0, 70.0, 70.0, 158.0, 90.0,
+        ],
+        remote: &[
+            488.0, 492.0, 492.0, 486.0, 496.0, 489.0, 480.0, 482.0, 658.0, 477.0, 646.0, 482.0,
+            708.0, 447.0,
+        ],
     },
     PaperRow {
         config: Config::RemoteFacade,
-        local: &[64.0, 78.0, 80.0, 72.0, 82.0, 61.0, 52.0, 63.0, 85.0, 54.0, 51.0, 54.0, 134.0, 54.0],
-        remote: &[72.0, 387.0, 389.0, 373.0, 384.0, 60.0, 54.0, 630.0, 407.0, 61.0, 57.0, 61.0, 500.0, 63.0],
+        local: &[
+            64.0, 78.0, 80.0, 72.0, 82.0, 61.0, 52.0, 63.0, 85.0, 54.0, 51.0, 54.0, 134.0, 54.0,
+        ],
+        remote: &[
+            72.0, 387.0, 389.0, 373.0, 384.0, 60.0, 54.0, 630.0, 407.0, 61.0, 57.0, 61.0, 500.0,
+            63.0,
+        ],
     },
     PaperRow {
         config: Config::StatefulCaching,
-        local: &[55.0, 82.0, 84.0, 55.0, 77.0, 60.0, 51.0, 65.0, 77.0, 53.0, 50.0, 55.0, 584.0, 54.0],
-        remote: &[55.0, 394.0, 390.0, 57.0, 393.0, 68.0, 52.0, 629.0, 80.0, 50.0, 49.0, 53.0, 950.0, 62.0],
+        local: &[
+            55.0, 82.0, 84.0, 55.0, 77.0, 60.0, 51.0, 65.0, 77.0, 53.0, 50.0, 55.0, 584.0, 54.0,
+        ],
+        remote: &[
+            55.0, 394.0, 390.0, 57.0, 393.0, 68.0, 52.0, 629.0, 80.0, 50.0, 49.0, 53.0, 950.0, 62.0,
+        ],
     },
     PaperRow {
         config: Config::QueryCaching,
-        local: &[56.0, 50.0, 51.0, 54.0, 87.0, 58.0, 51.0, 61.0, 70.0, 50.0, 50.0, 54.0, 614.0, 52.0],
-        remote: &[55.0, 51.0, 51.0, 55.0, 481.0, 61.0, 49.0, 638.0, 69.0, 51.0, 52.0, 53.0, 966.0, 54.0],
+        local: &[
+            56.0, 50.0, 51.0, 54.0, 87.0, 58.0, 51.0, 61.0, 70.0, 50.0, 50.0, 54.0, 614.0, 52.0,
+        ],
+        remote: &[
+            55.0, 51.0, 51.0, 55.0, 481.0, 61.0, 49.0, 638.0, 69.0, 51.0, 52.0, 53.0, 966.0, 54.0,
+        ],
     },
     PaperRow {
         config: Config::AsyncUpdates,
-        local: &[61.0, 54.0, 53.0, 57.0, 92.0, 61.0, 53.0, 64.0, 75.0, 53.0, 53.0, 56.0, 195.0, 56.0],
-        remote: &[59.0, 51.0, 53.0, 58.0, 459.0, 59.0, 48.0, 632.0, 69.0, 50.0, 50.0, 50.0, 536.0, 52.0],
+        local: &[
+            61.0, 54.0, 53.0, 57.0, 92.0, 61.0, 53.0, 64.0, 75.0, 53.0, 53.0, 56.0, 195.0, 56.0,
+        ],
+        remote: &[
+            59.0, 51.0, 53.0, 58.0, 459.0, 59.0, 48.0, 632.0, 69.0, 50.0, 50.0, 50.0, 536.0, 52.0,
+        ],
     },
 ];
 
@@ -89,28 +111,57 @@ pub const TABLE6: [PaperRow; 5] = [
 pub const TABLE7: [PaperRow; 5] = [
     PaperRow {
         config: Config::Centralized,
-        local: &[14.0, 12.0, 33.0, 26.0, 35.0, 43.0, 21.0, 27.0, 40.0, 43.0, 12.0, 13.0, 32.0, 36.0, 13.0, 25.0, 35.0],
-        remote: &[421.0, 414.0, 434.0, 438.0, 434.0, 649.0, 426.0, 430.0, 446.0, 452.0, 419.0, 419.0, 439.0, 437.0, 414.0, 432.0, 432.0],
+        local: &[
+            14.0, 12.0, 33.0, 26.0, 35.0, 43.0, 21.0, 27.0, 40.0, 43.0, 12.0, 13.0, 32.0, 36.0,
+            13.0, 25.0, 35.0,
+        ],
+        remote: &[
+            421.0, 414.0, 434.0, 438.0, 434.0, 649.0, 426.0, 430.0, 446.0, 452.0, 419.0, 419.0,
+            439.0, 437.0, 414.0, 432.0, 432.0,
+        ],
     },
     PaperRow {
         config: Config::RemoteFacade,
-        local: &[10.0, 11.0, 27.0, 30.0, 34.0, 35.0, 19.0, 24.0, 35.0, 34.0, 10.0, 13.0, 30.0, 30.0, 14.0, 26.0, 30.0],
-        remote: &[4.0, 3.0, 424.0, 407.0, 399.0, 499.0, 265.0, 275.0, 300.0, 379.0, 4.0, 3.0, 408.0, 284.0, 3.0, 284.0, 282.0],
+        local: &[
+            10.0, 11.0, 27.0, 30.0, 34.0, 35.0, 19.0, 24.0, 35.0, 34.0, 10.0, 13.0, 30.0, 30.0,
+            14.0, 26.0, 30.0,
+        ],
+        remote: &[
+            4.0, 3.0, 424.0, 407.0, 399.0, 499.0, 265.0, 275.0, 300.0, 379.0, 4.0, 3.0, 408.0,
+            284.0, 3.0, 284.0, 282.0,
+        ],
     },
     PaperRow {
         config: Config::StatefulCaching,
-        local: &[13.0, 16.0, 29.0, 32.0, 39.0, 38.0, 23.0, 19.0, 30.0, 31.0, 10.0, 15.0, 23.0, 372.0, 14.0, 22.0, 377.0],
-        remote: &[3.0, 3.0, 423.0, 463.0, 435.0, 526.0, 279.0, 7.0, 323.0, 404.0, 4.0, 4.0, 450.0, 680.0, 4.0, 303.0, 628.0],
+        local: &[
+            13.0, 16.0, 29.0, 32.0, 39.0, 38.0, 23.0, 19.0, 30.0, 31.0, 10.0, 15.0, 23.0, 372.0,
+            14.0, 22.0, 377.0,
+        ],
+        remote: &[
+            3.0, 3.0, 423.0, 463.0, 435.0, 526.0, 279.0, 7.0, 323.0, 404.0, 4.0, 4.0, 450.0, 680.0,
+            4.0, 303.0, 628.0,
+        ],
     },
     PaperRow {
         config: Config::QueryCaching,
-        local: &[9.0, 12.0, 12.0, 15.0, 17.0, 16.0, 12.0, 15.0, 16.0, 16.0, 9.0, 10.0, 15.0, 377.0, 9.0, 16.0, 374.0],
-        remote: &[5.0, 4.0, 7.0, 7.0, 7.0, 6.0, 5.0, 8.0, 8.0, 8.0, 3.0, 3.0, 7.0, 798.0, 3.0, 6.0, 729.0],
+        local: &[
+            9.0, 12.0, 12.0, 15.0, 17.0, 16.0, 12.0, 15.0, 16.0, 16.0, 9.0, 10.0, 15.0, 377.0, 9.0,
+            16.0, 374.0,
+        ],
+        remote: &[
+            5.0, 4.0, 7.0, 7.0, 7.0, 6.0, 5.0, 8.0, 8.0, 8.0, 3.0, 3.0, 7.0, 798.0, 3.0, 6.0, 729.0,
+        ],
     },
     PaperRow {
         config: Config::AsyncUpdates,
-        local: &[12.0, 12.0, 9.0, 9.0, 11.0, 13.0, 13.0, 14.0, 15.0, 15.0, 10.0, 15.0, 15.0, 32.0, 9.0, 10.0, 34.0],
-        remote: &[4.0, 5.0, 9.0, 7.0, 6.0, 6.0, 4.0, 7.0, 10.0, 10.0, 5.0, 4.0, 9.0, 421.0, 4.0, 12.0, 419.0],
+        local: &[
+            12.0, 12.0, 9.0, 9.0, 11.0, 13.0, 13.0, 14.0, 15.0, 15.0, 10.0, 15.0, 15.0, 32.0, 9.0,
+            10.0, 34.0,
+        ],
+        remote: &[
+            4.0, 5.0, 9.0, 7.0, 6.0, 6.0, 4.0, 7.0, 10.0, 10.0, 5.0, 4.0, 9.0, 421.0, 4.0, 12.0,
+            419.0,
+        ],
     },
 ];
 
@@ -124,8 +175,14 @@ pub fn paper_mean(
     page: &str,
 ) -> Option<f64> {
     let row = table.iter().find(|r| r.config == config)?;
-    let idx = columns.iter().position(|&(pat, pg)| pat == pattern && pg == page)?;
-    Some(if remote { row.remote[idx] } else { row.local[idx] })
+    let idx = columns
+        .iter()
+        .position(|&(pat, pg)| pat == pattern && pg == page)?;
+    Some(if remote {
+        row.remote[idx]
+    } else {
+        row.local[idx]
+    })
 }
 
 #[cfg(test)]
@@ -147,19 +204,47 @@ mod tests {
     #[test]
     fn lookup_returns_known_cells() {
         assert_eq!(
-            paper_mean(&TABLE6, &PETSTORE_COLUMNS, Config::Centralized, true, "Buyer", "Commit"),
+            paper_mean(
+                &TABLE6,
+                &PETSTORE_COLUMNS,
+                Config::Centralized,
+                true,
+                "Buyer",
+                "Commit"
+            ),
             Some(708.0)
         );
         assert_eq!(
-            paper_mean(&TABLE7, &RUBIS_COLUMNS, Config::QueryCaching, true, "Browser", "Item"),
+            paper_mean(
+                &TABLE7,
+                &RUBIS_COLUMNS,
+                Config::QueryCaching,
+                true,
+                "Browser",
+                "Item"
+            ),
             Some(8.0)
         );
         assert_eq!(
-            paper_mean(&TABLE6, &PETSTORE_COLUMNS, Config::AsyncUpdates, false, "Buyer", "Commit"),
+            paper_mean(
+                &TABLE6,
+                &PETSTORE_COLUMNS,
+                Config::AsyncUpdates,
+                false,
+                "Buyer",
+                "Commit"
+            ),
             Some(195.0)
         );
-        assert!(paper_mean(&TABLE6, &PETSTORE_COLUMNS, Config::Centralized, true, "Buyer", "Nope")
-            .is_none());
+        assert!(paper_mean(
+            &TABLE6,
+            &PETSTORE_COLUMNS,
+            Config::Centralized,
+            true,
+            "Buyer",
+            "Nope"
+        )
+        .is_none());
     }
 
     /// The headline shapes this reproduction must reach are present in the
@@ -167,19 +252,55 @@ mod tests {
     #[test]
     fn reference_data_encodes_the_papers_story() {
         // Remote browsing collapses with caching.
-        let centralized_item =
-            paper_mean(&TABLE6, &PETSTORE_COLUMNS, Config::Centralized, true, "Browser", "Item").unwrap();
-        let cached_item =
-            paper_mean(&TABLE6, &PETSTORE_COLUMNS, Config::StatefulCaching, true, "Browser", "Item").unwrap();
+        let centralized_item = paper_mean(
+            &TABLE6,
+            &PETSTORE_COLUMNS,
+            Config::Centralized,
+            true,
+            "Browser",
+            "Item",
+        )
+        .unwrap();
+        let cached_item = paper_mean(
+            &TABLE6,
+            &PETSTORE_COLUMNS,
+            Config::StatefulCaching,
+            true,
+            "Browser",
+            "Item",
+        )
+        .unwrap();
         assert!(centralized_item / cached_item > 5.0);
         // Blocking pushes hurt writers; async recovers them.
-        let sync_commit =
-            paper_mean(&TABLE6, &PETSTORE_COLUMNS, Config::StatefulCaching, true, "Buyer", "Commit").unwrap();
-        let async_commit =
-            paper_mean(&TABLE6, &PETSTORE_COLUMNS, Config::AsyncUpdates, true, "Buyer", "Commit").unwrap();
+        let sync_commit = paper_mean(
+            &TABLE6,
+            &PETSTORE_COLUMNS,
+            Config::StatefulCaching,
+            true,
+            "Buyer",
+            "Commit",
+        )
+        .unwrap();
+        let async_commit = paper_mean(
+            &TABLE6,
+            &PETSTORE_COLUMNS,
+            Config::AsyncUpdates,
+            true,
+            "Buyer",
+            "Commit",
+        )
+        .unwrap();
         assert!(sync_commit / async_commit > 1.5);
         // RUBiS remote browser becomes local with query caching.
-        let qc_cat = paper_mean(&TABLE7, &RUBIS_COLUMNS, Config::QueryCaching, true, "Browser", "Category").unwrap();
+        let qc_cat = paper_mean(
+            &TABLE7,
+            &RUBIS_COLUMNS,
+            Config::QueryCaching,
+            true,
+            "Browser",
+            "Category",
+        )
+        .unwrap();
         assert!(qc_cat < 10.0);
     }
 }

@@ -45,7 +45,9 @@ pub fn measured_mean(
     page: &str,
 ) -> Option<f64> {
     if remote {
-        report.stats.mean_ms_over_groups(&REMOTE_GROUPS, pattern, page)
+        report
+            .stats
+            .mean_ms_over_groups(&REMOTE_GROUPS, pattern, page)
     } else {
         report.stats.mean_ms("local", pattern, page)
     }
@@ -105,7 +107,7 @@ pub fn render_comparison(app: AppKind, reports: &[ExperimentReport]) -> String {
                 let reference = paper_mean(paper, columns, *config, remote, pattern, page);
                 match (measured, reference) {
                     (Some(m), Some(p)) if p > 0.0 => {
-                        out.push_str(&format!(" {page}={m:.0}/{p:.0}({:.2})", m / p))
+                        out.push_str(&format!(" {page}={m:.0}/{p:.0}({:.2})", m / p));
                     }
                     _ => out.push_str(&format!(" {page}=-")),
                 }
@@ -144,10 +146,15 @@ pub fn render_percentiles(app: AppKind, reports: &[ExperimentReport]) -> String 
                     REMOTE_GROUPS
                         .iter()
                         .filter_map(|g| report.stats.series(g, pattern, page))
-                        .map(|s| s.p95())
-                        .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))))
+                        .map(mutsvc_desim::Summary::p95)
+                        .fold(None, |acc: Option<f64>, v| {
+                            Some(acc.map_or(v, |a| a.max(v)))
+                        })
                 } else {
-                    report.stats.series("local", pattern, page).map(|s| s.p95())
+                    report
+                        .stats
+                        .series("local", pattern, page)
+                        .map(mutsvc_desim::Summary::p95)
                 };
                 match p95 {
                     Some(v) => out.push_str(&format!("{:>9.0}", v)),
@@ -191,7 +198,10 @@ pub fn figure_series(app: AppKind, reports: &[ExperimentReport]) -> Vec<FigureBa
                     mean_ms: m.mean(),
                 });
             }
-            if let Some(m) = report.stats.session_mean_over_groups(&REMOTE_GROUPS, pattern) {
+            if let Some(m) = report
+                .stats
+                .session_mean_over_groups(&REMOTE_GROUPS, pattern)
+            {
                 bars.push(FigureBar {
                     config: *config,
                     locality: "Remote",
@@ -228,7 +238,10 @@ pub fn render_figure(app: AppKind, reports: &[ExperimentReport]) -> String {
     };
     for (locality, pattern) in groups {
         out.push_str(&format!("{locality} {pattern}:\n"));
-        for b in bars.iter().filter(|b| b.locality == locality && b.pattern == pattern) {
+        for b in bars
+            .iter()
+            .filter(|b| b.locality == locality && b.pattern == pattern)
+        {
             let width = ((b.mean_ms / max) * 50.0).round() as usize;
             out.push_str(&format!(
                 "  {:<18} {:>6.0} |{}\n",
@@ -248,7 +261,10 @@ fn truncate(s: &str, n: usize) -> &str {
 /// Fetches a cell, panicking with context when it was not measured.
 fn cell(report: &ExperimentReport, remote: bool, pattern: &str, page: &str) -> f64 {
     measured_mean(report, remote, pattern, page).unwrap_or_else(|| {
-        panic!("no samples for {pattern}/{page} ({})", if remote { "remote" } else { "local" })
+        panic!(
+            "no samples for {pattern}/{page} ({})",
+            if remote { "remote" } else { "local" }
+        )
     })
 }
 
@@ -263,106 +279,183 @@ pub fn validate_shapes(app: AppKind, reports: &[ExperimentReport]) -> Vec<String
             violations.push(msg);
         }
     };
-    let (centralized, facade, caching, query, asynch) =
-        (&reports[0], &reports[1], &reports[2], &reports[3], &reports[4]);
+    let (centralized, facade, caching, query, asynch) = (
+        &reports[0],
+        &reports[1],
+        &reports[2],
+        &reports[3],
+        &reports[4],
+    );
 
     match app {
         AppKind::PetStore => {
             // §4.1: the WAN adds ~400 ms (two round trips) to every page.
-            let gap = cell(centralized, true, "Browser", "Item") - cell(centralized, false, "Browser", "Item");
-            check((330.0..520.0).contains(&gap), format!("centralized WAN gap {gap:.0}ms not ~400ms"));
+            let gap = cell(centralized, true, "Browser", "Item")
+                - cell(centralized, false, "Browser", "Item");
+            check(
+                (330.0..520.0).contains(&gap),
+                format!("centralized WAN gap {gap:.0}ms not ~400ms"),
+            );
             // Redirect pages pay an extra WAN trip.
-            let commit_gap =
-                cell(centralized, true, "Buyer", "Commit") - cell(centralized, false, "Buyer", "Commit");
-            check(commit_gap > 500.0, format!("centralized Commit gap {commit_gap:.0}ms not ~600ms"));
+            let commit_gap = cell(centralized, true, "Buyer", "Commit")
+                - cell(centralized, false, "Buyer", "Commit");
+            check(
+                commit_gap > 500.0,
+                format!("centralized Commit gap {commit_gap:.0}ms not ~600ms"),
+            );
             // §4.2: pure-session buyer pages become local.
             for page in ["SignIn", "Checkout", "PlaceOrder", "Billing", "SignOut"] {
                 let v = cell(facade, true, "Buyer", page);
-                check(v < 120.0, format!("facade remote {page} {v:.0}ms not local"));
+                check(
+                    v < 120.0,
+                    format!("facade remote {page} {v:.0}ms not local"),
+                );
             }
             // §4.2: one-RMI pages sit well below centralized.
             check(
-                cell(facade, true, "Browser", "Category") < cell(centralized, true, "Browser", "Category"),
+                cell(facade, true, "Browser", "Category")
+                    < cell(centralized, true, "Browser", "Category"),
                 "facade Category not better than centralized".into(),
             );
             // §4.2: VerifySignIn pays two RMIs.
             let verify = cell(facade, true, "Buyer", "VerifySignIn");
-            check(verify > 400.0, format!("facade VerifySignIn {verify:.0}ms should stay ~2 RMIs"));
+            check(
+                verify > 400.0,
+                format!("facade VerifySignIn {verify:.0}ms should stay ~2 RMIs"),
+            );
             // §4.3: Item and Cart become local; writers start blocking.
-            check(cell(caching, true, "Browser", "Item") < 120.0, "caching remote Item not local".into());
-            check(cell(caching, true, "Buyer", "Cart") < 160.0, "caching remote Cart not local".into());
+            check(
+                cell(caching, true, "Browser", "Item") < 120.0,
+                "caching remote Item not local".into(),
+            );
+            check(
+                cell(caching, true, "Buyer", "Cart") < 160.0,
+                "caching remote Cart not local".into(),
+            );
             check(
                 cell(caching, true, "Buyer", "Commit") > cell(facade, true, "Buyer", "Commit"),
                 "caching remote Commit should exceed facade (blocking push)".into(),
             );
             check(
-                cell(caching, false, "Buyer", "Commit") > cell(facade, false, "Buyer", "Commit") * 1.5,
+                cell(caching, false, "Buyer", "Commit")
+                    > cell(facade, false, "Buyer", "Commit") * 1.5,
                 "caching local Commit should blow up (blocking push)".into(),
             );
             // §4.4: category/product become local; keyword search stays remote.
-            check(cell(query, true, "Browser", "Category") < 120.0, "query-caching remote Category not local".into());
-            check(cell(query, true, "Browser", "Product") < 120.0, "query-caching remote Product not local".into());
-            check(cell(query, true, "Browser", "Search") > 300.0, "query-caching remote Search should stay remote".into());
+            check(
+                cell(query, true, "Browser", "Category") < 120.0,
+                "query-caching remote Category not local".into(),
+            );
+            check(
+                cell(query, true, "Browser", "Product") < 120.0,
+                "query-caching remote Product not local".into(),
+            );
+            check(
+                cell(query, true, "Browser", "Search") > 300.0,
+                "query-caching remote Search should stay remote".into(),
+            );
             // §4.5: async recovers the writers.
             check(
                 cell(asynch, true, "Buyer", "Commit") < cell(query, true, "Buyer", "Commit") / 1.4,
                 "async remote Commit should undercut sync push".into(),
             );
             check(
-                cell(asynch, false, "Buyer", "Commit") < cell(query, false, "Buyer", "Commit") / 1.8,
+                cell(asynch, false, "Buyer", "Commit")
+                    < cell(query, false, "Buyer", "Commit") / 1.8,
                 "async local Commit should undercut sync push".into(),
             );
             // Figures 7: remote browser collapses across the sweep.
-            let remote_browser_start =
-                centralized.stats.session_mean_over_groups(&REMOTE_GROUPS, "Browser").unwrap();
-            let remote_browser_end =
-                asynch.stats.session_mean_over_groups(&REMOTE_GROUPS, "Browser").unwrap();
+            let remote_browser_start = centralized
+                .stats
+                .session_mean_over_groups(&REMOTE_GROUPS, "Browser")
+                .unwrap();
+            let remote_browser_end = asynch
+                .stats
+                .session_mean_over_groups(&REMOTE_GROUPS, "Browser")
+                .unwrap();
             check(
                 remote_browser_start > 400.0 && remote_browser_end < 130.0,
-                format!("remote browser session {remote_browser_start:.0} -> {remote_browser_end:.0}"),
+                format!(
+                    "remote browser session {remote_browser_start:.0} -> {remote_browser_end:.0}"
+                ),
             );
         }
         AppKind::Rubis => {
             // §4.1: the WAN gap.
-            let gap = cell(centralized, true, "Browser", "Item") - cell(centralized, false, "Browser", "Item");
-            check((330.0..520.0).contains(&gap), format!("centralized WAN gap {gap:.0}ms"));
+            let gap = cell(centralized, true, "Browser", "Item")
+                - cell(centralized, false, "Browser", "Item");
+            check(
+                (330.0..520.0).contains(&gap),
+                format!("centralized WAN gap {gap:.0}ms"),
+            );
             // §4.2: static pages become local at the edges.
-            for (pattern, page) in
-                [("Browser", "Main"), ("Browser", "Browse"), ("Bidder", "PutBidAuth"), ("Bidder", "PutCommentAuth")]
-            {
+            for (pattern, page) in [
+                ("Browser", "Main"),
+                ("Browser", "Browse"),
+                ("Bidder", "PutBidAuth"),
+                ("Bidder", "PutCommentAuth"),
+            ] {
                 let v = cell(facade, true, pattern, page);
                 check(v < 30.0, format!("facade remote {page} {v:.0}ms not local"));
             }
             // §4.3: Item local; bidder writes degrade.
-            check(cell(caching, true, "Browser", "Item") < 40.0, "caching remote Item not local".into());
             check(
-                cell(caching, true, "Bidder", "StoreBid") > cell(facade, true, "Bidder", "StoreBid"),
+                cell(caching, true, "Browser", "Item") < 40.0,
+                "caching remote Item not local".into(),
+            );
+            check(
+                cell(caching, true, "Bidder", "StoreBid")
+                    > cell(facade, true, "Bidder", "StoreBid"),
                 "caching remote StoreBid should exceed facade".into(),
             );
-            let bidder_facade = facade.stats.session_mean_over_groups(&REMOTE_GROUPS, "Bidder").unwrap();
-            let bidder_caching = caching.stats.session_mean_over_groups(&REMOTE_GROUPS, "Bidder").unwrap();
+            let bidder_facade = facade
+                .stats
+                .session_mean_over_groups(&REMOTE_GROUPS, "Bidder")
+                .unwrap();
+            let bidder_caching = caching
+                .stats
+                .session_mean_over_groups(&REMOTE_GROUPS, "Bidder")
+                .unwrap();
             check(
                 bidder_caching > bidder_facade,
                 format!("bidder session should degrade with blocking push ({bidder_facade:.0} -> {bidder_caching:.0})"),
             );
             // §4.4: the "triumphal" result — every remote browse page local.
-            for page in
-                ["AllCategories", "AllRegions", "Region", "Category", "Category&Region", "Item", "Bids", "UserInfo"]
-            {
+            for page in [
+                "AllCategories",
+                "AllRegions",
+                "Region",
+                "Category",
+                "Category&Region",
+                "Item",
+                "Bids",
+                "UserInfo",
+            ] {
                 let v = cell(query, true, "Browser", page);
-                check(v < 40.0, format!("query-caching remote {page} {v:.0}ms not local"));
+                check(
+                    v < 40.0,
+                    format!("query-caching remote {page} {v:.0}ms not local"),
+                );
             }
             // Forms served locally too.
-            check(cell(query, true, "Bidder", "PutBidForm") < 40.0, "query-caching remote PutBidForm not local".into());
+            check(
+                cell(query, true, "Bidder", "PutBidForm") < 40.0,
+                "query-caching remote PutBidForm not local".into(),
+            );
             // Writers still blocked.
-            check(cell(query, true, "Bidder", "StoreBid") > 400.0, "query-caching remote StoreBid should block".into());
+            check(
+                cell(query, true, "Bidder", "StoreBid") > 400.0,
+                "query-caching remote StoreBid should block".into(),
+            );
             // §4.5: async recovers the writers.
             check(
-                cell(asynch, true, "Bidder", "StoreBid") < cell(query, true, "Bidder", "StoreBid") / 1.3,
+                cell(asynch, true, "Bidder", "StoreBid")
+                    < cell(query, true, "Bidder", "StoreBid") / 1.3,
                 "async remote StoreBid should undercut sync push".into(),
             );
             check(
-                cell(asynch, false, "Bidder", "StoreBid") < cell(query, false, "Bidder", "StoreBid") / 2.0,
+                cell(asynch, false, "Bidder", "StoreBid")
+                    < cell(query, false, "Bidder", "StoreBid") / 2.0,
                 "async local StoreBid should undercut sync push".into(),
             );
         }

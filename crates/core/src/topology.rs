@@ -95,8 +95,16 @@ pub fn topology_with_wan(db_on_main: bool, wan_one_way: SimDuration) -> (Topolog
     b.duplex_link(client_edge1, edge1, LAN_ONE_WAY, LINK_BANDWIDTH_BPS);
     b.duplex_link(client_edge2, edge2, LAN_ONE_WAY, LINK_BANDWIDTH_BPS);
 
-    let nodes =
-        PaperNodes { main, edge1, edge2, db, router, client_local, client_edge1, client_edge2 };
+    let nodes = PaperNodes {
+        main,
+        edge1,
+        edge2,
+        db,
+        router,
+        client_local,
+        client_edge1,
+        client_edge2,
+    };
     (b.finalize(), nodes)
 }
 

@@ -21,7 +21,9 @@ struct Bench {
 fn bench(config: Config) -> (Bench, PsParams) {
     let (input, nodes) = Scenario::quick(AppKind::PetStore, config).build();
     let params = {
-        let App::PetStore(ps) = &input.app else { unreachable!() };
+        let App::PetStore(ps) = &input.app else {
+            unreachable!()
+        };
         let product = ps.shape.products(0)[0];
         PsParams {
             category: ps.shape.categories[0],
@@ -47,9 +49,16 @@ fn bench(config: Config) -> (Bench, PsParams) {
 /// Binds `page` from the edge-1 client twice and returns the **warm**
 /// (second) bind's stats — steady-state behaviour, caches populated.
 fn warm_bind(b: &mut Bench, params: &PsParams, page: PsPage) -> mutsvc_middleware::BindStats {
-    let App::PetStore(ps) = &b.input.app else { unreachable!() };
+    let App::PetStore(ps) = &b.input.app else {
+        unreachable!()
+    };
     let request = ps.page(page, params);
-    let entry = if b.input.descriptor.placement(request.root.component).hosts(b.nodes.edge1) {
+    let entry = if b
+        .input
+        .descriptor
+        .placement(request.root.component)
+        .hosts(b.nodes.edge1)
+    {
         b.nodes.edge1
     } else {
         b.nodes.main
@@ -88,8 +97,12 @@ fn facade_config_matches_the_papers_rmi_counts() {
         let stats = warm_bind(&mut b, &params, page);
         let expected = match page {
             // Pure-session pages: fully local at the edge.
-            PsPage::Main | PsPage::SignIn | PsPage::Checkout | PsPage::PlaceOrder
-            | PsPage::Billing | PsPage::SignOut => 0,
+            PsPage::Main
+            | PsPage::SignIn
+            | PsPage::Checkout
+            | PsPage::PlaceOrder
+            | PsPage::Billing
+            | PsPage::SignOut => 0,
             // The documented exception.
             PsPage::VerifySignIn => 2,
             // Everything else: exactly one wide-area call.
@@ -103,9 +116,9 @@ fn facade_config_matches_the_papers_rmi_counts() {
 fn caching_config_localizes_entity_pages() {
     let (mut b, params) = bench(Config::StatefulCaching);
     for (page, expected) in [
-        (PsPage::Item, 0),    // read-only Item + Inventory replicas
-        (PsPage::Cart, 0),    // cart add served by the edge catalog
-        (PsPage::Category, 0),// edge catalog… but the query delegates (below)
+        (PsPage::Item, 0),     // read-only Item + Inventory replicas
+        (PsPage::Cart, 0),     // cart add served by the edge catalog
+        (PsPage::Category, 0), // edge catalog… but the query delegates (below)
         (PsPage::VerifySignIn, 2),
     ] {
         let stats = warm_bind(&mut b, &params, page);

@@ -35,7 +35,13 @@ pub struct Welford {
 impl Welford {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        Welford { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Welford {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds a sample. Non-finite samples are ignored (and debug-asserted).
@@ -153,7 +159,10 @@ impl P2Quantile {
     ///
     /// Panics unless `0 < q < 1`.
     pub fn new(q: f64) -> Self {
-        assert!(q > 0.0 && q < 1.0, "quantile must lie strictly in (0, 1), got {q}");
+        assert!(
+            q > 0.0 && q < 1.0,
+            "quantile must lie strictly in (0, 1), got {q}"
+        );
         P2Quantile {
             q,
             heights: [0.0; 5],
@@ -185,7 +194,7 @@ impl P2Quantile {
         if self.count <= 5 {
             self.warmup.push(x);
             if self.count == 5 {
-                self.warmup.sort_by(|a, b| a.total_cmp(b));
+                self.warmup.sort_by(f64::total_cmp);
                 for (i, &v) in self.warmup.iter().enumerate() {
                     self.heights[i] = v;
                 }
@@ -259,7 +268,7 @@ impl P2Quantile {
         }
         if self.count < 5 {
             let mut buf = self.warmup.clone();
-            buf.sort_by(|a, b| a.total_cmp(b));
+            buf.sort_by(f64::total_cmp);
             let rank = ((self.q * buf.len() as f64).ceil() as usize).clamp(1, buf.len());
             return buf[rank - 1];
         }
@@ -285,8 +294,16 @@ impl Histogram {
     /// Panics if `buckets == 0` or `limit` is not positive and finite.
     pub fn new(limit: f64, buckets: usize) -> Self {
         assert!(buckets > 0, "histogram needs at least one bucket");
-        assert!(limit.is_finite() && limit > 0.0, "histogram limit must be positive");
-        Histogram { bucket_width: limit / buckets as f64, counts: vec![0; buckets], overflow: 0, total: 0 }
+        assert!(
+            limit.is_finite() && limit > 0.0,
+            "histogram limit must be positive"
+        );
+        Histogram {
+            bucket_width: limit / buckets as f64,
+            counts: vec![0; buckets],
+            overflow: 0,
+            total: 0,
+        }
     }
 
     /// Records a sample; values ≥ limit (or non-finite) land in overflow.
@@ -316,7 +333,10 @@ impl Histogram {
 
     /// Iterates `(bucket_lower_bound, count)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
-        self.counts.iter().enumerate().map(move |(i, &c)| (i as f64 * self.bucket_width, c))
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (i as f64 * self.bucket_width, c))
     }
 
     /// Nearest-rank quantile from the histogram (bucket upper bound).
@@ -444,9 +464,9 @@ mod tests {
         for (i, &x) in data.iter().enumerate() {
             all.record(x);
             if i % 2 == 0 {
-                a.record(x)
+                a.record(x);
             } else {
-                b.record(x)
+                b.record(x);
             }
         }
         a.merge(&b);
@@ -478,7 +498,10 @@ mod tests {
             est.record(x);
         }
         let median = est.estimate();
-        assert!((median - 500.0).abs() < 25.0, "median estimate {median} too far from 500");
+        assert!(
+            (median - 500.0).abs() < 25.0,
+            "median estimate {median} too far from 500"
+        );
     }
 
     #[test]
@@ -490,7 +513,10 @@ mod tests {
             est.record(x);
         }
         let p95 = est.estimate();
-        assert!((p95 - 950.0).abs() < 30.0, "p95 estimate {p95} too far from 950");
+        assert!(
+            (p95 - 950.0).abs() < 30.0,
+            "p95 estimate {p95} too far from 950"
+        );
     }
 
     #[test]
@@ -556,8 +582,8 @@ mod tests {
                 for &x in &xs {
                     w.record(x);
                 }
-                let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
-                let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+                let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
                 prop_assert!(w.mean() >= lo - 1e-6 && w.mean() <= hi + 1e-6);
                 prop_assert!(w.variance() >= -1e-9);
             }
@@ -568,8 +594,8 @@ mod tests {
                 for &x in &xs {
                     est.record(x);
                 }
-                let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
-                let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+                let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
                 let e = est.estimate();
                 prop_assert!(e >= lo - 1e-9 && e <= hi + 1e-9, "estimate {} outside [{}, {}]", e, lo, hi);
             }

@@ -129,7 +129,7 @@ impl FifoResource {
 
     /// The earliest time at which some server is free.
     pub fn earliest_free(&self) -> SimTime {
-        self.free_at.peek().map(|r| r.0).unwrap_or(SimTime::ZERO)
+        self.free_at.peek().map_or(SimTime::ZERO, |r| r.0)
     }
 
     /// Resets statistics (not server occupancy). Used when discarding warm-up.

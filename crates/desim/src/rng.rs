@@ -21,7 +21,9 @@ pub struct SimRng {
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        SimRng { inner: ChaCha8Rng::seed_from_u64(seed) }
+        SimRng {
+            inner: ChaCha8Rng::seed_from_u64(seed),
+        }
     }
 
     /// Derives an independent sub-stream identified by `stream`.
@@ -128,7 +130,9 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = SimRng::seed_from_u64(1);
         let mut b = SimRng::seed_from_u64(2);
-        let same = (0..32).filter(|_| a.uniform().to_bits() == b.uniform().to_bits()).count();
+        let same = (0..32)
+            .filter(|_| a.uniform().to_bits() == b.uniform().to_bits())
+            .count();
         assert!(same < 4);
     }
 
@@ -142,7 +146,9 @@ mod tests {
             assert_eq!(s1a.uniform().to_bits(), s1b.uniform().to_bits());
         }
         let mut s1c = root.derive(1);
-        let same = (0..32).filter(|_| s1c.uniform().to_bits() == s2.uniform().to_bits()).count();
+        let same = (0..32)
+            .filter(|_| s1c.uniform().to_bits() == s2.uniform().to_bits())
+            .count();
         assert!(same < 4);
     }
 
@@ -153,7 +159,10 @@ mod tests {
         let n = 20_000;
         let total: f64 = (0..n).map(|_| rng.exponential(mean).as_millis_f64()).sum();
         let sample_mean = total / n as f64;
-        assert!((sample_mean - 100.0).abs() < 3.0, "sample mean {sample_mean}");
+        assert!(
+            (sample_mean - 100.0).abs() < 3.0,
+            "sample mean {sample_mean}"
+        );
     }
 
     #[test]

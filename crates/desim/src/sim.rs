@@ -48,7 +48,10 @@ struct EventQueue<W> {
 
 impl<W> EventQueue<W> {
     fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 
     fn push(&mut self, time: SimTime, event: EventFn<W>) {
@@ -78,13 +81,21 @@ impl<'a, W> Context<'a, W> {
     ///
     /// Events scheduled in the past fire "now" (at the current clock value);
     /// the kernel never moves time backwards.
-    pub fn schedule_at(&mut self, at: SimTime, event: impl FnOnce(&mut W, &mut Context<'_, W>) + 'static) {
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        event: impl FnOnce(&mut W, &mut Context<'_, W>) + 'static,
+    ) {
         let at = at.max(self.now);
         self.queue.push(at, Box::new(event));
     }
 
     /// Schedules `event` to fire after `delay`.
-    pub fn schedule_in(&mut self, delay: SimDuration, event: impl FnOnce(&mut W, &mut Context<'_, W>) + 'static) {
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        event: impl FnOnce(&mut W, &mut Context<'_, W>) + 'static,
+    ) {
         let at = self.now + delay;
         self.queue.push(at, Box::new(event));
     }
@@ -125,7 +136,12 @@ impl<W: std::fmt::Debug> std::fmt::Debug for Simulation<W> {
 impl<W> Simulation<W> {
     /// Creates a simulation whose clock starts at [`SimTime::ZERO`].
     pub fn new(world: W) -> Self {
-        Simulation { world, clock: SimTime::ZERO, queue: EventQueue::new(), events_fired: 0 }
+        Simulation {
+            world,
+            clock: SimTime::ZERO,
+            queue: EventQueue::new(),
+            events_fired: 0,
+        }
     }
 
     /// The current simulated time.
@@ -159,13 +175,21 @@ impl<W> Simulation<W> {
     }
 
     /// Schedules an event at absolute time `at` (clamped to the current clock).
-    pub fn schedule_at(&mut self, at: SimTime, event: impl FnOnce(&mut W, &mut Context<'_, W>) + 'static) {
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        event: impl FnOnce(&mut W, &mut Context<'_, W>) + 'static,
+    ) {
         let at = at.max(self.clock);
         self.queue.push(at, Box::new(event));
     }
 
     /// Schedules an event `delay` from now.
-    pub fn schedule_in(&mut self, delay: SimDuration, event: impl FnOnce(&mut W, &mut Context<'_, W>) + 'static) {
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        event: impl FnOnce(&mut W, &mut Context<'_, W>) + 'static,
+    ) {
         let at = self.clock + delay;
         self.queue.push(at, Box::new(event));
     }
@@ -177,10 +201,16 @@ impl<W> Simulation<W> {
         let Some(scheduled) = self.queue.heap.pop() else {
             return false;
         };
-        debug_assert!(scheduled.time >= self.clock, "event queue produced an event in the past");
+        debug_assert!(
+            scheduled.time >= self.clock,
+            "event queue produced an event in the past"
+        );
         self.clock = scheduled.time;
         self.events_fired += 1;
-        let mut ctx = Context { now: self.clock, queue: &mut self.queue };
+        let mut ctx = Context {
+            now: self.clock,
+            queue: &mut self.queue,
+        };
         (scheduled.event)(&mut self.world, &mut ctx);
         true
     }
@@ -217,7 +247,9 @@ mod tests {
         let mut sim = Simulation::new(());
         for &t in &[30u64, 10, 20] {
             let order = Rc::clone(&order);
-            sim.schedule_at(SimTime::from_millis(t), move |_, _| order.borrow_mut().push(t));
+            sim.schedule_at(SimTime::from_millis(t), move |_, _| {
+                order.borrow_mut().push(t);
+            });
         }
         sim.run();
         assert_eq!(*order.borrow(), vec![10, 20, 30]);
@@ -230,7 +262,9 @@ mod tests {
         let mut sim = Simulation::new(());
         for i in 0..5 {
             let order = Rc::clone(&order);
-            sim.schedule_at(SimTime::from_millis(7), move |_, _| order.borrow_mut().push(i));
+            sim.schedule_at(SimTime::from_millis(7), move |_, _| {
+                order.borrow_mut().push(i);
+            });
         }
         sim.run();
         assert_eq!(*order.borrow(), vec![0, 1, 2, 3, 4]);
@@ -299,7 +333,9 @@ mod tests {
             for i in 0..100u64 {
                 let log = Rc::clone(&log);
                 // Interleave identical timestamps to stress tie-breaking.
-                sim.schedule_at(SimTime::from_micros(i % 7), move |_, _| log.borrow_mut().push(i));
+                sim.schedule_at(SimTime::from_micros(i % 7), move |_, _| {
+                    log.borrow_mut().push(i);
+                });
             }
             sim.run();
             let result = log.borrow().clone();

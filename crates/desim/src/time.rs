@@ -19,7 +19,9 @@ use serde::{Deserialize, Serialize};
 /// let t = SimTime::ZERO + SimDuration::from_millis(100);
 /// assert_eq!(t.as_micros(), 100_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in microseconds.
@@ -30,7 +32,9 @@ pub struct SimTime(u64);
 /// let d = SimDuration::from_millis(2) + SimDuration::from_micros(500);
 /// assert_eq!(d.as_millis_f64(), 2.5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -288,7 +292,10 @@ mod tests {
     fn negative_and_nan_float_durations_clamp_to_zero() {
         assert_eq!(SimDuration::from_millis_f64(-3.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_millis_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs_f64(f64::NEG_INFINITY), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs_f64(f64::NEG_INFINITY),
+            SimDuration::ZERO
+        );
         assert_eq!(SimDuration::from_millis(7).mul_f64(-1.0), SimDuration::ZERO);
     }
 
@@ -297,8 +304,14 @@ mod tests {
         let t = SimTime::from_millis(10) + SimDuration::from_millis(5);
         assert_eq!(t, SimTime::from_millis(15));
         assert_eq!(t - SimTime::from_millis(10), SimDuration::from_millis(5));
-        assert_eq!(SimDuration::from_millis(4) * 3, SimDuration::from_millis(12));
-        assert_eq!(SimDuration::from_millis(12) / 4, SimDuration::from_millis(3));
+        assert_eq!(
+            SimDuration::from_millis(4) * 3,
+            SimDuration::from_millis(12)
+        );
+        assert_eq!(
+            SimDuration::from_millis(12) / 4,
+            SimDuration::from_millis(3)
+        );
         assert_eq!(
             SimDuration::from_millis(3).saturating_sub(SimDuration::from_millis(10)),
             SimDuration::ZERO

@@ -87,19 +87,72 @@ pub struct BindStats {
 }
 
 impl BindStats {
-    /// Accumulates another bind's counters.
+    /// Accumulates another bind's counters. Saturates instead of overflowing:
+    /// long sweeps merge millions of binds and a wrapped counter would read
+    /// as a plausible small number.
     pub fn merge(&mut self, other: &BindStats) {
-        self.remote_invocations += other.remote_invocations;
-        self.jndi_lookups += other.jndi_lookups;
-        self.entity_cache_hits += other.entity_cache_hits;
-        self.entity_cache_misses += other.entity_cache_misses;
-        self.query_cache_hits += other.query_cache_hits;
-        self.query_cache_misses += other.query_cache_misses;
-        self.db_statements += other.db_statements;
-        self.sync_push_nodes += other.sync_push_nodes;
-        self.async_push_nodes += other.async_push_nodes;
-        self.invalidate_nodes += other.invalidate_nodes;
-        self.staleness_observed += other.staleness_observed;
+        self.remote_invocations = self
+            .remote_invocations
+            .saturating_add(other.remote_invocations);
+        self.jndi_lookups = self.jndi_lookups.saturating_add(other.jndi_lookups);
+        self.entity_cache_hits = self
+            .entity_cache_hits
+            .saturating_add(other.entity_cache_hits);
+        self.entity_cache_misses = self
+            .entity_cache_misses
+            .saturating_add(other.entity_cache_misses);
+        self.query_cache_hits = self.query_cache_hits.saturating_add(other.query_cache_hits);
+        self.query_cache_misses = self
+            .query_cache_misses
+            .saturating_add(other.query_cache_misses);
+        self.db_statements = self.db_statements.saturating_add(other.db_statements);
+        self.sync_push_nodes = self.sync_push_nodes.saturating_add(other.sync_push_nodes);
+        self.async_push_nodes = self.async_push_nodes.saturating_add(other.async_push_nodes);
+        self.invalidate_nodes = self.invalidate_nodes.saturating_add(other.invalidate_nodes);
+        self.staleness_observed = self
+            .staleness_observed
+            .saturating_add(other.staleness_observed);
+    }
+}
+
+/// The wire interaction kind of one node crossing on a request's synchronous
+/// path (update propagation is excluded: it rides on forks or blocking
+/// pushes, not on the logical call tree).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrossingKind {
+    /// A remote component invocation (RMI).
+    Rmi,
+    /// A JNDI home lookup at the naming server.
+    Jndi,
+    /// A delegated fetch through the central façade (replica miss, uncovered
+    /// query at an edge session bean).
+    Fetch,
+    /// JDBC statement round trips to the database host.
+    Jdbc {
+        /// Statement round trips (1 for CMP, n+1 for BMP finders).
+        trips: u32,
+    },
+}
+
+/// One node crossing recorded while binding a page — the introspection the
+/// static analyzer cross-validates against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Crossing {
+    /// Originating node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// What travelled.
+    pub kind: CrossingKind,
+}
+
+impl Crossing {
+    /// Request/response round trips this crossing costs.
+    pub fn round_trips(&self) -> u32 {
+        match self.kind {
+            CrossingKind::Jdbc { trips } => trips,
+            _ => 1,
+        }
     }
 }
 
@@ -131,9 +184,15 @@ pub struct BoundRequest {
     pub steps: Vec<Step>,
     /// Resolution counters.
     pub stats: BindStats,
+    /// Node crossings on the synchronous path, in bind order.
+    pub crossings: Vec<Crossing>,
     /// Asynchronous propagations started by this request, keyed by fork tag.
     pub deferred: Vec<(u64, DeferredApply)>,
 }
+
+/// Per-destination bundle of a transaction's propagation payload: the entity
+/// rows and cached queries pushed to one node in one bulk RMI call.
+type PerNodePush = std::collections::BTreeMap<NodeId, (Vec<(ComponentId, RowId)>, Vec<Query>)>;
 
 /// Binds call trees against a deployment.
 ///
@@ -157,6 +216,7 @@ pub struct Binder<'a> {
     /// Allocator for fork tags (monotonic across the run).
     pub next_tag: &'a mut u64,
     stats: BindStats,
+    crossings: Vec<Crossing>,
     deferred: Vec<(u64, DeferredApply)>,
     /// Propagation targets accumulated within the current transaction;
     /// flushed as one bulk push per destination at the transaction boundary
@@ -189,6 +249,7 @@ impl<'a> Binder<'a> {
             rng,
             next_tag,
             stats: BindStats::default(),
+            crossings: Vec::new(),
             deferred: Vec::new(),
             pending_entities: Vec::new(),
             pending_queries: Vec::new(),
@@ -223,17 +284,35 @@ impl<'a> Binder<'a> {
         }
         for _ in 1..page.http_exchanges {
             // Redirect-after-POST: an extra request/response exchange.
-            steps.push(Step::exchange(client, entry, self.protocols.http_request_bytes, 300));
+            steps.push(Step::exchange(
+                client,
+                entry,
+                self.protocols.http_request_bytes,
+                300,
+            ));
         }
-        steps.push(self.protocols.http_response(entry, client, page.response_bytes));
-        BoundRequest { steps, stats: self.stats, deferred: self.deferred }
+        steps.push(
+            self.protocols
+                .http_response(entry, client, page.response_bytes),
+        );
+        BoundRequest {
+            steps,
+            stats: self.stats,
+            crossings: self.crossings,
+            deferred: self.deferred,
+        }
     }
 
     /// Compiles a bare call tree starting at `entry` (no HTTP envelope); used
     /// for tests and for placement-graph derivation.
     pub fn bind_tree(mut self, entry: NodeId, root: &Call) -> BoundRequest {
         let steps = self.bind_call(entry, root, 0, 0);
-        BoundRequest { steps, stats: self.stats, deferred: self.deferred }
+        BoundRequest {
+            steps,
+            stats: self.stats,
+            crossings: self.crossings,
+            deferred: self.deferred,
+        }
     }
 
     /// Chooses the hosting node for a call issued from `caller`.
@@ -260,14 +339,28 @@ impl<'a> Binder<'a> {
         }
     }
 
-    fn bind_call(&mut self, caller: NodeId, call: &Call, args_bytes: u64, ret_bytes: u64) -> Vec<Step> {
+    fn bind_call(
+        &mut self,
+        caller: NodeId,
+        call: &Call,
+        args_bytes: u64,
+        ret_bytes: u64,
+    ) -> Vec<Step> {
         let host = self.resolve_host(caller, call);
         let mut steps = Vec::new();
 
         if host != caller {
             self.stats.remote_invocations += 1;
             self.bind_stub_resolution(caller, call.component, &mut steps);
-            steps.extend(self.protocols.rmi_request(self.rng, caller, host, args_bytes));
+            self.crossings.push(Crossing {
+                from: caller,
+                to: host,
+                kind: CrossingKind::Rmi,
+            });
+            steps.extend(
+                self.protocols
+                    .rmi_request(self.rng, caller, host, args_bytes),
+            );
         }
         if !call.cpu.is_zero() {
             steps.push(Step::cpu(host, call.cpu));
@@ -286,7 +379,11 @@ impl<'a> Binder<'a> {
         for action in &call.actions {
             match action {
                 Action::Invoke(invoke) => {
-                    let Invoke { call: child, args_bytes, ret_bytes } = invoke;
+                    let Invoke {
+                        call: child,
+                        args_bytes,
+                        ret_bytes,
+                    } = invoke;
                     steps.extend(self.bind_call(host, child, *args_bytes, *ret_bytes));
                 }
                 Action::Query(qa) => {
@@ -316,13 +413,23 @@ impl<'a> Binder<'a> {
     /// JNDI home lookup before a remote call. With stub caching
     /// (EJBHomeFactory) only the first call per `(node, component)` pays;
     /// without it every call does.
-    fn bind_stub_resolution(&mut self, caller: NodeId, component: ComponentId, steps: &mut Vec<Step>) {
+    fn bind_stub_resolution(
+        &mut self,
+        caller: NodeId,
+        component: ComponentId,
+        steps: &mut Vec<Step>,
+    ) {
         let naming = self.descriptor.central_node;
         if self.descriptor.stub_caching && self.state.stub_cached(caller, component) {
             return;
         }
         if caller != naming {
             self.stats.jndi_lookups += 1;
+            self.crossings.push(Crossing {
+                from: caller,
+                to: naming,
+                kind: CrossingKind::Jndi,
+            });
             steps.push(Step::cpu(caller, self.costs.jndi_lookup));
             steps.push(Step::exchange(caller, naming, 200, 800));
         }
@@ -373,24 +480,26 @@ impl<'a> Binder<'a> {
     }
 
     /// A read against a read-only entity replica at `host`.
-    fn bind_replica_read(&mut self, host: NodeId, component: ComponentId, qa: &QueryAction) -> Vec<Step> {
+    fn bind_replica_read(
+        &mut self,
+        host: NodeId,
+        component: ComponentId,
+        qa: &QueryAction,
+    ) -> Vec<Step> {
         match &qa.query {
-            Query::ByPk { id, .. } => {
-                match self.state.entity_row(component, host, *id) {
-                    RowCacheState::Valid => {
-                        self.stats.entity_cache_hits += 1;
-                        self.stats.staleness_observed +=
-                            self.state.staleness(component, host, *id);
-                        vec![Step::cpu(host, self.costs.cache_hit)]
-                    }
-                    RowCacheState::Absent | RowCacheState::Invalid => {
-                        self.stats.entity_cache_misses += 1;
-                        let steps = self.remote_fetch(host, &qa.query);
-                        self.state.load_entity_row(component, host, *id);
-                        steps
-                    }
+            Query::ByPk { id, .. } => match self.state.entity_row(component, host, *id) {
+                RowCacheState::Valid => {
+                    self.stats.entity_cache_hits += 1;
+                    self.stats.staleness_observed += self.state.staleness(component, host, *id);
+                    vec![Step::cpu(host, self.costs.cache_hit)]
                 }
-            }
+                RowCacheState::Absent | RowCacheState::Invalid => {
+                    self.stats.entity_cache_misses += 1;
+                    let steps = self.remote_fetch(host, &qa.query);
+                    self.state.load_entity_row(component, host, *id);
+                    steps
+                }
+            },
             // Finder queries on a replica delegate to the primary each time:
             // home finders require the authoritative view.
             _ => self.remote_fetch(host, &qa.query),
@@ -403,15 +512,34 @@ impl<'a> Binder<'a> {
         let central = self.descriptor.central_node;
         let outcome = self.db.execute(query);
         self.stats.db_statements += 1;
+        let db_node = self.descriptor.db_node;
         let mut steps = Vec::new();
         if host == central {
-            steps.push(Step::cpu(self.descriptor.db_node, outcome.cpu));
-            steps.extend(self.protocols.jdbc(central, self.descriptor.db_node, 1, outcome.row_count()));
+            steps.push(Step::cpu(db_node, outcome.cpu));
+            steps.extend(
+                self.protocols
+                    .jdbc(central, db_node, 1, outcome.row_count()),
+            );
         } else {
+            self.crossings.push(Crossing {
+                from: host,
+                to: central,
+                kind: CrossingKind::Fetch,
+            });
             steps.extend(self.protocols.rmi_request(self.rng, host, central, 300));
-            steps.push(Step::cpu(self.descriptor.db_node, outcome.cpu));
-            steps.extend(self.protocols.jdbc(central, self.descriptor.db_node, 1, outcome.row_count()));
+            steps.push(Step::cpu(db_node, outcome.cpu));
+            steps.extend(
+                self.protocols
+                    .jdbc(central, db_node, 1, outcome.row_count()),
+            );
             steps.extend(self.protocols.rmi_response(central, host, outcome.bytes));
+        }
+        if central != db_node {
+            self.crossings.push(Crossing {
+                from: central,
+                to: db_node,
+                kind: CrossingKind::Jdbc { trips: 1 },
+            });
         }
         steps
     }
@@ -425,7 +553,15 @@ impl<'a> Binder<'a> {
         let mut steps = vec![Step::cpu(db_node, outcome.cpu)];
         if host != db_node {
             let trips = qa.access.round_trips(outcome.row_count());
-            steps.extend(self.protocols.jdbc(host, db_node, trips, outcome.row_count()));
+            self.crossings.push(Crossing {
+                from: host,
+                to: db_node,
+                kind: CrossingKind::Jdbc { trips },
+            });
+            steps.extend(
+                self.protocols
+                    .jdbc(host, db_node, trips, outcome.row_count()),
+            );
         }
         steps
     }
@@ -438,6 +574,11 @@ impl<'a> Binder<'a> {
         let db_node = self.descriptor.db_node;
         let mut steps = vec![Step::cpu(db_node, effect.cpu)];
         if host != db_node {
+            self.crossings.push(Crossing {
+                from: host,
+                to: db_node,
+                kind: CrossingKind::Jdbc { trips: 1 },
+            });
             steps.extend(self.protocols.jdbc(host, db_node, 1, 0));
         }
         if !effect.applied {
@@ -471,15 +612,15 @@ impl<'a> Binder<'a> {
         let mut query_targets = std::mem::take(&mut self.pending_queries);
         entity_targets.sort_unstable();
         entity_targets.dedup();
-        query_targets.sort_unstable_by(|a, b| (a.0, format!("{:?}", a.1)).cmp(&(b.0, format!("{:?}", b.1))));
+        query_targets
+            .sort_unstable_by(|a, b| (a.0, format!("{:?}", a.1)).cmp(&(b.0, format!("{:?}", b.1))));
         query_targets.dedup();
         if entity_targets.is_empty() && query_targets.is_empty() {
             return Vec::new();
         }
 
         // Bundle per destination node (the paper's bulk-RMI pushes).
-        let mut per_node: std::collections::BTreeMap<NodeId, (Vec<(ComponentId, RowId)>, Vec<Query>)> =
-            std::collections::BTreeMap::new();
+        let mut per_node: PerNodePush = std::collections::BTreeMap::new();
         for &(entity, node, row) in &entity_targets {
             per_node.entry(node).or_default().0.push((entity, row));
         }
@@ -522,18 +663,33 @@ impl<'a> Binder<'a> {
                 steps.push(Step::Parallel(branches));
             }
             UpdatePropagation::AsyncPush => {
+                // The writer's only synchronous cost is handing the message
+                // to the container; everything downstream rides in one
+                // detached fork. The broker delivers to subscribers in turn
+                // (sequential steps, not a `Step::Parallel` — a parallel
+                // join here would model a blocking push, which §4.5
+                // explicitly avoids), and the deferred apply fires when the
+                // last delivery lands.
                 let broker = self.descriptor.jms_broker;
                 let tag = *self.next_tag;
                 *self.next_tag += 1;
                 let mut apply = DeferredApply::default();
                 let mut fork = vec![Step::cpu(host, self.costs.jms_publish)];
-                fork.extend(self.protocols.jms_publish(host, broker, self.push_bytes(&per_node)));
-                let mut deliveries = Vec::new();
+                fork.extend(
+                    self.protocols
+                        .jms_publish(host, broker, self.push_bytes(&per_node)),
+                );
                 for (&node, (rows, queries)) in &per_node {
                     self.stats.async_push_nodes += 1;
-                    let mut branch = self.protocols.jms_delivery(broker, node, self.node_push_bytes(rows, queries));
-                    branch.push(Step::cpu(node, self.costs.mdb_delivery + self.costs.push_apply));
-                    deliveries.push(branch);
+                    fork.extend(self.protocols.jms_delivery(
+                        broker,
+                        node,
+                        self.node_push_bytes(rows, queries),
+                    ));
+                    fork.push(Step::cpu(
+                        node,
+                        self.costs.mdb_delivery + self.costs.push_apply,
+                    ));
                     for &(entity, row) in rows {
                         apply.entity_rows.push((entity, node, row));
                     }
@@ -541,9 +697,11 @@ impl<'a> Binder<'a> {
                         apply.queries.push((node, q.clone()));
                     }
                 }
-                fork.push(Step::Parallel(deliveries));
                 self.deferred.push((tag, apply));
-                steps.push(Step::Fork { steps: fork, tag: Some(tag) });
+                steps.push(Step::Fork {
+                    steps: fork,
+                    tag: Some(tag),
+                });
             }
         }
         steps
@@ -590,22 +748,66 @@ impl<'a> Binder<'a> {
                 self.registry
                     .spec(*entity)
                     .table
-                    .map(|t| self.db.table(t).row_bytes())
-                    .unwrap_or(100)
+                    .map_or(100, |t| self.db.table(t).row_bytes())
             })
             .sum();
         // Pushed query deltas are small (single-row updates, §4.4).
         row_bytes + queries.len() as u64 * 150
     }
 
-    fn push_bytes(
-        &self,
-        per_node: &std::collections::BTreeMap<NodeId, (Vec<(ComponentId, RowId)>, Vec<Query>)>,
-    ) -> u64 {
+    fn push_bytes(&self, per_node: &PerNodePush) -> u64 {
         per_node
             .values()
             .map(|(rows, queries)| self.node_push_bytes(rows, queries))
             .max()
             .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_stats_merge_saturates() {
+        let mut a = BindStats {
+            remote_invocations: u32::MAX,
+            jndi_lookups: u32::MAX - 1,
+            db_statements: 7,
+            staleness_observed: u64::MAX,
+            ..BindStats::default()
+        };
+        let b = BindStats {
+            remote_invocations: 3,
+            jndi_lookups: 5,
+            db_statements: 2,
+            staleness_observed: 1,
+            ..BindStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.remote_invocations, u32::MAX);
+        assert_eq!(a.jndi_lookups, u32::MAX);
+        assert_eq!(a.db_statements, 9);
+        assert_eq!(a.staleness_observed, u64::MAX);
+        assert_eq!(a.entity_cache_hits, 0);
+    }
+
+    #[test]
+    fn crossing_round_trips() {
+        let mut b = mutsvc_netsim::TopologyBuilder::new();
+        let a = b.node("a", 1);
+        let d = b.node("d", 1);
+        let c = Crossing {
+            from: a,
+            to: d,
+            kind: CrossingKind::Jdbc { trips: 4 },
+        };
+        assert_eq!(c.round_trips(), 4);
+        let c = Crossing {
+            from: a,
+            to: d,
+            kind: CrossingKind::Rmi,
+        };
+        assert_eq!(c.round_trips(), 1);
     }
 }

@@ -103,9 +103,16 @@ impl ComponentRegistry {
     }
 
     fn push(&mut self, name: &str, kind: ComponentKind, table: Option<TableId>) -> ComponentId {
-        assert!(!self.by_name.contains_key(name), "duplicate component {name}");
+        assert!(
+            !self.by_name.contains_key(name),
+            "duplicate component {name}"
+        );
         let id = ComponentId(self.specs.len());
-        self.specs.push(ComponentSpec { name: name.to_string(), kind, table });
+        self.specs.push(ComponentSpec {
+            name: name.to_string(),
+            kind,
+            table,
+        });
         self.by_name.insert(name.to_string(), id);
         id
     }

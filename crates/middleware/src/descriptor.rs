@@ -29,7 +29,10 @@ pub struct Placement {
 impl Placement {
     /// A placement with no replicas.
     pub fn single(primary: NodeId) -> Self {
-        Placement { primary, replicas: BTreeSet::new() }
+        Placement {
+            primary,
+            replicas: BTreeSet::new(),
+        }
     }
 
     /// All nodes hosting an instance.
@@ -193,7 +196,8 @@ impl<'a> DescriptorBuilder<'a> {
 
     /// Places a component's primary instance.
     pub fn place(&mut self, component: ComponentId, primary: NodeId) -> &mut Self {
-        self.placements.insert(component, Placement::single(primary));
+        self.placements
+            .insert(component, Placement::single(primary));
         self
     }
 
@@ -205,9 +209,9 @@ impl<'a> DescriptorBuilder<'a> {
         primary: NodeId,
         replicas: impl IntoIterator<Item = NodeId>,
     ) -> &mut Self {
-        let replicas: BTreeSet<NodeId> =
-            replicas.into_iter().filter(|&n| n != primary).collect();
-        self.placements.insert(component, Placement { primary, replicas });
+        let replicas: BTreeSet<NodeId> = replicas.into_iter().filter(|&n| n != primary).collect();
+        self.placements
+            .insert(component, Placement { primary, replicas });
         self
     }
 
@@ -269,7 +273,7 @@ impl<'a> DescriptorBuilder<'a> {
         }
         if any_entity_replicas && self.entity_propagation == UpdatePropagation::None {
             return Err(
-                "entity read-only replicas declared but no propagation mode set".to_string()
+                "entity read-only replicas declared but no propagation mode set".to_string(),
             );
         }
         Ok(DeploymentDescriptor {
@@ -302,7 +306,12 @@ mod tests {
         let mut tb = TopologyBuilder::new();
         let main = tb.node("main", 2);
         let edge = tb.node("edge", 2);
-        tb.duplex_link(main, edge, mutsvc_desim::SimDuration::from_millis(100), 100e6);
+        tb.duplex_link(
+            main,
+            edge,
+            mutsvc_desim::SimDuration::from_millis(100),
+            100e6,
+        );
         (reg, web, item, main, edge)
     }
 
@@ -338,7 +347,11 @@ mod tests {
         let (reg, web, item, main, edge) = setup();
         let mut b = DescriptorBuilder::new(&reg, "qc", main);
         b.place(web, main).place(item, main);
-        b.query_cache([edge], ["products-by-category"], UpdatePropagation::Invalidate);
+        b.query_cache(
+            [edge],
+            ["products-by-category"],
+            UpdatePropagation::Invalidate,
+        );
         let d = b.build().unwrap();
         assert!(d.query_cache.covers(edge, "products-by-category"));
         assert!(!d.query_cache.covers(main, "products-by-category"));

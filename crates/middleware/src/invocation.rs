@@ -25,11 +25,12 @@ pub enum DbAccess {
 }
 
 impl DbAccess {
-    /// JDBC round trips needed to fetch `rows` rows.
+    /// JDBC round trips needed to fetch `rows` rows. Saturates at
+    /// [`u32::MAX`] rather than overflowing for absurd result sets.
     pub fn round_trips(self, rows: u64) -> u32 {
         match self {
             DbAccess::Single => 1,
-            DbAccess::BmpFinder => (rows + 1).min(u32::MAX as u64) as u32,
+            DbAccess::BmpFinder => u32::try_from(rows.saturating_add(1)).unwrap_or(u32::MAX),
         }
     }
 }
@@ -93,18 +94,31 @@ pub struct Call {
 impl Call {
     /// Creates a call with an empty body.
     pub fn new(component: ComponentId, op: impl Into<String>, cpu: SimDuration) -> Self {
-        Call { component, op: op.into(), cpu, actions: Vec::new() }
+        Call {
+            component,
+            op: op.into(),
+            cpu,
+            actions: Vec::new(),
+        }
     }
 
     /// Appends a sub-invocation.
     pub fn invoke(mut self, call: Call, args_bytes: u64, ret_bytes: u64) -> Self {
-        self.actions.push(Action::Invoke(Invoke { call, args_bytes, ret_bytes }));
+        self.actions.push(Action::Invoke(Invoke {
+            call,
+            args_bytes,
+            ret_bytes,
+        }));
         self
     }
 
     /// Appends an uncacheable read query.
     pub fn query(mut self, query: Query, access: DbAccess) -> Self {
-        self.actions.push(Action::Query(QueryAction { query, tag: None, access }));
+        self.actions.push(Action::Query(QueryAction {
+            query,
+            tag: None,
+            access,
+        }));
         self
     }
 
@@ -215,6 +229,20 @@ mod tests {
     }
 
     #[test]
+    fn round_trips_saturate_at_u32_max() {
+        assert_eq!(DbAccess::BmpFinder.round_trips(u64::MAX), u32::MAX);
+        assert_eq!(
+            DbAccess::BmpFinder.round_trips(u64::from(u32::MAX)),
+            u32::MAX
+        );
+        assert_eq!(
+            DbAccess::BmpFinder.round_trips(u64::from(u32::MAX) - 1),
+            u32::MAX
+        );
+        assert_eq!(DbAccess::Single.round_trips(u64::MAX), 1);
+    }
+
+    #[test]
     fn builder_composes_trees() {
         let mut dbb = DatabaseBuilder::new();
         let t = dbb.table("item", &["n"], 10);
@@ -225,8 +253,13 @@ mod tests {
 
         let tree = Call::new(web, "doGet", ms(5)).invoke(
             Call::new(facade, "getItem", ms(2)).invoke(
-                Call::new(item, "load", ms(1))
-                    .query(Query::ByPk { table: t, id: RowId(1) }, DbAccess::Single),
+                Call::new(item, "load", ms(1)).query(
+                    Query::ByPk {
+                        table: t,
+                        id: RowId(1),
+                    },
+                    DbAccess::Single,
+                ),
                 100,
                 500,
             ),

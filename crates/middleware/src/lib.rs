@@ -30,7 +30,9 @@ pub mod descriptor;
 pub mod invocation;
 pub mod state;
 
-pub use binding::{Binder, BindStats, BoundRequest, ContainerCosts, DeferredApply};
+pub use binding::{
+    BindStats, Binder, BoundRequest, ContainerCosts, Crossing, CrossingKind, DeferredApply,
+};
 pub use component::{ComponentId, ComponentKind, ComponentRegistry, ComponentSpec};
 pub use descriptor::{
     DeploymentDescriptor, DescriptorBuilder, Placement, QueryCachePolicy, UpdatePropagation,

@@ -50,7 +50,11 @@ impl ContainerState {
 
     /// The cache state of `row` at the replica of `entity` on `node`.
     pub fn entity_row(&self, entity: ComponentId, node: NodeId, row: RowId) -> RowCacheState {
-        match self.entity_rows.get(&(entity, node)).and_then(|m| m.get(&row)) {
+        match self
+            .entity_rows
+            .get(&(entity, node))
+            .and_then(|m| m.get(&row))
+        {
             None => RowCacheState::Absent,
             Some(true) => RowCacheState::Valid,
             Some(false) => RowCacheState::Invalid,
@@ -60,7 +64,10 @@ impl ContainerState {
     /// Marks `row` loaded-and-valid at a replica (after a miss fetch or a
     /// pushed update) and records the version it now reflects.
     pub fn load_entity_row(&mut self, entity: ComponentId, node: NodeId, row: RowId) {
-        self.entity_rows.entry((entity, node)).or_default().insert(row, true);
+        self.entity_rows
+            .entry((entity, node))
+            .or_default()
+            .insert(row, true);
         let version = self.version(entity, row);
         self.replica_versions.insert((entity, node, row), version);
     }
@@ -101,7 +108,10 @@ impl ContainerState {
 
     /// The version a replica row last reflected.
     pub fn replica_version(&self, entity: ComponentId, node: NodeId, row: RowId) -> u64 {
-        self.replica_versions.get(&(entity, node, row)).copied().unwrap_or(0)
+        self.replica_versions
+            .get(&(entity, node, row))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Version lag of a replica row: 0 means fresh.
@@ -123,7 +133,10 @@ impl ContainerState {
 
     /// Stores (or refreshes) a query result at `node`.
     pub fn cache_query(&mut self, node: NodeId, query: Query) {
-        self.query_results.entry(node).or_default().insert(query, true);
+        self.query_results
+            .entry(node)
+            .or_default()
+            .insert(query, true);
     }
 
     /// Invalidates a cached query at `node` if present; returns whether it
@@ -226,7 +239,13 @@ mod tests {
         assert!(s.query_cached(edge, &q));
         assert!(s.invalidate_query(edge, &q));
         assert!(!s.query_cached(edge, &q));
-        assert!(!s.invalidate_query(edge, &Query::ByPk { table: t, id: RowId(1) }));
+        assert!(!s.invalidate_query(
+            edge,
+            &Query::ByPk {
+                table: t,
+                id: RowId(1)
+            }
+        ));
         assert_eq!(s.cached_queries(edge).len(), 1);
     }
 

@@ -80,7 +80,10 @@ fn fixture() -> Fixture {
         state: ContainerState::new(),
         rng: SimRng::seed_from_u64(7),
         next_tag: 0,
-        protocols: ProtocolParams { rmi_extra_round_trip_prob: 0.0, ..Default::default() },
+        protocols: ProtocolParams {
+            rmi_extra_round_trip_prob: 0.0,
+            ..Default::default()
+        },
         costs: ContainerCosts::default(),
         topology,
         client_main,
@@ -120,7 +123,9 @@ macro_rules! bind {
 fn centralized(fx: &Fixture) -> DeploymentDescriptor {
     let mut b = DescriptorBuilder::new(&fx.registry, "centralized", fx.dbn);
     b.central_node(fx.main);
-    b.place(fx.web, fx.main).place(fx.facade, fx.main).place(fx.item, fx.main);
+    b.place(fx.web, fx.main)
+        .place(fx.facade, fx.main)
+        .place(fx.item, fx.main);
     b.build().unwrap()
 }
 
@@ -157,7 +162,10 @@ fn query_cached_config(fx: &Fixture, prop: UpdatePropagation) -> DeploymentDescr
 /// Item page: web -> facade -> entity PK read.
 fn item_page(fx: &Fixture, id: u64) -> PageRequest {
     let entity_call = Call::new(fx.item, "load", ms(1)).query(
-        Query::ByPk { table: fx.items_table, id: RowId(id) },
+        Query::ByPk {
+            table: fx.items_table,
+            id: RowId(id),
+        },
         DbAccess::Single,
     );
     let facade_call = Call::new(fx.facade, "getItem", ms(2)).invoke(entity_call, 100, 500);
@@ -168,7 +176,11 @@ fn item_page(fx: &Fixture, id: u64) -> PageRequest {
 /// Product page: web -> facade -> tagged aggregate query.
 fn product_page(fx: &Fixture, product: i64) -> PageRequest {
     let facade_call = Call::new(fx.facade, "getItems", ms(2)).tagged_query(
-        Query::Eq { table: fx.items_table, column: 1, value: Value::Int(product) },
+        Query::Eq {
+            table: fx.items_table,
+            column: 1,
+            value: Value::Int(product),
+        },
         "items-by-product",
         DbAccess::Single,
     );
@@ -200,9 +212,17 @@ fn execute(fx: &Fixture, steps: Vec<Step>) -> f64 {
             &mut self.net
         }
     }
-    let mut sim = Simulation::new(W { net: Network::new(fx.topology.clone()), done: None });
+    let mut sim = Simulation::new(W {
+        net: Network::new(fx.topology.clone()),
+        done: None,
+    });
     sim.schedule_at(SimTime::ZERO, move |w, ctx| {
-        spawn_job(w, ctx, steps, Box::new(|w: &mut W, ctx| w.done = Some(ctx.now())));
+        spawn_job(
+            w,
+            ctx,
+            steps,
+            Box::new(|w: &mut W, ctx| w.done = Some(ctx.now())),
+        );
     });
     sim.run();
     sim.world().done.expect("job completed").as_millis_f64()
@@ -212,7 +232,9 @@ fn count_parallel(steps: &[Step]) -> usize {
     steps
         .iter()
         .map(|s| match s {
-            Step::Parallel(branches) => 1 + branches.iter().map(|b| count_parallel(b)).sum::<usize>(),
+            Step::Parallel(branches) => {
+                1 + branches.iter().map(|b| count_parallel(b)).sum::<usize>()
+            }
             Step::Fork { steps, .. } => count_parallel(steps),
             _ => 0,
         })
@@ -220,7 +242,10 @@ fn count_parallel(steps: &[Step]) -> usize {
 }
 
 fn count_forks(steps: &[Step]) -> usize {
-    steps.iter().filter(|s| matches!(s, Step::Fork { .. })).count()
+    steps
+        .iter()
+        .filter(|s| matches!(s, Step::Fork { .. }))
+        .count()
 }
 
 #[test]
@@ -289,7 +314,10 @@ fn replica_read_misses_then_hits() {
     assert_eq!(second.stats.remote_invocations, 0, "fully local page");
     let t_second = execute(&fx, second.steps);
     assert!(t_second < 30.0, "local page, got {t_second}");
-    assert!(t_first > 200.0, "miss fetches across the WAN, got {t_first}");
+    assert!(
+        t_first > 200.0,
+        "miss fetches across the WAN, got {t_first}"
+    );
 
     // The other edge is independent.
     let other = bind!(&mut fx, &desc, fx.client_edge, fx.edge2, &page);
@@ -308,7 +336,11 @@ fn sync_push_blocks_writer_and_keeps_replicas_valid() {
     let commit = commit_page(&fx, 5);
     let bound = bind!(&mut fx, &desc, fx.client_main, fx.main, &commit);
     assert_eq!(bound.stats.sync_push_nodes, 2);
-    assert_eq!(count_parallel(&bound.steps), 1, "one blocking parallel push");
+    assert_eq!(
+        count_parallel(&bound.steps),
+        1,
+        "one blocking parallel push"
+    );
     let t = execute(&fx, bound.steps);
     assert!(t > 200.0, "writer blocked on WAN push, got {t}");
 
@@ -328,12 +360,19 @@ fn invalidate_mode_forces_refetch() {
     let commit = commit_page(&fx, 5);
     let bound = bind!(&mut fx, &desc, fx.client_main, fx.main, &commit);
     assert_eq!(bound.stats.invalidate_nodes, 1);
-    assert_eq!(count_parallel(&bound.steps), 0, "invalidations do not block");
+    assert_eq!(
+        count_parallel(&bound.steps),
+        0,
+        "invalidations do not block"
+    );
     let t = execute(&fx, bound.steps);
     assert!(t < 100.0, "writer not blocked, got {t}");
 
     let after = bind!(&mut fx, &desc, fx.client_edge, fx.edge1, &item);
-    assert_eq!(after.stats.entity_cache_misses, 1, "invalidated row refetches");
+    assert_eq!(
+        after.stats.entity_cache_misses, 1,
+        "invalidated row refetches"
+    );
 }
 
 #[test]
@@ -354,7 +393,10 @@ fn async_push_does_not_block_and_defers_state() {
 
     // Until the deferred apply runs, replica reads observe staleness.
     let stale = bind!(&mut fx, &desc, fx.client_edge, fx.edge1, &item);
-    assert_eq!(stale.stats.entity_cache_hits, 1, "replica still serves (stale) data");
+    assert_eq!(
+        stale.stats.entity_cache_hits, 1,
+        "replica still serves (stale) data"
+    );
     assert_eq!(stale.stats.staleness_observed, 1);
 
     // Apply the deferred update (simulating fork completion).
@@ -388,7 +430,10 @@ fn query_cache_miss_then_hit_then_push_update() {
     let w = bind!(&mut fx, &desc, fx.client_main, fx.main, &commit);
     assert!(w.stats.sync_push_nodes >= 1);
     let third = bind!(&mut fx, &desc, fx.client_edge, fx.edge1, &page);
-    assert_eq!(third.stats.query_cache_hits, 1, "pushed update keeps the cache valid");
+    assert_eq!(
+        third.stats.query_cache_hits, 1,
+        "pushed update keeps the cache valid"
+    );
 }
 
 #[test]
@@ -401,7 +446,10 @@ fn query_cache_pull_mode_invalidates() {
     let commit = commit_page(&fx, 5);
     let _ = bind!(&mut fx, &desc, fx.client_main, fx.main, &commit);
     let after = bind!(&mut fx, &desc, fx.client_edge, fx.edge1, &page);
-    assert_eq!(after.stats.query_cache_misses, 1, "pull mode refetches after a write");
+    assert_eq!(
+        after.stats.query_cache_misses, 1,
+        "pull mode refetches after a write"
+    );
 }
 
 #[test]
@@ -410,7 +458,11 @@ fn untagged_queries_bypass_the_cache() {
     let desc = query_cached_config(&fx, UpdatePropagation::SyncPush);
     // Same query shape, but untagged (e.g. keyword search).
     let facade_call = Call::new(fx.facade, "search", ms(2)).query(
-        Query::Like { table: fx.items_table, column: 0, needle: "item".into() },
+        Query::Like {
+            table: fx.items_table,
+            column: 0,
+            needle: "item".into(),
+        },
         DbAccess::Single,
     );
     let root = Call::new(fx.web, "doGet", ms(5)).invoke(facade_call, 150, 4_000);
@@ -435,7 +487,10 @@ fn writes_route_to_primary_even_from_edges() {
     let t = execute(&fx, bound.steps);
     assert!(t > 200.0, "write crossed the WAN, got {t}");
     // And the database really changed.
-    assert_eq!(fx.db.table(fx.items_table).cell(RowId(2), 2), Some(&Value::Int(1)));
+    assert_eq!(
+        fx.db.table(fx.items_table).cell(RowId(2), 2),
+        Some(&Value::Int(1))
+    );
 }
 
 #[test]
@@ -448,15 +503,34 @@ fn bmp_finder_pays_n_plus_one_over_the_wire() {
     b.place(fx.facade, fx.main).place(fx.item, fx.main);
     let desc = b.build().unwrap();
 
-    let q = Query::Eq { table: fx.items_table, column: 1, value: Value::Int(1) };
+    let q = Query::Eq {
+        table: fx.items_table,
+        column: 1,
+        value: Value::Int(1),
+    };
     let bmp_root = Call::new(fx.web, "doGet", ms(5)).query(q.clone(), DbAccess::BmpFinder);
     let cmp_root = Call::new(fx.web, "doGet", ms(5)).query(q, DbAccess::Single);
-    let bmp = bind!(&mut fx, &desc, fx.client_edge, fx.edge1, &PageRequest::new("P", bmp_root, 1_000));
-    let cmp = bind!(&mut fx, &desc, fx.client_edge, fx.edge1, &PageRequest::new("P", cmp_root, 1_000));
+    let bmp = bind!(
+        &mut fx,
+        &desc,
+        fx.client_edge,
+        fx.edge1,
+        &PageRequest::new("P", bmp_root, 1_000)
+    );
+    let cmp = bind!(
+        &mut fx,
+        &desc,
+        fx.client_edge,
+        fx.edge1,
+        &PageRequest::new("P", cmp_root, 1_000)
+    );
     let t_bmp = execute(&fx, bmp.steps);
     let t_cmp = execute(&fx, cmp.steps);
     // 4 rows -> 5 statement round trips vs 1: each ~200ms over the WAN.
-    assert!(t_bmp - t_cmp > 700.0, "n+1 penalty missing: bmp={t_bmp} cmp={t_cmp}");
+    assert!(
+        t_bmp - t_cmp > 700.0,
+        "n+1 penalty missing: bmp={t_bmp} cmp={t_cmp}"
+    );
 }
 
 #[test]

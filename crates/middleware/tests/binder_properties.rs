@@ -80,7 +80,8 @@ fn world() -> World {
     let table = dbb.table("t", &["name", "*grp"], 100);
     let mut db = dbb.build();
     for i in 0..12i64 {
-        db.table_mut(table).insert(vec![format!("r{i}").into(), Value::Int(i % 3)]);
+        db.table_mut(table)
+            .insert(vec![format!("r{i}").into(), Value::Int(i % 3)]);
     }
     let mut registry = ComponentRegistry::new();
     let web = registry.register("web", ComponentKind::Web);
@@ -108,7 +109,10 @@ fn build_page(w: &World, t: &RandomTree) -> PageRequest {
         facade_call = match leaf {
             LeafOp::EntityRead(r) => facade_call.invoke(
                 Call::new(w.entity, "load", ms(1)).query(
-                    Query::ByPk { table: w.table, id: RowId(1 + (*r as u64) % 12) },
+                    Query::ByPk {
+                        table: w.table,
+                        id: RowId(1 + (*r as u64) % 12),
+                    },
                     DbAccess::Single,
                 ),
                 50,
@@ -125,13 +129,17 @@ fn build_page(w: &World, t: &RandomTree) -> PageRequest {
                 50,
             ),
             LeafOp::TaggedQuery(g) => facade_call.tagged_query(
-                Query::Eq { table: w.table, column: 1, value: Value::Int(*g as i64 % 3) },
+                Query::Eq {
+                    table: w.table,
+                    column: 1,
+                    value: Value::Int(*g as i64 % 3),
+                },
                 "grp",
                 DbAccess::Single,
             ),
-            LeafOp::PlainQuery =>
-
-                facade_call.query(Query::All { table: w.table }, DbAccess::BmpFinder),
+            LeafOp::PlainQuery => {
+                facade_call.query(Query::All { table: w.table }, DbAccess::BmpFinder)
+            }
         };
     }
     let root = Call::new(w.web, "page", ms(3)).invoke(facade_call, 100, 500);

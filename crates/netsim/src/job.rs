@@ -79,16 +79,19 @@ impl Step {
 
     /// Round-trip helper.
     pub fn exchange(a: NodeId, b: NodeId, req_bytes: u64, resp_bytes: u64) -> Step {
-        Step::Exchange { a, b, req_bytes, resp_bytes }
+        Step::Exchange {
+            a,
+            b,
+            req_bytes,
+            resp_bytes,
+        }
     }
 
     /// Total CPU demand contained in this step (recursing into branches).
     pub fn total_cpu(&self) -> SimDuration {
         match self {
             Step::Cpu { demand, .. } => *demand,
-            Step::Parallel(branches) => {
-                branches.iter().flatten().map(Step::total_cpu).sum()
-            }
+            Step::Parallel(branches) => branches.iter().flatten().map(Step::total_cpu).sum(),
             Step::Fork { steps, .. } => steps.iter().map(Step::total_cpu).sum(),
             _ => SimDuration::ZERO,
         }
@@ -98,20 +101,8 @@ impl Step {
     /// (i.e. excluding forked branches). `Transfer` counts as half a trip.
     pub fn wan_round_trips(&self, is_wan: &dyn Fn(NodeId, NodeId) -> bool) -> f64 {
         match self {
-            Step::Transfer { from, to, .. } => {
-                if is_wan(*from, *to) {
-                    0.5
-                } else {
-                    0.0
-                }
-            }
-            Step::Exchange { a, b, .. } => {
-                if is_wan(*a, *b) {
-                    1.0
-                } else {
-                    0.0
-                }
-            }
+            Step::Transfer { from, to, .. } if is_wan(*from, *to) => 0.5,
+            Step::Exchange { a, b, .. } if is_wan(*a, *b) => 1.0,
             Step::Parallel(branches) => branches
                 .iter()
                 .map(|b| b.iter().map(|s| s.wan_round_trips(is_wan)).sum::<f64>())
@@ -166,10 +157,22 @@ fn advance<W: JobWorld>(
                 return;
             }
             Step::Transfer { from, to, bytes } => {
-                send(world, ctx, from, to, bytes, Box::new(move |w, c| advance(w, c, steps, done)));
+                send(
+                    world,
+                    ctx,
+                    from,
+                    to,
+                    bytes,
+                    Box::new(move |w, c| advance(w, c, steps, done)),
+                );
                 return;
             }
-            Step::Exchange { a, b, req_bytes, resp_bytes } => {
+            Step::Exchange {
+                a,
+                b,
+                req_bytes,
+                resp_bytes,
+            } => {
                 // The return leg starts only when the request arrives, so
                 // every link admission happens at its true time.
                 send(
@@ -179,7 +182,14 @@ fn advance<W: JobWorld>(
                     b,
                     req_bytes,
                     Box::new(move |w: &mut W, c: &mut Context<'_, W>| {
-                        send(w, c, b, a, resp_bytes, Box::new(move |w, c| advance(w, c, steps, done)));
+                        send(
+                            w,
+                            c,
+                            b,
+                            a,
+                            resp_bytes,
+                            Box::new(move |w, c| advance(w, c, steps, done)),
+                        );
                     }),
                 );
                 return;
@@ -189,14 +199,15 @@ fn advance<W: JobWorld>(
                 return;
             }
             Step::Parallel(branches) => {
-                let branches: Vec<Vec<Step>> = branches.into_iter().filter(|b| !b.is_empty()).collect();
+                let branches: Vec<Vec<Step>> =
+                    branches.into_iter().filter(|b| !b.is_empty()).collect();
                 if branches.is_empty() {
                     continue;
                 }
                 let join = Rc::new(RefCell::new(JoinState {
                     remaining: branches.len(),
                     continuation: Some(Box::new(move |w: &mut W, c: &mut Context<'_, W>| {
-                        advance(w, c, steps, done)
+                        advance(w, c, steps, done);
                     }) as EventFn<W>),
                 }));
                 for branch in branches {
@@ -309,16 +320,30 @@ mod tests {
         b.duplex_link(main, router, ms(10), 1e9);
         b.duplex_link(router, edge, ms(90), 1e9);
         let net = Network::new(b.finalize());
-        (World { net, finished: Vec::new(), forks: Vec::new() }, main, router, edge)
+        (
+            World {
+                net,
+                finished: Vec::new(),
+                forks: Vec::new(),
+            },
+            main,
+            router,
+            edge,
+        )
     }
 
     fn run(world: World, steps: Vec<Step>) -> World {
         let mut sim = Simulation::new(world);
         sim.schedule_at(SimTime::ZERO, move |w, c| {
-            spawn_job(w, c, steps, Box::new(|w: &mut World, c| {
-                let now = c.now();
-                w.finished.push((now, "job"));
-            }));
+            spawn_job(
+                w,
+                c,
+                steps,
+                Box::new(|w: &mut World, c| {
+                    let now = c.now();
+                    w.finished.push((now, "job"));
+                }),
+            );
         });
         sim.run();
         sim.into_world()
@@ -375,7 +400,10 @@ mod tests {
     fn fork_does_not_delay_parent_but_reports() {
         let (w, main, _, edge) = world();
         let steps = vec![
-            Step::Fork { steps: vec![Step::exchange(main, edge, 0, 0)], tag: Some(7) },
+            Step::Fork {
+                steps: vec![Step::exchange(main, edge, 0, 0)],
+                tag: Some(7),
+            },
             Step::cpu(main, ms(5)),
         ];
         let w = run(w, steps);
@@ -387,7 +415,10 @@ mod tests {
     fn untagged_fork_completes_silently() {
         let (w, from, _, edge) = world();
         let steps = vec![
-            Step::Fork { steps: vec![Step::transfer(from, edge, 100)], tag: None },
+            Step::Fork {
+                steps: vec![Step::transfer(from, edge, 100)],
+                tag: None,
+            },
             Step::cpu(from, ms(1)),
         ];
         let w = run(w, steps);
@@ -398,10 +429,16 @@ mod tests {
     #[test]
     fn nested_parallel_joins_correctly() {
         let (w, _main, _, edge) = world();
-        let steps = vec![Step::Parallel(vec![
-            vec![Step::Parallel(vec![vec![Step::Delay(ms(10))], vec![Step::Delay(ms(30))]])],
-            vec![Step::Delay(ms(20))],
-        ]), Step::cpu(edge, ms(1))];
+        let steps = vec![
+            Step::Parallel(vec![
+                vec![Step::Parallel(vec![
+                    vec![Step::Delay(ms(10))],
+                    vec![Step::Delay(ms(30))],
+                ])],
+                vec![Step::Delay(ms(20))],
+            ]),
+            Step::cpu(edge, ms(1)),
+        ];
         let w = run(w, steps);
         assert_eq!(w.finished, vec![(at(31), "job")]);
     }
@@ -424,7 +461,10 @@ mod tests {
         let (_, main, _, edge) = world();
         let step = Step::Parallel(vec![
             vec![Step::cpu(main, ms(5)), Step::cpu(edge, ms(5))],
-            vec![Step::Fork { steps: vec![Step::cpu(main, ms(7))], tag: None }],
+            vec![Step::Fork {
+                steps: vec![Step::cpu(main, ms(7))],
+                tag: None,
+            }],
         ]);
         assert_eq!(step.total_cpu(), ms(17));
     }
@@ -436,7 +476,10 @@ mod tests {
         let steps = vec![
             Step::exchange(edge, main, 0, 0),
             Step::exchange(edge, edge, 0, 0),
-            Step::Fork { steps: vec![Step::exchange(main, edge, 0, 0)], tag: None },
+            Step::Fork {
+                steps: vec![Step::exchange(main, edge, 0, 0)],
+                tag: None,
+            },
         ];
         assert_eq!(wan_round_trips(&steps, &is_wan), 1.0);
         drop(w);
@@ -448,12 +491,21 @@ mod tests {
             let (w, main, _, edge) = world();
             let mut sim = Simulation::new(w);
             for i in 0..50u64 {
-                let steps = vec![Step::cpu(edge, ms(3)), Step::exchange(edge, main, 500, 2_000), Step::cpu(edge, ms(2))];
+                let steps = vec![
+                    Step::cpu(edge, ms(3)),
+                    Step::exchange(edge, main, 500, 2_000),
+                    Step::cpu(edge, ms(2)),
+                ];
                 sim.schedule_at(SimTime::from_millis(i * 7), move |w, c| {
-                    spawn_job(w, c, steps, Box::new(|w: &mut World, c| {
-                        let now = c.now();
-                        w.finished.push((now, "j"));
-                    }));
+                    spawn_job(
+                        w,
+                        c,
+                        steps,
+                        Box::new(|w: &mut World, c| {
+                            let now = c.now();
+                            w.finished.push((now, "j"));
+                        }),
+                    );
                 });
             }
             sim.run();

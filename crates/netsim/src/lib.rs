@@ -56,4 +56,4 @@ pub mod topology;
 pub use job::{spawn_job, wan_round_trips, JobWorld, Step};
 pub use network::Network;
 pub use protocol::ProtocolParams;
-pub use topology::{LinkId, NodeId, NodeSpec, LinkSpec, Topology, TopologyBuilder};
+pub use topology::{LinkId, LinkSpec, NodeId, NodeSpec, Topology, TopologyBuilder};

@@ -36,7 +36,12 @@ impl Network {
             .map(|i| FifoResource::new(format!("link:{i}"), 1))
             .collect();
         let latency_overrides = vec![None; topology.link_count()];
-        Network { topology, cpus, links, latency_overrides }
+        Network {
+            topology,
+            cpus,
+            links,
+            latency_overrides,
+        }
     }
 
     /// The effective one-way latency of `link` (override or base).
@@ -237,8 +242,8 @@ mod tests {
         let first = net.transfer(SimTime::ZERO, a, c, 125_000); // 10ms serialization/hop
         let second = net.transfer(SimTime::ZERO, a, c, 125_000);
         assert_eq!(first, at(120)); // 10 + 10 + 10 + 90
-        // Second waits 10ms for the first on hop 1; and 10 more on hop 2 (the
-        // first message still owns it when the second arrives).
+                                    // Second waits 10ms for the first on hop 1; and 10 more on hop 2 (the
+                                    // first message still owns it when the second arrives).
         assert!(second > first);
     }
 
@@ -288,7 +293,10 @@ mod tests {
         let (mut net, a, c) = wan_pair();
         net.cpu(SimTime::ZERO, a, ms(50));
         let u = net.cpu_utilization(a, at(100));
-        assert!((u - 0.25).abs() < 1e-9, "dual cpu, 50ms busy over 100ms: {u}");
+        assert!(
+            (u - 0.25).abs() < 1e-9,
+            "dual cpu, 50ms busy over 100ms: {u}"
+        );
         assert_eq!(net.cpu_utilization(c, at(100)), 0.0);
     }
 }

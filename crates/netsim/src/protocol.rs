@@ -67,19 +67,30 @@ impl ProtocolParams {
     /// Parameters reproducing the Pet Store stack (JBoss 2.4.4 + Jetty 3.1.3,
     /// chatty RMI with frequent DGC round trips).
     pub fn petstore_stack() -> Self {
-        ProtocolParams { rmi_extra_round_trip_prob: 0.65, ..Default::default() }
+        ProtocolParams {
+            rmi_extra_round_trip_prob: 0.65,
+            ..Default::default()
+        }
     }
 
     /// Parameters reproducing the RUBiS stack (JBoss 3.0.3 + Jetty 4.1.0,
     /// leaner RMI).
     pub fn rubis_stack() -> Self {
-        ProtocolParams { rmi_extra_round_trip_prob: 0.35, ..Default::default() }
+        ProtocolParams {
+            rmi_extra_round_trip_prob: 0.35,
+            ..Default::default()
+        }
     }
 
     /// A TCP connection establishment round trip (no keep-alive in the
     /// paper's tests, so every page request pays this).
     pub fn tcp_handshake(&self, client: NodeId, server: NodeId) -> Step {
-        Step::exchange(client, server, self.tcp_segment_bytes, self.tcp_segment_bytes)
+        Step::exchange(
+            client,
+            server,
+            self.tcp_segment_bytes,
+            self.tcp_segment_bytes,
+        )
     }
 
     /// The network legs of one HTTP request: handshake plus the request
@@ -111,9 +122,18 @@ impl ProtocolParams {
         }
         let mut steps = Vec::with_capacity(2);
         if rng.chance(self.rmi_extra_round_trip_prob) {
-            steps.push(Step::exchange(caller, callee, self.rmi_extra_bytes, self.rmi_extra_bytes));
+            steps.push(Step::exchange(
+                caller,
+                callee,
+                self.rmi_extra_bytes,
+                self.rmi_extra_bytes,
+            ));
         }
-        steps.push(Step::transfer(caller, callee, self.rmi_request_overhead_bytes + arg_bytes));
+        steps.push(Step::transfer(
+            caller,
+            callee,
+            self.rmi_request_overhead_bytes + arg_bytes,
+        ));
         steps
     }
 
@@ -122,20 +142,18 @@ impl ProtocolParams {
         if caller == callee {
             return Vec::new();
         }
-        vec![Step::transfer(callee, caller, self.rmi_response_overhead_bytes + ret_bytes)]
+        vec![Step::transfer(
+            callee,
+            caller,
+            self.rmi_response_overhead_bytes + ret_bytes,
+        )]
     }
 
     /// A complete JDBC interaction of `round_trips` statement round trips
     /// fetching `rows` rows in total. BMP-style finders exhibit the paper's
     /// "n+1 database calls" by passing `round_trips = rows + 1`.
     /// Empty when the client is co-located with the database.
-    pub fn jdbc(
-        &self,
-        client: NodeId,
-        db: NodeId,
-        round_trips: u32,
-        rows: u64,
-    ) -> Vec<Step> {
+    pub fn jdbc(&self, client: NodeId, db: NodeId, round_trips: u32, rows: u64) -> Vec<Step> {
         if client == db || round_trips == 0 {
             return Vec::new();
         }
@@ -160,15 +178,28 @@ impl ProtocolParams {
         if publisher == broker {
             return Vec::new();
         }
-        vec![Step::transfer(publisher, broker, self.jms_envelope_bytes + payload_bytes)]
+        vec![Step::transfer(
+            publisher,
+            broker,
+            self.jms_envelope_bytes + payload_bytes,
+        )]
     }
 
     /// Delivery of a JMS message from the broker to one subscriber.
-    pub fn jms_delivery(&self, broker: NodeId, subscriber: NodeId, payload_bytes: u64) -> Vec<Step> {
+    pub fn jms_delivery(
+        &self,
+        broker: NodeId,
+        subscriber: NodeId,
+        payload_bytes: u64,
+    ) -> Vec<Step> {
         if broker == subscriber {
             return Vec::new();
         }
-        vec![Step::transfer(broker, subscriber, self.jms_envelope_bytes + payload_bytes)]
+        vec![Step::transfer(
+            broker,
+            subscriber,
+            self.jms_envelope_bytes + payload_bytes,
+        )]
     }
 }
 
@@ -186,7 +217,14 @@ mod tests {
         let (client, server) = nodes();
         let steps = p.http_request(client, server, 100);
         assert_eq!(steps.len(), 2);
-        assert!(matches!(steps[0], Step::Exchange { req_bytes: 64, resp_bytes: 64, .. }));
+        assert!(matches!(
+            steps[0],
+            Step::Exchange {
+                req_bytes: 64,
+                resp_bytes: 64,
+                ..
+            }
+        ));
         assert!(matches!(steps[1], Step::Transfer { bytes: 500, .. }));
     }
 
@@ -201,7 +239,10 @@ mod tests {
 
     #[test]
     fn rmi_extra_round_trip_frequency_matches_probability() {
-        let p = ProtocolParams { rmi_extra_round_trip_prob: 0.65, ..Default::default() };
+        let p = ProtocolParams {
+            rmi_extra_round_trip_prob: 0.65,
+            ..Default::default()
+        };
         let mut rng = SimRng::seed_from_u64(42);
         let (a, b) = nodes();
         let n = 10_000;
@@ -226,7 +267,10 @@ mod tests {
                 _ => 0,
             })
             .sum();
-        assert_eq!(total_resp, p.jdbc_response_overhead_bytes + rows * p.jdbc_row_bytes);
+        assert_eq!(
+            total_resp,
+            p.jdbc_response_overhead_bytes + rows * p.jdbc_row_bytes
+        );
     }
 
     #[test]

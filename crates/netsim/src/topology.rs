@@ -99,9 +99,16 @@ impl TopologyBuilder {
     /// Panics if `cpus == 0` or `speed` is not positive and finite.
     pub fn node_with_speed(&mut self, name: impl Into<String>, cpus: usize, speed: f64) -> NodeId {
         assert!(cpus > 0, "a node needs at least one CPU");
-        assert!(speed.is_finite() && speed > 0.0, "node speed must be positive");
+        assert!(
+            speed.is_finite() && speed > 0.0,
+            "node speed must be positive"
+        );
         let id = NodeId(self.nodes.len());
-        self.nodes.push(NodeSpec { name: name.into(), cpus, speed });
+        self.nodes.push(NodeSpec {
+            name: name.into(),
+            cpus,
+            speed,
+        });
         id
     }
 
@@ -132,12 +139,24 @@ impl TopologyBuilder {
         latency: SimDuration,
         bandwidth_bps: f64,
     ) -> LinkId {
-        assert!(from.0 < self.nodes.len() && to.0 < self.nodes.len(), "unknown endpoint");
+        assert!(
+            from.0 < self.nodes.len() && to.0 < self.nodes.len(),
+            "unknown endpoint"
+        );
         assert_ne!(from, to, "self-links are not allowed");
-        assert!(bandwidth_bps.is_finite() && bandwidth_bps > 0.0, "bandwidth must be positive");
+        assert!(
+            bandwidth_bps.is_finite() && bandwidth_bps > 0.0,
+            "bandwidth must be positive"
+        );
         let id = LinkId(self.links.len());
         let name = format!("{}->{}", self.nodes[from.0].name, self.nodes[to.0].name);
-        self.links.push(LinkSpec { name, from, to, latency, bandwidth_bps });
+        self.links.push(LinkSpec {
+            name,
+            from,
+            to,
+            latency,
+            bandwidth_bps,
+        });
         id
     }
 
@@ -149,7 +168,11 @@ impl TopologyBuilder {
     pub fn finalize(self) -> Topology {
         assert!(!self.nodes.is_empty(), "topology has no nodes");
         let routes = compute_routes(&self.nodes, &self.links);
-        Topology { nodes: self.nodes, links: self.links, routes }
+        Topology {
+            nodes: self.nodes,
+            links: self.links,
+            routes,
+        }
     }
 }
 

@@ -108,7 +108,10 @@ mod tests {
 
     #[test]
     fn annealing_matches_greedy_on_the_derived_problems() {
-        for (name, problem) in [("petstore", petstore_problem().0), ("rubis", rubis_problem().0)] {
+        for (name, problem) in [
+            ("petstore", petstore_problem().0),
+            ("rubis", rubis_problem().0),
+        ] {
             let (_, greedy_cost) = greedy(&problem, &GreedyOptions::default());
             let (placement, annealed_cost) = solve(&problem, &AnnealingOptions::default());
             assert!(placement.respects_pins(&problem));
@@ -126,7 +129,13 @@ mod tests {
         let b = solve(&problem, &AnnealingOptions::default());
         assert_eq!(a.1.to_bits(), b.1.to_bits());
         assert_eq!(a.0, b.0);
-        let c = solve(&problem, &AnnealingOptions { seed: 7, ..Default::default() });
+        let c = solve(
+            &problem,
+            &AnnealingOptions {
+                seed: 7,
+                ..Default::default()
+            },
+        );
         // Different seeds explore differently (costs may coincide, the
         // trajectory rarely does — compare placements loosely).
         let _ = c;
@@ -137,6 +146,9 @@ mod tests {
         let (problem, _) = petstore_problem();
         let start_cost = cost(&problem, &Placement::all_on(&problem, HostId(0)));
         let (_, annealed) = solve(&problem, &AnnealingOptions::default());
-        assert!(annealed < start_cost / 2.0, "{annealed:.0} vs start {start_cost:.0}");
+        assert!(
+            annealed < start_cost / 2.0,
+            "{annealed:.0} vs start {start_cost:.0}"
+        );
     }
 }

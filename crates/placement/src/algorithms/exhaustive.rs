@@ -98,8 +98,16 @@ mod tests {
         g.interact(b, db, 1.0, 0.0);
         let problem = PlacementProblem {
             hosts: vec![
-                Host { name: "h0".into(), entry_share: 0.0, cpu_capacity: f64::INFINITY },
-                Host { name: "h1".into(), entry_share: 1.0, cpu_capacity: f64::INFINITY },
+                Host {
+                    name: "h0".into(),
+                    entry_share: 0.0,
+                    cpu_capacity: f64::INFINITY,
+                },
+                Host {
+                    name: "h1".into(),
+                    entry_share: 1.0,
+                    cpu_capacity: f64::INFINITY,
+                },
             ],
             rtt_ms: vec![vec![0.0, 100.0], vec![100.0, 0.0]],
             graph: g,
@@ -127,8 +135,16 @@ mod tests {
         }
         let problem = PlacementProblem {
             hosts: vec![
-                Host { name: "h0".into(), entry_share: 1.0, cpu_capacity: f64::INFINITY },
-                Host { name: "h1".into(), entry_share: 0.0, cpu_capacity: f64::INFINITY },
+                Host {
+                    name: "h0".into(),
+                    entry_share: 1.0,
+                    cpu_capacity: f64::INFINITY,
+                },
+                Host {
+                    name: "h1".into(),
+                    entry_share: 0.0,
+                    cpu_capacity: f64::INFINITY,
+                },
             ],
             rtt_ms: vec![vec![0.0, 1.0], vec![1.0, 0.0]],
             graph: g,

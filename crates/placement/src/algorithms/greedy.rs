@@ -24,7 +24,10 @@ pub struct GreedyOptions {
 
 impl Default for GreedyOptions {
     fn default() -> Self {
-        GreedyOptions { max_rounds: 1_000, with_replication: true }
+        GreedyOptions {
+            max_rounds: 1_000,
+            with_replication: true,
+        }
     }
 }
 
@@ -136,9 +139,21 @@ mod tests {
         g.interact(web, entity, read_rate, 200.0);
         PlacementProblem {
             hosts: vec![
-                Host { name: "main".into(), entry_share: 1.0 / 3.0, cpu_capacity: f64::INFINITY },
-                Host { name: "edge1".into(), entry_share: 1.0 / 3.0, cpu_capacity: f64::INFINITY },
-                Host { name: "edge2".into(), entry_share: 1.0 / 3.0, cpu_capacity: f64::INFINITY },
+                Host {
+                    name: "main".into(),
+                    entry_share: 1.0 / 3.0,
+                    cpu_capacity: f64::INFINITY,
+                },
+                Host {
+                    name: "edge1".into(),
+                    entry_share: 1.0 / 3.0,
+                    cpu_capacity: f64::INFINITY,
+                },
+                Host {
+                    name: "edge2".into(),
+                    entry_share: 1.0 / 3.0,
+                    cpu_capacity: f64::INFINITY,
+                },
             ],
             rtt_ms: vec![
                 vec![0.0, 200.0, 200.0],
@@ -155,8 +170,16 @@ mod tests {
         let p = star_problem(10.0, 0.1);
         let (placement, _) = solve(&p, &GreedyOptions::default());
         let entity = p.graph.by_name("entity").unwrap();
-        assert_eq!(placement.primary[entity.index()], HostId(0), "primary pinned");
-        assert_eq!(placement.replicas[entity.index()].len(), 2, "replicas at both edges");
+        assert_eq!(
+            placement.primary[entity.index()],
+            HostId(0),
+            "primary pinned"
+        );
+        assert_eq!(
+            placement.replicas[entity.index()].len(),
+            2,
+            "replicas at both edges"
+        );
     }
 
     #[test]
@@ -164,7 +187,10 @@ mod tests {
         let p = star_problem(0.2, 50.0);
         let (placement, _) = solve(&p, &GreedyOptions::default());
         let entity = p.graph.by_name("entity").unwrap();
-        assert!(placement.replicas[entity.index()].is_empty(), "no replicas for hot writers");
+        assert!(
+            placement.replicas[entity.index()].is_empty(),
+            "no replicas for hot writers"
+        );
     }
 
     #[test]
@@ -181,16 +207,25 @@ mod tests {
         assert!(!replicated[4], "replication must stop at high write rates");
         // Monotone: once it stops paying it never resumes.
         let first_false = replicated.iter().position(|r| !r).unwrap();
-        assert!(replicated[first_false..].iter().all(|r| !r), "{replicated:?}");
+        assert!(
+            replicated[first_false..].iter().all(|r| !r),
+            "{replicated:?}"
+        );
     }
 
     #[test]
     fn matches_exhaustive_without_replication() {
         let p = star_problem(3.0, 1.0);
-        let options = GreedyOptions { with_replication: false, ..Default::default() };
+        let options = GreedyOptions {
+            with_replication: false,
+            ..Default::default()
+        };
         let (_, greedy_cost) = solve(&p, &options);
         let (_, optimal) = exhaustive::solve(&p);
-        assert!(greedy_cost <= optimal + 1e-6, "greedy {greedy_cost} vs optimal {optimal}");
+        assert!(
+            greedy_cost <= optimal + 1e-6,
+            "greedy {greedy_cost} vs optimal {optimal}"
+        );
     }
 
     mod properties {
@@ -215,7 +250,11 @@ mod tests {
                 nodes.push(g.add(Component {
                     name: format!("c{i}"),
                     role,
-                    pinned: if role == Role::Database { Some(HostId(0)) } else { None },
+                    pinned: if role == Role::Database {
+                        Some(HostId(0))
+                    } else {
+                        None
+                    },
                     cpu_ms_per_call: 1.0,
                     write_rate: 0.0,
                 }));
@@ -228,8 +267,16 @@ mod tests {
             let total = shares.0 + shares.1;
             PlacementProblem {
                 hosts: vec![
-                    Host { name: "h0".into(), entry_share: shares.0 / total, cpu_capacity: f64::INFINITY },
-                    Host { name: "h1".into(), entry_share: shares.1 / total, cpu_capacity: f64::INFINITY },
+                    Host {
+                        name: "h0".into(),
+                        entry_share: shares.0 / total,
+                        cpu_capacity: f64::INFINITY,
+                    },
+                    Host {
+                        name: "h1".into(),
+                        entry_share: shares.1 / total,
+                        cpu_capacity: f64::INFINITY,
+                    },
                 ],
                 rtt_ms: vec![vec![0.0, 150.0], vec![150.0, 0.0]],
                 graph: g,

@@ -7,8 +7,6 @@
 //! unlocked vertex pairs and applies the best prefix of swaps; passes repeat
 //! until no pass improves the cut.
 
-use petgraph::visit::EdgeRef;
-
 use crate::graph::{HostId, Placement, PlacementProblem};
 
 /// Builds the symmetric weight matrix (interaction rates, both directions).
@@ -218,7 +216,11 @@ mod tests {
             };
             nodes.push(g.add(Component {
                 name: format!("c{i}"),
-                role: if pinned.is_some() { Role::Database } else { Role::Stateless },
+                role: if pinned.is_some() {
+                    Role::Database
+                } else {
+                    Role::Stateless
+                },
                 pinned,
                 cpu_ms_per_call: 1.0,
                 write_rate: 0.0,
@@ -234,8 +236,16 @@ mod tests {
         g.interact(nodes[2], nodes[3], 1.0, 0.0); // the weak bridge
         let problem = PlacementProblem {
             hosts: vec![
-                Host { name: "h0".into(), entry_share: 1.0, cpu_capacity: f64::INFINITY },
-                Host { name: "h1".into(), entry_share: 0.0, cpu_capacity: f64::INFINITY },
+                Host {
+                    name: "h0".into(),
+                    entry_share: 1.0,
+                    cpu_capacity: f64::INFINITY,
+                },
+                Host {
+                    name: "h1".into(),
+                    entry_share: 0.0,
+                    cpu_capacity: f64::INFINITY,
+                },
             ],
             rtt_ms: vec![vec![0.0, 100.0], vec![100.0, 0.0]],
             graph: g,
@@ -247,7 +257,12 @@ mod tests {
     #[test]
     fn kl_finds_the_weak_bridge() {
         let (p, nodes) = clustered();
-        let side = refine(&p, HostId(0), HostId(1), vec![false, true, false, true, false, true]);
+        let side = refine(
+            &p,
+            HostId(0),
+            HostId(1),
+            vec![false, true, false, true, false, true],
+        );
         // Clusters end up whole on opposite sides.
         assert_eq!(side[nodes[0].index()], side[nodes[1].index()]);
         assert_eq!(side[nodes[1].index()], side[nodes[2].index()]);
@@ -270,7 +285,10 @@ mod tests {
         let (p, nodes) = clustered();
         let placement = solve_two_way(&p, HostId(0), HostId(1));
         assert!(placement.respects_pins(&p));
-        assert_eq!(placement.primary[nodes[1].index()], placement.primary[nodes[2].index()]);
+        assert_eq!(
+            placement.primary[nodes[1].index()],
+            placement.primary[nodes[2].index()]
+        );
     }
 
     #[test]
@@ -283,7 +301,11 @@ mod tests {
                 let pinned = if i == 0 { Some(HostId(c)) } else { None };
                 let n = g.add(Component {
                     name: format!("c{c}-{i}"),
-                    role: if pinned.is_some() { Role::Database } else { Role::Stateless },
+                    role: if pinned.is_some() {
+                        Role::Database
+                    } else {
+                        Role::Stateless
+                    },
                     pinned,
                     cpu_ms_per_call: 1.0,
                     write_rate: 0.0,
@@ -313,7 +335,10 @@ mod tests {
         let placement = solve_recursive(&problem);
         assert!(placement.respects_pins(&problem));
         let used: std::collections::BTreeSet<_> = placement.primary.iter().collect();
-        assert!(used.len() >= 2, "recursive bisection uses several hosts: {used:?}");
+        assert!(
+            used.len() >= 2,
+            "recursive bisection uses several hosts: {used:?}"
+        );
     }
 
     #[test]

@@ -11,4 +11,6 @@ pub mod multilevel;
 pub use annealing::{solve as annealing_solve, AnnealingOptions};
 pub use greedy::{improve as greedy_improve, solve as greedy_solve, GreedyOptions};
 pub use kl::solve_recursive as kl_recursive_solve;
-pub use multilevel::{partition as multilevel_partition, solve as multilevel_solve, MultilevelOptions};
+pub use multilevel::{
+    partition as multilevel_partition, solve as multilevel_solve, MultilevelOptions,
+};

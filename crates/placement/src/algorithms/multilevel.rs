@@ -17,8 +17,6 @@
 
 use std::collections::HashMap;
 
-use petgraph::visit::EdgeRef;
-
 use crate::graph::{HostId, Placement, PlacementProblem};
 
 /// Options for the multilevel partitioner.
@@ -35,7 +33,11 @@ pub struct MultilevelOptions {
 
 impl Default for MultilevelOptions {
     fn default() -> Self {
-        MultilevelOptions { coarsen_until: 12, balance_tolerance: 1.5, refine_rounds: 8 }
+        MultilevelOptions {
+            coarsen_until: 12,
+            balance_tolerance: 1.5,
+            refine_rounds: 8,
+        }
     }
 }
 
@@ -71,7 +73,12 @@ fn base_level(problem: &PlacementProblem) -> Level {
         vweight[node.index()] = c.cpu_ms_per_call * problem.graph.read_rate(node).max(1.0);
         pinned[node.index()] = c.pinned.map(|h| h.0);
     }
-    Level { adj, vweight, pinned, map_from_finer: (0..n).collect() }
+    Level {
+        adj,
+        vweight,
+        pinned,
+        map_from_finer: (0..n).collect(),
+    }
 }
 
 /// Heavy-edge matching: visit vertices in order of decreasing total edge
@@ -148,7 +155,12 @@ fn coarsen(level: &Level) -> Option<Level> {
             }
         }
     }
-    Some(Level { adj, vweight, pinned, map_from_finer: coarse_id })
+    Some(Level {
+        adj,
+        vweight,
+        pinned,
+        map_from_finer: coarse_id,
+    })
 }
 
 /// Greedy balanced initial partition of the coarsest level into `k` parts.
@@ -235,8 +247,8 @@ fn refine_level(
             };
             let here = cost_in(current);
             let mut best = (current, 0.0f64);
-            for p in 0..k {
-                if p == current || load[p] + level.vweight[v] > cap {
+            for (p, &part_load) in load.iter().enumerate().take(k) {
+                if p == current || part_load + level.vweight[v] > cap {
                     continue;
                 }
                 let gain = here - cost_in(p);
@@ -272,7 +284,14 @@ pub fn partition(problem: &PlacementProblem, options: &MultilevelOptions) -> Vec
 
     let coarsest = hierarchy.last().expect("nonempty");
     let mut part = initial_partition(coarsest, k, options.balance_tolerance);
-    refine_level(coarsest, &problem.rtt_ms, &mut part, k, options.balance_tolerance, options.refine_rounds);
+    refine_level(
+        coarsest,
+        &problem.rtt_ms,
+        &mut part,
+        k,
+        options.balance_tolerance,
+        options.refine_rounds,
+    );
 
     // Project back down the hierarchy, refining at each level.
     for idx in (1..hierarchy.len()).rev() {
@@ -283,7 +302,14 @@ pub fn partition(problem: &PlacementProblem, options: &MultilevelOptions) -> Vec
             finer_part[v] = part[map[v]];
         }
         part = finer_part;
-        refine_level(finer, &problem.rtt_ms, &mut part, k, options.balance_tolerance, options.refine_rounds);
+        refine_level(
+            finer,
+            &problem.rtt_ms,
+            &mut part,
+            k,
+            options.balance_tolerance,
+            options.refine_rounds,
+        );
     }
     part.into_iter().map(HostId).collect()
 }
@@ -317,7 +343,11 @@ mod tests {
                 let pinned = if i == 0 { Some(HostId(c % k)) } else { None };
                 let node = g.add(Component {
                     name: format!("c{c}-{i}"),
-                    role: if pinned.is_some() { Role::Database } else { Role::Stateless },
+                    role: if pinned.is_some() {
+                        Role::Database
+                    } else {
+                        Role::Stateless
+                    },
                     pinned,
                     cpu_ms_per_call: 1.0,
                     write_rate: 0.0,
@@ -343,7 +373,12 @@ mod tests {
         let rtt = (0..k)
             .map(|i| (0..k).map(|j| if i == j { 0.0 } else { 200.0 }).collect())
             .collect();
-        PlacementProblem { hosts, rtt_ms: rtt, graph: g, params: CostParams::default() }
+        PlacementProblem {
+            hosts,
+            rtt_ms: rtt,
+            graph: g,
+            params: CostParams::default(),
+        }
     }
 
     #[test]
@@ -375,7 +410,12 @@ mod tests {
         let ml = solve(&p, &MultilevelOptions::default());
         let naive = Placement::all_on(&p, HostId(0));
         // repair_pins scatters only the pinned heads; the chains then cross.
-        assert!(cost(&p, &ml) < cost(&p, &naive), "{} vs {}", cost(&p, &ml), cost(&p, &naive));
+        assert!(
+            cost(&p, &ml) < cost(&p, &naive),
+            "{} vs {}",
+            cost(&p, &ml),
+            cost(&p, &naive)
+        );
     }
 
     #[test]
@@ -392,8 +432,16 @@ mod tests {
         }
         let p = PlacementProblem {
             hosts: vec![
-                Host { name: "h0".into(), entry_share: 1.0, cpu_capacity: f64::INFINITY },
-                Host { name: "h1".into(), entry_share: 0.0, cpu_capacity: f64::INFINITY },
+                Host {
+                    name: "h0".into(),
+                    entry_share: 1.0,
+                    cpu_capacity: f64::INFINITY,
+                },
+                Host {
+                    name: "h1".into(),
+                    entry_share: 0.0,
+                    cpu_capacity: f64::INFINITY,
+                },
             ],
             rtt_ms: vec![vec![0.0, 100.0], vec![100.0, 0.0]],
             graph: g,
@@ -406,7 +454,10 @@ mod tests {
     #[test]
     fn balance_tolerance_limits_part_sizes() {
         let p = chained_clusters(4, 4, 2);
-        let options = MultilevelOptions { balance_tolerance: 0.6, ..Default::default() };
+        let options = MultilevelOptions {
+            balance_tolerance: 0.6,
+            ..Default::default()
+        };
         let assignment = partition(&p, &options);
         let mut counts = [0usize; 2];
         for a in &assignment {

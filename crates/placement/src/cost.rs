@@ -9,8 +9,6 @@
 //! (façade granularity), replicate read-mostly state at the edges, keep
 //! writers next to the database.
 
-use petgraph::visit::EdgeRef;
-
 use crate::graph::{HostId, Placement, PlacementProblem, Role};
 
 /// A cost breakdown for reporting and debugging.
@@ -159,12 +157,23 @@ mod tests {
         g.interact(entity, db, 10.0, 0.0);
         PlacementProblem {
             hosts: vec![
-                Host { name: "main".into(), entry_share: 0.5, cpu_capacity: f64::INFINITY },
-                Host { name: "edge".into(), entry_share: 0.5, cpu_capacity: f64::INFINITY },
+                Host {
+                    name: "main".into(),
+                    entry_share: 0.5,
+                    cpu_capacity: f64::INFINITY,
+                },
+                Host {
+                    name: "edge".into(),
+                    entry_share: 0.5,
+                    cpu_capacity: f64::INFINITY,
+                },
             ],
             rtt_ms: vec![vec![0.0, 200.0], vec![200.0, 0.0]],
             graph: g,
-            params: CostParams { push_bytes: 0.0, ..Default::default() },
+            params: CostParams {
+                push_bytes: 0.0,
+                ..Default::default()
+            },
         }
     }
 

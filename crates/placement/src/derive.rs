@@ -20,9 +20,21 @@ use crate::graph::{Component, ComponentGraph, CostParams, Host, HostId, Placemen
 /// of the clients) plus two edges.
 pub fn paper_hosts() -> (Vec<Host>, Vec<Vec<f64>>) {
     let hosts = vec![
-        Host { name: "main".into(), entry_share: 1.0 / 3.0, cpu_capacity: f64::INFINITY },
-        Host { name: "edge1".into(), entry_share: 1.0 / 3.0, cpu_capacity: f64::INFINITY },
-        Host { name: "edge2".into(), entry_share: 1.0 / 3.0, cpu_capacity: f64::INFINITY },
+        Host {
+            name: "main".into(),
+            entry_share: 1.0 / 3.0,
+            cpu_capacity: f64::INFINITY,
+        },
+        Host {
+            name: "edge1".into(),
+            entry_share: 1.0 / 3.0,
+            cpu_capacity: f64::INFINITY,
+        },
+        Host {
+            name: "edge2".into(),
+            entry_share: 1.0 / 3.0,
+            cpu_capacity: f64::INFINITY,
+        },
     ];
     let rtt = vec![
         vec![0.0, 200.8, 200.8],
@@ -54,7 +66,11 @@ struct NodeStats {
 
 impl<'a> Accumulator<'a> {
     fn new(registry: &'a ComponentRegistry) -> Self {
-        Accumulator { registry, nodes: HashMap::new(), edges: HashMap::new() }
+        Accumulator {
+            registry,
+            nodes: HashMap::new(),
+            edges: HashMap::new(),
+        }
     }
 
     fn walk_page(&mut self, page: &PageRequest, rate: f64) {
@@ -121,11 +137,17 @@ impl<'a> Accumulator<'a> {
                 match spec.kind {
                     ComponentKind::Web => Role::Entry,
                     ComponentKind::StatefulSession => Role::Session,
-                    ComponentKind::StatelessSession | ComponentKind::MessageDriven => Role::Stateless,
+                    ComponentKind::StatelessSession | ComponentKind::MessageDriven => {
+                        Role::Stateless
+                    }
                     ComponentKind::Entity => Role::Entity,
                 }
             };
-            let pinned = if role == Role::Database { Some(HostId(0)) } else { None };
+            let pinned = if role == Role::Database {
+                Some(HostId(0))
+            } else {
+                None
+            };
             let node = graph.add(Component {
                 name: spec.name.clone(),
                 role,
@@ -139,7 +161,11 @@ impl<'a> Accumulator<'a> {
             let (Some(&f), Some(&t)) = (index.get(&from), index.get(&to)) else {
                 continue;
             };
-            let bytes = if rate > 0.0 { weighted_bytes / rate } else { 0.0 };
+            let bytes = if rate > 0.0 {
+                weighted_bytes / rate
+            } else {
+                0.0
+            };
             if write {
                 graph.interact_write(f, t, rate, bytes);
             } else {
@@ -189,7 +215,9 @@ fn petstore_page_rates() -> Vec<(PsPage, f64)> {
 /// the paper's load.
 pub fn petstore_problem() -> (PlacementProblem, PetStore) {
     let (app, registry, _db) = App::petstore(true);
-    let App::PetStore(ps) = app else { unreachable!() };
+    let App::PetStore(ps) = app else {
+        unreachable!()
+    };
     let mut acc = Accumulator::new(&registry);
     let product = ps.shape.products(0)[0];
     let params = PsParams {
@@ -205,7 +233,11 @@ pub fn petstore_problem() -> (PlacementProblem, PetStore) {
     }
     // Security/transaction-critical entities stay at the main server
     // (the paper never replicates SignOn, Order or Account).
-    let pinned = vec![ps.components.signon, ps.components.order, ps.components.account];
+    let pinned = vec![
+        ps.components.signon,
+        ps.components.order,
+        ps.components.account,
+    ];
     let problem = acc.into_problem(1.65, &pinned, "oracle");
     (problem, ps)
 }
@@ -228,7 +260,9 @@ fn rubis_page_rates() -> Vec<(RubisPage, f64)> {
 /// Derives the RUBiS placement problem under the paper's load.
 pub fn rubis_problem() -> (PlacementProblem, Rubis) {
     let (app, registry, _db) = App::rubis();
-    let App::Rubis(rubis) = app else { unreachable!() };
+    let App::Rubis(rubis) = app else {
+        unreachable!()
+    };
     let mut acc = Accumulator::new(&registry);
     let params = RubisParams {
         category: rubis.shape.categories[0],
@@ -282,17 +316,23 @@ mod tests {
     fn optimizer_recovers_the_papers_petstore_deployment() {
         let (p, ps) = petstore_problem();
         let (placement, c) = solve(&p, &GreedyOptions::default());
-        assert!(c < cost(&p, &Placement::all_on(&p, HostId(0))), "optimization helps");
+        assert!(
+            c < cost(&p, &Placement::all_on(&p, HostId(0))),
+            "optimization helps"
+        );
 
         let at_edges = |name: &str| -> bool {
             let node = p.graph.by_name(name).unwrap();
             let idx = node.index();
-            [HostId(1), HostId(2)].iter().all(|h| {
-                placement.primary[idx] == *h || placement.replicas[idx].contains(h)
-            })
+            [HostId(1), HostId(2)]
+                .iter()
+                .all(|h| placement.primary[idx] == *h || placement.replicas[idx].contains(h))
         };
         // The paper's §4.3–§4.5 deployment:
-        assert!(at_edges("ShoppingCart"), "stateful session beans on the edges");
+        assert!(
+            at_edges("ShoppingCart"),
+            "stateful session beans on the edges"
+        );
         assert!(at_edges("ShoppingClientController"));
         assert!(at_edges("Catalog"), "catalog facade on the edges");
         assert!(at_edges("ItemEJB"), "read-only item replicas");
@@ -301,7 +341,10 @@ mod tests {
         for name in ["SignOnEJB", "OrderEJB", "AccountEJB", "oracle"] {
             let node = p.graph.by_name(name).unwrap();
             assert_eq!(placement.primary[node.index()], HostId(0), "{name} at main");
-            assert!(placement.replicas[node.index()].is_empty(), "{name} unreplicated");
+            assert!(
+                placement.replicas[node.index()].is_empty(),
+                "{name} unreplicated"
+            );
         }
         let _ = ps;
     }
@@ -313,9 +356,9 @@ mod tests {
         let at_edges = |name: &str| -> bool {
             let node = p.graph.by_name(name).unwrap();
             let idx = node.index();
-            [HostId(1), HostId(2)].iter().all(|h| {
-                placement.primary[idx] == *h || placement.replicas[idx].contains(h)
-            })
+            [HostId(1), HostId(2)]
+                .iter()
+                .all(|h| placement.primary[idx] == *h || placement.replicas[idx].contains(h))
         };
         assert!(at_edges("SB_ViewItem"), "read facades on the edges");
         assert!(at_edges("ItemEJB"), "read-only item replicas");

@@ -108,7 +108,13 @@ impl ComponentGraph {
     }
 
     /// Adds (or accumulates onto) a read-path interaction edge.
-    pub fn interact(&mut self, from: NodeIndex, to: NodeIndex, calls_per_sec: f64, bytes_per_call: f64) {
+    pub fn interact(
+        &mut self,
+        from: NodeIndex,
+        to: NodeIndex,
+        calls_per_sec: f64,
+        bytes_per_call: f64,
+    ) {
         self.interact_kind(from, to, calls_per_sec, bytes_per_call, false);
     }
 
@@ -131,7 +137,6 @@ impl ComponentGraph {
         bytes_per_call: f64,
         write_path: bool,
     ) {
-        use petgraph::visit::EdgeRef;
         let existing = self
             .graph
             .edges_connecting(from, to)
@@ -146,8 +151,15 @@ impl ComponentGraph {
             }
             w.calls_per_sec = total;
         } else {
-            self.graph
-                .add_edge(from, to, Interaction { calls_per_sec, bytes_per_call, write_path });
+            self.graph.add_edge(
+                from,
+                to,
+                Interaction {
+                    calls_per_sec,
+                    bytes_per_call,
+                    write_path,
+                },
+            );
         }
     }
 
@@ -163,7 +175,9 @@ impl ComponentGraph {
 
     /// Looks a component up by name.
     pub fn by_name(&self, name: &str) -> Option<NodeIndex> {
-        self.graph.node_indices().find(|&i| self.graph[i].name == name)
+        self.graph
+            .node_indices()
+            .find(|&i| self.graph[i].name == name)
     }
 
     /// Aggregate invocation rate into `node` (reads, roughly).
@@ -289,7 +303,10 @@ impl Placement {
     /// Places every component on `host` with no replicas.
     pub fn all_on(problem: &PlacementProblem, host: HostId) -> Placement {
         let n = problem.graph.len();
-        let mut p = Placement { primary: vec![host; n], replicas: vec![BTreeSet::new(); n] };
+        let mut p = Placement {
+            primary: vec![host; n],
+            replicas: vec![BTreeSet::new(); n],
+        };
         p.repair_pins(problem);
         p
     }
@@ -361,8 +378,16 @@ mod tests {
         g.interact(svc, db, 10.0, 300.0);
         let problem = PlacementProblem {
             hosts: vec![
-                Host { name: "main".into(), entry_share: 0.4, cpu_capacity: f64::INFINITY },
-                Host { name: "edge".into(), entry_share: 0.6, cpu_capacity: f64::INFINITY },
+                Host {
+                    name: "main".into(),
+                    entry_share: 0.4,
+                    cpu_capacity: f64::INFINITY,
+                },
+                Host {
+                    name: "edge".into(),
+                    entry_share: 0.6,
+                    cpu_capacity: f64::INFINITY,
+                },
             ],
             rtt_ms: vec![vec![0.0, 200.0], vec![200.0, 0.0]],
             graph: g,

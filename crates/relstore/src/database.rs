@@ -192,19 +192,23 @@ impl DatabaseBuilder {
     ///
     /// Panics on duplicate table names.
     pub fn table(&mut self, name: &str, columns: &[&str], row_bytes: u64) -> TableId {
-        assert!(
-            !self.by_name.contains_key(name),
-            "duplicate table {name}"
-        );
+        assert!(!self.by_name.contains_key(name), "duplicate table {name}");
         let defs = columns
             .iter()
             .map(|c| match c.strip_prefix('*') {
-                Some(rest) => ColumnDef { name: rest.to_string(), indexed: true },
-                None => ColumnDef { name: c.to_string(), indexed: false },
+                Some(rest) => ColumnDef {
+                    name: rest.to_string(),
+                    indexed: true,
+                },
+                None => ColumnDef {
+                    name: c.to_string(),
+                    indexed: false,
+                },
             })
             .collect();
         let id = TableId(self.tables.len());
-        self.tables.push(Table::new(name.to_string(), defs, row_bytes));
+        self.tables
+            .push(Table::new(name.to_string(), defs, row_bytes));
         self.by_name.insert(name.to_string(), id);
         id
     }
@@ -266,29 +270,25 @@ impl Database {
     pub fn execute(&self, query: &Query) -> QueryOutcome {
         let table = self.table(query.table());
         let (rows, scanned) = match query {
-            Query::ByPk { id, .. } => {
-                (table.get(*id).map(|_| vec![*id]).unwrap_or_default(), 0)
-            }
+            Query::ByPk { id, .. } => (table.get(*id).map(|_| vec![*id]).unwrap_or_default(), 0),
             Query::Eq { column, value, .. } => {
-                let indexed = table
-                    .columns()
-                    .get(*column)
-                    .map(|c| c.indexed)
-                    .unwrap_or(false);
+                let indexed = table.columns().get(*column).is_some_and(|c| c.indexed);
                 let rows = table.find_eq(*column, value);
                 let scanned = if indexed { 0 } else { table.len() };
                 (rows, scanned)
             }
-            Query::Like { column, needle, .. } => {
-                (table.find_like(*column, needle), table.len())
-            }
+            Query::Like { column, needle, .. } => (table.find_like(*column, needle), table.len()),
             Query::All { .. } => (table.all_ids(), 0),
         };
         let returned = rows.len() as u64;
         let cpu = self.cost.statement_base
             + self.cost.per_row_returned * returned
             + self.cost.per_row_scanned * scanned as u64;
-        QueryOutcome { bytes: returned * table.row_bytes(), rows, cpu }
+        QueryOutcome {
+            bytes: returned * table.row_bytes(),
+            rows,
+            cpu,
+        }
     }
 
     /// Applies a mutation and describes its effect.
@@ -297,9 +297,21 @@ impl Database {
         match mutation {
             Mutation::Insert { table, values } => {
                 let id = self.tables[table.0].insert(values.clone());
-                MutationEffect { table, row: id, after: Some(values), changed: None, cpu, applied: true }
+                MutationEffect {
+                    table,
+                    row: id,
+                    after: Some(values),
+                    changed: None,
+                    cpu,
+                    applied: true,
+                }
             }
-            Mutation::Update { table, id, column, value } => {
+            Mutation::Update {
+                table,
+                id,
+                column,
+                value,
+            } => {
                 let old = self.tables[table.0].update(id, column, value);
                 let applied = old.is_some();
                 let after = self.tables[table.0].get(id).map(<[Value]>::to_vec);
@@ -348,7 +360,10 @@ mod tests {
     #[test]
     fn pk_query_returns_single_row() {
         let (db, items) = db();
-        let out = db.execute(&Query::ByPk { table: items, id: RowId(3) });
+        let out = db.execute(&Query::ByPk {
+            table: items,
+            id: RowId(3),
+        });
         assert_eq!(out.rows, vec![RowId(3)]);
         assert_eq!(out.bytes, 250);
         assert_eq!(out.cpu, SimDuration::from_micros(1_530));
@@ -357,7 +372,10 @@ mod tests {
     #[test]
     fn pk_miss_is_empty_but_costs_the_statement() {
         let (db, items) = db();
-        let out = db.execute(&Query::ByPk { table: items, id: RowId(99) });
+        let out = db.execute(&Query::ByPk {
+            table: items,
+            id: RowId(99),
+        });
         assert!(out.rows.is_empty());
         assert_eq!(out.bytes, 0);
         assert_eq!(out.cpu, SimDuration::from_micros(1_500));
@@ -366,7 +384,11 @@ mod tests {
     #[test]
     fn indexed_eq_does_not_scan() {
         let (db, items) = db();
-        let out = db.execute(&Query::Eq { table: items, column: 1, value: Value::Int(0) });
+        let out = db.execute(&Query::Eq {
+            table: items,
+            column: 1,
+            value: Value::Int(0),
+        });
         assert_eq!(out.row_count(), 3);
         // base + 3 returned, no scan charge.
         assert_eq!(out.cpu, SimDuration::from_micros(1_500 + 90));
@@ -375,7 +397,11 @@ mod tests {
     #[test]
     fn unindexed_eq_scans_the_table() {
         let (db, items) = db();
-        let out = db.execute(&Query::Eq { table: items, column: 2, value: Value::Int(103) });
+        let out = db.execute(&Query::Eq {
+            table: items,
+            column: 2,
+            value: Value::Int(103),
+        });
         assert_eq!(out.row_count(), 1);
         assert_eq!(out.cpu, SimDuration::from_micros(1_500 + 30 + 6 * 5));
     }
@@ -383,9 +409,17 @@ mod tests {
     #[test]
     fn like_scans_and_matches() {
         let (db, items) = db();
-        let out = db.execute(&Query::Like { table: items, column: 0, needle: "ITEM-".into() });
+        let out = db.execute(&Query::Like {
+            table: items,
+            column: 0,
+            needle: "ITEM-".into(),
+        });
         assert_eq!(out.row_count(), 6);
-        let out2 = db.execute(&Query::Like { table: items, column: 0, needle: "item-5".into() });
+        let out2 = db.execute(&Query::Like {
+            table: items,
+            column: 0,
+            needle: "item-5".into(),
+        });
         assert_eq!(out2.rows, vec![RowId(6)]);
     }
 
@@ -411,7 +445,12 @@ mod tests {
     #[test]
     fn update_effect_records_old_value() {
         let (mut db, items) = db();
-        let e = db.mutate(Mutation::Update { table: items, id: RowId(1), column: 2, value: Value::Int(999) });
+        let e = db.mutate(Mutation::Update {
+            table: items,
+            id: RowId(1),
+            column: 2,
+            value: Value::Int(999),
+        });
         assert!(e.applied);
         assert_eq!(e.changed, Some((2, Value::Int(100))));
         assert_eq!(e.after.as_ref().unwrap()[2], Value::Int(999));
@@ -420,18 +459,35 @@ mod tests {
     #[test]
     fn missing_update_and_delete_are_unapplied() {
         let (mut db, items) = db();
-        let e = db.mutate(Mutation::Update { table: items, id: RowId(50), column: 0, value: Value::Int(0) });
+        let e = db.mutate(Mutation::Update {
+            table: items,
+            id: RowId(50),
+            column: 0,
+            value: Value::Int(0),
+        });
         assert!(!e.applied);
-        let e = db.mutate(Mutation::Delete { table: items, id: RowId(50) });
+        let e = db.mutate(Mutation::Delete {
+            table: items,
+            id: RowId(50),
+        });
         assert!(!e.applied);
     }
 
     #[test]
     fn delete_then_query_misses() {
         let (mut db, items) = db();
-        let e = db.mutate(Mutation::Delete { table: items, id: RowId(2) });
+        let e = db.mutate(Mutation::Delete {
+            table: items,
+            id: RowId(2),
+        });
         assert!(e.applied);
-        assert!(db.execute(&Query::ByPk { table: items, id: RowId(2) }).rows.is_empty());
+        assert!(db
+            .execute(&Query::ByPk {
+                table: items,
+                id: RowId(2)
+            })
+            .rows
+            .is_empty());
     }
 
     #[test]

@@ -59,7 +59,9 @@ mod tests {
         let inv = b.table("inventory", &["*item", "qty"], 40);
         let mut db = b.build();
         for i in 0..4i64 {
-            let id = db.table_mut(item).insert(vec![format!("i{i}").into(), Value::Int(i % 2)]);
+            let id = db
+                .table_mut(item)
+                .insert(vec![format!("i{i}").into(), Value::Int(i % 2)]);
             db.table_mut(inv).insert(vec![id.into(), Value::Int(100)]);
         }
         (db, item, inv)
@@ -68,18 +70,38 @@ mod tests {
     #[test]
     fn cross_table_writes_never_invalidate() {
         let (mut db, item, inv) = setup();
-        let products_q = Query::Eq { table: item, column: 1, value: Value::Int(0) };
+        let products_q = Query::Eq {
+            table: item,
+            column: 1,
+            value: Value::Int(0),
+        };
         // Decrement inventory: must not invalidate an item query.
-        let e = db.mutate(Mutation::Update { table: inv, id: RowId(1), column: 1, value: Value::Int(99) });
+        let e = db.mutate(Mutation::Update {
+            table: inv,
+            id: RowId(1),
+            column: 1,
+            value: Value::Int(99),
+        });
         assert!(!affects(&e, &products_q));
     }
 
     #[test]
     fn matching_insert_invalidates_eq() {
         let (mut db, item, _) = setup();
-        let q0 = Query::Eq { table: item, column: 1, value: Value::Int(0) };
-        let q1 = Query::Eq { table: item, column: 1, value: Value::Int(1) };
-        let e = db.mutate(Mutation::Insert { table: item, values: vec!["new".into(), Value::Int(0)] });
+        let q0 = Query::Eq {
+            table: item,
+            column: 1,
+            value: Value::Int(0),
+        };
+        let q1 = Query::Eq {
+            table: item,
+            column: 1,
+            value: Value::Int(1),
+        };
+        let e = db.mutate(Mutation::Insert {
+            table: item,
+            values: vec!["new".into(), Value::Int(0)],
+        });
         assert!(affects(&e, &q0));
         assert!(!affects(&e, &q1));
     }
@@ -87,11 +109,28 @@ mod tests {
     #[test]
     fn update_invalidates_old_and_new_groups() {
         let (mut db, item, _) = setup();
-        let q0 = Query::Eq { table: item, column: 1, value: Value::Int(0) };
-        let q1 = Query::Eq { table: item, column: 1, value: Value::Int(1) };
-        let q2 = Query::Eq { table: item, column: 1, value: Value::Int(2) };
+        let q0 = Query::Eq {
+            table: item,
+            column: 1,
+            value: Value::Int(0),
+        };
+        let q1 = Query::Eq {
+            table: item,
+            column: 1,
+            value: Value::Int(1),
+        };
+        let q2 = Query::Eq {
+            table: item,
+            column: 1,
+            value: Value::Int(2),
+        };
         // Move row 1 from product 0 to product 2.
-        let e = db.mutate(Mutation::Update { table: item, id: RowId(1), column: 1, value: Value::Int(2) });
+        let e = db.mutate(Mutation::Update {
+            table: item,
+            id: RowId(1),
+            column: 1,
+            value: Value::Int(2),
+        });
         assert!(affects(&e, &q0), "old group loses a row");
         assert!(affects(&e, &q2), "new group gains a row");
         assert!(!affects(&e, &q1), "unrelated group untouched");
@@ -100,10 +139,23 @@ mod tests {
     #[test]
     fn update_of_other_column_invalidates_current_group_only() {
         let (mut db, item, _) = setup();
-        let q0 = Query::Eq { table: item, column: 1, value: Value::Int(0) };
-        let q1 = Query::Eq { table: item, column: 1, value: Value::Int(1) };
+        let q0 = Query::Eq {
+            table: item,
+            column: 1,
+            value: Value::Int(0),
+        };
+        let q1 = Query::Eq {
+            table: item,
+            column: 1,
+            value: Value::Int(1),
+        };
         // Rename row 2 (product 1): content change inside group 1.
-        let e = db.mutate(Mutation::Update { table: item, id: RowId(2), column: 0, value: "renamed".into() });
+        let e = db.mutate(Mutation::Update {
+            table: item,
+            id: RowId(2),
+            column: 0,
+            value: "renamed".into(),
+        });
         assert!(affects(&e, &q1));
         assert!(!affects(&e, &q0));
     }
@@ -111,9 +163,22 @@ mod tests {
     #[test]
     fn pk_query_invalidated_by_its_row_only() {
         let (mut db, _, inv) = setup();
-        let q = Query::ByPk { table: inv, id: RowId(2) };
-        let hit = db.mutate(Mutation::Update { table: inv, id: RowId(2), column: 1, value: Value::Int(0) });
-        let miss = db.mutate(Mutation::Update { table: inv, id: RowId(3), column: 1, value: Value::Int(0) });
+        let q = Query::ByPk {
+            table: inv,
+            id: RowId(2),
+        };
+        let hit = db.mutate(Mutation::Update {
+            table: inv,
+            id: RowId(2),
+            column: 1,
+            value: Value::Int(0),
+        });
+        let miss = db.mutate(Mutation::Update {
+            table: inv,
+            id: RowId(3),
+            column: 1,
+            value: Value::Int(0),
+        });
         assert!(affects(&hit, &q));
         assert!(!affects(&miss, &q));
     }
@@ -121,9 +186,18 @@ mod tests {
     #[test]
     fn like_and_all_are_conservatively_invalidated() {
         let (mut db, item, _) = setup();
-        let like = Query::Like { table: item, column: 0, needle: "i".into() };
+        let like = Query::Like {
+            table: item,
+            column: 0,
+            needle: "i".into(),
+        };
         let all = Query::All { table: item };
-        let e = db.mutate(Mutation::Update { table: item, id: RowId(1), column: 0, value: "x".into() });
+        let e = db.mutate(Mutation::Update {
+            table: item,
+            id: RowId(1),
+            column: 0,
+            value: "x".into(),
+        });
         assert!(affects(&e, &like));
         assert!(affects(&e, &all));
     }
@@ -132,15 +206,25 @@ mod tests {
     fn unapplied_mutations_never_invalidate() {
         let (mut db, item, _) = setup();
         let q = Query::All { table: item };
-        let e = db.mutate(Mutation::Delete { table: item, id: RowId(99) });
+        let e = db.mutate(Mutation::Delete {
+            table: item,
+            id: RowId(99),
+        });
         assert!(!affects(&e, &q));
     }
 
     #[test]
     fn delete_invalidates_eq_conservatively() {
         let (mut db, item, _) = setup();
-        let q0 = Query::Eq { table: item, column: 1, value: Value::Int(0) };
-        let e = db.mutate(Mutation::Delete { table: item, id: RowId(1) });
+        let q0 = Query::Eq {
+            table: item,
+            column: 1,
+            value: Value::Int(0),
+        };
+        let e = db.mutate(Mutation::Delete {
+            table: item,
+            id: RowId(1),
+        });
         assert!(affects(&e, &q0));
     }
 }

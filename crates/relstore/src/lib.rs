@@ -37,7 +37,9 @@ pub mod invalidation;
 pub mod table;
 pub mod value;
 
-pub use database::{CostModel, Database, DatabaseBuilder, Mutation, MutationEffect, Query, QueryOutcome};
+pub use database::{
+    CostModel, Database, DatabaseBuilder, Mutation, MutationEffect, Query, QueryOutcome,
+};
 pub use invalidation::affects;
 pub use table::{ColumnDef, Table, TableId};
 pub use value::{RowId, Value};

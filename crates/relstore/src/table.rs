@@ -47,7 +47,14 @@ impl Table {
             .filter(|(_, c)| c.indexed)
             .map(|(i, _)| (i, HashMap::new()))
             .collect();
-        Table { name, columns, row_bytes, rows: HashMap::new(), indexes, next_id: 1 }
+        Table {
+            name,
+            columns,
+            row_bytes,
+            rows: HashMap::new(),
+            indexes,
+            next_id: 1,
+        }
     }
 
     /// Table name.
@@ -119,7 +126,11 @@ impl Table {
     /// Panics if `column` is out of range for an existing row.
     pub fn update(&mut self, id: RowId, column: usize, value: Value) -> Option<Value> {
         let row = self.rows.get_mut(&id)?;
-        assert!(column < row.len(), "column {column} out of range in {}", self.name);
+        assert!(
+            column < row.len(),
+            "column {column} out of range in {}",
+            self.name
+        );
         let old = std::mem::replace(&mut row[column], value.clone());
         if let Some(index) = self.indexes.get_mut(&column) {
             if let Some(ids) = index.get_mut(&old) {
@@ -197,8 +208,14 @@ mod tests {
         let mut t = Table::new(
             "person".into(),
             vec![
-                ColumnDef { name: "name".into(), indexed: false },
-                ColumnDef { name: "city".into(), indexed: true },
+                ColumnDef {
+                    name: "name".into(),
+                    indexed: false,
+                },
+                ColumnDef {
+                    name: "city".into(),
+                    indexed: true,
+                },
             ],
             64,
         );

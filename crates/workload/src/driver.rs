@@ -14,8 +14,8 @@ use mutsvc_desim::rng::SimRng;
 use mutsvc_desim::sim::{Context, Simulation};
 use mutsvc_desim::time::SimTime;
 use mutsvc_middleware::{
-    Binder, BindStats, ComponentRegistry, ContainerCosts, ContainerState, DeploymentDescriptor,
-    DeferredApply,
+    BindStats, Binder, ComponentRegistry, ContainerCosts, ContainerState, DeferredApply,
+    DeploymentDescriptor,
 };
 use mutsvc_netsim::{spawn_job, JobWorld, Network, ProtocolParams, Topology};
 use mutsvc_relstore::Database;
@@ -277,12 +277,15 @@ pub fn run_experiment(input: ExperimentInput) -> ExperimentReport {
     // Failure injection.
     for p in sim.world().spec.perturbations.clone() {
         let action = p.action.clone();
-        sim.schedule_at(SimTime::ZERO + p.at, move |w: &mut World, _| match &action {
-            crate::spec::NetAction::ScaleWanLatency { threshold, factor } => {
-                w.net.scale_latencies_above(*threshold, *factor);
-            }
-            crate::spec::NetAction::Restore => w.net.clear_latency_overrides(),
-        });
+        sim.schedule_at(
+            SimTime::ZERO + p.at,
+            move |w: &mut World, _| match &action {
+                crate::spec::NetAction::ScaleWanLatency { threshold, factor } => {
+                    w.net.scale_latencies_above(*threshold, *factor);
+                }
+                crate::spec::NetAction::Restore => w.net.clear_latency_overrides(),
+            },
+        );
     }
 
     sim.run_until(horizon);
@@ -292,7 +295,12 @@ pub fn run_experiment(input: ExperimentInput) -> ExperimentReport {
         .net
         .topology()
         .node_ids()
-        .map(|n| (world.net.topology().node(n).name.clone(), world.net.cpu_utilization(n, horizon)))
+        .map(|n| {
+            (
+                world.net.topology().node(n).name.clone(),
+                world.net.cpu_utilization(n, horizon),
+            )
+        })
         .collect();
 
     ExperimentReport {
@@ -385,7 +393,11 @@ mod tests {
         // fixed because delays are soft (measured request count unchanged).
         let report = run_experiment(small_input(8));
         let sessions_expected = 56 + 14; // per group
-        assert!(report.completed as f64 > 0.9 * 20.0 * 120.0, "{}", report.completed);
+        assert!(
+            report.completed as f64 > 0.9 * 20.0 * 120.0,
+            "{}",
+            report.completed
+        );
         let _ = sessions_expected;
     }
 
@@ -435,9 +447,18 @@ mod tests {
             },
         );
         let degraded = run_experiment(degraded_input);
-        let base = baseline.stats.mean_ms("remote1", "Browser", "Item").unwrap();
-        let slow = degraded.stats.mean_ms("remote1", "Browser", "Item").unwrap();
-        assert!(slow > base + 300.0, "degraded {slow:.0} vs baseline {base:.0}");
+        let base = baseline
+            .stats
+            .mean_ms("remote1", "Browser", "Item")
+            .unwrap();
+        let slow = degraded
+            .stats
+            .mean_ms("remote1", "Browser", "Item")
+            .unwrap();
+        assert!(
+            slow > base + 300.0,
+            "degraded {slow:.0} vs baseline {base:.0}"
+        );
         // Local clients are unaffected.
         let base_local = baseline.stats.mean_ms("local", "Browser", "Item").unwrap();
         let slow_local = degraded.stats.mean_ms("local", "Browser", "Item").unwrap();
@@ -464,11 +485,20 @@ mod tests {
         let healed = run_experiment(input);
         let baseline = run_experiment(small_input(22));
         let healed_mean = healed.stats.mean_ms("remote1", "Browser", "Item").unwrap();
-        let base_mean = baseline.stats.mean_ms("remote1", "Browser", "Item").unwrap();
+        let base_mean = baseline
+            .stats
+            .mean_ms("remote1", "Browser", "Item")
+            .unwrap();
         // Roughly half the window is degraded (+400ms): the mean sits
         // strictly between the healthy and fully-degraded levels.
-        assert!(healed_mean > base_mean + 100.0, "{healed_mean:.0} vs {base_mean:.0}");
-        assert!(healed_mean < base_mean + 700.0, "{healed_mean:.0} vs {base_mean:.0}");
+        assert!(
+            healed_mean > base_mean + 100.0,
+            "{healed_mean:.0} vs {base_mean:.0}"
+        );
+        assert!(
+            healed_mean < base_mean + 700.0,
+            "{healed_mean:.0} vs {base_mean:.0}"
+        );
     }
 
     #[test]

@@ -112,7 +112,10 @@ impl WorkloadSpec {
 
     /// Aggregate offered load in requests/second.
     pub fn total_rate(&self) -> f64 {
-        self.groups.iter().map(|g| g.browser_rate + g.transactional_rate).sum()
+        self.groups
+            .iter()
+            .map(|g| g.browser_rate + g.transactional_rate)
+            .sum()
     }
 }
 
@@ -130,7 +133,11 @@ pub fn paper_groups(
         browser_rate: 8.0,
         transactional_rate: 2.0,
     };
-    vec![mk("local", local), mk("remote1", remote1), mk("remote2", remote2)]
+    vec![
+        mk("local", local),
+        mk("remote1", remote1),
+        mk("remote2", remote2),
+    ]
 }
 
 #[cfg(test)]
@@ -150,7 +157,8 @@ mod tests {
         assert_eq!(spec.sessions_for_rate(8.0), 56);
         assert_eq!(spec.sessions_for_rate(2.0), 14);
         assert_eq!(spec.horizon().as_secs_f64(), 3_720.0);
-        let browser_share: f64 = spec.groups.iter().map(|g| g.browser_rate).sum::<f64>() / spec.total_rate();
+        let browser_share: f64 =
+            spec.groups.iter().map(|g| g.browser_rate).sum::<f64>() / spec.total_rate();
         assert!((browser_share - 0.8).abs() < 1e-9);
     }
 }

@@ -159,10 +159,14 @@ mod tests {
         s.record("remote1", "Browser", "Item", ms(100));
         s.record("remote1", "Browser", "Item", ms(100));
         s.record("remote2", "Browser", "Item", ms(400));
-        let m = s.mean_ms_over_groups(&["remote1", "remote2"], "Browser", "Item").unwrap();
+        let m = s
+            .mean_ms_over_groups(&["remote1", "remote2"], "Browser", "Item")
+            .unwrap();
         assert!((m - 200.0).abs() < 1e-9);
         assert_eq!(s.mean_ms_over_groups(&["nope"], "Browser", "Item"), None);
-        let sess = s.session_mean_over_groups(&["remote1", "remote2"], "Browser").unwrap();
+        let sess = s
+            .session_mean_over_groups(&["remote1", "remote2"], "Browser")
+            .unwrap();
         assert!((sess - 200.0).abs() < 1e-9);
     }
 
@@ -172,6 +176,9 @@ mod tests {
         s.record("local", "Buyer", "Commit", ms(1));
         s.record("local", "Buyer", "Cart", ms(1));
         s.record("local", "Browser", "Item", ms(1));
-        assert_eq!(s.pages_of("Buyer"), vec!["Cart".to_string(), "Commit".to_string()]);
+        assert_eq!(
+            s.pages_of("Buyer"),
+            vec!["Cart".to_string(), "Commit".to_string()]
+        );
     }
 }

@@ -23,7 +23,11 @@ fn main() {
         "{:<18} {:>16} {:>16} {:>10}",
         "configuration", "healthy remote", "degraded remote", "impact"
     );
-    for config in [Config::Centralized, Config::RemoteFacade, Config::QueryCaching] {
+    for config in [
+        Config::Centralized,
+        Config::RemoteFacade,
+        Config::QueryCaching,
+    ] {
         let scenario = Scenario::quick(AppKind::PetStore, config);
         let healthy = scenario.run();
 
@@ -33,13 +37,22 @@ fn main() {
             .spec
             .with_perturbation(
                 horizon.mul_f64(1.0 / 3.0),
-                NetAction::ScaleWanLatency { threshold: SimDuration::from_millis(50), factor: 3.0 },
+                NetAction::ScaleWanLatency {
+                    threshold: SimDuration::from_millis(50),
+                    factor: 3.0,
+                },
             )
             .with_perturbation(horizon.mul_f64(2.0 / 3.0), NetAction::Restore);
         let degraded = run_experiment(input);
 
-        let h = healthy.stats.session_mean_over_groups(&REMOTE, "Browser").unwrap();
-        let d = degraded.stats.session_mean_over_groups(&REMOTE, "Browser").unwrap();
+        let h = healthy
+            .stats
+            .session_mean_over_groups(&REMOTE, "Browser")
+            .unwrap();
+        let d = degraded
+            .stats
+            .session_mean_over_groups(&REMOTE, "Browser")
+            .unwrap();
         println!(
             "{:<18} {:>14.0}ms {:>14.0}ms {:>9.0}%",
             config.name(),

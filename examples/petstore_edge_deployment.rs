@@ -13,7 +13,11 @@ fn main() {
     let paper_mode = std::env::args().any(|a| a == "--paper");
     eprintln!(
         "running the five Pet Store configurations ({} windows)...",
-        if paper_mode { "paper one-hour" } else { "quick" }
+        if paper_mode {
+            "paper one-hour"
+        } else {
+            "quick"
+        }
     );
     let reports = run_sweep(AppKind::PetStore, !paper_mode, 42);
 

@@ -14,12 +14,24 @@ use mutable_services::placement::{cost, cost_breakdown, HostId, Placement, Place
 fn study(name: &str, problem: &PlacementProblem) {
     println!("== {name}: {} components ==", problem.graph.len());
     let centralized = Placement::all_on(problem, HostId(0));
-    println!("  centralized cost:         {:>8.0} ms/s", cost(problem, &centralized));
+    println!(
+        "  centralized cost:         {:>8.0} ms/s",
+        cost(problem, &centralized)
+    );
 
     let ml = multilevel(problem, &MultilevelOptions::default());
-    println!("  multilevel partitioning:  {:>8.0} ms/s (primaries only)", cost(problem, &ml));
+    println!(
+        "  multilevel partitioning:  {:>8.0} ms/s (primaries only)",
+        cost(problem, &ml)
+    );
 
-    let (placement, c) = greedy(problem, &GreedyOptions { with_replication: false, ..Default::default() });
+    let (placement, c) = greedy(
+        problem,
+        &GreedyOptions {
+            with_replication: false,
+            ..Default::default()
+        },
+    );
     println!("  greedy (no replication):  {:>8.0} ms/s", c);
     drop(placement);
 
@@ -42,7 +54,11 @@ fn study(name: &str, problem: &PlacementProblem) {
         if replicas.is_empty() {
             println!("    {:<26} @ {primary}", comp.name);
         } else {
-            println!("    {:<26} @ {primary} + read-only on {}", comp.name, replicas.join(", "));
+            println!(
+                "    {:<26} @ {primary} + read-only on {}",
+                comp.name,
+                replicas.join(", ")
+            );
         }
     }
     println!();

@@ -8,7 +8,11 @@ use mutable_services::core::{AppKind, Config, Scenario};
 
 fn main() {
     println!("Java Pet Store, Item page, remote clients (quick windows)\n");
-    for config in [Config::Centralized, Config::RemoteFacade, Config::StatefulCaching] {
+    for config in [
+        Config::Centralized,
+        Config::RemoteFacade,
+        Config::StatefulCaching,
+    ] {
         let report = Scenario::quick(AppKind::PetStore, config).run();
         let local = report.stats.mean_ms("local", "Browser", "Item").unwrap();
         let remote = report

@@ -21,11 +21,22 @@ fn main() {
     for config in Config::all() {
         let report = Scenario::quick(AppKind::Rubis, config).run();
         let remote = ["remote1", "remote2"];
-        let store_bid = report.stats.mean_ms_over_groups(&remote, "Bidder", "StoreBid").unwrap();
-        let store_comment =
-            report.stats.mean_ms_over_groups(&remote, "Bidder", "StoreComment").unwrap();
-        let bidder = report.stats.session_mean_over_groups(&remote, "Bidder").unwrap();
-        let browser = report.stats.session_mean_over_groups(&remote, "Browser").unwrap();
+        let store_bid = report
+            .stats
+            .mean_ms_over_groups(&remote, "Bidder", "StoreBid")
+            .unwrap();
+        let store_comment = report
+            .stats
+            .mean_ms_over_groups(&remote, "Bidder", "StoreComment")
+            .unwrap();
+        let bidder = report
+            .stats
+            .session_mean_over_groups(&remote, "Bidder")
+            .unwrap();
+        let browser = report
+            .stats
+            .session_mean_over_groups(&remote, "Browser")
+            .unwrap();
         let staleness = if report.staleness_ms.count() > 0 {
             format!("{:.0} ms", report.staleness_ms.mean())
         } else {

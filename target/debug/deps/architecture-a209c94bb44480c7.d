@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/architecture-a209c94bb44480c7.d: tests/architecture.rs
+
+/root/repo/target/debug/deps/architecture-a209c94bb44480c7: tests/architecture.rs
+
+tests/architecture.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/binder-0c4c046b3d4c2305.d: crates/middleware/tests/binder.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbinder-0c4c046b3d4c2305.rmeta: crates/middleware/tests/binder.rs Cargo.toml
+
+crates/middleware/tests/binder.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/binder-4c8afe165727cb0b.d: crates/middleware/tests/binder.rs
+
+/root/repo/target/debug/deps/binder-4c8afe165727cb0b: crates/middleware/tests/binder.rs
+
+crates/middleware/tests/binder.rs:

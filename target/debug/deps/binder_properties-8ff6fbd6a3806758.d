@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/binder_properties-8ff6fbd6a3806758.d: crates/middleware/tests/binder_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbinder_properties-8ff6fbd6a3806758.rmeta: crates/middleware/tests/binder_properties.rs Cargo.toml
+
+crates/middleware/tests/binder_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

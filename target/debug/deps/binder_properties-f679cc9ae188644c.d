@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/binder_properties-f679cc9ae188644c.d: crates/middleware/tests/binder_properties.rs
+
+/root/repo/target/debug/deps/binder_properties-f679cc9ae188644c: crates/middleware/tests/binder_properties.rs
+
+crates/middleware/tests/binder_properties.rs:

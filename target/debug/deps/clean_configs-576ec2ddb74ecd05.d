@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/clean_configs-576ec2ddb74ecd05.d: crates/analyze/tests/clean_configs.rs
+
+/root/repo/target/debug/deps/clean_configs-576ec2ddb74ecd05: crates/analyze/tests/clean_configs.rs
+
+crates/analyze/tests/clean_configs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/clean_configs-f1af9b749dc70ed4.d: crates/analyze/tests/clean_configs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclean_configs-f1af9b749dc70ed4.rmeta: crates/analyze/tests/clean_configs.rs Cargo.toml
+
+crates/analyze/tests/clean_configs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

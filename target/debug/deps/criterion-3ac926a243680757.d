@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-3ac926a243680757.d: vendored/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-3ac926a243680757.rlib: vendored/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-3ac926a243680757.rmeta: vendored/criterion/src/lib.rs
+
+vendored/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-7b948f4056663d31.d: vendored/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-7b948f4056663d31: vendored/criterion/src/lib.rs
+
+vendored/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-d018db4396060015.d: vendored/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-d018db4396060015.rmeta: vendored/criterion/src/lib.rs Cargo.toml
+
+vendored/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

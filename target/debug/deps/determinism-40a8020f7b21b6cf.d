@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-40a8020f7b21b6cf.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-40a8020f7b21b6cf: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-2d7fe73ec7478635.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-2d7fe73ec7478635: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden-12e46ec2cc5c3feb.d: crates/analyze/tests/golden.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden-12e46ec2cc5c3feb.rmeta: crates/analyze/tests/golden.rs Cargo.toml
+
+crates/analyze/tests/golden.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

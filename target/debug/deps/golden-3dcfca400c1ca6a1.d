@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden-3dcfca400c1ca6a1.d: crates/analyze/tests/golden.rs
+
+/root/repo/target/debug/deps/golden-3dcfca400c1ca6a1: crates/analyze/tests/golden.rs
+
+crates/analyze/tests/golden.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden-e7394e3c7bc77acf.d: crates/analyze/tests/golden.rs
+
+/root/repo/target/debug/deps/golden-e7394e3c7bc77acf: crates/analyze/tests/golden.rs
+
+crates/analyze/tests/golden.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mutable_services-67ff6d6dadbd2e05.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmutable_services-67ff6d6dadbd2e05.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmutable_services-67ff6d6dadbd2e05.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mutable_services-a6e880c115bc5b18.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmutable_services-a6e880c115bc5b18.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

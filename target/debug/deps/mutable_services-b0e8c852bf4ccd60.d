@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mutable_services-b0e8c852bf4ccd60.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmutable_services-b0e8c852bf4ccd60.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mutable_services-e396539f4ab2af53.d: src/lib.rs
+
+/root/repo/target/debug/deps/mutable_services-e396539f4ab2af53: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mutsvc_analyze-0b1184ccef040ae6.d: crates/analyze/src/bin/main.rs
+
+/root/repo/target/debug/deps/mutsvc_analyze-0b1184ccef040ae6: crates/analyze/src/bin/main.rs
+
+crates/analyze/src/bin/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mutsvc_analyze-1acc1abe43c50bc1.d: crates/analyze/src/lib.rs crates/analyze/src/diagnostics.rs crates/analyze/src/walker.rs
+
+/root/repo/target/debug/deps/mutsvc_analyze-1acc1abe43c50bc1: crates/analyze/src/lib.rs crates/analyze/src/diagnostics.rs crates/analyze/src/walker.rs
+
+crates/analyze/src/lib.rs:
+crates/analyze/src/diagnostics.rs:
+crates/analyze/src/walker.rs:

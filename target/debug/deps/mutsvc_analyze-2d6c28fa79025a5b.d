@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mutsvc_analyze-2d6c28fa79025a5b.d: crates/analyze/src/lib.rs crates/analyze/src/diagnostics.rs crates/analyze/src/walker.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmutsvc_analyze-2d6c28fa79025a5b.rmeta: crates/analyze/src/lib.rs crates/analyze/src/diagnostics.rs crates/analyze/src/walker.rs Cargo.toml
+
+crates/analyze/src/lib.rs:
+crates/analyze/src/diagnostics.rs:
+crates/analyze/src/walker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mutsvc_analyze-386bdb3429ee0192.d: crates/analyze/src/lib.rs
+
+/root/repo/target/debug/deps/mutsvc_analyze-386bdb3429ee0192: crates/analyze/src/lib.rs
+
+crates/analyze/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mutsvc_analyze-95d3edb99a0a7d04.d: crates/analyze/src/bin/main.rs
+
+/root/repo/target/debug/deps/mutsvc_analyze-95d3edb99a0a7d04: crates/analyze/src/bin/main.rs
+
+crates/analyze/src/bin/main.rs:

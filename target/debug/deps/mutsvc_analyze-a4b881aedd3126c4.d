@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mutsvc_analyze-a4b881aedd3126c4.d: crates/analyze/src/lib.rs crates/analyze/src/diagnostics.rs crates/analyze/src/walker.rs
+
+/root/repo/target/debug/deps/libmutsvc_analyze-a4b881aedd3126c4.rlib: crates/analyze/src/lib.rs crates/analyze/src/diagnostics.rs crates/analyze/src/walker.rs
+
+/root/repo/target/debug/deps/libmutsvc_analyze-a4b881aedd3126c4.rmeta: crates/analyze/src/lib.rs crates/analyze/src/diagnostics.rs crates/analyze/src/walker.rs
+
+crates/analyze/src/lib.rs:
+crates/analyze/src/diagnostics.rs:
+crates/analyze/src/walker.rs:

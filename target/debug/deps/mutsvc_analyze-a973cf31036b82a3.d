@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mutsvc_analyze-a973cf31036b82a3.d: crates/analyze/src/bin/main.rs
+
+/root/repo/target/debug/deps/mutsvc_analyze-a973cf31036b82a3: crates/analyze/src/bin/main.rs
+
+crates/analyze/src/bin/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mutsvc_analyze-f4ba3bd90eedf2b1.d: crates/analyze/src/bin/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmutsvc_analyze-f4ba3bd90eedf2b1.rmeta: crates/analyze/src/bin/main.rs Cargo.toml
+
+crates/analyze/src/bin/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mutsvc_bench-3edf084a0522d2c9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/mutsvc_bench-3edf084a0522d2c9: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

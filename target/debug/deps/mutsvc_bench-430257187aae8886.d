@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mutsvc_bench-430257187aae8886.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmutsvc_bench-430257187aae8886.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mutsvc_bench-9142e83b3f974a1e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmutsvc_bench-9142e83b3f974a1e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmutsvc_bench-9142e83b3f974a1e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mutsvc_core-907164c256942310.d: crates/core/src/lib.rs crates/core/src/configs.rs crates/core/src/experiment.rs crates/core/src/invariants.rs crates/core/src/paper.rs crates/core/src/report.rs crates/core/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmutsvc_core-907164c256942310.rmeta: crates/core/src/lib.rs crates/core/src/configs.rs crates/core/src/experiment.rs crates/core/src/invariants.rs crates/core/src/paper.rs crates/core/src/report.rs crates/core/src/topology.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/configs.rs:
+crates/core/src/experiment.rs:
+crates/core/src/invariants.rs:
+crates/core/src/paper.rs:
+crates/core/src/report.rs:
+crates/core/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mutsvc_middleware-190f603d89c5b710.d: crates/middleware/src/lib.rs crates/middleware/src/binding.rs crates/middleware/src/component.rs crates/middleware/src/descriptor.rs crates/middleware/src/invocation.rs crates/middleware/src/state.rs
+
+/root/repo/target/debug/deps/mutsvc_middleware-190f603d89c5b710: crates/middleware/src/lib.rs crates/middleware/src/binding.rs crates/middleware/src/component.rs crates/middleware/src/descriptor.rs crates/middleware/src/invocation.rs crates/middleware/src/state.rs
+
+crates/middleware/src/lib.rs:
+crates/middleware/src/binding.rs:
+crates/middleware/src/component.rs:
+crates/middleware/src/descriptor.rs:
+crates/middleware/src/invocation.rs:
+crates/middleware/src/state.rs:

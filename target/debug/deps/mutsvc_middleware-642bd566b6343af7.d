@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mutsvc_middleware-642bd566b6343af7.d: crates/middleware/src/lib.rs crates/middleware/src/binding.rs crates/middleware/src/component.rs crates/middleware/src/descriptor.rs crates/middleware/src/invocation.rs crates/middleware/src/state.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmutsvc_middleware-642bd566b6343af7.rmeta: crates/middleware/src/lib.rs crates/middleware/src/binding.rs crates/middleware/src/component.rs crates/middleware/src/descriptor.rs crates/middleware/src/invocation.rs crates/middleware/src/state.rs Cargo.toml
+
+crates/middleware/src/lib.rs:
+crates/middleware/src/binding.rs:
+crates/middleware/src/component.rs:
+crates/middleware/src/descriptor.rs:
+crates/middleware/src/invocation.rs:
+crates/middleware/src/state.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mutsvc_middleware-ca124d9bddd7061a.d: crates/middleware/src/lib.rs crates/middleware/src/binding.rs crates/middleware/src/component.rs crates/middleware/src/descriptor.rs crates/middleware/src/invocation.rs crates/middleware/src/state.rs
+
+/root/repo/target/debug/deps/libmutsvc_middleware-ca124d9bddd7061a.rlib: crates/middleware/src/lib.rs crates/middleware/src/binding.rs crates/middleware/src/component.rs crates/middleware/src/descriptor.rs crates/middleware/src/invocation.rs crates/middleware/src/state.rs
+
+/root/repo/target/debug/deps/libmutsvc_middleware-ca124d9bddd7061a.rmeta: crates/middleware/src/lib.rs crates/middleware/src/binding.rs crates/middleware/src/component.rs crates/middleware/src/descriptor.rs crates/middleware/src/invocation.rs crates/middleware/src/state.rs
+
+crates/middleware/src/lib.rs:
+crates/middleware/src/binding.rs:
+crates/middleware/src/component.rs:
+crates/middleware/src/descriptor.rs:
+crates/middleware/src/invocation.rs:
+crates/middleware/src/state.rs:

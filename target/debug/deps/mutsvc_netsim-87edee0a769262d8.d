@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mutsvc_netsim-87edee0a769262d8.d: crates/netsim/src/lib.rs crates/netsim/src/job.rs crates/netsim/src/network.rs crates/netsim/src/protocol.rs crates/netsim/src/topology.rs
+
+/root/repo/target/debug/deps/libmutsvc_netsim-87edee0a769262d8.rlib: crates/netsim/src/lib.rs crates/netsim/src/job.rs crates/netsim/src/network.rs crates/netsim/src/protocol.rs crates/netsim/src/topology.rs
+
+/root/repo/target/debug/deps/libmutsvc_netsim-87edee0a769262d8.rmeta: crates/netsim/src/lib.rs crates/netsim/src/job.rs crates/netsim/src/network.rs crates/netsim/src/protocol.rs crates/netsim/src/topology.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/job.rs:
+crates/netsim/src/network.rs:
+crates/netsim/src/protocol.rs:
+crates/netsim/src/topology.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mutsvc_netsim-cdf86295d31526e9.d: crates/netsim/src/lib.rs crates/netsim/src/job.rs crates/netsim/src/network.rs crates/netsim/src/protocol.rs crates/netsim/src/topology.rs
+
+/root/repo/target/debug/deps/mutsvc_netsim-cdf86295d31526e9: crates/netsim/src/lib.rs crates/netsim/src/job.rs crates/netsim/src/network.rs crates/netsim/src/protocol.rs crates/netsim/src/topology.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/job.rs:
+crates/netsim/src/network.rs:
+crates/netsim/src/protocol.rs:
+crates/netsim/src/topology.rs:

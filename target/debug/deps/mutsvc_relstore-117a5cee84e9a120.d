@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mutsvc_relstore-117a5cee84e9a120.d: crates/relstore/src/lib.rs crates/relstore/src/database.rs crates/relstore/src/invalidation.rs crates/relstore/src/table.rs crates/relstore/src/value.rs
+
+/root/repo/target/debug/deps/mutsvc_relstore-117a5cee84e9a120: crates/relstore/src/lib.rs crates/relstore/src/database.rs crates/relstore/src/invalidation.rs crates/relstore/src/table.rs crates/relstore/src/value.rs
+
+crates/relstore/src/lib.rs:
+crates/relstore/src/database.rs:
+crates/relstore/src/invalidation.rs:
+crates/relstore/src/table.rs:
+crates/relstore/src/value.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mutsvc_relstore-29420e5834b9863d.d: crates/relstore/src/lib.rs crates/relstore/src/database.rs crates/relstore/src/invalidation.rs crates/relstore/src/table.rs crates/relstore/src/value.rs
+
+/root/repo/target/debug/deps/libmutsvc_relstore-29420e5834b9863d.rlib: crates/relstore/src/lib.rs crates/relstore/src/database.rs crates/relstore/src/invalidation.rs crates/relstore/src/table.rs crates/relstore/src/value.rs
+
+/root/repo/target/debug/deps/libmutsvc_relstore-29420e5834b9863d.rmeta: crates/relstore/src/lib.rs crates/relstore/src/database.rs crates/relstore/src/invalidation.rs crates/relstore/src/table.rs crates/relstore/src/value.rs
+
+crates/relstore/src/lib.rs:
+crates/relstore/src/database.rs:
+crates/relstore/src/invalidation.rs:
+crates/relstore/src/table.rs:
+crates/relstore/src/value.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/negative-224cc3e4061d5328.d: crates/analyze/tests/negative.rs
+
+/root/repo/target/debug/deps/negative-224cc3e4061d5328: crates/analyze/tests/negative.rs
+
+crates/analyze/tests/negative.rs:

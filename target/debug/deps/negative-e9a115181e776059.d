@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/negative-e9a115181e776059.d: crates/analyze/tests/negative.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnegative-e9a115181e776059.rmeta: crates/analyze/tests/negative.rs Cargo.toml
+
+crates/analyze/tests/negative.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

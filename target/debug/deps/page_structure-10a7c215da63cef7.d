@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/page_structure-10a7c215da63cef7.d: crates/core/tests/page_structure.rs
+
+/root/repo/target/debug/deps/page_structure-10a7c215da63cef7: crates/core/tests/page_structure.rs
+
+crates/core/tests/page_structure.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/page_structure-61c5764ea5aad548.d: crates/core/tests/page_structure.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpage_structure-61c5764ea5aad548.rmeta: crates/core/tests/page_structure.rs Cargo.toml
+
+crates/core/tests/page_structure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-0c15da210a970cb0.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-0c15da210a970cb0: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

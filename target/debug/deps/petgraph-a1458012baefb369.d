@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/petgraph-a1458012baefb369.d: vendored/petgraph/src/lib.rs
+
+/root/repo/target/debug/deps/petgraph-a1458012baefb369: vendored/petgraph/src/lib.rs
+
+vendored/petgraph/src/lib.rs:

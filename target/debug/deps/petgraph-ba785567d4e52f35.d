@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/petgraph-ba785567d4e52f35.d: vendored/petgraph/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpetgraph-ba785567d4e52f35.rmeta: vendored/petgraph/src/lib.rs Cargo.toml
+
+vendored/petgraph/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/petgraph-fd18feca78a4884b.d: vendored/petgraph/src/lib.rs
+
+/root/repo/target/debug/deps/libpetgraph-fd18feca78a4884b.rlib: vendored/petgraph/src/lib.rs
+
+/root/repo/target/debug/deps/libpetgraph-fd18feca78a4884b.rmeta: vendored/petgraph/src/lib.rs
+
+vendored/petgraph/src/lib.rs:

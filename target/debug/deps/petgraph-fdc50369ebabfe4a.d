@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/petgraph-fdc50369ebabfe4a.d: vendored/petgraph/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpetgraph-fdc50369ebabfe4a.rmeta: vendored/petgraph/src/lib.rs Cargo.toml
+
+vendored/petgraph/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/placement_consistency-8e38eaa8a4b1a03f.d: tests/placement_consistency.rs
+
+/root/repo/target/debug/deps/placement_consistency-8e38eaa8a4b1a03f: tests/placement_consistency.rs
+
+tests/placement_consistency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-e9ba0e2935d9a160.d: vendored/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-e9ba0e2935d9a160.rmeta: vendored/proptest/src/lib.rs Cargo.toml
+
+vendored/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

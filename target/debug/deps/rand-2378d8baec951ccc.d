@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-2378d8baec951ccc.d: vendored/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-2378d8baec951ccc: vendored/rand/src/lib.rs
+
+vendored/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-6c7fa4ac221c9ce1.d: vendored/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-6c7fa4ac221c9ce1.rlib: vendored/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-6c7fa4ac221c9ce1.rmeta: vendored/rand/src/lib.rs
+
+vendored/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-e0b7f367d3865343.d: vendored/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-e0b7f367d3865343.rmeta: vendored/rand/src/lib.rs Cargo.toml
+
+vendored/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

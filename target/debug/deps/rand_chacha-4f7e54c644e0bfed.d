@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-4f7e54c644e0bfed.d: vendored/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/rand_chacha-4f7e54c644e0bfed: vendored/rand_chacha/src/lib.rs
+
+vendored/rand_chacha/src/lib.rs:

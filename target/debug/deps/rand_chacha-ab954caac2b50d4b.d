@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand_chacha-ab954caac2b50d4b.d: vendored/rand_chacha/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand_chacha-ab954caac2b50d4b.rmeta: vendored/rand_chacha/src/lib.rs Cargo.toml
+
+vendored/rand_chacha/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

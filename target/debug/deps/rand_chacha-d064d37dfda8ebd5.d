@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand_chacha-d064d37dfda8ebd5.d: vendored/rand_chacha/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand_chacha-d064d37dfda8ebd5.rmeta: vendored/rand_chacha/src/lib.rs Cargo.toml
+
+vendored/rand_chacha/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_chacha-f7f53a819774c39e.d: vendored/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-f7f53a819774c39e.rlib: vendored/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-f7f53a819774c39e.rmeta: vendored/rand_chacha/src/lib.rs
+
+vendored/rand_chacha/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_report-9e4b7090e58e1b9a.d: crates/bench/src/bin/repro_report.rs
+
+/root/repo/target/debug/deps/repro_report-9e4b7090e58e1b9a: crates/bench/src/bin/repro_report.rs
+
+crates/bench/src/bin/repro_report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-49d1b6313eab23e4.d: vendored/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-49d1b6313eab23e4.rmeta: vendored/serde/src/lib.rs Cargo.toml
+
+vendored/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-6baf548f0e6ecace.d: vendored/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-6baf548f0e6ecace.rmeta: vendored/serde/src/lib.rs Cargo.toml
+
+vendored/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

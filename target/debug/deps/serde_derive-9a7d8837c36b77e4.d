@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-9a7d8837c36b77e4.d: vendored/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-9a7d8837c36b77e4: vendored/serde_derive/src/lib.rs
+
+vendored/serde_derive/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_derive-bb93775431c49774.d: vendored/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_derive-bb93775431c49774.rmeta: vendored/serde_derive/src/lib.rs Cargo.toml
+
+vendored/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-e381c9e74dee4ab1.d: vendored/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-e381c9e74dee4ab1.so: vendored/serde_derive/src/lib.rs
+
+vendored/serde_derive/src/lib.rs:

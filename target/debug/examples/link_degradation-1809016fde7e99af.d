@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/link_degradation-1809016fde7e99af.d: examples/link_degradation.rs
+
+/root/repo/target/debug/examples/link_degradation-1809016fde7e99af: examples/link_degradation.rs
+
+examples/link_degradation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/petstore_edge_deployment-73f115f33f6c1fcc.d: examples/petstore_edge_deployment.rs
+
+/root/repo/target/debug/examples/petstore_edge_deployment-73f115f33f6c1fcc: examples/petstore_edge_deployment.rs
+
+examples/petstore_edge_deployment.rs:

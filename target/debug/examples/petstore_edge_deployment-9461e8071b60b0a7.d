@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/petstore_edge_deployment-9461e8071b60b0a7.d: examples/petstore_edge_deployment.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpetstore_edge_deployment-9461e8071b60b0a7.rmeta: examples/petstore_edge_deployment.rs Cargo.toml
+
+examples/petstore_edge_deployment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

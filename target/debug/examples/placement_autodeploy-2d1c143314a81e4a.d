@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/placement_autodeploy-2d1c143314a81e4a.d: examples/placement_autodeploy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libplacement_autodeploy-2d1c143314a81e4a.rmeta: examples/placement_autodeploy.rs Cargo.toml
+
+examples/placement_autodeploy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/placement_autodeploy-ec1c488be3b01da1.d: examples/placement_autodeploy.rs
+
+/root/repo/target/debug/examples/placement_autodeploy-ec1c488be3b01da1: examples/placement_autodeploy.rs
+
+examples/placement_autodeploy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6963faa73c8b8e3f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6963faa73c8b8e3f: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rubis_bidder_study-d5a42337e754f63e.d: examples/rubis_bidder_study.rs
+
+/root/repo/target/debug/examples/rubis_bidder_study-d5a42337e754f63e: examples/rubis_bidder_study.rs
+
+examples/rubis_bidder_study.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mutable_services-2ea2f92b12c5ac4b.d: src/lib.rs
+
+/root/repo/target/release/deps/libmutable_services-2ea2f92b12c5ac4b.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmutable_services-2ea2f92b12c5ac4b.rmeta: src/lib.rs
+
+src/lib.rs:

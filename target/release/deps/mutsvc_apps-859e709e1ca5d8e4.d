@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/mutsvc_apps-859e709e1ca5d8e4.d: crates/apps/src/lib.rs crates/apps/src/petstore/mod.rs crates/apps/src/petstore/components.rs crates/apps/src/petstore/pages.rs crates/apps/src/petstore/schema.rs crates/apps/src/petstore/sessions.rs crates/apps/src/rubis/mod.rs crates/apps/src/rubis/components.rs crates/apps/src/rubis/pages.rs crates/apps/src/rubis/schema.rs crates/apps/src/rubis/sessions.rs
+
+/root/repo/target/release/deps/libmutsvc_apps-859e709e1ca5d8e4.rlib: crates/apps/src/lib.rs crates/apps/src/petstore/mod.rs crates/apps/src/petstore/components.rs crates/apps/src/petstore/pages.rs crates/apps/src/petstore/schema.rs crates/apps/src/petstore/sessions.rs crates/apps/src/rubis/mod.rs crates/apps/src/rubis/components.rs crates/apps/src/rubis/pages.rs crates/apps/src/rubis/schema.rs crates/apps/src/rubis/sessions.rs
+
+/root/repo/target/release/deps/libmutsvc_apps-859e709e1ca5d8e4.rmeta: crates/apps/src/lib.rs crates/apps/src/petstore/mod.rs crates/apps/src/petstore/components.rs crates/apps/src/petstore/pages.rs crates/apps/src/petstore/schema.rs crates/apps/src/petstore/sessions.rs crates/apps/src/rubis/mod.rs crates/apps/src/rubis/components.rs crates/apps/src/rubis/pages.rs crates/apps/src/rubis/schema.rs crates/apps/src/rubis/sessions.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/petstore/mod.rs:
+crates/apps/src/petstore/components.rs:
+crates/apps/src/petstore/pages.rs:
+crates/apps/src/petstore/schema.rs:
+crates/apps/src/petstore/sessions.rs:
+crates/apps/src/rubis/mod.rs:
+crates/apps/src/rubis/components.rs:
+crates/apps/src/rubis/pages.rs:
+crates/apps/src/rubis/schema.rs:
+crates/apps/src/rubis/sessions.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mutsvc_middleware-33118037c17f77e8.d: crates/middleware/src/lib.rs crates/middleware/src/binding.rs crates/middleware/src/component.rs crates/middleware/src/descriptor.rs crates/middleware/src/invocation.rs crates/middleware/src/state.rs
+
+/root/repo/target/release/deps/libmutsvc_middleware-33118037c17f77e8.rlib: crates/middleware/src/lib.rs crates/middleware/src/binding.rs crates/middleware/src/component.rs crates/middleware/src/descriptor.rs crates/middleware/src/invocation.rs crates/middleware/src/state.rs
+
+/root/repo/target/release/deps/libmutsvc_middleware-33118037c17f77e8.rmeta: crates/middleware/src/lib.rs crates/middleware/src/binding.rs crates/middleware/src/component.rs crates/middleware/src/descriptor.rs crates/middleware/src/invocation.rs crates/middleware/src/state.rs
+
+crates/middleware/src/lib.rs:
+crates/middleware/src/binding.rs:
+crates/middleware/src/component.rs:
+crates/middleware/src/descriptor.rs:
+crates/middleware/src/invocation.rs:
+crates/middleware/src/state.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mutsvc_netsim-69e7458b54fd5845.d: crates/netsim/src/lib.rs crates/netsim/src/job.rs crates/netsim/src/network.rs crates/netsim/src/protocol.rs crates/netsim/src/topology.rs
+
+/root/repo/target/release/deps/libmutsvc_netsim-69e7458b54fd5845.rlib: crates/netsim/src/lib.rs crates/netsim/src/job.rs crates/netsim/src/network.rs crates/netsim/src/protocol.rs crates/netsim/src/topology.rs
+
+/root/repo/target/release/deps/libmutsvc_netsim-69e7458b54fd5845.rmeta: crates/netsim/src/lib.rs crates/netsim/src/job.rs crates/netsim/src/network.rs crates/netsim/src/protocol.rs crates/netsim/src/topology.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/job.rs:
+crates/netsim/src/network.rs:
+crates/netsim/src/protocol.rs:
+crates/netsim/src/topology.rs:

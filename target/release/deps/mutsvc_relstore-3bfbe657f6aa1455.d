@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mutsvc_relstore-3bfbe657f6aa1455.d: crates/relstore/src/lib.rs crates/relstore/src/database.rs crates/relstore/src/invalidation.rs crates/relstore/src/table.rs crates/relstore/src/value.rs
+
+/root/repo/target/release/deps/libmutsvc_relstore-3bfbe657f6aa1455.rlib: crates/relstore/src/lib.rs crates/relstore/src/database.rs crates/relstore/src/invalidation.rs crates/relstore/src/table.rs crates/relstore/src/value.rs
+
+/root/repo/target/release/deps/libmutsvc_relstore-3bfbe657f6aa1455.rmeta: crates/relstore/src/lib.rs crates/relstore/src/database.rs crates/relstore/src/invalidation.rs crates/relstore/src/table.rs crates/relstore/src/value.rs
+
+crates/relstore/src/lib.rs:
+crates/relstore/src/database.rs:
+crates/relstore/src/invalidation.rs:
+crates/relstore/src/table.rs:
+crates/relstore/src/value.rs:

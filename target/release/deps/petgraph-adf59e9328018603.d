@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/petgraph-adf59e9328018603.d: vendored/petgraph/src/lib.rs
+
+/root/repo/target/release/deps/libpetgraph-adf59e9328018603.rlib: vendored/petgraph/src/lib.rs
+
+/root/repo/target/release/deps/libpetgraph-adf59e9328018603.rmeta: vendored/petgraph/src/lib.rs
+
+vendored/petgraph/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-23dfa99cba5a3f6a.d: vendored/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-23dfa99cba5a3f6a.rlib: vendored/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-23dfa99cba5a3f6a.rmeta: vendored/rand/src/lib.rs
+
+vendored/rand/src/lib.rs:

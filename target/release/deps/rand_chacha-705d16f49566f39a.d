@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-705d16f49566f39a.d: vendored/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-705d16f49566f39a.rlib: vendored/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-705d16f49566f39a.rmeta: vendored/rand_chacha/src/lib.rs
+
+vendored/rand_chacha/src/lib.rs:

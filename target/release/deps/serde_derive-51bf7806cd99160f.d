@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-51bf7806cd99160f.d: vendored/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-51bf7806cd99160f.so: vendored/serde_derive/src/lib.rs
+
+vendored/serde_derive/src/lib.rs:

@@ -8,7 +8,9 @@ use mutable_services::middleware::{ComponentKind, UpdatePropagation};
 #[test]
 fn petstore_architecture_matches_figure_1() {
     let (app, registry, _) = App::petstore(true);
-    let App::PetStore(ps) = app else { unreachable!() };
+    let App::PetStore(ps) = app else {
+        unreachable!()
+    };
     let c = ps.components;
     let edges = c.architecture_edges();
     // The figure's core relationships are present.
@@ -40,8 +42,14 @@ fn configurations_differ_only_in_descriptors() {
     let (input_b, _) = Scenario::quick(AppKind::Rubis, Config::AsyncUpdates).build();
     assert_eq!(input_a.registry.len(), input_b.registry.len());
     // Only descriptor knobs change.
-    assert_ne!(input_a.descriptor.entity_propagation, input_b.descriptor.entity_propagation);
-    assert_eq!(input_b.descriptor.entity_propagation, UpdatePropagation::AsyncPush);
+    assert_ne!(
+        input_a.descriptor.entity_propagation,
+        input_b.descriptor.entity_propagation
+    );
+    assert_eq!(
+        input_b.descriptor.entity_propagation,
+        UpdatePropagation::AsyncPush
+    );
 }
 
 #[test]
@@ -83,13 +91,21 @@ fn facades_are_the_only_wide_area_entry_points() {
     // §5: "define façades as the only components that can be invoked by
     // remote clients" — in every distributed config, entities are never
     // placed on an edge without a co-located façade in front of them.
-    for config in [Config::StatefulCaching, Config::QueryCaching, Config::AsyncUpdates] {
+    for config in [
+        Config::StatefulCaching,
+        Config::QueryCaching,
+        Config::AsyncUpdates,
+    ] {
         let (input, nodes) = Scenario::quick(AppKind::PetStore, config).build();
         let catalog = input.registry.by_name("Catalog").unwrap();
         let item = input.registry.by_name("ItemEJB").unwrap();
         let item_on_edge = input.descriptor.placement(item).hosts(nodes.edge1);
         let catalog_on_edge = input.descriptor.placement(catalog).hosts(nodes.edge1);
         assert!(item_on_edge, "{}", config.name());
-        assert!(catalog_on_edge, "entity replica without its façade in {}", config.name());
+        assert!(
+            catalog_on_edge,
+            "entity replica without its façade in {}",
+            config.name()
+        );
     }
 }

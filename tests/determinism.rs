@@ -13,7 +13,11 @@ fn short(app: AppKind, config: Config, seed: u64) -> mutable_services::workload:
 
 #[test]
 fn same_seed_same_tables() {
-    for config in [Config::Centralized, Config::QueryCaching, Config::AsyncUpdates] {
+    for config in [
+        Config::Centralized,
+        Config::QueryCaching,
+        Config::AsyncUpdates,
+    ] {
         let a = short(AppKind::PetStore, config, 7);
         let b = short(AppKind::PetStore, config, 7);
         assert_eq!(a.completed, b.completed, "{}", config.name());
@@ -39,5 +43,8 @@ fn staleness_accounting_is_deterministic_too() {
     let a = short(AppKind::Rubis, Config::AsyncUpdates, 3);
     let b = short(AppKind::Rubis, Config::AsyncUpdates, 3);
     assert_eq!(a.staleness_ms.count(), b.staleness_ms.count());
-    assert_eq!(a.staleness_ms.mean().to_bits(), b.staleness_ms.mean().to_bits());
+    assert_eq!(
+        a.staleness_ms.mean().to_bits(),
+        b.staleness_ms.mean().to_bits()
+    );
 }

@@ -11,12 +11,21 @@ const REMOTE: [&str; 2] = ["remote1", "remote2"];
 fn centralized_petstore_pays_two_wan_round_trips() {
     let report = Scenario::quick(AppKind::PetStore, Config::Centralized).run();
     let local = report.stats.mean_ms("local", "Browser", "Item").unwrap();
-    let remote = report.stats.mean_ms_over_groups(&REMOTE, "Browser", "Item").unwrap();
+    let remote = report
+        .stats
+        .mean_ms_over_groups(&REMOTE, "Browser", "Item")
+        .unwrap();
     let gap = remote - local;
     assert!((330.0..520.0).contains(&gap), "gap {gap:.0}ms");
     // Redirect pages pay a third round trip.
-    let commit = report.stats.mean_ms_over_groups(&REMOTE, "Buyer", "Commit").unwrap();
-    assert!(commit > remote + 120.0, "commit {commit:.0} vs item {remote:.0}");
+    let commit = report
+        .stats
+        .mean_ms_over_groups(&REMOTE, "Buyer", "Commit")
+        .unwrap();
+    assert!(
+        commit > remote + 120.0,
+        "commit {commit:.0} vs item {remote:.0}"
+    );
 }
 
 #[test]
@@ -25,15 +34,27 @@ fn facade_localizes_session_pages_and_halves_browse_pages() {
     let facade = Scenario::quick(AppKind::PetStore, Config::RemoteFacade).run();
     // Session-only buyer pages become local.
     for page in ["Checkout", "Billing", "SignOut"] {
-        let v = facade.stats.mean_ms_over_groups(&REMOTE, "Buyer", page).unwrap();
+        let v = facade
+            .stats
+            .mean_ms_over_groups(&REMOTE, "Buyer", page)
+            .unwrap();
         assert!(v < 120.0, "{page} {v:.0}ms");
     }
     // One-RMI pages improve on centralized.
-    let before = centralized.stats.mean_ms_over_groups(&REMOTE, "Browser", "Category").unwrap();
-    let after = facade.stats.mean_ms_over_groups(&REMOTE, "Browser", "Category").unwrap();
+    let before = centralized
+        .stats
+        .mean_ms_over_groups(&REMOTE, "Browser", "Category")
+        .unwrap();
+    let after = facade
+        .stats
+        .mean_ms_over_groups(&REMOTE, "Browser", "Category")
+        .unwrap();
     assert!(after < before - 40.0, "{before:.0} -> {after:.0}");
     // Verify Sign-in keeps two wide-area calls.
-    let verify = facade.stats.mean_ms_over_groups(&REMOTE, "Buyer", "VerifySignIn").unwrap();
+    let verify = facade
+        .stats
+        .mean_ms_over_groups(&REMOTE, "Buyer", "VerifySignIn")
+        .unwrap();
     assert!(verify > 400.0, "verify {verify:.0}ms");
 }
 
@@ -49,7 +70,10 @@ fn sync_push_blocks_buyers_async_recovers_them() {
     );
     // The asynchronous run reports propagation delays (staleness windows).
     assert!(asynch.staleness_ms.count() > 0);
-    assert!(caching.staleness_ms.count() == 0, "sync pushes are not deferred");
+    assert!(
+        caching.staleness_ms.count() == 0,
+        "sync pushes are not deferred"
+    );
     // Staleness is roughly a WAN trip (publish + delivery), well under 1s.
     let mean = asynch.staleness_ms.mean();
     assert!((100.0..600.0).contains(&mean), "staleness {mean:.0}ms");
@@ -59,11 +83,17 @@ fn sync_push_blocks_buyers_async_recovers_them() {
 fn rubis_query_caching_localizes_remote_browsing() {
     let report = Scenario::quick(AppKind::Rubis, Config::QueryCaching).run();
     for page in ["AllCategories", "Category", "Item", "Bids"] {
-        let v = report.stats.mean_ms_over_groups(&REMOTE, "Browser", page).unwrap();
+        let v = report
+            .stats
+            .mean_ms_over_groups(&REMOTE, "Browser", page)
+            .unwrap();
         assert!(v < 60.0, "{page} {v:.0}ms should be near-local");
     }
     // The writers still block on synchronous pushes.
-    let store = report.stats.mean_ms_over_groups(&REMOTE, "Bidder", "StoreBid").unwrap();
+    let store = report
+        .stats
+        .mean_ms_over_groups(&REMOTE, "Bidder", "StoreBid")
+        .unwrap();
     assert!(store > 400.0, "StoreBid {store:.0}ms");
 }
 
@@ -71,11 +101,21 @@ fn rubis_query_caching_localizes_remote_browsing() {
 fn remote_browser_sessions_collapse_across_the_sweep() {
     let centralized = Scenario::quick(AppKind::Rubis, Config::Centralized).run();
     let asynch = Scenario::quick(AppKind::Rubis, Config::AsyncUpdates).run();
-    let before = centralized.stats.session_mean_over_groups(&REMOTE, "Browser").unwrap();
-    let after = asynch.stats.session_mean_over_groups(&REMOTE, "Browser").unwrap();
+    let before = centralized
+        .stats
+        .session_mean_over_groups(&REMOTE, "Browser")
+        .unwrap();
+    let after = asynch
+        .stats
+        .session_mean_over_groups(&REMOTE, "Browser")
+        .unwrap();
     assert!(before > 400.0, "centralized {before:.0}ms");
     assert!(after < 60.0, "async {after:.0}ms");
-    assert!(before / after > 8.0, "collapse factor {:.1}", before / after);
+    assert!(
+        before / after > 8.0,
+        "collapse factor {:.1}",
+        before / after
+    );
 }
 
 #[test]
@@ -83,7 +123,11 @@ fn load_distribution_shifts_cpu_to_the_edges() {
     let centralized = Scenario::quick(AppKind::PetStore, Config::Centralized).run();
     let facade = Scenario::quick(AppKind::PetStore, Config::RemoteFacade).run();
     let util = |r: &mutable_services::workload::ExperimentReport, n: &str| {
-        r.cpu_utilization.iter().find(|(name, _)| name == n).map(|(_, u)| *u).unwrap()
+        r.cpu_utilization
+            .iter()
+            .find(|(name, _)| name == n)
+            .map(|(_, u)| *u)
+            .unwrap()
     };
     assert!(util(&centralized, "edge1") < 0.01);
     assert!(util(&facade, "edge1") > 0.05);

@@ -21,8 +21,14 @@ fn optimizer_cost_ordering_matches_measured_ordering() {
     // margin for remote browsers.
     let centralized = Scenario::quick(AppKind::PetStore, Config::Centralized).run();
     let best = Scenario::quick(AppKind::PetStore, Config::AsyncUpdates).run();
-    let before = centralized.stats.session_mean_over_groups(&REMOTE, "Browser").unwrap();
-    let after = best.stats.session_mean_over_groups(&REMOTE, "Browser").unwrap();
+    let before = centralized
+        .stats
+        .session_mean_over_groups(&REMOTE, "Browser")
+        .unwrap();
+    let after = best
+        .stats
+        .session_mean_over_groups(&REMOTE, "Browser")
+        .unwrap();
     assert!(after < before / 2.0, "measured {before:.0} -> {after:.0}");
 }
 

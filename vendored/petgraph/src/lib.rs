@@ -1,0 +1,314 @@
+//! Offline subset of `petgraph` used by `mutsvc-placement`.
+//!
+//! Implements an adjacency-list [`graph::DiGraph`] with the node/edge index
+//! types, directed edge iteration ([`Graph::edges_directed`],
+//! [`Graph::edges_connecting`], [`Graph::edge_references`]) and the
+//! [`visit::EdgeRef`] accessor trait. Semantics match upstream for this
+//! subset; the implementation favours clarity over petgraph's index tricks.
+//!
+//! [`Graph::edges_directed`]: graph::DiGraph::edges_directed
+//! [`Graph::edges_connecting`]: graph::DiGraph::edges_connecting
+//! [`Graph::edge_references`]: graph::DiGraph::edge_references
+
+/// Edge direction relative to a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Edges leaving the node.
+    Outgoing,
+    /// Edges arriving at the node.
+    Incoming,
+}
+
+/// Graph storage and index types.
+pub mod graph {
+    use super::Direction;
+
+    /// Identifies a node within a graph.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+    pub struct NodeIndex(usize);
+
+    impl NodeIndex {
+        /// Creates an index from a dense position.
+        pub fn new(index: usize) -> Self {
+            NodeIndex(index)
+        }
+
+        /// The dense position.
+        pub fn index(self) -> usize {
+            self.0
+        }
+    }
+
+    /// Identifies an edge within a graph.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+    pub struct EdgeIndex(usize);
+
+    impl EdgeIndex {
+        /// Creates an index from a dense position.
+        pub fn new(index: usize) -> Self {
+            EdgeIndex(index)
+        }
+
+        /// The dense position.
+        pub fn index(self) -> usize {
+            self.0
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    struct EdgeData<E> {
+        source: NodeIndex,
+        target: NodeIndex,
+        weight: E,
+    }
+
+    /// A directed graph with node weights `N` and edge weights `E`.
+    #[derive(Debug, Clone)]
+    pub struct DiGraph<N, E> {
+        nodes: Vec<N>,
+        edges: Vec<EdgeData<E>>,
+    }
+
+    impl<N, E> Default for DiGraph<N, E> {
+        fn default() -> Self {
+            DiGraph {
+                nodes: Vec::new(),
+                edges: Vec::new(),
+            }
+        }
+    }
+
+    /// A borrowed edge with its endpoints and weight.
+    #[derive(Debug)]
+    pub struct EdgeReference<'a, E> {
+        id: EdgeIndex,
+        source: NodeIndex,
+        target: NodeIndex,
+        weight: &'a E,
+    }
+
+    impl<E> Clone for EdgeReference<'_, E> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<E> Copy for EdgeReference<'_, E> {}
+
+    impl<'a, E> EdgeReference<'a, E> {
+        /// The edge's index (inherent mirror of [`crate::visit::EdgeRef::id`]).
+        pub fn id(&self) -> EdgeIndex {
+            self.id
+        }
+
+        /// The source node.
+        pub fn source(&self) -> NodeIndex {
+            self.source
+        }
+
+        /// The target node.
+        pub fn target(&self) -> NodeIndex {
+            self.target
+        }
+
+        /// The edge weight.
+        pub fn weight(&self) -> &'a E {
+            self.weight
+        }
+    }
+
+    impl<'a, E> crate::visit::EdgeRef for EdgeReference<'a, E> {
+        type Weight = E;
+
+        fn id(&self) -> EdgeIndex {
+            self.id
+        }
+
+        fn source(&self) -> NodeIndex {
+            self.source
+        }
+
+        fn target(&self) -> NodeIndex {
+            self.target
+        }
+
+        fn weight(&self) -> &'a E {
+            self.weight
+        }
+    }
+
+    impl<N, E> DiGraph<N, E> {
+        /// Creates an empty graph.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Adds a node and returns its index.
+        pub fn add_node(&mut self, weight: N) -> NodeIndex {
+            let idx = NodeIndex(self.nodes.len());
+            self.nodes.push(weight);
+            idx
+        }
+
+        /// Adds a directed edge and returns its index. Parallel edges are
+        /// allowed, as in upstream petgraph.
+        pub fn add_edge(&mut self, source: NodeIndex, target: NodeIndex, weight: E) -> EdgeIndex {
+            let idx = EdgeIndex(self.edges.len());
+            self.edges.push(EdgeData {
+                source,
+                target,
+                weight,
+            });
+            idx
+        }
+
+        /// Number of nodes.
+        pub fn node_count(&self) -> usize {
+            self.nodes.len()
+        }
+
+        /// Number of edges.
+        pub fn edge_count(&self) -> usize {
+            self.edges.len()
+        }
+
+        /// Iterates node indices in insertion order.
+        pub fn node_indices(&self) -> impl Iterator<Item = NodeIndex> {
+            (0..self.nodes.len()).map(NodeIndex)
+        }
+
+        /// The weight of `node`, if present.
+        pub fn node_weight(&self, node: NodeIndex) -> Option<&N> {
+            self.nodes.get(node.0)
+        }
+
+        /// Mutable access to an edge weight.
+        pub fn edge_weight_mut(&mut self, edge: EdgeIndex) -> Option<&mut E> {
+            self.edges.get_mut(edge.0).map(|e| &mut e.weight)
+        }
+
+        /// The first edge from `source` to `target`, if any.
+        pub fn find_edge(&self, source: NodeIndex, target: NodeIndex) -> Option<EdgeIndex> {
+            self.edges
+                .iter()
+                .position(|e| e.source == source && e.target == target)
+                .map(EdgeIndex)
+        }
+
+        /// Iterates all edges.
+        pub fn edge_references(&self) -> impl Iterator<Item = EdgeReference<'_, E>> {
+            self.edges.iter().enumerate().map(|(i, e)| EdgeReference {
+                id: EdgeIndex(i),
+                source: e.source,
+                target: e.target,
+                weight: &e.weight,
+            })
+        }
+
+        /// Iterates edges incident to `node` in the given direction.
+        pub fn edges_directed(
+            &self,
+            node: NodeIndex,
+            direction: Direction,
+        ) -> impl Iterator<Item = EdgeReference<'_, E>> {
+            self.edge_references().filter(move |e| match direction {
+                Direction::Outgoing => e.source == node,
+                Direction::Incoming => e.target == node,
+            })
+        }
+
+        /// Iterates edges from `source` to `target`.
+        pub fn edges_connecting(
+            &self,
+            source: NodeIndex,
+            target: NodeIndex,
+        ) -> impl Iterator<Item = EdgeReference<'_, E>> {
+            self.edge_references()
+                .filter(move |e| e.source == source && e.target == target)
+        }
+    }
+
+    impl<N, E> std::ops::Index<NodeIndex> for DiGraph<N, E> {
+        type Output = N;
+
+        fn index(&self, index: NodeIndex) -> &N {
+            &self.nodes[index.0]
+        }
+    }
+
+    impl<N, E> std::ops::IndexMut<NodeIndex> for DiGraph<N, E> {
+        fn index_mut(&mut self, index: NodeIndex) -> &mut N {
+            &mut self.nodes[index.0]
+        }
+    }
+
+    impl<N, E> std::ops::Index<EdgeIndex> for DiGraph<N, E> {
+        type Output = E;
+
+        fn index(&self, index: EdgeIndex) -> &E {
+            &self.edges[index.0].weight
+        }
+    }
+
+    impl<N, E> std::ops::IndexMut<EdgeIndex> for DiGraph<N, E> {
+        fn index_mut(&mut self, index: EdgeIndex) -> &mut E {
+            &mut self.edges[index.0].weight
+        }
+    }
+}
+
+/// Traversal accessor traits.
+pub mod visit {
+    use super::graph::{EdgeIndex, NodeIndex};
+
+    /// Read access to an edge's identity, endpoints and weight.
+    pub trait EdgeRef {
+        /// The edge weight type.
+        type Weight;
+
+        /// The edge's index.
+        fn id(&self) -> EdgeIndex;
+
+        /// The source node.
+        fn source(&self) -> NodeIndex;
+
+        /// The target node.
+        fn target(&self) -> NodeIndex;
+
+        /// The edge weight.
+        fn weight(&self) -> &Self::Weight;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::graph::DiGraph;
+    use super::Direction;
+
+    #[test]
+    fn directed_iteration() {
+        let mut g: DiGraph<&str, f64> = DiGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        g.add_edge(a, b, 1.0);
+        g.add_edge(b, c, 2.0);
+        g.add_edge(a, c, 3.0);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        let out: Vec<f64> = g
+            .edges_directed(a, Direction::Outgoing)
+            .map(|e| *e.weight())
+            .collect();
+        assert_eq!(out, vec![1.0, 3.0]);
+        let inc: Vec<f64> = g
+            .edges_directed(c, Direction::Incoming)
+            .map(|e| *e.weight())
+            .collect();
+        assert_eq!(inc, vec![2.0, 3.0]);
+        let e = g.find_edge(a, b).unwrap();
+        *g.edge_weight_mut(e).unwrap() = 9.0;
+        assert_eq!(g[e], 9.0);
+        assert!(g.find_edge(c, a).is_none());
+    }
+}

@@ -1,0 +1,159 @@
+//! Offline ChaCha8 random generator standing in for `rand_chacha`.
+//!
+//! Implements the genuine ChaCha stream cipher with 8 rounds, a 64-bit block
+//! counter and a 64-bit stream id, exposing the `rand_chacha 0.9` API subset
+//! this workspace uses: `seed_from_u64`, `set_stream`, `set_word_pos` and the
+//! `RngCore` output interface. Distinct streams yield independent sequences
+//! and the generator is cheaply cloneable, which is all the deterministic
+//! simulator requires.
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha with 8 rounds, matching the upstream `ChaCha8Rng` API subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaCha8Rng {
+    /// 256-bit key derived from the seed.
+    key: [u32; 8],
+    /// 64-bit block counter (words 12–13 of the ChaCha state).
+    counter: u64,
+    /// 64-bit stream id (words 14–15 of the ChaCha state).
+    stream: u64,
+    /// Current 16-word output block.
+    block: [u32; 16],
+    /// Next word to emit from `block`; 16 forces a refill.
+    word_idx: usize,
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    /// Selects an independent stream; also rewinds to the stream's start so
+    /// derived streams are stable regardless of prior consumption.
+    pub fn set_stream(&mut self, stream: u64) {
+        self.stream = stream;
+        self.word_idx = 16;
+    }
+
+    /// Positions the generator at an absolute word offset into the stream.
+    pub fn set_word_pos(&mut self, word_pos: u128) {
+        self.counter = (word_pos / 16) as u64;
+        self.refill();
+        self.word_idx = (word_pos % 16) as usize;
+    }
+
+    fn refill(&mut self) {
+        let mut state: [u32; 16] = [
+            CHACHA_CONSTANTS[0],
+            CHACHA_CONSTANTS[1],
+            CHACHA_CONSTANTS[2],
+            CHACHA_CONSTANTS[3],
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            self.stream as u32,
+            (self.stream >> 32) as u32,
+        ];
+        let initial = state;
+        for _ in 0..4 {
+            // One double round: four column rounds then four diagonal rounds.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, init) in state.iter_mut().zip(initial) {
+            *word = word.wrapping_add(init);
+        }
+        self.block = state;
+        self.counter = self.counter.wrapping_add(1);
+        self.word_idx = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            stream: 0,
+            block: [0; 16],
+            word_idx: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.word_idx >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.word_idx];
+        self.word_idx += 1;
+        word
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn streams_are_independent_and_rewound() {
+        let base = ChaCha8Rng::seed_from_u64(7);
+        let mut s1 = base.clone();
+        s1.set_stream(1);
+        s1.set_word_pos(0);
+        let mut s2 = base.clone();
+        s2.set_stream(2);
+        s2.set_word_pos(0);
+        let matches = (0..64).filter(|_| s1.next_u32() == s2.next_u32()).count();
+        assert!(matches < 4, "streams should differ ({matches} matches)");
+    }
+
+    #[test]
+    fn word_pos_seeks() {
+        let mut a = ChaCha8Rng::seed_from_u64(3);
+        let skipped: Vec<u32> = (0..40).map(|_| a.next_u32()).collect();
+        let mut b = ChaCha8Rng::seed_from_u64(3);
+        b.set_word_pos(24);
+        assert_eq!(b.next_u32(), skipped[24]);
+    }
+}

@@ -1,0 +1,17 @@
+//! Minimal offline stand-in for the `serde` facade.
+//!
+//! Provides the `Serialize`/`Deserialize` derive macros (as no-ops) and
+//! marker traits of the same names so `use serde::{Serialize, Deserialize}`
+//! and trait bounds keep compiling without crates.io access.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
