@@ -4,6 +4,9 @@
 use std::sync::Once;
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use mutsvc_bench::placement_report::{
+    measure_placement_throughput, move_sequence, replay_full_recompute, replay_incremental,
+};
 use mutsvc_placement::algorithms::greedy::{solve as greedy, GreedyOptions};
 use mutsvc_placement::algorithms::multilevel::{solve as multilevel, MultilevelOptions};
 use mutsvc_placement::derive::{petstore_problem, rubis_problem};
@@ -37,6 +40,20 @@ fn print_quality() {
         );
         let (_, gr) = greedy(&problem, &GreedyOptions::default());
         println!("{name:<12} {central:>12.0} {ml:>12.0} {g:>14.0} {gr:>14.0}");
+    }
+    println!();
+
+    println!("== placement move throughput: full recompute vs incremental ==");
+    println!(
+        "{:<12} {:>18} {:>14} {:>14}",
+        "problem", "algorithm", "moves/sec", "final cost"
+    );
+    let cells = measure_placement_throughput(1_000, 42);
+    for cell in &cells {
+        println!(
+            "{:<12} {:>18} {:>14.0} {:>14.1}",
+            cell.graph, cell.algorithm, cell.moves_per_sec, cell.final_cost
+        );
     }
     println!();
 }
@@ -104,6 +121,22 @@ fn placement_benches(c: &mut Criterion) {
         let problem = synthetic(n, 3);
         c.bench_function(&format!("placement/multilevel_synthetic_{n}"), |b| {
             b.iter(|| multilevel(&problem, &MultilevelOptions::default()));
+        });
+    }
+
+    // Move-evaluation throughput: the same 1,000-move sequence replayed
+    // with a whole-graph cost sweep per move (the pre-evaluator baseline)
+    // versus incremental apply/commit deltas.
+    for (name, problem) in [
+        ("petstore", petstore_problem().0),
+        ("rubis", rubis_problem().0),
+    ] {
+        let sequence = move_sequence(&problem, 1_000, 42);
+        c.bench_function(&format!("placement/moves_full_recompute_{name}"), |b| {
+            b.iter(|| replay_full_recompute(&problem, &sequence));
+        });
+        c.bench_function(&format!("placement/moves_incremental_{name}"), |b| {
+            b.iter(|| replay_incremental(&problem, &sequence));
         });
     }
 }

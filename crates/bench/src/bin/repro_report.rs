@@ -3,8 +3,12 @@
 //! ```text
 //! repro-report [--app petstore|rubis|all] [--paper|--quick] [--seed N]
 //!              [--tables] [--figures] [--compare] [--validate]
-//!              [--sessions] [--topology] [--wiring]
+//!              [--sessions] [--topology] [--wiring] [--placement]
 //! ```
+//!
+//! `--placement` measures placement move-evaluation throughput (full
+//! recompute vs the incremental evaluator) on the paper-derived graphs and
+//! writes `BENCH_placement.json` to the current directory.
 //!
 //! With no selection flags, everything is printed. `--quick` (default) uses
 //! a 90 s warm-up + 300 s measured window; `--paper` runs the full
@@ -12,6 +16,7 @@
 
 use mutsvc_apps::petstore::{BROWSER_MIX as PS_MIX, BUYER_SEQUENCE};
 use mutsvc_apps::rubis::{BIDDER_SEQUENCE, BROWSER_MIX as RUBIS_MIX};
+use mutsvc_bench::placement_report::{measure_placement_throughput, render_placement_json};
 use mutsvc_bench::run_sweep_parallel;
 use mutsvc_core::{
     paper_topology, render_comparison, render_figure, render_percentiles, render_table,
@@ -30,6 +35,7 @@ struct Options {
     topology: bool,
     wiring: bool,
     percentiles: bool,
+    placement: bool,
 }
 
 fn parse_args() -> Options {
@@ -45,6 +51,7 @@ fn parse_args() -> Options {
         topology: false,
         wiring: false,
         percentiles: false,
+        placement: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -74,9 +81,10 @@ fn parse_args() -> Options {
             "--topology" => opts.topology = true,
             "--wiring" => opts.wiring = true,
             "--percentiles" => opts.percentiles = true,
+            "--placement" => opts.placement = true,
             "--help" | "-h" => {
                 println!(
-                    "repro-report [--app petstore|rubis|all] [--paper|--quick] [--seed N]\n             [--tables] [--figures] [--compare] [--validate] [--percentiles]\n             [--sessions] [--topology] [--wiring]"
+                    "repro-report [--app petstore|rubis|all] [--paper|--quick] [--seed N]\n             [--tables] [--figures] [--compare] [--validate] [--percentiles]\n             [--sessions] [--topology] [--wiring] [--placement]"
                 );
                 std::process::exit(0);
             }
@@ -93,7 +101,8 @@ fn parse_args() -> Options {
         || opts.percentiles
         || opts.sessions
         || opts.topology
-        || opts.wiring)
+        || opts.wiring
+        || opts.placement)
     {
         opts.tables = true;
         opts.figures = true;
@@ -175,8 +184,29 @@ fn print_wiring(app: AppKind) {
     }
 }
 
+fn print_placement_throughput() {
+    eprintln!("measuring placement move throughput (1000-move sequences)...");
+    let cells = measure_placement_throughput(1_000, 42);
+    println!("placement move throughput (moves/sec):");
+    for cell in &cells {
+        println!(
+            "  {:<10} {:<16} {:>12.0} moves/s  final cost {:>10.1} ms/s",
+            cell.graph, cell.algorithm, cell.moves_per_sec, cell.final_cost
+        );
+    }
+    let json = render_placement_json(&cells);
+    let path = "BENCH_placement.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}
+
 fn main() {
     let opts = parse_args();
+    if opts.placement {
+        print_placement_throughput();
+    }
     if opts.sessions {
         print_sessions();
     }

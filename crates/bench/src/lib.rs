@@ -1,10 +1,13 @@
 //! # mutsvc-bench — benchmark harness support
 //!
 //! Shared helpers for the report binary and the Criterion benches: parallel
-//! sweep execution across scenario cells.
+//! sweep execution across scenario cells and the placement move-throughput
+//! measurement behind `BENCH_placement.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod placement_report;
 
 use mutsvc_core::{AppKind, Config, Scenario};
 use mutsvc_workload::ExperimentReport;
@@ -12,22 +15,40 @@ use mutsvc_workload::ExperimentReport;
 /// Runs the five configurations of `app` in parallel (one thread per
 /// configuration — each scenario is internally single-threaded and
 /// deterministic).
+///
+/// Scoped threads are named after their configuration, so a panicking
+/// scenario reports *which* cell died (both in the thread's own panic
+/// message and in the join error here) instead of an anonymous
+/// "scenario thread panicked".
 pub fn run_sweep_parallel(app: AppKind, quick: bool, seed: u64) -> Vec<ExperimentReport> {
-    let mut handles = Vec::new();
-    for config in Config::all() {
-        handles.push(std::thread::spawn(move || {
-            let scenario = if quick {
-                Scenario::quick(app, config)
-            } else {
-                Scenario::paper(app, config)
-            };
-            scenario.with_seed(seed).run()
-        }));
-    }
-    handles
-        .into_iter()
-        .map(|h| h.join().expect("scenario thread panicked"))
-        .collect()
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = Config::all()
+            .into_iter()
+            .map(|config| {
+                let name = config.name();
+                let handle = std::thread::Builder::new()
+                    .name(format!("sweep-{name}"))
+                    .spawn_scoped(scope, move || {
+                        let scenario = if quick {
+                            Scenario::quick(app, config)
+                        } else {
+                            Scenario::paper(app, config)
+                        };
+                        scenario.with_seed(seed).run()
+                    })
+                    .unwrap_or_else(|e| panic!("failed to spawn sweep-{name}: {e}"));
+                (name, handle)
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|(name, handle)| {
+                handle
+                    .join()
+                    .unwrap_or_else(|_| panic!("scenario {name} panicked"))
+            })
+            .collect()
+    })
 }
 
 #[cfg(test)]

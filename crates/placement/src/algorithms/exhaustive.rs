@@ -2,10 +2,15 @@
 //!
 //! Exponential — use only for small graphs (≲ 12 free components on 3
 //! hosts). Serves as the optimality oracle for the heuristic algorithms.
+//!
+//! Candidates are visited by mutating a single [`CostEvaluator`] in place:
+//! each odometer tick is one (amortized) primary move priced by delta
+//! evaluation, instead of a full `Placement` rebuild plus `repair_pins`
+//! plus whole-graph cost sweep per candidate.
 
 use petgraph::graph::NodeIndex;
 
-use crate::cost::cost;
+use crate::cost::incremental::{CostEvaluator, Move};
 use crate::graph::{HostId, Placement, PlacementProblem};
 
 /// Finds the cost-minimal primary-only placement by enumeration.
@@ -25,22 +30,15 @@ pub fn solve(problem: &PlacementProblem) -> (Placement, f64) {
     let space = (h as f64).powi(free.len() as i32);
     assert!(space <= 1e7, "exhaustive search space too large: {space}");
 
-    let mut best = Placement::all_on(problem, HostId(0));
-    let mut best_cost = cost(problem, &best);
+    // The all-zeros odometer state IS the all-on-host-0 start (pins repaired
+    // by `all_on`); every subsequent candidate is one in-place move away.
+    let mut eval = CostEvaluator::new(problem, Placement::all_on(problem, HostId(0)));
+    let mut best = eval.placement().clone();
+    let mut best_cost = eval.total();
 
     let mut assignment = vec![0usize; free.len()];
     loop {
-        let mut candidate = Placement::all_on(problem, HostId(0));
-        for (i, &node) in free.iter().enumerate() {
-            candidate.primary[node.index()] = HostId(assignment[i]);
-        }
-        candidate.repair_pins(problem);
-        let c = cost(problem, &candidate);
-        if c < best_cost {
-            best_cost = c;
-            best = candidate;
-        }
-        // Odometer increment.
+        // Odometer increment, mutating the evaluator digit by digit.
         let mut i = 0;
         loop {
             if i == assignment.len() {
@@ -48,10 +46,24 @@ pub fn solve(problem: &PlacementProblem) -> (Placement, f64) {
             }
             assignment[i] += 1;
             if assignment[i] < h {
+                eval.apply(Move::MovePrimary {
+                    node: free[i],
+                    to: HostId(assignment[i]),
+                });
                 break;
             }
             assignment[i] = 0;
+            eval.apply(Move::MovePrimary {
+                node: free[i],
+                to: HostId(0),
+            });
             i += 1;
+        }
+        eval.commit();
+        let c = eval.total();
+        if c < best_cost {
+            best_cost = c;
+            best = eval.placement().clone();
         }
     }
 }

@@ -9,8 +9,12 @@
 //! Replica moves are how the search *derives the read-mostly pattern*: a
 //! replica is added exactly when the remote-read savings exceed the
 //! consistency-push cost — the trade-off §4.3 discusses qualitatively.
+//!
+//! Candidate moves are priced through the incremental [`CostEvaluator`]
+//! (apply → read delta → undo), so probing a move costs `O(degree × hosts)`
+//! instead of a whole-graph sweep per candidate.
 
-use crate::cost::cost;
+use crate::cost::incremental::{CostEvaluator, Move};
 use crate::graph::{HostId, Placement, PlacementProblem};
 
 /// Search options.
@@ -34,68 +38,64 @@ impl Default for GreedyOptions {
 /// Runs hill-climbing from `start` until no move improves the cost.
 pub fn improve(
     problem: &PlacementProblem,
-    start: Placement,
+    mut start: Placement,
     options: &GreedyOptions,
 ) -> (Placement, f64) {
-    let mut current = start;
-    current.repair_pins(problem);
-    let mut current_cost = cost(problem, &current);
+    start.repair_pins(problem);
+    let mut eval = CostEvaluator::new(problem, start);
 
     for _ in 0..options.max_rounds {
-        let mut best_move: Option<(Placement, f64)> = None;
+        let mut best_move: Option<(Move, f64)> = None;
         for node in problem.graph.graph.node_indices() {
             let spec = &problem.graph.graph[node];
-            let idx = node.index();
             // Primary moves (pinned components cannot move).
             if spec.pinned.is_none() {
                 for h in 0..problem.hosts.len() {
                     let target = HostId(h);
-                    if current.primary[idx] == target {
+                    if eval.primary_of(node) == target {
                         continue;
                     }
-                    let mut candidate = current.clone();
-                    candidate.primary[idx] = target;
-                    candidate.replicas[idx].remove(&target);
-                    consider(problem, candidate, &mut best_move, current_cost);
+                    consider(
+                        &mut eval,
+                        Move::MovePrimary { node, to: target },
+                        &mut best_move,
+                    );
                 }
             }
             // Replica moves.
             if options.with_replication && spec.role.replicable() {
                 for h in 0..problem.hosts.len() {
                     let target = HostId(h);
-                    if current.primary[idx] == target {
+                    if eval.primary_of(node) == target {
                         continue;
                     }
-                    let mut candidate = current.clone();
-                    if candidate.replicas[idx].contains(&target) {
-                        candidate.replicas[idx].remove(&target);
+                    let mv = if eval.has_replica(node, target) {
+                        Move::DropReplica { node, host: target }
                     } else {
-                        candidate.replicas[idx].insert(target);
-                    }
-                    consider(problem, candidate, &mut best_move, current_cost);
+                        Move::AddReplica { node, host: target }
+                    };
+                    consider(&mut eval, mv, &mut best_move);
                 }
             }
         }
         match best_move {
-            Some((placement, c)) => {
-                current = placement;
-                current_cost = c;
+            Some((mv, _)) => {
+                eval.apply(mv);
             }
             None => break,
         }
     }
-    (current, current_cost)
+    let final_cost = eval.total();
+    (eval.into_placement(), final_cost)
 }
 
-fn consider(
-    problem: &PlacementProblem,
-    candidate: Placement,
-    best: &mut Option<(Placement, f64)>,
-    current_cost: f64,
-) {
-    let c = cost(problem, &candidate);
-    if c + 1e-9 < current_cost && best.as_ref().is_none_or(|(_, bc)| c < *bc) {
-        *best = Some((candidate, c));
+/// Probes `mv` through the evaluator and records it when it is the best
+/// strict improvement seen this round.
+fn consider(eval: &mut CostEvaluator, mv: Move, best: &mut Option<(Move, f64)>) {
+    let delta = eval.apply(mv);
+    eval.undo();
+    if delta < -1e-9 && best.is_none_or(|(_, bd)| delta < bd) {
+        *best = Some((mv, delta));
     }
 }
 

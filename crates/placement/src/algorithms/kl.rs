@@ -152,13 +152,18 @@ pub fn solve_two_way(problem: &PlacementProblem, host_a: HostId, host_b: HostId)
 /// Recursive KL bisection into one part per host: hosts are split into two
 /// groups (balanced by entry share), components KL-partitioned between them,
 /// then each side recurses. Pinned components steer their sub-problems.
+///
+/// The cut objective KL refines is a rate-only proxy; a short incremental
+/// polish against the *true* wide-area cost (primary moves only, priced by
+/// the delta [`CostEvaluator`](crate::cost::incremental::CostEvaluator))
+/// finishes the placement.
 pub fn solve_recursive(problem: &PlacementProblem) -> Placement {
     let all_hosts: Vec<HostId> = (0..problem.hosts.len()).map(HostId).collect();
     let all_nodes: Vec<usize> = (0..problem.graph.len()).collect();
     let mut placement = Placement::all_on(problem, HostId(0));
     bisect(problem, &all_hosts, &all_nodes, &mut placement);
     placement.repair_pins(problem);
-    placement
+    crate::algorithms::polish_primaries(problem, placement).0
 }
 
 fn bisect(

@@ -316,6 +316,11 @@ pub fn partition(problem: &PlacementProblem, options: &MultilevelOptions) -> Vec
 
 /// Runs the partitioner and wraps the result as a [`Placement`]
 /// (primaries only; combine with greedy replication for the full pattern).
+///
+/// The multilevel cut is refined against the rate×RTT proxy objective; the
+/// wrapped placement gets a final bounded polish against the true wide-area
+/// cost through the incremental
+/// [`CostEvaluator`](crate::cost::incremental::CostEvaluator).
 pub fn solve(problem: &PlacementProblem, options: &MultilevelOptions) -> Placement {
     let assignment = partition(problem, options);
     let mut placement = Placement::all_on(problem, HostId(0));
@@ -323,7 +328,7 @@ pub fn solve(problem: &PlacementProblem, options: &MultilevelOptions) -> Placeme
         placement.primary[i] = host;
     }
     placement.repair_pins(problem);
-    placement
+    crate::algorithms::polish_primaries(problem, placement).0
 }
 
 #[cfg(test)]

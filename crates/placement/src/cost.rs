@@ -11,6 +11,8 @@
 
 use crate::graph::{HostId, Placement, PlacementProblem, Role};
 
+pub mod incremental;
+
 /// A cost breakdown for reporting and debugging.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CostBreakdown {

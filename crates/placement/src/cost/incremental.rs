@@ -1,0 +1,905 @@
+//! Incremental (delta) placement cost evaluation.
+//!
+//! [`cost_breakdown`](crate::cost::cost_breakdown) re-walks the whole
+//! interaction graph — `O(hosts × edges + hosts × nodes)` with petgraph
+//! iteration overhead and a fresh `load` allocation — yet every move a
+//! search algorithm tries changes the placement of exactly *one* component.
+//! [`CostEvaluator`] exploits that: it flattens the graph once into
+//! cache-friendly CSR-style arrays (per-node incident edge lists, per-edge
+//! host×host cost tables with the `calls_per_sec` weight folded in, a dense
+//! push-cost matrix), keeps the per-host CPU load and the three
+//! [`CostBreakdown`] terms as live state, and re-evaluates only the terms a
+//! move can touch: the edges incident to the moved component, that
+//! component's consistency pushes, and its load contributions. A
+//! single-component move therefore costs `O(degree(node) × entry_hosts +
+//! hosts)` instead of a whole-graph sweep.
+//!
+//! Every [`apply`](CostEvaluator::apply) is reversible via
+//! [`undo`](CostEvaluator::undo) (the evaluator keeps a full undo stack), so
+//! search loops probe candidate moves without ever cloning a [`Placement`].
+//! The three running cost terms use Kahan-compensated summation so that
+//! millions of `apply`/`undo` deltas stay within `1e-9` of a from-scratch
+//! [`cost_breakdown`](crate::cost::cost_breakdown) — a property test drives
+//! exactly that comparison (`tests/incremental_equivalence.rs`).
+
+use petgraph::graph::NodeIndex;
+
+use crate::cost::CostBreakdown;
+use crate::graph::{HostId, Placement, PlacementProblem, Role};
+
+/// Maximum host count supported by the evaluator (replica sets are tracked
+/// as 64-bit host masks). Wide-area placement problems name a handful of
+/// geographic sites, so this is not a practical restriction.
+pub const MAX_HOSTS: usize = 64;
+
+/// A reversible single-component placement mutation — the three move kinds
+/// the search algorithms use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Move {
+    /// Re-home a component's primary onto `to` (any replica already at `to`
+    /// is absorbed, matching the search algorithms' move semantics).
+    MovePrimary {
+        /// The component to move.
+        node: NodeIndex,
+        /// The new primary host.
+        to: HostId,
+    },
+    /// Add a read-only replica of `node` at `host`.
+    AddReplica {
+        /// The component to replicate.
+        node: NodeIndex,
+        /// The replica host (must not be the current primary).
+        host: HostId,
+    },
+    /// Drop the replica of `node` at `host`.
+    DropReplica {
+        /// The component whose replica is dropped.
+        node: NodeIndex,
+        /// The replica host being dropped.
+        host: HostId,
+    },
+}
+
+/// Kahan-compensated running sum: keeps the error of a long +/- delta
+/// stream at the last-bit level instead of accumulating linearly.
+#[derive(Debug, Clone, Copy, Default)]
+struct Kahan {
+    sum: f64,
+    compensation: f64,
+}
+
+impl Kahan {
+    fn new(value: f64) -> Self {
+        Kahan {
+            sum: value,
+            compensation: 0.0,
+        }
+    }
+
+    fn add(&mut self, x: f64) {
+        let y = x - self.compensation;
+        let t = self.sum + y;
+        self.compensation = (t - self.sum) - y;
+        self.sum = t;
+    }
+
+    fn value(self) -> f64 {
+        self.sum
+    }
+}
+
+/// Undo record for one applied move.
+#[derive(Debug, Clone, Copy)]
+struct Applied {
+    mv: Move,
+    /// For `MovePrimary`: the previous primary host.
+    prev_primary: u32,
+    /// For `MovePrimary`: whether the target host held a replica that the
+    /// move absorbed (and undo must restore).
+    absorbed_replica: bool,
+}
+
+/// Incremental placement cost evaluator.
+///
+/// Owns a flattened copy of the problem (it does not borrow the
+/// [`PlacementProblem`]) plus the live placement and cost state. Build it
+/// once per search with [`CostEvaluator::new`], then drive it with
+/// [`apply`](CostEvaluator::apply) / [`undo`](CostEvaluator::undo).
+#[derive(Debug, Clone)]
+pub struct CostEvaluator {
+    // ---- immutable flattened problem ----
+    hosts: usize,
+    /// Entry origins: `(host, entry_share)` for hosts with positive share.
+    origins: Vec<(u32, f64)>,
+    /// Dense per-host entry share (0.0 for non-entry hosts); the replica
+    /// fast path looks a single origin's share up by host index.
+    entry_share: Vec<f64>,
+    /// Per node: placement role.
+    role: Vec<Role>,
+    /// Per node: writes/s against the component's state.
+    write_rate: Vec<f64>,
+    /// Per node: CPU demand (ms/s) an origin of share 1.0 induces at the
+    /// node's serving location (`rate × cpu_ms_per_call`).
+    load_ms: Vec<f64>,
+    /// Edge endpoints (self-loops excluded: their cost is identically 0).
+    edge_src: Vec<u32>,
+    edge_dst: Vec<u32>,
+    edge_write: Vec<bool>,
+    /// Per edge, dense host×host communication cost with the call rate
+    /// folded in: `edge_cost[e·H² + a·H + b] = calls/s × comm_ms(a, b)`.
+    edge_cost: Vec<f64>,
+    /// CSR incidence: edges touching node `n` are
+    /// `inc_edge[inc_start[n]..inc_start[n + 1]]`.
+    inc_start: Vec<u32>,
+    inc_edge: Vec<u32>,
+    /// Dense host×host consistency push cost (ms per write).
+    push_cost: Vec<f64>,
+    /// Per host CPU capacity (ms/s).
+    capacity: Vec<f64>,
+    /// Overload penalty per ms/s of excess, divided by 1000 (as in
+    /// `cost_breakdown`).
+    overload_scale: f64,
+    // ---- live state ----
+    primary: Vec<u32>,
+    /// Replica host bitmask per node (bit `h` ⇔ replica at host `h`).
+    repl_mask: Vec<u64>,
+    /// Mirror of the evaluator state as a [`Placement`] (kept in sync so
+    /// searches can snapshot the best placement cheaply).
+    placement: Placement,
+    /// Per-host CPU load (ms/s).
+    load: Vec<f64>,
+    communication: Kahan,
+    consistency: Kahan,
+    history: Vec<Applied>,
+}
+
+impl CostEvaluator {
+    /// Builds an evaluator for `problem`, positioned at `placement`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the problem has more than [`MAX_HOSTS`] hosts or the
+    /// placement arity does not match the graph.
+    pub fn new(problem: &PlacementProblem, placement: Placement) -> CostEvaluator {
+        let g = &problem.graph.graph;
+        let n = g.node_count();
+        let h = problem.hosts.len();
+        assert!(
+            h <= MAX_HOSTS,
+            "CostEvaluator supports at most {MAX_HOSTS} hosts, got {h}"
+        );
+        assert_eq!(placement.primary.len(), n, "placement arity mismatch");
+        assert_eq!(placement.replicas.len(), n, "placement arity mismatch");
+
+        let origins: Vec<(u32, f64)> = problem
+            .hosts
+            .iter()
+            .enumerate()
+            .filter(|(_, host)| host.entry_share > 0.0)
+            .map(|(i, host)| (i as u32, host.entry_share))
+            .collect();
+
+        let mut role = Vec::with_capacity(n);
+        let mut write_rate = Vec::with_capacity(n);
+        let mut load_ms = Vec::with_capacity(n);
+        for node in g.node_indices() {
+            let c = &g[node];
+            role.push(c.role);
+            write_rate.push(c.write_rate);
+            let rate = match c.role {
+                Role::Entry => problem.graph.read_rate(node).max(
+                    g.edges_directed(node, petgraph::Direction::Outgoing)
+                        .map(|e| e.weight().calls_per_sec)
+                        .sum(),
+                ),
+                _ => problem.graph.read_rate(node),
+            };
+            node_checked(node, n);
+            load_ms.push(rate * c.cpu_ms_per_call);
+        }
+
+        // Flatten edges: keep only those that can ever contribute cost
+        // (positive call rate, distinct endpoints), exactly the set
+        // `cost_breakdown` does not skip.
+        let byte_ms = 8.0 / problem.params.bandwidth_bps * 1_000.0;
+        let mut edge_src = Vec::new();
+        let mut edge_dst = Vec::new();
+        let mut edge_write = Vec::new();
+        let mut edge_cost = Vec::new();
+        for edge in g.edge_references() {
+            let w = edge.weight();
+            if w.calls_per_sec <= 0.0 || edge.source() == edge.target() {
+                continue;
+            }
+            edge_src.push(edge.source().index() as u32);
+            edge_dst.push(edge.target().index() as u32);
+            edge_write.push(w.write_path);
+            for a in 0..h {
+                for b in 0..h {
+                    let comm = if a == b {
+                        0.0
+                    } else {
+                        problem.rtt_ms[a][b] * problem.params.rmi_round_trips
+                            + w.bytes_per_call * byte_ms
+                    };
+                    edge_cost.push(w.calls_per_sec * comm);
+                }
+            }
+        }
+
+        // CSR incidence lists (each edge listed under both endpoints).
+        let e = edge_src.len();
+        let mut degree = vec![0u32; n];
+        for i in 0..e {
+            degree[edge_src[i] as usize] += 1;
+            degree[edge_dst[i] as usize] += 1;
+        }
+        let mut inc_start = vec![0u32; n + 1];
+        for i in 0..n {
+            inc_start[i + 1] = inc_start[i] + degree[i];
+        }
+        let mut cursor = inc_start.clone();
+        let mut inc_edge = vec![0u32; inc_start[n] as usize];
+        for i in 0..e {
+            for endpoint in [edge_src[i] as usize, edge_dst[i] as usize] {
+                inc_edge[cursor[endpoint] as usize] = i as u32;
+                cursor[endpoint] += 1;
+            }
+        }
+
+        let mut push_cost = Vec::with_capacity(h * h);
+        for a in 0..h {
+            for b in 0..h {
+                push_cost.push(if a == b {
+                    0.0
+                } else {
+                    problem.rtt_ms[a][b] * problem.params.push_round_trips
+                        + problem.params.push_bytes * byte_ms
+                });
+            }
+        }
+
+        let primary: Vec<u32> = placement.primary.iter().map(|p| p.0 as u32).collect();
+        let mut repl_mask = vec![0u64; n];
+        for (i, replicas) in placement.replicas.iter().enumerate() {
+            for r in replicas {
+                assert!(r.0 < h, "replica on unknown host {r}");
+                repl_mask[i] |= 1 << r.0;
+            }
+        }
+
+        let entry_share = problem.hosts.iter().map(|host| host.entry_share).collect();
+        let mut evaluator = CostEvaluator {
+            hosts: h,
+            origins,
+            entry_share,
+            role,
+            write_rate,
+            load_ms,
+            edge_src,
+            edge_dst,
+            edge_write,
+            edge_cost,
+            inc_start,
+            inc_edge,
+            push_cost,
+            capacity: problem.hosts.iter().map(|host| host.cpu_capacity).collect(),
+            overload_scale: problem.params.overload_penalty / 1_000.0,
+            primary,
+            repl_mask,
+            placement,
+            load: vec![0.0; h],
+            communication: Kahan::default(),
+            consistency: Kahan::default(),
+            history: Vec::new(),
+        };
+        evaluator.rebuild_totals();
+        evaluator
+    }
+
+    /// Recomputes the live state from scratch (used at construction).
+    fn rebuild_totals(&mut self) {
+        let mut communication = 0.0;
+        for e in 0..self.edge_src.len() {
+            communication += self.edge_comm(e);
+        }
+        self.communication = Kahan::new(communication);
+
+        let mut consistency = 0.0;
+        for n in 0..self.primary.len() {
+            consistency += self.node_consistency(n);
+        }
+        self.consistency = Kahan::new(consistency);
+
+        self.load.iter_mut().for_each(|l| *l = 0.0);
+        for n in 0..self.primary.len() {
+            self.shift_load(n, 1.0);
+        }
+    }
+
+    /// Number of moves currently on the undo stack.
+    pub fn depth(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Discards the undo history, accepting the current state as final.
+    /// Long-running searches that never roll back past their last accepted
+    /// move call this to keep the undo stack from growing without bound.
+    pub fn commit(&mut self) {
+        self.history.clear();
+    }
+
+    /// The current placement (kept in sync with every apply/undo).
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Consumes the evaluator, returning the final placement.
+    pub fn into_placement(self) -> Placement {
+        self.placement
+    }
+
+    /// Current primary host of `node`.
+    pub fn primary_of(&self, node: NodeIndex) -> HostId {
+        HostId(self.primary[node.index()] as usize)
+    }
+
+    /// Whether `node` currently has a replica at `host`.
+    pub fn has_replica(&self, node: NodeIndex, host: HostId) -> bool {
+        self.repl_mask[node.index()] & (1 << host.0) != 0
+    }
+
+    /// The current cost breakdown.
+    pub fn breakdown(&self) -> CostBreakdown {
+        CostBreakdown {
+            communication: self.communication.value(),
+            consistency: self.consistency.value(),
+            overload: self.overload(),
+        }
+    }
+
+    /// The current scalar objective.
+    pub fn total(&self) -> f64 {
+        self.breakdown().total()
+    }
+
+    /// Applies `mv` and returns the change in total cost (negative =
+    /// improvement). The move is recorded for [`undo`](CostEvaluator::undo).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range hosts, on `AddReplica`/`DropReplica` of the
+    /// current primary, on adding a replica that already exists or dropping
+    /// one that does not: the search algorithms construct only valid moves,
+    /// and silently ignoring an invalid one would desynchronize the
+    /// evaluator from the caller's view of the placement.
+    pub fn apply(&mut self, mv: Move) -> f64 {
+        let record = self.check(mv);
+        let delta = self.execute(mv);
+        self.history.push(record);
+        delta
+    }
+
+    /// Reverts the most recent un-undone [`apply`](CostEvaluator::apply),
+    /// returning the change in total cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is nothing to undo.
+    pub fn undo(&mut self) -> f64 {
+        let record = self.history.pop().expect("undo with no applied move");
+        match record.mv {
+            Move::MovePrimary { node, .. } => {
+                let mut delta = self.execute(Move::MovePrimary {
+                    node,
+                    to: HostId(record.prev_primary as usize),
+                });
+                if record.absorbed_replica {
+                    let Move::MovePrimary { to, .. } = record.mv else {
+                        unreachable!()
+                    };
+                    delta += self.execute(Move::AddReplica { node, host: to });
+                }
+                delta
+            }
+            Move::AddReplica { node, host } => self.execute(Move::DropReplica { node, host }),
+            Move::DropReplica { node, host } => self.execute(Move::AddReplica { node, host }),
+        }
+    }
+
+    /// Validates `mv` and captures the undo record.
+    fn check(&self, mv: Move) -> Applied {
+        let (node, host) = match mv {
+            Move::MovePrimary { node, to } => (node, to),
+            Move::AddReplica { node, host } | Move::DropReplica { node, host } => (node, host),
+        };
+        let idx = node.index();
+        assert!(idx < self.primary.len(), "unknown node {idx}");
+        assert!(host.0 < self.hosts, "unknown host {host}");
+        match mv {
+            Move::MovePrimary { .. } => {}
+            Move::AddReplica { .. } => {
+                assert!(
+                    self.primary[idx] != host.0 as u32,
+                    "AddReplica at the primary host {host}"
+                );
+                assert!(
+                    self.repl_mask[idx] & (1 << host.0) == 0,
+                    "AddReplica: replica already present at {host}"
+                );
+            }
+            Move::DropReplica { .. } => {
+                assert!(
+                    self.repl_mask[idx] & (1 << host.0) != 0,
+                    "DropReplica: no replica at {host}"
+                );
+            }
+        }
+        Applied {
+            mv,
+            prev_primary: self.primary[idx],
+            absorbed_replica: matches!(mv, Move::MovePrimary { .. })
+                && self.repl_mask[idx] & (1 << host.0) != 0,
+        }
+    }
+
+    /// Applies the state mutation and updates the running cost terms.
+    fn execute(&mut self, mv: Move) -> f64 {
+        match mv {
+            Move::MovePrimary { node, to } => self.execute_move_primary(node.index(), to),
+            Move::AddReplica { node, host } => self.execute_replica(node.index(), host, true),
+            Move::DropReplica { node, host } => self.execute_replica(node.index(), host, false),
+        }
+    }
+
+    /// Re-homes a primary. Every incident edge can re-route for every
+    /// origin, but the *other* endpoint's serving location is unchanged —
+    /// one fused pass evaluates each (edge, origin) cell's old and new
+    /// contributions together instead of sweeping the incidence list twice.
+    fn execute_move_primary(&mut self, idx: usize, to: HostId) -> f64 {
+        let overload_before = self.overload();
+        let cons_old = self.node_consistency(idx);
+        self.shift_load(idx, -1.0);
+
+        let p_old = self.primary[idx];
+        let mask_old = self.repl_mask[idx];
+        self.primary[idx] = to.0 as u32;
+        self.repl_mask[idx] &= !(1 << to.0);
+        self.placement.primary[idx] = to;
+        self.placement.replicas[idx].remove(&to);
+        let p_new = self.primary[idx];
+        let mask_new = self.repl_mask[idx];
+
+        let entry = self.role[idx] == Role::Entry;
+        // Serving location of the moving node under the old / new state.
+        let loc_old = |origin: u32| {
+            if entry || p_old == origin || mask_old & (1 << origin) != 0 {
+                origin
+            } else {
+                p_old
+            }
+        };
+        let loc_new = |origin: u32| {
+            if entry || p_new == origin || mask_new & (1 << origin) != 0 {
+                origin
+            } else {
+                p_new
+            }
+        };
+
+        let h = self.hosts;
+        let mut comm_delta = 0.0;
+        for k in self.inc_start[idx]..self.inc_start[idx + 1] {
+            let e = self.inc_edge[k as usize] as usize;
+            let s = self.edge_src[e] as usize;
+            let t = self.edge_dst[e] as usize;
+            let table = &self.edge_cost[e * h * h..(e + 1) * h * h];
+            if self.edge_write[e] {
+                // Write traffic executes at primaries; an Entry source
+                // follows the origin instead, so an Entry's own primary
+                // move leaves its outgoing write edges untouched.
+                if s == idx && !entry {
+                    let t_primary = self.primary[t] as usize;
+                    let w_old = table[p_old as usize * h + t_primary];
+                    let w_new = table[p_new as usize * h + t_primary];
+                    for &(_, share) in &self.origins {
+                        comm_delta += share * (w_new - w_old);
+                    }
+                } else if t == idx {
+                    if self.role[s] == Role::Entry {
+                        for &(origin, share) in &self.origins {
+                            let from = origin as usize * h;
+                            comm_delta += share
+                                * (table[from + p_new as usize] - table[from + p_old as usize]);
+                        }
+                    } else {
+                        let from = self.primary[s] as usize * h;
+                        let w_old = table[from + p_old as usize];
+                        let w_new = table[from + p_new as usize];
+                        for &(_, share) in &self.origins {
+                            comm_delta += share * (w_new - w_old);
+                        }
+                    }
+                }
+            } else if s == idx {
+                for &(origin, share) in &self.origins {
+                    let other = self.location(t, origin) as usize;
+                    comm_delta += share
+                        * (table[loc_new(origin) as usize * h + other]
+                            - table[loc_old(origin) as usize * h + other]);
+                }
+            } else {
+                for &(origin, share) in &self.origins {
+                    let other = self.location(s, origin) as usize * h;
+                    comm_delta += share
+                        * (table[other + loc_new(origin) as usize]
+                            - table[other + loc_old(origin) as usize]);
+                }
+            }
+        }
+
+        let cons_new = self.node_consistency(idx);
+        self.shift_load(idx, 1.0);
+
+        self.communication.add(comm_delta);
+        self.consistency.add(cons_new - cons_old);
+        comm_delta + (cons_new - cons_old) + (self.overload() - overload_before)
+    }
+
+    /// Toggles a replica of node `idx` at `host`. Fast path: a replica only
+    /// re-routes read traffic *originating at that host* (write traffic
+    /// executes at primaries), so the delta touches one origin's incident
+    /// read edges, one consistency push edge, and one load slot — instead
+    /// of re-evaluating every incident edge over every origin.
+    fn execute_replica(&mut self, idx: usize, host: HostId, adding: bool) -> f64 {
+        let v = host.0;
+        let overload_before = self.overload();
+
+        // Consistency: exactly the primary → host push edge toggles.
+        let mut cons_delta = 0.0;
+        let rate = self.write_rate[idx];
+        if rate > 0.0 {
+            let d = rate * self.push_cost[self.primary[idx] as usize * self.hosts + v];
+            cons_delta = if adding { d } else { -d };
+        }
+
+        let served_old = self.location(idx, v as u32);
+        if adding {
+            self.repl_mask[idx] |= 1 << v;
+            self.placement.replicas[idx].insert(host);
+        } else {
+            self.repl_mask[idx] &= !(1 << v);
+            self.placement.replicas[idx].remove(&host);
+        }
+        let served_new = self.location(idx, v as u32);
+
+        let mut comm_delta = 0.0;
+        let share = self.entry_share[v];
+        // `served_old == served_new` covers Entry nodes (which never
+        // consult replicas) and redundant toggles; zero share means no
+        // traffic ever originates at `host`.
+        if share > 0.0 && served_old != served_new {
+            let h = self.hosts;
+            for k in self.inc_start[idx]..self.inc_start[idx + 1] {
+                let e = self.inc_edge[k as usize] as usize;
+                if self.edge_write[e] {
+                    continue;
+                }
+                let s = self.edge_src[e] as usize;
+                let t = self.edge_dst[e] as usize;
+                let table = &self.edge_cost[e * h * h..(e + 1) * h * h];
+                let (old, new) = if s == idx {
+                    let to = self.location(t, v as u32) as usize;
+                    (served_old as usize * h + to, served_new as usize * h + to)
+                } else {
+                    let from = self.location(s, v as u32) as usize * h;
+                    (from + served_old as usize, from + served_new as usize)
+                };
+                comm_delta += share * (table[new] - table[old]);
+            }
+            let demand = self.load_ms[idx];
+            if demand > 0.0 {
+                self.load[served_old as usize] -= share * demand;
+                self.load[served_new as usize] += share * demand;
+            }
+        }
+
+        self.communication.add(comm_delta);
+        self.consistency.add(cons_delta);
+        comm_delta + cons_delta + (self.overload() - overload_before)
+    }
+
+    /// Serving location of `node` for traffic originating at `origin`
+    /// (mirrors [`Placement::location`]).
+    #[inline]
+    fn location(&self, node: usize, origin: u32) -> u32 {
+        if self.role[node] == Role::Entry {
+            return origin;
+        }
+        if self.primary[node] == origin || self.repl_mask[node] & (1 << origin) != 0 {
+            origin
+        } else {
+            self.primary[node]
+        }
+    }
+
+    /// Total communication contribution of edge `e` over all entry origins.
+    #[inline]
+    fn edge_comm(&self, e: usize) -> f64 {
+        let s = self.edge_src[e] as usize;
+        let t = self.edge_dst[e] as usize;
+        let h = self.hosts;
+        let table = &self.edge_cost[e * h * h..(e + 1) * h * h];
+        let mut total = 0.0;
+        if self.edge_write[e] {
+            // Write-path traffic executes at the primaries; only an Entry
+            // source varies with the origin.
+            let to = self.edge_dst_primary(t);
+            if self.role[s] == Role::Entry {
+                for &(origin, share) in &self.origins {
+                    total += share * table[origin as usize * h + to];
+                }
+            } else {
+                let from = self.primary[s] as usize;
+                let w = table[from * h + to];
+                for &(_, share) in &self.origins {
+                    total += share * w;
+                }
+            }
+        } else {
+            for &(origin, share) in &self.origins {
+                let from = self.location(s, origin) as usize;
+                let to = self.location(t, origin) as usize;
+                total += share * table[from * h + to];
+            }
+        }
+        total
+    }
+
+    #[inline]
+    fn edge_dst_primary(&self, t: usize) -> usize {
+        self.primary[t] as usize
+    }
+
+    /// Consistency push cost of node `n` (primary → each replica).
+    #[inline]
+    fn node_consistency(&self, n: usize) -> f64 {
+        let rate = self.write_rate[n];
+        if rate <= 0.0 {
+            return 0.0;
+        }
+        let from = self.primary[n] as usize * self.hosts;
+        let mut mask = self.repl_mask[n];
+        let mut total = 0.0;
+        while mask != 0 {
+            let r = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            total += rate * self.push_cost[from + r];
+        }
+        total
+    }
+
+    /// Adds (`sign = 1.0`) or removes (`sign = -1.0`) node `n`'s CPU load
+    /// contributions at its serving locations.
+    fn shift_load(&mut self, n: usize, sign: f64) {
+        let demand = self.load_ms[n];
+        if demand == 0.0 {
+            return;
+        }
+        for &(origin, share) in &self.origins {
+            let at = self.location(n, origin) as usize;
+            self.load[at] += sign * share * demand;
+        }
+    }
+
+    /// Overload penalty from the live load vector (mirrors the overload
+    /// term of `cost_breakdown`).
+    fn overload(&self) -> f64 {
+        let mut total = 0.0;
+        for (h, &l) in self.load.iter().enumerate() {
+            let over = l - self.capacity[h].max(0.0);
+            if over > 0.0 && self.capacity[h].is_finite() {
+                total += over * self.overload_scale;
+            }
+        }
+        total
+    }
+}
+
+/// Guards the `usize → u32` narrowing of node ids in the flattened arrays.
+fn node_checked(node: NodeIndex, n: usize) {
+    debug_assert!(node.index() < n);
+    assert!(
+        u32::try_from(node.index()).is_ok(),
+        "component graph too large for the flattened evaluator"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{cost, cost_breakdown};
+    use crate::graph::{Component, ComponentGraph, CostParams, Host};
+
+    fn problem() -> PlacementProblem {
+        let mut g = ComponentGraph::new();
+        let web = g.add(Component {
+            name: "web".into(),
+            role: Role::Entry,
+            pinned: None,
+            cpu_ms_per_call: 5.0,
+            write_rate: 0.0,
+        });
+        let svc = g.add(Component {
+            name: "svc".into(),
+            role: Role::Stateless,
+            pinned: None,
+            cpu_ms_per_call: 2.0,
+            write_rate: 0.0,
+        });
+        let entity = g.add(Component {
+            name: "entity".into(),
+            role: Role::Entity,
+            pinned: None,
+            cpu_ms_per_call: 1.0,
+            write_rate: 0.5,
+        });
+        let db = g.add(Component {
+            name: "db".into(),
+            role: Role::Database,
+            pinned: Some(HostId(0)),
+            cpu_ms_per_call: 1.0,
+            write_rate: 0.0,
+        });
+        g.interact(web, svc, 10.0, 500.0);
+        g.interact(svc, entity, 8.0, 300.0);
+        g.interact_write(entity, db, 2.0, 400.0);
+        PlacementProblem {
+            hosts: vec![
+                Host {
+                    name: "main".into(),
+                    entry_share: 0.4,
+                    cpu_capacity: 40.0,
+                },
+                Host {
+                    name: "edge".into(),
+                    entry_share: 0.6,
+                    cpu_capacity: f64::INFINITY,
+                },
+            ],
+            rtt_ms: vec![vec![0.0, 200.0], vec![200.0, 0.0]],
+            graph: g,
+            params: CostParams::default(),
+        }
+    }
+
+    fn assert_matches(problem: &PlacementProblem, eval: &CostEvaluator) {
+        let expected = cost_breakdown(problem, eval.placement());
+        let got = eval.breakdown();
+        let tol = 1e-9 * expected.total().abs().max(1.0);
+        assert!(
+            (got.communication - expected.communication).abs() <= tol,
+            "communication {got:?} vs {expected:?}"
+        );
+        assert!(
+            (got.consistency - expected.consistency).abs() <= tol,
+            "consistency {got:?} vs {expected:?}"
+        );
+        assert!(
+            (got.overload - expected.overload).abs() <= tol,
+            "overload {got:?} vs {expected:?}"
+        );
+    }
+
+    #[test]
+    fn initial_state_matches_full_recompute() {
+        let p = problem();
+        let eval = CostEvaluator::new(&p, Placement::all_on(&p, HostId(0)));
+        assert_matches(&p, &eval);
+        let full = cost(&p, eval.placement());
+        assert!((eval.total() - full).abs() <= 1e-9 * full.max(1.0));
+    }
+
+    #[test]
+    fn moves_track_full_recompute_and_undo_restores() {
+        let p = problem();
+        let svc = p.graph.by_name("svc").unwrap();
+        let entity = p.graph.by_name("entity").unwrap();
+        let mut eval = CostEvaluator::new(&p, Placement::all_on(&p, HostId(0)));
+        let initial = eval.breakdown();
+
+        let moves = [
+            Move::MovePrimary {
+                node: svc,
+                to: HostId(1),
+            },
+            Move::AddReplica {
+                node: entity,
+                host: HostId(1),
+            },
+            Move::MovePrimary {
+                node: svc,
+                to: HostId(0),
+            },
+            Move::DropReplica {
+                node: entity,
+                host: HostId(1),
+            },
+            Move::AddReplica {
+                node: svc,
+                host: HostId(1),
+            },
+        ];
+        for mv in moves {
+            let before = eval.total();
+            let delta = eval.apply(mv);
+            assert_matches(&p, &eval);
+            assert!(
+                (eval.total() - (before + delta)).abs() <= 1e-9 * before.abs().max(1.0),
+                "delta inconsistent"
+            );
+        }
+        for _ in 0..moves.len() {
+            eval.undo();
+            assert_matches(&p, &eval);
+        }
+        assert_eq!(eval.depth(), 0);
+        let back = eval.breakdown();
+        assert!((back.total() - initial.total()).abs() <= 1e-9 * initial.total().max(1.0));
+    }
+
+    #[test]
+    fn move_primary_absorbs_replica_and_undo_restores_it() {
+        let p = problem();
+        let entity = p.graph.by_name("entity").unwrap();
+        let mut eval = CostEvaluator::new(&p, Placement::all_on(&p, HostId(0)));
+        eval.apply(Move::AddReplica {
+            node: entity,
+            host: HostId(1),
+        });
+        eval.apply(Move::MovePrimary {
+            node: entity,
+            to: HostId(1),
+        });
+        assert!(!eval.has_replica(entity, HostId(1)), "replica absorbed");
+        assert_matches(&p, &eval);
+        eval.undo();
+        assert!(eval.has_replica(entity, HostId(1)), "replica restored");
+        assert_eq!(eval.primary_of(entity), HostId(0));
+        assert_matches(&p, &eval);
+    }
+
+    #[test]
+    fn overload_term_tracks_capacity_crossings() {
+        let p = problem();
+        let svc = p.graph.by_name("svc").unwrap();
+        let mut eval = CostEvaluator::new(&p, Placement::all_on(&p, HostId(0)));
+        // all-on-main exceeds main's 100 ms/s capacity.
+        assert!(eval.breakdown().overload > 0.0);
+        eval.apply(Move::MovePrimary {
+            node: svc,
+            to: HostId(1),
+        });
+        assert_matches(&p, &eval);
+    }
+
+    #[test]
+    #[should_panic(expected = "AddReplica at the primary host")]
+    fn add_replica_at_primary_is_rejected() {
+        let p = problem();
+        let svc = p.graph.by_name("svc").unwrap();
+        let mut eval = CostEvaluator::new(&p, Placement::all_on(&p, HostId(0)));
+        eval.apply(Move::AddReplica {
+            node: svc,
+            host: HostId(0),
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "undo with no applied move")]
+    fn undo_on_empty_history_panics() {
+        let p = problem();
+        let mut eval = CostEvaluator::new(&p, Placement::all_on(&p, HostId(0)));
+        eval.undo();
+    }
+}

@@ -6,7 +6,7 @@
 //! the input an automatic deployer would extract from profiling — the §7
 //! "long-term goal" of demand-driven deployment.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use mutsvc_apps::petstore::{PsPage, PsParams};
 use mutsvc_apps::rubis::{RubisPage, RubisParams};
@@ -47,10 +47,12 @@ pub fn paper_hosts() -> (Vec<Host>, Vec<Vec<f64>>) {
 struct Accumulator<'a> {
     registry: &'a ComponentRegistry,
     /// Per component: (invocations/s, Σ bytes, queries/s handled, writes/s,
-    /// cpu ms sample).
-    nodes: HashMap<ComponentId, NodeStats>,
+    /// cpu ms sample). Ordered maps so two derivations of the same app
+    /// build bit-identical graphs (node/edge order feeds straight into
+    /// float summation order downstream).
+    nodes: BTreeMap<ComponentId, NodeStats>,
     /// (caller, callee) -> (calls/s, Σ rate×bytes).
-    edges: HashMap<(ComponentId, ComponentId, bool), (f64, f64)>,
+    edges: BTreeMap<(ComponentId, ComponentId, bool), (f64, f64)>,
 }
 
 #[derive(Default)]
@@ -68,8 +70,8 @@ impl<'a> Accumulator<'a> {
     fn new(registry: &'a ComponentRegistry) -> Self {
         Accumulator {
             registry,
-            nodes: HashMap::new(),
-            edges: HashMap::new(),
+            nodes: BTreeMap::new(),
+            edges: BTreeMap::new(),
         }
     }
 

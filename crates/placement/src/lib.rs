@@ -6,7 +6,10 @@
 //! * [`graph`] — component interaction graphs (petgraph-backed), hosts,
 //!   pinning/replication attributes and placement problems;
 //! * [`cost`] — the wide-area objective: RMI round trips × rates across the
-//!   placement cut, plus replica-consistency pushes and capacity penalties;
+//!   placement cut, plus replica-consistency pushes and capacity penalties —
+//!   with an incremental evaluator ([`cost::incremental`]) that prices
+//!   single-component moves in `O(degree × hosts)` instead of re-sweeping
+//!   the whole graph;
 //! * [`algorithms`] — exhaustive enumeration (optimality oracle), greedy
 //!   hill-climbing with replica moves (derives the read-mostly pattern),
 //!   Kernighan–Lin bipartitioning, and a METIS-style multilevel k-way
@@ -37,6 +40,7 @@ pub mod cost;
 pub mod derive;
 pub mod graph;
 
+pub use cost::incremental::{CostEvaluator, Move};
 pub use cost::{cost, cost_breakdown, CostBreakdown};
 pub use graph::{
     Component, ComponentGraph, CostParams, Host, HostId, Interaction, Placement, PlacementProblem,

@@ -1,0 +1,264 @@
+//! Equivalence property test: the incremental [`CostEvaluator`] must agree
+//! with the from-scratch [`cost_breakdown`] sweep — termwise, within a
+//! relative 1e-9 — at *every* step of long randomized move/undo sequences,
+//! on both the paper-derived applications and random synthetic graphs.
+//!
+//! This is the safety net under the whole perf optimisation: every search
+//! algorithm now trusts `apply`/`undo` deltas instead of re-sweeping the
+//! graph, so any drift here would silently corrupt placement decisions.
+//!
+//! Run it in release in CI (`cargo test -p mutsvc-placement --release
+//! --test incremental_equivalence`); the debug build covers a reduced
+//! number of steps so `cargo test -q` stays fast.
+
+use mutsvc_desim::rng::SimRng;
+use mutsvc_placement::graph::{
+    Component, ComponentGraph, CostParams, Host, HostId, Placement, PlacementProblem, Role,
+};
+use mutsvc_placement::{cost_breakdown, CostBreakdown, CostEvaluator, Move};
+use petgraph::graph::NodeIndex;
+
+#[cfg(debug_assertions)]
+const STEPS: usize = 120;
+#[cfg(not(debug_assertions))]
+const STEPS: usize = 600;
+
+/// Relative tolerance: the evaluator's Kahan accumulators keep drift at the
+/// last-bit level, but summation *order* still differs from the sweep.
+fn assert_close(term: &str, incremental: f64, full: f64, step: usize) {
+    let tolerance = 1e-9 * full.abs().max(1.0);
+    assert!(
+        (incremental - full).abs() <= tolerance,
+        "step {step}: {term} diverged: incremental {incremental:.15e} vs full {full:.15e}"
+    );
+}
+
+fn assert_breakdown_close(incremental: &CostBreakdown, full: &CostBreakdown, step: usize) {
+    assert_close(
+        "communication",
+        incremental.communication,
+        full.communication,
+        step,
+    );
+    assert_close(
+        "consistency",
+        incremental.consistency,
+        full.consistency,
+        step,
+    );
+    assert_close("overload", incremental.overload, full.overload, step);
+    assert_close("total", incremental.total(), full.total(), step);
+}
+
+/// A synthetic wide-area problem: 3–6 hosts (some with finite CPU capacity
+/// so the overload term is exercised), one entry tier, a pinned database,
+/// replicable entities with write traffic, and random read/write edges.
+fn random_problem(rng: &mut SimRng) -> PlacementProblem {
+    let host_count = 3 + rng.index(4);
+    let mut hosts = Vec::new();
+    let mut shares = Vec::new();
+    for i in 0..host_count {
+        // Roughly half the hosts take client traffic; host 0 always does so
+        // shares never end up all-zero.
+        let share = if i == 0 || rng.chance(0.5) {
+            rng.uniform_range(0.2, 1.0)
+        } else {
+            0.0
+        };
+        shares.push(share);
+        hosts.push(Host {
+            name: format!("h{i}"),
+            entry_share: 0.0,
+            // Finite capacities on some hosts so moves cross the overload
+            // threshold during the walk.
+            cpu_capacity: if rng.chance(0.4) {
+                rng.uniform_range(20.0, 120.0)
+            } else {
+                f64::INFINITY
+            },
+        });
+    }
+    let total_share: f64 = shares.iter().sum();
+    for (host, share) in hosts.iter_mut().zip(&shares) {
+        host.entry_share = share / total_share;
+    }
+    let mut rtt_ms = vec![vec![0.0; host_count]; host_count];
+    // Symmetric fill writes both the (i, j) and (j, i) slots.
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..host_count {
+        for j in (i + 1)..host_count {
+            let rtt = rng.uniform_range(10.0, 300.0);
+            rtt_ms[i][j] = rtt;
+            rtt_ms[j][i] = rtt;
+        }
+    }
+
+    let mut graph = ComponentGraph::new();
+    let component_count = 6 + rng.index(7);
+    let mut nodes = Vec::new();
+    for i in 0..component_count {
+        let role = match i {
+            0 => Role::Entry,
+            1 => Role::Database,
+            _ => match rng.index(4) {
+                0 => Role::Session,
+                1 => Role::Stateless,
+                2 => Role::Entity,
+                _ => Role::Stateless,
+            },
+        };
+        let write_rate = if matches!(role, Role::Entity | Role::Database) {
+            rng.uniform_range(0.0, 8.0)
+        } else {
+            0.0
+        };
+        nodes.push(graph.add(Component {
+            name: format!("c{i}"),
+            role,
+            pinned: (role == Role::Database).then(|| HostId(rng.index(host_count))),
+            cpu_ms_per_call: rng.uniform_range(0.1, 6.0),
+            write_rate,
+        }));
+    }
+    // Entry fans out; internal components call "later" components so the
+    // graph looks like a tiered application rather than random soup.
+    for i in 1..component_count {
+        graph.interact(
+            nodes[0],
+            nodes[i],
+            rng.uniform_range(0.5, 30.0),
+            rng.uniform_range(100.0, 4000.0),
+        );
+    }
+    for _ in 0..component_count * 2 {
+        let a = rng.index(component_count);
+        let b = rng.index(component_count);
+        if a == b {
+            continue;
+        }
+        let rate = rng.uniform_range(0.1, 20.0);
+        let bytes = rng.uniform_range(50.0, 2000.0);
+        if rng.chance(0.3) {
+            graph.interact_write(nodes[a], nodes[b], rate, bytes);
+        } else {
+            graph.interact(nodes[a], nodes[b], rate, bytes);
+        }
+    }
+
+    let problem = PlacementProblem {
+        hosts,
+        rtt_ms,
+        graph,
+        params: CostParams {
+            overload_penalty: 5_000.0,
+            ..CostParams::default()
+        },
+    };
+    problem.validate().expect("random problem is well-formed");
+    problem
+}
+
+/// A random starting placement: scattered primaries plus some replicas.
+fn random_placement(rng: &mut SimRng, problem: &PlacementProblem) -> Placement {
+    let hosts = problem.hosts.len();
+    let mut placement = Placement::all_on(problem, HostId(0));
+    for node in problem.graph.graph.node_indices() {
+        let idx = node.index();
+        placement.primary[idx] = HostId(rng.index(hosts));
+        for h in 0..hosts {
+            if HostId(h) != placement.primary[idx] && rng.chance(0.2) {
+                placement.replicas[idx].insert(HostId(h));
+            }
+        }
+    }
+    placement.repair_pins(problem);
+    placement
+}
+
+/// Draws a move that is valid against the evaluator's *current* state.
+fn random_move(rng: &mut SimRng, eval: &CostEvaluator, problem: &PlacementProblem) -> Move {
+    let components = problem.graph.len();
+    let hosts = problem.hosts.len();
+    loop {
+        let node = NodeIndex::new(rng.index(components));
+        let host = HostId(rng.index(hosts));
+        match rng.index(3) {
+            0 => return Move::MovePrimary { node, to: host },
+            1 if eval.primary_of(node) != host && !eval.has_replica(node, host) => {
+                return Move::AddReplica { node, host };
+            }
+            2 if eval.has_replica(node, host) => {
+                return Move::DropReplica { node, host };
+            }
+            _ => continue,
+        }
+    }
+}
+
+/// Drives a move/undo walk and checks the evaluator against the full sweep
+/// at every step; at the end, unwinds everything and checks the initial
+/// state is restored exactly.
+fn walk(problem: &PlacementProblem, start: Placement, rng: &mut SimRng, steps: usize) {
+    let initial_breakdown = cost_breakdown(problem, &start);
+    let mut eval = CostEvaluator::new(problem, start.clone());
+    assert_breakdown_close(&eval.breakdown(), &initial_breakdown, 0);
+
+    let mut running_total = eval.total();
+    for step in 1..=steps {
+        let delta = if eval.depth() > 0 && rng.chance(0.3) {
+            eval.undo()
+        } else {
+            let mv = random_move(rng, &eval, problem);
+            eval.apply(mv)
+        };
+        running_total += delta;
+        let full = cost_breakdown(problem, eval.placement());
+        assert_breakdown_close(&eval.breakdown(), &full, step);
+        // The *sum of reported deltas* must track the state too — the
+        // algorithms accumulate these deltas without re-reading totals.
+        assert_close("running-delta total", running_total, full.total(), step);
+    }
+
+    while eval.depth() > 0 {
+        eval.undo();
+    }
+    assert_eq!(
+        eval.placement(),
+        &start,
+        "full unwind must restore the starting placement exactly"
+    );
+    assert_breakdown_close(&eval.breakdown(), &initial_breakdown, steps + 1);
+}
+
+#[test]
+fn paper_applications_match_full_recompute() {
+    let (petstore, _) = mutsvc_placement::derive::petstore_problem();
+    let (rubis, _) = mutsvc_placement::derive::rubis_problem();
+    for (name, problem) in [("petstore", petstore), ("rubis", rubis)] {
+        let mut rng = SimRng::seed_from_u64(0xC0FFEE ^ name.len() as u64);
+        let start = random_placement(&mut rng, &problem);
+        walk(&problem, start, &mut rng, STEPS);
+    }
+}
+
+#[test]
+fn random_graphs_match_full_recompute() {
+    for seed in 0..12u64 {
+        let mut rng = SimRng::seed_from_u64(0x5EED_0000 + seed);
+        let problem = random_problem(&mut rng);
+        let start = random_placement(&mut rng, &problem);
+        walk(&problem, start, &mut rng, STEPS);
+    }
+}
+
+#[test]
+fn all_on_single_host_walks_match() {
+    // Degenerate starts (everything co-located, near-zero communication)
+    // are where absolute tolerances would hide bugs; walk from each.
+    let (problem, _) = mutsvc_placement::derive::petstore_problem();
+    for host in 0..problem.hosts.len() {
+        let mut rng = SimRng::seed_from_u64(0xA11_0000 + host as u64);
+        let start = Placement::all_on(&problem, HostId(host));
+        walk(&problem, start, &mut rng, STEPS / 2);
+    }
+}

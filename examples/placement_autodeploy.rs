@@ -8,6 +8,7 @@
 
 use mutable_services::placement::algorithms::greedy::{solve as greedy, GreedyOptions};
 use mutable_services::placement::algorithms::multilevel::{solve as multilevel, MultilevelOptions};
+use mutable_services::placement::algorithms::{solve_multistart, MultistartOptions};
 use mutable_services::placement::derive::{petstore_problem, rubis_problem};
 use mutable_services::placement::{cost, cost_breakdown, HostId, Placement, PlacementProblem};
 
@@ -34,6 +35,12 @@ fn study(name: &str, problem: &PlacementProblem) {
     );
     println!("  greedy (no replication):  {:>8.0} ms/s", c);
     drop(placement);
+
+    let (_, c) = solve_multistart(problem, &MultistartOptions::default());
+    println!(
+        "  parallel multi-start:     {:>8.0} ms/s (deterministic across thread counts)",
+        c
+    );
 
     let (placement, c) = greedy(problem, &GreedyOptions::default());
     let b = cost_breakdown(problem, &placement);

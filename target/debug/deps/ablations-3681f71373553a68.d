@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-3681f71373553a68.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/ablations-3681f71373553a68: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

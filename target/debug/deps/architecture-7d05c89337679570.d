@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/architecture-7d05c89337679570.d: tests/architecture.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarchitecture-7d05c89337679570.rmeta: tests/architecture.rs Cargo.toml
+
+tests/architecture.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

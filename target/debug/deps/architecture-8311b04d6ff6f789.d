@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/architecture-8311b04d6ff6f789.d: tests/architecture.rs
+
+/root/repo/target/debug/deps/architecture-8311b04d6ff6f789: tests/architecture.rs
+
+tests/architecture.rs:

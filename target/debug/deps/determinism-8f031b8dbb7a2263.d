@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-8f031b8dbb7a2263.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-8f031b8dbb7a2263: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-31bb86ade2208542.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-31bb86ade2208542: tests/end_to_end.rs
+
+tests/end_to_end.rs:

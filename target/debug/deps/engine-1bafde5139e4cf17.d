@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine-1bafde5139e4cf17.d: crates/bench/benches/engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine-1bafde5139e4cf17.rmeta: crates/bench/benches/engine.rs Cargo.toml
+
+crates/bench/benches/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

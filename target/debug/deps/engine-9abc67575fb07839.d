@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-9abc67575fb07839.d: crates/bench/benches/engine.rs
+
+/root/repo/target/debug/deps/engine-9abc67575fb07839: crates/bench/benches/engine.rs
+
+crates/bench/benches/engine.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/incremental_equivalence-2897dfe605e3bb8f.d: crates/placement/tests/incremental_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libincremental_equivalence-2897dfe605e3bb8f.rmeta: crates/placement/tests/incremental_equivalence.rs Cargo.toml
+
+crates/placement/tests/incremental_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

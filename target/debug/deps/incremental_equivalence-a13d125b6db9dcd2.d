@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/incremental_equivalence-a13d125b6db9dcd2.d: crates/placement/tests/incremental_equivalence.rs
+
+/root/repo/target/debug/deps/incremental_equivalence-a13d125b6db9dcd2: crates/placement/tests/incremental_equivalence.rs
+
+crates/placement/tests/incremental_equivalence.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mutable_services-06cc5dcea20f3baa.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmutable_services-06cc5dcea20f3baa.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmutable_services-06cc5dcea20f3baa.rmeta: src/lib.rs
+
+src/lib.rs:

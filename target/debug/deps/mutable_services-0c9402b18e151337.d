@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mutable_services-0c9402b18e151337.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmutable_services-0c9402b18e151337.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mutable_services-4324f75d155f9e00.d: src/lib.rs
+
+/root/repo/target/debug/deps/mutable_services-4324f75d155f9e00: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mutsvc_bench-796ebc46983ed75a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/mutsvc_bench-796ebc46983ed75a: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

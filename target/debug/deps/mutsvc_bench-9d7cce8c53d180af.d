@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mutsvc_bench-9d7cce8c53d180af.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmutsvc_bench-9d7cce8c53d180af.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mutsvc_bench-f3f258648c64834b.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmutsvc_bench-f3f258648c64834b.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

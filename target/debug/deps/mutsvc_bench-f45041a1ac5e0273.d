@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mutsvc_bench-f45041a1ac5e0273.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmutsvc_bench-f45041a1ac5e0273.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmutsvc_bench-f45041a1ac5e0273.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

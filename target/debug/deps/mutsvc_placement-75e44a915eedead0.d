@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/mutsvc_placement-75e44a915eedead0.d: crates/placement/src/lib.rs crates/placement/src/algorithms/mod.rs crates/placement/src/algorithms/annealing.rs crates/placement/src/algorithms/exhaustive.rs crates/placement/src/algorithms/greedy.rs crates/placement/src/algorithms/kl.rs crates/placement/src/algorithms/multilevel.rs crates/placement/src/cost.rs crates/placement/src/derive.rs crates/placement/src/graph.rs
+/root/repo/target/debug/deps/mutsvc_placement-75e44a915eedead0.d: crates/placement/src/lib.rs crates/placement/src/algorithms/mod.rs crates/placement/src/algorithms/annealing.rs crates/placement/src/algorithms/exhaustive.rs crates/placement/src/algorithms/greedy.rs crates/placement/src/algorithms/kl.rs crates/placement/src/algorithms/multilevel.rs crates/placement/src/cost.rs crates/placement/src/cost/incremental.rs crates/placement/src/derive.rs crates/placement/src/graph.rs
 
-/root/repo/target/debug/deps/libmutsvc_placement-75e44a915eedead0.rlib: crates/placement/src/lib.rs crates/placement/src/algorithms/mod.rs crates/placement/src/algorithms/annealing.rs crates/placement/src/algorithms/exhaustive.rs crates/placement/src/algorithms/greedy.rs crates/placement/src/algorithms/kl.rs crates/placement/src/algorithms/multilevel.rs crates/placement/src/cost.rs crates/placement/src/derive.rs crates/placement/src/graph.rs
+/root/repo/target/debug/deps/libmutsvc_placement-75e44a915eedead0.rlib: crates/placement/src/lib.rs crates/placement/src/algorithms/mod.rs crates/placement/src/algorithms/annealing.rs crates/placement/src/algorithms/exhaustive.rs crates/placement/src/algorithms/greedy.rs crates/placement/src/algorithms/kl.rs crates/placement/src/algorithms/multilevel.rs crates/placement/src/cost.rs crates/placement/src/cost/incremental.rs crates/placement/src/derive.rs crates/placement/src/graph.rs
 
-/root/repo/target/debug/deps/libmutsvc_placement-75e44a915eedead0.rmeta: crates/placement/src/lib.rs crates/placement/src/algorithms/mod.rs crates/placement/src/algorithms/annealing.rs crates/placement/src/algorithms/exhaustive.rs crates/placement/src/algorithms/greedy.rs crates/placement/src/algorithms/kl.rs crates/placement/src/algorithms/multilevel.rs crates/placement/src/cost.rs crates/placement/src/derive.rs crates/placement/src/graph.rs
+/root/repo/target/debug/deps/libmutsvc_placement-75e44a915eedead0.rmeta: crates/placement/src/lib.rs crates/placement/src/algorithms/mod.rs crates/placement/src/algorithms/annealing.rs crates/placement/src/algorithms/exhaustive.rs crates/placement/src/algorithms/greedy.rs crates/placement/src/algorithms/kl.rs crates/placement/src/algorithms/multilevel.rs crates/placement/src/cost.rs crates/placement/src/cost/incremental.rs crates/placement/src/derive.rs crates/placement/src/graph.rs
 
 crates/placement/src/lib.rs:
 crates/placement/src/algorithms/mod.rs:
@@ -12,5 +12,6 @@ crates/placement/src/algorithms/greedy.rs:
 crates/placement/src/algorithms/kl.rs:
 crates/placement/src/algorithms/multilevel.rs:
 crates/placement/src/cost.rs:
+crates/placement/src/cost/incremental.rs:
 crates/placement/src/derive.rs:
 crates/placement/src/graph.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/mutsvc_placement-cd13e47fa6a0a24d.d: crates/placement/src/lib.rs crates/placement/src/algorithms/mod.rs crates/placement/src/algorithms/annealing.rs crates/placement/src/algorithms/exhaustive.rs crates/placement/src/algorithms/greedy.rs crates/placement/src/algorithms/kl.rs crates/placement/src/algorithms/multilevel.rs crates/placement/src/cost.rs crates/placement/src/derive.rs crates/placement/src/graph.rs
+/root/repo/target/debug/deps/mutsvc_placement-cd13e47fa6a0a24d.d: crates/placement/src/lib.rs crates/placement/src/algorithms/mod.rs crates/placement/src/algorithms/annealing.rs crates/placement/src/algorithms/exhaustive.rs crates/placement/src/algorithms/greedy.rs crates/placement/src/algorithms/kl.rs crates/placement/src/algorithms/multilevel.rs crates/placement/src/cost.rs crates/placement/src/cost/incremental.rs crates/placement/src/derive.rs crates/placement/src/graph.rs
 
-/root/repo/target/debug/deps/mutsvc_placement-cd13e47fa6a0a24d: crates/placement/src/lib.rs crates/placement/src/algorithms/mod.rs crates/placement/src/algorithms/annealing.rs crates/placement/src/algorithms/exhaustive.rs crates/placement/src/algorithms/greedy.rs crates/placement/src/algorithms/kl.rs crates/placement/src/algorithms/multilevel.rs crates/placement/src/cost.rs crates/placement/src/derive.rs crates/placement/src/graph.rs
+/root/repo/target/debug/deps/mutsvc_placement-cd13e47fa6a0a24d: crates/placement/src/lib.rs crates/placement/src/algorithms/mod.rs crates/placement/src/algorithms/annealing.rs crates/placement/src/algorithms/exhaustive.rs crates/placement/src/algorithms/greedy.rs crates/placement/src/algorithms/kl.rs crates/placement/src/algorithms/multilevel.rs crates/placement/src/cost.rs crates/placement/src/cost/incremental.rs crates/placement/src/derive.rs crates/placement/src/graph.rs
 
 crates/placement/src/lib.rs:
 crates/placement/src/algorithms/mod.rs:
@@ -10,5 +10,6 @@ crates/placement/src/algorithms/greedy.rs:
 crates/placement/src/algorithms/kl.rs:
 crates/placement/src/algorithms/multilevel.rs:
 crates/placement/src/cost.rs:
+crates/placement/src/cost/incremental.rs:
 crates/placement/src/derive.rs:
 crates/placement/src/graph.rs:

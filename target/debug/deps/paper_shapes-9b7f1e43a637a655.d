@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-9b7f1e43a637a655.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-9b7f1e43a637a655: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/placement-3c2aa4d0b2e67d23.d: crates/bench/benches/placement.rs
+
+/root/repo/target/debug/deps/placement-3c2aa4d0b2e67d23: crates/bench/benches/placement.rs
+
+crates/bench/benches/placement.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/placement-c141793036ee1007.d: crates/bench/benches/placement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplacement-c141793036ee1007.rmeta: crates/bench/benches/placement.rs Cargo.toml
+
+crates/bench/benches/placement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

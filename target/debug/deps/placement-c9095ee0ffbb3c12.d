@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/placement-c9095ee0ffbb3c12.d: crates/bench/benches/placement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplacement-c9095ee0ffbb3c12.rmeta: crates/bench/benches/placement.rs Cargo.toml
+
+crates/bench/benches/placement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/placement_consistency-3f35f0572573da13.d: tests/placement_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplacement_consistency-3f35f0572573da13.rmeta: tests/placement_consistency.rs Cargo.toml
+
+tests/placement_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/placement_consistency-79db218b5fe9f063.d: tests/placement_consistency.rs
+
+/root/repo/target/debug/deps/placement_consistency-79db218b5fe9f063: tests/placement_consistency.rs
+
+tests/placement_consistency.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-47ec1806d1f08c58.d: vendored/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-47ec1806d1f08c58.rlib: vendored/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-47ec1806d1f08c58.rmeta: vendored/rayon/src/lib.rs
+
+vendored/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-cfe51ffd4cda4126.d: vendored/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/rayon-cfe51ffd4cda4126: vendored/rayon/src/lib.rs
+
+vendored/rayon/src/lib.rs:

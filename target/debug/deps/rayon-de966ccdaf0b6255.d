@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rayon-de966ccdaf0b6255.d: vendored/rayon/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librayon-de966ccdaf0b6255.rmeta: vendored/rayon/src/lib.rs Cargo.toml
+
+vendored/rayon/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

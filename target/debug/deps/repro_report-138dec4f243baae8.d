@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_report-138dec4f243baae8.d: crates/bench/src/bin/repro_report.rs
+
+/root/repo/target/debug/deps/repro_report-138dec4f243baae8: crates/bench/src/bin/repro_report.rs
+
+crates/bench/src/bin/repro_report.rs:

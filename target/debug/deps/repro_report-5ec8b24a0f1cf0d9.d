@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_report-5ec8b24a0f1cf0d9.d: crates/bench/src/bin/repro_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_report-5ec8b24a0f1cf0d9.rmeta: crates/bench/src/bin/repro_report.rs Cargo.toml
+
+crates/bench/src/bin/repro_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_report-ccac50350d9dc2eb.d: crates/bench/src/bin/repro_report.rs
+
+/root/repo/target/debug/deps/repro_report-ccac50350d9dc2eb: crates/bench/src/bin/repro_report.rs
+
+crates/bench/src/bin/repro_report.rs:

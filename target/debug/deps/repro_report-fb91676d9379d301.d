@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_report-fb91676d9379d301.d: crates/bench/src/bin/repro_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_report-fb91676d9379d301.rmeta: crates/bench/src/bin/repro_report.rs Cargo.toml
+
+crates/bench/src/bin/repro_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_report-ff62057cab618e20.d: crates/bench/src/bin/repro_report.rs
+
+/root/repo/target/debug/deps/repro_report-ff62057cab618e20: crates/bench/src/bin/repro_report.rs
+
+crates/bench/src/bin/repro_report.rs:

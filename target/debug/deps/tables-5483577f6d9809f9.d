@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-5483577f6d9809f9.d: crates/bench/benches/tables.rs
+
+/root/repo/target/debug/deps/tables-5483577f6d9809f9: crates/bench/benches/tables.rs
+
+crates/bench/benches/tables.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tables-ba68477ef515b412.d: crates/bench/benches/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtables-ba68477ef515b412.rmeta: crates/bench/benches/tables.rs Cargo.toml
+
+crates/bench/benches/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/link_degradation-52f09473aec2963f.d: examples/link_degradation.rs
+
+/root/repo/target/debug/examples/link_degradation-52f09473aec2963f: examples/link_degradation.rs
+
+examples/link_degradation.rs:

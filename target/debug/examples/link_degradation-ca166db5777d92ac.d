@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/link_degradation-ca166db5777d92ac.d: examples/link_degradation.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblink_degradation-ca166db5777d92ac.rmeta: examples/link_degradation.rs Cargo.toml
+
+examples/link_degradation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

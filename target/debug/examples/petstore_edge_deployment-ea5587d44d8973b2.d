@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/petstore_edge_deployment-ea5587d44d8973b2.d: examples/petstore_edge_deployment.rs
+
+/root/repo/target/debug/examples/petstore_edge_deployment-ea5587d44d8973b2: examples/petstore_edge_deployment.rs
+
+examples/petstore_edge_deployment.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/petstore_edge_deployment-ec282bd7c7a310a9.d: examples/petstore_edge_deployment.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpetstore_edge_deployment-ec282bd7c7a310a9.rmeta: examples/petstore_edge_deployment.rs Cargo.toml
+
+examples/petstore_edge_deployment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/placement_autodeploy-cd9bb6fcf1de169b.d: examples/placement_autodeploy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libplacement_autodeploy-cd9bb6fcf1de169b.rmeta: examples/placement_autodeploy.rs Cargo.toml
+
+examples/placement_autodeploy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/placement_autodeploy-efd944a3cec15742.d: examples/placement_autodeploy.rs
+
+/root/repo/target/debug/examples/placement_autodeploy-efd944a3cec15742: examples/placement_autodeploy.rs
+
+examples/placement_autodeploy.rs:

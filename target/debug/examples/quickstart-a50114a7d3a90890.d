@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a50114a7d3a90890.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a50114a7d3a90890: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rubis_bidder_study-221c6dc40dceff17.d: examples/rubis_bidder_study.rs
+
+/root/repo/target/debug/examples/rubis_bidder_study-221c6dc40dceff17: examples/rubis_bidder_study.rs
+
+examples/rubis_bidder_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rubis_bidder_study-870344f5e3bdafa0.d: examples/rubis_bidder_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/librubis_bidder_study-870344f5e3bdafa0.rmeta: examples/rubis_bidder_study.rs Cargo.toml
+
+examples/rubis_bidder_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

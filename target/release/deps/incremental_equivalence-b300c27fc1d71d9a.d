@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/incremental_equivalence-b300c27fc1d71d9a.d: crates/placement/tests/incremental_equivalence.rs
+
+/root/repo/target/release/deps/incremental_equivalence-b300c27fc1d71d9a: crates/placement/tests/incremental_equivalence.rs
+
+crates/placement/tests/incremental_equivalence.rs:

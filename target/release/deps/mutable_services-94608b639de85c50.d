@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mutable_services-94608b639de85c50.d: src/lib.rs
+
+/root/repo/target/release/deps/libmutable_services-94608b639de85c50.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmutable_services-94608b639de85c50.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mutable_services-c5bc6463e52b17e1.d: src/lib.rs
+
+/root/repo/target/release/deps/mutable_services-c5bc6463e52b17e1: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mutsvc_bench-475196785b94b231.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmutsvc_bench-475196785b94b231.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmutsvc_bench-475196785b94b231.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-5a18a51816a82c21.d: vendored/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-5a18a51816a82c21.rlib: vendored/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-5a18a51816a82c21.rmeta: vendored/proptest/src/lib.rs
+
+vendored/proptest/src/lib.rs:

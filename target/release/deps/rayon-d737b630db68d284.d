@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-d737b630db68d284.d: vendored/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-d737b630db68d284.rlib: vendored/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-d737b630db68d284.rmeta: vendored/rayon/src/lib.rs
+
+vendored/rayon/src/lib.rs:

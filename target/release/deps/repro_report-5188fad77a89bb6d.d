@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_report-5188fad77a89bb6d.d: crates/bench/src/bin/repro_report.rs
+
+/root/repo/target/release/deps/repro_report-5188fad77a89bb6d: crates/bench/src/bin/repro_report.rs
+
+crates/bench/src/bin/repro_report.rs:

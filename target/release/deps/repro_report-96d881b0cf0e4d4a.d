@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_report-96d881b0cf0e4d4a.d: crates/bench/src/bin/repro_report.rs
+
+/root/repo/target/release/deps/repro_report-96d881b0cf0e4d4a: crates/bench/src/bin/repro_report.rs
+
+crates/bench/src/bin/repro_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/placement_autodeploy-12e7e28d08a57678.d: examples/placement_autodeploy.rs
+
+/root/repo/target/release/examples/placement_autodeploy-12e7e28d08a57678: examples/placement_autodeploy.rs
+
+examples/placement_autodeploy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-722ddfcb6507892c.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-722ddfcb6507892c: examples/quickstart.rs
+
+examples/quickstart.rs:

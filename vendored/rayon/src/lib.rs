@@ -1,0 +1,348 @@
+//! Minimal offline stand-in for `rayon`.
+//!
+//! Implements the data-parallel iterator subset this workspace uses —
+//! `into_par_iter()` on ranges, vectors and slices, with `map`, `collect`,
+//! `min_by`, `reduce_with`, `for_each` and `count` — executed on scoped OS
+//! threads with order-preserving chunking, plus `ThreadPoolBuilder` /
+//! `ThreadPool::install` for bounding the thread count of a region.
+//!
+//! Differences from upstream kept deliberately small and *stronger*:
+//! combining consumers (`min_by`, `reduce_with`) fold the materialized
+//! results sequentially in input order, so they are deterministic even for
+//! non-associative operations where real rayon's reduction tree is not.
+//! Code written against this stand-in must still follow rayon's rules
+//! (total-order comparators, associative reductions) to behave identically
+//! on the real crate.
+
+use std::cell::Cell;
+use std::cmp::Ordering;
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of threads parallel iterators on this thread will use.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS.with(Cell::get).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the pool's thread count (0 = automatic, as in upstream).
+    #[must_use]
+    pub fn num_threads(mut self, num_threads: usize) -> ThreadPoolBuilder {
+        self.num_threads = Some(num_threads);
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in the stand-in; the `Result` mirrors upstream's
+    /// signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = match self.num_threads {
+            Some(0) | None => std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// Error type mirroring `rayon::ThreadPoolBuildError` (never produced).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A scoped thread-count region mirroring `rayon::ThreadPool`.
+///
+/// The stand-in spawns scoped threads per operation rather than keeping a
+/// worker pool alive; `install` bounds how many it uses.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count governing any parallel
+    /// iterators it executes.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let previous = POOL_THREADS.with(|c| c.replace(Some(self.threads)));
+        let result = op();
+        POOL_THREADS.with(|c| c.set(previous));
+        result
+    }
+
+    /// This pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// The traits a `use rayon::prelude::*` is expected to bring in scope.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Order-preserving parallel map over a materialized sequence.
+fn parallel_map<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_num_threads().min(items.len()).max(1);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let len = items.len();
+    let per_chunk = len.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut drain = items.into_iter();
+    loop {
+        let chunk: Vec<T> = drain.by_ref().take(per_chunk).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let mut out: Vec<R> = Vec::with_capacity(len);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("rayon stand-in worker panicked"));
+        }
+    });
+    out
+}
+
+/// A parallel iterator over `Send` items.
+pub trait ParallelIterator: Sized {
+    /// The produced item type.
+    type Item: Send;
+
+    /// Executes the pipeline, materializing the results in input order.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Maps each item through `f` in parallel.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Collects the results.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.drive().into_iter().collect()
+    }
+
+    /// Minimum by a total-order comparator (deterministic: sequential fold
+    /// over the materialized results).
+    fn min_by<F>(self, compare: F) -> Option<Self::Item>
+    where
+        F: Fn(&Self::Item, &Self::Item) -> Ordering + Sync,
+    {
+        self.drive().into_iter().min_by(|a, b| compare(a, b))
+    }
+
+    /// Reduces the results pairwise in input order.
+    fn reduce_with<F>(self, reduce: F) -> Option<Self::Item>
+    where
+        F: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        self.drive().into_iter().reduce(reduce)
+    }
+
+    /// Runs `f` on every item in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        let _ = parallel_map(self.drive(), &|item| f(item));
+    }
+
+    /// Number of produced items.
+    fn count(self) -> usize {
+        self.drive().len()
+    }
+}
+
+/// Conversion into a [`ParallelIterator`] (mirrors
+/// `rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// The produced item type.
+    type Item: Send;
+    /// The concrete iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Parallel iterator over an owned, materialized sequence.
+#[derive(Debug)]
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Lazy parallel map adapter.
+#[derive(Debug)]
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn drive(self) -> Vec<R> {
+        parallel_map(self.base.drive(), &self.f)
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = VecParIter<usize>;
+
+    fn into_par_iter(self) -> VecParIter<usize> {
+        VecParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for Range<u64> {
+    type Item = u64;
+    type Iter = VecParIter<u64>;
+
+    fn into_par_iter(self) -> VecParIter<u64> {
+        VecParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = VecParIter<&'a T>;
+
+    fn into_par_iter(self) -> VecParIter<&'a T> {
+        VecParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = VecParIter<&'a T>;
+
+    fn into_par_iter(self) -> VecParIter<&'a T> {
+        self.as_slice().into_par_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let squares: Vec<usize> = (0..100usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, (0..100usize).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_bounds_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 2);
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 2);
+        // Restored afterwards.
+        assert_ne!(
+            POOL_THREADS.with(Cell::get),
+            Some(2),
+            "override must not leak"
+        );
+    }
+
+    #[test]
+    fn min_by_is_deterministic() {
+        let pool1 = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let pool4 = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let run = || {
+            (0..64u64)
+                .into_par_iter()
+                .map(|i| (i * 7919 % 97, i))
+                .min_by(|a, b| a.cmp(b))
+                .unwrap()
+        };
+        assert_eq!(pool1.install(run), pool4.install(run));
+    }
+
+    #[test]
+    fn slices_and_single_items_work() {
+        let v = vec![3, 1, 2];
+        let doubled: Vec<i32> = v.as_slice().into_par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 4]);
+        let one: Vec<i32> = vec![5].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![6]);
+        let empty: Vec<i32> = Vec::<i32>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+    }
+}
