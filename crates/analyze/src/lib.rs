@@ -33,6 +33,7 @@
 //! | `W104` | cacheable tag never issued, or issued tag not declared |
 //! | `W105` | read-your-writes staleness hazard under async propagation |
 //! | `W106` | replicated stateful session not hosted on the central node |
+//! | `W107` | caching machinery deployed but no page is ever memoizable |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -123,6 +124,7 @@ pub fn analyze(input: &AnalyzeInput<'_>) -> Report {
     check_stub_caching(input, &walks, &mut report);
     check_query_tags(input, &walks, &mut report);
     check_stateful_replicas(input, &mut report);
+    check_plan_cacheability(input, &walks, &mut report);
     emit_walk_lints(input, &walks, &mut report);
 
     report.sort_diagnostics();
@@ -473,6 +475,53 @@ fn check_stateful_replicas(input: &AnalyzeInput<'_>, report: &mut Report) {
             });
         }
     }
+}
+
+/// W107: the descriptor deploys edge-caching machinery (entity replicas or
+/// query-cache nodes), yet no page can ever be served from a memoized bound
+/// program. The binder certifies a bind replayable only when the page writes
+/// no table and makes no node crossing other than direct JDBC — RMI samples
+/// protocol overhead from the RNG stream, JNDI and façade fetches take cold
+/// transitions — so if every page trips one of those, the bound-program
+/// cache never engages and each request pays the full bind walk.
+fn check_plan_cacheability(input: &AnalyzeInput<'_>, walks: &[PageWalk], report: &mut Report) {
+    let d = input.descriptor;
+    let registry = input.registry;
+    let has_entity_replicas = registry.ids().any(|id| {
+        registry.spec(id).kind == ComponentKind::Entity && !d.placement(id).replicas.is_empty()
+    });
+    if !has_entity_replicas && d.query_cache.nodes.is_empty() {
+        return; // no caching machinery to leave idle
+    }
+    let memoizable = |walk: &PageWalk| {
+        walk.written_tables.is_empty()
+            && walk
+                .crossings
+                .iter()
+                .all(|c| matches!(c.kind, CrossingKind::Jdbc { .. }))
+    };
+    if walks.iter().any(memoizable) {
+        return;
+    }
+    report.diagnostics.push(Diagnostic {
+        code: "W107",
+        severity: Severity::Warning,
+        component: None,
+        node: None,
+        message: format!(
+            "the deployment provisions {} but every page either writes a table or \
+             crosses nodes, so no bind is ever replayable and the bound-program \
+             cache cannot engage",
+            if has_entity_replicas && !d.query_cache.nodes.is_empty() {
+                "entity replicas and edge query caches"
+            } else if has_entity_replicas {
+                "entity replicas"
+            } else {
+                "edge query caches"
+            }
+        ),
+        span: Span::descriptor("descriptor.placements"),
+    });
 }
 
 /// W101, W102, W105 from per-page walk events.

@@ -235,6 +235,39 @@ fn w104_dead_and_undeclared_tags() {
 }
 
 #[test]
+fn w107_caching_machinery_with_no_memoizable_page() {
+    // Async-updates provisions entity replicas and edge query caches; narrow
+    // the application to a single writing page and no bind can ever be
+    // certified replayable, leaving the bound-program cache permanently idle.
+    let (input, nodes) = Scenario::quick(AppKind::PetStore, Config::AsyncUpdates).build();
+    let mutsvc_apps::App::PetStore(ps) = &input.app else {
+        unreachable!()
+    };
+    let params = ps.representative_params();
+    let root = Call::new(ps.components.web, "editItem", SimDuration::ZERO).invoke(
+        Call::new(ps.components.item, "update", SimDuration::ZERO).mutate(Mutation::Update {
+            table: ps.tables.item,
+            id: params.item,
+            column: 2,
+            value: Value::Int(1),
+        }),
+        100,
+        100,
+    );
+    let pages = vec![PageRequest::new("EditItem", root, 8_000)];
+    let report = analyze(&AnalyzeInput {
+        app_name: "petstore",
+        registry: &input.registry,
+        descriptor: &input.descriptor,
+        db: &input.db,
+        nodes: &nodes,
+        pages: &pages,
+        invariant: wan_invariant(Config::AsyncUpdates),
+    });
+    assert!(report.codes().contains(&"W107"), "{}", report.render_text());
+}
+
+#[test]
 fn w106_replicated_stateful_session_off_the_central_node() {
     let report = report_for(
         AppKind::PetStore,

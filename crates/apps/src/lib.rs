@@ -33,6 +33,101 @@ use mutsvc_relstore::Database;
 pub use petstore::PetStore;
 pub use rubis::Rubis;
 
+/// A fully-drawn page request specification: which page plus the sampled
+/// parameters, before the call tree is materialised.
+///
+/// Splitting [`App::next_page`] into [`App::draw_page`] (consumes RNG,
+/// returns a `Copy` spec) and [`App::build_page`] (pure, no RNG) lets the
+/// workload driver key a bound-program cache on [`PageSpec::key`] and skip
+/// the build entirely on a cache hit.
+#[derive(Debug, Clone, Copy)]
+pub enum PageSpec {
+    /// A Pet Store page with its sampled parameters.
+    PetStore(petstore::PsPage, petstore::PsParams),
+    /// A RUBiS page with its sampled parameters.
+    Rubis(rubis::RubisPage, rubis::RubisParams),
+}
+
+/// The identity of a page request's *shape*: two requests with equal keys
+/// produce structurally identical call trees (same components, same queries,
+/// same mutant parameters), so a bound program for one replays for the other.
+///
+/// `a`/`b` hold only the parameters the page actually reads — e.g. a Pet
+/// Store *Category* page keys on the category row alone, so draws that
+/// differ only in the (unused) account or keyword share a cache entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageKey {
+    /// Application discriminant (0 = Pet Store, 1 = RUBiS).
+    pub app: u8,
+    /// Page discriminant within the application.
+    pub page: u8,
+    /// First used parameter (0 when unused).
+    pub a: u64,
+    /// Second used parameter (0 when unused).
+    pub b: u64,
+}
+
+impl PageSpec {
+    /// The page's reporting label (Table 6/7 column name).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PageSpec::PetStore(page, _) => page.name(),
+            PageSpec::Rubis(page, _) => page.name(),
+        }
+    }
+
+    /// The cache key of this request: page discriminant plus the projection
+    /// of the parameters this page's call tree actually depends on.
+    pub fn key(&self) -> PageKey {
+        use petstore::PsPage as P;
+        use rubis::RubisPage as R;
+        match self {
+            PageSpec::PetStore(page, p) => {
+                let (a, b) = match page {
+                    P::Main | P::SignIn | P::Checkout | P::PlaceOrder | P::Billing | P::SignOut => {
+                        (0, 0)
+                    }
+                    P::Category => (p.category.0, 0),
+                    P::Product => (p.product.0, 0),
+                    P::Item | P::Cart => (p.item.0, 0),
+                    P::Search => (p.keyword as u64, 0),
+                    P::VerifySignIn => (p.account.0, 0),
+                    P::Commit => (p.account.0, p.item.0),
+                };
+                PageKey {
+                    app: 0,
+                    page: *page as u8,
+                    a,
+                    b,
+                }
+            }
+            PageSpec::Rubis(page, p) => {
+                let (a, b) = match page {
+                    R::Main
+                    | R::Browse
+                    | R::AllCategories
+                    | R::AllRegions
+                    | R::Region
+                    | R::PutBidAuth
+                    | R::PutCommentAuth => (0, 0),
+                    R::Category => (p.category.0, 0),
+                    R::CategoryRegion => (p.category.0, p.region.0),
+                    R::Item | R::Bids => (p.item.0, 0),
+                    R::UserInfo => (p.target_user.0, 0),
+                    R::PutBidForm | R::StoreBid => (p.user.0, p.item.0),
+                    R::PutCommentForm | R::StoreComment => (p.user.0, p.target_user.0),
+                };
+                PageKey {
+                    app: 1,
+                    page: *page as u8,
+                    a,
+                    b,
+                }
+            }
+        }
+    }
+}
+
 /// The two service usage pattern families of §3.2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SessionKind {
@@ -111,7 +206,55 @@ impl App {
         }
     }
 
+    /// Draws the next page of a session as a [`PageSpec`], or `None` when
+    /// the session is over. This is the only step that consumes RNG; the
+    /// call tree is materialised separately by [`Self::build_page`], and a
+    /// bound-program cache hit on [`PageSpec::key`] can skip it entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` belongs to the other application.
+    pub fn draw_page(
+        &self,
+        state: &mut SessionState,
+        rng: &mut SimRng,
+    ) -> Option<(&'static str, PageSpec)> {
+        let spec = match (self, state) {
+            (App::PetStore(app), SessionState::PsBrowser(s)) => s
+                .next(&app.shape, rng)
+                .map(|(page, params)| PageSpec::PetStore(page, params)),
+            (App::PetStore(_), SessionState::PsBuyer(s)) => s
+                .next()
+                .map(|(page, params)| PageSpec::PetStore(page, params)),
+            (App::Rubis(app), SessionState::RubisBrowser(s)) => s
+                .next(&app.shape, rng)
+                .map(|(page, params)| PageSpec::Rubis(page, params)),
+            (App::Rubis(_), SessionState::RubisBidder(s)) => {
+                s.next().map(|(page, params)| PageSpec::Rubis(page, params))
+            }
+            _ => panic!("session state does not belong to this application"),
+        };
+        spec.map(|s| (s.label(), s))
+    }
+
+    /// Materialises the call tree of a drawn page. Pure: no RNG, and two
+    /// specs with equal [`PageSpec::key`]s build structurally identical
+    /// requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` belongs to the other application.
+    pub fn build_page(&self, spec: &PageSpec) -> PageRequest {
+        match (self, spec) {
+            (App::PetStore(app), PageSpec::PetStore(page, params)) => app.page(*page, params),
+            (App::Rubis(app), PageSpec::Rubis(page, params)) => app.page(*page, params),
+            _ => panic!("page spec does not belong to this application"),
+        }
+    }
+
     /// Draws the next page of a session, or `None` when the session is over.
+    /// Convenience wrapper: [`Self::draw_page`] followed by
+    /// [`Self::build_page`].
     ///
     /// # Panics
     ///
@@ -121,21 +264,8 @@ impl App {
         state: &mut SessionState,
         rng: &mut SimRng,
     ) -> Option<(&'static str, PageRequest)> {
-        match (self, state) {
-            (App::PetStore(app), SessionState::PsBrowser(s)) => s
-                .next(&app.shape, rng)
-                .map(|(page, params)| (page.name(), app.page(page, &params))),
-            (App::PetStore(app), SessionState::PsBuyer(s)) => s
-                .next()
-                .map(|(page, params)| (page.name(), app.page(page, &params))),
-            (App::Rubis(app), SessionState::RubisBrowser(s)) => s
-                .next(&app.shape, rng)
-                .map(|(page, params)| (page.name(), app.page(page, &params))),
-            (App::Rubis(app), SessionState::RubisBidder(s)) => s
-                .next()
-                .map(|(page, params)| (page.name(), app.page(page, &params))),
-            _ => panic!("session state does not belong to this application"),
-        }
+        self.draw_page(state, rng)
+            .map(|(label, spec)| (label, self.build_page(&spec)))
     }
 
     /// Every measured page, built with fixed representative parameters (the
@@ -195,6 +325,87 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(1);
         let mut s = rubis.new_session(SessionKind::Browser, &mut rng);
         let _ = ps.next_page(&mut s, &mut rng);
+    }
+
+    #[test]
+    fn draw_then_build_matches_next_page() {
+        for (app, _, _) in [App::petstore(true), App::rubis()] {
+            // Identical seeds: draw_page must consume the same RNG stream as
+            // next_page and build_page must add nothing.
+            let mut rng_a = SimRng::seed_from_u64(7);
+            let mut rng_b = SimRng::seed_from_u64(7);
+            let mut sa = app.new_session(SessionKind::Browser, &mut rng_a);
+            let mut sb = app.new_session(SessionKind::Browser, &mut rng_b);
+            loop {
+                let via_next = app.next_page(&mut sa, &mut rng_a);
+                let via_split = app.draw_page(&mut sb, &mut rng_b);
+                match (via_next, via_split) {
+                    (None, None) => break,
+                    (Some((la, ra)), Some((lb, spec))) => {
+                        assert_eq!(la, lb);
+                        let rb = app.build_page(&spec);
+                        assert_eq!(format!("{ra:?}"), format!("{rb:?}"));
+                    }
+                    (a, b) => panic!("draw/build diverged: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn page_keys_project_only_used_parameters() {
+        let (ps, _, _) = App::petstore(true);
+        let App::PetStore(app) = &ps else {
+            unreachable!()
+        };
+        let mut p1 = app.representative_params();
+        let mut p2 = p1;
+        // Category ignores account and item: same key.
+        p2.account = app.shape.accounts[3];
+        p2.item = app.shape.items(p1.product)[1];
+        let k1 = PageSpec::PetStore(petstore::PsPage::Category, p1).key();
+        let k2 = PageSpec::PetStore(petstore::PsPage::Category, p2).key();
+        assert_eq!(k1, k2);
+        // ... but a different category changes it.
+        p2.category = app.shape.categories[1];
+        let k3 = PageSpec::PetStore(petstore::PsPage::Category, p2).key();
+        assert_ne!(k1, k3);
+        // Commit keys on both account and item.
+        p1.account = app.shape.accounts[0];
+        p2 = p1;
+        p2.item = app.shape.items(p1.product)[1];
+        let c1 = PageSpec::PetStore(petstore::PsPage::Commit, p1).key();
+        let c2 = PageSpec::PetStore(petstore::PsPage::Commit, p2).key();
+        assert_ne!(c1, c2);
+        // Keys are distinct across apps and pages.
+        let (rb, _, _) = App::rubis();
+        let App::Rubis(rubis_app) = &rb else {
+            unreachable!()
+        };
+        let rk = PageSpec::Rubis(rubis::RubisPage::Main, rubis_app.representative_params()).key();
+        let pk = PageSpec::PetStore(petstore::PsPage::Main, p1).key();
+        assert_ne!(rk, pk);
+    }
+
+    #[test]
+    fn equal_keys_build_identical_trees() {
+        // Two draws that differ only in unused parameters must build
+        // byte-identical call trees — the soundness condition for keying a
+        // bound-program cache on PageKey.
+        let (ps, _, _) = App::petstore(true);
+        let App::PetStore(app) = &ps else {
+            unreachable!()
+        };
+        let p1 = app.representative_params();
+        let mut p2 = p1;
+        p2.account = app.shape.accounts[5];
+        p2.keyword = 2;
+        let s1 = PageSpec::PetStore(petstore::PsPage::Category, p1);
+        let s2 = PageSpec::PetStore(petstore::PsPage::Category, p2);
+        assert_eq!(s1.key(), s2.key());
+        let r1 = ps.build_page(&s1);
+        let r2 = ps.build_page(&s2);
+        assert_eq!(format!("{:?}", r1), format!("{:?}", r2));
     }
 
     #[test]

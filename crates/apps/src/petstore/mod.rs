@@ -62,6 +62,7 @@ impl PetStore {
         pages::build_page(
             &self.components,
             &self.tables,
+            &self.shape,
             &self.costs,
             page,
             params,
@@ -78,7 +79,7 @@ impl PetStore {
             category: self.shape.categories[0],
             product,
             item: self.shape.items(product)[0],
-            keyword: "fish".into(),
+            keyword: 0,
             account: self.shape.accounts[0],
         }
     }
@@ -143,7 +144,7 @@ mod tests {
             category: app.shape.categories[1],
             product,
             item: app.shape.items(product)[0],
-            keyword: "fish".into(),
+            keyword: 0,
             account: app.shape.accounts[3],
         };
         let req = app.page(PsPage::Item, &params);

@@ -19,7 +19,7 @@ use mutsvc_relstore::{Mutation, Query, RowId, Value};
 use serde::{Deserialize, Serialize};
 
 use super::components::PsComponents;
-use super::schema::PsTables;
+use super::schema::{PsShape, PsTables};
 
 /// Cacheable query tag: products of a category (§4.4).
 pub const TAG_PRODUCTS_BY_CATEGORY: &str = "ps:products-by-category";
@@ -99,7 +99,11 @@ impl PsPage {
 }
 
 /// Sampled parameters for one page request.
-#[derive(Debug, Clone)]
+///
+/// Deliberately `Copy`: the hot request path stores drawn parameters in a
+/// [`PageSpec`](crate::PageSpec) without allocating. The search keyword is
+/// an index into [`PsShape::keywords`], resolved at build time.
+#[derive(Debug, Clone, Copy)]
 pub struct PsParams {
     /// Category being browsed.
     pub category: RowId,
@@ -107,8 +111,8 @@ pub struct PsParams {
     pub product: RowId,
     /// Item being viewed/bought (belongs to `product`).
     pub item: RowId,
-    /// Search keyword.
-    pub keyword: String,
+    /// Search keyword, as an index into [`PsShape::keywords`].
+    pub keyword: usize,
     /// Signed-in account.
     pub account: RowId,
 }
@@ -166,10 +170,12 @@ impl PsCosts {
 
 /// Builds the call tree of `page` with parameters `params`.
 ///
-/// `facade` selects the application variant (see module docs).
+/// `facade` selects the application variant (see module docs). `shape`
+/// resolves the keyword index of [`PsParams::keyword`] for search pages.
 pub fn build_page(
     components: &PsComponents,
     tables: &PsTables,
+    shape: &PsShape,
     costs: &PsCosts,
     page: PsPage,
     params: &PsParams,
@@ -288,7 +294,7 @@ pub fn build_page(
             let search_q = Query::Like {
                 table: t.item,
                 column: 0,
-                needle: params.keyword.clone(),
+                needle: shape.keywords[params.keyword].clone(),
             };
             let root = if facade {
                 let cat = Call::new(c.catalog, "search", costs.facade()).query(search_q, access);
@@ -537,7 +543,7 @@ mod tests {
     use super::*;
     use mutsvc_middleware::ComponentRegistry;
 
-    fn fixture() -> (PsComponents, PsTables, PsParams) {
+    fn fixture() -> (PsComponents, PsTables, PsShape, PsParams) {
         let (_, tables, shape) = build_database();
         let mut reg = ComponentRegistry::new();
         let comps = PsComponents::register(&mut reg, &tables);
@@ -546,20 +552,20 @@ mod tests {
             category: shape.categories[0],
             product,
             item: shape.items(product)[0],
-            keyword: "fish".into(),
+            keyword: 0,
             account: shape.accounts[0],
         };
-        (comps, tables, params)
+        (comps, tables, shape, params)
     }
 
     #[test]
     fn facade_pages_have_at_most_one_shared_access_chain() {
-        let (c, t, params) = fixture();
+        let (c, t, shape, params) = fixture();
         let costs = PsCosts::default();
         // Every page except VerifySignIn funnels through a single façade
         // invocation chain; VerifySignIn makes two (the paper's exception).
         for page in PsPage::all() {
-            let req = build_page(&c, &t, &costs, page, &params, true);
+            let req = build_page(&c, &t, &shape, &costs, page, &params, true);
             let mut facade_children = 0;
             req.root.walk(&mut |call| {
                 if call.component == c.controller {
@@ -582,10 +588,10 @@ mod tests {
 
     #[test]
     fn redirect_pages_match_the_paper() {
-        let (c, t, params) = fixture();
+        let (c, t, shape, params) = fixture();
         let costs = PsCosts::default();
         for page in PsPage::all() {
-            let req = build_page(&c, &t, &costs, page, &params, true);
+            let req = build_page(&c, &t, &shape, &costs, page, &params, true);
             let expected = matches!(page, PsPage::Cart | PsPage::PlaceOrder | PsPage::Commit);
             assert_eq!(req.http_exchanges == 2, expected, "{}", page.name());
         }
@@ -593,11 +599,11 @@ mod tests {
 
     #[test]
     fn only_commit_writes() {
-        let (c, t, params) = fixture();
+        let (c, t, shape, params) = fixture();
         let costs = PsCosts::default();
         for page in PsPage::all() {
             for facade in [false, true] {
-                let req = build_page(&c, &t, &costs, page, &params, facade);
+                let req = build_page(&c, &t, &shape, &costs, page, &params, facade);
                 assert_eq!(
                     req.root.has_writes(),
                     page == PsPage::Commit,
@@ -610,9 +616,9 @@ mod tests {
 
     #[test]
     fn original_variant_queries_from_the_web_tier() {
-        let (c, t, params) = fixture();
+        let (c, t, shape, params) = fixture();
         let costs = PsCosts::default();
-        let req = build_page(&c, &t, &costs, PsPage::Category, &params, false);
+        let req = build_page(&c, &t, &shape, &costs, PsPage::Category, &params, false);
         // Root (web) holds the query directly.
         assert!(req
             .root
@@ -620,7 +626,7 @@ mod tests {
             .iter()
             .any(|a| matches!(a, mutsvc_middleware::Action::Query(_))));
         // Facade variant does not.
-        let req = build_page(&c, &t, &costs, PsPage::Category, &params, true);
+        let req = build_page(&c, &t, &shape, &costs, PsPage::Category, &params, true);
         assert!(!req
             .root
             .actions
@@ -630,10 +636,10 @@ mod tests {
 
     #[test]
     fn tagged_queries_only_on_category_and_product() {
-        let (c, t, params) = fixture();
+        let (c, t, shape, params) = fixture();
         let costs = PsCosts::default();
         for page in PsPage::all() {
-            let req = build_page(&c, &t, &costs, page, &params, true);
+            let req = build_page(&c, &t, &shape, &costs, page, &params, true);
             let mut tags = Vec::new();
             req.root.walk(&mut |call| {
                 for a in &call.actions {
@@ -654,11 +660,11 @@ mod tests {
 
     #[test]
     fn every_page_has_positive_cpu_and_response() {
-        let (c, t, params) = fixture();
+        let (c, t, shape, params) = fixture();
         let costs = PsCosts::default();
         for page in PsPage::all() {
             for facade in [false, true] {
-                let req = build_page(&c, &t, &costs, page, &params, facade);
+                let req = build_page(&c, &t, &shape, &costs, page, &params, facade);
                 assert!(req.response_bytes > 0);
                 assert!(!req.root.cpu.is_zero());
                 assert!(!req.overhead.is_zero());

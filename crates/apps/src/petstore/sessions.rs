@@ -71,7 +71,7 @@ impl BrowserSession {
         let page = if self.issued == 0 {
             PsPage::Main
         } else {
-            let weights: Vec<f64> = BROWSER_MIX.iter().map(|&(_, w)| w).collect();
+            let weights = BROWSER_MIX.map(|(_, w)| w);
             BROWSER_MIX[rng.weighted_index(&weights)].0
         };
         self.issued += 1;
@@ -125,7 +125,7 @@ impl BrowserSession {
             category: shape.categories[category_idx],
             product,
             item,
-            keyword: shape.keywords[rng.index(shape.keywords.len())].clone(),
+            keyword: rng.index(shape.keywords.len()),
             account: shape.accounts[rng.index(shape.accounts.len())],
         }
     }
@@ -158,7 +158,7 @@ impl BuyerSession {
                 category: shape.categories[category_idx],
                 product,
                 item,
-                keyword: shape.keywords[rng.index(shape.keywords.len())].clone(),
+                keyword: rng.index(shape.keywords.len()),
                 account: shape.accounts[rng.index(shape.accounts.len())],
             },
         }
@@ -180,7 +180,7 @@ impl BuyerSession {
         }
         let page = BUYER_SEQUENCE[self.step];
         self.step += 1;
-        Some((page, self.params.clone()))
+        Some((page, self.params))
     }
 }
 

@@ -126,7 +126,10 @@ impl RubisPage {
 }
 
 /// Sampled parameters for one page request.
-#[derive(Debug, Clone)]
+///
+/// Deliberately `Copy`: the hot request path stores drawn parameters in a
+/// [`PageSpec`](crate::PageSpec) without allocating.
+#[derive(Debug, Clone, Copy)]
 pub struct RubisParams {
     /// Browsed category.
     pub category: RowId,

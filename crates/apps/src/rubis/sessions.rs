@@ -71,7 +71,7 @@ impl BrowserSession {
         let page = if self.issued == 0 {
             RubisPage::Main
         } else {
-            let weights: Vec<f64> = BROWSER_MIX.iter().map(|&(_, w)| w).collect();
+            let weights = BROWSER_MIX.map(|(_, w)| w);
             BROWSER_MIX[rng.weighted_index(&weights)].0
         };
         self.issued += 1;
@@ -177,7 +177,7 @@ impl BidderSession {
         }
         let page = BIDDER_SEQUENCE[self.step];
         self.step += 1;
-        Some((page, self.params.clone()))
+        Some((page, self.params))
     }
 }
 

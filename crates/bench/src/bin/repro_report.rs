@@ -4,11 +4,17 @@
 //! repro-report [--app petstore|rubis|all] [--paper|--quick] [--seed N]
 //!              [--tables] [--figures] [--compare] [--validate]
 //!              [--sessions] [--topology] [--wiring] [--placement]
+//!              [--simperf [--smoke]]
 //! ```
 //!
 //! `--placement` measures placement move-evaluation throughput (full
 //! recompute vs the incremental evaluator) on the paper-derived graphs and
 //! writes `BENCH_placement.json` to the current directory.
+//!
+//! `--simperf` measures simulator request throughput at 1×/10×/100× the
+//! paper's arrival rate, with the bound-program cache off (the full-binder
+//! baseline) and on, and writes `BENCH_simperf.json`; `--smoke` shortens the
+//! windows and stops at 10× for CI's wall-clock-bounded regression gate.
 //!
 //! With no selection flags, everything is printed. `--quick` (default) uses
 //! a 90 s warm-up + 300 s measured window; `--paper` runs the full
@@ -18,6 +24,7 @@ use mutsvc_apps::petstore::{BROWSER_MIX as PS_MIX, BUYER_SEQUENCE};
 use mutsvc_apps::rubis::{BIDDER_SEQUENCE, BROWSER_MIX as RUBIS_MIX};
 use mutsvc_bench::placement_report::{measure_placement_throughput, render_placement_json};
 use mutsvc_bench::run_sweep_parallel;
+use mutsvc_bench::simperf_report::{measure_simperf, render_simperf_json, speedup_at};
 use mutsvc_core::{
     paper_topology, render_comparison, render_figure, render_percentiles, render_table,
     validate_shapes, AppKind, Config,
@@ -36,6 +43,8 @@ struct Options {
     wiring: bool,
     percentiles: bool,
     placement: bool,
+    simperf: bool,
+    smoke: bool,
 }
 
 fn parse_args() -> Options {
@@ -52,6 +61,8 @@ fn parse_args() -> Options {
         wiring: false,
         percentiles: false,
         placement: false,
+        simperf: false,
+        smoke: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -82,9 +93,11 @@ fn parse_args() -> Options {
             "--wiring" => opts.wiring = true,
             "--percentiles" => opts.percentiles = true,
             "--placement" => opts.placement = true,
+            "--simperf" => opts.simperf = true,
+            "--smoke" => opts.smoke = true,
             "--help" | "-h" => {
                 println!(
-                    "repro-report [--app petstore|rubis|all] [--paper|--quick] [--seed N]\n             [--tables] [--figures] [--compare] [--validate] [--percentiles]\n             [--sessions] [--topology] [--wiring] [--placement]"
+                    "repro-report [--app petstore|rubis|all] [--paper|--quick] [--seed N]\n             [--tables] [--figures] [--compare] [--validate] [--percentiles]\n             [--sessions] [--topology] [--wiring] [--placement]\n             [--simperf [--smoke]]"
                 );
                 std::process::exit(0);
             }
@@ -102,7 +115,8 @@ fn parse_args() -> Options {
         || opts.sessions
         || opts.topology
         || opts.wiring
-        || opts.placement)
+        || opts.placement
+        || opts.simperf)
     {
         opts.tables = true;
         opts.figures = true;
@@ -202,10 +216,48 @@ fn print_placement_throughput() {
     }
 }
 
+fn print_simperf(smoke: bool, seed: u64) {
+    eprintln!(
+        "measuring simulator hot-path throughput ({} mode, seed {seed})...",
+        if smoke { "smoke" } else { "full" }
+    );
+    let cells = measure_simperf(smoke, seed);
+    println!("simulator request throughput (requests/sec wall-clock):");
+    for cell in &cells {
+        println!(
+            "  {:<9} {:>4}x load  cache {:<3}  {:>9.0} req/s  {:>11.0} events/s  \
+             hit rate {:>5.1}%  boxed {}",
+            cell.app,
+            cell.load_factor,
+            if cell.bind_cache { "on" } else { "off" },
+            cell.requests_per_sec,
+            cell.events_per_sec,
+            cell.hit_rate * 100.0,
+            cell.boxed_events
+        );
+    }
+    for &(app, _) in &[("petstore", ()), ("rubis", ())] {
+        let top = if smoke { 10 } else { 100 };
+        println!(
+            "  {app}: {:.1}x requests/s with the bound-program cache at {top}x load",
+            speedup_at(&cells, app, top)
+        );
+    }
+    let json = render_simperf_json(&cells);
+    let path = "BENCH_simperf.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}
+
 fn main() {
     let opts = parse_args();
     if opts.placement {
         print_placement_throughput();
+    }
+    if opts.simperf {
+        print_simperf(opts.smoke, opts.seed);
     }
     if opts.sessions {
         print_sessions();

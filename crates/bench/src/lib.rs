@@ -1,13 +1,15 @@
 //! # mutsvc-bench — benchmark harness support
 //!
 //! Shared helpers for the report binary and the Criterion benches: parallel
-//! sweep execution across scenario cells and the placement move-throughput
-//! measurement behind `BENCH_placement.json`.
+//! sweep execution across scenario cells, the placement move-throughput
+//! measurement behind `BENCH_placement.json`, and the simulator hot-path
+//! throughput measurement behind `BENCH_simperf.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod placement_report;
+pub mod simperf_report;
 
 use mutsvc_core::{AppKind, Config, Scenario};
 use mutsvc_workload::ExperimentReport;

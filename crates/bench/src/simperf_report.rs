@@ -1,0 +1,261 @@
+//! Simulator hot-path throughput measurement behind `repro-report --simperf`
+//! (`BENCH_simperf.json`).
+//!
+//! Runs the paper topology at 1×/10×/100× the §3.3 arrival rate (30 req/s),
+//! for both applications under the full §4.5 configuration, twice per load
+//! point **in the same process**: once as the faithful pre-overhaul
+//! baseline (`WorkloadSpec::legacy_baseline` — full `Binder` walk per
+//! request, per-request `String` clones, one `Box<dyn FnOnce>` per event)
+//! and once with the overhauled hot path (typed events + bound-program
+//! cache). Both runs complete the identical open workload — the driver-level
+//! equivalence suite pins bit-identical simulated results — so requests/s is
+//! a pure wall-clock ratio and the reported speedup is apples-to-apples.
+//!
+//! The modelled hardware is provisioned with the load
+//! ([`mutsvc_netsim::Topology::scale_capacity`]): at 100× the paper's
+//! arrival rate the nodes and links are 100× faster, so completions track
+//! the offered load and the simulator — not the modelled system — stays the
+//! thing being measured.
+//!
+//! The cells double as the hot path's allocation audit: `boxed_events` must
+//! stay at the handful of control events a run schedules (one stats reset
+//! plus one per perturbation) no matter how many requests fly, or the
+//! measurement itself panics.
+
+use std::time::Instant;
+
+use mutsvc_core::{AppKind, Config, Scenario};
+use mutsvc_desim::time::SimDuration;
+use mutsvc_workload::run_experiment;
+
+/// One measured cell: an application at a load factor, cache on or off.
+#[derive(Debug, Clone)]
+pub struct SimperfCell {
+    /// Application name: `"petstore"` or `"rubis"`.
+    pub app: &'static str,
+    /// Configuration under test (the full §4.5 deployment).
+    pub config: &'static str,
+    /// Multiplier on the paper's 30 req/s arrival rate.
+    pub load_factor: u32,
+    /// Whether the bound-program cache was enabled.
+    pub bind_cache: bool,
+    /// Wall-clock seconds for the whole run.
+    pub wall_secs: f64,
+    /// Requests completed within the measured window.
+    pub completed: u64,
+    /// Completed requests per wall-clock second — the headline metric.
+    pub requests_per_sec: f64,
+    /// Simulator events fired over the run.
+    pub events_fired: u64,
+    /// Events fired per wall-clock second.
+    pub events_per_sec: f64,
+    /// Boxed-closure events scheduled (the allocation counter; bounded by
+    /// the run's control events, independent of load).
+    pub boxed_events: u64,
+    /// Bound-program cache hit rate over all issued requests (0 when off).
+    pub hit_rate: f64,
+}
+
+/// Load factors measured: `--smoke` stops at 10× so CI stays inside its
+/// wall-clock ceiling; the full report sweeps to the 100× target.
+pub fn load_factors(smoke: bool) -> &'static [u32] {
+    if smoke {
+        &[1, 10]
+    } else {
+        &[1, 10, 100]
+    }
+}
+
+fn run_cell(app: AppKind, factor: u32, bind_cache: bool, smoke: bool, seed: u64) -> SimperfCell {
+    let config = Config::AsyncUpdates;
+    let (mut input, _) = Scenario::quick(app, config).build();
+    let (warmup, duration) = if smoke {
+        (SimDuration::from_secs(10), SimDuration::from_secs(30))
+    } else {
+        (SimDuration::from_secs(20), SimDuration::from_secs(100))
+    };
+    // Provision the modelled hardware with the load: the bench measures the
+    // simulator's throughput, not the paper topology's saturation point.
+    input.topology.scale_capacity(factor as f64);
+    input.spec = input
+        .spec
+        .scale_rates(factor as f64)
+        .with_duration(warmup, duration)
+        .with_seed(seed);
+    input.spec = if bind_cache {
+        input.spec.with_bind_cache(true)
+    } else {
+        input.spec.as_legacy_baseline()
+    };
+
+    let started = Instant::now();
+    let report = run_experiment(input);
+    let wall = started.elapsed().as_secs_f64().max(1e-9);
+
+    // The allocation audit: the overhauled hot path schedules typed events
+    // only, so the boxed count is the run's control events (the stats
+    // reset), not a function of the request count; the legacy baseline
+    // boxes every event by design.
+    if bind_cache {
+        assert!(
+            report.boxed_events <= 4,
+            "{}/{factor}x: hot path regressed to boxed events ({} scheduled)",
+            app.name(),
+            report.boxed_events
+        );
+    } else {
+        assert!(
+            report.boxed_events >= report.events_fired,
+            "{}/{factor}x: legacy baseline did not box its events",
+            app.name()
+        );
+    }
+
+    let issued = report.bind_cache.hits + report.bind_cache.misses;
+    SimperfCell {
+        app: app.name(),
+        config: config.name(),
+        load_factor: factor,
+        bind_cache,
+        wall_secs: wall,
+        completed: report.completed,
+        requests_per_sec: report.completed as f64 / wall,
+        events_fired: report.events_fired,
+        events_per_sec: report.events_fired as f64 / wall,
+        boxed_events: report.boxed_events,
+        hit_rate: if issued == 0 {
+            0.0
+        } else {
+            report.bind_cache.hits as f64 / issued as f64
+        },
+    }
+}
+
+/// Measures both applications across the load factors, cache off then on at
+/// each point. Cells come back grouped `(app, factor, [off, on])`.
+pub fn measure_simperf(smoke: bool, seed: u64) -> Vec<SimperfCell> {
+    let mut cells = Vec::new();
+    for app in AppKind::all() {
+        for &factor in load_factors(smoke) {
+            for bind_cache in [false, true] {
+                let cell = run_cell(app, factor, bind_cache, smoke, seed);
+                if bind_cache {
+                    // Write pages and pages crossing nodes are never
+                    // memoizable, so 100% is unreachable by design; well
+                    // under half means the fast path has stopped engaging.
+                    assert!(
+                        cell.hit_rate > 0.25,
+                        "{}/{factor}x: bind cache barely hitting ({:.0}%)",
+                        cell.app,
+                        cell.hit_rate * 100.0
+                    );
+                }
+                cells.push(cell);
+            }
+        }
+    }
+    cells
+}
+
+/// Cache-on over cache-off requests/s for one `(app, factor)` pair.
+pub fn speedup_at(cells: &[SimperfCell], app: &str, factor: u32) -> f64 {
+    let rate = |cache: bool| {
+        cells
+            .iter()
+            .find(|c| c.app == app && c.load_factor == factor && c.bind_cache == cache)
+            .map_or(f64::NAN, |c| c.requests_per_sec)
+    };
+    rate(true) / rate(false)
+}
+
+/// Renders the cells as the `BENCH_simperf.json` document. Hand-formatted
+/// (the vendored serde is a no-op stand-in); schema per entry:
+/// `{"app", "config", "load_factor", "bind_cache", "wall_secs", "completed",
+/// "requests_per_sec", "events_per_sec", "boxed_events", "hit_rate"}` plus a
+/// `"speedup"` map of `app_factor` → cached/uncached requests/s.
+pub fn render_simperf_json(cells: &[SimperfCell]) -> String {
+    let mut out = String::from("{\n  \"entries\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"app\": \"{}\", \"config\": \"{}\", \"load_factor\": {}, \
+             \"bind_cache\": {}, \"wall_secs\": {:.3}, \"completed\": {}, \
+             \"requests_per_sec\": {:.1}, \"events_per_sec\": {:.1}, \
+             \"boxed_events\": {}, \"hit_rate\": {:.4}}}{comma}\n",
+            c.app,
+            c.config,
+            c.load_factor,
+            c.bind_cache,
+            c.wall_secs,
+            c.completed,
+            c.requests_per_sec,
+            c.events_per_sec,
+            c.boxed_events,
+            c.hit_rate
+        ));
+    }
+    out.push_str("  ],\n  \"speedup\": {");
+    let mut pairs = Vec::new();
+    for c in cells {
+        if !pairs.contains(&(c.app, c.load_factor)) {
+            pairs.push((c.app, c.load_factor));
+        }
+    }
+    for (i, (app, factor)) in pairs.iter().enumerate() {
+        let comma = if i + 1 < pairs.len() { "," } else { "" };
+        out.push_str(&format!(
+            "\"{app}_{factor}x\": {:.2}{comma}",
+            speedup_at(cells, app, *factor)
+        ));
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_and_speedup_indexed() {
+        let cells = vec![
+            SimperfCell {
+                app: "rubis",
+                config: "async-updates",
+                load_factor: 10,
+                bind_cache: false,
+                wall_secs: 2.0,
+                completed: 3000,
+                requests_per_sec: 1500.0,
+                events_fired: 90_000,
+                events_per_sec: 45_000.0,
+                boxed_events: 1,
+                hit_rate: 0.0,
+            },
+            SimperfCell {
+                app: "rubis",
+                config: "async-updates",
+                load_factor: 10,
+                bind_cache: true,
+                wall_secs: 0.25,
+                completed: 3000,
+                requests_per_sec: 12_000.0,
+                events_fired: 90_000,
+                events_per_sec: 360_000.0,
+                boxed_events: 1,
+                hit_rate: 0.93,
+            },
+        ];
+        assert!((speedup_at(&cells, "rubis", 10) - 8.0).abs() < 1e-9);
+        let json = render_simperf_json(&cells);
+        assert!(json.contains("\"rubis_10x\": 8.00"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn smoke_factors_stop_at_ten() {
+        assert_eq!(load_factors(true), &[1, 10]);
+        assert_eq!(load_factors(false), &[1, 10, 100]);
+    }
+}

@@ -29,7 +29,7 @@ fn bench(config: Config) -> (Bench, PsParams) {
             category: ps.shape.categories[0],
             product,
             item: ps.shape.items(product)[0],
-            keyword: "fish".into(),
+            keyword: 0,
             account: ps.shape.accounts[0],
         }
     };

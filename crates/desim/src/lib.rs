@@ -52,5 +52,5 @@ pub mod time;
 pub use metrics::{Histogram, P2Quantile, Summary, Welford};
 pub use resource::FifoResource;
 pub use rng::SimRng;
-pub use sim::{Context, EventFn, Simulation};
+pub use sim::{Context, EventFn, Fire, NoEvent, Simulation};
 pub use time::{SimDuration, SimTime};

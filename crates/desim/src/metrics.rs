@@ -23,7 +23,7 @@ use crate::time::SimDuration;
 /// assert_eq!(w.mean(), 4.0);
 /// assert_eq!(w.variance(), 4.0); // sample variance
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Welford {
     count: u64,
     mean: f64,
@@ -136,7 +136,7 @@ impl Welford {
 
 /// The P² (piecewise-parabolic) streaming quantile estimator of
 /// Jain & Chlamtac (CACM 1985): five markers track `q` without storing samples.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct P2Quantile {
     q: f64,
     /// Marker heights.
@@ -278,7 +278,7 @@ impl P2Quantile {
 
 /// A histogram with fixed uniform buckets over `[0, limit)` plus an overflow
 /// bucket, intended for response-time distributions in milliseconds.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Histogram {
     bucket_width: f64,
     counts: Vec<u64>,
@@ -358,7 +358,7 @@ impl Histogram {
 
 /// A bundle of estimators for one measured series (e.g. one page's response
 /// time for one client group): mean/variance, median, p95, p99.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Summary {
     welford: Welford,
     p50: P2Quantile,

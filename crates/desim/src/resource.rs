@@ -12,8 +12,6 @@
 //! callers guarantee for response-path steps), this is exactly a c-server FIFO
 //! queue; out-of-order admissions are still served work-conservingly.
 
-use std::collections::BinaryHeap;
-
 use crate::time::{SimDuration, SimTime};
 
 /// A multi-server FIFO queueing resource with analytic admission.
@@ -31,8 +29,12 @@ use crate::time::{SimDuration, SimTime};
 #[derive(Debug, Clone)]
 pub struct FifoResource {
     name: String,
-    /// Min-heap of server next-free times (stored negated via Reverse logic below).
-    free_at: BinaryHeap<std::cmp::Reverse<SimTime>>,
+    /// Next-free time of each server, indexed by server. Sized once at
+    /// construction and reused for the lifetime of the resource — admissions
+    /// never allocate. Server counts are small (CPUs per host, one per link),
+    /// so a linear minimum scan beats heap churn; ties resolve to the lowest
+    /// server index, keeping grant order deterministic and FIFO.
+    free_at: Vec<SimTime>,
     servers: usize,
     jobs_admitted: u64,
     busy_time: SimDuration,
@@ -49,10 +51,7 @@ impl FifoResource {
     /// Panics if `servers` is zero.
     pub fn new(name: impl Into<String>, servers: usize) -> Self {
         assert!(servers > 0, "a resource needs at least one server");
-        let mut free_at = BinaryHeap::with_capacity(servers);
-        for _ in 0..servers {
-            free_at.push(std::cmp::Reverse(SimTime::ZERO));
-        }
+        let free_at = vec![SimTime::ZERO; servers];
         FifoResource {
             name: name.into(),
             free_at,
@@ -80,10 +79,16 @@ impl FifoResource {
     ///
     /// A zero-demand job completes immediately at `max(now, earliest free)`.
     pub fn admit(&mut self, now: SimTime, demand: SimDuration) -> SimTime {
-        let std::cmp::Reverse(free) = self.free_at.pop().expect("server heap never empty");
+        let mut earliest = 0;
+        for i in 1..self.free_at.len() {
+            if self.free_at[i] < self.free_at[earliest] {
+                earliest = i;
+            }
+        }
+        let free = self.free_at[earliest];
         let start = now.max(free);
         let completion = start + demand;
-        self.free_at.push(std::cmp::Reverse(completion));
+        self.free_at[earliest] = completion;
 
         self.jobs_admitted += 1;
         self.busy_time += demand;
@@ -129,7 +134,7 @@ impl FifoResource {
 
     /// The earliest time at which some server is free.
     pub fn earliest_free(&self) -> SimTime {
-        self.free_at.peek().map_or(SimTime::ZERO, |r| r.0)
+        self.free_at.iter().copied().min().unwrap_or(SimTime::ZERO)
     }
 
     /// Resets statistics (not server occupancy). Used when discarding warm-up.
@@ -208,6 +213,28 @@ mod tests {
     #[should_panic(expected = "at least one server")]
     fn zero_servers_panics() {
         let _ = FifoResource::new("bad", 0);
+    }
+
+    /// When several servers free up at the same instant, queued arrivals are
+    /// granted in strict arrival order at that instant — the tie between
+    /// simultaneously-free servers must not reorder or delay grants.
+    #[test]
+    fn fifo_grant_order_under_simultaneous_releases() {
+        let mut r = FifoResource::new("r", 3);
+        // Occupy all three servers until t=10 (simultaneous releases).
+        for _ in 0..3 {
+            assert_eq!(r.admit(AT(0), MS(10)), AT(10));
+        }
+        // Backlogged arrivals, admitted in FIFO order: each is granted one of
+        // the servers freed at t=10 and completes per its own demand, with no
+        // extra wait introduced by the simultaneous release.
+        assert_eq!(r.admit(AT(1), MS(5)), AT(15));
+        assert_eq!(r.admit(AT(2), MS(7)), AT(17));
+        assert_eq!(r.admit(AT(3), MS(9)), AT(19));
+        // A fourth queued job waits for the earliest of the second wave.
+        assert_eq!(r.admit(AT(4), MS(1)), AT(16));
+        // Wait accounting reflects the FIFO queueing delays above.
+        assert_eq!(r.total_wait, MS(9 + 8 + 7 + 11));
     }
 
     mod properties {

@@ -1,63 +1,348 @@
 //! Event scheduler and simulation driver.
 //!
 //! A [`Simulation`] owns an arbitrary *world* `W` (the mutable state of the
-//! model) and a priority queue of events. An event is a one-shot closure
-//! `FnOnce(&mut W, &mut Context<W>)`; firing an event may mutate the world and
-//! schedule further events through the [`Context`].
+//! model) and a priority queue of events. Two kinds of event coexist:
 //!
-//! Determinism: events fire in `(time, insertion sequence)` order, so two runs
-//! with the same seed and the same scheduling order are identical.
+//! * **Boxed closures** — one-shot `FnOnce(&mut W, &mut Context<W, E>)`
+//!   values. Flexible, but each costs a heap allocation; use them for rare
+//!   control events (start-up, perturbations, statistics resets).
+//! * **Typed events** — values of a world-chosen enum `E` implementing
+//!   [`Fire`]. These are stored inline in the queue with **zero per-event
+//!   allocation**, which is what the request hot path uses (job advancement,
+//!   request issue timers, completion notifications).
+//!
+//! Worlds that never need typed events simply use `Simulation::new`, which
+//! pins `E` to the uninhabited [`NoEvent`]; nothing changes for them.
+//!
+//! Pending events live in a slab-backed two-tier queue: the binary heap only
+//! orders small `(time, seq, slot)` keys for the *near* future, payloads sit
+//! in a recycled slab, and far-future timers (session think-time clocks, of
+//! which an open workload keeps thousands) wait in an unsorted staging list
+//! until the horizon reaches them. See [`SlabStore`] for the exactness
+//! argument; the pre-overhaul single-heap layout is preserved behind
+//! [`Simulation::emulate_boxed_events`] as a measurable baseline.
+//!
+//! Determinism: events fire in `(time, insertion sequence)` order regardless
+//! of their kind or physical layout, so two runs with the same seed and the
+//! same scheduling order are identical.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::time::{SimDuration, SimTime};
 
-/// A scheduled event: a boxed one-shot closure over the world.
-pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Context<'_, W>)>;
-
-struct Scheduled<W> {
-    time: SimTime,
-    seq: u64,
-    event: EventFn<W>,
+/// A typed simulation event: a plain value fired by the scheduler.
+///
+/// Implementations are usually small enums; firing consumes the value.
+pub trait Fire<W>: Sized + 'static {
+    /// Applies the event to the world at its scheduled time.
+    fn fire(self, world: &mut W, ctx: &mut Context<'_, W, Self>);
 }
 
-impl<W> PartialEq for Scheduled<W> {
+/// The default (uninhabited) event type: a `Simulation<W>` without an event
+/// enum schedules boxed closures only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoEvent {}
+
+impl<W> Fire<W> for NoEvent {
+    fn fire(self, _world: &mut W, _ctx: &mut Context<'_, W, Self>) {
+        match self {}
+    }
+}
+
+/// A scheduled event: a boxed one-shot closure over the world.
+pub type EventFn<W, E = NoEvent> = Box<dyn FnOnce(&mut W, &mut Context<'_, W, E>)>;
+
+enum Payload<W, E> {
+    Boxed(EventFn<W, E>),
+    Event(E),
+}
+
+struct Scheduled<W, E> {
+    time: SimTime,
+    seq: u64,
+    payload: Payload<W, E>,
+}
+
+impl<W, E> PartialEq for Scheduled<W, E> {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
-impl<W> Eq for Scheduled<W> {}
-impl<W> PartialOrd for Scheduled<W> {
+impl<W, E> Eq for Scheduled<W, E> {}
+impl<W, E> PartialOrd for Scheduled<W, E> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<W> Ord for Scheduled<W> {
+impl<W, E> Ord for Scheduled<W, E> {
     // Reversed so that the BinaryHeap (a max-heap) pops the *earliest* event.
     fn cmp(&self, other: &Self) -> Ordering {
         (other.time, other.seq).cmp(&(self.time, self.seq))
     }
 }
 
-/// The event queue shared between the driver and in-flight events.
-struct EventQueue<W> {
-    heap: BinaryHeap<Scheduled<W>>,
+/// A slab-queue heap key: ordering state only, 24 bytes. The payload lives
+/// in the slab at `slot`, so sift operations never move event payloads.
+#[derive(Clone, Copy)]
+struct Key {
+    time: SimTime,
     seq: u64,
+    slot: u32,
 }
 
-impl<W> EventQueue<W> {
+impl PartialEq for Key {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Key {}
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Key {
+    // Reversed so that the BinaryHeap (a max-heap) pops the *earliest* event.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// The overhauled store: a near-future heap of small [`Key`]s over a recycled
+/// payload slab, plus an unsorted far-future staging list.
+///
+/// Open workloads keep thousands of session timers pending several simulated
+/// seconds out while network events resolve within milliseconds. A single
+/// heap makes every hot push/pop sift through all of them; here the heap only
+/// holds events below `horizon`, far timers wait unsorted in `far`, and the
+/// horizon advances one `epoch` at a time, migrating due events in bulk.
+///
+/// Exactness: every `far` entry has `time >= horizon` and every `near` entry
+/// has `time < horizon` (the horizon only grows), so whenever the near head
+/// is below the horizon it is the global `(time, seq)` minimum. Firing order
+/// is therefore identical to the single-heap queue, event for event.
+struct SlabStore<W, E> {
+    near: BinaryHeap<Key>,
+    far: Vec<Key>,
+    /// Smallest time in `far` (`SimTime::MAX` when empty): lets `settle`
+    /// jump the horizon across idle gaps instead of stepping epoch by epoch.
+    far_min: SimTime,
+    horizon: SimTime,
+    epoch: SimDuration,
+    slots: Vec<Option<Payload<W, E>>>,
+    free: Vec<u32>,
+}
+
+impl<W, E> SlabStore<W, E> {
     fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            seq: 0,
+        SlabStore {
+            near: BinaryHeap::new(),
+            far: Vec::new(),
+            far_min: SimTime::MAX,
+            horizon: SimTime::ZERO,
+            epoch: SimDuration::from_millis(500),
+            slots: Vec::new(),
+            free: Vec::new(),
         }
     }
 
-    fn push(&mut self, time: SimTime, event: EventFn<W>) {
+    fn len(&self) -> usize {
+        self.near.len() + self.far.len()
+    }
+
+    fn push(&mut self, time: SimTime, seq: u64, payload: Payload<W, E>) {
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(payload);
+                slot
+            }
+            None => {
+                self.slots.push(Some(payload));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let key = Key { time, seq, slot };
+        if time < self.horizon {
+            self.near.push(key);
+        } else {
+            self.far_min = self.far_min.min(time);
+            self.far.push(key);
+        }
+    }
+
+    /// Advances the horizon until the near head (if any) is the global
+    /// minimum, migrating due far events into the heap.
+    fn settle(&mut self) {
+        loop {
+            match self.near.peek() {
+                Some(head) if head.time < self.horizon => return,
+                head => {
+                    if self.far.is_empty() {
+                        return;
+                    }
+                    let target = head.map_or(self.far_min, |k| k.time.min(self.far_min));
+                    self.horizon = self.horizon.max(target) + self.epoch;
+                    let horizon = self.horizon;
+                    let mut far_min = SimTime::MAX;
+                    let near = &mut self.near;
+                    self.far.retain(|&key| {
+                        if key.time < horizon {
+                            near.push(key);
+                            false
+                        } else {
+                            far_min = far_min.min(key.time);
+                            true
+                        }
+                    });
+                    self.far_min = far_min;
+                }
+            }
+        }
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        self.settle();
+        self.near.peek().map(|k| k.time)
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, Payload<W, E>)> {
+        self.settle();
+        let key = self.near.pop()?;
+        let payload = self.slots[key.slot as usize]
+            .take()
+            .expect("slab slot empty");
+        self.free.push(key.slot);
+        Some((key.time, payload))
+    }
+
+    fn drain(&mut self) -> Vec<Scheduled<W, E>> {
+        let mut out = Vec::with_capacity(self.len());
+        for key in self.near.drain().chain(self.far.drain(..)) {
+            let payload = self.slots[key.slot as usize]
+                .take()
+                .expect("slab slot empty");
+            out.push(Scheduled {
+                time: key.time,
+                seq: key.seq,
+                payload,
+            });
+        }
+        self.slots.clear();
+        self.free.clear();
+        self.far_min = SimTime::MAX;
+        out
+    }
+}
+
+/// Physical layout of the pending-event set.
+enum Store<W, E> {
+    /// Pre-overhaul layout: payloads inline in one `BinaryHeap`, sifted on
+    /// every push/pop. Kept as the measured baseline (see
+    /// [`Simulation::emulate_boxed_events`]).
+    Inline(BinaryHeap<Scheduled<W, E>>),
+    /// Overhauled layout: slab-backed two-tier queue.
+    Slab(SlabStore<W, E>),
+}
+
+/// The event queue shared between the driver and in-flight events.
+struct EventQueue<W, E> {
+    store: Store<W, E>,
+    seq: u64,
+    boxed_events: u64,
+    /// When set, typed events are wrapped in a `Box<dyn FnOnce>` at
+    /// scheduling time — the pre-overhaul allocation profile, used as the
+    /// measured baseline in hot-path benches. Firing order and results are
+    /// unchanged; only the allocation and dispatch cost differ.
+    box_typed: bool,
+}
+
+impl<W, E> EventQueue<W, E> {
+    fn new() -> Self {
+        EventQueue {
+            store: Store::Slab(SlabStore::new()),
+            seq: 0,
+            boxed_events: 0,
+            box_typed: false,
+        }
+    }
+
+    fn len(&self) -> usize {
+        match &self.store {
+            Store::Inline(heap) => heap.len(),
+            Store::Slab(slab) => slab.len(),
+        }
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        match &mut self.store {
+            Store::Inline(heap) => heap.peek().map(|s| s.time),
+            Store::Slab(slab) => slab.peek_time(),
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, Payload<W, E>)> {
+        match &mut self.store {
+            Store::Inline(heap) => heap.pop().map(|s| (s.time, s.payload)),
+            Store::Slab(slab) => slab.pop(),
+        }
+    }
+
+    fn push(&mut self, time: SimTime, payload: Payload<W, E>) {
+        if matches!(payload, Payload::Boxed(_)) {
+            self.boxed_events += 1;
+        }
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Scheduled { time, seq, event });
+        match &mut self.store {
+            Store::Inline(heap) => heap.push(Scheduled { time, seq, payload }),
+            Store::Slab(slab) => slab.push(time, seq, payload),
+        }
+    }
+
+    fn push_event(&mut self, time: SimTime, event: E)
+    where
+        E: Fire<W>,
+    {
+        if self.box_typed {
+            self.push(
+                time,
+                Payload::Boxed(Box::new(move |w: &mut W, ctx: &mut Context<'_, W, E>| {
+                    event.fire(w, ctx);
+                })),
+            );
+        } else {
+            self.push(time, Payload::Event(event));
+        }
+    }
+
+    /// Swaps the physical store, carrying over any pending events.
+    fn set_layout(&mut self, inline: bool) {
+        let pending = match &mut self.store {
+            Store::Inline(heap) => {
+                if !inline {
+                    std::mem::take(heap).into_vec()
+                } else {
+                    return;
+                }
+            }
+            Store::Slab(slab) => {
+                if inline {
+                    slab.drain()
+                } else {
+                    return;
+                }
+            }
+        };
+        if inline {
+            self.store = Store::Inline(pending.into_iter().collect());
+        } else {
+            let mut slab = SlabStore::new();
+            for s in pending {
+                slab.push(s.time, s.seq, s.payload);
+            }
+            self.store = Store::Slab(slab);
+        }
     }
 }
 
@@ -66,38 +351,59 @@ impl<W> EventQueue<W> {
 /// A `Context` exposes the current clock and the event queue, but not the
 /// world itself — the world is passed to the event separately, which lets the
 /// borrow checker verify that events cannot re-enter the scheduler recursively.
-pub struct Context<'a, W> {
+pub struct Context<'a, W, E = NoEvent> {
     now: SimTime,
-    queue: &'a mut EventQueue<W>,
+    queue: &'a mut EventQueue<W, E>,
 }
 
-impl<'a, W> Context<'a, W> {
+impl<'a, W, E> Context<'a, W, E> {
     /// The current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
     }
 
-    /// Schedules `event` to fire at absolute time `at`.
+    /// Schedules a boxed closure to fire at absolute time `at`.
     ///
     /// Events scheduled in the past fire "now" (at the current clock value);
     /// the kernel never moves time backwards.
     pub fn schedule_at(
         &mut self,
         at: SimTime,
-        event: impl FnOnce(&mut W, &mut Context<'_, W>) + 'static,
+        event: impl FnOnce(&mut W, &mut Context<'_, W, E>) + 'static,
     ) {
         let at = at.max(self.now);
-        self.queue.push(at, Box::new(event));
+        self.queue.push(at, Payload::Boxed(Box::new(event)));
     }
 
-    /// Schedules `event` to fire after `delay`.
+    /// Schedules a boxed closure to fire after `delay`.
     pub fn schedule_in(
         &mut self,
         delay: SimDuration,
-        event: impl FnOnce(&mut W, &mut Context<'_, W>) + 'static,
+        event: impl FnOnce(&mut W, &mut Context<'_, W, E>) + 'static,
     ) {
         let at = self.now + delay;
-        self.queue.push(at, Box::new(event));
+        self.queue.push(at, Payload::Boxed(Box::new(event)));
+    }
+
+    /// Schedules a typed event at absolute time `at` (clamped to now).
+    /// Allocation-free: the event value is stored inline in the queue
+    /// (unless boxed-event emulation is on, see
+    /// [`Simulation::emulate_boxed_events`]).
+    pub fn schedule_event_at(&mut self, at: SimTime, event: E)
+    where
+        E: Fire<W>,
+    {
+        let at = at.max(self.now);
+        self.queue.push_event(at, event);
+    }
+
+    /// Schedules a typed event after `delay`. Allocation-free.
+    pub fn schedule_event_in(&mut self, delay: SimDuration, event: E)
+    where
+        E: Fire<W>,
+    {
+        let at = self.now + delay;
+        self.queue.push_event(at, event);
     }
 }
 
@@ -115,27 +421,38 @@ impl<'a, W> Context<'a, W> {
 /// assert_eq!(*sim.world(), 11);
 /// assert_eq!(sim.now().as_millis_f64(), 10.0);
 /// ```
-pub struct Simulation<W> {
+pub struct Simulation<W, E = NoEvent> {
     world: W,
     clock: SimTime,
-    queue: EventQueue<W>,
+    queue: EventQueue<W, E>,
     events_fired: u64,
 }
 
-impl<W: std::fmt::Debug> std::fmt::Debug for Simulation<W> {
+impl<W: std::fmt::Debug, E> std::fmt::Debug for Simulation<W, E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulation")
             .field("world", &self.world)
             .field("clock", &self.clock)
-            .field("pending", &self.queue.heap.len())
+            .field("pending", &self.queue.len())
             .field("events_fired", &self.events_fired)
             .finish()
     }
 }
 
-impl<W> Simulation<W> {
-    /// Creates a simulation whose clock starts at [`SimTime::ZERO`].
+impl<W> Simulation<W, NoEvent> {
+    /// Creates a simulation whose clock starts at [`SimTime::ZERO`] and
+    /// whose events are boxed closures only.
+    ///
+    /// Defined on `Simulation<W, NoEvent>` (not generically) so existing
+    /// call sites infer the default event type.
     pub fn new(world: W) -> Self {
+        Simulation::with_events(world)
+    }
+}
+
+impl<W, E: Fire<W>> Simulation<W, E> {
+    /// Creates a simulation over a world with a typed event enum `E`.
+    pub fn with_events(world: W) -> Self {
         Simulation {
             world,
             clock: SimTime::ZERO,
@@ -154,9 +471,16 @@ impl<W> Simulation<W> {
         self.events_fired
     }
 
+    /// Total boxed-closure events ever scheduled (typed events excluded).
+    /// The request hot path schedules typed events only, so in steady state
+    /// this counter stays at the handful of control events a run sets up.
+    pub fn boxed_events_scheduled(&self) -> u64 {
+        self.queue.boxed_events
+    }
+
     /// Number of events still pending.
     pub fn pending_events(&self) -> usize {
-        self.queue.heap.len()
+        self.queue.len()
     }
 
     /// Shared access to the world.
@@ -174,44 +498,74 @@ impl<W> Simulation<W> {
         self.world
     }
 
-    /// Schedules an event at absolute time `at` (clamped to the current clock).
+    /// Schedules a boxed closure at absolute time `at` (clamped to the clock).
     pub fn schedule_at(
         &mut self,
         at: SimTime,
-        event: impl FnOnce(&mut W, &mut Context<'_, W>) + 'static,
+        event: impl FnOnce(&mut W, &mut Context<'_, W, E>) + 'static,
     ) {
         let at = at.max(self.clock);
-        self.queue.push(at, Box::new(event));
+        self.queue.push(at, Payload::Boxed(Box::new(event)));
     }
 
-    /// Schedules an event `delay` from now.
+    /// Schedules a boxed closure `delay` from now.
     pub fn schedule_in(
         &mut self,
         delay: SimDuration,
-        event: impl FnOnce(&mut W, &mut Context<'_, W>) + 'static,
+        event: impl FnOnce(&mut W, &mut Context<'_, W, E>) + 'static,
     ) {
         let at = self.clock + delay;
-        self.queue.push(at, Box::new(event));
+        self.queue.push(at, Payload::Boxed(Box::new(event)));
+    }
+
+    /// Schedules a typed event at absolute time `at` (clamped to the clock).
+    /// Allocation-free.
+    pub fn schedule_event_at(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.clock);
+        self.queue.push_event(at, event);
+    }
+
+    /// Schedules a typed event `delay` from now. Allocation-free.
+    pub fn schedule_event_in(&mut self, delay: SimDuration, event: E) {
+        let at = self.clock + delay;
+        self.queue.push_event(at, event);
+    }
+
+    /// Turns boxed-event emulation on or off (off by default). When on,
+    /// every *typed* event is wrapped in a heap-allocated `Box<dyn FnOnce>`
+    /// at scheduling time — faithfully reproducing the pre-overhaul
+    /// one-allocation-per-event queue as a measurable baseline. Events still
+    /// fire in exact `(time, seq)` order with identical effects, so a run
+    /// differs only in host-side cost (and in the boxed-event counter,
+    /// which then counts every event). Emulation also reverts the queue to
+    /// the pre-overhaul single-heap layout with inline payloads, so the
+    /// baseline pays the sift costs the slab queue was built to remove.
+    pub fn emulate_boxed_events(&mut self, on: bool) {
+        self.queue.box_typed = on;
+        self.queue.set_layout(on);
     }
 
     /// Fires the single earliest pending event.
     ///
     /// Returns `false` when the queue is empty (the clock does not advance).
     pub fn step(&mut self) -> bool {
-        let Some(scheduled) = self.queue.heap.pop() else {
+        let Some((time, payload)) = self.queue.pop() else {
             return false;
         };
         debug_assert!(
-            scheduled.time >= self.clock,
+            time >= self.clock,
             "event queue produced an event in the past"
         );
-        self.clock = scheduled.time;
+        self.clock = time;
         self.events_fired += 1;
         let mut ctx = Context {
             now: self.clock,
             queue: &mut self.queue,
         };
-        (scheduled.event)(&mut self.world, &mut ctx);
+        match payload {
+            Payload::Boxed(f) => f(&mut self.world, &mut ctx),
+            Payload::Event(e) => e.fire(&mut self.world, &mut ctx),
+        }
         true
     }
 
@@ -224,8 +578,8 @@ impl<W> Simulation<W> {
     /// `deadline`. Events exactly at `deadline` fire. On return the clock is
     /// `max(clock, deadline)` if any events remain, so repeated calls advance.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(head) = self.queue.heap.peek() {
-            if head.time > deadline {
+        while let Some(head) = self.queue.peek_time() {
+            if head > deadline {
                 self.clock = self.clock.max(deadline);
                 return;
             }
@@ -342,5 +696,134 @@ mod tests {
             result
         }
         assert_eq!(run_once(), run_once());
+    }
+
+    /// Typed events interleave with boxed closures in strict (time, seq)
+    /// order, and scheduling them does not bump the boxed-event counter.
+    #[test]
+    fn typed_events_fire_in_order_without_boxing() {
+        #[derive(Debug)]
+        enum Ev {
+            Mark(u64),
+        }
+        impl Fire<Vec<u64>> for Ev {
+            fn fire(self, world: &mut Vec<u64>, ctx: &mut Context<'_, Vec<u64>, Self>) {
+                let Ev::Mark(v) = self;
+                world.push(v);
+                if v == 2 {
+                    // Typed events can schedule both kinds of follow-up.
+                    ctx.schedule_event_in(SimDuration::from_millis(1), Ev::Mark(99));
+                    ctx.schedule_in(SimDuration::from_millis(2), |w: &mut Vec<u64>, _| {
+                        w.push(1000);
+                    });
+                }
+            }
+        }
+        let mut sim = Simulation::<Vec<u64>, Ev>::with_events(Vec::new());
+        sim.schedule_event_at(SimTime::from_millis(5), Ev::Mark(2));
+        sim.schedule_event_at(SimTime::from_millis(3), Ev::Mark(1));
+        sim.schedule_at(SimTime::from_millis(4), |w: &mut Vec<u64>, _| w.push(500));
+        sim.run();
+        assert_eq!(sim.world(), &vec![1, 500, 2, 99, 1000]);
+        assert_eq!(sim.boxed_events_scheduled(), 2);
+        assert_eq!(sim.events_fired(), 5);
+    }
+
+    /// Boxed-event emulation boxes every typed event without changing the
+    /// firing order or effects.
+    #[test]
+    fn boxed_emulation_preserves_order_and_counts_every_event() {
+        #[derive(Debug)]
+        struct Push(u64);
+        impl Fire<Vec<u64>> for Push {
+            fn fire(self, world: &mut Vec<u64>, ctx: &mut Context<'_, Vec<u64>, Self>) {
+                world.push(self.0);
+                if self.0 == 1 {
+                    ctx.schedule_event_in(SimDuration::from_millis(1), Push(9));
+                }
+            }
+        }
+        let run = |emulate: bool| {
+            let mut sim = Simulation::<Vec<u64>, Push>::with_events(Vec::new());
+            sim.emulate_boxed_events(emulate);
+            sim.schedule_event_at(SimTime::from_millis(2), Push(2));
+            sim.schedule_event_at(SimTime::from_millis(1), Push(1));
+            sim.run();
+            (sim.world().clone(), sim.boxed_events_scheduled())
+        };
+        let (fast, fast_boxed) = run(false);
+        let (slow, slow_boxed) = run(true);
+        assert_eq!(fast, vec![1, 2, 9]);
+        assert_eq!(fast, slow, "emulation must not change results");
+        assert_eq!(fast_boxed, 0);
+        assert_eq!(slow_boxed, 3, "every typed event is boxed under emulation");
+    }
+
+    /// The slab two-tier layout fires the exact same order as the inline
+    /// single-heap layout, including events far beyond the horizon epoch,
+    /// re-scheduling from inside events, and (time) ties broken by seq.
+    #[test]
+    fn slab_and_inline_layouts_fire_identically() {
+        #[derive(Debug)]
+        struct Mark(u64);
+        impl Fire<Vec<(u64, u64)>> for Mark {
+            fn fire(
+                self,
+                world: &mut Vec<(u64, u64)>,
+                ctx: &mut Context<'_, Vec<(u64, u64)>, Self>,
+            ) {
+                world.push((ctx.now().as_micros(), self.0));
+                if self.0 < 400 && self.0 % 5 == 0 {
+                    // Follow-ups both near (sub-epoch) and far (multi-epoch);
+                    // the guard keeps follow-ups from cascading forever.
+                    ctx.schedule_event_in(SimDuration::from_millis(3), Mark(self.0 + 1_000));
+                    ctx.schedule_event_in(SimDuration::from_secs(7), Mark(self.0 + 2_000));
+                }
+            }
+        }
+        let run = |inline: bool| {
+            let mut sim = Simulation::<Vec<(u64, u64)>, Mark>::with_events(Vec::new());
+            if inline {
+                // Flip the layout without boxed emulation noise: emulation
+                // boxes payloads too, but the firing order is what matters.
+                sim.queue.set_layout(true);
+            }
+            // A deterministic scramble of times spanning many 500 ms epochs,
+            // with deliberate exact-time collisions to stress seq ordering.
+            let mut x = 9_876_543_210u64;
+            for i in 0..400u64 {
+                x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                let at = SimTime::ZERO + SimDuration::from_micros(x % 20_000_000);
+                sim.schedule_event_at(at, Mark(i));
+                if i % 7 == 0 {
+                    sim.schedule_event_at(at, Mark(i + 500));
+                }
+            }
+            sim.run();
+            sim.into_world()
+        };
+        let slab = run(false);
+        let inline = run(true);
+        assert_eq!(slab.len(), inline.len());
+        assert_eq!(slab, inline, "layouts must fire in identical order");
+    }
+
+    /// Ties between typed and boxed events break by insertion sequence.
+    #[test]
+    fn typed_and_boxed_ties_fire_in_insertion_order() {
+        #[derive(Debug)]
+        struct Push(u64);
+        impl Fire<Vec<u64>> for Push {
+            fn fire(self, world: &mut Vec<u64>, _: &mut Context<'_, Vec<u64>, Self>) {
+                world.push(self.0);
+            }
+        }
+        let mut sim = Simulation::<Vec<u64>, Push>::with_events(Vec::new());
+        let t = SimTime::from_millis(1);
+        sim.schedule_event_at(t, Push(0));
+        sim.schedule_at(t, |w: &mut Vec<u64>, _| w.push(1));
+        sim.schedule_event_at(t, Push(2));
+        sim.run();
+        assert_eq!(sim.world(), &vec![0, 1, 2]);
     }
 }

@@ -25,7 +25,7 @@ use serde::{Deserialize, Serialize};
 use mutsvc_desim::rng::SimRng;
 use mutsvc_desim::time::SimDuration;
 use mutsvc_netsim::{NodeId, ProtocolParams, Step};
-use mutsvc_relstore::{affects, Database, Query, RowId};
+use mutsvc_relstore::{affects, Database, Query, RowId, TableId};
 
 use crate::component::{ComponentId, ComponentKind, ComponentRegistry};
 use crate::descriptor::{DeploymentDescriptor, UpdatePropagation};
@@ -175,6 +175,21 @@ impl DeferredApply {
             state.cache_query(*node, query.clone());
         }
     }
+
+    /// Tables whose observable read results change when this apply lands —
+    /// the plan cache invalidates memoized binds reading any of them.
+    pub fn tables(&self, registry: &ComponentRegistry, out: &mut Vec<TableId>) {
+        for &(entity, _, _) in &self.entity_rows {
+            if let Some(t) = registry.spec(entity).table {
+                out.push(t);
+            }
+        }
+        for (_, query) in &self.queries {
+            out.push(query.table());
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
 }
 
 /// The result of binding one page request.
@@ -188,6 +203,16 @@ pub struct BoundRequest {
     pub crossings: Vec<Crossing>,
     /// Asynchronous propagations started by this request, keyed by fork tag.
     pub deferred: Vec<(u64, DeferredApply)>,
+    /// The binder's replayability certificate: `true` iff this bind drew no
+    /// randomness, wrote nothing, and caused no cold cache/stub transition —
+    /// i.e. re-binding the same page shape from the same client would produce
+    /// the identical program and stats as long as `read_tables` are unchanged.
+    pub replayable: bool,
+    /// Tables whose contents (or replica freshness) this bind's results
+    /// depend on; a write to any of them invalidates a memoized plan.
+    pub read_tables: Vec<TableId>,
+    /// Tables mutated by this bind (always empty when `replayable`).
+    pub written_tables: Vec<TableId>,
 }
 
 /// Per-destination bundle of a transaction's propagation payload: the entity
@@ -218,12 +243,16 @@ pub struct Binder<'a> {
     stats: BindStats,
     crossings: Vec<Crossing>,
     deferred: Vec<(u64, DeferredApply)>,
+    replayable: bool,
+    read_tables: Vec<TableId>,
+    written_tables: Vec<TableId>,
     /// Propagation targets accumulated within the current transaction;
     /// flushed as one bulk push per destination at the transaction boundary
     /// ("updates … are made in one bulk RMI call", §4.4).
     pending_entities: Vec<(ComponentId, NodeId, RowId)>,
     pending_queries: Vec<(NodeId, Query)>,
     in_transaction: bool,
+    legacy_scan: bool,
 }
 
 impl<'a> Binder<'a> {
@@ -251,9 +280,38 @@ impl<'a> Binder<'a> {
             stats: BindStats::default(),
             crossings: Vec::new(),
             deferred: Vec::new(),
+            replayable: true,
+            read_tables: Vec::new(),
+            written_tables: Vec::new(),
             pending_entities: Vec::new(),
             pending_queries: Vec::new(),
             in_transaction: false,
+            legacy_scan: false,
+        }
+    }
+
+    /// Switches the write path to the pre-overhaul cost model: every write
+    /// clones the full query-cache contents of each cache node before
+    /// `affects`-filtering, and propagation ordering is recomputed through
+    /// per-comparison `format!("{:?}")` keys. The emitted steps and state
+    /// transitions are identical — only host-side work differs — so the
+    /// `--simperf` legacy baseline can charge what the driver cost before
+    /// the by-table index and derived [`Ord`] on [`Query`] existed.
+    pub fn with_legacy_scan(mut self, on: bool) -> Self {
+        self.legacy_scan = on;
+        self
+    }
+
+    /// Withdraws the replayability certificate: the bind drew randomness,
+    /// mutated shared state, or took a cold cache/stub transition.
+    fn not_replayable(&mut self) {
+        self.replayable = false;
+    }
+
+    /// Records that this bind's results depend on the contents of `table`.
+    fn record_read(&mut self, table: TableId) {
+        if !self.read_tables.contains(&table) {
+            self.read_tables.push(table);
         }
     }
 
@@ -295,23 +353,32 @@ impl<'a> Binder<'a> {
             self.protocols
                 .http_response(entry, client, page.response_bytes),
         );
-        BoundRequest {
-            steps,
-            stats: self.stats,
-            crossings: self.crossings,
-            deferred: self.deferred,
-        }
+        self.finish(steps)
     }
 
     /// Compiles a bare call tree starting at `entry` (no HTTP envelope); used
     /// for tests and for placement-graph derivation.
     pub fn bind_tree(mut self, entry: NodeId, root: &Call) -> BoundRequest {
         let steps = self.bind_call(entry, root, 0, 0);
+        self.finish(steps)
+    }
+
+    fn finish(mut self, steps: Vec<Step>) -> BoundRequest {
+        self.read_tables.sort_unstable();
+        self.written_tables.sort_unstable();
+        self.written_tables.dedup();
+        debug_assert!(
+            !self.replayable || self.written_tables.is_empty(),
+            "a replayable bind cannot have written tables"
+        );
         BoundRequest {
             steps,
             stats: self.stats,
             crossings: self.crossings,
             deferred: self.deferred,
+            replayable: self.replayable,
+            read_tables: self.read_tables,
+            written_tables: self.written_tables,
         }
     }
 
@@ -350,6 +417,10 @@ impl<'a> Binder<'a> {
         let mut steps = Vec::new();
 
         if host != caller {
+            // Cross-node RMI samples DGC/ping overhead from the shared RNG
+            // stream (and may take a cold stub transition below) — never
+            // memoizable.
+            self.not_replayable();
             self.stats.remote_invocations += 1;
             self.bind_stub_resolution(caller, call.component, &mut steps);
             self.crossings.push(Crossing {
@@ -452,9 +523,12 @@ impl<'a> Binder<'a> {
             if self.descriptor.query_cache.covers(host, tag) {
                 if self.state.query_cached(host, &qa.query) {
                     self.stats.query_cache_hits += 1;
+                    self.record_read(qa.query.table());
                     return vec![Step::cpu(host, self.costs.cache_hit)];
                 }
-                // Miss: fetch through the central façade, then cache.
+                // Miss: fetch through the central façade, then cache. The
+                // insert is a cold transition: a replay would hit instead.
+                self.not_replayable();
                 self.stats.query_cache_misses += 1;
                 let mut steps = self.remote_fetch(host, &qa.query);
                 self.state.cache_query(host, qa.query.clone());
@@ -491,9 +565,18 @@ impl<'a> Binder<'a> {
                 RowCacheState::Valid => {
                     self.stats.entity_cache_hits += 1;
                     self.stats.staleness_observed += self.state.staleness(component, host, *id);
+                    // The observed staleness is derived from row versions,
+                    // which only change on writes to the entity's table — so
+                    // the hit is memoizable under table-generation validity.
+                    match self.registry.spec(component).table {
+                        Some(t) => self.record_read(t),
+                        None => self.not_replayable(),
+                    }
                     vec![Step::cpu(host, self.costs.cache_hit)]
                 }
                 RowCacheState::Absent | RowCacheState::Invalid => {
+                    // Cold transition: the fetch repopulates the replica row.
+                    self.not_replayable();
                     self.stats.entity_cache_misses += 1;
                     let steps = self.remote_fetch(host, &qa.query);
                     self.state.load_entity_row(component, host, *id);
@@ -510,6 +593,11 @@ impl<'a> Binder<'a> {
     /// database and returns the result.
     fn remote_fetch(&mut self, host: NodeId, query: &Query) -> Vec<Step> {
         let central = self.descriptor.central_node;
+        if host != central {
+            // The façade RMI samples protocol overhead from the RNG stream.
+            self.not_replayable();
+        }
+        self.record_read(query.table());
         let outcome = self.db.execute(query);
         self.stats.db_statements += 1;
         let db_node = self.descriptor.db_node;
@@ -547,6 +635,7 @@ impl<'a> Binder<'a> {
     /// Direct database access from `host` (entity primary, central façade, or
     /// the original web tier's direct JDBC).
     fn db_steps(&mut self, host: NodeId, qa: &QueryAction) -> Vec<Step> {
+        self.record_read(qa.query.table());
         let outcome = self.db.execute(&qa.query);
         self.stats.db_statements += 1;
         let db_node = self.descriptor.db_node;
@@ -569,7 +658,9 @@ impl<'a> Binder<'a> {
     /// Executes a write and queues its propagation targets; the push itself
     /// is emitted at the transaction boundary by [`Self::flush_propagation`].
     fn bind_mutation(&mut self, host: NodeId, ma: &MutateAction) -> Vec<Step> {
+        self.not_replayable();
         let effect = self.db.mutate(ma.mutation.clone());
+        self.written_tables.push(effect.table);
         self.stats.db_statements += 1;
         let db_node = self.descriptor.db_node;
         let mut steps = vec![Step::cpu(db_node, effect.cpu)];
@@ -594,10 +685,26 @@ impl<'a> Binder<'a> {
                 }
             }
         }
+        if self.legacy_scan {
+            // Pre-overhaul scan: clone every cached query at the node, then
+            // filter — the cost the by-table index below removes.
+            for &node in &self.descriptor.query_cache.nodes {
+                for query in self.state.cached_queries(node) {
+                    if affects(&effect, &query) {
+                        self.pending_queries.push((node, query));
+                    }
+                }
+            }
+            return steps;
+        }
+        // Only queries on the written table can be affected; the by-table
+        // index avoids cloning every cached query at the node per write.
+        let state = &self.state;
+        let pending = &mut self.pending_queries;
         for &node in &self.descriptor.query_cache.nodes {
-            for query in self.state.cached_queries(node) {
-                if affects(&effect, &query) {
-                    self.pending_queries.push((node, query));
+            for query in state.cached_queries_on(node, effect.table) {
+                if affects(&effect, query) {
+                    pending.push((node, query.clone()));
                 }
             }
         }
@@ -612,12 +719,21 @@ impl<'a> Binder<'a> {
         let mut query_targets = std::mem::take(&mut self.pending_queries);
         entity_targets.sort_unstable();
         entity_targets.dedup();
-        query_targets
-            .sort_unstable_by(|a, b| (a.0, format!("{:?}", a.1)).cmp(&(b.0, format!("{:?}", b.1))));
+        if self.legacy_scan {
+            // Pre-overhaul canonical order: two `format!("{:?}")` heap
+            // allocations per comparison (superseded by `Query: Ord`).
+            query_targets.sort_unstable_by(|a, b| {
+                (a.0, format!("{:?}", a.1)).cmp(&(b.0, format!("{:?}", b.1)))
+            });
+        } else {
+            query_targets.sort_unstable();
+        }
         query_targets.dedup();
         if entity_targets.is_empty() && query_targets.is_empty() {
             return Vec::new();
         }
+        // Propagation mutates replica/cache state and may draw fork tags.
+        self.not_replayable();
 
         // Bundle per destination node (the paper's bulk-RMI pushes).
         let mut per_node: PerNodePush = std::collections::BTreeMap::new();

@@ -10,7 +10,7 @@
 use std::collections::{HashMap, HashSet};
 
 use mutsvc_netsim::NodeId;
-use mutsvc_relstore::{Query, RowId};
+use mutsvc_relstore::{Query, RowId, TableId};
 
 use crate::component::ComponentId;
 
@@ -30,8 +30,10 @@ pub enum RowCacheState {
 pub struct ContainerState {
     /// Read-only entity replica caches: (entity, node) → row → valid?
     entity_rows: HashMap<(ComponentId, NodeId), HashMap<RowId, bool>>,
-    /// Query caches: node → query → valid?
-    query_results: HashMap<NodeId, HashMap<Query, bool>>,
+    /// Query caches keyed by `(node, table)` → query → valid?, so write
+    /// invalidation scans only the written table's queries instead of every
+    /// result cached at the node (the dominant per-write cost at high load).
+    query_results: HashMap<(NodeId, TableId), HashMap<Query, bool>>,
     /// Resolved stubs: (node, component).
     stubs: HashSet<(NodeId, ComponentId)>,
     /// Monotonic version counter per entity row, for staleness audits.
@@ -125,7 +127,7 @@ impl ContainerState {
     /// Whether `query` is cached-and-valid at `node`.
     pub fn query_cached(&self, node: NodeId, query: &Query) -> bool {
         self.query_results
-            .get(&node)
+            .get(&(node, query.table()))
             .and_then(|m| m.get(query))
             .copied()
             .unwrap_or(false)
@@ -134,7 +136,7 @@ impl ContainerState {
     /// Stores (or refreshes) a query result at `node`.
     pub fn cache_query(&mut self, node: NodeId, query: Query) {
         self.query_results
-            .entry(node)
+            .entry((node, query.table()))
             .or_default()
             .insert(query, true);
     }
@@ -142,7 +144,7 @@ impl ContainerState {
     /// Invalidates a cached query at `node` if present; returns whether it
     /// was cached.
     pub fn invalidate_query(&mut self, node: NodeId, query: &Query) -> bool {
-        if let Some(m) = self.query_results.get_mut(&node) {
+        if let Some(m) = self.query_results.get_mut(&(node, query.table())) {
             if let Some(valid) = m.get_mut(query) {
                 *valid = false;
                 return true;
@@ -151,12 +153,28 @@ impl ContainerState {
         false
     }
 
-    /// All queries currently stored (valid or not) at `node`.
+    /// All queries currently stored (valid or not) at `node`, any table.
     pub fn cached_queries(&self, node: NodeId) -> Vec<Query> {
         self.query_results
-            .get(&node)
-            .map(|m| m.keys().cloned().collect())
-            .unwrap_or_default()
+            .iter()
+            .filter(|((n, _), _)| *n == node)
+            .flat_map(|(_, m)| m.keys().cloned())
+            .collect()
+    }
+
+    /// Queries stored (valid or not) at `node` that read `table` — the only
+    /// ones a write to `table` can invalidate. Borrowed iteration: the write
+    /// path filters with [`mutsvc_relstore::affects`] without cloning the
+    /// node's whole cache.
+    pub fn cached_queries_on(
+        &self,
+        node: NodeId,
+        table: TableId,
+    ) -> impl Iterator<Item = &Query> + '_ {
+        self.query_results
+            .get(&(node, table))
+            .into_iter()
+            .flat_map(|m| m.keys())
     }
 
     // ---- stub caches --------------------------------------------------------

@@ -7,7 +7,9 @@ use mutsvc_middleware::{
     Binder, Call, ComponentId, ComponentKind, ComponentRegistry, ContainerCosts, ContainerState,
     DbAccess, DeploymentDescriptor, DescriptorBuilder, PageRequest, UpdatePropagation,
 };
-use mutsvc_netsim::{spawn_job, JobWorld, Network, NodeId, ProtocolParams, Step, TopologyBuilder};
+use mutsvc_netsim::{
+    spawn_job, JobWorld, Jobs, NetEvent, Network, NodeId, ProtocolParams, Step, TopologyBuilder,
+};
 use mutsvc_relstore::{Database, DatabaseBuilder, Mutation, Query, RowId, TableId, Value};
 
 struct Fixture {
@@ -205,15 +207,21 @@ fn commit_page(fx: &Fixture, id: u64) -> PageRequest {
 fn execute(fx: &Fixture, steps: Vec<Step>) -> f64 {
     struct W {
         net: Network,
+        jobs: Jobs<W>,
         done: Option<SimTime>,
     }
     impl JobWorld for W {
+        type Event = NetEvent;
         fn network_mut(&mut self) -> &mut Network {
             &mut self.net
         }
+        fn jobs_mut(&mut self) -> &mut Jobs<W> {
+            &mut self.jobs
+        }
     }
-    let mut sim = Simulation::new(W {
+    let mut sim: Simulation<W, NetEvent> = Simulation::with_events(W {
         net: Network::new(fx.topology.clone()),
+        jobs: Jobs::new(),
         done: None,
     });
     sim.schedule_at(SimTime::ZERO, move |w, ctx| {
@@ -547,4 +555,55 @@ fn deterministic_binding_given_seed() {
         times
     };
     assert_eq!(run(), run());
+}
+
+#[test]
+fn centralized_read_bind_is_replayable() {
+    let mut fx = fixture();
+    let desc = centralized(&fx);
+    let page = item_page(&fx, 3);
+    let bound = bind!(&mut fx, &desc, fx.client_main, fx.main, &page);
+    assert!(bound.replayable, "all-local read bind must be certified");
+    assert_eq!(bound.read_tables, vec![fx.items_table]);
+    assert!(bound.written_tables.is_empty());
+    // The certificate survives the WAN client too: the HTTP envelope crosses
+    // the network, but the bind itself stays on the central server.
+    let bound = bind!(&mut fx, &desc, fx.client_edge, fx.main, &page);
+    assert!(bound.replayable);
+}
+
+#[test]
+fn replica_hit_is_replayable_but_cold_miss_is_not() {
+    let mut fx = fixture();
+    let desc = caching_config(&fx, UpdatePropagation::SyncPush);
+    let page = item_page(&fx, 5);
+    let cold = bind!(&mut fx, &desc, fx.client_edge, fx.edge1, &page);
+    assert!(!cold.replayable, "cold replica miss repopulates state");
+    let warm = bind!(&mut fx, &desc, fx.client_edge, fx.edge1, &page);
+    assert!(warm.replayable, "valid replica hit draws nothing");
+    assert_eq!(warm.read_tables, vec![fx.items_table]);
+    assert!(warm.stats.entity_cache_hits > 0);
+}
+
+#[test]
+fn write_bind_reports_written_tables() {
+    let mut fx = fixture();
+    let desc = centralized(&fx);
+    let page = commit_page(&fx, 2);
+    let bound = bind!(&mut fx, &desc, fx.client_main, fx.main, &page);
+    assert!(!bound.replayable, "writes are never memoizable");
+    assert_eq!(bound.written_tables, vec![fx.items_table]);
+}
+
+#[test]
+fn query_cache_hit_is_replayable_after_population() {
+    let mut fx = fixture();
+    let desc = query_cached_config(&fx, UpdatePropagation::SyncPush);
+    let page = product_page(&fx, 1);
+    let cold = bind!(&mut fx, &desc, fx.client_edge, fx.edge1, &page);
+    assert!(!cold.replayable, "cache population is a cold transition");
+    let warm = bind!(&mut fx, &desc, fx.client_edge, fx.edge1, &page);
+    assert!(warm.replayable);
+    assert_eq!(warm.read_tables, vec![fx.items_table]);
+    assert!(warm.stats.query_cache_hits > 0);
 }

@@ -12,11 +12,20 @@
 //!   §4.5. The fork consumes CPU and link resources but does not delay the
 //!   response; its completion is reported to the world for staleness
 //!   accounting.
+//!
+//! ## Execution model
+//!
+//! In-flight requests live in a [`Jobs`] slab owned by the world: each job
+//! holds its [`Program`] (owned or `Arc`-shared), a step cursor and the
+//! in-progress message phase. Step boundaries are driven by the plain-enum
+//! [`NetEvent::Advance`] event — scheduled through the typed event fast path
+//! of `mutsvc-desim`, so steady-state execution performs **zero** per-event
+//! `Box<dyn FnOnce>` allocations and no per-continuation captures of step
+//! vectors or routes.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
 
-use mutsvc_desim::sim::{Context, EventFn};
+use mutsvc_desim::sim::{Context, EventFn, Fire};
 use mutsvc_desim::time::{SimDuration, SimTime};
 
 use crate::network::Network;
@@ -118,10 +127,144 @@ pub fn wan_round_trips(steps: &[Step], is_wan: &dyn Fn(NodeId, NodeId) -> bool) 
     steps.iter().map(|s| s.wan_round_trips(is_wan)).sum()
 }
 
+/// Identifies an in-flight job in the world's [`Jobs`] slab.
+pub type JobId = u32;
+
+/// The executor's pooled event payload: a plain enum, scheduled through the
+/// typed event fast path of `mutsvc-desim` with no per-event allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetEvent {
+    /// Resume the job at its cursor / message phase.
+    Advance {
+        /// The job to resume.
+        job: JobId,
+    },
+}
+
+impl<W: JobWorld<Event = NetEvent>> Fire<W> for NetEvent {
+    fn fire(self, world: &mut W, ctx: &mut Context<'_, W, Self>) {
+        match self {
+            NetEvent::Advance { job } => advance_job(world, ctx, job),
+        }
+    }
+}
+
+/// A step program: owned for one-shot binds, `Arc`-shared for cached plans
+/// replayed by many requests without cloning the step vector.
+#[derive(Debug, Clone)]
+pub enum Program {
+    /// A program owned by this job (cold binds, update pushes).
+    Owned(Vec<Step>),
+    /// A memoized program shared across requests; jobs only hold a cursor.
+    Shared(Arc<[Step]>),
+}
+
+/// What to do when a job's program (excluding forked branches) completes.
+enum JobDone<W: JobWorld> {
+    /// Fire a typed world event (the allocation-free driver path).
+    Event(W::Event),
+    /// Invoke a boxed continuation (compat path for one-shot callers).
+    Boxed(EventFn<W, W::Event>),
+    /// This job is a `Parallel` branch of `parent`.
+    Join { parent: JobId },
+    /// This job is a detached `Fork` branch.
+    Fork { tag: Option<u64> },
+}
+
+/// Progress of the message (if any) the job is currently transmitting.
+#[derive(Debug, Clone, Copy)]
+enum Phase {
+    /// Executing steps at the cursor.
+    Steps,
+    /// Mid-message: `hop` links of the `from → to` route already crossed.
+    /// `respond` carries the pending return leg of an [`Step::Exchange`].
+    Send {
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+        hop: usize,
+        respond: Option<(NodeId, NodeId, u64)>,
+    },
+}
+
+struct Job<W: JobWorld> {
+    program: Program,
+    cursor: usize,
+    phase: Phase,
+    done: JobDone<W>,
+    /// Outstanding `Parallel` branches (only while blocked on a join).
+    join_remaining: usize,
+}
+
+/// Slab of in-flight jobs. Slots are recycled through a free list, so a
+/// steady-state workload reuses the same allocations run-long.
+pub struct Jobs<W: JobWorld> {
+    slots: Vec<Option<Job<W>>>,
+    free: Vec<JobId>,
+}
+
+impl<W: JobWorld> Jobs<W> {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        Jobs {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Number of jobs currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    fn alloc(&mut self, job: Job<W>) -> JobId {
+        if let Some(id) = self.free.pop() {
+            self.slots[id as usize] = Some(job);
+            id
+        } else {
+            self.slots.push(Some(job));
+            (self.slots.len() - 1) as JobId
+        }
+    }
+
+    /// Moves the job out of its slot while the executor works on it; the
+    /// slot is restored with `put` or recycled with `release`.
+    fn take(&mut self, id: JobId) -> Job<W> {
+        self.slots[id as usize].take().expect("job not in flight")
+    }
+
+    fn put(&mut self, id: JobId, job: Job<W>) {
+        self.slots[id as usize] = Some(job);
+    }
+
+    fn get_mut(&mut self, id: JobId) -> &mut Job<W> {
+        self.slots[id as usize].as_mut().expect("job not in flight")
+    }
+
+    fn release(&mut self, id: JobId) {
+        self.slots[id as usize] = None;
+        self.free.push(id);
+    }
+}
+
+impl<W: JobWorld> Default for Jobs<W> {
+    fn default() -> Self {
+        Jobs::new()
+    }
+}
+
 /// The world-side contract required by the executor.
 pub trait JobWorld: Sized + 'static {
+    /// The simulation's event payload type. Worlds that only run jobs use
+    /// [`NetEvent`] directly; richer drivers wrap it in their own enum and
+    /// dispatch `Advance` back to [`advance_job`].
+    type Event: Fire<Self> + From<NetEvent> + 'static;
+
     /// The live network carrying this world's traffic.
     fn network_mut(&mut self) -> &mut Network;
+
+    /// The slab of in-flight jobs.
+    fn jobs_mut(&mut self) -> &mut Jobs<Self>;
 
     /// Called when a tagged [`Step::Fork`] branch finishes (e.g. an
     /// asynchronous update push has been applied everywhere).
@@ -132,156 +275,241 @@ pub trait JobWorld: Sized + 'static {
 /// forked branches) completes.
 pub fn spawn_job<W: JobWorld>(
     world: &mut W,
-    ctx: &mut Context<'_, W>,
+    ctx: &mut Context<'_, W, W::Event>,
     steps: Vec<Step>,
-    done: EventFn<W>,
+    done: EventFn<W, W::Event>,
 ) {
-    advance(world, ctx, steps.into_iter(), done);
+    spawn(world, ctx, Program::Owned(steps), JobDone::Boxed(done));
 }
 
-fn advance<W: JobWorld>(
+/// Starts executing `program` now; the typed `done` event fires (synchronously,
+/// as if scheduled at the completion instant) when the program completes.
+/// This is the allocation-free path: a [`Program::Shared`] plan plus an enum
+/// completion event touch the heap zero times per request in steady state.
+pub fn spawn_program<W: JobWorld>(
     world: &mut W,
-    ctx: &mut Context<'_, W>,
-    mut steps: std::vec::IntoIter<Step>,
-    done: EventFn<W>,
+    ctx: &mut Context<'_, W, W::Event>,
+    program: Program,
+    done: W::Event,
 ) {
-    loop {
-        let Some(step) = steps.next() else {
-            done(world, ctx);
-            return;
-        };
-        match step {
-            Step::Cpu { node, demand } => {
-                let completion = world.network_mut().cpu(ctx.now(), node, demand);
-                ctx.schedule_at(completion, move |w, c| advance(w, c, steps, done));
-                return;
-            }
-            Step::Transfer { from, to, bytes } => {
-                send(
-                    world,
-                    ctx,
-                    from,
-                    to,
-                    bytes,
-                    Box::new(move |w, c| advance(w, c, steps, done)),
-                );
-                return;
-            }
-            Step::Exchange {
-                a,
-                b,
-                req_bytes,
-                resp_bytes,
-            } => {
-                // The return leg starts only when the request arrives, so
-                // every link admission happens at its true time.
-                send(
-                    world,
-                    ctx,
+    spawn(world, ctx, program, JobDone::Event(done));
+}
+
+fn spawn<W: JobWorld>(
+    world: &mut W,
+    ctx: &mut Context<'_, W, W::Event>,
+    program: Program,
+    done: JobDone<W>,
+) {
+    let id = world.jobs_mut().alloc(Job {
+        program,
+        cursor: 0,
+        phase: Phase::Steps,
+        done,
+        join_remaining: 0,
+    });
+    advance_job(world, ctx, id);
+}
+
+/// What the cursor found, with branch bodies moved (owned programs) or cloned
+/// (shared programs — cached plans never contain branches, so the clone is a
+/// cold path) out of the program so the job can be mutated freely.
+enum Fetched {
+    End,
+    Cpu(NodeId, SimDuration),
+    Transfer(NodeId, NodeId, u64),
+    Exchange(NodeId, NodeId, u64, u64),
+    Delay(SimDuration),
+    Parallel(Vec<Vec<Step>>),
+    Fork(Vec<Step>, Option<u64>),
+}
+
+fn fetch(program: &mut Program, idx: usize) -> Fetched {
+    match program {
+        Program::Owned(steps) => match steps.get_mut(idx) {
+            None => Fetched::End,
+            Some(slot) => match slot {
+                Step::Cpu { node, demand } => Fetched::Cpu(*node, *demand),
+                Step::Transfer { from, to, bytes } => Fetched::Transfer(*from, *to, *bytes),
+                Step::Exchange {
                     a,
                     b,
                     req_bytes,
-                    Box::new(move |w: &mut W, c: &mut Context<'_, W>| {
-                        send(
-                            w,
-                            c,
-                            b,
-                            a,
-                            resp_bytes,
-                            Box::new(move |w, c| advance(w, c, steps, done)),
-                        );
-                    }),
-                );
+                    resp_bytes,
+                } => Fetched::Exchange(*a, *b, *req_bytes, *resp_bytes),
+                Step::Delay(d) => Fetched::Delay(*d),
+                Step::Parallel(_) | Step::Fork { .. } => {
+                    // Move the branch bodies out; the cursor has already
+                    // passed this slot, so the placeholder is never executed.
+                    match std::mem::replace(slot, Step::Delay(SimDuration::ZERO)) {
+                        Step::Parallel(branches) => Fetched::Parallel(branches),
+                        Step::Fork { steps, tag } => Fetched::Fork(steps, tag),
+                        _ => unreachable!(),
+                    }
+                }
+            },
+        },
+        Program::Shared(steps) => match steps.get(idx) {
+            None => Fetched::End,
+            Some(step) => match step {
+                Step::Cpu { node, demand } => Fetched::Cpu(*node, *demand),
+                Step::Transfer { from, to, bytes } => Fetched::Transfer(*from, *to, *bytes),
+                Step::Exchange {
+                    a,
+                    b,
+                    req_bytes,
+                    resp_bytes,
+                } => Fetched::Exchange(*a, *b, *req_bytes, *resp_bytes),
+                Step::Delay(d) => Fetched::Delay(*d),
+                Step::Parallel(branches) => Fetched::Parallel(branches.clone()),
+                Step::Fork { steps, tag } => Fetched::Fork(steps.clone(), *tag),
+            },
+        },
+    }
+}
+
+/// Resumes job `id`: crosses pending message hops, then executes steps from
+/// the cursor until the job blocks on a resource, completes, or joins.
+pub fn advance_job<W: JobWorld>(world: &mut W, ctx: &mut Context<'_, W, W::Event>, id: JobId) {
+    let mut job = world.jobs_mut().take(id);
+    loop {
+        if let Phase::Send {
+            from,
+            to,
+            bytes,
+            hop,
+            respond,
+        } = job.phase
+        {
+            let route_len = if from == to {
+                0
+            } else {
+                world.network_mut().route(from, to).len()
+            };
+            if hop < route_len {
+                // Admit the next link at the time the message reaches it, so
+                // link FIFO order matches causality across long-latency paths.
+                let link = world.network_mut().route(from, to)[hop];
+                let arrival = world.network_mut().link_send(ctx.now(), link, bytes);
+                job.phase = Phase::Send {
+                    from,
+                    to,
+                    bytes,
+                    hop: hop + 1,
+                    respond,
+                };
+                world.jobs_mut().put(id, job);
+                ctx.schedule_event_at(arrival, NetEvent::Advance { job: id }.into());
                 return;
             }
-            Step::Delay(d) => {
-                ctx.schedule_in(d, move |w, c| advance(w, c, steps, done));
+            // Leg complete. The return leg of an exchange starts only when
+            // the request arrives, so its admissions happen at true times.
+            job.phase = match respond {
+                Some((rf, rt, rb)) => Phase::Send {
+                    from: rf,
+                    to: rt,
+                    bytes: rb,
+                    hop: 0,
+                    respond: None,
+                },
+                None => Phase::Steps,
+            };
+            continue;
+        }
+
+        let idx = job.cursor;
+        job.cursor += 1;
+        match fetch(&mut job.program, idx) {
+            Fetched::End => {
+                complete(world, ctx, id, job);
                 return;
             }
-            Step::Parallel(branches) => {
+            Fetched::Cpu(node, demand) => {
+                let completion = world.network_mut().cpu(ctx.now(), node, demand);
+                world.jobs_mut().put(id, job);
+                ctx.schedule_event_at(completion, NetEvent::Advance { job: id }.into());
+                return;
+            }
+            Fetched::Transfer(from, to, bytes) => {
+                job.phase = Phase::Send {
+                    from,
+                    to,
+                    bytes,
+                    hop: 0,
+                    respond: None,
+                };
+            }
+            Fetched::Exchange(a, b, req_bytes, resp_bytes) => {
+                job.phase = Phase::Send {
+                    from: a,
+                    to: b,
+                    bytes: req_bytes,
+                    hop: 0,
+                    respond: Some((b, a, resp_bytes)),
+                };
+            }
+            Fetched::Delay(d) => {
+                world.jobs_mut().put(id, job);
+                ctx.schedule_event_in(d, NetEvent::Advance { job: id }.into());
+                return;
+            }
+            Fetched::Parallel(branches) => {
                 let branches: Vec<Vec<Step>> =
                     branches.into_iter().filter(|b| !b.is_empty()).collect();
                 if branches.is_empty() {
                     continue;
                 }
-                let join = Rc::new(RefCell::new(JoinState {
-                    remaining: branches.len(),
-                    continuation: Some(Box::new(move |w: &mut W, c: &mut Context<'_, W>| {
-                        advance(w, c, steps, done);
-                    }) as EventFn<W>),
-                }));
+                // Park the parent *before* spawning: a branch may complete
+                // synchronously (and the last one resumes the parent from
+                // inside its own advance), so the slot must be live first.
+                job.join_remaining = branches.len();
+                world.jobs_mut().put(id, job);
                 for branch in branches {
-                    let join = Rc::clone(&join);
-                    let branch_done: EventFn<W> = Box::new(move |w, c| {
-                        let continuation = {
-                            let mut j = join.borrow_mut();
-                            j.remaining -= 1;
-                            if j.remaining == 0 {
-                                j.continuation.take()
-                            } else {
-                                None
-                            }
-                        };
-                        if let Some(k) = continuation {
-                            k(w, c);
-                        }
-                    });
-                    advance(world, ctx, branch.into_iter(), branch_done);
+                    spawn(
+                        world,
+                        ctx,
+                        Program::Owned(branch),
+                        JobDone::Join { parent: id },
+                    );
                 }
+                // The parent may already have resumed (or completed) via the
+                // join path — do not touch it here.
                 return;
             }
-            Step::Fork { steps: branch, tag } => {
-                let fork_done: EventFn<W> = Box::new(move |w, c| {
-                    if let Some(tag) = tag {
-                        let now = c.now();
-                        w.fork_completed(tag, now);
-                    }
-                });
-                advance(world, ctx, branch.into_iter(), fork_done);
-                // Fall through: the parent continues immediately.
+            Fetched::Fork(branch, tag) => {
+                // Detached: consumes resources but the parent continues
+                // immediately after spawning.
+                spawn(world, ctx, Program::Owned(branch), JobDone::Fork { tag });
             }
         }
     }
 }
 
-struct JoinState<W> {
-    remaining: usize,
-    continuation: Option<EventFn<W>>,
-}
-
-/// Sends one message hop-by-hop: each link is admitted at the simulated time
-/// the message actually reaches it, so link FIFO order matches causality
-/// even across long-latency paths.
-fn send<W: JobWorld>(
+/// Recycles the job's slot and fires its completion action.
+fn complete<W: JobWorld>(
     world: &mut W,
-    ctx: &mut Context<'_, W>,
-    from: NodeId,
-    to: NodeId,
-    bytes: u64,
-    done: EventFn<W>,
+    ctx: &mut Context<'_, W, W::Event>,
+    id: JobId,
+    job: Job<W>,
 ) {
-    if from == to {
-        done(world, ctx);
-        return;
+    world.jobs_mut().release(id);
+    match job.done {
+        JobDone::Event(e) => e.fire(world, ctx),
+        JobDone::Boxed(f) => f(world, ctx),
+        JobDone::Fork { tag } => {
+            if let Some(tag) = tag {
+                let now = ctx.now();
+                world.fork_completed(tag, now);
+            }
+        }
+        JobDone::Join { parent } => {
+            let p = world.jobs_mut().get_mut(parent);
+            p.join_remaining -= 1;
+            if p.join_remaining == 0 {
+                advance_job(world, ctx, parent);
+            }
+        }
     }
-    let route = world.network_mut().route_of(from, to);
-    hop(world, ctx, route, 0, bytes, done);
-}
-
-fn hop<W: JobWorld>(
-    world: &mut W,
-    ctx: &mut Context<'_, W>,
-    route: Vec<crate::topology::LinkId>,
-    idx: usize,
-    bytes: u64,
-    done: EventFn<W>,
-) {
-    if idx == route.len() {
-        done(world, ctx);
-        return;
-    }
-    let arrival = world.network_mut().link_send(ctx.now(), route[idx], bytes);
-    ctx.schedule_at(arrival, move |w, c| hop(w, c, route, idx + 1, bytes, done));
 }
 
 #[cfg(test)]
@@ -292,13 +520,18 @@ mod tests {
 
     struct World {
         net: Network,
+        jobs: Jobs<World>,
         finished: Vec<(SimTime, &'static str)>,
         forks: Vec<(u64, SimTime)>,
     }
 
     impl JobWorld for World {
+        type Event = NetEvent;
         fn network_mut(&mut self) -> &mut Network {
             &mut self.net
+        }
+        fn jobs_mut(&mut self) -> &mut Jobs<World> {
+            &mut self.jobs
         }
         fn fork_completed(&mut self, tag: u64, at: SimTime) {
             self.forks.push((tag, at));
@@ -323,6 +556,7 @@ mod tests {
         (
             World {
                 net,
+                jobs: Jobs::new(),
                 finished: Vec::new(),
                 forks: Vec::new(),
             },
@@ -333,7 +567,7 @@ mod tests {
     }
 
     fn run(world: World, steps: Vec<Step>) -> World {
-        let mut sim = Simulation::new(world);
+        let mut sim: Simulation<World, NetEvent> = Simulation::with_events(world);
         sim.schedule_at(SimTime::ZERO, move |w, c| {
             spawn_job(
                 w,
@@ -489,7 +723,7 @@ mod tests {
     fn many_jobs_deterministic() {
         fn once() -> Vec<(SimTime, &'static str)> {
             let (w, main, _, edge) = world();
-            let mut sim = Simulation::new(w);
+            let mut sim: Simulation<World, NetEvent> = Simulation::with_events(w);
             for i in 0..50u64 {
                 let steps = vec![
                     Step::cpu(edge, ms(3)),
@@ -512,5 +746,81 @@ mod tests {
             sim.into_world().finished
         }
         assert_eq!(once(), once());
+    }
+
+    #[test]
+    fn shared_program_replays_without_cloning_steps() {
+        let (w, main, _, edge) = world();
+        let plan: Arc<[Step]> = vec![
+            Step::cpu(edge, ms(5)),
+            Step::exchange(edge, main, 0, 0), // 200ms RTT
+            Step::cpu(edge, ms(5)),
+        ]
+        .into();
+        let mut sim: Simulation<World, NetEvent> = Simulation::with_events(w);
+        for i in 0..3u64 {
+            let plan = Arc::clone(&plan);
+            sim.schedule_at(SimTime::from_secs(i), move |w, c| {
+                spawn_job_checked(w, c, plan);
+            });
+        }
+        fn spawn_job_checked(
+            w: &mut World,
+            c: &mut mutsvc_desim::Context<'_, World, NetEvent>,
+            plan: Arc<[Step]>,
+        ) {
+            spawn(
+                w,
+                c,
+                Program::Shared(plan),
+                JobDone::Boxed(Box::new(|w: &mut World, c| {
+                    let now = c.now();
+                    w.finished.push((now, "cached"));
+                })),
+            );
+        }
+        sim.run();
+        let w = sim.into_world();
+        assert_eq!(
+            w.finished,
+            vec![
+                (SimTime::from_millis(210), "cached"),
+                (SimTime::from_millis(1210), "cached"),
+                (SimTime::from_millis(2210), "cached"),
+            ]
+        );
+        // All slots recycled once the programs complete.
+        assert_eq!(w.jobs.in_flight(), 0);
+    }
+
+    #[test]
+    fn advance_events_are_not_boxed() {
+        let (w, main, _, edge) = world();
+        let mut sim: Simulation<World, NetEvent> = Simulation::with_events(w);
+        for i in 0..10u64 {
+            let steps = vec![
+                Step::cpu(edge, ms(3)),
+                Step::exchange(edge, main, 500, 2_000),
+                Step::cpu(edge, ms(2)),
+            ];
+            sim.schedule_at(SimTime::from_millis(i * 7), move |w, c| {
+                spawn_job(
+                    w,
+                    c,
+                    steps,
+                    Box::new(|w: &mut World, c| {
+                        let now = c.now();
+                        w.finished.push((now, "j"));
+                    }),
+                );
+            });
+        }
+        sim.run();
+        // The 10 staggered spawns are the only boxed events; every Advance
+        // at a step/hop boundary went through the enum fast path.
+        assert_eq!(sim.boxed_events_scheduled(), 10);
+        assert!(sim.events_fired() > 10);
+        assert_eq!(sim.world().finished.len(), 10);
+        assert_eq!(sim.world().jobs.in_flight(), 0);
     }
 }

@@ -15,7 +15,8 @@
 //!
 //! ```
 //! use mutsvc_desim::{SimDuration, SimTime, Simulation};
-//! use mutsvc_netsim::{Network, ProtocolParams, Step, TopologyBuilder, spawn_job, JobWorld};
+//! use mutsvc_netsim::{Jobs, JobWorld, NetEvent, Network, ProtocolParams, Step,
+//!                     TopologyBuilder, spawn_job};
 //!
 //! let mut b = TopologyBuilder::new();
 //! let client = b.node("client", 1);
@@ -24,9 +25,11 @@
 //! b.duplex_link(client, router, SimDuration::from_micros(100), 100e6);
 //! b.duplex_link(router, server, SimDuration::from_millis(100), 100e6);
 //!
-//! struct World { net: Network, done_at: Option<SimTime> }
+//! struct World { net: Network, jobs: Jobs<World>, done_at: Option<SimTime> }
 //! impl JobWorld for World {
+//!     type Event = NetEvent;
 //!     fn network_mut(&mut self) -> &mut Network { &mut self.net }
+//!     fn jobs_mut(&mut self) -> &mut Jobs<World> { &mut self.jobs }
 //! }
 //!
 //! let protocols = ProtocolParams::default();
@@ -34,7 +37,11 @@
 //! steps.push(Step::cpu(server, SimDuration::from_millis(20)));
 //! steps.push(protocols.http_response(server, client, 10_000));
 //!
-//! let mut sim = Simulation::new(World { net: Network::new(b.finalize()), done_at: None });
+//! let mut sim: Simulation<World, NetEvent> = Simulation::with_events(World {
+//!     net: Network::new(b.finalize()),
+//!     jobs: Jobs::new(),
+//!     done_at: None,
+//! });
 //! sim.schedule_at(SimTime::ZERO, move |w, ctx| {
 //!     spawn_job(w, ctx, steps, Box::new(|w: &mut World, ctx| w.done_at = Some(ctx.now())));
 //! });
@@ -53,7 +60,10 @@ pub mod network;
 pub mod protocol;
 pub mod topology;
 
-pub use job::{spawn_job, wan_round_trips, JobWorld, Step};
+pub use job::{
+    advance_job, spawn_job, spawn_program, wan_round_trips, JobId, JobWorld, Jobs, NetEvent,
+    Program, Step,
+};
 pub use network::Network;
 pub use protocol::ProtocolParams;
 pub use topology::{LinkId, LinkSpec, NodeId, NodeSpec, Topology, TopologyBuilder};

@@ -89,16 +89,24 @@ impl Network {
         self.cpus[node.index()].admit(now, scaled)
     }
 
+    /// The route from `from` to `to`, borrowed from the precomputed table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is unreachable from `from`.
+    pub fn route(&self, from: NodeId, to: NodeId) -> &[LinkId] {
+        self.topology
+            .route(from, to)
+            .unwrap_or_else(|| panic!("no route {from} -> {to}"))
+    }
+
     /// The route from `from` to `to` as an owned link list.
     ///
     /// # Panics
     ///
     /// Panics if `to` is unreachable from `from`.
     pub fn route_of(&self, from: NodeId, to: NodeId) -> Vec<LinkId> {
-        self.topology
-            .route(from, to)
-            .unwrap_or_else(|| panic!("no route {from} -> {to}"))
-            .to_vec()
+        self.route(from, to).to_vec()
     }
 
     /// Serializes `bytes` onto directed link `link` at `now` and returns the

@@ -297,6 +297,28 @@ impl Topology {
     pub fn rtt(&self, a: NodeId, b: NodeId) -> SimDuration {
         self.path_latency(a, b) + self.path_latency(b, a)
     }
+
+    /// Scales every node's relative CPU speed and every link's bandwidth by
+    /// `factor` — a deployment provisioned for `factor`× the offered load.
+    /// Propagation latencies (and therefore routes) are unchanged. High-rate
+    /// benches use this so the simulator, not the modelled hardware, stays
+    /// the thing being measured.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive and finite.
+    pub fn scale_capacity(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "capacity factor must be positive"
+        );
+        for node in &mut self.nodes {
+            node.speed *= factor;
+        }
+        for link in &mut self.links {
+            link.bandwidth_bps *= factor;
+        }
+    }
 }
 
 #[cfg(test)]

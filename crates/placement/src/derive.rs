@@ -226,7 +226,7 @@ pub fn petstore_problem() -> (PlacementProblem, PetStore) {
         category: ps.shape.categories[0],
         product,
         item: ps.shape.items(product)[0],
-        keyword: ps.shape.keywords[0].clone(),
+        keyword: 0,
         account: ps.shape.accounts[0],
     };
     for (page, rate) in petstore_page_rates() {

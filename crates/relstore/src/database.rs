@@ -41,7 +41,10 @@ impl Default for CostModel {
 }
 
 /// A read query shape.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// `Ord` gives propagation code a cheap canonical order (variant, then
+/// fields) for deterministic invalidation batches without string keys.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Query {
     /// Primary-key fetch.
     ByPk {

@@ -5,20 +5,43 @@
 //! warm-up period, then a measured window during which each client session
 //! issues requests with *soft delays* (a fixed interval between request
 //! sends, independent of response times, giving a steady open-loop load).
+//!
+//! # Request hot path (DESIGN.md §6.2)
+//!
+//! Steady-state requests avoid per-request allocation three ways:
+//!
+//! * **Typed events.** Every recurring event — job advancement, request
+//!   issue, request completion — is a [`Ev`] enum value scheduled without
+//!   boxing; only the handful of control events a run sets up (stats reset,
+//!   perturbations) are boxed closures.
+//! * **Bound-program memoization.** Binds the binder certifies replayable
+//!   (read-only, no cache-state transitions, no RNG draws) are split into a
+//!   reusable *plan* (`Arc<[Step]>` program + [`BindStats`]) and cached by
+//!   (page shape, client node, entry node). A hit skips page construction
+//!   and binding entirely and replays the shared program through a cursor.
+//!   Writes and asynchronous propagation invalidate by table generation;
+//!   network perturbations clear the cache wholesale.
+//! * **Interned stats.** Series are resolved to dense ids once per
+//!   (group, pattern, page) and recorded through
+//!   [`WorkloadStats::record_ids`].
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use mutsvc_apps::{App, SessionKind, SessionState};
+use mutsvc_apps::{App, PageKey, SessionKind, SessionState};
 use mutsvc_desim::metrics::Summary;
 use mutsvc_desim::rng::SimRng;
-use mutsvc_desim::sim::{Context, Simulation};
+use mutsvc_desim::sim::{Context, Fire, Simulation};
 use mutsvc_desim::time::SimTime;
 use mutsvc_middleware::{
     BindStats, Binder, ComponentRegistry, ContainerCosts, ContainerState, DeferredApply,
     DeploymentDescriptor,
 };
-use mutsvc_netsim::{spawn_job, JobWorld, Network, ProtocolParams, Topology};
-use mutsvc_relstore::Database;
+use mutsvc_netsim::{
+    advance_job, spawn_program, JobWorld, Jobs, NetEvent, Network, NodeId, Program, ProtocolParams,
+    Step, Topology,
+};
+use mutsvc_relstore::{Database, TableId};
 
 use crate::spec::WorkloadSpec;
 use crate::stats::WorkloadStats;
@@ -44,6 +67,20 @@ pub struct ExperimentInput {
     pub spec: WorkloadSpec,
 }
 
+/// Bound-program cache counters of one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BindCacheStats {
+    /// Whether the cache was enabled.
+    pub enabled: bool,
+    /// Requests served from a memoized plan.
+    pub hits: u64,
+    /// Requests that went through the full binder.
+    pub misses: u64,
+    /// Cached plans dropped because a read table changed or the network
+    /// was perturbed.
+    pub invalidations: u64,
+}
+
 /// The measured outcome of one experiment.
 #[derive(Debug)]
 pub struct ExperimentReport {
@@ -60,6 +97,14 @@ pub struct ExperimentReport {
     pub cpu_utilization: Vec<(String, f64)>,
     /// Requests completed within the measured window.
     pub completed: u64,
+    /// Total simulator events fired over the run.
+    pub events_fired: u64,
+    /// Boxed-closure events scheduled over the run. The request hot path
+    /// schedules typed events only, so this stays at the handful of control
+    /// events (stats reset, perturbations) regardless of load.
+    pub boxed_events: u64,
+    /// Bound-program cache counters.
+    pub bind_cache: BindCacheStats,
 }
 
 struct SessionSlot {
@@ -69,9 +114,128 @@ struct SessionSlot {
     state: SessionState,
 }
 
+/// One request in flight, tracked in a slab and resolved on completion.
+struct Inflight {
+    start: SimTime,
+    measured: bool,
+    /// Pre-interned stats ids (valid only when `measured`).
+    series: u32,
+    session: u32,
+}
+
+/// Identity of a memoized plan: what the request looks like and where it
+/// enters the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PlanKey {
+    page: PageKey,
+    client: NodeId,
+    entry: NodeId,
+}
+
+/// A memoized bound-page program: the reusable output of a replayable bind.
+struct CachedPlan {
+    steps: Arc<[Step]>,
+    stats: BindStats,
+    /// Tables the bind read, with the generation each had at capture time.
+    reads: Vec<(TableId, u64)>,
+    epoch: u64,
+}
+
+/// The bound-program cache. Validity of an entry requires its capture epoch
+/// to be current (epoch advances on network perturbation and descriptor
+/// change) and every read table's generation to be unchanged (generations
+/// advance on writes and on deferred propagation applies).
+struct PlanCache {
+    enabled: bool,
+    map: HashMap<PlanKey, CachedPlan>,
+    table_gen: Vec<u64>,
+    epoch: u64,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+impl PlanCache {
+    fn new(enabled: bool) -> Self {
+        PlanCache {
+            enabled,
+            map: HashMap::new(),
+            table_gen: Vec::new(),
+            epoch: 0,
+            hits: 0,
+            misses: 0,
+            invalidations: 0,
+        }
+    }
+
+    fn generation(&self, table: TableId) -> u64 {
+        self.table_gen.get(table.index()).copied().unwrap_or(0)
+    }
+
+    /// Advances a table's generation, invalidating every plan that read it.
+    fn bump(&mut self, table: TableId) {
+        if !self.enabled {
+            return;
+        }
+        if self.table_gen.len() <= table.index() {
+            self.table_gen.resize(table.index() + 1, 0);
+        }
+        self.table_gen[table.index()] += 1;
+    }
+
+    /// Drops every cached plan (perturbations, descriptor changes).
+    fn invalidate_all(&mut self) {
+        self.epoch += 1;
+        self.invalidations += self.map.len() as u64;
+        self.map.clear();
+    }
+
+    fn lookup(&mut self, key: &PlanKey) -> Option<(Arc<[Step]>, BindStats)> {
+        if !self.enabled {
+            return None;
+        }
+        match self.map.get(key) {
+            Some(plan)
+                if plan.epoch == self.epoch
+                    && plan.reads.iter().all(|&(t, g)| self.generation(t) == g) =>
+            {
+                self.hits += 1;
+                Some((Arc::clone(&plan.steps), plan.stats))
+            }
+            Some(_) => {
+                self.map.remove(key);
+                self.invalidations += 1;
+                self.misses += 1;
+                None
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, key: PlanKey, steps: Arc<[Step]>, stats: BindStats, reads: &[TableId]) {
+        if !self.enabled {
+            return;
+        }
+        let reads = reads.iter().map(|&t| (t, self.generation(t))).collect();
+        self.map.insert(
+            key,
+            CachedPlan {
+                steps,
+                stats,
+                reads,
+                epoch: self.epoch,
+            },
+        );
+    }
+}
+
 /// The simulation world.
 struct World {
     net: Network,
+    jobs: Jobs<World>,
     db: Database,
     state: ContainerState,
     registry: ComponentRegistry,
@@ -82,22 +246,76 @@ struct World {
     rng: SimRng,
     next_tag: u64,
     deferred: HashMap<u64, (SimTime, DeferredApply)>,
+    deferred_tables: Vec<TableId>,
+    plans: PlanCache,
     stats: WorkloadStats,
+    series_memo: HashMap<(u16, &'static str, &'static str), (u32, u32)>,
     staleness_ms: Summary,
     bind_totals: BindStats,
     sessions: Vec<SessionSlot>,
+    inflight: Vec<Option<Inflight>>,
+    inflight_free: Vec<u32>,
     spec: WorkloadSpec,
     measuring_from: SimTime,
     completed: u64,
+    /// Pre-overhaul baseline emulation: resolve series ids through a cloned
+    /// group-name `String` on every measured request (see
+    /// [`WorkloadSpec::legacy_baseline`]).
+    legacy: bool,
+}
+
+/// The driver's typed event payload: every recurring event of a run is one
+/// of these, scheduled without allocation.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Advance an in-flight job (network/CPU step completion).
+    Net(NetEvent),
+    /// A session's soft-delay timer expired: issue its next request.
+    Issue { slot: u32 },
+    /// A request's program completed: record it and free its slot.
+    Done { token: u32 },
+}
+
+impl From<NetEvent> for Ev {
+    fn from(e: NetEvent) -> Ev {
+        Ev::Net(e)
+    }
+}
+
+impl Fire<World> for Ev {
+    fn fire(self, world: &mut World, ctx: &mut Context<'_, World, Ev>) {
+        match self {
+            Ev::Net(NetEvent::Advance { job }) => advance_job(world, ctx, job),
+            Ev::Issue { slot } => issue(world, ctx, slot as usize),
+            Ev::Done { token } => complete_request(world, ctx, token),
+        }
+    }
 }
 
 impl JobWorld for World {
+    type Event = Ev;
+
     fn network_mut(&mut self) -> &mut Network {
         &mut self.net
     }
 
+    fn jobs_mut(&mut self) -> &mut Jobs<World> {
+        &mut self.jobs
+    }
+
     fn fork_completed(&mut self, tag: u64, at: SimTime) {
         if let Some((issued, apply)) = self.deferred.remove(&tag) {
+            if self.plans.enabled {
+                // The apply changes replica/cache state: invalidate every
+                // plan reading an affected table.
+                let mut tables = std::mem::take(&mut self.deferred_tables);
+                tables.clear();
+                apply.tables(&self.registry, &mut tables);
+                for &t in &tables {
+                    self.plans.bump(t);
+                }
+                self.deferred_tables = tables;
+            }
             apply.apply(&mut self.state);
             if issued >= self.measuring_from {
                 self.staleness_ms.record((at - issued).as_millis_f64());
@@ -106,70 +324,146 @@ impl JobWorld for World {
     }
 }
 
+fn alloc_inflight(world: &mut World, inf: Inflight) -> u32 {
+    if let Some(token) = world.inflight_free.pop() {
+        world.inflight[token as usize] = Some(inf);
+        token
+    } else {
+        world.inflight.push(Some(inf));
+        (world.inflight.len() - 1) as u32
+    }
+}
+
+fn complete_request(world: &mut World, ctx: &mut Context<'_, World, Ev>, token: u32) {
+    let inf = world.inflight[token as usize]
+        .take()
+        .expect("completion token not in flight");
+    world.inflight_free.push(token);
+    if inf.measured {
+        let response = ctx.now() - inf.start;
+        world.stats.record_ids(inf.series, inf.session, response);
+        world.completed += 1;
+    }
+}
+
 /// Issues the next request of session `slot_idx`, then re-schedules itself
 /// after the soft delay.
-fn issue(world: &mut World, ctx: &mut Context<'_, World>, slot_idx: usize) {
+fn issue(world: &mut World, ctx: &mut Context<'_, World, Ev>, slot_idx: usize) {
     let now = ctx.now();
     if now >= world.spec.horizon() {
         return;
     }
 
-    // Draw the next page, recycling the session when it finishes.
+    // Draw the next page spec, recycling the session when it finishes.
     let drawn = {
         let slot = &mut world.sessions[slot_idx];
-        match world.app.next_page(&mut slot.state, &mut world.rng) {
+        match world.app.draw_page(&mut slot.state, &mut world.rng) {
             Some(x) => Some(x),
             None => {
                 slot.state = world.app.new_session(slot.kind, &mut world.rng);
-                world.app.next_page(&mut slot.state, &mut world.rng)
+                world.app.draw_page(&mut slot.state, &mut world.rng)
             }
         }
     };
-    let Some((label, page)) = drawn else {
+    let Some((label, page_spec)) = drawn else {
         return;
     };
 
-    let (client_node, entry_node, group_name) = {
-        let g = &world.spec.groups[world.sessions[slot_idx].group];
-        (g.client_node, g.entry_node, g.name.clone())
-    };
+    let slot_group = world.sessions[slot_idx].group;
     let pattern = world.sessions[slot_idx].pattern;
-
-    let bound = Binder::new(
-        &world.registry,
-        &world.descriptor,
-        &world.protocols,
-        &world.container_costs,
-        &mut world.db,
-        &mut world.state,
-        &mut world.rng,
-        &mut world.next_tag,
-    )
-    .bind_page(client_node, entry_node, &page);
-
-    if now >= world.measuring_from {
-        world.bind_totals.merge(&bound.stats);
-    }
-    for (tag, apply) in bound.deferred {
-        world.deferred.insert(tag, (now, apply));
-    }
-
+    let (client_node, entry_node) = {
+        let g = &world.spec.groups[slot_group];
+        (g.client_node, g.entry_node)
+    };
     let measured = now >= world.measuring_from;
-    spawn_job(
-        world,
-        ctx,
-        bound.steps,
-        Box::new(move |w: &mut World, c| {
-            if measured {
-                let response = c.now() - now;
-                w.stats.record(&group_name, pattern, label, response);
-                w.completed += 1;
+
+    let (series, session) = if measured {
+        if world.legacy {
+            // Pre-overhaul stats path: clone the group name and re-resolve
+            // the series through string lookups on every request.
+            let name = world.spec.groups[slot_group].name.clone();
+            world.stats.intern(&name, pattern, label)
+        } else {
+            let memo_key = (slot_group as u16, pattern, label);
+            match world.series_memo.get(&memo_key) {
+                Some(&ids) => ids,
+                None => {
+                    let ids =
+                        world
+                            .stats
+                            .intern(&world.spec.groups[slot_group].name, pattern, label);
+                    world.series_memo.insert(memo_key, ids);
+                    ids
+                }
             }
-        }),
+        }
+    } else {
+        (0, 0)
+    };
+    let token = alloc_inflight(
+        world,
+        Inflight {
+            start: now,
+            measured,
+            series,
+            session,
+        },
     );
 
-    let delay = world.spec.soft_delay;
-    ctx.schedule_in(delay, move |w, c| issue(w, c, slot_idx));
+    let key = PlanKey {
+        page: page_spec.key(),
+        client: client_node,
+        entry: entry_node,
+    };
+    if let Some((steps, stats)) = world.plans.lookup(&key) {
+        // Replay the memoized program: no page construction, no binder, no
+        // RNG draws (the bind was certified draw-free), identical steps.
+        if measured {
+            world.bind_totals.merge(&stats);
+        }
+        spawn_program(world, ctx, Program::Shared(steps), Ev::Done { token });
+    } else {
+        let page = world.app.build_page(&page_spec);
+        let bound = Binder::new(
+            &world.registry,
+            &world.descriptor,
+            &world.protocols,
+            &world.container_costs,
+            &mut world.db,
+            &mut world.state,
+            &mut world.rng,
+            &mut world.next_tag,
+        )
+        .with_legacy_scan(world.legacy)
+        .bind_page(client_node, entry_node, &page);
+
+        if measured {
+            world.bind_totals.merge(&bound.stats);
+        }
+        for &t in &bound.written_tables {
+            world.plans.bump(t);
+        }
+        for (tag, apply) in bound.deferred {
+            world.deferred.insert(tag, (now, apply));
+        }
+
+        if bound.replayable && world.plans.enabled {
+            let steps: Arc<[Step]> = bound.steps.into();
+            world
+                .plans
+                .insert(key, Arc::clone(&steps), bound.stats, &bound.read_tables);
+            spawn_program(world, ctx, Program::Shared(steps), Ev::Done { token });
+        } else {
+            spawn_program(world, ctx, Program::Owned(bound.steps), Ev::Done { token });
+        }
+    }
+
+    ctx.schedule_event_in(
+        world.spec.soft_delay,
+        Ev::Issue {
+            slot: slot_idx as u32,
+        },
+    );
 }
 
 /// Runs one experiment to completion and reports its measurements.
@@ -245,8 +539,11 @@ pub fn run_experiment(input: ExperimentInput) -> ExperimentReport {
         }
     }
 
+    let legacy = spec.legacy_baseline;
+    let bind_cache = spec.bind_cache && !legacy;
     let world = World {
         net: Network::new(topology),
+        jobs: Jobs::new(),
         db,
         state,
         registry,
@@ -257,38 +554,49 @@ pub fn run_experiment(input: ExperimentInput) -> ExperimentReport {
         rng: world_rng,
         next_tag: 0,
         deferred: HashMap::new(),
+        deferred_tables: Vec::new(),
+        plans: PlanCache::new(bind_cache),
         stats: WorkloadStats::new(),
+        series_memo: HashMap::new(),
         staleness_ms: Summary::new(),
         bind_totals: BindStats::default(),
         sessions,
+        inflight: Vec::new(),
+        inflight_free: Vec::new(),
         spec,
         measuring_from,
         completed: 0,
+        legacy,
     };
 
-    let mut sim = Simulation::new(world);
+    let mut sim: Simulation<World, Ev> = Simulation::with_events(world);
+    // The pre-overhaul queue boxed every event; emulate it for baseline runs.
+    sim.emulate_boxed_events(legacy);
     // Stagger session starts uniformly across one soft-delay interval.
     for i in 0..n_sessions {
         let offset = soft_delay.mul_f64(i as f64 / n_sessions.max(1) as f64);
-        sim.schedule_at(SimTime::ZERO + offset, move |w, c| issue(w, c, i));
+        sim.schedule_event_at(SimTime::ZERO + offset, Ev::Issue { slot: i as u32 });
     }
     // Reset resource statistics when the measured window opens.
     sim.schedule_at(measuring_from, |w: &mut World, _| w.net.reset_stats());
-    // Failure injection.
+    // Failure injection. Perturbations change link timing, so every memoized
+    // plan (whose steps carry admission-time assumptions) is dropped.
     for p in sim.world().spec.perturbations.clone() {
         let action = p.action.clone();
-        sim.schedule_at(
-            SimTime::ZERO + p.at,
-            move |w: &mut World, _| match &action {
+        sim.schedule_at(SimTime::ZERO + p.at, move |w: &mut World, _| {
+            w.plans.invalidate_all();
+            match &action {
                 crate::spec::NetAction::ScaleWanLatency { threshold, factor } => {
                     w.net.scale_latencies_above(*threshold, *factor);
                 }
                 crate::spec::NetAction::Restore => w.net.clear_latency_overrides(),
-            },
-        );
+            }
+        });
     }
 
     sim.run_until(horizon);
+    let events_fired = sim.events_fired();
+    let boxed_events = sim.boxed_events_scheduled();
 
     let world = sim.into_world();
     let cpu_utilization = world
@@ -310,6 +618,14 @@ pub fn run_experiment(input: ExperimentInput) -> ExperimentReport {
         staleness_ms: world.staleness_ms,
         cpu_utilization,
         completed: world.completed,
+        events_fired,
+        boxed_events,
+        bind_cache: BindCacheStats {
+            enabled: world.plans.enabled,
+            hits: world.plans.hits,
+            misses: world.plans.misses,
+            invalidations: world.plans.invalidations,
+        },
     }
 }
 
@@ -507,5 +823,83 @@ mod tests {
         assert!(report.stats.mean_ms("local", "Buyer", "Commit").is_some());
         assert!(report.stats.mean_ms("local", "Browser", "Commit").is_none());
         assert!(report.stats.session_summary("remote1", "Buyer").is_some());
+    }
+
+    #[test]
+    fn bind_cache_reports_hits_and_matches_uncached_run() {
+        let cached = run_experiment(small_input(30));
+        assert!(cached.bind_cache.enabled);
+        assert!(
+            cached.bind_cache.hits > cached.bind_cache.misses,
+            "steady-state reads should mostly hit: {:?}",
+            cached.bind_cache
+        );
+
+        let mut input = small_input(30);
+        input.spec.bind_cache = false;
+        let uncached = run_experiment(input);
+        assert!(!uncached.bind_cache.enabled);
+        assert_eq!(uncached.bind_cache.hits, 0);
+
+        // Bit-identical measurements either way.
+        assert_eq!(cached.stats, uncached.stats);
+        assert_eq!(cached.bind_totals, uncached.bind_totals);
+        assert_eq!(cached.staleness_ms, uncached.staleness_ms);
+        assert_eq!(cached.completed, uncached.completed);
+        assert_eq!(cached.events_fired, uncached.events_fired);
+    }
+
+    #[test]
+    fn hot_path_schedules_no_boxed_events() {
+        // Thousands of requests, yet the only boxed event is the stats
+        // reset: issue/advance/done are all typed enum payloads.
+        let report = run_experiment(small_input(31));
+        assert!(report.completed > 1_000);
+        assert_eq!(
+            report.boxed_events, 1,
+            "boxed events: {}",
+            report.boxed_events
+        );
+    }
+
+    #[test]
+    fn legacy_baseline_is_slower_bookkeeping_same_simulation() {
+        // The pre-overhaul emulation must change only host-side cost: the
+        // simulated measurements are bit-identical to a modern cache-off
+        // run, but every event pays a boxed allocation.
+        let mut modern_input = small_input(33);
+        modern_input.spec.bind_cache = false;
+        let modern = run_experiment(modern_input);
+
+        let mut legacy_input = small_input(33);
+        legacy_input.spec = legacy_input.spec.as_legacy_baseline();
+        let legacy = run_experiment(legacy_input);
+
+        assert!(!legacy.bind_cache.enabled);
+        assert_eq!(legacy.stats, modern.stats);
+        assert_eq!(legacy.bind_totals, modern.bind_totals);
+        assert_eq!(legacy.staleness_ms, modern.staleness_ms);
+        assert_eq!(legacy.completed, modern.completed);
+        assert_eq!(legacy.events_fired, modern.events_fired);
+        // Every typed event is boxed under emulation (plus the control
+        // events both runs schedule).
+        assert!(
+            legacy.boxed_events >= legacy.events_fired,
+            "boxed {} < fired {}",
+            legacy.boxed_events,
+            legacy.events_fired
+        );
+        assert!(modern.boxed_events <= 4);
+    }
+
+    #[test]
+    fn writes_invalidate_cached_plans() {
+        // Buyer commits write the inventory/orders tables; Item plans read
+        // the item table (untouched), but any plan reading a written table
+        // must drop. With the default mix the run must see invalidations
+        // while still mostly hitting.
+        let report = run_experiment(small_input(32));
+        assert!(report.bind_cache.hits > 0);
+        assert!(report.bind_cache.misses > 0, "writes must miss");
     }
 }

@@ -66,6 +66,24 @@ pub struct WorkloadSpec {
     pub seed: u64,
     /// Scheduled network perturbations (failure injection).
     pub perturbations: Vec<Perturbation>,
+    /// Whether the driver may reuse memoized bound-page programs for
+    /// replayable read binds (see DESIGN.md §6.2). On by default; turning it
+    /// off forces every request through the full binder — useful for
+    /// equivalence testing and as the baseline in `--simperf` benches.
+    #[serde(default = "default_bind_cache")]
+    pub bind_cache: bool,
+    /// Run the driver as the pre-overhaul baseline: every request goes
+    /// through the full binder, series ids are re-resolved through a cloned
+    /// group-name `String` per request, and every simulator event pays a
+    /// `Box<dyn FnOnce>` allocation. Simulated results are identical — only
+    /// host-side cost differs — so `--simperf` can measure the overhaul's
+    /// speedup in one process. Off by default.
+    #[serde(default)]
+    pub legacy_baseline: bool,
+}
+
+fn default_bind_cache() -> bool {
+    true
 }
 
 impl WorkloadSpec {
@@ -78,7 +96,34 @@ impl WorkloadSpec {
             duration: SimDuration::from_secs(3_600),
             seed: 42,
             perturbations: Vec::new(),
+            bind_cache: default_bind_cache(),
+            legacy_baseline: false,
         }
+    }
+
+    /// Enables or disables the bound-program cache.
+    pub fn with_bind_cache(mut self, enabled: bool) -> Self {
+        self.bind_cache = enabled;
+        self
+    }
+
+    /// Switches the run to the pre-overhaul baseline driver (full bind per
+    /// request, per-request `String` clones, one boxed allocation per
+    /// event). Implies a disabled bound-program cache.
+    pub fn as_legacy_baseline(mut self) -> Self {
+        self.legacy_baseline = true;
+        self.bind_cache = false;
+        self
+    }
+
+    /// Scales every group's request rates by `factor` (for high-load
+    /// stress benches; session counts scale with the rates).
+    pub fn scale_rates(mut self, factor: f64) -> Self {
+        for g in &mut self.groups {
+            g.browser_rate *= factor;
+            g.transactional_rate *= factor;
+        }
+        self
     }
 
     /// Schedules a network perturbation.

@@ -20,11 +20,18 @@ pub struct SeriesKey {
 }
 
 /// Collected response-time statistics for one experiment run.
+///
+/// Internally series are *interned*: the string-keyed maps hold dense
+/// indices into `Vec<Summary>` storage, so the driver's hot path records
+/// measurements through [`WorkloadStats::record_ids`] without allocating
+/// (the string-keyed [`WorkloadStats::record`] remains as a convenience).
 #[derive(Debug, Clone, Default)]
 pub struct WorkloadStats {
-    series: BTreeMap<SeriesKey, Summary>,
+    series_index: BTreeMap<SeriesKey, u32>,
+    series_data: Vec<Summary>,
     /// Aggregate per (group, pattern) — the Figures 7/8 session averages.
-    sessions: BTreeMap<(String, String), Summary>,
+    session_index: BTreeMap<(String, String), u32>,
+    session_data: Vec<Summary>,
     requests: u64,
 }
 
@@ -34,21 +41,52 @@ impl WorkloadStats {
         Self::default()
     }
 
+    /// Interns one (group, pattern, page) series and its (group, pattern)
+    /// session aggregate, returning `(series_id, session_id)` for use with
+    /// [`Self::record_ids`]. Idempotent; intended for setup time.
+    pub fn intern(&mut self, group: &str, pattern: &str, page: &str) -> (u32, u32) {
+        let series_id = match self.series_index.entry(SeriesKey {
+            group: group.to_string(),
+            pattern: pattern.to_string(),
+            page: page.to_string(),
+        }) {
+            std::collections::btree_map::Entry::Occupied(e) => *e.get(),
+            std::collections::btree_map::Entry::Vacant(e) => {
+                let id = self.series_data.len() as u32;
+                self.series_data.push(Summary::default());
+                *e.insert(id)
+            }
+        };
+        let session_id = match self
+            .session_index
+            .entry((group.to_string(), pattern.to_string()))
+        {
+            std::collections::btree_map::Entry::Occupied(e) => *e.get(),
+            std::collections::btree_map::Entry::Vacant(e) => {
+                let id = self.session_data.len() as u32;
+                self.session_data.push(Summary::default());
+                *e.insert(id)
+            }
+        };
+        (series_id, session_id)
+    }
+
+    /// Records one completed page request against pre-interned ids
+    /// (allocation-free; the driver's steady-state path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id did not come from [`Self::intern`].
+    pub fn record_ids(&mut self, series_id: u32, session_id: u32, response: SimDuration) {
+        self.requests += 1;
+        self.series_data[series_id as usize].record_duration(response);
+        self.session_data[session_id as usize].record_duration(response);
+    }
+
     /// Records one completed page request.
     pub fn record(&mut self, group: &str, pattern: &str, page: &str, response: SimDuration) {
-        self.requests += 1;
-        self.series
-            .entry(SeriesKey {
-                group: group.to_string(),
-                pattern: pattern.to_string(),
-                page: page.to_string(),
-            })
-            .or_default()
-            .record_duration(response);
-        self.sessions
-            .entry((group.to_string(), pattern.to_string()))
-            .or_default()
-            .record_duration(response);
+        let (series_id, session_id) = self.intern(group, pattern, page);
+        self.record_ids(series_id, session_id, response);
     }
 
     /// Total requests recorded.
@@ -58,11 +96,13 @@ impl WorkloadStats {
 
     /// The summary of one series, if measured.
     pub fn series(&self, group: &str, pattern: &str, page: &str) -> Option<&Summary> {
-        self.series.get(&SeriesKey {
-            group: group.to_string(),
-            pattern: pattern.to_string(),
-            page: page.to_string(),
-        })
+        self.series_index
+            .get(&SeriesKey {
+                group: group.to_string(),
+                pattern: pattern.to_string(),
+                page: page.to_string(),
+            })
+            .map(|&i| &self.series_data[i as usize])
     }
 
     /// Mean response time of one series in milliseconds (`None` if unmeasured).
@@ -90,7 +130,9 @@ impl WorkloadStats {
 
     /// The session-average summary of a (group, pattern) — Figures 7/8 bars.
     pub fn session_summary(&self, group: &str, pattern: &str) -> Option<&Summary> {
-        self.sessions.get(&(group.to_string(), pattern.to_string()))
+        self.session_index
+            .get(&(group.to_string(), pattern.to_string()))
+            .map(|&i| &self.session_data[i as usize])
     }
 
     /// Session-average response time over several groups.
@@ -98,7 +140,7 @@ impl WorkloadStats {
         let mut total = 0.0;
         let mut n = 0u64;
         for g in groups {
-            if let Some(s) = self.sessions.get(&(g.to_string(), pattern.to_string())) {
+            if let Some(s) = self.session_summary(g, pattern) {
                 total += s.mean() * s.count() as f64;
                 n += s.count();
             }
@@ -112,13 +154,15 @@ impl WorkloadStats {
 
     /// Iterates every series, sorted by key.
     pub fn iter(&self) -> impl Iterator<Item = (&SeriesKey, &Summary)> {
-        self.series.iter()
+        self.series_index
+            .iter()
+            .map(|(k, &i)| (k, &self.series_data[i as usize]))
     }
 
     /// All page labels recorded for a pattern, in sorted order.
     pub fn pages_of(&self, pattern: &str) -> Vec<String> {
         let mut pages: Vec<String> = self
-            .series
+            .series_index
             .keys()
             .filter(|k| k.pattern == pattern)
             .map(|k| k.page.clone())
@@ -126,6 +170,27 @@ impl WorkloadStats {
         pages.sort();
         pages.dedup();
         pages
+    }
+}
+
+/// Equality compares the *logical* content — every (key, summary) pair and
+/// the request count — independent of interning order, so cache-on and
+/// cache-off runs with permuted intern sequences still compare equal when
+/// they measured the same thing.
+impl PartialEq for WorkloadStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.requests == other.requests
+            && self.series_index.len() == other.series_index.len()
+            && self.session_index.len() == other.session_index.len()
+            && self.iter().eq(other.iter())
+            && self
+                .session_index
+                .iter()
+                .map(|(k, &i)| (k, &self.session_data[i as usize]))
+                .eq(other
+                    .session_index
+                    .iter()
+                    .map(|(k, &i)| (k, &other.session_data[i as usize])))
     }
 }
 

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bind_cache_equivalence-5885948612faabb6.d: crates/core/tests/bind_cache_equivalence.rs
+
+/root/repo/target/debug/deps/bind_cache_equivalence-5885948612faabb6: crates/core/tests/bind_cache_equivalence.rs
+
+crates/core/tests/bind_cache_equivalence.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mutable_services-6f760ee94d8b91ba.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmutable_services-6f760ee94d8b91ba.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmutable_services-6f760ee94d8b91ba.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mutsvc_analyze-21d47868481bdac7.d: crates/analyze/src/lib.rs crates/analyze/src/diagnostics.rs crates/analyze/src/walker.rs
+
+/root/repo/target/debug/deps/libmutsvc_analyze-21d47868481bdac7.rlib: crates/analyze/src/lib.rs crates/analyze/src/diagnostics.rs crates/analyze/src/walker.rs
+
+/root/repo/target/debug/deps/libmutsvc_analyze-21d47868481bdac7.rmeta: crates/analyze/src/lib.rs crates/analyze/src/diagnostics.rs crates/analyze/src/walker.rs
+
+crates/analyze/src/lib.rs:
+crates/analyze/src/diagnostics.rs:
+crates/analyze/src/walker.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mutsvc_analyze-5de092953c5fedfd.d: crates/analyze/src/bin/main.rs
+
+/root/repo/target/debug/deps/mutsvc_analyze-5de092953c5fedfd: crates/analyze/src/bin/main.rs
+
+crates/analyze/src/bin/main.rs:

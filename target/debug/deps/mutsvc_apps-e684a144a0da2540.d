@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/mutsvc_apps-e684a144a0da2540.d: crates/apps/src/lib.rs crates/apps/src/petstore/mod.rs crates/apps/src/petstore/components.rs crates/apps/src/petstore/pages.rs crates/apps/src/petstore/schema.rs crates/apps/src/petstore/sessions.rs crates/apps/src/rubis/mod.rs crates/apps/src/rubis/components.rs crates/apps/src/rubis/pages.rs crates/apps/src/rubis/schema.rs crates/apps/src/rubis/sessions.rs
+
+/root/repo/target/debug/deps/libmutsvc_apps-e684a144a0da2540.rlib: crates/apps/src/lib.rs crates/apps/src/petstore/mod.rs crates/apps/src/petstore/components.rs crates/apps/src/petstore/pages.rs crates/apps/src/petstore/schema.rs crates/apps/src/petstore/sessions.rs crates/apps/src/rubis/mod.rs crates/apps/src/rubis/components.rs crates/apps/src/rubis/pages.rs crates/apps/src/rubis/schema.rs crates/apps/src/rubis/sessions.rs
+
+/root/repo/target/debug/deps/libmutsvc_apps-e684a144a0da2540.rmeta: crates/apps/src/lib.rs crates/apps/src/petstore/mod.rs crates/apps/src/petstore/components.rs crates/apps/src/petstore/pages.rs crates/apps/src/petstore/schema.rs crates/apps/src/petstore/sessions.rs crates/apps/src/rubis/mod.rs crates/apps/src/rubis/components.rs crates/apps/src/rubis/pages.rs crates/apps/src/rubis/schema.rs crates/apps/src/rubis/sessions.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/petstore/mod.rs:
+crates/apps/src/petstore/components.rs:
+crates/apps/src/petstore/pages.rs:
+crates/apps/src/petstore/schema.rs:
+crates/apps/src/petstore/sessions.rs:
+crates/apps/src/rubis/mod.rs:
+crates/apps/src/rubis/components.rs:
+crates/apps/src/rubis/pages.rs:
+crates/apps/src/rubis/schema.rs:
+crates/apps/src/rubis/sessions.rs:

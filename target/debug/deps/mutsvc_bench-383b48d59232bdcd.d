@@ -1,6 +1,7 @@
-/root/repo/target/debug/deps/mutsvc_bench-383b48d59232bdcd.d: crates/bench/src/lib.rs crates/bench/src/placement_report.rs
+/root/repo/target/debug/deps/mutsvc_bench-383b48d59232bdcd.d: crates/bench/src/lib.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs
 
-/root/repo/target/debug/deps/mutsvc_bench-383b48d59232bdcd: crates/bench/src/lib.rs crates/bench/src/placement_report.rs
+/root/repo/target/debug/deps/mutsvc_bench-383b48d59232bdcd: crates/bench/src/lib.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/placement_report.rs:
+crates/bench/src/simperf_report.rs:

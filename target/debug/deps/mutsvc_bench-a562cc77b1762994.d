@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mutsvc_bench-a562cc77b1762994.d: crates/bench/src/lib.rs crates/bench/src/placement_report.rs
+
+/root/repo/target/debug/deps/libmutsvc_bench-a562cc77b1762994.rlib: crates/bench/src/lib.rs crates/bench/src/placement_report.rs
+
+/root/repo/target/debug/deps/libmutsvc_bench-a562cc77b1762994.rmeta: crates/bench/src/lib.rs crates/bench/src/placement_report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/placement_report.rs:

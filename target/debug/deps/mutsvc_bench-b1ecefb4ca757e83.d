@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/mutsvc_bench-b1ecefb4ca757e83.d: crates/bench/src/lib.rs crates/bench/src/placement_report.rs
+/root/repo/target/debug/deps/mutsvc_bench-b1ecefb4ca757e83.d: crates/bench/src/lib.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs
 
-/root/repo/target/debug/deps/libmutsvc_bench-b1ecefb4ca757e83.rlib: crates/bench/src/lib.rs crates/bench/src/placement_report.rs
+/root/repo/target/debug/deps/libmutsvc_bench-b1ecefb4ca757e83.rlib: crates/bench/src/lib.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs
 
-/root/repo/target/debug/deps/libmutsvc_bench-b1ecefb4ca757e83.rmeta: crates/bench/src/lib.rs crates/bench/src/placement_report.rs
+/root/repo/target/debug/deps/libmutsvc_bench-b1ecefb4ca757e83.rmeta: crates/bench/src/lib.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/placement_report.rs:
+crates/bench/src/simperf_report.rs:

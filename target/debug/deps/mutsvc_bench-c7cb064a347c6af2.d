@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/mutsvc_bench-c7cb064a347c6af2.d: crates/bench/src/lib.rs crates/bench/src/placement_report.rs Cargo.toml
+/root/repo/target/debug/deps/mutsvc_bench-c7cb064a347c6af2.d: crates/bench/src/lib.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmutsvc_bench-c7cb064a347c6af2.rmeta: crates/bench/src/lib.rs crates/bench/src/placement_report.rs Cargo.toml
+/root/repo/target/debug/deps/libmutsvc_bench-c7cb064a347c6af2.rmeta: crates/bench/src/lib.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs Cargo.toml
 
 crates/bench/src/lib.rs:
 crates/bench/src/placement_report.rs:
+crates/bench/src/simperf_report.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mutsvc_core-fc6459720594843a.d: crates/core/src/lib.rs crates/core/src/configs.rs crates/core/src/experiment.rs crates/core/src/invariants.rs crates/core/src/paper.rs crates/core/src/report.rs crates/core/src/topology.rs
+
+/root/repo/target/debug/deps/libmutsvc_core-fc6459720594843a.rlib: crates/core/src/lib.rs crates/core/src/configs.rs crates/core/src/experiment.rs crates/core/src/invariants.rs crates/core/src/paper.rs crates/core/src/report.rs crates/core/src/topology.rs
+
+/root/repo/target/debug/deps/libmutsvc_core-fc6459720594843a.rmeta: crates/core/src/lib.rs crates/core/src/configs.rs crates/core/src/experiment.rs crates/core/src/invariants.rs crates/core/src/paper.rs crates/core/src/report.rs crates/core/src/topology.rs
+
+crates/core/src/lib.rs:
+crates/core/src/configs.rs:
+crates/core/src/experiment.rs:
+crates/core/src/invariants.rs:
+crates/core/src/paper.rs:
+crates/core/src/report.rs:
+crates/core/src/topology.rs:

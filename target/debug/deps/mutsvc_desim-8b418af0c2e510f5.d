@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mutsvc_desim-8b418af0c2e510f5.d: crates/desim/src/lib.rs crates/desim/src/metrics.rs crates/desim/src/resource.rs crates/desim/src/rng.rs crates/desim/src/sim.rs crates/desim/src/time.rs
+
+/root/repo/target/debug/deps/libmutsvc_desim-8b418af0c2e510f5.rlib: crates/desim/src/lib.rs crates/desim/src/metrics.rs crates/desim/src/resource.rs crates/desim/src/rng.rs crates/desim/src/sim.rs crates/desim/src/time.rs
+
+/root/repo/target/debug/deps/libmutsvc_desim-8b418af0c2e510f5.rmeta: crates/desim/src/lib.rs crates/desim/src/metrics.rs crates/desim/src/resource.rs crates/desim/src/rng.rs crates/desim/src/sim.rs crates/desim/src/time.rs
+
+crates/desim/src/lib.rs:
+crates/desim/src/metrics.rs:
+crates/desim/src/resource.rs:
+crates/desim/src/rng.rs:
+crates/desim/src/sim.rs:
+crates/desim/src/time.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mutsvc_netsim-abf20f9ff8d8b6bc.d: crates/netsim/src/lib.rs crates/netsim/src/job.rs crates/netsim/src/network.rs crates/netsim/src/protocol.rs crates/netsim/src/topology.rs
+
+/root/repo/target/debug/deps/libmutsvc_netsim-abf20f9ff8d8b6bc.rlib: crates/netsim/src/lib.rs crates/netsim/src/job.rs crates/netsim/src/network.rs crates/netsim/src/protocol.rs crates/netsim/src/topology.rs
+
+/root/repo/target/debug/deps/libmutsvc_netsim-abf20f9ff8d8b6bc.rmeta: crates/netsim/src/lib.rs crates/netsim/src/job.rs crates/netsim/src/network.rs crates/netsim/src/protocol.rs crates/netsim/src/topology.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/job.rs:
+crates/netsim/src/network.rs:
+crates/netsim/src/protocol.rs:
+crates/netsim/src/topology.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/mutsvc_placement-79fc32fe89e20356.d: crates/placement/src/lib.rs crates/placement/src/algorithms/mod.rs crates/placement/src/algorithms/annealing.rs crates/placement/src/algorithms/exhaustive.rs crates/placement/src/algorithms/greedy.rs crates/placement/src/algorithms/kl.rs crates/placement/src/algorithms/multilevel.rs crates/placement/src/algorithms/multistart.rs crates/placement/src/cost.rs crates/placement/src/cost/incremental.rs crates/placement/src/derive.rs crates/placement/src/graph.rs
+
+/root/repo/target/debug/deps/libmutsvc_placement-79fc32fe89e20356.rlib: crates/placement/src/lib.rs crates/placement/src/algorithms/mod.rs crates/placement/src/algorithms/annealing.rs crates/placement/src/algorithms/exhaustive.rs crates/placement/src/algorithms/greedy.rs crates/placement/src/algorithms/kl.rs crates/placement/src/algorithms/multilevel.rs crates/placement/src/algorithms/multistart.rs crates/placement/src/cost.rs crates/placement/src/cost/incremental.rs crates/placement/src/derive.rs crates/placement/src/graph.rs
+
+/root/repo/target/debug/deps/libmutsvc_placement-79fc32fe89e20356.rmeta: crates/placement/src/lib.rs crates/placement/src/algorithms/mod.rs crates/placement/src/algorithms/annealing.rs crates/placement/src/algorithms/exhaustive.rs crates/placement/src/algorithms/greedy.rs crates/placement/src/algorithms/kl.rs crates/placement/src/algorithms/multilevel.rs crates/placement/src/algorithms/multistart.rs crates/placement/src/cost.rs crates/placement/src/cost/incremental.rs crates/placement/src/derive.rs crates/placement/src/graph.rs
+
+crates/placement/src/lib.rs:
+crates/placement/src/algorithms/mod.rs:
+crates/placement/src/algorithms/annealing.rs:
+crates/placement/src/algorithms/exhaustive.rs:
+crates/placement/src/algorithms/greedy.rs:
+crates/placement/src/algorithms/kl.rs:
+crates/placement/src/algorithms/multilevel.rs:
+crates/placement/src/algorithms/multistart.rs:
+crates/placement/src/cost.rs:
+crates/placement/src/cost/incremental.rs:
+crates/placement/src/derive.rs:
+crates/placement/src/graph.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mutsvc_relstore-aa9887326c4243f0.d: crates/relstore/src/lib.rs crates/relstore/src/database.rs crates/relstore/src/invalidation.rs crates/relstore/src/table.rs crates/relstore/src/value.rs
+
+/root/repo/target/debug/deps/libmutsvc_relstore-aa9887326c4243f0.rlib: crates/relstore/src/lib.rs crates/relstore/src/database.rs crates/relstore/src/invalidation.rs crates/relstore/src/table.rs crates/relstore/src/value.rs
+
+/root/repo/target/debug/deps/libmutsvc_relstore-aa9887326c4243f0.rmeta: crates/relstore/src/lib.rs crates/relstore/src/database.rs crates/relstore/src/invalidation.rs crates/relstore/src/table.rs crates/relstore/src/value.rs
+
+crates/relstore/src/lib.rs:
+crates/relstore/src/database.rs:
+crates/relstore/src/invalidation.rs:
+crates/relstore/src/table.rs:
+crates/relstore/src/value.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mutsvc_workload-ebd3ea938bd05f50.d: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/spec.rs crates/workload/src/stats.rs
+
+/root/repo/target/debug/deps/libmutsvc_workload-ebd3ea938bd05f50.rlib: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/spec.rs crates/workload/src/stats.rs
+
+/root/repo/target/debug/deps/libmutsvc_workload-ebd3ea938bd05f50.rmeta: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/spec.rs crates/workload/src/stats.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/driver.rs:
+crates/workload/src/spec.rs:
+crates/workload/src/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_report-51df298b0c989b28.d: crates/bench/src/bin/repro_report.rs
+
+/root/repo/target/debug/deps/repro_report-51df298b0c989b28: crates/bench/src/bin/repro_report.rs
+
+crates/bench/src/bin/repro_report.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-96630a50f253557c.d: vendored/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-96630a50f253557c.rlib: vendored/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-96630a50f253557c.rmeta: vendored/serde/src/lib.rs
+
+vendored/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-91277ce816eea680.d: vendored/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-91277ce816eea680.so: vendored/serde_derive/src/lib.rs
+
+vendored/serde_derive/src/lib.rs:

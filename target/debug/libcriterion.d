@@ -1,0 +1,1 @@
+/root/repo/target/debug/libcriterion.rlib: /root/repo/vendored/criterion/src/lib.rs

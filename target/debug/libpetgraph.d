@@ -1,0 +1,1 @@
+/root/repo/target/debug/libpetgraph.rlib: /root/repo/vendored/petgraph/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/debug/librand_chacha.rlib: /root/repo/vendored/rand/src/lib.rs /root/repo/vendored/rand_chacha/src/lib.rs

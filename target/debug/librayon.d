@@ -1,0 +1,1 @@
+/root/repo/target/debug/librayon.rlib: /root/repo/vendored/rayon/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libserde.rlib: /root/repo/vendored/serde/src/lib.rs /root/repo/vendored/serde_derive/src/lib.rs

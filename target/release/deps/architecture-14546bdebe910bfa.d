@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/architecture-14546bdebe910bfa.d: tests/architecture.rs
+
+/root/repo/target/release/deps/architecture-14546bdebe910bfa: tests/architecture.rs
+
+tests/architecture.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bind_cache_equivalence-d228fdc36d167bdc.d: crates/core/tests/bind_cache_equivalence.rs
+
+/root/repo/target/release/deps/bind_cache_equivalence-d228fdc36d167bdc: crates/core/tests/bind_cache_equivalence.rs
+
+crates/core/tests/bind_cache_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-37ac892bbe31ebb4.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-37ac892bbe31ebb4: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-17d2526682e398f7.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-17d2526682e398f7: tests/end_to_end.rs
+
+tests/end_to_end.rs:

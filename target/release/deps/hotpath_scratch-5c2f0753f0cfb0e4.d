@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hotpath_scratch-5c2f0753f0cfb0e4.d: crates/bench/src/bin/hotpath_scratch.rs
+
+/root/repo/target/release/deps/hotpath_scratch-5c2f0753f0cfb0e4: crates/bench/src/bin/hotpath_scratch.rs
+
+crates/bench/src/bin/hotpath_scratch.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/release/deps/mutsvc_bench-1e321722a054bd83.d: crates/bench/src/lib.rs crates/bench/src/placement_report.rs
+/root/repo/target/release/deps/mutsvc_bench-1e321722a054bd83.d: crates/bench/src/lib.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs
 
-/root/repo/target/release/deps/libmutsvc_bench-1e321722a054bd83.rlib: crates/bench/src/lib.rs crates/bench/src/placement_report.rs
+/root/repo/target/release/deps/libmutsvc_bench-1e321722a054bd83.rlib: crates/bench/src/lib.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs
 
-/root/repo/target/release/deps/libmutsvc_bench-1e321722a054bd83.rmeta: crates/bench/src/lib.rs crates/bench/src/placement_report.rs
+/root/repo/target/release/deps/libmutsvc_bench-1e321722a054bd83.rmeta: crates/bench/src/lib.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/placement_report.rs:
+crates/bench/src/simperf_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_shapes-ecb34e3fe6a5c36e.d: tests/paper_shapes.rs
+
+/root/repo/target/release/deps/paper_shapes-ecb34e3fe6a5c36e: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/placement_consistency-ee99ddd50b851ffb.d: tests/placement_consistency.rs
+
+/root/repo/target/release/deps/placement_consistency-ee99ddd50b851ffb: tests/placement_consistency.rs
+
+tests/placement_consistency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/link_degradation-b88dfd326d7b5dae.d: examples/link_degradation.rs
+
+/root/repo/target/release/examples/link_degradation-b88dfd326d7b5dae: examples/link_degradation.rs
+
+examples/link_degradation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/petstore_edge_deployment-565f91b76df939a1.d: examples/petstore_edge_deployment.rs
+
+/root/repo/target/release/examples/petstore_edge_deployment-565f91b76df939a1: examples/petstore_edge_deployment.rs
+
+examples/petstore_edge_deployment.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/rubis_bidder_study-20096425c37bf142.d: examples/rubis_bidder_study.rs
+
+/root/repo/target/release/examples/rubis_bidder_study-20096425c37bf142: examples/rubis_bidder_study.rs
+
+examples/rubis_bidder_study.rs:
