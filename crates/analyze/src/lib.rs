@@ -34,6 +34,7 @@
 //! | `W105` | read-your-writes staleness hazard under async propagation |
 //! | `W106` | replicated stateful session not hosted on the central node |
 //! | `W107` | caching machinery deployed but no page is ever memoizable |
+//! | `W108` | traced WAN round trips disagree with the static walk |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -145,6 +146,48 @@ pub fn analyze_target(app: AppKind, config: Config) -> Report {
         pages: &pages,
         invariant: wan_invariant(config),
     })
+}
+
+/// W108: cross-checks a traced run's per-page WAN round trips against the
+/// static walker's counts.
+///
+/// `traced` holds `(page, mean WAN round trips)` pairs from a traced
+/// simulator run — the *logical* accounting the tracer records from the
+/// binder's crossing list, which is defined on the same terms as the static
+/// walk (synchronous call tree, HTTP/TCP envelope and sampled DGC chatter
+/// excluded; the trace's measured critical-path decomposition reports those
+/// separately). A disagreement beyond one round trip means the deployment
+/// is not executing the calls the analyzer reasoned about — a stale
+/// descriptor, a diverged walker, or a misconfigured run — and appends a
+/// `W108` warning for the page. Returns the number of warnings added;
+/// pages absent from the static report are ignored.
+pub fn cross_check_traced_wan(report: &mut Report, traced: &[(String, f64)]) -> usize {
+    let mut added = 0;
+    for (page, traced_rts) in traced {
+        let Some(cost) = report.pages.iter().find(|p| &p.page == page) else {
+            continue;
+        };
+        let static_rts = f64::from(cost.wan_round_trips);
+        if (static_rts - traced_rts).abs() > 1.0 {
+            report.diagnostics.push(Diagnostic {
+                code: "W108",
+                severity: Severity::Warning,
+                component: None,
+                node: None,
+                message: format!(
+                    "page `{page}` averaged {traced_rts:.2} wide-area round trips in the \
+                     traced run but the static walk counts {static_rts:.0}; the deployment \
+                     is not behaving as analyzed"
+                ),
+                span: Span::page(page.clone(), "traced run vs static walk"),
+            });
+            added += 1;
+        }
+    }
+    if added > 0 {
+        report.sort_diagnostics();
+    }
+    added
 }
 
 /// E004: every component must be placed, and only on hosting nodes (the

@@ -268,6 +268,45 @@ fn w107_caching_machinery_with_no_memoizable_page() {
 }
 
 #[test]
+fn w108_traced_wan_rts_disagreeing_with_the_static_walk() {
+    use mutsvc_analyze::cross_check_traced_wan;
+    let mut report = report_for(AppKind::PetStore, Config::RemoteFacade, |_, _| {});
+    assert!(!report.codes().contains(&"W108"));
+
+    // Agreement (and sub-RT protocol jitter) stays silent.
+    let agreeing: Vec<(String, f64)> = report
+        .pages
+        .iter()
+        .map(|p| (p.page.clone(), f64::from(p.wan_round_trips) + 0.4))
+        .collect();
+    assert_eq!(cross_check_traced_wan(&mut report, &agreeing), 0);
+
+    // A traced run observing two extra WAN round trips on Item — say a
+    // replica that silently stopped covering it — must trip the check.
+    let item_static = f64::from(
+        report
+            .pages
+            .iter()
+            .find(|p| p.page == "Item")
+            .unwrap()
+            .wan_round_trips,
+    );
+    let disagreeing = vec![
+        ("Item".to_string(), item_static + 2.0),
+        ("NotAPage".to_string(), 99.0), // unknown pages are ignored
+    ];
+    assert_eq!(cross_check_traced_wan(&mut report, &disagreeing), 1);
+    assert!(report.codes().contains(&"W108"), "{}", report.render_text());
+    let w108 = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "W108")
+        .unwrap();
+    assert_eq!(w108.span.page.as_deref(), Some("Item"));
+    assert!(w108.message.contains("not behaving as analyzed"));
+}
+
+#[test]
 fn w106_replicated_stateful_session_off_the_central_node() {
     let report = report_for(
         AppKind::PetStore,

@@ -16,6 +16,15 @@
 //! baseline) and on, and writes `BENCH_simperf.json`; `--smoke` shortens the
 //! windows and stops at 10× for CI's wall-clock-bounded regression gate.
 //!
+//! `--trace [config]` re-runs the sweep (or one named configuration) with
+//! per-request tracing and the telemetry registry on, writes a compact span
+//! log (`TRACE_<app>_<config>.spans.jsonl`), a Chrome `trace_event` document
+//! loadable in Perfetto (`TRACE_<app>_<config>.chrome.json`) and
+//! `BENCH_trace.json`, prints the per-page WAN critical-path decomposition,
+//! and cross-checks the traced wide-area round trips against
+//! `mutsvc-analyze`'s static walk (`W108`). `--smoke` shortens the windows
+//! and traces every request.
+//!
 //! With no selection flags, everything is printed. `--quick` (default) uses
 //! a 90 s warm-up + 300 s measured window; `--paper` runs the full
 //! one-hour windows of §3.3.
@@ -25,6 +34,10 @@ use mutsvc_apps::rubis::{BIDDER_SEQUENCE, BROWSER_MIX as RUBIS_MIX};
 use mutsvc_bench::placement_report::{measure_placement_throughput, render_placement_json};
 use mutsvc_bench::run_sweep_parallel;
 use mutsvc_bench::simperf_report::{measure_simperf, render_simperf_json, speedup_at};
+use mutsvc_bench::trace_artifacts::{
+    config_by_name, render_trace_json, render_wan_rt_table, run_traced_sweep,
+    validate_chrome_trace, TraceCell,
+};
 use mutsvc_core::{
     paper_topology, render_comparison, render_figure, render_percentiles, render_table,
     validate_shapes, AppKind, Config,
@@ -45,6 +58,8 @@ struct Options {
     placement: bool,
     simperf: bool,
     smoke: bool,
+    trace: bool,
+    trace_config: Option<Config>,
 }
 
 fn parse_args() -> Options {
@@ -63,8 +78,10 @@ fn parse_args() -> Options {
         placement: false,
         simperf: false,
         smoke: false,
+        trace: false,
+        trace_config: None,
     };
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--app" => match args.next().as_deref() {
@@ -95,9 +112,22 @@ fn parse_args() -> Options {
             "--placement" => opts.placement = true,
             "--simperf" => opts.simperf = true,
             "--smoke" => opts.smoke = true,
+            "--trace" => {
+                opts.trace = true;
+                // Optional configuration name ("remote-facade", ...).
+                if let Some(next) = args.peek() {
+                    if !next.starts_with("--") {
+                        let name = args.next().unwrap();
+                        opts.trace_config = Some(config_by_name(&name).unwrap_or_else(|| {
+                            eprintln!("unknown --trace configuration {name:?}");
+                            std::process::exit(2);
+                        }));
+                    }
+                }
+            }
             "--help" | "-h" => {
                 println!(
-                    "repro-report [--app petstore|rubis|all] [--paper|--quick] [--seed N]\n             [--tables] [--figures] [--compare] [--validate] [--percentiles]\n             [--sessions] [--topology] [--wiring] [--placement]\n             [--simperf [--smoke]]"
+                    "repro-report [--app petstore|rubis|all] [--paper|--quick] [--seed N]\n             [--tables] [--figures] [--compare] [--validate] [--percentiles]\n             [--sessions] [--topology] [--wiring] [--placement]\n             [--simperf [--smoke]] [--trace [config] [--smoke]]"
                 );
                 std::process::exit(0);
             }
@@ -116,7 +146,8 @@ fn parse_args() -> Options {
         || opts.topology
         || opts.wiring
         || opts.placement
-        || opts.simperf)
+        || opts.simperf
+        || opts.trace)
     {
         opts.tables = true;
         opts.figures = true;
@@ -251,6 +282,81 @@ fn print_simperf(smoke: bool, seed: u64) {
     }
 }
 
+/// How many traces the Chrome export keeps per configuration — enough to
+/// inspect one of each page in Perfetto without a multi-megabyte document.
+const CHROME_TRACE_CAP: usize = 25;
+
+fn print_trace(opts: &Options) {
+    let configs: Vec<Config> = match opts.trace_config {
+        Some(config) => vec![config],
+        None => Config::all().to_vec(),
+    };
+    let mut sweeps: Vec<(AppKind, Vec<TraceCell>)> = Vec::new();
+    for &app in &opts.apps {
+        eprintln!(
+            "running traced {} sweep ({} mode, seed {})...",
+            app.name(),
+            if opts.smoke {
+                "smoke"
+            } else if opts.quick {
+                "quick"
+            } else {
+                "paper"
+            },
+            opts.seed
+        );
+        let cells = run_traced_sweep(app, &configs, opts.quick, opts.smoke, opts.seed);
+        for cell in &cells {
+            let data = cell.report.trace.as_ref().unwrap();
+            let spans_path = format!("TRACE_{}_{}.spans.jsonl", app.name(), cell.config.name());
+            match std::fs::write(&spans_path, mutsvc_workload::jsonl(data)) {
+                Ok(()) => println!("wrote {spans_path} ({} traces)", data.traces.len()),
+                Err(e) => eprintln!("failed to write {spans_path}: {e}"),
+            }
+            let chrome = mutsvc_workload::chrome_trace_json(data, CHROME_TRACE_CAP);
+            match validate_chrome_trace(&chrome) {
+                Ok(pairs) => {
+                    let chrome_path =
+                        format!("TRACE_{}_{}.chrome.json", app.name(), cell.config.name());
+                    match std::fs::write(&chrome_path, &chrome) {
+                        Ok(()) => println!("wrote {chrome_path} ({pairs} span pairs)"),
+                        Err(e) => eprintln!("failed to write {chrome_path}: {e}"),
+                    }
+                }
+                Err(e) => {
+                    eprintln!("invalid Chrome trace for {}: {e}", cell.config.name());
+                    std::process::exit(1);
+                }
+            }
+            for diag in cell
+                .static_report
+                .diagnostics
+                .iter()
+                .filter(|d| d.code == "W108")
+            {
+                println!("  W108: {}", diag.message);
+            }
+        }
+        println!("{}", render_wan_rt_table(app, &cells));
+        sweeps.push((app, cells));
+    }
+    let json = render_trace_json(&sweeps);
+    let path = "BENCH_trace.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+    let w108: usize = sweeps
+        .iter()
+        .flat_map(|(_, cells)| cells.iter().map(|c| c.w108))
+        .sum();
+    if w108 > 0 {
+        println!("traced/static WAN cross-check: {w108} W108 warning(s)");
+    } else {
+        println!("traced/static WAN cross-check: all pages agree");
+    }
+}
+
 fn main() {
     let opts = parse_args();
     if opts.placement {
@@ -258,6 +364,9 @@ fn main() {
     }
     if opts.simperf {
         print_simperf(opts.smoke, opts.seed);
+    }
+    if opts.trace {
+        print_trace(&opts);
     }
     if opts.sessions {
         print_sessions();

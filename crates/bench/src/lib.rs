@@ -10,34 +10,28 @@
 
 pub mod placement_report;
 pub mod simperf_report;
+pub mod trace_artifacts;
 
 use mutsvc_core::{AppKind, Config, Scenario};
 use mutsvc_workload::ExperimentReport;
 
-/// Runs the five configurations of `app` in parallel (one thread per
-/// configuration — each scenario is internally single-threaded and
-/// deterministic).
+/// Runs a batch of scenarios in parallel (one thread per scenario — each is
+/// internally single-threaded and deterministic, so the reports are
+/// identical to running them sequentially).
 ///
 /// Scoped threads are named after their configuration, so a panicking
 /// scenario reports *which* cell died (both in the thread's own panic
 /// message and in the join error here) instead of an anonymous
 /// "scenario thread panicked".
-pub fn run_sweep_parallel(app: AppKind, quick: bool, seed: u64) -> Vec<ExperimentReport> {
+pub fn run_scenarios_parallel(scenarios: Vec<Scenario>) -> Vec<ExperimentReport> {
     std::thread::scope(|scope| {
-        let handles: Vec<_> = Config::all()
+        let handles: Vec<_> = scenarios
             .into_iter()
-            .map(|config| {
-                let name = config.name();
+            .map(|scenario| {
+                let name = scenario.config.name();
                 let handle = std::thread::Builder::new()
                     .name(format!("sweep-{name}"))
-                    .spawn_scoped(scope, move || {
-                        let scenario = if quick {
-                            Scenario::quick(app, config)
-                        } else {
-                            Scenario::paper(app, config)
-                        };
-                        scenario.with_seed(seed).run()
-                    })
+                    .spawn_scoped(scope, move || scenario.run())
                     .unwrap_or_else(|e| panic!("failed to spawn sweep-{name}: {e}"));
                 (name, handle)
             })
@@ -51,6 +45,22 @@ pub fn run_sweep_parallel(app: AppKind, quick: bool, seed: u64) -> Vec<Experimen
             })
             .collect()
     })
+}
+
+/// Runs the five configurations of `app` in parallel.
+pub fn run_sweep_parallel(app: AppKind, quick: bool, seed: u64) -> Vec<ExperimentReport> {
+    let scenarios = Config::all()
+        .into_iter()
+        .map(|config| {
+            let scenario = if quick {
+                Scenario::quick(app, config)
+            } else {
+                Scenario::paper(app, config)
+            };
+            scenario.with_seed(seed)
+        })
+        .collect();
+    run_scenarios_parallel(scenarios)
 }
 
 #[cfg(test)]

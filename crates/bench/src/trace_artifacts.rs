@@ -1,0 +1,353 @@
+//! Traced-sweep artifacts: `BENCH_trace.json`, span logs, Chrome traces.
+//!
+//! `repro-report --trace` runs the five configurations with per-request
+//! tracing on, decomposes each page's mean response time along the critical
+//! path (WAN propagation vs serialization vs queueing vs server vs DB), and
+//! cross-checks the traced wide-area accounting against the static
+//! analyzer's walk (`W108`). The per-config span logs are byte-stable for a
+//! given seed — the determinism tests diff them across runs and across
+//! sequential/parallel execution.
+
+use mutsvc_analyze::{analyze_target, cross_check_traced_wan, Report};
+use mutsvc_core::{AppKind, Config, Scenario};
+use mutsvc_desim::time::SimDuration;
+use mutsvc_workload::{page_breakdown, ExperimentReport, PageTraceRow, TraceSettings};
+
+/// Looks a configuration up by its report name ("remote-facade", …).
+pub fn config_by_name(name: &str) -> Option<Config> {
+    Config::all().into_iter().find(|c| c.name() == name)
+}
+
+/// The tracing policy of a `--trace` run: smoke runs are short enough to
+/// trace every request; quick/paper windows head-sample 1-in-8 (plus the
+/// slowest-so-far outliers) to bound the span-log size.
+pub fn trace_settings(smoke: bool) -> TraceSettings {
+    if smoke {
+        TraceSettings::full()
+    } else {
+        TraceSettings::sampled(8)
+    }
+}
+
+/// Builds the scenario a `--trace` run executes for one cell. Smoke mode
+/// shortens the windows to 10 s warm-up + 30 s measured (CI wall-clock).
+pub fn traced_scenario(
+    app: AppKind,
+    config: Config,
+    quick: bool,
+    smoke: bool,
+    seed: u64,
+) -> Scenario {
+    let mut scenario = if quick || smoke {
+        Scenario::quick(app, config)
+    } else {
+        Scenario::paper(app, config)
+    };
+    if smoke {
+        scenario.warmup = SimDuration::from_secs(10);
+        scenario.duration = SimDuration::from_secs(30);
+    }
+    scenario.with_seed(seed).with_trace(trace_settings(smoke))
+}
+
+/// One traced configuration cell: the run, its per-page critical-path rows,
+/// and the static analyzer's report after the `W108` cross-check.
+pub struct TraceCell {
+    /// The configuration.
+    pub config: Config,
+    /// The traced run (`report.trace` is always `Some`).
+    pub report: ExperimentReport,
+    /// Per-(group, page) critical-path decomposition.
+    pub rows: Vec<PageTraceRow>,
+    /// Static analysis with any `W108` disagreement warnings appended.
+    pub static_report: Report,
+    /// Number of `W108` warnings the cross-check added.
+    pub w108: usize,
+}
+
+/// Runs the requested configurations of `app` traced (in parallel), then
+/// cross-checks each against the static analyzer.
+///
+/// The cross-check compares, per page, the traced run's mean *logical* WAN
+/// round trips for the `remote1` client group — the group the static walker
+/// analyzes — against the walk's count.
+pub fn run_traced_sweep(
+    app: AppKind,
+    configs: &[Config],
+    quick: bool,
+    smoke: bool,
+    seed: u64,
+) -> Vec<TraceCell> {
+    let scenarios = configs
+        .iter()
+        .map(|&config| traced_scenario(app, config, quick, smoke, seed))
+        .collect();
+    let reports = crate::run_scenarios_parallel(scenarios);
+    configs
+        .iter()
+        .zip(reports)
+        .map(|(&config, report)| {
+            let data = report
+                .trace
+                .as_ref()
+                .expect("traced scenario must produce trace data");
+            let rows = page_breakdown(data);
+            let mut static_report = analyze_target(app, config);
+            let traced: Vec<(String, f64)> = rows
+                .iter()
+                .filter(|r| r.group == "remote1")
+                .map(|r| (r.page.to_string(), r.wan_rts_logical))
+                .collect();
+            let w108 = cross_check_traced_wan(&mut static_report, &traced);
+            TraceCell {
+                config,
+                report,
+                rows,
+                static_report,
+                w108,
+            }
+        })
+        .collect()
+}
+
+fn fmt2(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.2}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders `BENCH_trace.json`: per app × configuration, the per-page
+/// critical-path decomposition (with the static walker's WAN count where
+/// one exists), trace accounting, `W108` results and the telemetry series.
+pub fn render_trace_json(sweeps: &[(AppKind, Vec<TraceCell>)]) -> String {
+    let mut out = String::from("{\"apps\":[");
+    for (ai, (app, cells)) in sweeps.iter().enumerate() {
+        if ai > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"app\":\"{}\",\"configs\":[", app.name()));
+        for (ci, cell) in cells.iter().enumerate() {
+            if ci > 0 {
+                out.push(',');
+            }
+            let data = cell.report.trace.as_ref().unwrap();
+            out.push_str(&format!(
+                "{{\"config\":\"{}\",\"completed\":{},\"traces\":{},\"w108_warnings\":{},\"pages\":[",
+                cell.config.name(),
+                cell.report.completed,
+                data.traces.len(),
+                cell.w108,
+            ));
+            for (ri, row) in cell.rows.iter().enumerate() {
+                if ri > 0 {
+                    out.push(',');
+                }
+                let static_rts = cell
+                    .static_report
+                    .pages
+                    .iter()
+                    .find(|p| p.page == row.page)
+                    .map_or("null".to_string(), |p| p.wan_round_trips.to_string());
+                out.push_str(&format!(
+                    "{{\"group\":\"{}\",\"page\":\"{}\",\"count\":{},\"mean_ms\":{},\
+                     \"wan_rts_logical\":{},\"wan_rts_critical\":{},\"static_wan_rts\":{static_rts},\
+                     \"wan_propagation_ms\":{},\"serialization_ms\":{},\"queueing_ms\":{},\
+                     \"service_ms\":{},\"db_ms\":{},\"delay_ms\":{}}}",
+                    row.group,
+                    row.page,
+                    row.count,
+                    fmt2(row.mean_ms),
+                    fmt2(row.wan_rts_logical),
+                    fmt2(row.wan_rts_critical),
+                    fmt2(row.wan_propagation_ms),
+                    fmt2(row.serialization_ms),
+                    fmt2(row.queueing_ms),
+                    fmt2(row.service_ms),
+                    fmt2(row.db_ms),
+                    fmt2(row.delay_ms),
+                ));
+            }
+            out.push_str("],\"telemetry\":{\"names\":[");
+            for (ni, name) in data.telemetry_names.iter().enumerate() {
+                if ni > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{name}\""));
+            }
+            out.push_str("],\"snapshots\":[");
+            for (si, snap) in data.telemetry.iter().enumerate() {
+                if si > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"at_s\":{:.1},\"values\":[",
+                    snap.at.as_secs_f64()
+                ));
+                for (vi, v) in snap.values.iter().enumerate() {
+                    if vi > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&fmt2(*v));
+                }
+                out.push_str("]}");
+            }
+            out.push_str("]}}");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Renders the per-page wide-area round-trip table of one traced sweep
+/// (rows: the remote client group's pages; columns: configurations),
+/// showing `logical traced / critical-path measured / static` per cell.
+pub fn render_wan_rt_table(app: AppKind, cells: &[TraceCell]) -> String {
+    use std::fmt::Write as _;
+    let mut pages: Vec<&'static str> = Vec::new();
+    for cell in cells {
+        for row in cell.rows.iter().filter(|r| r.group == "remote1") {
+            if !pages.contains(&row.page) {
+                pages.push(row.page);
+            }
+        }
+    }
+    pages.sort_unstable();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "per-page WAN round trips ({}, remote1 group; logical/critical-path/static):",
+        app.name()
+    );
+    let _ = write!(out, "  {:<16}", "page");
+    for cell in cells {
+        let _ = write!(out, " {:>18}", cell.config.name());
+    }
+    out.push('\n');
+    for page in pages {
+        let _ = write!(out, "  {page:<16}");
+        for cell in cells {
+            let entry = match cell
+                .rows
+                .iter()
+                .find(|r| r.group == "remote1" && r.page == page)
+            {
+                Some(row) => {
+                    let stat = cell
+                        .static_report
+                        .pages
+                        .iter()
+                        .find(|p| p.page == page)
+                        .map_or("-".to_string(), |p| p.wan_round_trips.to_string());
+                    format!(
+                        "{:.1}/{:.1}/{stat}",
+                        row.wan_rts_logical, row.wan_rts_critical
+                    )
+                }
+                None => "-".to_string(),
+            };
+            let _ = write!(out, " {entry:>18}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Structurally validates a Chrome `trace_event` JSON document produced by
+/// [`mutsvc_workload::chrome_trace_json`]: every duration event carries
+/// `ts`, and each lane's `B`/`E` events are balanced and properly nested
+/// (matched by name, LIFO). Returns the number of `B`/`E` pairs checked.
+///
+/// This is a purpose-built scanner for our own single-event-per-line
+/// output, not a general JSON parser (the vendored `serde` is a stub).
+pub fn validate_chrome_trace(json: &str) -> Result<usize, String> {
+    use std::collections::HashMap;
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let pat = format!("\"{key}\":");
+        let start = line.find(&pat)? + pat.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}']).ok_or(()).ok()?;
+        Some(rest[..end].trim_matches('"'))
+    }
+    if !json.trim_end().ends_with("]}") {
+        return Err("document does not close the traceEvents array".into());
+    }
+    let mut stacks: HashMap<String, Vec<String>> = HashMap::new();
+    let mut pairs = 0usize;
+    for line in json.lines() {
+        let line = line.trim_start_matches(',');
+        let Some(ph) = field(line, "ph") else {
+            continue;
+        };
+        match ph {
+            "M" => {}
+            "i" | "B" | "E" => {
+                if field(line, "ts").is_none() {
+                    return Err(format!("event without ts: {line}"));
+                }
+                if ph == "i" {
+                    continue;
+                }
+                let tid = field(line, "tid").ok_or_else(|| format!("no tid: {line}"))?;
+                let name = field(line, "name").unwrap_or_default().to_string();
+                let stack = stacks.entry(tid.to_string()).or_default();
+                if ph == "B" {
+                    stack.push(name);
+                } else {
+                    match stack.pop() {
+                        Some(open) if open == name => pairs += 1,
+                        Some(open) => {
+                            return Err(format!("E \"{name}\" closes B \"{open}\" on tid {tid}"))
+                        }
+                        None => return Err(format!("E \"{name}\" with empty stack on tid {tid}")),
+                    }
+                }
+            }
+            other => return Err(format!("unknown ph {other:?}")),
+        }
+    }
+    for (tid, stack) in &stacks {
+        if !stack.is_empty() {
+            return Err(format!("tid {tid} left {} span(s) open", stack.len()));
+        }
+    }
+    if pairs == 0 {
+        return Err("no B/E pairs found".into());
+    }
+    Ok(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_lookup_roundtrips() {
+        for config in Config::all() {
+            assert_eq!(config_by_name(config.name()), Some(config));
+        }
+        assert_eq!(config_by_name("nope"), None);
+    }
+
+    #[test]
+    fn chrome_validator_rejects_malformed_documents() {
+        let ok = "{\"traceEvents\":[\n\
+                  {\"ph\":\"B\",\"pid\":1,\"tid\":1,\"ts\":0,\"name\":\"a\"},\n\
+                  {\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":1,\"ts\":1,\"name\":\"n\"},\n\
+                  {\"ph\":\"E\",\"pid\":1,\"tid\":1,\"ts\":2,\"name\":\"a\"}\n]}";
+        assert_eq!(validate_chrome_trace(ok), Ok(1));
+        let unbalanced = ok.replace(
+            ",\n{\"ph\":\"E\",\"pid\":1,\"tid\":1,\"ts\":2,\"name\":\"a\"}",
+            "",
+        );
+        assert!(validate_chrome_trace(&unbalanced).is_err());
+        let crossed = ok.replace("\"name\":\"a\"},\n]", "\"name\":\"b\"},\n]");
+        let crossed = crossed.replace(
+            "{\"ph\":\"E\",\"pid\":1,\"tid\":1,\"ts\":2,\"name\":\"a\"}",
+            "{\"ph\":\"E\",\"pid\":1,\"tid\":1,\"ts\":2,\"name\":\"b\"}",
+        );
+        assert!(validate_chrome_trace(&crossed).is_err());
+    }
+}

@@ -5,7 +5,7 @@ use mutsvc_desim::time::SimDuration;
 use mutsvc_middleware::ContainerCosts;
 use mutsvc_netsim::ProtocolParams;
 use mutsvc_workload::{
-    paper_groups, run_experiment, ExperimentInput, ExperimentReport, WorkloadSpec,
+    paper_groups, run_experiment, ExperimentInput, ExperimentReport, TraceSettings, WorkloadSpec,
 };
 use serde::{Deserialize, Serialize};
 
@@ -53,6 +53,9 @@ pub struct Scenario {
     pub wan_one_way: Option<SimDuration>,
     /// RMI extra-round-trip probability override (ablation).
     pub rmi_extra_round_trip_prob: Option<f64>,
+    /// Tracing and telemetry policy (off by default).
+    #[serde(default)]
+    pub trace: TraceSettings,
 }
 
 impl Scenario {
@@ -67,6 +70,7 @@ impl Scenario {
             duration: SimDuration::from_secs(3_600),
             wan_one_way: None,
             rmi_extra_round_trip_prob: None,
+            trace: TraceSettings::off(),
         }
     }
 
@@ -82,6 +86,7 @@ impl Scenario {
             duration: SimDuration::from_secs(300),
             wan_one_way: None,
             rmi_extra_round_trip_prob: None,
+            trace: TraceSettings::off(),
         }
     }
 
@@ -100,6 +105,12 @@ impl Scenario {
     /// Overrides the RMI extra-round-trip probability (stack chattiness).
     pub fn with_rmi_chattiness(mut self, prob: f64) -> Self {
         self.rmi_extra_round_trip_prob = Some(prob);
+        self
+    }
+
+    /// Sets the tracing/telemetry policy.
+    pub fn with_trace(mut self, trace: TraceSettings) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -158,7 +169,8 @@ impl Scenario {
         );
         let spec = WorkloadSpec::paper_load(groups)
             .with_duration(self.warmup, self.duration)
-            .with_seed(self.seed);
+            .with_seed(self.seed)
+            .with_trace(self.trace);
 
         (
             ExperimentInput {

@@ -47,10 +47,17 @@ pub mod metrics;
 pub mod resource;
 pub mod rng;
 pub mod sim;
+pub mod telemetry;
 pub mod time;
+pub mod trace;
 
 pub use metrics::{Histogram, P2Quantile, Summary, Welford};
 pub use resource::FifoResource;
 pub use rng::SimRng;
-pub use sim::{Context, EventFn, Fire, NoEvent, Simulation};
+pub use sim::{Context, EventFn, Fire, NoEvent, QueueDepths, Simulation};
+pub use telemetry::{MetricId, TelemetryRegistry, TelemetrySnapshot};
 pub use time::{SimDuration, SimTime};
+pub use trace::{
+    critical_path, CompletedTrace, PathBreakdown, Span, SpanCtx, SpanKind, TraceConfig, TraceMeta,
+    Tracer,
+};

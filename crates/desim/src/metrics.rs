@@ -274,6 +274,108 @@ impl P2Quantile {
         }
         self.heights[2]
     }
+
+    /// Evaluates this estimator's piecewise-linear quantile curve at
+    /// probability `p` (markers at normalized positions, heights
+    /// interpolated). Requires an initialized estimator (`count >= 5`).
+    fn quantile_at(&self, p: f64) -> f64 {
+        debug_assert!(self.count >= 5);
+        let n = (self.count - 1) as f64;
+        let pos = |i: usize| {
+            if n == 0.0 {
+                0.0
+            } else {
+                (self.positions[i] - 1.0) / n
+            }
+        };
+        if p <= pos(0) {
+            return self.heights[0];
+        }
+        for i in 0..4 {
+            let (a, b) = (pos(i), pos(i + 1));
+            if p <= b {
+                let t = if b > a { (p - a) / (b - a) } else { 1.0 };
+                return self.heights[i] + t * (self.heights[i + 1] - self.heights[i]);
+            }
+        }
+        self.heights[4]
+    }
+
+    /// Merges another estimator for the same quantile into this one.
+    ///
+    /// P² markers cannot be combined exactly (the raw samples are gone), so
+    /// this uses *weighted marker interpolation*: each estimator's five
+    /// markers define a piecewise-linear quantile curve; the merged marker
+    /// heights are the count-weighted average of the two curves evaluated
+    /// at the canonical marker probabilities `[0, q/2, q, (1+q)/2, 1]`, and
+    /// marker positions are reset to their desired values for the combined
+    /// count. When either side is still in its five-sample warmup, its
+    /// buffered samples are simply replayed (exact). The result is an
+    /// approximation — property tests bound it to the sample range and to
+    /// the single-stream estimate for same-distribution shards — which is
+    /// the right trade-off for combining parallel sweep shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two estimators track different quantiles.
+    pub fn merge(&mut self, other: &P2Quantile) {
+        assert!(
+            (self.q - other.q).abs() < 1e-12,
+            "cannot merge P² estimators for different quantiles ({} vs {})",
+            self.q,
+            other.q
+        );
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        // A side still in warmup holds its exact samples: replay them.
+        if other.count <= 5 {
+            for &x in &other.warmup {
+                self.record(x);
+            }
+            return;
+        }
+        if self.count <= 5 {
+            let warmup = self.warmup.clone();
+            *self = other.clone();
+            for &x in &warmup {
+                self.record(x);
+            }
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let total = self.count + other.count;
+        let probs = [0.0, self.q / 2.0, self.q, (1.0 + self.q) / 2.0, 1.0];
+        let mut heights = [0.0; 5];
+        for (h, &p) in heights.iter_mut().zip(probs.iter()) {
+            *h = (n1 * self.quantile_at(p) + n2 * other.quantile_at(p)) / (n1 + n2);
+        }
+        // Enforce marker monotonicity (weighted averages of two monotone
+        // curves are monotone, but guard against float noise).
+        for i in 1..5 {
+            if heights[i] < heights[i - 1] {
+                heights[i] = heights[i - 1];
+            }
+        }
+        self.heights = heights;
+        self.count = total;
+        let extra = (total - 5) as f64;
+        for i in 0..5 {
+            self.desired[i] = match i {
+                0 => 1.0,
+                1 => 1.0 + 2.0 * self.q,
+                2 => 1.0 + 4.0 * self.q,
+                3 => 3.0 + 2.0 * self.q,
+                _ => 5.0,
+            } + extra * self.increments[i];
+            self.positions[i] = self.desired[i];
+        }
+    }
 }
 
 /// A histogram with fixed uniform buckets over `[0, limit)` plus an overflow
@@ -331,6 +433,34 @@ impl Histogram {
         self.overflow
     }
 
+    /// Upper bound of the covered range (`limit` passed to [`Histogram::new`]).
+    pub fn limit(&self) -> f64 {
+        self.bucket_width * self.counts.len() as f64
+    }
+
+    /// Merges another histogram with identical geometry into this one, so
+    /// parallel sweep shards can combine their distributions exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bucket width or bucket count differ — merging histograms
+    /// of different geometry would silently misattribute samples.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.counts.len() == other.counts.len() && self.bucket_width == other.bucket_width,
+            "cannot merge histograms of different geometry ({} x {} vs {} x {})",
+            self.counts.len(),
+            self.bucket_width,
+            other.counts.len(),
+            other.bucket_width
+        );
+        for (c, &o) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *c += o;
+        }
+        self.overflow += other.overflow;
+        self.total += other.total;
+    }
+
     /// Iterates `(bucket_lower_bound, count)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
         self.counts
@@ -340,6 +470,12 @@ impl Histogram {
     }
 
     /// Nearest-rank quantile from the histogram (bucket upper bound).
+    ///
+    /// When the target rank falls in the overflow bucket the result is the
+    /// histogram's `limit` — the tightest bound the histogram can state
+    /// ("at least the covered range"), and finite so downstream arithmetic
+    /// (means of quantiles, JSON export) stays well-defined. It previously
+    /// returned `f64::INFINITY`, which poisoned any aggregate it touched.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.total == 0 {
             return 0.0;
@@ -352,7 +488,7 @@ impl Histogram {
                 return (i + 1) as f64 * self.bucket_width;
             }
         }
-        f64::INFINITY
+        self.limit()
     }
 }
 
@@ -434,6 +570,17 @@ impl Summary {
     /// Largest sample.
     pub fn max(&self) -> f64 {
         self.welford.max()
+    }
+
+    /// Merges another summary into this one. Moments (count, mean,
+    /// variance, min, max) combine exactly via parallel Welford; quantile
+    /// markers combine by weighted marker interpolation (see
+    /// [`P2Quantile::merge`] for the approximation contract).
+    pub fn merge(&mut self, other: &Summary) {
+        self.welford.merge(&other.welford);
+        self.p50.merge(&other.p50);
+        self.p95.merge(&other.p95);
+        self.p99.merge(&other.p99);
     }
 }
 
@@ -559,6 +706,134 @@ mod tests {
     }
 
     #[test]
+    fn histogram_quantile_in_overflow_returns_limit() {
+        let mut h = Histogram::new(100.0, 10);
+        // 1 in-range sample, 3 overflow: the median rank lands in overflow.
+        h.record(5.0);
+        for _ in 0..3 {
+            h.record(500.0);
+        }
+        assert_eq!(h.quantile(0.5), 100.0, "overflow quantile is the limit");
+        assert_eq!(h.quantile(0.99), 100.0);
+        assert!(h.quantile(0.5).is_finite());
+        // The first rank is still served by the real bucket.
+        assert_eq!(h.quantile(0.1), 10.0);
+        assert_eq!(h.limit(), 100.0);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = Histogram::new(100.0, 10);
+        let mut b = Histogram::new(100.0, 10);
+        for x in [5.0, 15.0, 250.0] {
+            a.record(x);
+        }
+        for x in [15.5, 99.9, 300.0] {
+            b.record(x);
+        }
+        a.merge(&b);
+        let counts: Vec<u64> = a.iter().map(|(_, c)| c).collect();
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[1], 2);
+        assert_eq!(counts[9], 1);
+        assert_eq!(a.overflow(), 2);
+        assert_eq!(a.total(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "different geometry")]
+    fn histogram_merge_rejects_mismatched_geometry() {
+        let mut a = Histogram::new(100.0, 10);
+        let b = Histogram::new(100.0, 20);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn p2_merge_close_to_single_stream() {
+        for q in [0.5, 0.95] {
+            let mut single = P2Quantile::new(q);
+            let mut a = P2Quantile::new(q);
+            let mut b = P2Quantile::new(q);
+            let mut x = 0.0f64;
+            for i in 0..10_000 {
+                x = (x + 618.033_988_75) % 1000.0;
+                single.record(x);
+                if i % 2 == 0 {
+                    a.record(x);
+                } else {
+                    b.record(x);
+                }
+            }
+            a.merge(&b);
+            assert_eq!(a.count(), single.count());
+            let (merged, direct) = (a.estimate(), single.estimate());
+            assert!(
+                (merged - direct).abs() < 50.0,
+                "q={q}: merged {merged} too far from single-stream {direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn p2_merge_with_warmup_side_is_exact_replay() {
+        let mut a = P2Quantile::new(0.5);
+        let mut b = P2Quantile::new(0.5);
+        let mut direct = P2Quantile::new(0.5);
+        for x in [3.0, 1.0, 2.0] {
+            b.record(x);
+            direct.record(x);
+        }
+        a.merge(&b); // self empty: clone
+        assert_eq!(a.estimate(), direct.estimate());
+        let mut big = P2Quantile::new(0.5);
+        let mut x = 0.0f64;
+        for _ in 0..100 {
+            x = (x + 618.033_988_75) % 1000.0;
+            big.record(x);
+            direct.record(x);
+        }
+        a.merge(&big); // self in warmup, other initialized: replay self into other
+        assert_eq!(a.count(), 103);
+        let (merged, single) = (a.estimate(), direct.estimate());
+        assert!(
+            (merged - single).abs() < 100.0,
+            "merged {merged} vs single {single}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different quantiles")]
+    fn p2_merge_rejects_mismatched_quantiles() {
+        let mut a = P2Quantile::new(0.5);
+        a.merge(&P2Quantile::new(0.95));
+    }
+
+    #[test]
+    fn summary_merge_moments_exact_quantiles_close() {
+        let mut single = Summary::new();
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        let mut x = 0.0f64;
+        for i in 0..5_000 {
+            x = (x + 618.033_988_75) % 1000.0;
+            single.record(x);
+            if i % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), single.count());
+        assert!((a.mean() - single.mean()).abs() < 1e-9);
+        assert!((a.std_dev() - single.std_dev()).abs() < 1e-9);
+        assert_eq!(a.min(), single.min());
+        assert_eq!(a.max(), single.max());
+        assert!((a.p50() - single.p50()).abs() < 50.0);
+        assert!((a.p95() - single.p95()).abs() < 50.0);
+    }
+
+    #[test]
     fn summary_tracks_duration_samples() {
         let mut s = Summary::new();
         for ms in 1..=99u64 {
@@ -608,6 +883,49 @@ mod tests {
                 }
                 let bucketed: u64 = h.iter().map(|(_, c)| c).sum();
                 prop_assert_eq!(bucketed + h.overflow(), xs.len() as u64);
+            }
+
+            #[test]
+            fn histogram_quantile_always_finite(xs in proptest::collection::vec(0f64..500.0, 1..200), q in 0f64..1.0) {
+                let mut h = Histogram::new(100.0, 7);
+                for &x in &xs {
+                    h.record(x);
+                }
+                let v = h.quantile(q);
+                prop_assert!(v.is_finite());
+                prop_assert!(v <= h.limit() + 1e-9);
+            }
+
+            #[test]
+            fn histogram_merge_equals_single_stream(xs in proptest::collection::vec(0f64..500.0, 0..200)) {
+                let mut all = Histogram::new(100.0, 7);
+                let mut a = Histogram::new(100.0, 7);
+                let mut b = Histogram::new(100.0, 7);
+                for (i, &x) in xs.iter().enumerate() {
+                    all.record(x);
+                    if i % 2 == 0 { a.record(x); } else { b.record(x); }
+                }
+                a.merge(&b);
+                prop_assert_eq!(a, all);
+            }
+
+            #[test]
+            fn summary_merge_approximates_single_stream(xs in proptest::collection::vec(0f64..1e4, 1..400)) {
+                let mut single = Summary::new();
+                let mut a = Summary::new();
+                let mut b = Summary::new();
+                for (i, &x) in xs.iter().enumerate() {
+                    single.record(x);
+                    if i % 2 == 0 { a.record(x); } else { b.record(x); }
+                }
+                a.merge(&b);
+                prop_assert_eq!(a.count(), single.count());
+                prop_assert!((a.mean() - single.mean()).abs() < 1e-6);
+                let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+                let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                for e in [a.p50(), a.p95(), a.p99()] {
+                    prop_assert!(e >= lo - 1e-9 && e <= hi + 1e-9, "merged quantile {} outside [{}, {}]", e, lo, hi);
+                }
             }
         }
     }

@@ -235,6 +235,24 @@ impl<W, E> SlabStore<W, E> {
     }
 }
 
+/// Observed occupancy of the pending-event store, for telemetry snapshots.
+///
+/// With the slab layout, `near`/`far` are the two tiers of the time-split
+/// queue and `slab_slots`/`slab_free` describe the payload slab. With the
+/// inline baseline layout everything is one heap: `near` holds the total
+/// and the slab fields are zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueDepths {
+    /// Events inside the horizon (heap-ordered tier).
+    pub near: usize,
+    /// Events beyond the horizon (unsorted tier).
+    pub far: usize,
+    /// Allocated payload slots (high-water occupancy).
+    pub slab_slots: usize,
+    /// Recyclable payload slots.
+    pub slab_free: usize,
+}
+
 /// Physical layout of the pending-event set.
 enum Store<W, E> {
     /// Pre-overhaul layout: payloads inline in one `BinaryHeap`, sifted on
@@ -271,6 +289,23 @@ impl<W, E> EventQueue<W, E> {
         match &self.store {
             Store::Inline(heap) => heap.len(),
             Store::Slab(slab) => slab.len(),
+        }
+    }
+
+    fn depths(&self) -> QueueDepths {
+        match &self.store {
+            Store::Inline(heap) => QueueDepths {
+                near: heap.len(),
+                far: 0,
+                slab_slots: 0,
+                slab_free: 0,
+            },
+            Store::Slab(slab) => QueueDepths {
+                near: slab.near.len(),
+                far: slab.far.len(),
+                slab_slots: slab.slots.len(),
+                slab_free: slab.free.len(),
+            },
         }
     }
 
@@ -360,6 +395,17 @@ impl<'a, W, E> Context<'a, W, E> {
     /// The current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Occupancy of the pending-event store, excluding the event currently
+    /// firing. Lets telemetry events observe queue depth mid-run.
+    pub fn queue_depths(&self) -> QueueDepths {
+        self.queue.depths()
+    }
+
+    /// Number of events still pending.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
     }
 
     /// Schedules a boxed closure to fire at absolute time `at`.
@@ -481,6 +527,11 @@ impl<W, E: Fire<W>> Simulation<W, E> {
     /// Number of events still pending.
     pub fn pending_events(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Occupancy of the pending-event store (see [`QueueDepths`]).
+    pub fn queue_depths(&self) -> QueueDepths {
+        self.queue.depths()
     }
 
     /// Shared access to the world.
@@ -773,7 +824,7 @@ mod tests {
                 ctx: &mut Context<'_, Vec<(u64, u64)>, Self>,
             ) {
                 world.push((ctx.now().as_micros(), self.0));
-                if self.0 < 400 && self.0 % 5 == 0 {
+                if self.0 < 400 && self.0.is_multiple_of(5) {
                     // Follow-ups both near (sub-epoch) and far (multi-epoch);
                     // the guard keeps follow-ups from cascading forever.
                     ctx.schedule_event_in(SimDuration::from_millis(3), Mark(self.0 + 1_000));

@@ -27,6 +27,7 @@ use std::sync::Arc;
 
 use mutsvc_desim::sim::{Context, EventFn, Fire};
 use mutsvc_desim::time::{SimDuration, SimTime};
+use mutsvc_desim::trace::{SpanCtx, SpanKind, Tracer};
 
 use crate::network::Network;
 use crate::topology::NodeId;
@@ -194,6 +195,10 @@ struct Job<W: JobWorld> {
     done: JobDone<W>,
     /// Outstanding `Parallel` branches (only while blocked on a join).
     join_remaining: usize,
+    /// Open trace span for this job, when the spawning request is traced.
+    /// `None` for untraced requests: every instrumentation site below is
+    /// then a single predictable branch.
+    trace: Option<SpanCtx>,
 }
 
 /// Slab of in-flight jobs. Slots are recycled through a free list, so a
@@ -269,6 +274,20 @@ pub trait JobWorld: Sized + 'static {
     /// Called when a tagged [`Step::Fork`] branch finishes (e.g. an
     /// asynchronous update push has been applied everywhere).
     fn fork_completed(&mut self, _tag: u64, _at: SimTime) {}
+
+    /// The world's tracer, when it has one. The executor only consults this
+    /// for jobs spawned with a span context, so worlds without tracing pay
+    /// nothing beyond the `Option` check on `Job::trace`.
+    fn tracer_mut(&mut self) -> Option<&mut Tracer> {
+        None
+    }
+
+    /// Links whose one-way base latency meets this threshold are classified
+    /// as wide-area legs in emitted hop spans. The default cleanly splits
+    /// the paper's topology (sub-millisecond LAN vs 100 ms WAN).
+    fn trace_wan_threshold(&self) -> SimDuration {
+        SimDuration::from_millis(20)
+    }
 }
 
 /// Starts executing `steps` now; `done` fires when the program (excluding
@@ -279,7 +298,13 @@ pub fn spawn_job<W: JobWorld>(
     steps: Vec<Step>,
     done: EventFn<W, W::Event>,
 ) {
-    spawn(world, ctx, Program::Owned(steps), JobDone::Boxed(done));
+    spawn(
+        world,
+        ctx,
+        Program::Owned(steps),
+        JobDone::Boxed(done),
+        None,
+    );
 }
 
 /// Starts executing `program` now; the typed `done` event fires (synchronously,
@@ -292,7 +317,20 @@ pub fn spawn_program<W: JobWorld>(
     program: Program,
     done: W::Event,
 ) {
-    spawn(world, ctx, program, JobDone::Event(done));
+    spawn(world, ctx, program, JobDone::Event(done), None);
+}
+
+/// Like [`spawn_program`], but attributes the job's resource usage to an
+/// open trace span: a `Program` span is opened under `parent` and every CPU
+/// slice, link hop and delay the job performs is recorded as a child leaf.
+pub fn spawn_program_traced<W: JobWorld>(
+    world: &mut W,
+    ctx: &mut Context<'_, W, W::Event>,
+    program: Program,
+    done: W::Event,
+    parent: Option<SpanCtx>,
+) {
+    spawn(world, ctx, program, JobDone::Event(done), parent);
 }
 
 fn spawn<W: JobWorld>(
@@ -300,13 +338,30 @@ fn spawn<W: JobWorld>(
     ctx: &mut Context<'_, W, W::Event>,
     program: Program,
     done: JobDone<W>,
+    parent: Option<SpanCtx>,
 ) {
+    // Detached forks are never traced: they can outlive the request (whose
+    // trace buffer is recycled at completion) and are off the response path
+    // by construction.
+    let kind = match done {
+        JobDone::Join { .. } => Some(SpanKind::Branch),
+        JobDone::Fork { .. } => None,
+        _ => Some(SpanKind::Program),
+    };
+    let trace = match (parent, kind) {
+        (Some(p), Some(kind)) => {
+            let now = ctx.now();
+            world.tracer_mut().map(|t| t.open_span(p, now, kind))
+        }
+        _ => None,
+    };
     let id = world.jobs_mut().alloc(Job {
         program,
         cursor: 0,
         phase: Phase::Steps,
         done,
         join_remaining: 0,
+        trace,
     });
     advance_job(world, ctx, id);
 }
@@ -391,6 +446,29 @@ pub fn advance_job<W: JobWorld>(world: &mut W, ctx: &mut Context<'_, W, W::Event
                 // link FIFO order matches causality across long-latency paths.
                 let link = world.network_mut().route(from, to)[hop];
                 let arrival = world.network_mut().link_send(ctx.now(), link, bytes);
+                if let Some(tc) = job.trace {
+                    let now = ctx.now();
+                    let threshold = world.trace_wan_threshold();
+                    let net = world.network_mut();
+                    let prop = net.link_latency(link);
+                    let spec = net.topology().link(link);
+                    let ser = spec.serialization_time(bytes);
+                    let wan = spec.latency >= threshold;
+                    if let Some(t) = world.tracer_mut() {
+                        t.leaf(
+                            tc,
+                            now,
+                            arrival,
+                            SpanKind::Hop {
+                                link: link.index() as u32,
+                                bytes,
+                                propagation_us: prop.as_micros(),
+                                serialization_us: ser.as_micros(),
+                                wan,
+                            },
+                        );
+                    }
+                }
                 job.phase = Phase::Send {
                     from,
                     to,
@@ -426,6 +504,22 @@ pub fn advance_job<W: JobWorld>(world: &mut W, ctx: &mut Context<'_, W, W::Event
             }
             Fetched::Cpu(node, demand) => {
                 let completion = world.network_mut().cpu(ctx.now(), node, demand);
+                if let Some(tc) = job.trace {
+                    let now = ctx.now();
+                    let speed = world.network_mut().topology().node(node).speed;
+                    let service = demand.mul_f64(1.0 / speed);
+                    if let Some(t) = world.tracer_mut() {
+                        t.leaf(
+                            tc,
+                            now,
+                            completion,
+                            SpanKind::Cpu {
+                                node: node.index() as u32,
+                                service_us: service.as_micros(),
+                            },
+                        );
+                    }
+                }
                 world.jobs_mut().put(id, job);
                 ctx.schedule_event_at(completion, NetEvent::Advance { job: id }.into());
                 return;
@@ -449,6 +543,12 @@ pub fn advance_job<W: JobWorld>(world: &mut W, ctx: &mut Context<'_, W, W::Event
                 };
             }
             Fetched::Delay(d) => {
+                if let Some(tc) = job.trace {
+                    let now = ctx.now();
+                    if let Some(t) = world.tracer_mut() {
+                        t.leaf(tc, now, now + d, SpanKind::Delay);
+                    }
+                }
                 world.jobs_mut().put(id, job);
                 ctx.schedule_event_in(d, NetEvent::Advance { job: id }.into());
                 return;
@@ -463,6 +563,7 @@ pub fn advance_job<W: JobWorld>(world: &mut W, ctx: &mut Context<'_, W, W::Event
                 // synchronously (and the last one resumes the parent from
                 // inside its own advance), so the slot must be live first.
                 job.join_remaining = branches.len();
+                let parent_trace = job.trace;
                 world.jobs_mut().put(id, job);
                 for branch in branches {
                     spawn(
@@ -470,6 +571,7 @@ pub fn advance_job<W: JobWorld>(world: &mut W, ctx: &mut Context<'_, W, W::Event
                         ctx,
                         Program::Owned(branch),
                         JobDone::Join { parent: id },
+                        parent_trace,
                     );
                 }
                 // The parent may already have resumed (or completed) via the
@@ -478,8 +580,21 @@ pub fn advance_job<W: JobWorld>(world: &mut W, ctx: &mut Context<'_, W, W::Event
             }
             Fetched::Fork(branch, tag) => {
                 // Detached: consumes resources but the parent continues
-                // immediately after spawning.
-                spawn(world, ctx, Program::Owned(branch), JobDone::Fork { tag });
+                // immediately after spawning. Forks are not traced (they can
+                // outlive the request), but leave an instant marker behind.
+                if let Some(tc) = job.trace {
+                    let now = ctx.now();
+                    if let Some(t) = world.tracer_mut() {
+                        t.note(tc, now, "fork", tag.unwrap_or(0));
+                    }
+                }
+                spawn(
+                    world,
+                    ctx,
+                    Program::Owned(branch),
+                    JobDone::Fork { tag },
+                    None,
+                );
             }
         }
     }
@@ -492,6 +607,12 @@ fn complete<W: JobWorld>(
     id: JobId,
     job: Job<W>,
 ) {
+    if let Some(tc) = job.trace {
+        let now = ctx.now();
+        if let Some(t) = world.tracer_mut() {
+            t.close_span(tc, now);
+        }
+    }
     world.jobs_mut().release(id);
     match job.done {
         JobDone::Event(e) => e.fire(world, ctx),
@@ -777,6 +898,7 @@ mod tests {
                     let now = c.now();
                     w.finished.push((now, "cached"));
                 })),
+                None,
             );
         }
         sim.run();
@@ -791,6 +913,107 @@ mod tests {
         );
         // All slots recycled once the programs complete.
         assert_eq!(w.jobs.in_flight(), 0);
+    }
+
+    #[test]
+    fn traced_job_emits_span_tree() {
+        use mutsvc_desim::trace::{critical_path, TraceConfig, TraceMeta};
+
+        struct TracedWorld {
+            net: Network,
+            jobs: Jobs<TracedWorld>,
+            tracer: Tracer,
+        }
+        impl JobWorld for TracedWorld {
+            type Event = NetEvent;
+            fn network_mut(&mut self) -> &mut Network {
+                &mut self.net
+            }
+            fn jobs_mut(&mut self) -> &mut Jobs<TracedWorld> {
+                &mut self.jobs
+            }
+            fn tracer_mut(&mut self) -> Option<&mut Tracer> {
+                Some(&mut self.tracer)
+            }
+        }
+
+        let mut b = TopologyBuilder::new();
+        let main = b.node("main", 2);
+        let router = b.node("router", 8);
+        let edge = b.node("edge", 2);
+        b.duplex_link(main, router, ms(10), 1e9);
+        b.duplex_link(router, edge, ms(90), 1e9);
+        let w = TracedWorld {
+            net: Network::new(b.finalize()),
+            jobs: Jobs::new(),
+            tracer: Tracer::new(TraceConfig::full()),
+        };
+        let mut sim: Simulation<TracedWorld, NetEvent> = Simulation::with_events(w);
+        sim.schedule_at(SimTime::ZERO, move |w: &mut TracedWorld, c| {
+            let meta = TraceMeta {
+                label: "Page",
+                group: 0,
+                client: edge.index() as u32,
+                entry: edge.index() as u32,
+                measured: true,
+                wan_rts_logical: f64::NAN,
+            };
+            let now = c.now();
+            let root = w.tracer.start_request(now, meta).unwrap();
+            let steps = vec![
+                Step::cpu(edge, ms(5)),
+                Step::exchange(edge, main, 1_000, 4_000),
+                Step::Parallel(vec![vec![Step::Delay(ms(3))], vec![Step::cpu(edge, ms(8))]]),
+                Step::Fork {
+                    steps: vec![Step::transfer(edge, main, 64)],
+                    tag: None,
+                },
+            ];
+            spawn(
+                w,
+                c,
+                Program::Owned(steps),
+                JobDone::Boxed(Box::new(move |w: &mut TracedWorld, c| {
+                    let now = c.now();
+                    w.tracer.finish_request(root, now);
+                })),
+                Some(root),
+            );
+        });
+        sim.run();
+        let w = sim.into_world();
+        let traces = w.tracer.finished();
+        assert_eq!(traces.len(), 1);
+        let tr = &traces[0];
+        // request + program + cpu + 4 hops (2 each way) + 2 branches with a
+        // leaf each + fork note = 11 spans.
+        let hops = tr
+            .spans
+            .iter()
+            .filter(|s| matches!(s.kind, SpanKind::Hop { .. }))
+            .count();
+        assert_eq!(hops, 4, "exchange traverses 2 links each way");
+        let wan_hops = tr
+            .spans
+            .iter()
+            .filter(|s| matches!(s.kind, SpanKind::Hop { wan: true, .. }))
+            .count();
+        assert_eq!(wan_hops, 2, "only the 90ms leg counts as WAN");
+        assert!(tr
+            .spans
+            .iter()
+            .any(|s| matches!(s.kind, SpanKind::Note { name: "fork", .. })));
+        // Fork traffic is excluded from the span tree beyond the note.
+        let bd = critical_path(tr, |_| false);
+        assert_eq!(bd.wan_round_trips, 1.0);
+        // CPU: 5ms then the longer 8ms parallel arm; the 3ms delay arm is
+        // off the critical path.
+        assert_eq!(bd.service, SimDuration::from_millis(5 + 8));
+        assert_eq!(bd.delay, SimDuration::ZERO);
+        assert_eq!(bd.wan_propagation, SimDuration::from_millis(180));
+        assert_eq!(bd.lan_propagation, SimDuration::from_millis(20));
+        assert_eq!(bd.total, tr.duration);
+        assert_eq!(w.tracer.in_flight(), 0);
     }
 
     #[test]

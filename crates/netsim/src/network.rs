@@ -20,6 +20,10 @@ pub struct Network {
     links: Vec<FifoResource>,
     /// Per-link latency overrides (failure injection / degradation studies).
     latency_overrides: Vec<Option<SimDuration>>,
+    /// Messages serialized per directed link (telemetry).
+    link_msgs: Vec<u64>,
+    /// Payload bytes serialized per directed link (telemetry).
+    link_bytes: Vec<u64>,
 }
 
 impl Network {
@@ -36,11 +40,15 @@ impl Network {
             .map(|i| FifoResource::new(format!("link:{i}"), 1))
             .collect();
         let latency_overrides = vec![None; topology.link_count()];
+        let link_msgs = vec![0; topology.link_count()];
+        let link_bytes = vec![0; topology.link_count()];
         Network {
             topology,
             cpus,
             links,
             latency_overrides,
+            link_msgs,
+            link_bytes,
         }
     }
 
@@ -117,6 +125,8 @@ impl Network {
         let serialization = spec.serialization_time(bytes);
         let latency = self.link_latency(link);
         let sent = self.links[link.index()].admit(now, serialization);
+        self.link_msgs[link.index()] += 1;
+        self.link_bytes[link.index()] += bytes;
         sent + latency
     }
 
@@ -186,6 +196,13 @@ impl Network {
         self.links[link.index()].busy_time()
     }
 
+    /// `(messages, payload bytes)` serialized onto directed link `link`
+    /// via the event-driven path ([`Self::link_send`]) since the last
+    /// [`Self::reset_stats`].
+    pub fn link_traffic(&self, link: LinkId) -> (u64, u64) {
+        (self.link_msgs[link.index()], self.link_bytes[link.index()])
+    }
+
     /// Clears accumulated statistics (not occupancy) on all resources.
     /// Called when discarding warm-up measurements.
     pub fn reset_stats(&mut self) {
@@ -194,6 +211,12 @@ impl Network {
         }
         for r in &mut self.links {
             r.reset_stats();
+        }
+        for m in &mut self.link_msgs {
+            *m = 0;
+        }
+        for b in &mut self.link_bytes {
+            *b = 0;
         }
     }
 }

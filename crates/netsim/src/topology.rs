@@ -251,6 +251,11 @@ impl Topology {
         (0..self.nodes.len()).map(NodeId)
     }
 
+    /// All directed-link identifiers.
+    pub fn link_ids(&self) -> impl Iterator<Item = LinkId> + '_ {
+        (0..self.links.len()).map(LinkId)
+    }
+
     /// Host description.
     ///
     /// # Panics

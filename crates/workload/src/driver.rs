@@ -32,19 +32,22 @@ use mutsvc_apps::{App, PageKey, SessionKind, SessionState};
 use mutsvc_desim::metrics::Summary;
 use mutsvc_desim::rng::SimRng;
 use mutsvc_desim::sim::{Context, Fire, Simulation};
-use mutsvc_desim::time::SimTime;
+use mutsvc_desim::telemetry::{MetricId, TelemetryRegistry};
+use mutsvc_desim::time::{SimDuration, SimTime};
+use mutsvc_desim::trace::{SpanCtx, TraceMeta, Tracer};
 use mutsvc_middleware::{
-    BindStats, Binder, ComponentRegistry, ContainerCosts, ContainerState, DeferredApply,
+    BindStats, Binder, ComponentRegistry, ContainerCosts, ContainerState, Crossing, DeferredApply,
     DeploymentDescriptor,
 };
 use mutsvc_netsim::{
-    advance_job, spawn_program, JobWorld, Jobs, NetEvent, Network, NodeId, Program, ProtocolParams,
-    Step, Topology,
+    advance_job, spawn_program_traced, JobWorld, Jobs, LinkId, NetEvent, Network, NodeId, Program,
+    ProtocolParams, Step, Topology,
 };
 use mutsvc_relstore::{Database, TableId};
 
 use crate::spec::WorkloadSpec;
 use crate::stats::WorkloadStats;
+use crate::trace_report::TraceData;
 
 /// Everything needed to run one experiment.
 #[derive(Debug)]
@@ -105,6 +108,9 @@ pub struct ExperimentReport {
     pub boxed_events: u64,
     /// Bound-program cache counters.
     pub bind_cache: BindCacheStats,
+    /// Committed request traces and telemetry snapshots (present iff the
+    /// spec's [`crate::spec::TraceSettings`] enabled tracing).
+    pub trace: Option<TraceData>,
 }
 
 struct SessionSlot {
@@ -121,6 +127,8 @@ struct Inflight {
     /// Pre-interned stats ids (valid only when `measured`).
     series: u32,
     session: u32,
+    /// The request's root span, when this request was sampled for tracing.
+    trace: Option<SpanCtx>,
 }
 
 /// Identity of a memoized plan: what the request looks like and where it
@@ -136,6 +144,9 @@ struct PlanKey {
 struct CachedPlan {
     steps: Arc<[Step]>,
     stats: BindStats,
+    /// Logical WAN round trips of the bind's crossing list (computed only
+    /// when tracing is on; see [`logical_wan_rts`]).
+    wan_rts: f64,
     /// Tables the bind read, with the generation each had at capture time.
     reads: Vec<(TableId, u64)>,
     epoch: u64,
@@ -190,7 +201,7 @@ impl PlanCache {
         self.map.clear();
     }
 
-    fn lookup(&mut self, key: &PlanKey) -> Option<(Arc<[Step]>, BindStats)> {
+    fn lookup(&mut self, key: &PlanKey) -> Option<(Arc<[Step]>, BindStats, f64)> {
         if !self.enabled {
             return None;
         }
@@ -200,7 +211,7 @@ impl PlanCache {
                     && plan.reads.iter().all(|&(t, g)| self.generation(t) == g) =>
             {
                 self.hits += 1;
-                Some((Arc::clone(&plan.steps), plan.stats))
+                Some((Arc::clone(&plan.steps), plan.stats, plan.wan_rts))
             }
             Some(_) => {
                 self.map.remove(key);
@@ -215,7 +226,14 @@ impl PlanCache {
         }
     }
 
-    fn insert(&mut self, key: PlanKey, steps: Arc<[Step]>, stats: BindStats, reads: &[TableId]) {
+    fn insert(
+        &mut self,
+        key: PlanKey,
+        steps: Arc<[Step]>,
+        stats: BindStats,
+        wan_rts: f64,
+        reads: &[TableId],
+    ) {
         if !self.enabled {
             return;
         }
@@ -225,6 +243,7 @@ impl PlanCache {
             CachedPlan {
                 steps,
                 stats,
+                wan_rts,
                 reads,
                 epoch: self.epoch,
             },
@@ -262,6 +281,71 @@ struct World {
     /// group-name `String` on every measured request (see
     /// [`WorkloadSpec::legacy_baseline`]).
     legacy: bool,
+    tracer: Tracer,
+    telemetry: TelemetryRegistry,
+    /// Metric handles plus the snapshot cadence; `None` when the telemetry
+    /// series is off (the `Ev::Snapshot` event is then never scheduled).
+    telemetry_ids: Option<TelemetryIds>,
+}
+
+/// Registered metric handles for the periodic telemetry snapshot.
+struct TelemetryIds {
+    every: SimDuration,
+    queue_near: MetricId,
+    queue_far: MetricId,
+    slab_slots: MetricId,
+    slab_free: MetricId,
+    jobs_in_flight: MetricId,
+    plan_hits: MetricId,
+    plan_misses: MetricId,
+    plan_invalidations: MetricId,
+    entity_cache_hits: MetricId,
+    query_cache_hits: MetricId,
+    completed: MetricId,
+    traces_committed: MetricId,
+    traces_dropped: MetricId,
+    /// `(link, messages metric, bytes metric)` for every WAN leg.
+    wan_links: Vec<(LinkId, MetricId, MetricId)>,
+}
+
+impl TelemetryIds {
+    fn register(
+        registry: &mut TelemetryRegistry,
+        net: &Network,
+        wan_threshold: SimDuration,
+        every: SimDuration,
+    ) -> Self {
+        let wan_links = net
+            .topology()
+            .link_ids()
+            .filter(|&l| net.topology().link(l).latency >= wan_threshold)
+            .map(|l| {
+                let name = &net.topology().link(l).name;
+                (
+                    l,
+                    registry.register(format!("wan.{name}.msgs")),
+                    registry.register(format!("wan.{name}.bytes")),
+                )
+            })
+            .collect();
+        TelemetryIds {
+            every,
+            queue_near: registry.register("queue.near_depth"),
+            queue_far: registry.register("queue.far_depth"),
+            slab_slots: registry.register("queue.slab_slots"),
+            slab_free: registry.register("queue.slab_free"),
+            jobs_in_flight: registry.register("jobs.in_flight"),
+            plan_hits: registry.register("plan_cache.hits"),
+            plan_misses: registry.register("plan_cache.misses"),
+            plan_invalidations: registry.register("plan_cache.invalidations"),
+            entity_cache_hits: registry.register("bind.entity_cache_hits"),
+            query_cache_hits: registry.register("bind.query_cache_hits"),
+            completed: registry.register("requests.completed"),
+            traces_committed: registry.register("trace.committed"),
+            traces_dropped: registry.register("trace.dropped"),
+            wan_links,
+        }
+    }
 }
 
 /// The driver's typed event payload: every recurring event of a run is one
@@ -274,6 +358,9 @@ enum Ev {
     Issue { slot: u32 },
     /// A request's program completed: record it and free its slot.
     Done { token: u32 },
+    /// Periodic telemetry snapshot (scheduled only when the spec enables
+    /// the telemetry series, so traced-off runs never see this variant).
+    Snapshot,
 }
 
 impl From<NetEvent> for Ev {
@@ -288,6 +375,7 @@ impl Fire<World> for Ev {
             Ev::Net(NetEvent::Advance { job }) => advance_job(world, ctx, job),
             Ev::Issue { slot } => issue(world, ctx, slot as usize),
             Ev::Done { token } => complete_request(world, ctx, token),
+            Ev::Snapshot => snapshot_telemetry(world, ctx),
         }
     }
 }
@@ -301,6 +389,13 @@ impl JobWorld for World {
 
     fn jobs_mut(&mut self) -> &mut Jobs<World> {
         &mut self.jobs
+    }
+
+    fn tracer_mut(&mut self) -> Option<&mut Tracer> {
+        // The job executor only calls this after finding a span context on
+        // the job, which in turn only exists when tracing sampled the
+        // request — so no enabled-check is needed here.
+        Some(&mut self.tracer)
     }
 
     fn fork_completed(&mut self, tag: u64, at: SimTime) {
@@ -344,6 +439,73 @@ fn complete_request(world: &mut World, ctx: &mut Context<'_, World, Ev>, token: 
         world.stats.record_ids(inf.series, inf.session, response);
         world.completed += 1;
     }
+    if let Some(tc) = inf.trace {
+        world.tracer.finish_request(tc, ctx.now());
+    }
+}
+
+/// Whether any link on the `from -> to` route is a WAN leg (base latency at
+/// or above `threshold`). Mirrors the hop classification in the job
+/// executor, so logical and traced WAN accounting agree on what "WAN" means.
+fn path_is_wan(net: &Network, threshold: SimDuration, from: NodeId, to: NodeId) -> bool {
+    from != to
+        && net
+            .route(from, to)
+            .iter()
+            .any(|&l| net.topology().link(l).latency >= threshold)
+}
+
+/// Logical WAN round trips of a bind: the sum of round trips of every
+/// crossing whose path traverses a WAN leg. This is the *static* figure —
+/// derived from the binder's crossing list, independent of sampled protocol
+/// chatter — and is what the analyzer's static budget is compared against.
+fn logical_wan_rts(net: &Network, threshold: SimDuration, crossings: &[Crossing]) -> f64 {
+    crossings
+        .iter()
+        .filter(|c| path_is_wan(net, threshold, c.from, c.to))
+        .map(|c| f64::from(c.round_trips()))
+        .sum()
+}
+
+/// Samples every registered gauge/counter into one timestamped snapshot and
+/// re-arms the cadence event.
+fn snapshot_telemetry(world: &mut World, ctx: &mut Context<'_, World, Ev>) {
+    // Take the handles out so the registry and the rest of the world can be
+    // borrowed simultaneously.
+    let Some(ids) = world.telemetry_ids.take() else {
+        return;
+    };
+    let depths = ctx.queue_depths();
+    let t = &mut world.telemetry;
+    t.set(ids.queue_near, depths.near as f64);
+    t.set(ids.queue_far, depths.far as f64);
+    t.set(ids.slab_slots, depths.slab_slots as f64);
+    t.set(ids.slab_free, depths.slab_free as f64);
+    t.set(ids.jobs_in_flight, world.jobs.in_flight() as f64);
+    t.set(ids.plan_hits, world.plans.hits as f64);
+    t.set(ids.plan_misses, world.plans.misses as f64);
+    t.set(ids.plan_invalidations, world.plans.invalidations as f64);
+    t.set(
+        ids.entity_cache_hits,
+        world.bind_totals.entity_cache_hits as f64,
+    );
+    t.set(
+        ids.query_cache_hits,
+        world.bind_totals.query_cache_hits as f64,
+    );
+    t.set(ids.completed, world.completed as f64);
+    t.set(ids.traces_committed, world.tracer.finished().len() as f64);
+    t.set(ids.traces_dropped, world.tracer.dropped() as f64);
+    for &(link, msgs_id, bytes_id) in &ids.wan_links {
+        let (msgs, bytes) = world.net.link_traffic(link);
+        t.set(msgs_id, msgs as f64);
+        t.set(bytes_id, bytes as f64);
+    }
+    t.snapshot(ctx.now());
+    if ctx.now() + ids.every <= world.spec.horizon() {
+        ctx.schedule_event_in(ids.every, Ev::Snapshot);
+    }
+    world.telemetry_ids = Some(ids);
 }
 
 /// Issues the next request of session `slot_idx`, then re-schedules itself
@@ -400,6 +562,23 @@ fn issue(world: &mut World, ctx: &mut Context<'_, World, Ev>, slot_idx: usize) {
     } else {
         (0, 0)
     };
+    // One branch on the disabled path: `start_request` is only reached when
+    // the run's tracer is on; it then applies head sampling itself.
+    let trace = if world.tracer.enabled() {
+        world.tracer.start_request(
+            now,
+            TraceMeta {
+                label,
+                group: slot_group as u32,
+                client: client_node.index() as u32,
+                entry: entry_node.index() as u32,
+                measured,
+                wan_rts_logical: 0.0,
+            },
+        )
+    } else {
+        None
+    };
     let token = alloc_inflight(
         world,
         Inflight {
@@ -407,6 +586,7 @@ fn issue(world: &mut World, ctx: &mut Context<'_, World, Ev>, slot_idx: usize) {
             measured,
             series,
             session,
+            trace,
         },
     );
 
@@ -415,13 +595,22 @@ fn issue(world: &mut World, ctx: &mut Context<'_, World, Ev>, slot_idx: usize) {
         client: client_node,
         entry: entry_node,
     };
-    if let Some((steps, stats)) = world.plans.lookup(&key) {
+    if let Some((steps, stats, wan_rts)) = world.plans.lookup(&key) {
         // Replay the memoized program: no page construction, no binder, no
         // RNG draws (the bind was certified draw-free), identical steps.
         if measured {
             world.bind_totals.merge(&stats);
         }
-        spawn_program(world, ctx, Program::Shared(steps), Ev::Done { token });
+        if let Some(tc) = trace {
+            world.tracer.set_logical_wan(tc, wan_rts);
+        }
+        spawn_program_traced(
+            world,
+            ctx,
+            Program::Shared(steps),
+            Ev::Done { token },
+            trace,
+        );
     } else {
         let page = world.app.build_page(&page_spec);
         let bound = Binder::new(
@@ -447,14 +636,42 @@ fn issue(world: &mut World, ctx: &mut Context<'_, World, Ev>, slot_idx: usize) {
             world.deferred.insert(tag, (now, apply));
         }
 
+        // Logical WAN accounting is only needed when tracing is on; keep the
+        // untraced bind path free of route walks.
+        let wan_rts = if world.tracer.enabled() {
+            let threshold = world.trace_wan_threshold();
+            logical_wan_rts(&world.net, threshold, &bound.crossings)
+        } else {
+            0.0
+        };
+        if let Some(tc) = trace {
+            world.tracer.set_logical_wan(tc, wan_rts);
+        }
+
         if bound.replayable && world.plans.enabled {
             let steps: Arc<[Step]> = bound.steps.into();
-            world
-                .plans
-                .insert(key, Arc::clone(&steps), bound.stats, &bound.read_tables);
-            spawn_program(world, ctx, Program::Shared(steps), Ev::Done { token });
+            world.plans.insert(
+                key,
+                Arc::clone(&steps),
+                bound.stats,
+                wan_rts,
+                &bound.read_tables,
+            );
+            spawn_program_traced(
+                world,
+                ctx,
+                Program::Shared(steps),
+                Ev::Done { token },
+                trace,
+            );
         } else {
-            spawn_program(world, ctx, Program::Owned(bound.steps), Ev::Done { token });
+            spawn_program_traced(
+                world,
+                ctx,
+                Program::Owned(bound.steps),
+                Ev::Done { token },
+                trace,
+            );
         }
     }
 
@@ -541,8 +758,24 @@ pub fn run_experiment(input: ExperimentInput) -> ExperimentReport {
 
     let legacy = spec.legacy_baseline;
     let bind_cache = spec.bind_cache && !legacy;
+    let net = Network::new(topology);
+    let tracer = Tracer::new(spec.trace.tracer_config());
+    let mut telemetry = TelemetryRegistry::new();
+    let telemetry_ids = if spec.trace.telemetry_enabled() {
+        // The default WAN threshold must match the job executor's; the
+        // World impl doesn't override `trace_wan_threshold`.
+        Some(TelemetryIds::register(
+            &mut telemetry,
+            &net,
+            SimDuration::from_millis(20),
+            spec.trace.telemetry_every,
+        ))
+    } else {
+        None
+    };
+    let telemetry_every = telemetry_ids.as_ref().map(|ids| ids.every);
     let world = World {
-        net: Network::new(topology),
+        net,
         jobs: Jobs::new(),
         db,
         state,
@@ -567,6 +800,9 @@ pub fn run_experiment(input: ExperimentInput) -> ExperimentReport {
         measuring_from,
         completed: 0,
         legacy,
+        tracer,
+        telemetry,
+        telemetry_ids,
     };
 
     let mut sim: Simulation<World, Ev> = Simulation::with_events(world);
@@ -579,6 +815,10 @@ pub fn run_experiment(input: ExperimentInput) -> ExperimentReport {
     }
     // Reset resource statistics when the measured window opens.
     sim.schedule_at(measuring_from, |w: &mut World, _| w.net.reset_stats());
+    // Arm the telemetry cadence (typed event; never scheduled when off).
+    if let Some(every) = telemetry_every {
+        sim.schedule_event_at(SimTime::ZERO + every, Ev::Snapshot);
+    }
     // Failure injection. Perturbations change link timing, so every memoized
     // plan (whose steps carry admission-time assumptions) is dropped.
     for p in sim.world().spec.perturbations.clone() {
@@ -598,7 +838,7 @@ pub fn run_experiment(input: ExperimentInput) -> ExperimentReport {
     let events_fired = sim.events_fired();
     let boxed_events = sim.boxed_events_scheduled();
 
-    let world = sim.into_world();
+    let mut world = sim.into_world();
     let cpu_utilization = world
         .net
         .topology()
@@ -610,6 +850,27 @@ pub fn run_experiment(input: ExperimentInput) -> ExperimentReport {
             )
         })
         .collect();
+
+    let trace = if world.tracer.enabled() {
+        let topology = world.net.topology();
+        Some(TraceData {
+            traces: world.tracer.take_finished(),
+            node_names: topology
+                .node_ids()
+                .map(|n| topology.node(n).name.clone())
+                .collect(),
+            link_names: topology
+                .link_ids()
+                .map(|l| topology.link(l).name.clone())
+                .collect(),
+            group_names: world.spec.groups.iter().map(|g| g.name.clone()).collect(),
+            db_node: world.descriptor.db_node.index() as u32,
+            telemetry_names: world.telemetry.names().to_vec(),
+            telemetry: world.telemetry.take_snapshots(),
+        })
+    } else {
+        None
+    };
 
     ExperimentReport {
         config,
@@ -626,6 +887,7 @@ pub fn run_experiment(input: ExperimentInput) -> ExperimentReport {
             misses: world.plans.misses,
             invalidations: world.plans.invalidations,
         },
+        trace,
     }
 }
 
@@ -890,6 +1152,107 @@ mod tests {
             legacy.events_fired
         );
         assert!(modern.boxed_events <= 4);
+    }
+
+    #[test]
+    fn traced_run_commits_spans_and_telemetry() {
+        use crate::spec::TraceSettings;
+        use crate::trace_report::page_breakdown;
+        let mut input = small_input(40);
+        input.spec = input.spec.with_trace(TraceSettings::full());
+        let report = run_experiment(input);
+        let data = report.trace.expect("tracing enabled");
+        // Full tracing commits one trace per completed measured request.
+        let measured = data.traces.iter().filter(|t| t.meta.measured).count() as u64;
+        assert_eq!(measured, report.completed);
+        // 150 s horizon at a 5 s cadence.
+        assert_eq!(data.telemetry.len(), 30);
+        assert!(data
+            .telemetry_names
+            .iter()
+            .any(|n| n.starts_with("wan.") && n.ends_with(".bytes")));
+        let last = data.telemetry.last().unwrap();
+        let completed_idx = data
+            .telemetry_names
+            .iter()
+            .position(|n| n == "requests.completed")
+            .unwrap();
+        assert!(last.values[completed_idx] > 0.0);
+
+        // Critical-path attribution: the centralized config keeps every
+        // crossing on the LAN (no logical WAN RTs), but remote clients ride
+        // the WAN for the HTTP leg — one critical-path round trip and
+        // ~200 ms of WAN propagation the local group doesn't pay.
+        let rows = page_breakdown(&data);
+        let find = |group: &str| {
+            rows.iter()
+                .find(|r| r.group == group && r.page == "Item")
+                .unwrap()
+        };
+        let remote = find("remote1");
+        let local = find("local");
+        assert_eq!(remote.wan_rts_logical, 0.0);
+        assert!(remote.wan_rts_critical >= 1.0, "{remote:?}");
+        assert!(remote.wan_propagation_ms > 150.0, "{remote:?}");
+        assert_eq!(local.wan_rts_critical, 0.0, "{local:?}");
+        assert!(remote.mean_ms - local.mean_ms > 350.0);
+        // The decomposition covers the response time it explains.
+        let parts = remote.wan_propagation_ms
+            + remote.serialization_ms
+            + remote.queueing_ms
+            + remote.service_ms
+            + remote.db_ms
+            + remote.delay_ms;
+        assert!(
+            (parts - remote.mean_ms).abs() < remote.mean_ms * 0.05,
+            "parts {parts:.1} vs mean {:.1}",
+            remote.mean_ms
+        );
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_the_simulation() {
+        use crate::spec::TraceSettings;
+        let plain = run_experiment(small_input(41));
+        assert!(plain.trace.is_none());
+        let mut traced_input = small_input(41);
+        traced_input.spec = traced_input.spec.with_trace(TraceSettings::full());
+        let traced = run_experiment(traced_input);
+        assert_eq!(plain.stats, traced.stats);
+        assert_eq!(plain.completed, traced.completed);
+        assert_eq!(plain.bind_totals, traced.bind_totals);
+        assert_eq!(plain.staleness_ms, traced.staleness_ms);
+    }
+
+    #[test]
+    fn head_sampling_commits_a_fraction_plus_slow_outliers() {
+        use crate::spec::TraceSettings;
+        let mut full_input = small_input(42);
+        full_input.spec = full_input.spec.with_trace(TraceSettings::full());
+        let full = run_experiment(full_input);
+        let mut sampled_input = small_input(42);
+        sampled_input.spec = sampled_input.spec.with_trace(TraceSettings::sampled(10));
+        let sampled = run_experiment(sampled_input);
+        let n_full = full.trace.unwrap().traces.len();
+        let n_sampled = sampled.trace.unwrap().traces.len();
+        assert!(n_sampled < n_full / 5, "{n_sampled} vs {n_full}");
+        assert!(n_sampled > n_full / 20, "{n_sampled} vs {n_full}");
+    }
+
+    #[test]
+    fn span_logs_are_byte_identical_per_seed() {
+        use crate::spec::TraceSettings;
+        use crate::trace_report::jsonl;
+        let run = |seed| {
+            let mut input = small_input(seed);
+            input.spec = input.spec.with_trace(TraceSettings::full());
+            jsonl(&run_experiment(input).trace.unwrap())
+        };
+        let a = run(43);
+        let b = run(43);
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+        assert_ne!(a, run(44));
     }
 
     #[test]

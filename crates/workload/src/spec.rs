@@ -3,7 +3,76 @@
 use serde::{Deserialize, Serialize};
 
 use mutsvc_desim::time::{SimDuration, SimTime};
+use mutsvc_desim::trace::TraceConfig;
 use mutsvc_netsim::NodeId;
+
+/// Tracing and telemetry policy for one run. Fully disabled by default:
+/// the driver then never allocates a tracer buffer, never schedules the
+/// telemetry cadence event, and each instrumentation site costs a single
+/// branch (verified by the `--simperf` hot-path bench).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceSettings {
+    /// Master switch for span collection.
+    pub enabled: bool,
+    /// Head sampling: keep 1-in-N requests (`1` keeps everything).
+    pub sample_every: u64,
+    /// Additionally commit any request slower than the slowest committed
+    /// so far.
+    pub trace_slowest: bool,
+    /// Telemetry snapshot cadence ([`SimDuration::ZERO`] disables the
+    /// snapshot series; ignored unless `enabled`).
+    pub telemetry_every: SimDuration,
+}
+
+impl TraceSettings {
+    /// Tracing and telemetry off (the default).
+    pub fn off() -> Self {
+        TraceSettings {
+            enabled: false,
+            sample_every: 1,
+            trace_slowest: false,
+            telemetry_every: SimDuration::ZERO,
+        }
+    }
+
+    /// Trace every request; snapshot telemetry every 5 simulated seconds.
+    pub fn full() -> Self {
+        TraceSettings {
+            enabled: true,
+            sample_every: 1,
+            trace_slowest: true,
+            telemetry_every: SimDuration::from_secs(5),
+        }
+    }
+
+    /// Head-sample 1-in-`n` (plus slowest-so-far), telemetry every 5 s.
+    pub fn sampled(n: u64) -> Self {
+        TraceSettings {
+            sample_every: n.max(1),
+            ..TraceSettings::full()
+        }
+    }
+
+    /// The desim-level tracer policy this spec maps to.
+    pub fn tracer_config(&self) -> TraceConfig {
+        TraceConfig {
+            enabled: self.enabled,
+            sample_every: self.sample_every.max(1),
+            trace_slowest: self.trace_slowest,
+        }
+    }
+
+    /// Whether the telemetry snapshot series is on.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.enabled && !self.telemetry_every.is_zero()
+    }
+}
+
+impl Default for TraceSettings {
+    fn default() -> Self {
+        TraceSettings::off()
+    }
+}
 
 /// One group of clients co-located with an application server.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -80,6 +149,9 @@ pub struct WorkloadSpec {
     /// speedup in one process. Off by default.
     #[serde(default)]
     pub legacy_baseline: bool,
+    /// Tracing and telemetry policy (off by default; see [`TraceSettings`]).
+    #[serde(default)]
+    pub trace: TraceSettings,
 }
 
 fn default_bind_cache() -> bool {
@@ -98,7 +170,14 @@ impl WorkloadSpec {
             perturbations: Vec::new(),
             bind_cache: default_bind_cache(),
             legacy_baseline: false,
+            trace: TraceSettings::off(),
         }
+    }
+
+    /// Sets the tracing/telemetry policy.
+    pub fn with_trace(mut self, trace: TraceSettings) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Enables or disables the bound-program cache.

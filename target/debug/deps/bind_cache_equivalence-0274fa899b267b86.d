@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bind_cache_equivalence-0274fa899b267b86.d: crates/core/tests/bind_cache_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbind_cache_equivalence-0274fa899b267b86.rmeta: crates/core/tests/bind_cache_equivalence.rs Cargo.toml
+
+crates/core/tests/bind_cache_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

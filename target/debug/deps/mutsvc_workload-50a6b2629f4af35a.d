@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/mutsvc_workload-50a6b2629f4af35a.d: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/spec.rs crates/workload/src/stats.rs
+/root/repo/target/debug/deps/mutsvc_workload-50a6b2629f4af35a.d: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/spec.rs crates/workload/src/stats.rs crates/workload/src/trace_report.rs
 
-/root/repo/target/debug/deps/libmutsvc_workload-50a6b2629f4af35a.rlib: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/spec.rs crates/workload/src/stats.rs
+/root/repo/target/debug/deps/libmutsvc_workload-50a6b2629f4af35a.rlib: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/spec.rs crates/workload/src/stats.rs crates/workload/src/trace_report.rs
 
-/root/repo/target/debug/deps/libmutsvc_workload-50a6b2629f4af35a.rmeta: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/spec.rs crates/workload/src/stats.rs
+/root/repo/target/debug/deps/libmutsvc_workload-50a6b2629f4af35a.rmeta: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/spec.rs crates/workload/src/stats.rs crates/workload/src/trace_report.rs
 
 crates/workload/src/lib.rs:
 crates/workload/src/driver.rs:
 crates/workload/src/spec.rs:
 crates/workload/src/stats.rs:
+crates/workload/src/trace_report.rs:

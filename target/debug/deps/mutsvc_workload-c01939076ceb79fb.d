@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/mutsvc_workload-c01939076ceb79fb.d: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/spec.rs crates/workload/src/stats.rs
+/root/repo/target/debug/deps/mutsvc_workload-c01939076ceb79fb.d: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/spec.rs crates/workload/src/stats.rs crates/workload/src/trace_report.rs
 
-/root/repo/target/debug/deps/mutsvc_workload-c01939076ceb79fb: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/spec.rs crates/workload/src/stats.rs
+/root/repo/target/debug/deps/mutsvc_workload-c01939076ceb79fb: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/spec.rs crates/workload/src/stats.rs crates/workload/src/trace_report.rs
 
 crates/workload/src/lib.rs:
 crates/workload/src/driver.rs:
 crates/workload/src/spec.rs:
 crates/workload/src/stats.rs:
+crates/workload/src/trace_report.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/mutsvc_workload-d1cc4513c9e0145a.d: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/spec.rs crates/workload/src/stats.rs Cargo.toml
+/root/repo/target/debug/deps/mutsvc_workload-d1cc4513c9e0145a.d: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/spec.rs crates/workload/src/stats.rs crates/workload/src/trace_report.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmutsvc_workload-d1cc4513c9e0145a.rmeta: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/spec.rs crates/workload/src/stats.rs Cargo.toml
+/root/repo/target/debug/deps/libmutsvc_workload-d1cc4513c9e0145a.rmeta: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/spec.rs crates/workload/src/stats.rs crates/workload/src/trace_report.rs Cargo.toml
 
 crates/workload/src/lib.rs:
 crates/workload/src/driver.rs:
 crates/workload/src/spec.rs:
 crates/workload/src/stats.rs:
+crates/workload/src/trace_report.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_report-11bce507541a132b.d: crates/bench/src/bin/repro_report.rs
+
+/root/repo/target/debug/deps/repro_report-11bce507541a132b: crates/bench/src/bin/repro_report.rs
+
+crates/bench/src/bin/repro_report.rs:

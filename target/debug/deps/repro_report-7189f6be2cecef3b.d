@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_report-7189f6be2cecef3b.d: crates/bench/src/bin/repro_report.rs
+
+/root/repo/target/debug/deps/repro_report-7189f6be2cecef3b: crates/bench/src/bin/repro_report.rs
+
+crates/bench/src/bin/repro_report.rs:

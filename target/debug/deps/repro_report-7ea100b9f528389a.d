@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_report-7ea100b9f528389a.d: crates/bench/src/bin/repro_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_report-7ea100b9f528389a.rmeta: crates/bench/src/bin/repro_report.rs Cargo.toml
+
+crates/bench/src/bin/repro_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

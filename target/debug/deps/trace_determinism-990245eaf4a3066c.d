@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_determinism-990245eaf4a3066c.d: crates/bench/tests/trace_determinism.rs
+
+/root/repo/target/debug/deps/trace_determinism-990245eaf4a3066c: crates/bench/tests/trace_determinism.rs
+
+crates/bench/tests/trace_determinism.rs:

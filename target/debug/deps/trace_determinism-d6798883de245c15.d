@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_determinism-d6798883de245c15.d: crates/bench/tests/trace_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_determinism-d6798883de245c15.rmeta: crates/bench/tests/trace_determinism.rs Cargo.toml
+
+crates/bench/tests/trace_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mutsvc_analyze-fc81f3ffb11a5002.d: crates/analyze/src/lib.rs crates/analyze/src/diagnostics.rs crates/analyze/src/walker.rs
+
+/root/repo/target/release/deps/libmutsvc_analyze-fc81f3ffb11a5002.rlib: crates/analyze/src/lib.rs crates/analyze/src/diagnostics.rs crates/analyze/src/walker.rs
+
+/root/repo/target/release/deps/libmutsvc_analyze-fc81f3ffb11a5002.rmeta: crates/analyze/src/lib.rs crates/analyze/src/diagnostics.rs crates/analyze/src/walker.rs
+
+crates/analyze/src/lib.rs:
+crates/analyze/src/diagnostics.rs:
+crates/analyze/src/walker.rs:

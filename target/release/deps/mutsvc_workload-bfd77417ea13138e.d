@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/mutsvc_workload-bfd77417ea13138e.d: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/spec.rs crates/workload/src/stats.rs
+/root/repo/target/release/deps/mutsvc_workload-bfd77417ea13138e.d: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/spec.rs crates/workload/src/stats.rs crates/workload/src/trace_report.rs
 
-/root/repo/target/release/deps/libmutsvc_workload-bfd77417ea13138e.rlib: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/spec.rs crates/workload/src/stats.rs
+/root/repo/target/release/deps/libmutsvc_workload-bfd77417ea13138e.rlib: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/spec.rs crates/workload/src/stats.rs crates/workload/src/trace_report.rs
 
-/root/repo/target/release/deps/libmutsvc_workload-bfd77417ea13138e.rmeta: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/spec.rs crates/workload/src/stats.rs
+/root/repo/target/release/deps/libmutsvc_workload-bfd77417ea13138e.rmeta: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/spec.rs crates/workload/src/stats.rs crates/workload/src/trace_report.rs
 
 crates/workload/src/lib.rs:
 crates/workload/src/driver.rs:
 crates/workload/src/spec.rs:
 crates/workload/src/stats.rs:
+crates/workload/src/trace_report.rs:

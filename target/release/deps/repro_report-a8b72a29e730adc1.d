@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_report-a8b72a29e730adc1.d: crates/bench/src/bin/repro_report.rs
+
+/root/repo/target/release/deps/repro_report-a8b72a29e730adc1: crates/bench/src/bin/repro_report.rs
+
+crates/bench/src/bin/repro_report.rs:
