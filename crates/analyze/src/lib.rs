@@ -35,6 +35,7 @@
 //! | `W106` | replicated stateful session not hosted on the central node |
 //! | `W107` | caching machinery deployed but no page is ever memoizable |
 //! | `W108` | traced WAN round trips disagree with the static walk |
+//! | `W109` | every read-only page needs the wide area: a WAN partition blanks the edges |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -126,6 +127,7 @@ pub fn analyze(input: &AnalyzeInput<'_>) -> Report {
     check_query_tags(input, &walks, &mut report);
     check_stateful_replicas(input, &mut report);
     check_plan_cacheability(input, &walks, &mut report);
+    check_wan_single_point_of_failure(input, &walks, &mut report);
     emit_walk_lints(input, &walks, &mut report);
 
     report.sort_diagnostics();
@@ -562,6 +564,52 @@ fn check_plan_cacheability(input: &AnalyzeInput<'_>, walks: &[PageWalk], report:
             } else {
                 "edge query caches"
             }
+        ),
+        span: Span::descriptor("descriptor.placements"),
+    });
+}
+
+/// W109: the central site is a wide-area single point of failure for reads.
+///
+/// A read-only page is *partition-servable* when an edge entry can complete
+/// it without any wide-area crossing — precisely the pages that keep
+/// answering when the WAN leg to the central site is cut (the fault suite's
+/// main-link partition). Writes legitimately need the center, so only
+/// read-only pages (no written tables) are considered. If a deployment
+/// leaves edge clients with *no* partition-servable read page, every
+/// interaction dies with the WAN and the warning fires — the centralized
+/// baseline by construction, while §4.3's entity replicas already keep
+/// catalog reads local.
+fn check_wan_single_point_of_failure(
+    input: &AnalyzeInput<'_>,
+    walks: &[PageWalk],
+    report: &mut Report,
+) {
+    let nodes = input.nodes;
+    let read_pages: Vec<&PageWalk> = walks
+        .iter()
+        .filter(|w| w.written_tables.is_empty())
+        .collect();
+    if read_pages.is_empty() {
+        return;
+    }
+    let partition_servable = |w: &PageWalk| {
+        (w.entry == nodes.edge1 || w.entry == nodes.edge2)
+            && !w.crossings.iter().any(|c| nodes.is_wan(c.from, c.to))
+    };
+    if read_pages.iter().any(|w| partition_servable(w)) {
+        return;
+    }
+    report.diagnostics.push(Diagnostic {
+        code: "W109",
+        severity: Severity::Warning,
+        component: None,
+        node: Some(node_label(nodes, nodes.edge1)),
+        message: format!(
+            "all {} read-only pages need the wide area to complete — a WAN partition \
+             between the edges and the central site leaves edge clients with no servable \
+             page; deploy entity replicas or query caches (§4.3–§4.4) to keep reads local",
+            read_pages.len()
         ),
         span: Span::descriptor("descriptor.placements"),
     });

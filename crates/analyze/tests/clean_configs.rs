@@ -1,7 +1,9 @@
 //! The paper's own deployments must lint clean: every configuration of §4,
 //! for both applications, produces **zero** diagnostics — no errors (the
 //! acceptance bar) and no warnings (the descriptors follow their own
-//! advice).
+//! advice). The one deliberate exception is the centralized baseline, the
+//! paper's motivating strawman: it *is* a wide-area single point of failure,
+//! and the linter says so (`W109`) — exactly that warning and nothing else.
 
 use mutsvc_analyze::analyze_target;
 use mutsvc_core::{AppKind, Config};
@@ -12,13 +14,24 @@ fn every_paper_deployment_is_diagnostic_free() {
     for app in AppKind::all() {
         for config in Config::all() {
             let report = analyze_target(app, config);
-            assert!(
-                report.diagnostics.is_empty(),
-                "{}/{} should lint clean:\n{}",
-                app.name(),
-                config.name(),
-                report.render_text()
-            );
+            if config == Config::Centralized {
+                assert_eq!(
+                    report.codes(),
+                    vec!["W109"],
+                    "{}/centralized should warn about its single point of failure \
+                     and nothing else:\n{}",
+                    app.name(),
+                    report.render_text()
+                );
+            } else {
+                assert!(
+                    report.diagnostics.is_empty(),
+                    "{}/{} should lint clean:\n{}",
+                    app.name(),
+                    config.name(),
+                    report.render_text()
+                );
+            }
             assert!(!report.has_errors());
             // Every page stays within its §4.2 budget with room to spare
             // already checked; the summary must cover the full page set.

@@ -324,3 +324,48 @@ fn w106_replicated_stateful_session_off_the_central_node() {
     );
     assert!(report.codes().contains(&"W106"), "{}", report.render_text());
 }
+
+#[test]
+fn w109_centralized_is_a_wide_area_single_point_of_failure() {
+    use mutsvc_analyze::analyze_target;
+    // The paper's strawman: every page — reads included — dies with the WAN.
+    let report = analyze_target(AppKind::PetStore, Config::Centralized);
+    assert!(report.codes().contains(&"W109"), "{}", report.render_text());
+    let w109 = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "W109")
+        .unwrap();
+    assert!(w109.message.contains("WAN partition"));
+
+    // §4.3 replicas keep catalog reads local: no single point of failure
+    // for reads, in either application.
+    for app in AppKind::all() {
+        let report = analyze_target(app, Config::StatefulCaching);
+        assert!(
+            !report.codes().contains(&"W109"),
+            "{}: {}",
+            app.name(),
+            report.render_text()
+        );
+    }
+}
+
+#[test]
+fn w109_fires_when_damage_pins_every_read_to_the_center() {
+    // Undo §4.3: strip every entity replica from the stateful-caching
+    // deployment. Catalog reads fall back to the center and the edge is
+    // again one cut away from serving nothing.
+    let report = report_for(
+        AppKind::PetStore,
+        Config::StatefulCaching,
+        |input, nodes| {
+            input.descriptor.entity_propagation = UpdatePropagation::None;
+            for placement in input.descriptor.placements.values_mut() {
+                placement.replicas.remove(&nodes.edge1);
+                placement.replicas.remove(&nodes.edge2);
+            }
+        },
+    );
+    assert!(report.codes().contains(&"W109"), "{}", report.render_text());
+}

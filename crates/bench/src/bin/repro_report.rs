@@ -4,7 +4,8 @@
 //! repro-report [--app petstore|rubis|all] [--paper|--quick] [--seed N]
 //!              [--tables] [--figures] [--compare] [--validate]
 //!              [--sessions] [--topology] [--wiring] [--placement]
-//!              [--simperf [--smoke]]
+//!              [--simperf [--smoke]] [--trace [config] [--smoke]]
+//!              [--faults [--smoke]]
 //! ```
 //!
 //! `--placement` measures placement move-evaluation throughput (full
@@ -25,12 +26,23 @@
 //! `mutsvc-analyze`'s static walk (`W108`). `--smoke` shortens the windows
 //! and traces every request.
 //!
+//! `--faults` runs the standard WAN fault suite (main-link partition, edge
+//! crash, lossy link) across the five configurations with the recovery
+//! policy on and off, prints the edge-1 availability table, checks the
+//! graceful-degradation ordering (centralized < remote-facade < caching
+//! configurations under the partition) and writes `BENCH_faults.json`.
+//! `--smoke` shortens the windows for CI's schema-validation gate.
+//!
 //! With no selection flags, everything is printed. `--quick` (default) uses
 //! a 90 s warm-up + 300 s measured window; `--paper` runs the full
 //! one-hour windows of §3.3.
 
 use mutsvc_apps::petstore::{BROWSER_MIX as PS_MIX, BUYER_SEQUENCE};
 use mutsvc_apps::rubis::{BIDDER_SEQUENCE, BROWSER_MIX as RUBIS_MIX};
+use mutsvc_bench::fault_artifacts::{
+    partition_ordering_violations, render_availability_table, render_faults_json, run_fault_suite,
+    validate_faults_json, FaultCell,
+};
 use mutsvc_bench::placement_report::{measure_placement_throughput, render_placement_json};
 use mutsvc_bench::run_sweep_parallel;
 use mutsvc_bench::simperf_report::{measure_simperf, render_simperf_json, speedup_at};
@@ -60,6 +72,7 @@ struct Options {
     smoke: bool,
     trace: bool,
     trace_config: Option<Config>,
+    faults: bool,
 }
 
 fn parse_args() -> Options {
@@ -80,6 +93,7 @@ fn parse_args() -> Options {
         smoke: false,
         trace: false,
         trace_config: None,
+        faults: false,
     };
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
@@ -112,6 +126,7 @@ fn parse_args() -> Options {
             "--placement" => opts.placement = true,
             "--simperf" => opts.simperf = true,
             "--smoke" => opts.smoke = true,
+            "--faults" => opts.faults = true,
             "--trace" => {
                 opts.trace = true;
                 // Optional configuration name ("remote-facade", ...).
@@ -127,7 +142,7 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => {
                 println!(
-                    "repro-report [--app petstore|rubis|all] [--paper|--quick] [--seed N]\n             [--tables] [--figures] [--compare] [--validate] [--percentiles]\n             [--sessions] [--topology] [--wiring] [--placement]\n             [--simperf [--smoke]] [--trace [config] [--smoke]]"
+                    "repro-report [--app petstore|rubis|all] [--paper|--quick] [--seed N]\n             [--tables] [--figures] [--compare] [--validate] [--percentiles]\n             [--sessions] [--topology] [--wiring] [--placement]\n             [--simperf [--smoke]] [--trace [config] [--smoke]]\n             [--faults [--smoke]]"
                 );
                 std::process::exit(0);
             }
@@ -147,7 +162,8 @@ fn parse_args() -> Options {
         || opts.wiring
         || opts.placement
         || opts.simperf
-        || opts.trace)
+        || opts.trace
+        || opts.faults)
     {
         opts.tables = true;
         opts.figures = true;
@@ -357,6 +373,61 @@ fn print_trace(opts: &Options) {
     }
 }
 
+fn print_faults(opts: &Options) {
+    let mode = if opts.smoke {
+        "smoke"
+    } else if opts.quick {
+        "quick"
+    } else {
+        "paper"
+    };
+    let mut sweeps: Vec<(AppKind, Vec<FaultCell>)> = Vec::new();
+    let mut violations = Vec::new();
+    for &app in &opts.apps {
+        eprintln!(
+            "running {} fault suite ({mode} mode, seed {}; 5 configs x 3 episodes x 2 policies)...",
+            app.name(),
+            opts.seed
+        );
+        let cells = run_fault_suite(app, opts.quick, opts.smoke, opts.seed);
+        println!("{}", render_availability_table(app, &cells));
+        for v in partition_ordering_violations(&cells) {
+            violations.push(format!("{}: {v}", app.name()));
+        }
+        sweeps.push((app, cells));
+    }
+    let json = render_faults_json(&sweeps, opts.seed, mode);
+    match validate_faults_json(&json) {
+        Ok(cells) => {
+            let path = "BENCH_faults.json";
+            match std::fs::write(path, &json) {
+                Ok(()) => println!("wrote {path} ({cells} cells)"),
+                Err(e) => eprintln!("failed to write {path}: {e}"),
+            }
+        }
+        Err(e) => {
+            eprintln!("invalid BENCH_faults.json: {e}");
+            std::process::exit(1);
+        }
+    }
+    if violations.is_empty() {
+        println!(
+            "graceful degradation: centralized < remote-facade < caching \
+             configurations under the main-link partition"
+        );
+    } else {
+        println!("graceful-degradation ordering violations:");
+        for v in &violations {
+            println!("  - {v}");
+        }
+        // Smoke windows are too short for stable availability ordering;
+        // the full windows must reproduce the paper's claim.
+        if !opts.smoke {
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let opts = parse_args();
     if opts.placement {
@@ -367,6 +438,9 @@ fn main() {
     }
     if opts.trace {
         print_trace(&opts);
+    }
+    if opts.faults {
+        print_faults(&opts);
     }
     if opts.sessions {
         print_sessions();

@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault_artifacts;
 pub mod placement_report;
 pub mod simperf_report;
 pub mod trace_artifacts;

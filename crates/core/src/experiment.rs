@@ -5,11 +5,13 @@ use mutsvc_desim::time::SimDuration;
 use mutsvc_middleware::ContainerCosts;
 use mutsvc_netsim::ProtocolParams;
 use mutsvc_workload::{
-    paper_groups, run_experiment, ExperimentInput, ExperimentReport, TraceSettings, WorkloadSpec,
+    paper_groups, run_experiment, ExperimentInput, ExperimentReport, FaultPolicy, FaultSettings,
+    TraceSettings, WorkloadSpec,
 };
 use serde::{Deserialize, Serialize};
 
 use crate::configs::{petstore_descriptor, rubis_descriptor, Config};
+use crate::faultsuite::FaultCase;
 use crate::topology::{paper_topology, PaperNodes};
 
 /// Which application a scenario drives.
@@ -56,6 +58,14 @@ pub struct Scenario {
     /// Tracing and telemetry policy (off by default).
     #[serde(default)]
     pub trace: TraceSettings,
+    /// Fault schedule, timeout and recovery policy (off by default).
+    #[serde(default)]
+    pub faults: FaultSettings,
+    /// A standard-suite episode scripted at build time against the built
+    /// topology (it needs link/node indices, which only exist then). When
+    /// set, it replaces `faults.schedule`.
+    #[serde(default)]
+    pub fault_case: Option<FaultCase>,
 }
 
 impl Scenario {
@@ -71,6 +81,8 @@ impl Scenario {
             wan_one_way: None,
             rmi_extra_round_trip_prob: None,
             trace: TraceSettings::off(),
+            faults: FaultSettings::off(),
+            fault_case: None,
         }
     }
 
@@ -87,6 +99,8 @@ impl Scenario {
             wan_one_way: None,
             rmi_extra_round_trip_prob: None,
             trace: TraceSettings::off(),
+            faults: FaultSettings::off(),
+            fault_case: None,
         }
     }
 
@@ -111,6 +125,19 @@ impl Scenario {
     /// Sets the tracing/telemetry policy.
     pub fn with_trace(mut self, trace: TraceSettings) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Sets an explicit fault schedule, timeout and policy.
+    pub fn with_faults(mut self, faults: FaultSettings) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Runs a standard-suite fault episode under the given recovery policy.
+    pub fn with_fault_case(mut self, case: FaultCase, policy: FaultPolicy) -> Self {
+        self.fault_case = Some(case);
+        self.faults.policy = policy;
         self
     }
 
@@ -167,10 +194,15 @@ impl Scenario {
             (nodes.client_edge1, entry1),
             (nodes.client_edge2, entry2),
         );
+        let mut faults = self.faults.clone();
+        if let Some(case) = self.fault_case {
+            faults.schedule = case.schedule(&topology, &nodes, self.warmup, self.duration);
+        }
         let spec = WorkloadSpec::paper_load(groups)
             .with_duration(self.warmup, self.duration)
             .with_seed(self.seed)
-            .with_trace(self.trace);
+            .with_trace(self.trace)
+            .with_faults(faults);
 
         (
             ExperimentInput {
@@ -230,6 +262,29 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn partition_availability_orders_centralized_below_caching() {
+        let run = |config| {
+            Scenario::quick(AppKind::PetStore, config)
+                .with_fault_case(FaultCase::MainLinkPartition, FaultPolicy::resilient())
+                .run()
+        };
+        let central = run(Config::Centralized);
+        let caching = run(Config::StatefulCaching);
+        let c = central.stats.outcome("remote1").unwrap().availability();
+        let s = caching.stats.outcome("remote1").unwrap().availability();
+        assert!(c < 0.7, "centralized goes dark behind the cut: {c}");
+        assert!(s > c + 0.15, "caching {s} vs centralized {c}");
+        // Reads served from partitioned caches are recorded as stale, not
+        // silently passed off as fresh.
+        assert!(caching.stats.total_outcome().stale_served > 0);
+        // The edge-2 group never crosses the cut leg.
+        assert_eq!(
+            central.stats.outcome("remote2").unwrap().availability(),
+            1.0
+        );
     }
 
     #[test]

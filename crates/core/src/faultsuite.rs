@@ -1,0 +1,189 @@
+//! The standard WAN fault suite.
+//!
+//! Three canonical failure episodes against the Figure 2 testbed, each
+//! scripted into the measured window of a [`crate::Scenario`]:
+//!
+//! * **main-link partition** — both directions of the edge-1 WAN leg go
+//!   down for the middle half of the window. The centralized configuration
+//!   goes dark for edge-1 clients; configurations with edge caches keep
+//!   answering reads locally (with recorded staleness when the policy's
+//!   stale-serve knob is on).
+//! * **edge crash** — the edge-1 application process crashes for the middle
+//!   half of the window, losing its caches; the host keeps forwarding, so
+//!   failover to the main server is physically possible and a restart
+//!   replays cache warm-up cold.
+//! * **lossy link** — the edge-1 uplink drops 5 % of messages for the
+//!   middle half of the window; retry policies recover most requests.
+//!
+//! Schedules are scripted (not random), so a suite run is a deterministic
+//! function of the scenario seed and timing alone.
+
+use mutsvc_desim::fault::{FaultEvent, FaultKind, FaultSchedule};
+use mutsvc_desim::time::SimDuration;
+use mutsvc_netsim::{LinkId, Topology};
+use serde::{Deserialize, Serialize};
+
+use crate::topology::PaperNodes;
+
+/// Message-drop probability of the lossy-link episode.
+pub const LOSSY_LINK_PROBABILITY: f64 = 0.05;
+
+/// One canonical failure episode of the standard suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultCase {
+    /// The edge-1 WAN leg partitions in both directions.
+    MainLinkPartition,
+    /// The edge-1 application process crashes and later restarts.
+    EdgeCrash,
+    /// The edge-1 uplink drops messages.
+    LossyLink,
+}
+
+impl FaultCase {
+    /// All cases, in report order.
+    pub fn all() -> [FaultCase; 3] {
+        [
+            FaultCase::MainLinkPartition,
+            FaultCase::EdgeCrash,
+            FaultCase::LossyLink,
+        ]
+    }
+
+    /// Stable name used in reports and JSON artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultCase::MainLinkPartition => "main-link-partition",
+            FaultCase::EdgeCrash => "edge-crash",
+            FaultCase::LossyLink => "lossy-link",
+        }
+    }
+
+    /// Scripts the episode against a built paper topology: onset at one
+    /// quarter into the measured window, recovery at three quarters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology lacks the paper's edge-1 links (it was not
+    /// built by [`crate::topology::paper_topology`]).
+    pub fn schedule(
+        self,
+        topology: &Topology,
+        nodes: &PaperNodes,
+        warmup: SimDuration,
+        duration: SimDuration,
+    ) -> FaultSchedule {
+        let down = warmup + duration / 4;
+        let up = warmup + (duration / 4) * 3;
+        let uplink = directed_link(topology, nodes, true);
+        let downlink = directed_link(topology, nodes, false);
+        let events = match self {
+            FaultCase::MainLinkPartition => vec![
+                FaultEvent {
+                    at: down,
+                    kind: FaultKind::LinkDown { link: uplink },
+                },
+                FaultEvent {
+                    at: down,
+                    kind: FaultKind::LinkDown { link: downlink },
+                },
+                FaultEvent {
+                    at: up,
+                    kind: FaultKind::LinkRestore { link: uplink },
+                },
+                FaultEvent {
+                    at: up,
+                    kind: FaultKind::LinkRestore { link: downlink },
+                },
+            ],
+            FaultCase::EdgeCrash => {
+                let node = nodes.edge1.index() as u32;
+                vec![
+                    FaultEvent {
+                        at: down,
+                        kind: FaultKind::NodeCrash { node },
+                    },
+                    FaultEvent {
+                        at: up,
+                        kind: FaultKind::NodeRestart { node },
+                    },
+                ]
+            }
+            FaultCase::LossyLink => vec![
+                FaultEvent {
+                    at: down,
+                    kind: FaultKind::MsgLoss {
+                        link: uplink,
+                        probability: LOSSY_LINK_PROBABILITY,
+                    },
+                },
+                FaultEvent {
+                    at: up,
+                    kind: FaultKind::MsgLoss {
+                        link: uplink,
+                        probability: 0.0,
+                    },
+                },
+            ],
+        };
+        FaultSchedule::scripted(events)
+    }
+}
+
+/// The dense index of the edge-1 WAN leg (`true`: edge1 → router).
+fn directed_link(topology: &Topology, nodes: &PaperNodes, uplink: bool) -> u32 {
+    let (from, to) = if uplink {
+        (nodes.edge1, nodes.router)
+    } else {
+        (nodes.router, nodes.edge1)
+    };
+    let link: LinkId = topology
+        .link_ids()
+        .find(|&l| topology.link(l).from == from && topology.link(l).to == to)
+        .expect("paper topology has the edge-1 WAN leg");
+    link.index() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::paper_topology;
+
+    #[test]
+    fn schedules_target_the_edge1_leg_and_midwindow() {
+        let (t, n) = paper_topology(false);
+        let warmup = SimDuration::from_secs(100);
+        let duration = SimDuration::from_secs(400);
+        for case in FaultCase::all() {
+            let s = case.schedule(&t, &n, warmup, duration);
+            assert!(!s.is_empty(), "{}", case.name());
+            assert_eq!(s.events.first().unwrap().at, SimDuration::from_secs(200));
+            assert_eq!(s.events.last().unwrap().at, SimDuration::from_secs(400));
+        }
+        let partition = FaultCase::MainLinkPartition.schedule(&t, &n, warmup, duration);
+        let downs = partition
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::LinkDown { .. }))
+            .count();
+        assert_eq!(downs, 2, "both directions cut");
+        let crash = FaultCase::EdgeCrash.schedule(&t, &n, warmup, duration);
+        assert!(matches!(
+            crash.events[0].kind,
+            FaultKind::NodeCrash { node } if node == n.edge1.index() as u32
+        ));
+    }
+
+    #[test]
+    fn schedules_are_identical_across_builds() {
+        let (ta, na) = paper_topology(false);
+        let (tb, nb) = paper_topology(false);
+        let w = SimDuration::from_secs(90);
+        let d = SimDuration::from_secs(300);
+        for case in FaultCase::all() {
+            assert_eq!(
+                case.schedule(&ta, &na, w, d).render_timeline(),
+                case.schedule(&tb, &nb, w, d).render_timeline()
+            );
+        }
+    }
+}

@@ -25,6 +25,7 @@
 
 pub mod configs;
 pub mod experiment;
+pub mod faultsuite;
 pub mod invariants;
 pub mod paper;
 pub mod report;
@@ -32,6 +33,7 @@ pub mod topology;
 
 pub use configs::{petstore_descriptor, rubis_descriptor, Config};
 pub use experiment::{run_sweep, AppKind, Scenario};
+pub use faultsuite::FaultCase;
 pub use invariants::{wan_invariant, WanInvariant};
 pub use report::{
     figure_series, measured_mean, render_comparison, render_figure, render_percentiles,

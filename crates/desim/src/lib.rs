@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod metrics;
 pub mod resource;
 pub mod rng;
@@ -51,6 +52,7 @@ pub mod telemetry;
 pub mod time;
 pub mod trace;
 
+pub use fault::{message_lost, FaultEvent, FaultKind, FaultSchedule, RandomFaults};
 pub use metrics::{Histogram, P2Quantile, Summary, Welford};
 pub use resource::FifoResource;
 pub use rng::SimRng;

@@ -81,6 +81,23 @@ pub enum SpanKind {
         /// Observed value.
         value: u64,
     },
+    /// An injected-fault encounter: the request hit a downed link, lost
+    /// message or crashed node and waited out the failure-detection timeout.
+    /// Span duration covers the timeout wait.
+    Fault {
+        /// Directed-link index hit (`u32::MAX` when the fault was a node).
+        link: u32,
+        /// Node index hit (`u32::MAX` when the fault was a link).
+        node: u32,
+    },
+    /// A retry wait: the policy layer backing off before re-issuing the
+    /// request. Span duration is the backoff delay.
+    Retry {
+        /// 1-based retry attempt number.
+        attempt: u32,
+        /// Whether this attempt failed over to the central server.
+        failover: bool,
+    },
 }
 
 impl SpanKind {
@@ -94,6 +111,8 @@ impl SpanKind {
             SpanKind::Hop { .. } => "hop",
             SpanKind::Delay => "delay",
             SpanKind::Note { .. } => "note",
+            SpanKind::Fault { .. } => "fault",
+            SpanKind::Retry { .. } => "retry",
         }
     }
 }
@@ -548,6 +567,13 @@ fn walk(
                 i += 1;
             }
             SpanKind::Delay => {
+                out.delay += span.duration();
+                i += 1;
+            }
+            // Fault timeouts and retry backoffs are policy waits, not
+            // network or CPU time: fold them into the delay bucket so the
+            // decomposition still sums toward the root duration.
+            SpanKind::Fault { .. } | SpanKind::Retry { .. } => {
                 out.delay += span.duration();
                 i += 1;
             }

@@ -188,6 +188,20 @@ impl ContainerState {
     pub fn cache_stub(&mut self, node: NodeId, component: ComponentId) {
         self.stubs.insert((node, component));
     }
+
+    // ---- failure semantics --------------------------------------------------
+
+    /// Drops every cache `node` holds: entity rows, query results, resolved
+    /// stubs, and replica sync watermarks. Models a container process crash —
+    /// the restarted process comes back cold (per §4.3–§4.4 every cache is
+    /// memory-resident) and must re-warm. Authoritative row versions live
+    /// with the database, not the container, and are untouched.
+    pub fn evict_node(&mut self, node: NodeId) {
+        self.entity_rows.retain(|(_, n), _| *n != node);
+        self.query_results.retain(|(n, _), _| *n != node);
+        self.stubs.retain(|(n, _)| *n != node);
+        self.replica_versions.retain(|(_, n, _), _| *n != node);
+    }
 }
 
 #[cfg(test)]
@@ -274,5 +288,34 @@ mod tests {
         assert!(!s.stub_cached(a, c));
         s.cache_stub(a, c);
         assert!(s.stub_cached(a, c));
+    }
+
+    /// A crash evicts every cache on the node — entity rows, query results,
+    /// stubs, replica watermarks — while other nodes and the authoritative
+    /// versions survive.
+    #[test]
+    fn evict_node_cold_starts_only_that_node() {
+        let (e, main, edge) = ids();
+        let mut dbb = mutsvc_relstore::DatabaseBuilder::new();
+        let t = dbb.table("t", &["a"], 10);
+        let q = Query::All { table: t };
+        let row = RowId(3);
+        let mut s = ContainerState::new();
+        s.bump_version(e, row);
+        s.load_entity_row(e, edge, row);
+        s.load_entity_row(e, main, row);
+        s.cache_query(edge, q.clone());
+        s.cache_stub(edge, e);
+        assert_eq!(s.staleness(e, edge, row), 0);
+
+        s.evict_node(edge);
+        assert_eq!(s.entity_row(e, edge, row), RowCacheState::Absent);
+        assert!(!s.query_cached(edge, &q));
+        assert!(!s.stub_cached(edge, e));
+        // The restarted container is detectably behind the authority…
+        assert_eq!(s.staleness(e, edge, row), 1);
+        // …while the untouched node and the authoritative version survive.
+        assert_eq!(s.entity_row(e, main, row), RowCacheState::Valid);
+        assert_eq!(s.version(e, row), 1);
     }
 }

@@ -199,6 +199,11 @@ struct Job<W: JobWorld> {
     /// `None` for untraced requests: every instrumentation site below is
     /// then a single predictable branch.
     trace: Option<SpanCtx>,
+    /// The job hit an injected fault (downed link, lost message, crashed
+    /// node). Set together with a timeout-delayed resume; on resume the job
+    /// completes immediately, skipping its remaining steps, and the failure
+    /// propagates to join parents and the completion hooks.
+    failed: bool,
 }
 
 /// Slab of in-flight jobs. Slots are recycled through a free list, so a
@@ -274,6 +279,23 @@ pub trait JobWorld: Sized + 'static {
     /// Called when a tagged [`Step::Fork`] branch finishes (e.g. an
     /// asynchronous update push has been applied everywhere).
     fn fork_completed(&mut self, _tag: u64, _at: SimTime) {}
+
+    /// Called when a tagged [`Step::Fork`] branch hits an injected fault and
+    /// never delivers — a dropped asynchronous push. The world should leave
+    /// the target replica stale (and detectably so), not silently fresh.
+    fn fork_failed(&mut self, _tag: u64, _at: SimTime) {}
+
+    /// Called just before a failed job's completion action fires (the
+    /// [`JobDone::Event`]/boxed paths only; forks report through
+    /// [`Self::fork_failed`]). Drivers use this to mark the in-flight
+    /// request as failed for their retry/availability accounting.
+    fn job_failed(&mut self) {}
+
+    /// How long a requester waits before treating a lost message or a call
+    /// to a crashed node as failed (the RMI timeout of the fault model).
+    fn fault_timeout(&self) -> SimDuration {
+        SimDuration::from_secs(5)
+    }
 
     /// The world's tracer, when it has one. The executor only consults this
     /// for jobs spawned with a span context, so worlds without tracing pay
@@ -362,6 +384,7 @@ fn spawn<W: JobWorld>(
         done,
         join_remaining: 0,
         trace,
+        failed: false,
     });
     advance_job(world, ctx, id);
 }
@@ -427,6 +450,13 @@ fn fetch(program: &mut Program, idx: usize) -> Fetched {
 /// the cursor until the job blocks on a resource, completes, or joins.
 pub fn advance_job<W: JobWorld>(world: &mut W, ctx: &mut Context<'_, W, W::Event>, id: JobId) {
     let mut job = world.jobs_mut().take(id);
+    // A failed job resumes exactly once — from the timeout scheduled at the
+    // fault site (or a join whose failed branch already absorbed it) — and
+    // completes immediately, skipping its remaining steps.
+    if job.failed {
+        complete(world, ctx, id, job);
+        return;
+    }
     loop {
         if let Phase::Send {
             from,
@@ -445,6 +475,25 @@ pub fn advance_job<W: JobWorld>(world: &mut W, ctx: &mut Context<'_, W, W::Event
                 // Admit the next link at the time the message reaches it, so
                 // link FIFO order matches causality across long-latency paths.
                 let link = world.network_mut().route(from, to)[hop];
+                {
+                    // Fault checks, all single predictable branches when no
+                    // faults are active. The destination process is checked
+                    // once per leg; links are checked hop by hop (a message
+                    // already past a failing hop is store-and-forwarded on).
+                    let net = world.network_mut();
+                    let dest_down = hop == 0 && !net.node_is_up(to);
+                    let link_down = !dest_down && !net.link_is_up(link);
+                    let lost = !dest_down && !link_down && net.message_dropped(link);
+                    if dest_down || link_down || lost {
+                        let (l, n) = if dest_down {
+                            (u32::MAX, to.index() as u32)
+                        } else {
+                            (link.index() as u32, u32::MAX)
+                        };
+                        fail_job(world, ctx, id, job, l, n);
+                        return;
+                    }
+                }
                 let arrival = world.network_mut().link_send(ctx.now(), link, bytes);
                 if let Some(tc) = job.trace {
                     let now = ctx.now();
@@ -503,6 +552,10 @@ pub fn advance_job<W: JobWorld>(world: &mut W, ctx: &mut Context<'_, W, W::Event
                 return;
             }
             Fetched::Cpu(node, demand) => {
+                if !world.network_mut().node_is_up(node) {
+                    fail_job(world, ctx, id, job, u32::MAX, node.index() as u32);
+                    return;
+                }
                 let completion = world.network_mut().cpu(ctx.now(), node, demand);
                 if let Some(tc) = job.trace {
                     let now = ctx.now();
@@ -600,6 +653,31 @@ pub fn advance_job<W: JobWorld>(world: &mut W, ctx: &mut Context<'_, W, W::Event
     }
 }
 
+/// Marks the job failed and parks it for [`JobWorld::fault_timeout`]: the
+/// requester notices a lost message or crashed callee only when its RMI
+/// timeout fires. A `Fault` leaf span covering the wait is emitted when
+/// traced (`u32::MAX` marks whichever of link/node is not the cause).
+fn fail_job<W: JobWorld>(
+    world: &mut W,
+    ctx: &mut Context<'_, W, W::Event>,
+    id: JobId,
+    mut job: Job<W>,
+    link: u32,
+    node: u32,
+) {
+    let timeout = world.fault_timeout();
+    if let Some(tc) = job.trace {
+        let now = ctx.now();
+        if let Some(t) = world.tracer_mut() {
+            t.leaf(tc, now, now + timeout, SpanKind::Fault { link, node });
+        }
+    }
+    job.failed = true;
+    job.phase = Phase::Steps;
+    world.jobs_mut().put(id, job);
+    ctx.schedule_event_in(timeout, NetEvent::Advance { job: id }.into());
+}
+
 /// Recycles the job's slot and fires its completion action.
 fn complete<W: JobWorld>(
     world: &mut W,
@@ -615,16 +693,36 @@ fn complete<W: JobWorld>(
     }
     world.jobs_mut().release(id);
     match job.done {
-        JobDone::Event(e) => e.fire(world, ctx),
-        JobDone::Boxed(f) => f(world, ctx),
+        JobDone::Event(e) => {
+            if job.failed {
+                world.job_failed();
+            }
+            e.fire(world, ctx);
+        }
+        JobDone::Boxed(f) => {
+            if job.failed {
+                world.job_failed();
+            }
+            f(world, ctx);
+        }
         JobDone::Fork { tag } => {
             if let Some(tag) = tag {
                 let now = ctx.now();
-                world.fork_completed(tag, now);
+                if job.failed {
+                    world.fork_failed(tag, now);
+                } else {
+                    world.fork_completed(tag, now);
+                }
             }
         }
         JobDone::Join { parent } => {
+            // A failed branch fails the whole parallel step; the parent still
+            // waits for its sibling branches, then completes as failed (its
+            // own top-of-advance check) without running further steps.
             let p = world.jobs_mut().get_mut(parent);
+            if job.failed {
+                p.failed = true;
+            }
             p.join_remaining -= 1;
             if p.join_remaining == 0 {
                 advance_job(world, ctx, parent);
@@ -644,6 +742,8 @@ mod tests {
         jobs: Jobs<World>,
         finished: Vec<(SimTime, &'static str)>,
         forks: Vec<(u64, SimTime)>,
+        failed_forks: Vec<(u64, SimTime)>,
+        failures: usize,
     }
 
     impl JobWorld for World {
@@ -656,6 +756,15 @@ mod tests {
         }
         fn fork_completed(&mut self, tag: u64, at: SimTime) {
             self.forks.push((tag, at));
+        }
+        fn fork_failed(&mut self, tag: u64, at: SimTime) {
+            self.failed_forks.push((tag, at));
+        }
+        fn job_failed(&mut self) {
+            self.failures += 1;
+        }
+        fn fault_timeout(&self) -> SimDuration {
+            SimDuration::from_millis(500)
         }
     }
 
@@ -680,6 +789,8 @@ mod tests {
                 jobs: Jobs::new(),
                 finished: Vec::new(),
                 forks: Vec::new(),
+                failed_forks: Vec::new(),
+                failures: 0,
             },
             main,
             router,
@@ -867,6 +978,121 @@ mod tests {
             sim.into_world().finished
         }
         assert_eq!(once(), once());
+    }
+
+    /// A downed hop fails the job after the RMI timeout (500ms in this test
+    /// world); the message store-and-forwards up to the failing hop first.
+    #[test]
+    fn downed_link_fails_the_job_after_timeout() {
+        let (mut w, main, router, edge) = world();
+        let bad = w.net.route(router, main)[0];
+        w.net.set_link_up(bad, false);
+        let steps = vec![Step::cpu(edge, ms(5)), Step::exchange(edge, main, 0, 0)];
+        let w = run(w, steps);
+        // cpu done at 5ms, edge→router crossed at 95ms, router→main down:
+        // fail at 95ms, complete after the 500ms timeout.
+        assert_eq!(w.finished, vec![(at(595), "job")]);
+        assert_eq!(w.failures, 1);
+    }
+
+    #[test]
+    fn restored_link_carries_jobs_again() {
+        let (mut w, main, router, edge) = world();
+        let bad = w.net.route(router, main)[0];
+        w.net.set_link_up(bad, false);
+        w.net.set_link_up(bad, true);
+        let w = run(w, vec![Step::exchange(edge, main, 0, 0)]);
+        assert_eq!(w.finished, vec![(at(200), "job")]);
+        assert_eq!(w.failures, 0);
+    }
+
+    /// A crashed destination process fails the call at leg start (the
+    /// requester's timeout covers the whole unanswered RMI), but the host
+    /// still forwards transit traffic: crashing the router does not cut the
+    /// edge↔main path.
+    #[test]
+    fn crashed_destination_fails_but_transit_survives() {
+        let (mut w, main, _, edge) = world();
+        w.net.set_node_up(main, false);
+        let w = run(w, vec![Step::exchange(edge, main, 0, 0)]);
+        assert_eq!(w.finished, vec![(at(500), "job")]);
+        assert_eq!(w.failures, 1);
+
+        let (mut w, main, router, edge) = world();
+        w.net.set_node_up(router, false);
+        let w = run(w, vec![Step::exchange(edge, main, 0, 0)]);
+        assert_eq!(w.finished, vec![(at(200), "job")]);
+        assert_eq!(w.failures, 0);
+    }
+
+    #[test]
+    fn cpu_on_crashed_node_fails() {
+        let (mut w, main, ..) = world();
+        w.net.set_node_up(main, false);
+        let w = run(w, vec![Step::cpu(main, ms(5))]);
+        assert_eq!(w.finished, vec![(at(500), "job")]);
+        assert_eq!(w.failures, 1);
+    }
+
+    /// A failed branch fails the whole parallel step: the parent waits for
+    /// its siblings, then completes as failed without running later steps.
+    #[test]
+    fn failed_branch_fails_the_parent_join() {
+        let (mut w, main, _, edge) = world();
+        w.net.set_node_up(main, false);
+        let steps = vec![
+            Step::Parallel(vec![
+                vec![Step::exchange(edge, main, 0, 0)], // fails at 0, done 500
+                vec![Step::Delay(ms(50))],
+            ]),
+            Step::cpu(edge, ms(30)), // skipped: the parent is failed
+        ];
+        let w = run(w, steps);
+        assert_eq!(w.finished, vec![(at(500), "job")]);
+        assert_eq!(w.failures, 1);
+        assert_eq!(w.net.cpu_jobs(edge), 0);
+    }
+
+    /// A failed detached fork reports through `fork_failed`, not
+    /// `fork_completed` — the dropped async push never applies. The parent
+    /// is unaffected.
+    #[test]
+    fn failed_fork_reports_fork_failed() {
+        let (mut w, main, _, edge) = world();
+        w.net.set_node_up(main, false);
+        let steps = vec![
+            Step::Fork {
+                steps: vec![Step::transfer(edge, main, 100)],
+                tag: Some(9),
+            },
+            Step::cpu(edge, ms(1)),
+        ];
+        let w = run(w, steps);
+        assert_eq!(w.finished, vec![(at(1), "job")]);
+        assert_eq!(w.failures, 0);
+        assert!(w.forks.is_empty());
+        assert_eq!(w.failed_forks, vec![(9, at(500))]);
+    }
+
+    /// Message loss is checked per send attempt with a deterministic
+    /// counter hash: probability 1 drops everything, closing the window
+    /// restores delivery without residual state.
+    #[test]
+    fn lossy_link_drops_then_heals() {
+        let (mut w, main, _, edge) = world();
+        let first = w.net.route(edge, main)[0];
+        w.net.set_link_loss(first, 1.0);
+        let w = run(w, vec![Step::exchange(edge, main, 0, 0)]);
+        assert_eq!(w.finished, vec![(at(500), "job")]);
+        assert_eq!(w.failures, 1);
+
+        let (mut w, main, _, edge) = world();
+        let first = w.net.route(edge, main)[0];
+        w.net.set_link_loss(first, 1.0);
+        w.net.set_link_loss(first, 0.0);
+        let w = run(w, vec![Step::exchange(edge, main, 0, 0)]);
+        assert_eq!(w.finished, vec![(at(200), "job")]);
+        assert_eq!(w.failures, 0);
     }
 
     #[test]

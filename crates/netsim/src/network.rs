@@ -24,6 +24,20 @@ pub struct Network {
     link_msgs: Vec<u64>,
     /// Payload bytes serialized per directed link (telemetry).
     link_bytes: Vec<u64>,
+    /// Per-link up/down state (fault injection). All links start up.
+    link_up: Vec<bool>,
+    /// Per-node application up/down state (fault injection). A downed node
+    /// fails CPU work and messages addressed to it, but keeps forwarding
+    /// transit traffic (the model is a crashed server process, not a
+    /// powered-off host).
+    node_up: Vec<bool>,
+    /// Per-link message-loss probability (fault injection; 0 = lossless).
+    link_loss: Vec<f64>,
+    /// Per-link loss-draw sequence counters. Only advanced while a loss
+    /// window is active on the link, so fault-off runs never touch them.
+    loss_seq: Vec<u64>,
+    /// Salt folded into loss draws (typically the experiment seed).
+    loss_salt: u64,
 }
 
 impl Network {
@@ -42,6 +56,10 @@ impl Network {
         let latency_overrides = vec![None; topology.link_count()];
         let link_msgs = vec![0; topology.link_count()];
         let link_bytes = vec![0; topology.link_count()];
+        let link_up = vec![true; topology.link_count()];
+        let node_up = vec![true; topology.node_count()];
+        let link_loss = vec![0.0; topology.link_count()];
+        let loss_seq = vec![0; topology.link_count()];
         Network {
             topology,
             cpus,
@@ -49,6 +67,11 @@ impl Network {
             latency_overrides,
             link_msgs,
             link_bytes,
+            link_up,
+            node_up,
+            link_loss,
+            loss_seq,
+            loss_salt: 0,
         }
     }
 
@@ -84,6 +107,91 @@ impl Network {
     /// The underlying immutable topology.
     pub fn topology(&self) -> &Topology {
         &self.topology
+    }
+
+    // ---- fault state -------------------------------------------------------
+
+    /// Sets the up/down state of one directed link.
+    pub fn set_link_up(&mut self, link: LinkId, up: bool) {
+        self.link_up[link.index()] = up;
+    }
+
+    /// Whether `link` is currently delivering messages.
+    pub fn link_is_up(&self, link: LinkId) -> bool {
+        self.link_up[link.index()]
+    }
+
+    /// Sets the application up/down state of one node.
+    pub fn set_node_up(&mut self, node: NodeId, up: bool) {
+        self.node_up[node.index()] = up;
+    }
+
+    /// Whether the application process on `node` is up.
+    pub fn node_is_up(&self, node: NodeId) -> bool {
+        self.node_up[node.index()]
+    }
+
+    /// Opens (or with `0.0` closes) a message-loss window on one directed
+    /// link: each subsequent send is dropped independently with probability
+    /// `probability`, decided by a deterministic counter hash salted with
+    /// [`Self::set_loss_salt`].
+    pub fn set_link_loss(&mut self, link: LinkId, probability: f64) {
+        self.link_loss[link.index()] = probability.clamp(0.0, 1.0);
+    }
+
+    /// Salt folded into loss draws so distinct experiment seeds see distinct
+    /// loss patterns while same-seed replays stay byte-identical.
+    pub fn set_loss_salt(&mut self, salt: u64) {
+        self.loss_salt = salt;
+    }
+
+    /// Whether a message sent on `link` right now is dropped by the active
+    /// loss window. Advances the link's loss sequence counter only while a
+    /// window is open, so fault-off runs are untouched.
+    pub fn message_dropped(&mut self, link: LinkId) -> bool {
+        let p = self.link_loss[link.index()];
+        if p <= 0.0 {
+            return false;
+        }
+        let seq = self.loss_seq[link.index()];
+        self.loss_seq[link.index()] += 1;
+        mutsvc_desim::fault::message_lost(self.loss_salt, link.index() as u32, seq, p)
+    }
+
+    /// Number of directed links currently down (fault-state telemetry).
+    pub fn links_down(&self) -> usize {
+        self.link_up.iter().filter(|&&up| !up).count()
+    }
+
+    /// Number of nodes currently crashed (fault-state telemetry).
+    pub fn nodes_down(&self) -> usize {
+        self.node_up.iter().filter(|&&up| !up).count()
+    }
+
+    /// Scales the latency of one directed link relative to its *base*
+    /// latency (`1.0` restores). Models per-link degradation episodes.
+    pub fn scale_link_latency(&mut self, link: LinkId, factor: f64) {
+        let base = self.topology.link(link).latency;
+        self.latency_overrides[link.index()] = if factor == 1.0 {
+            None
+        } else {
+            Some(base.mul_f64(factor))
+        };
+    }
+
+    /// Whether the route `from -> to` is currently free of downed links and
+    /// ends at a live node. Transit nodes are not checked (see
+    /// [`Self::set_node_up`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is unreachable from `from` in the base topology.
+    pub fn path_is_up(&self, from: NodeId, to: NodeId) -> bool {
+        self.node_is_up(to)
+            && self
+                .route(from, to)
+                .iter()
+                .all(|&l| self.link_up[l.index()])
     }
 
     /// Admits `demand` of CPU work on `node` at time `now`; returns the
@@ -317,6 +425,76 @@ mod tests {
         assert_eq!(net.link_latency(route[0]), ms(50));
         // Forward path gains 40ms; reverse path unchanged.
         assert_eq!(net.round_trip(SimTime::ZERO, a, c, 0, 0), at(240));
+    }
+
+    #[test]
+    fn fault_state_defaults_to_healthy() {
+        let (net, a, c) = wan_pair();
+        let route = net.route_of(a, c);
+        assert!(net.link_is_up(route[0]));
+        assert!(net.node_is_up(c));
+        assert!(net.path_is_up(a, c));
+        assert_eq!(net.links_down(), 0);
+        assert_eq!(net.nodes_down(), 0);
+    }
+
+    #[test]
+    fn downed_link_breaks_the_path_until_restored() {
+        let (mut net, a, c) = wan_pair();
+        let route = net.route_of(a, c);
+        net.set_link_up(route[1], false);
+        assert!(!net.path_is_up(a, c));
+        assert_eq!(net.links_down(), 1);
+        // The reverse direction is a distinct directed link and stays up.
+        assert!(net.path_is_up(c, a));
+        net.set_link_up(route[1], true);
+        assert!(net.path_is_up(a, c));
+    }
+
+    #[test]
+    fn crashed_destination_breaks_the_path_but_not_transit() {
+        let (mut net, a, c) = wan_pair();
+        let router = net.topology().node_by_name("router").unwrap();
+        net.set_node_up(router, false);
+        // The router process is down, but it still forwards: a -> c is fine.
+        assert!(net.path_is_up(a, c));
+        assert!(!net.path_is_up(a, router));
+        net.set_node_up(c, false);
+        assert!(!net.path_is_up(a, c));
+        assert_eq!(net.nodes_down(), 2);
+    }
+
+    #[test]
+    fn loss_window_drops_deterministically_and_only_while_open() {
+        let (mut net, a, c) = wan_pair();
+        let link = net.route_of(a, c)[0];
+        net.set_loss_salt(42);
+        // Closed window: nothing dropped, counter untouched.
+        for _ in 0..8 {
+            assert!(!net.message_dropped(link));
+        }
+        net.set_link_loss(link, 0.5);
+        let pattern: Vec<bool> = (0..64).map(|_| net.message_dropped(link)).collect();
+        assert!(pattern.iter().any(|&d| d) && pattern.iter().any(|&d| !d));
+        // Same salt and a fresh network replays the same pattern.
+        let (mut net2, a2, c2) = wan_pair();
+        let link2 = net2.route_of(a2, c2)[0];
+        net2.set_loss_salt(42);
+        net2.set_link_loss(link2, 0.5);
+        let replay: Vec<bool> = (0..64).map(|_| net2.message_dropped(link2)).collect();
+        assert_eq!(pattern, replay);
+        net.set_link_loss(link, 0.0);
+        assert!(!net.message_dropped(link));
+    }
+
+    #[test]
+    fn per_link_degradation_scales_and_restores() {
+        let (mut net, a, c) = wan_pair();
+        let wan = net.route_of(a, c)[1]; // 90 ms base leg
+        net.scale_link_latency(wan, 3.0);
+        assert_eq!(net.link_latency(wan), ms(270));
+        net.scale_link_latency(wan, 1.0);
+        assert_eq!(net.link_latency(wan), ms(90));
     }
 
     #[test]

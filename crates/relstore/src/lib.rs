@@ -40,6 +40,6 @@ pub mod value;
 pub use database::{
     CostModel, Database, DatabaseBuilder, Mutation, MutationEffect, Query, QueryOutcome,
 };
-pub use invalidation::affects;
+pub use invalidation::{affects, GenerationCursor};
 pub use table::{ColumnDef, Table, TableId};
 pub use value::{RowId, Value};

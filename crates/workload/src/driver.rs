@@ -29,12 +29,13 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use mutsvc_apps::{App, PageKey, SessionKind, SessionState};
+use mutsvc_desim::fault::FaultKind;
 use mutsvc_desim::metrics::Summary;
-use mutsvc_desim::rng::SimRng;
+use mutsvc_desim::rng::{stream, SimRng};
 use mutsvc_desim::sim::{Context, Fire, Simulation};
 use mutsvc_desim::telemetry::{MetricId, TelemetryRegistry};
 use mutsvc_desim::time::{SimDuration, SimTime};
-use mutsvc_desim::trace::{SpanCtx, TraceMeta, Tracer};
+use mutsvc_desim::trace::{SpanCtx, SpanKind, TraceMeta, Tracer};
 use mutsvc_middleware::{
     BindStats, Binder, ComponentRegistry, ContainerCosts, ContainerState, Crossing, DeferredApply,
     DeploymentDescriptor,
@@ -129,6 +130,17 @@ struct Inflight {
     session: u32,
     /// The request's root span, when this request was sampled for tracing.
     trace: Option<SpanCtx>,
+    /// Client group index (also the interned outcome id).
+    group: u16,
+    /// Entry node index (for partition-staleness accounting).
+    entry: u16,
+    /// Failed attempts so far (fault runs only).
+    attempt: u32,
+    /// Whether the bind was a read-only replay (stale-serve eligible).
+    replayable: bool,
+    /// The request's program, retained for retries. `None` when faults are
+    /// off — the fault-free hot path never pays the extra `Arc`.
+    program: Option<Arc<[Step]>>,
 }
 
 /// Identity of a memoized plan: what the request looks like and where it
@@ -251,6 +263,28 @@ impl PlanCache {
     }
 }
 
+/// Fault-injection runtime state. Inert (one predicate branch per site)
+/// when the schedule is empty.
+struct FaultRuntime {
+    /// Whether any fault episode is scheduled this run.
+    active: bool,
+    /// Dense id → handle maps for fault-event targets (built only when
+    /// active; [`FaultKind`] carries raw indices, the network wants ids).
+    links: Vec<LinkId>,
+    nodes: Vec<NodeId>,
+    /// Per node: when its path to the central server was cut. A successful
+    /// read at a cut entry may be serving from caches the partition keeps
+    /// from being refreshed — its staleness bound is `now - stale_since`.
+    stale_since: Vec<Option<SimTime>>,
+    /// Whether this descriptor deploys edge caches that can answer
+    /// partitioned reads (entity replicas or query caches).
+    caches_serve: bool,
+    /// Set by the executor's [`JobWorld::job_failed`] hook immediately
+    /// before a failed completion fires; consumed by the `Ev::Done`
+    /// handler to route the token into retry/failure accounting.
+    last_done_failed: bool,
+}
+
 /// The simulation world.
 struct World {
     net: Network,
@@ -286,6 +320,7 @@ struct World {
     /// Metric handles plus the snapshot cadence; `None` when the telemetry
     /// series is off (the `Ev::Snapshot` event is then never scheduled).
     telemetry_ids: Option<TelemetryIds>,
+    fault_rt: FaultRuntime,
 }
 
 /// Registered metric handles for the periodic telemetry snapshot.
@@ -306,6 +341,17 @@ struct TelemetryIds {
     traces_dropped: MetricId,
     /// `(link, messages metric, bytes metric)` for every WAN leg.
     wan_links: Vec<(LinkId, MetricId, MetricId)>,
+    /// Fault-state gauges, registered only for fault runs so fault-off
+    /// telemetry snapshots stay byte-identical to the pre-fault stack.
+    faults: Option<FaultGauges>,
+}
+
+/// Gauges exposing the injected fault state and its request-level impact.
+struct FaultGauges {
+    links_down: MetricId,
+    nodes_down: MetricId,
+    failed: MetricId,
+    retries: MetricId,
 }
 
 impl TelemetryIds {
@@ -314,6 +360,7 @@ impl TelemetryIds {
         net: &Network,
         wan_threshold: SimDuration,
         every: SimDuration,
+        with_faults: bool,
     ) -> Self {
         let wan_links = net
             .topology()
@@ -344,6 +391,12 @@ impl TelemetryIds {
             traces_committed: registry.register("trace.committed"),
             traces_dropped: registry.register("trace.dropped"),
             wan_links,
+            faults: with_faults.then(|| FaultGauges {
+                links_down: registry.register("fault.links_down"),
+                nodes_down: registry.register("fault.nodes_down"),
+                failed: registry.register("fault.requests_failed"),
+                retries: registry.register("fault.retries"),
+            }),
         }
     }
 }
@@ -361,6 +414,11 @@ enum Ev {
     /// Periodic telemetry snapshot (scheduled only when the spec enables
     /// the telemetry series, so traced-off runs never see this variant).
     Snapshot,
+    /// Apply fault-schedule entry `idx` (scheduled once per entry at run
+    /// start; an empty schedule adds zero events).
+    Fault { idx: u32 },
+    /// A failed request's backoff expired: re-spawn its program.
+    Retry { token: u32 },
 }
 
 impl From<NetEvent> for Ev {
@@ -376,6 +434,8 @@ impl Fire<World> for Ev {
             Ev::Issue { slot } => issue(world, ctx, slot as usize),
             Ev::Done { token } => complete_request(world, ctx, token),
             Ev::Snapshot => snapshot_telemetry(world, ctx),
+            Ev::Fault { idx } => apply_fault(world, ctx, idx),
+            Ev::Retry { token } => retry_request(world, ctx, token),
         }
     }
 }
@@ -396,6 +456,22 @@ impl JobWorld for World {
         // the job, which in turn only exists when tracing sampled the
         // request — so no enabled-check is needed here.
         Some(&mut self.tracer)
+    }
+
+    fn fault_timeout(&self) -> SimDuration {
+        self.spec.faults.timeout
+    }
+
+    fn job_failed(&mut self) {
+        self.fault_rt.last_done_failed = true;
+    }
+
+    fn fork_failed(&mut self, tag: u64, _at: SimTime) {
+        // A lost asynchronous push: its deferred apply never reaches the
+        // replicas, which simply stay (detectably) stale. Cache state is
+        // unchanged, so memoized plans stay valid and no staleness sample
+        // is recorded — the update never arrived anywhere.
+        self.deferred.remove(&tag);
     }
 
     fn fork_completed(&mut self, tag: u64, at: SimTime) {
@@ -430,17 +506,173 @@ fn alloc_inflight(world: &mut World, inf: Inflight) -> u32 {
 }
 
 fn complete_request(world: &mut World, ctx: &mut Context<'_, World, Ev>, token: u32) {
+    // One predictable branch on fault-free runs: the flag is only ever set
+    // by the executor's `job_failed` hook, synchronously before this event.
+    if std::mem::take(&mut world.fault_rt.last_done_failed) {
+        request_attempt_failed(world, ctx, token);
+        return;
+    }
     let inf = world.inflight[token as usize]
         .take()
         .expect("completion token not in flight");
     world.inflight_free.push(token);
     if inf.measured {
-        let response = ctx.now() - inf.start;
-        world.stats.record_ids(inf.series, inf.session, response);
-        world.completed += 1;
+        let now = ctx.now();
+        let mut ok = true;
+        if world.fault_rt.active {
+            // The request completed at an entry cut off from the central
+            // server. With edge caches deployed, reads are being answered
+            // from state the partition keeps from refreshing: serve them
+            // with a recorded staleness bound, or — under a strict policy —
+            // reject them as failures. Configs without caches only complete
+            // here when the page needed no far-side data at all.
+            if let Some(since) = world.fault_rt.stale_since[inf.entry as usize] {
+                if world.fault_rt.caches_serve && inf.replayable {
+                    if world.spec.faults.policy.stale_serve {
+                        world
+                            .stats
+                            .record_stale_serve_id(inf.group as u32, (now - since).as_millis_f64());
+                    } else {
+                        ok = false;
+                    }
+                }
+            }
+        }
+        world.stats.record_outcome_id(inf.group as u32, ok);
+        if ok {
+            let response = now - inf.start;
+            world.stats.record_ids(inf.series, inf.session, response);
+            world.completed += 1;
+        }
     }
     if let Some(tc) = inf.trace {
         world.tracer.finish_request(tc, ctx.now());
+    }
+}
+
+/// A request attempt hit an injected fault. Retry with capped exponential
+/// backoff while the policy allows, then count the request as failed.
+fn request_attempt_failed(world: &mut World, ctx: &mut Context<'_, World, Ev>, token: u32) {
+    let now = ctx.now();
+    let policy = world.spec.faults.policy;
+    let inf = world.inflight[token as usize]
+        .as_mut()
+        .expect("failed token not in flight");
+    inf.attempt += 1;
+    if inf.program.is_some() && inf.attempt <= policy.max_retries {
+        let delay = policy.backoff(inf.attempt);
+        let attempt = inf.attempt;
+        let (measured, group, trace) = (inf.measured, inf.group, inf.trace);
+        if measured {
+            world.stats.record_retry_id(group as u32);
+        }
+        if let Some(tc) = trace {
+            world.tracer.leaf(
+                tc,
+                now,
+                now + delay,
+                SpanKind::Retry {
+                    attempt,
+                    failover: false,
+                },
+            );
+        }
+        ctx.schedule_event_in(delay, Ev::Retry { token });
+    } else {
+        let inf = world.inflight[token as usize].take().expect("in flight");
+        world.inflight_free.push(token);
+        if inf.measured {
+            world.stats.record_outcome_id(inf.group as u32, false);
+        }
+        if let Some(tc) = inf.trace {
+            world.tracer.finish_request(tc, now);
+        }
+    }
+}
+
+/// Re-spawns a failed request's program after its backoff. State effects
+/// were applied at bind time, so a replay only re-drives network and CPU
+/// work — including the asynchronous push forks, whose deferred applies are
+/// keyed by tag and therefore apply at most once.
+fn retry_request(world: &mut World, ctx: &mut Context<'_, World, Ev>, token: u32) {
+    let (steps, trace) = {
+        let inf = world.inflight[token as usize]
+            .as_ref()
+            .expect("retry token not in flight");
+        (
+            Arc::clone(inf.program.as_ref().expect("retryable request")),
+            inf.trace,
+        )
+    };
+    spawn_program_traced(
+        world,
+        ctx,
+        Program::Shared(steps),
+        Ev::Done { token },
+        trace,
+    );
+}
+
+/// Applies one fault-schedule entry to the live network/container state and
+/// refreshes the per-entry partition bookkeeping.
+fn apply_fault(world: &mut World, ctx: &mut Context<'_, World, Ev>, idx: u32) {
+    let kind = world.spec.faults.schedule.events[idx as usize].kind;
+    // Memoized plans carry routing and cache-state assumptions; any fault
+    // transition invalidates them wholesale (same rule as perturbations).
+    world.plans.invalidate_all();
+    match kind {
+        FaultKind::LinkDown { link } => {
+            let l = world.fault_rt.links[link as usize];
+            world.net.set_link_up(l, false);
+        }
+        FaultKind::LinkRestore { link } => {
+            let l = world.fault_rt.links[link as usize];
+            world.net.set_link_up(l, true);
+        }
+        FaultKind::LinkDegraded { link, factor } => {
+            let l = world.fault_rt.links[link as usize];
+            world.net.scale_link_latency(l, factor);
+        }
+        FaultKind::MsgLoss { link, probability } => {
+            let l = world.fault_rt.links[link as usize];
+            world.net.set_link_loss(l, probability);
+        }
+        FaultKind::NodeCrash { node } => {
+            let n = world.fault_rt.nodes[node as usize];
+            world.net.set_node_up(n, false);
+            // The container process died: every memory-resident cache on
+            // the node is gone (§4.3–§4.4).
+            world.state.evict_node(n);
+        }
+        FaultKind::NodeRestart { node } => {
+            let n = world.fault_rt.nodes[node as usize];
+            world.net.set_node_up(n, true);
+            if world.descriptor.eager_cache_warmup {
+                // Push-based configs re-run deployment warm-up for the
+                // restarted node; lazy configs refill on demand.
+                warm_caches(
+                    &mut world.state,
+                    &world.app,
+                    &world.registry,
+                    &world.descriptor,
+                    &world.db,
+                    Some(n),
+                );
+            }
+        }
+    }
+    // Refresh partition state for every entry node: a cut starts the
+    // staleness clock, healing stops it.
+    let central = world.descriptor.central_node;
+    for g in 0..world.spec.groups.len() {
+        let entry = world.spec.groups[g].entry_node;
+        let cut = !world.net.path_is_up(entry, central);
+        let slot = &mut world.fault_rt.stale_since[entry.index()];
+        if cut && slot.is_none() {
+            *slot = Some(ctx.now());
+        } else if !cut && slot.is_some() {
+            *slot = None;
+        }
     }
 }
 
@@ -501,6 +733,13 @@ fn snapshot_telemetry(world: &mut World, ctx: &mut Context<'_, World, Ev>) {
         t.set(msgs_id, msgs as f64);
         t.set(bytes_id, bytes as f64);
     }
+    if let Some(f) = &ids.faults {
+        let outcome = world.stats.total_outcome();
+        t.set(f.links_down, world.net.links_down() as f64);
+        t.set(f.nodes_down, world.net.nodes_down() as f64);
+        t.set(f.failed, outcome.failed as f64);
+        t.set(f.retries, outcome.retries as f64);
+    }
     t.snapshot(ctx.now());
     if ctx.now() + ids.every <= world.spec.horizon() {
         ctx.schedule_event_in(ids.every, Ev::Snapshot);
@@ -533,11 +772,26 @@ fn issue(world: &mut World, ctx: &mut Context<'_, World, Ev>, slot_idx: usize) {
 
     let slot_group = world.sessions[slot_idx].group;
     let pattern = world.sessions[slot_idx].pattern;
-    let (client_node, entry_node) = {
+    let (client_node, mut entry_node) = {
         let g = &world.spec.groups[slot_group];
         (g.client_node, g.entry_node)
     };
     let measured = now >= world.measuring_from;
+
+    // Entry failover: with the policy on, new requests to a crashed edge
+    // entry re-target the central server (the host still forwards, only
+    // the application process is down).
+    let mut failover = false;
+    if world.fault_rt.active
+        && world.spec.faults.policy.failover
+        && !world.net.node_is_up(entry_node)
+    {
+        entry_node = world.descriptor.central_node;
+        failover = true;
+        if measured {
+            world.stats.record_failover_id(slot_group as u32);
+        }
+    }
 
     let (series, session) = if measured {
         if world.legacy {
@@ -579,6 +833,11 @@ fn issue(world: &mut World, ctx: &mut Context<'_, World, Ev>, slot_idx: usize) {
     } else {
         None
     };
+    if failover {
+        if let Some(tc) = trace {
+            world.tracer.note(tc, now, "failover", 1);
+        }
+    }
     let token = alloc_inflight(
         world,
         Inflight {
@@ -587,6 +846,11 @@ fn issue(world: &mut World, ctx: &mut Context<'_, World, Ev>, slot_idx: usize) {
             series,
             session,
             trace,
+            group: slot_group as u16,
+            entry: entry_node.index() as u16,
+            attempt: 0,
+            replayable: false,
+            program: None,
         },
     );
 
@@ -603,6 +867,13 @@ fn issue(world: &mut World, ctx: &mut Context<'_, World, Ev>, slot_idx: usize) {
         }
         if let Some(tc) = trace {
             world.tracer.set_logical_wan(tc, wan_rts);
+        }
+        if world.fault_rt.active {
+            let inf = world.inflight[token as usize]
+                .as_mut()
+                .expect("just allocated");
+            inf.replayable = true;
+            inf.program = Some(Arc::clone(&steps));
         }
         spawn_program_traced(
             world,
@@ -657,6 +928,31 @@ fn issue(world: &mut World, ctx: &mut Context<'_, World, Ev>, slot_idx: usize) {
                 wan_rts,
                 &bound.read_tables,
             );
+            if world.fault_rt.active {
+                let inf = world.inflight[token as usize]
+                    .as_mut()
+                    .expect("just allocated");
+                inf.replayable = true;
+                inf.program = Some(Arc::clone(&steps));
+            }
+            spawn_program_traced(
+                world,
+                ctx,
+                Program::Shared(steps),
+                Ev::Done { token },
+                trace,
+            );
+        } else if world.fault_rt.active {
+            // Fault runs retain every program for retries; sharing instead
+            // of owning changes nothing about the simulated steps.
+            let steps: Arc<[Step]> = bound.steps.into();
+            {
+                let inf = world.inflight[token as usize]
+                    .as_mut()
+                    .expect("just allocated");
+                inf.replayable = bound.replayable;
+                inf.program = Some(Arc::clone(&steps));
+            }
             spawn_program_traced(
                 world,
                 ctx,
@@ -683,6 +979,47 @@ fn issue(world: &mut World, ctx: &mut Context<'_, World, Ev>, slot_idx: usize) {
     );
 }
 
+/// Deployment-time cache warm-up for push-based configurations: populate
+/// every cacheable query instance at its cache nodes and every replicated
+/// entity row at its replica nodes. With `only`, warms just that node — the
+/// restart path after a crash evicted it.
+fn warm_caches(
+    state: &mut ContainerState,
+    app: &App,
+    registry: &ComponentRegistry,
+    descriptor: &DeploymentDescriptor,
+    db: &Database,
+    only: Option<NodeId>,
+) {
+    for (tag, query) in app.cacheable_query_instances() {
+        for &node in &descriptor.query_cache.nodes {
+            if only.is_some_and(|n| n != node) {
+                continue;
+            }
+            if descriptor.query_cache.covers(node, &tag) {
+                state.cache_query(node, query.clone());
+            }
+        }
+    }
+    for component in registry.ids() {
+        let spec_c = registry.spec(component);
+        if let Some(table) = spec_c.table {
+            let replicas: Vec<_> = descriptor
+                .replica_nodes(component)
+                .filter(|&n| only.is_none_or(|o| o == n))
+                .collect();
+            if replicas.is_empty() {
+                continue;
+            }
+            for row in db.table(table).all_ids() {
+                for &node in &replicas {
+                    state.load_entity_row(component, node, row);
+                }
+            }
+        }
+    }
+}
+
 /// Runs one experiment to completion and reports its measurements.
 pub fn run_experiment(input: ExperimentInput) -> ExperimentReport {
     let ExperimentInput {
@@ -697,8 +1034,8 @@ pub fn run_experiment(input: ExperimentInput) -> ExperimentReport {
     } = input;
 
     let rng = SimRng::seed_from_u64(spec.seed);
-    let mut session_rng = rng.derive(1);
-    let world_rng = rng.derive(2);
+    let mut session_rng = rng.derive(stream::SESSIONS);
+    let world_rng = rng.derive(stream::WORLD);
     let measuring_from = SimTime::ZERO + spec.warmup;
 
     // Create the session slots: one per concurrent client session.
@@ -730,35 +1067,34 @@ pub fn run_experiment(input: ExperimentInput) -> ExperimentReport {
 
     let mut state = ContainerState::new();
     if descriptor.eager_cache_warmup {
-        // Push-based caches are loaded at deployment and kept fresh by
-        // pushes: populate every cacheable query instance at its cache nodes
-        // and every replicated entity row at its replica nodes.
-        for (tag, query) in app.cacheable_query_instances() {
-            for &node in &descriptor.query_cache.nodes {
-                if descriptor.query_cache.covers(node, &tag) {
-                    state.cache_query(node, query.clone());
-                }
-            }
-        }
-        for component in registry.ids() {
-            let spec_c = registry.spec(component);
-            if let Some(table) = spec_c.table {
-                let replicas: Vec<_> = descriptor.replica_nodes(component).collect();
-                if replicas.is_empty() {
-                    continue;
-                }
-                for row in db.table(table).all_ids() {
-                    for &node in &replicas {
-                        state.load_entity_row(component, node, row);
-                    }
-                }
-            }
-        }
+        warm_caches(&mut state, &app, &registry, &descriptor, &db, None);
     }
 
     let legacy = spec.legacy_baseline;
     let bind_cache = spec.bind_cache && !legacy;
-    let net = Network::new(topology);
+    let faults_active = spec.faults.active();
+    let mut net = Network::new(topology);
+    // Deterministic message-loss hashing is keyed by the experiment seed, so
+    // loss outcomes replay identically across sequential and parallel sweeps
+    // without touching any RNG stream.
+    net.set_loss_salt(spec.seed);
+    let fault_rt = FaultRuntime {
+        active: faults_active,
+        links: if faults_active {
+            net.topology().link_ids().collect()
+        } else {
+            Vec::new()
+        },
+        nodes: if faults_active {
+            net.topology().node_ids().collect()
+        } else {
+            Vec::new()
+        },
+        stale_since: vec![None; net.topology().node_count()],
+        caches_serve: descriptor.entity_propagation != mutsvc_middleware::UpdatePropagation::None
+            || !descriptor.query_cache.nodes.is_empty(),
+        last_done_failed: false,
+    };
     let tracer = Tracer::new(spec.trace.tracer_config());
     let mut telemetry = TelemetryRegistry::new();
     let telemetry_ids = if spec.trace.telemetry_enabled() {
@@ -769,11 +1105,20 @@ pub fn run_experiment(input: ExperimentInput) -> ExperimentReport {
             &net,
             SimDuration::from_millis(20),
             spec.trace.telemetry_every,
+            faults_active,
         ))
     } else {
         None
     };
     let telemetry_every = telemetry_ids.as_ref().map(|ids| ids.every);
+    // Pre-intern each group's outcome slot so its id equals its index.
+    let mut stats = WorkloadStats::new();
+    for g in &spec.groups {
+        stats.intern_group(&g.name);
+    }
+    // Fault firing times, captured before `spec` moves into the world; the
+    // handler looks the kind up by index.
+    let fault_times: Vec<SimDuration> = spec.faults.schedule.events.iter().map(|e| e.at).collect();
     let world = World {
         net,
         jobs: Jobs::new(),
@@ -789,7 +1134,8 @@ pub fn run_experiment(input: ExperimentInput) -> ExperimentReport {
         deferred: HashMap::new(),
         deferred_tables: Vec::new(),
         plans: PlanCache::new(bind_cache),
-        stats: WorkloadStats::new(),
+        fault_rt,
+        stats,
         series_memo: HashMap::new(),
         staleness_ms: Summary::new(),
         bind_totals: BindStats::default(),
@@ -832,6 +1178,11 @@ pub fn run_experiment(input: ExperimentInput) -> ExperimentReport {
                 crate::spec::NetAction::Restore => w.net.clear_latency_overrides(),
             }
         });
+    }
+    // Fault schedule: typed events, so a fault-off run (empty schedule)
+    // leaves the queue — and the boxed-event count — untouched.
+    for (i, at) in fault_times.into_iter().enumerate() {
+        sim.schedule_event_at(SimTime::ZERO + at, Ev::Fault { idx: i as u32 });
     }
 
     sim.run_until(horizon);
@@ -1264,5 +1615,319 @@ mod tests {
         let report = run_experiment(small_input(32));
         assert!(report.bind_cache.hits > 0);
         assert!(report.bind_cache.misses > 0, "writes must miss");
+    }
+
+    // ---- fault injection ---------------------------------------------------
+
+    use crate::spec::{FaultPolicy, FaultSettings};
+    use mutsvc_desim::fault::{FaultEvent, FaultKind, FaultSchedule};
+
+    fn link_index(input: &ExperimentInput, name: &str) -> u32 {
+        input
+            .topology
+            .link_ids()
+            .find(|&l| input.topology.link(l).name == name)
+            .unwrap_or_else(|| panic!("no link {name}"))
+            .index() as u32
+    }
+
+    fn node_index(input: &ExperimentInput, name: &str) -> u32 {
+        input.topology.node_by_name(name).expect(name).index() as u32
+    }
+
+    fn sec(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    /// The two directed WAN legs between edge1 and the router cut for
+    /// `[down, up)` — the driver-test equivalent of a main-link partition.
+    fn wan_partition(input: &ExperimentInput, down: u64, up: u64) -> FaultSchedule {
+        let out = link_index(input, "edge1->router");
+        let back = link_index(input, "router->edge1");
+        FaultSchedule::scripted(vec![
+            FaultEvent {
+                at: sec(down),
+                kind: FaultKind::LinkDown { link: out },
+            },
+            FaultEvent {
+                at: sec(down),
+                kind: FaultKind::LinkDown { link: back },
+            },
+            FaultEvent {
+                at: sec(up),
+                kind: FaultKind::LinkRestore { link: out },
+            },
+            FaultEvent {
+                at: sec(up),
+                kind: FaultKind::LinkRestore { link: back },
+            },
+        ])
+    }
+
+    /// Satellite (a): a configured-but-empty fault policy leaves stats,
+    /// traces and telemetry byte-identical to a run without the subsystem.
+    #[test]
+    fn fault_off_runs_are_byte_identical() {
+        use crate::spec::TraceSettings;
+        use crate::trace_report::jsonl;
+        let run = |with_policy: bool| {
+            let mut input = small_input(51);
+            input.spec = input.spec.with_trace(TraceSettings::full());
+            if with_policy {
+                // An armed policy and a non-default timeout — but no
+                // scheduled episode — must change nothing.
+                input.spec = input.spec.with_faults(FaultSettings {
+                    schedule: FaultSchedule::none(),
+                    timeout: SimDuration::from_millis(123),
+                    policy: FaultPolicy::resilient(),
+                });
+            }
+            run_experiment(input)
+        };
+        let plain = run(false);
+        let armed = run(true);
+        assert_eq!(plain.stats, armed.stats);
+        assert_eq!(plain.completed, armed.completed);
+        assert_eq!(plain.bind_totals, armed.bind_totals);
+        assert_eq!(plain.events_fired, armed.events_fired);
+        assert_eq!(plain.boxed_events, armed.boxed_events);
+        let (pt, at) = (plain.trace.unwrap(), armed.trace.unwrap());
+        assert_eq!(jsonl(&pt), jsonl(&at), "span logs byte-identical");
+        assert_eq!(pt.telemetry_names, at.telemetry_names);
+        assert_eq!(pt.telemetry, at.telemetry);
+        assert!(
+            !pt.telemetry_names.iter().any(|n| n.starts_with("fault.")),
+            "fault gauges exist only on fault runs"
+        );
+    }
+
+    #[test]
+    fn wan_partition_fails_remote_requests_only() {
+        use crate::spec::TraceSettings;
+        use crate::trace_report::jsonl;
+        let mut input = small_input(52);
+        let schedule = wan_partition(&input, 60, 100);
+        input.spec = input
+            .spec
+            .with_trace(TraceSettings::full())
+            .with_faults(FaultSettings {
+                schedule,
+                timeout: sec(2),
+                policy: FaultPolicy::none(),
+            });
+        let report = run_experiment(input);
+        let local = report.stats.outcome("local").unwrap();
+        let remote = report.stats.outcome("remote1").unwrap();
+        assert_eq!(local.availability(), 1.0, "{local:?}");
+        assert!(remote.failed > 0, "{remote:?}");
+        // 40 s of a 120 s window dark, give or take requests in flight at
+        // the boundaries.
+        assert!(
+            (0.5..0.9).contains(&remote.availability()),
+            "remote availability {}",
+            remote.availability()
+        );
+        let log = jsonl(&report.trace.unwrap());
+        assert!(log.contains("\"kind\":\"fault\""), "fault spans exported");
+        assert!(log.contains("\"link\":\"edge1->router\""));
+    }
+
+    #[test]
+    fn retry_policy_rides_out_a_short_outage() {
+        // A 5 s blip against an 8 s-capped backoff: with retries every
+        // affected request eventually lands; without them each one dies.
+        let run = |policy: FaultPolicy| {
+            let mut input = small_input(53);
+            let schedule = wan_partition(&input, 60, 65);
+            input.spec = input.spec.with_faults(FaultSettings {
+                schedule,
+                timeout: sec(2),
+                policy,
+            });
+            run_experiment(input)
+        };
+        let none = run(FaultPolicy::none());
+        let retry = run(FaultPolicy {
+            failover: false,
+            stale_serve: false,
+            ..FaultPolicy::resilient()
+        });
+        let n = none.stats.outcome("remote1").unwrap();
+        let r = retry.stats.outcome("remote1").unwrap();
+        assert!(n.failed > 0, "{n:?}");
+        assert!(r.retries > 0, "{r:?}");
+        assert!(
+            r.availability() > n.availability(),
+            "retry {} vs none {}",
+            r.availability(),
+            n.availability()
+        );
+        assert_eq!(r.availability(), 1.0, "{r:?}");
+    }
+
+    /// A Pet Store variant whose remote group enters through the edge server
+    /// (remote-façade style web tier), so an edge crash has somewhere to
+    /// fail over *from*.
+    fn edge_entry_input(seed: u64) -> ExperimentInput {
+        let mut input = small_input(seed);
+        let (app, registry, db) = App::petstore(true);
+        let components = match &app {
+            App::PetStore(ps) => ps.components,
+            App::Rubis(_) => unreachable!(),
+        };
+        let main = input.topology.node_by_name("main").unwrap();
+        let dbn = input.topology.node_by_name("db").unwrap();
+        let edge = input.topology.node_by_name("edge1").unwrap();
+        let mut b = DescriptorBuilder::new(&registry, "facade", dbn);
+        b.central_node(main);
+        for c in components.all() {
+            b.place(c, main);
+        }
+        for c in components.edge_session_components() {
+            b.place_replicated(c, main, [edge]);
+        }
+        input.descriptor = b.build().unwrap();
+        for g in &mut input.spec.groups {
+            if g.name != "local" {
+                g.entry_node = edge;
+            }
+        }
+        input.app = app;
+        input.registry = registry;
+        input.db = db;
+        input
+    }
+
+    #[test]
+    fn entry_crash_fails_over_to_central_when_policy_allows() {
+        let run = |failover: bool| {
+            let mut input = edge_entry_input(54);
+            let edge = node_index(&input, "edge1");
+            input.spec = input.spec.with_faults(FaultSettings {
+                schedule: FaultSchedule::scripted(vec![
+                    FaultEvent {
+                        at: sec(50),
+                        kind: FaultKind::NodeCrash { node: edge },
+                    },
+                    FaultEvent {
+                        at: sec(110),
+                        kind: FaultKind::NodeRestart { node: edge },
+                    },
+                ]),
+                timeout: sec(2),
+                policy: FaultPolicy {
+                    failover,
+                    stale_serve: false,
+                    max_retries: 0,
+                    ..FaultPolicy::resilient()
+                },
+            });
+            run_experiment(input)
+        };
+        let with = run(true);
+        let without = run(false);
+        let w = with.stats.outcome("remote1").unwrap();
+        let wo = without.stats.outcome("remote1").unwrap();
+        assert!(w.failovers > 0, "{w:?}");
+        assert_eq!(wo.failovers, 0, "{wo:?}");
+        // Failover keeps serving through the crash (the edge host still
+        // forwards); without it the whole outage is dark.
+        assert!(
+            w.availability() > wo.availability() + 0.3,
+            "with {} vs without {}",
+            w.availability(),
+            wo.availability()
+        );
+        assert_eq!(
+            with.stats.outcome("local").unwrap().availability(),
+            1.0,
+            "local group never touches the edge"
+        );
+    }
+
+    #[test]
+    fn lossy_link_failures_are_recovered_by_retries() {
+        let run = |policy: FaultPolicy| {
+            let mut input = small_input(55);
+            let out = link_index(&input, "edge1->router");
+            input.spec = input.spec.with_faults(FaultSettings {
+                schedule: FaultSchedule::scripted(vec![
+                    FaultEvent {
+                        at: sec(40),
+                        kind: FaultKind::MsgLoss {
+                            link: out,
+                            probability: 0.02,
+                        },
+                    },
+                    FaultEvent {
+                        at: sec(120),
+                        kind: FaultKind::MsgLoss {
+                            link: out,
+                            probability: 0.0,
+                        },
+                    },
+                ]),
+                timeout: sec(2),
+                policy,
+            });
+            run_experiment(input)
+        };
+        let none = run(FaultPolicy::none());
+        let retry = run(FaultPolicy {
+            failover: false,
+            stale_serve: false,
+            ..FaultPolicy::resilient()
+        });
+        let n = none.stats.outcome("remote1").unwrap();
+        let r = retry.stats.outcome("remote1").unwrap();
+        assert!(n.failed > 0, "losses fail requests: {n:?}");
+        assert!(r.retries > 0, "{r:?}");
+        assert!(
+            r.availability() > n.availability(),
+            "retry {} vs none {}",
+            r.availability(),
+            n.availability()
+        );
+    }
+
+    #[test]
+    fn fault_runs_are_byte_identical_per_seed() {
+        use crate::spec::TraceSettings;
+        use crate::trace_report::jsonl;
+        let run = || {
+            let mut input = edge_entry_input(56);
+            let edge = node_index(&input, "edge1");
+            let schedule = FaultSchedule::scripted(vec![
+                FaultEvent {
+                    at: sec(45),
+                    kind: FaultKind::NodeCrash { node: edge },
+                },
+                FaultEvent {
+                    at: sec(80),
+                    kind: FaultKind::NodeRestart { node: edge },
+                },
+            ]);
+            input.spec = input
+                .spec
+                .with_trace(TraceSettings::full())
+                .with_faults(FaultSettings {
+                    schedule,
+                    timeout: sec(2),
+                    policy: FaultPolicy::resilient(),
+                });
+            run_experiment(input)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.events_fired, b.events_fired);
+        let (ta, tb) = (a.trace.unwrap(), b.trace.unwrap());
+        assert_eq!(jsonl(&ta), jsonl(&tb));
+        assert_eq!(ta.telemetry, tb.telemetry);
+        assert!(
+            ta.telemetry_names.iter().any(|x| x == "fault.nodes_down"),
+            "fault gauges registered on fault runs"
+        );
     }
 }

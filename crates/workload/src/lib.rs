@@ -23,6 +23,9 @@ pub mod stats;
 pub mod trace_report;
 
 pub use driver::{run_experiment, ExperimentInput, ExperimentReport};
-pub use spec::{paper_groups, ClientGroup, NetAction, Perturbation, TraceSettings, WorkloadSpec};
-pub use stats::{SeriesKey, WorkloadStats};
+pub use spec::{
+    paper_groups, ClientGroup, FaultPolicy, FaultSettings, NetAction, Perturbation, TraceSettings,
+    WorkloadSpec,
+};
+pub use stats::{GroupOutcome, SeriesKey, WorkloadStats};
 pub use trace_report::{chrome_trace_json, jsonl, page_breakdown, PageTraceRow, TraceData};

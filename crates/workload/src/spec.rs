@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use mutsvc_desim::fault::FaultSchedule;
 use mutsvc_desim::time::{SimDuration, SimTime};
 use mutsvc_desim::trace::TraceConfig;
 use mutsvc_netsim::NodeId;
@@ -71,6 +72,110 @@ impl TraceSettings {
 impl Default for TraceSettings {
     fn default() -> Self {
         TraceSettings::off()
+    }
+}
+
+/// How the client/container stack reacts to injected faults.
+///
+/// All knobs are deterministic: backoff is computed from the attempt count
+/// in simulated time (no wall clock), and failover re-targets requests by
+/// descriptor, never by sampling.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPolicy {
+    /// Retries after the first failed attempt (`0` fails immediately).
+    pub max_retries: u32,
+    /// First backoff delay; attempt `n` waits `base * 2^(n-1)`.
+    pub backoff_base: SimDuration,
+    /// Cap on the exponential backoff.
+    pub backoff_cap: SimDuration,
+    /// Re-target new requests from a crashed edge entry to the central
+    /// server (the façade failover of §4.2's deployment flexibility).
+    pub failover: bool,
+    /// During a partition, let edge caches answer reads — each such
+    /// response records its staleness bound. Off: those completions are
+    /// counted as failures (strict consistency over availability).
+    pub stale_serve: bool,
+}
+
+impl FaultPolicy {
+    /// No resilience: no retries, no failover, strict staleness.
+    pub fn none() -> Self {
+        FaultPolicy {
+            max_retries: 0,
+            backoff_base: SimDuration::from_millis(500),
+            backoff_cap: SimDuration::from_secs(8),
+            failover: false,
+            stale_serve: false,
+        }
+    }
+
+    /// The resilient stack: capped-exponential retries, edge→main
+    /// failover, and stale reads during partitions.
+    pub fn resilient() -> Self {
+        FaultPolicy {
+            max_retries: 3,
+            backoff_base: SimDuration::from_millis(500),
+            backoff_cap: SimDuration::from_secs(8),
+            failover: true,
+            stale_serve: true,
+        }
+    }
+
+    /// Backoff before retry attempt `n` (1-based), capped.
+    pub fn backoff(&self, attempt: u32) -> SimDuration {
+        let exp = attempt.saturating_sub(1).min(20);
+        self.backoff_cap.min(SimDuration::from_micros(
+            self.backoff_base.as_micros() << exp,
+        ))
+    }
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy::none()
+    }
+}
+
+/// Fault injection for one run: the scripted timeline plus the stack's
+/// reaction policy. Default is fully off — an empty schedule adds zero
+/// events, zero RNG draws and zero per-request work.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSettings {
+    /// The fault timeline (empty = faults off).
+    #[serde(default)]
+    pub schedule: FaultSchedule,
+    /// RMI timeout: how long a requester waits on a lost message or a
+    /// crashed callee before the attempt counts as failed.
+    #[serde(default = "default_fault_timeout")]
+    pub timeout: SimDuration,
+    /// Retry/failover/stale-serve policy.
+    #[serde(default)]
+    pub policy: FaultPolicy,
+}
+
+fn default_fault_timeout() -> SimDuration {
+    SimDuration::from_secs(2)
+}
+
+impl FaultSettings {
+    /// Faults off (the default).
+    pub fn off() -> Self {
+        FaultSettings {
+            schedule: FaultSchedule::none(),
+            timeout: default_fault_timeout(),
+            policy: FaultPolicy::none(),
+        }
+    }
+
+    /// Whether any fault episode is scheduled.
+    pub fn active(&self) -> bool {
+        !self.schedule.is_empty()
+    }
+}
+
+impl Default for FaultSettings {
+    fn default() -> Self {
+        FaultSettings::off()
     }
 }
 
@@ -152,6 +257,10 @@ pub struct WorkloadSpec {
     /// Tracing and telemetry policy (off by default; see [`TraceSettings`]).
     #[serde(default)]
     pub trace: TraceSettings,
+    /// Fault injection: schedule, RMI timeout and reaction policy (off by
+    /// default; see [`FaultSettings`]).
+    #[serde(default)]
+    pub faults: FaultSettings,
 }
 
 fn default_bind_cache() -> bool {
@@ -171,12 +280,19 @@ impl WorkloadSpec {
             bind_cache: default_bind_cache(),
             legacy_baseline: false,
             trace: TraceSettings::off(),
+            faults: FaultSettings::off(),
         }
     }
 
     /// Sets the tracing/telemetry policy.
     pub fn with_trace(mut self, trace: TraceSettings) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Sets the fault-injection schedule and policy.
+    pub fn with_faults(mut self, faults: FaultSettings) -> Self {
+        self.faults = faults;
         self
     }
 

@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-use mutsvc_desim::metrics::Summary;
+use mutsvc_desim::metrics::{Histogram, Summary};
 use mutsvc_desim::time::SimDuration;
 
 /// Identifies one measured series: client group × usage pattern × page.
@@ -19,13 +19,74 @@ pub struct SeriesKey {
     pub page: String,
 }
 
+/// Per-client-group request outcomes under fault injection: the inputs for
+/// availability, goodput and error-rate reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupOutcome {
+    /// Measured requests that completed successfully.
+    pub ok: u64,
+    /// Measured requests that failed (timeouts exhausted, or stale reads
+    /// rejected by a strict policy).
+    pub failed: u64,
+    /// Retry attempts spent on measured requests.
+    pub retries: u64,
+    /// Requests re-targeted from a crashed entry to the central server.
+    pub failovers: u64,
+    /// Successful reads answered from a partitioned edge cache (a subset
+    /// of `ok`; each recorded its staleness bound).
+    pub stale_served: u64,
+}
+
+impl GroupOutcome {
+    /// Fraction of measured requests that succeeded (1.0 when idle).
+    pub fn availability(&self) -> f64 {
+        let total = self.ok + self.failed;
+        if total == 0 {
+            1.0
+        } else {
+            self.ok as f64 / total as f64
+        }
+    }
+
+    /// Fraction of measured requests that failed.
+    pub fn error_rate(&self) -> f64 {
+        1.0 - self.availability()
+    }
+
+    /// Successful requests per second over `window` — the goodput the
+    /// group actually received (offered load minus failures).
+    pub fn goodput(&self, window: SimDuration) -> f64 {
+        if window.is_zero() {
+            0.0
+        } else {
+            self.ok as f64 / window.as_secs_f64()
+        }
+    }
+
+    /// Folds another group's outcome in (for whole-run aggregates).
+    pub fn merge(&mut self, other: &GroupOutcome) {
+        self.ok += other.ok;
+        self.failed += other.failed;
+        self.retries += other.retries;
+        self.failovers += other.failovers;
+        self.stale_served += other.stale_served;
+    }
+}
+
+/// Upper bound of the staleness histogram (ms); partitions are minutes
+/// long, so the CDF must resolve well past the episode length.
+const STALENESS_LIMIT_MS: f64 = 600_000.0;
+const STALENESS_BUCKETS: usize = 600;
+
 /// Collected response-time statistics for one experiment run.
 ///
 /// Internally series are *interned*: the string-keyed maps hold dense
 /// indices into `Vec<Summary>` storage, so the driver's hot path records
 /// measurements through [`WorkloadStats::record_ids`] without allocating
 /// (the string-keyed [`WorkloadStats::record`] remains as a convenience).
-#[derive(Debug, Clone, Default)]
+/// Request outcomes (availability/error accounting under faults) are
+/// interned the same way through [`WorkloadStats::intern_group`].
+#[derive(Debug, Clone)]
 pub struct WorkloadStats {
     series_index: BTreeMap<SeriesKey, u32>,
     series_data: Vec<Summary>,
@@ -33,6 +94,25 @@ pub struct WorkloadStats {
     session_index: BTreeMap<(String, String), u32>,
     session_data: Vec<Summary>,
     requests: u64,
+    outcome_index: BTreeMap<String, u32>,
+    outcome_data: Vec<GroupOutcome>,
+    /// Staleness bounds (ms) of stale-served responses, across all groups.
+    staleness: Histogram,
+}
+
+impl Default for WorkloadStats {
+    fn default() -> Self {
+        WorkloadStats {
+            series_index: BTreeMap::new(),
+            series_data: Vec::new(),
+            session_index: BTreeMap::new(),
+            session_data: Vec::new(),
+            requests: 0,
+            outcome_index: BTreeMap::new(),
+            outcome_data: Vec::new(),
+            staleness: Histogram::new(STALENESS_LIMIT_MS, STALENESS_BUCKETS),
+        }
+    }
 }
 
 impl WorkloadStats {
@@ -92,6 +172,77 @@ impl WorkloadStats {
     /// Total requests recorded.
     pub fn requests(&self) -> u64 {
         self.requests
+    }
+
+    // ---- request outcomes (availability under faults) -----------------------
+
+    /// Interns one client group's outcome slot, returning its id for the
+    /// `*_id` recording methods. Idempotent; intended for setup time.
+    pub fn intern_group(&mut self, group: &str) -> u32 {
+        match self.outcome_index.entry(group.to_string()) {
+            std::collections::btree_map::Entry::Occupied(e) => *e.get(),
+            std::collections::btree_map::Entry::Vacant(e) => {
+                let id = self.outcome_data.len() as u32;
+                self.outcome_data.push(GroupOutcome::default());
+                *e.insert(id)
+            }
+        }
+    }
+
+    /// Records one measured request outcome (allocation-free).
+    pub fn record_outcome_id(&mut self, group_id: u32, ok: bool) {
+        let o = &mut self.outcome_data[group_id as usize];
+        if ok {
+            o.ok += 1;
+        } else {
+            o.failed += 1;
+        }
+    }
+
+    /// Records one retry attempt of a measured request.
+    pub fn record_retry_id(&mut self, group_id: u32) {
+        self.outcome_data[group_id as usize].retries += 1;
+    }
+
+    /// Records one entry failover of a measured request.
+    pub fn record_failover_id(&mut self, group_id: u32) {
+        self.outcome_data[group_id as usize].failovers += 1;
+    }
+
+    /// Records a stale-served read and its staleness bound. Counts toward
+    /// neither `ok` nor `failed` by itself — the caller also records the
+    /// outcome.
+    pub fn record_stale_serve_id(&mut self, group_id: u32, staleness_ms: f64) {
+        self.outcome_data[group_id as usize].stale_served += 1;
+        self.staleness.record(staleness_ms);
+    }
+
+    /// One group's request outcomes, if interned.
+    pub fn outcome(&self, group: &str) -> Option<&GroupOutcome> {
+        self.outcome_index
+            .get(group)
+            .map(|&i| &self.outcome_data[i as usize])
+    }
+
+    /// Iterates every group's outcomes, sorted by group name.
+    pub fn outcomes(&self) -> impl Iterator<Item = (&str, &GroupOutcome)> {
+        self.outcome_index
+            .iter()
+            .map(|(k, &i)| (k.as_str(), &self.outcome_data[i as usize]))
+    }
+
+    /// Whole-run outcome aggregate.
+    pub fn total_outcome(&self) -> GroupOutcome {
+        let mut total = GroupOutcome::default();
+        for o in &self.outcome_data {
+            total.merge(o);
+        }
+        total
+    }
+
+    /// The staleness CDF of stale-served responses (ms).
+    pub fn staleness_histogram(&self) -> &Histogram {
+        &self.staleness
     }
 
     /// The summary of one series, if measured.
@@ -191,6 +342,8 @@ impl PartialEq for WorkloadStats {
                     .session_index
                     .iter()
                     .map(|(k, &i)| (k, &other.session_data[i as usize])))
+            && self.outcomes().eq(other.outcomes())
+            && self.staleness == other.staleness
     }
 }
 
@@ -233,6 +386,40 @@ mod tests {
             .session_mean_over_groups(&["remote1", "remote2"], "Browser")
             .unwrap();
         assert!((sess - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outcomes_track_availability_and_staleness() {
+        let mut s = WorkloadStats::new();
+        let local = s.intern_group("local");
+        let remote = s.intern_group("remote1");
+        assert_eq!(s.intern_group("local"), local, "idempotent");
+        for _ in 0..9 {
+            s.record_outcome_id(remote, true);
+        }
+        s.record_outcome_id(remote, false);
+        s.record_retry_id(remote);
+        s.record_failover_id(remote);
+        s.record_stale_serve_id(remote, 30_000.0);
+        s.record_outcome_id(local, true);
+
+        let r = s.outcome("remote1").unwrap();
+        assert_eq!(r.ok, 9);
+        assert_eq!(r.failed, 1);
+        assert!((r.availability() - 0.9).abs() < 1e-12);
+        assert!((r.error_rate() - 0.1).abs() < 1e-12);
+        assert!((r.goodput(SimDuration::from_secs(3)) - 3.0).abs() < 1e-12);
+        assert_eq!(s.outcome("local").unwrap().availability(), 1.0);
+        assert_eq!(s.outcome("nope"), None);
+
+        let total = s.total_outcome();
+        assert_eq!(total.ok, 10);
+        assert_eq!(total.failed, 1);
+        assert_eq!(total.stale_served, 1);
+        assert_eq!(s.staleness_histogram().total(), 1);
+        assert!(s.staleness_histogram().quantile(0.99) >= 30_000.0);
+        // An idle group reports full availability, not a 0/0 panic.
+        assert_eq!(GroupOutcome::default().availability(), 1.0);
     }
 
     #[test]

@@ -242,6 +242,19 @@ fn render_span_line(data: &TraceData, trace: &CompletedTrace, span: &Span, out: 
         SpanKind::Note { name, value } => {
             out.push_str(&format!(",\"note\":\"{name}\",\"value\":{value}"));
         }
+        SpanKind::Fault { link, node } => {
+            // u32::MAX marks "not the failing element" — a fault names either
+            // the downed link or the crashed node, never both.
+            if link != u32::MAX {
+                out.push_str(&format!(",\"link\":\"{}\"", link_name(data, link)));
+            }
+            if node != u32::MAX {
+                out.push_str(&format!(",\"node\":\"{}\"", node_name(data, node)));
+            }
+        }
+        SpanKind::Retry { attempt, failover } => {
+            out.push_str(&format!(",\"attempt\":{attempt},\"failover\":{failover}"));
+        }
         SpanKind::Program | SpanKind::Branch | SpanKind::Delay => {}
     }
     out.push('}');
@@ -304,6 +317,14 @@ fn span_display_name(data: &TraceData, trace: &CompletedTrace, span: &Span) -> S
         ),
         SpanKind::Delay => "delay".to_string(),
         SpanKind::Note { name, .. } => name.to_string(),
+        SpanKind::Fault { link, node } => {
+            if node != u32::MAX {
+                format!("fault node {}", node_name(data, node))
+            } else {
+                format!("fault link {}", link_name(data, link))
+            }
+        }
+        SpanKind::Retry { attempt, .. } => format!("retry #{attempt}"),
     }
 }
 
@@ -350,6 +371,11 @@ fn emit_span(
         } => {
             out.push_str(&format!(
                 ",\"args\":{{\"bytes\":{bytes},\"prop_us\":{propagation_us},\"ser_us\":{serialization_us},\"wan\":{wan}}}"
+            ));
+        }
+        SpanKind::Retry { attempt, failover } => {
+            out.push_str(&format!(
+                ",\"args\":{{\"attempt\":{attempt},\"failover\":{failover}}}"
             ));
         }
         _ => {}

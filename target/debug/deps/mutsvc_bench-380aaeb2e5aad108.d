@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/mutsvc_bench-380aaeb2e5aad108.d: crates/bench/src/lib.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs crates/bench/src/trace_artifacts.rs Cargo.toml
+/root/repo/target/debug/deps/mutsvc_bench-380aaeb2e5aad108.d: crates/bench/src/lib.rs crates/bench/src/fault_artifacts.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs crates/bench/src/trace_artifacts.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmutsvc_bench-380aaeb2e5aad108.rmeta: crates/bench/src/lib.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs crates/bench/src/trace_artifacts.rs Cargo.toml
+/root/repo/target/debug/deps/libmutsvc_bench-380aaeb2e5aad108.rmeta: crates/bench/src/lib.rs crates/bench/src/fault_artifacts.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs crates/bench/src/trace_artifacts.rs Cargo.toml
 
 crates/bench/src/lib.rs:
+crates/bench/src/fault_artifacts.rs:
 crates/bench/src/placement_report.rs:
 crates/bench/src/simperf_report.rs:
 crates/bench/src/trace_artifacts.rs:

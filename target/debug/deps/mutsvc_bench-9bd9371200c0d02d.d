@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/mutsvc_bench-9bd9371200c0d02d.d: crates/bench/src/lib.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs crates/bench/src/trace_artifacts.rs
+/root/repo/target/debug/deps/mutsvc_bench-9bd9371200c0d02d.d: crates/bench/src/lib.rs crates/bench/src/fault_artifacts.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs crates/bench/src/trace_artifacts.rs
 
-/root/repo/target/debug/deps/mutsvc_bench-9bd9371200c0d02d: crates/bench/src/lib.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs crates/bench/src/trace_artifacts.rs
+/root/repo/target/debug/deps/mutsvc_bench-9bd9371200c0d02d: crates/bench/src/lib.rs crates/bench/src/fault_artifacts.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs crates/bench/src/trace_artifacts.rs
 
 crates/bench/src/lib.rs:
+crates/bench/src/fault_artifacts.rs:
 crates/bench/src/placement_report.rs:
 crates/bench/src/simperf_report.rs:
 crates/bench/src/trace_artifacts.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/mutsvc_bench-b25a57a6ea93db85.d: crates/bench/src/lib.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs crates/bench/src/trace_artifacts.rs
+/root/repo/target/debug/deps/mutsvc_bench-b25a57a6ea93db85.d: crates/bench/src/lib.rs crates/bench/src/fault_artifacts.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs crates/bench/src/trace_artifacts.rs
 
-/root/repo/target/debug/deps/libmutsvc_bench-b25a57a6ea93db85.rlib: crates/bench/src/lib.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs crates/bench/src/trace_artifacts.rs
+/root/repo/target/debug/deps/libmutsvc_bench-b25a57a6ea93db85.rlib: crates/bench/src/lib.rs crates/bench/src/fault_artifacts.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs crates/bench/src/trace_artifacts.rs
 
-/root/repo/target/debug/deps/libmutsvc_bench-b25a57a6ea93db85.rmeta: crates/bench/src/lib.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs crates/bench/src/trace_artifacts.rs
+/root/repo/target/debug/deps/libmutsvc_bench-b25a57a6ea93db85.rmeta: crates/bench/src/lib.rs crates/bench/src/fault_artifacts.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs crates/bench/src/trace_artifacts.rs
 
 crates/bench/src/lib.rs:
+crates/bench/src/fault_artifacts.rs:
 crates/bench/src/placement_report.rs:
 crates/bench/src/simperf_report.rs:
 crates/bench/src/trace_artifacts.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/mutsvc_core-4547d7e08fcfe53b.d: crates/core/src/lib.rs crates/core/src/configs.rs crates/core/src/experiment.rs crates/core/src/invariants.rs crates/core/src/paper.rs crates/core/src/report.rs crates/core/src/topology.rs
+/root/repo/target/debug/deps/mutsvc_core-4547d7e08fcfe53b.d: crates/core/src/lib.rs crates/core/src/configs.rs crates/core/src/experiment.rs crates/core/src/faultsuite.rs crates/core/src/invariants.rs crates/core/src/paper.rs crates/core/src/report.rs crates/core/src/topology.rs
 
-/root/repo/target/debug/deps/mutsvc_core-4547d7e08fcfe53b: crates/core/src/lib.rs crates/core/src/configs.rs crates/core/src/experiment.rs crates/core/src/invariants.rs crates/core/src/paper.rs crates/core/src/report.rs crates/core/src/topology.rs
+/root/repo/target/debug/deps/mutsvc_core-4547d7e08fcfe53b: crates/core/src/lib.rs crates/core/src/configs.rs crates/core/src/experiment.rs crates/core/src/faultsuite.rs crates/core/src/invariants.rs crates/core/src/paper.rs crates/core/src/report.rs crates/core/src/topology.rs
 
 crates/core/src/lib.rs:
 crates/core/src/configs.rs:
 crates/core/src/experiment.rs:
+crates/core/src/faultsuite.rs:
 crates/core/src/invariants.rs:
 crates/core/src/paper.rs:
 crates/core/src/report.rs:

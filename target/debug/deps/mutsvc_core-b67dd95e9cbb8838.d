@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/mutsvc_core-b67dd95e9cbb8838.d: crates/core/src/lib.rs crates/core/src/configs.rs crates/core/src/experiment.rs crates/core/src/invariants.rs crates/core/src/paper.rs crates/core/src/report.rs crates/core/src/topology.rs
+/root/repo/target/debug/deps/mutsvc_core-b67dd95e9cbb8838.d: crates/core/src/lib.rs crates/core/src/configs.rs crates/core/src/experiment.rs crates/core/src/faultsuite.rs crates/core/src/invariants.rs crates/core/src/paper.rs crates/core/src/report.rs crates/core/src/topology.rs
 
-/root/repo/target/debug/deps/libmutsvc_core-b67dd95e9cbb8838.rlib: crates/core/src/lib.rs crates/core/src/configs.rs crates/core/src/experiment.rs crates/core/src/invariants.rs crates/core/src/paper.rs crates/core/src/report.rs crates/core/src/topology.rs
+/root/repo/target/debug/deps/libmutsvc_core-b67dd95e9cbb8838.rlib: crates/core/src/lib.rs crates/core/src/configs.rs crates/core/src/experiment.rs crates/core/src/faultsuite.rs crates/core/src/invariants.rs crates/core/src/paper.rs crates/core/src/report.rs crates/core/src/topology.rs
 
-/root/repo/target/debug/deps/libmutsvc_core-b67dd95e9cbb8838.rmeta: crates/core/src/lib.rs crates/core/src/configs.rs crates/core/src/experiment.rs crates/core/src/invariants.rs crates/core/src/paper.rs crates/core/src/report.rs crates/core/src/topology.rs
+/root/repo/target/debug/deps/libmutsvc_core-b67dd95e9cbb8838.rmeta: crates/core/src/lib.rs crates/core/src/configs.rs crates/core/src/experiment.rs crates/core/src/faultsuite.rs crates/core/src/invariants.rs crates/core/src/paper.rs crates/core/src/report.rs crates/core/src/topology.rs
 
 crates/core/src/lib.rs:
 crates/core/src/configs.rs:
 crates/core/src/experiment.rs:
+crates/core/src/faultsuite.rs:
 crates/core/src/invariants.rs:
 crates/core/src/paper.rs:
 crates/core/src/report.rs:

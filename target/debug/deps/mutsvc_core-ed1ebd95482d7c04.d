@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/mutsvc_core-ed1ebd95482d7c04.d: crates/core/src/lib.rs crates/core/src/configs.rs crates/core/src/experiment.rs crates/core/src/invariants.rs crates/core/src/paper.rs crates/core/src/report.rs crates/core/src/topology.rs Cargo.toml
+/root/repo/target/debug/deps/mutsvc_core-ed1ebd95482d7c04.d: crates/core/src/lib.rs crates/core/src/configs.rs crates/core/src/experiment.rs crates/core/src/faultsuite.rs crates/core/src/invariants.rs crates/core/src/paper.rs crates/core/src/report.rs crates/core/src/topology.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmutsvc_core-ed1ebd95482d7c04.rmeta: crates/core/src/lib.rs crates/core/src/configs.rs crates/core/src/experiment.rs crates/core/src/invariants.rs crates/core/src/paper.rs crates/core/src/report.rs crates/core/src/topology.rs Cargo.toml
+/root/repo/target/debug/deps/libmutsvc_core-ed1ebd95482d7c04.rmeta: crates/core/src/lib.rs crates/core/src/configs.rs crates/core/src/experiment.rs crates/core/src/faultsuite.rs crates/core/src/invariants.rs crates/core/src/paper.rs crates/core/src/report.rs crates/core/src/topology.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/configs.rs:
 crates/core/src/experiment.rs:
+crates/core/src/faultsuite.rs:
 crates/core/src/invariants.rs:
 crates/core/src/paper.rs:
 crates/core/src/report.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/mutsvc_desim-640d9caed7d0c882.d: crates/desim/src/lib.rs crates/desim/src/metrics.rs crates/desim/src/resource.rs crates/desim/src/rng.rs crates/desim/src/sim.rs crates/desim/src/telemetry.rs crates/desim/src/time.rs crates/desim/src/trace.rs
+/root/repo/target/debug/deps/mutsvc_desim-640d9caed7d0c882.d: crates/desim/src/lib.rs crates/desim/src/fault.rs crates/desim/src/metrics.rs crates/desim/src/resource.rs crates/desim/src/rng.rs crates/desim/src/sim.rs crates/desim/src/telemetry.rs crates/desim/src/time.rs crates/desim/src/trace.rs
 
-/root/repo/target/debug/deps/mutsvc_desim-640d9caed7d0c882: crates/desim/src/lib.rs crates/desim/src/metrics.rs crates/desim/src/resource.rs crates/desim/src/rng.rs crates/desim/src/sim.rs crates/desim/src/telemetry.rs crates/desim/src/time.rs crates/desim/src/trace.rs
+/root/repo/target/debug/deps/mutsvc_desim-640d9caed7d0c882: crates/desim/src/lib.rs crates/desim/src/fault.rs crates/desim/src/metrics.rs crates/desim/src/resource.rs crates/desim/src/rng.rs crates/desim/src/sim.rs crates/desim/src/telemetry.rs crates/desim/src/time.rs crates/desim/src/trace.rs
 
 crates/desim/src/lib.rs:
+crates/desim/src/fault.rs:
 crates/desim/src/metrics.rs:
 crates/desim/src/resource.rs:
 crates/desim/src/rng.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/mutsvc_desim-7a6cc8078b8ad244.d: crates/desim/src/lib.rs crates/desim/src/metrics.rs crates/desim/src/resource.rs crates/desim/src/rng.rs crates/desim/src/sim.rs crates/desim/src/telemetry.rs crates/desim/src/time.rs crates/desim/src/trace.rs Cargo.toml
+/root/repo/target/debug/deps/mutsvc_desim-7a6cc8078b8ad244.d: crates/desim/src/lib.rs crates/desim/src/fault.rs crates/desim/src/metrics.rs crates/desim/src/resource.rs crates/desim/src/rng.rs crates/desim/src/sim.rs crates/desim/src/telemetry.rs crates/desim/src/time.rs crates/desim/src/trace.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmutsvc_desim-7a6cc8078b8ad244.rmeta: crates/desim/src/lib.rs crates/desim/src/metrics.rs crates/desim/src/resource.rs crates/desim/src/rng.rs crates/desim/src/sim.rs crates/desim/src/telemetry.rs crates/desim/src/time.rs crates/desim/src/trace.rs Cargo.toml
+/root/repo/target/debug/deps/libmutsvc_desim-7a6cc8078b8ad244.rmeta: crates/desim/src/lib.rs crates/desim/src/fault.rs crates/desim/src/metrics.rs crates/desim/src/resource.rs crates/desim/src/rng.rs crates/desim/src/sim.rs crates/desim/src/telemetry.rs crates/desim/src/time.rs crates/desim/src/trace.rs Cargo.toml
 
 crates/desim/src/lib.rs:
+crates/desim/src/fault.rs:
 crates/desim/src/metrics.rs:
 crates/desim/src/resource.rs:
 crates/desim/src/rng.rs:

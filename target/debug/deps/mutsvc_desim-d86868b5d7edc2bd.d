@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/mutsvc_desim-d86868b5d7edc2bd.d: crates/desim/src/lib.rs crates/desim/src/metrics.rs crates/desim/src/resource.rs crates/desim/src/rng.rs crates/desim/src/sim.rs crates/desim/src/telemetry.rs crates/desim/src/time.rs crates/desim/src/trace.rs
+/root/repo/target/debug/deps/mutsvc_desim-d86868b5d7edc2bd.d: crates/desim/src/lib.rs crates/desim/src/fault.rs crates/desim/src/metrics.rs crates/desim/src/resource.rs crates/desim/src/rng.rs crates/desim/src/sim.rs crates/desim/src/telemetry.rs crates/desim/src/time.rs crates/desim/src/trace.rs
 
-/root/repo/target/debug/deps/libmutsvc_desim-d86868b5d7edc2bd.rlib: crates/desim/src/lib.rs crates/desim/src/metrics.rs crates/desim/src/resource.rs crates/desim/src/rng.rs crates/desim/src/sim.rs crates/desim/src/telemetry.rs crates/desim/src/time.rs crates/desim/src/trace.rs
+/root/repo/target/debug/deps/libmutsvc_desim-d86868b5d7edc2bd.rlib: crates/desim/src/lib.rs crates/desim/src/fault.rs crates/desim/src/metrics.rs crates/desim/src/resource.rs crates/desim/src/rng.rs crates/desim/src/sim.rs crates/desim/src/telemetry.rs crates/desim/src/time.rs crates/desim/src/trace.rs
 
-/root/repo/target/debug/deps/libmutsvc_desim-d86868b5d7edc2bd.rmeta: crates/desim/src/lib.rs crates/desim/src/metrics.rs crates/desim/src/resource.rs crates/desim/src/rng.rs crates/desim/src/sim.rs crates/desim/src/telemetry.rs crates/desim/src/time.rs crates/desim/src/trace.rs
+/root/repo/target/debug/deps/libmutsvc_desim-d86868b5d7edc2bd.rmeta: crates/desim/src/lib.rs crates/desim/src/fault.rs crates/desim/src/metrics.rs crates/desim/src/resource.rs crates/desim/src/rng.rs crates/desim/src/sim.rs crates/desim/src/telemetry.rs crates/desim/src/time.rs crates/desim/src/trace.rs
 
 crates/desim/src/lib.rs:
+crates/desim/src/fault.rs:
 crates/desim/src/metrics.rs:
 crates/desim/src/resource.rs:
 crates/desim/src/rng.rs:

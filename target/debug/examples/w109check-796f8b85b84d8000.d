@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/w109check-796f8b85b84d8000.d: crates/analyze/examples/w109check.rs
+
+/root/repo/target/debug/examples/w109check-796f8b85b84d8000: crates/analyze/examples/w109check.rs
+
+crates/analyze/examples/w109check.rs:

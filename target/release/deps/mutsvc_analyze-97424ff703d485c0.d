@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mutsvc_analyze-97424ff703d485c0.d: crates/analyze/src/bin/main.rs
+
+/root/repo/target/release/deps/mutsvc_analyze-97424ff703d485c0: crates/analyze/src/bin/main.rs
+
+crates/analyze/src/bin/main.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/mutsvc_bench-15ddd6da55406519.d: crates/bench/src/lib.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs crates/bench/src/trace_artifacts.rs
+/root/repo/target/release/deps/mutsvc_bench-15ddd6da55406519.d: crates/bench/src/lib.rs crates/bench/src/fault_artifacts.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs crates/bench/src/trace_artifacts.rs
 
-/root/repo/target/release/deps/libmutsvc_bench-15ddd6da55406519.rlib: crates/bench/src/lib.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs crates/bench/src/trace_artifacts.rs
+/root/repo/target/release/deps/libmutsvc_bench-15ddd6da55406519.rlib: crates/bench/src/lib.rs crates/bench/src/fault_artifacts.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs crates/bench/src/trace_artifacts.rs
 
-/root/repo/target/release/deps/libmutsvc_bench-15ddd6da55406519.rmeta: crates/bench/src/lib.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs crates/bench/src/trace_artifacts.rs
+/root/repo/target/release/deps/libmutsvc_bench-15ddd6da55406519.rmeta: crates/bench/src/lib.rs crates/bench/src/fault_artifacts.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs crates/bench/src/trace_artifacts.rs
 
 crates/bench/src/lib.rs:
+crates/bench/src/fault_artifacts.rs:
 crates/bench/src/placement_report.rs:
 crates/bench/src/simperf_report.rs:
 crates/bench/src/trace_artifacts.rs:

@@ -1,12 +1,13 @@
-/root/repo/target/release/deps/mutsvc_core-ef179e25fe83e717.d: crates/core/src/lib.rs crates/core/src/configs.rs crates/core/src/experiment.rs crates/core/src/invariants.rs crates/core/src/paper.rs crates/core/src/report.rs crates/core/src/topology.rs
+/root/repo/target/release/deps/mutsvc_core-ef179e25fe83e717.d: crates/core/src/lib.rs crates/core/src/configs.rs crates/core/src/experiment.rs crates/core/src/faultsuite.rs crates/core/src/invariants.rs crates/core/src/paper.rs crates/core/src/report.rs crates/core/src/topology.rs
 
-/root/repo/target/release/deps/libmutsvc_core-ef179e25fe83e717.rlib: crates/core/src/lib.rs crates/core/src/configs.rs crates/core/src/experiment.rs crates/core/src/invariants.rs crates/core/src/paper.rs crates/core/src/report.rs crates/core/src/topology.rs
+/root/repo/target/release/deps/libmutsvc_core-ef179e25fe83e717.rlib: crates/core/src/lib.rs crates/core/src/configs.rs crates/core/src/experiment.rs crates/core/src/faultsuite.rs crates/core/src/invariants.rs crates/core/src/paper.rs crates/core/src/report.rs crates/core/src/topology.rs
 
-/root/repo/target/release/deps/libmutsvc_core-ef179e25fe83e717.rmeta: crates/core/src/lib.rs crates/core/src/configs.rs crates/core/src/experiment.rs crates/core/src/invariants.rs crates/core/src/paper.rs crates/core/src/report.rs crates/core/src/topology.rs
+/root/repo/target/release/deps/libmutsvc_core-ef179e25fe83e717.rmeta: crates/core/src/lib.rs crates/core/src/configs.rs crates/core/src/experiment.rs crates/core/src/faultsuite.rs crates/core/src/invariants.rs crates/core/src/paper.rs crates/core/src/report.rs crates/core/src/topology.rs
 
 crates/core/src/lib.rs:
 crates/core/src/configs.rs:
 crates/core/src/experiment.rs:
+crates/core/src/faultsuite.rs:
 crates/core/src/invariants.rs:
 crates/core/src/paper.rs:
 crates/core/src/report.rs:

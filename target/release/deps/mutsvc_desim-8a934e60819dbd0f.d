@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/mutsvc_desim-8a934e60819dbd0f.d: crates/desim/src/lib.rs crates/desim/src/metrics.rs crates/desim/src/resource.rs crates/desim/src/rng.rs crates/desim/src/sim.rs crates/desim/src/telemetry.rs crates/desim/src/time.rs crates/desim/src/trace.rs
+/root/repo/target/release/deps/mutsvc_desim-8a934e60819dbd0f.d: crates/desim/src/lib.rs crates/desim/src/fault.rs crates/desim/src/metrics.rs crates/desim/src/resource.rs crates/desim/src/rng.rs crates/desim/src/sim.rs crates/desim/src/telemetry.rs crates/desim/src/time.rs crates/desim/src/trace.rs
 
-/root/repo/target/release/deps/libmutsvc_desim-8a934e60819dbd0f.rlib: crates/desim/src/lib.rs crates/desim/src/metrics.rs crates/desim/src/resource.rs crates/desim/src/rng.rs crates/desim/src/sim.rs crates/desim/src/telemetry.rs crates/desim/src/time.rs crates/desim/src/trace.rs
+/root/repo/target/release/deps/libmutsvc_desim-8a934e60819dbd0f.rlib: crates/desim/src/lib.rs crates/desim/src/fault.rs crates/desim/src/metrics.rs crates/desim/src/resource.rs crates/desim/src/rng.rs crates/desim/src/sim.rs crates/desim/src/telemetry.rs crates/desim/src/time.rs crates/desim/src/trace.rs
 
-/root/repo/target/release/deps/libmutsvc_desim-8a934e60819dbd0f.rmeta: crates/desim/src/lib.rs crates/desim/src/metrics.rs crates/desim/src/resource.rs crates/desim/src/rng.rs crates/desim/src/sim.rs crates/desim/src/telemetry.rs crates/desim/src/time.rs crates/desim/src/trace.rs
+/root/repo/target/release/deps/libmutsvc_desim-8a934e60819dbd0f.rmeta: crates/desim/src/lib.rs crates/desim/src/fault.rs crates/desim/src/metrics.rs crates/desim/src/resource.rs crates/desim/src/rng.rs crates/desim/src/sim.rs crates/desim/src/telemetry.rs crates/desim/src/time.rs crates/desim/src/trace.rs
 
 crates/desim/src/lib.rs:
+crates/desim/src/fault.rs:
 crates/desim/src/metrics.rs:
 crates/desim/src/resource.rs:
 crates/desim/src/rng.rs:
