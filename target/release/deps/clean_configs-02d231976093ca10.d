@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/clean_configs-02d231976093ca10.d: crates/analyze/tests/clean_configs.rs
+
+/root/repo/target/release/deps/clean_configs-02d231976093ca10: crates/analyze/tests/clean_configs.rs
+
+crates/analyze/tests/clean_configs.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-ad716888a1a6f5ba.d: vendored/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-ad716888a1a6f5ba.rlib: vendored/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-ad716888a1a6f5ba.rmeta: vendored/criterion/src/lib.rs
+
+vendored/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/golden-760d8939772bf06a.d: crates/analyze/tests/golden.rs
+
+/root/repo/target/release/deps/golden-760d8939772bf06a: crates/analyze/tests/golden.rs
+
+crates/analyze/tests/golden.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mutsvc_analyze-6fb0cef08f3952b2.d: crates/analyze/src/bin/main.rs
+
+/root/repo/target/release/deps/mutsvc_analyze-6fb0cef08f3952b2: crates/analyze/src/bin/main.rs
+
+crates/analyze/src/bin/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mutsvc_bench-b3e52706d7e0b8a2.d: crates/bench/src/lib.rs crates/bench/src/fault_artifacts.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs crates/bench/src/trace_artifacts.rs
+
+/root/repo/target/release/deps/mutsvc_bench-b3e52706d7e0b8a2: crates/bench/src/lib.rs crates/bench/src/fault_artifacts.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs crates/bench/src/trace_artifacts.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/fault_artifacts.rs:
+crates/bench/src/placement_report.rs:
+crates/bench/src/simperf_report.rs:
+crates/bench/src/trace_artifacts.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mutsvc_core-ef9e3e331d31c459.d: crates/core/src/lib.rs crates/core/src/configs.rs crates/core/src/experiment.rs crates/core/src/faultsuite.rs crates/core/src/invariants.rs crates/core/src/paper.rs crates/core/src/report.rs crates/core/src/topology.rs
+
+/root/repo/target/release/deps/mutsvc_core-ef9e3e331d31c459: crates/core/src/lib.rs crates/core/src/configs.rs crates/core/src/experiment.rs crates/core/src/faultsuite.rs crates/core/src/invariants.rs crates/core/src/paper.rs crates/core/src/report.rs crates/core/src/topology.rs
+
+crates/core/src/lib.rs:
+crates/core/src/configs.rs:
+crates/core/src/experiment.rs:
+crates/core/src/faultsuite.rs:
+crates/core/src/invariants.rs:
+crates/core/src/paper.rs:
+crates/core/src/report.rs:
+crates/core/src/topology.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mutsvc_desim-e0de2e74f15edd0c.d: crates/desim/src/lib.rs crates/desim/src/fault.rs crates/desim/src/metrics.rs crates/desim/src/resource.rs crates/desim/src/rng.rs crates/desim/src/sim.rs crates/desim/src/telemetry.rs crates/desim/src/time.rs crates/desim/src/trace.rs
+
+/root/repo/target/release/deps/mutsvc_desim-e0de2e74f15edd0c: crates/desim/src/lib.rs crates/desim/src/fault.rs crates/desim/src/metrics.rs crates/desim/src/resource.rs crates/desim/src/rng.rs crates/desim/src/sim.rs crates/desim/src/telemetry.rs crates/desim/src/time.rs crates/desim/src/trace.rs
+
+crates/desim/src/lib.rs:
+crates/desim/src/fault.rs:
+crates/desim/src/metrics.rs:
+crates/desim/src/resource.rs:
+crates/desim/src/rng.rs:
+crates/desim/src/sim.rs:
+crates/desim/src/telemetry.rs:
+crates/desim/src/time.rs:
+crates/desim/src/trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mutsvc_netsim-db01b840509c8b09.d: crates/netsim/src/lib.rs crates/netsim/src/job.rs crates/netsim/src/network.rs crates/netsim/src/protocol.rs crates/netsim/src/topology.rs
+
+/root/repo/target/release/deps/mutsvc_netsim-db01b840509c8b09: crates/netsim/src/lib.rs crates/netsim/src/job.rs crates/netsim/src/network.rs crates/netsim/src/protocol.rs crates/netsim/src/topology.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/job.rs:
+crates/netsim/src/network.rs:
+crates/netsim/src/protocol.rs:
+crates/netsim/src/topology.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mutsvc_relstore-f21d067046a25588.d: crates/relstore/src/lib.rs crates/relstore/src/database.rs crates/relstore/src/invalidation.rs crates/relstore/src/table.rs crates/relstore/src/value.rs
+
+/root/repo/target/release/deps/mutsvc_relstore-f21d067046a25588: crates/relstore/src/lib.rs crates/relstore/src/database.rs crates/relstore/src/invalidation.rs crates/relstore/src/table.rs crates/relstore/src/value.rs
+
+crates/relstore/src/lib.rs:
+crates/relstore/src/database.rs:
+crates/relstore/src/invalidation.rs:
+crates/relstore/src/table.rs:
+crates/relstore/src/value.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mutsvc_workload-5266708ec51f4b84.d: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/spec.rs crates/workload/src/stats.rs crates/workload/src/trace_report.rs
+
+/root/repo/target/release/deps/mutsvc_workload-5266708ec51f4b84: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/spec.rs crates/workload/src/stats.rs crates/workload/src/trace_report.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/driver.rs:
+crates/workload/src/spec.rs:
+crates/workload/src/stats.rs:
+crates/workload/src/trace_report.rs:

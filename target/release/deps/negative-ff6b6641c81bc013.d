@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/negative-ff6b6641c81bc013.d: crates/analyze/tests/negative.rs
+
+/root/repo/target/release/deps/negative-ff6b6641c81bc013: crates/analyze/tests/negative.rs
+
+crates/analyze/tests/negative.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/page_structure-0cb7a66488fcf7ea.d: crates/core/tests/page_structure.rs
+
+/root/repo/target/release/deps/page_structure-0cb7a66488fcf7ea: crates/core/tests/page_structure.rs
+
+crates/core/tests/page_structure.rs:

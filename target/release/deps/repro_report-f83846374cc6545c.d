@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_report-f83846374cc6545c.d: crates/bench/src/bin/repro_report.rs
+
+/root/repo/target/release/deps/repro_report-f83846374cc6545c: crates/bench/src/bin/repro_report.rs
+
+crates/bench/src/bin/repro_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_determinism-016a6183b07007a5.d: crates/bench/tests/trace_determinism.rs
+
+/root/repo/target/release/deps/trace_determinism-016a6183b07007a5: crates/bench/tests/trace_determinism.rs
+
+crates/bench/tests/trace_determinism.rs:
