@@ -1,22 +1,33 @@
 //! `mutsvc-analyze` — the static deployment linter CLI.
 //!
 //! ```text
-//! mutsvc-analyze [--app petstore|rubis] [--config NAME] [--all] [--format text|json]
+//! mutsvc-analyze [--app petstore|rubis] [--config NAME] [--all]
+//!                [--format text|json|sarif]
+//!                [--check-faults [--smoke]]
+//!                [--explain CODE]
 //! ```
 //!
 //! With no selection flags, `--all` is assumed (both applications × all five
-//! configurations). Exits `1` when any analyzed deployment has errors, `2`
-//! on usage errors.
+//! configurations). `--explain CODE` prints the registered documentation
+//! for one diagnostic code and exits. `--check-faults` additionally runs
+//! the fault-suite simulations for every selected cell and cross-checks the
+//! analyzer's predicted per-episode availability against the simulated
+//! figure (`--smoke` shortens the simulated windows to CI wall-clock and
+//! widens the tolerance accordingly). Exits `1` when any analyzed
+//! deployment has errors or a cross-check misses, `2` on usage errors.
 
 use std::process::ExitCode;
 
-use mutsvc_analyze::analyze_target;
-use mutsvc_core::{AppKind, Config};
+use mutsvc_analyze::{analyze_target_windows, explain, sarif_document, Report};
+use mutsvc_core::{AppKind, Config, FaultCase, Scenario};
+use mutsvc_desim::time::SimDuration;
+use mutsvc_workload::FaultPolicy;
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Format {
     Text,
     Json,
+    Sarif,
 }
 
 struct Options {
@@ -24,13 +35,17 @@ struct Options {
     config: Option<Config>,
     all: bool,
     format: Format,
+    explain: Option<String>,
+    check_faults: bool,
+    smoke: bool,
 }
 
 fn usage() -> String {
     let configs: Vec<&str> = Config::all().iter().map(|c| c.name()).collect();
     format!(
         "usage: mutsvc-analyze [--app petstore|rubis] [--config NAME] [--all] \
-         [--format text|json]\nconfigs: {}",
+         [--format text|json|sarif] [--check-faults [--smoke]] [--explain CODE]\n\
+         configs: {}",
         configs.join(", ")
     )
 }
@@ -41,6 +56,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         config: None,
         all: false,
         format: Format::Text,
+        explain: None,
+        check_faults: false,
+        smoke: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -69,14 +87,108 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.format = match value.as_str() {
                     "text" => Format::Text,
                     "json" => Format::Json,
+                    "sarif" => Format::Sarif,
                     other => return Err(format!("unknown format `{other}`")),
                 };
             }
+            "--explain" => {
+                let value = it.next().ok_or("--explain needs a code")?;
+                opts.explain = Some(value.clone());
+            }
+            "--check-faults" => opts.check_faults = true,
+            "--smoke" => opts.smoke = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
+    if opts.smoke && !opts.check_faults {
+        return Err("--smoke only applies to --check-faults".to_string());
+    }
     Ok(opts)
+}
+
+fn print_explain(code: &str) -> ExitCode {
+    match explain(code) {
+        Some(doc) => {
+            println!("{}: {}  ({})", doc.code, doc.summary, doc.section);
+            println!();
+            // Re-flow the explain paragraph to honest line lengths.
+            let mut line = String::new();
+            for word in doc.explain.split_whitespace() {
+                if !line.is_empty() && line.len() + 1 + word.len() > 76 {
+                    println!("{line}");
+                    line.clear();
+                }
+                if !line.is_empty() {
+                    line.push(' ');
+                }
+                line.push_str(word);
+            }
+            if !line.is_empty() {
+                println!("{line}");
+            }
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("error: unknown diagnostic code `{code}`");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Cross-checks one cell: predicted availability per episode against a
+/// resilient-arm simulation of the same episode and windows. Returns the
+/// number of misses.
+fn check_faults_cell(
+    app: AppKind,
+    config: Config,
+    report: &Report,
+    warmup: SimDuration,
+    duration: SimDuration,
+    tolerance: f64,
+) -> usize {
+    let mut misses = 0;
+    for case in FaultCase::all() {
+        let Some(row) = report
+            .availability
+            .iter()
+            .find(|r| r.episode == case.name())
+        else {
+            println!(
+                "  {:<9} {:<17} {:<20} no prediction  MISS",
+                app.name(),
+                config.name(),
+                case.name()
+            );
+            misses += 1;
+            continue;
+        };
+        let mut scenario = Scenario::quick(app, config);
+        scenario.warmup = warmup;
+        scenario.duration = duration;
+        let scenario = scenario.with_fault_case(case, FaultPolicy::resilient());
+        let simulated = scenario
+            .run()
+            .stats
+            .outcome("remote1")
+            .map_or(f64::NAN, mutsvc_workload::GroupOutcome::availability);
+        let diff = (row.availability - simulated).abs();
+        let ok = diff.is_finite() && diff <= tolerance;
+        println!(
+            "  {:<9} {:<17} {:<20} predicted {:.4}  simulated {:.4}  diff {:.4}  {}",
+            app.name(),
+            config.name(),
+            case.name(),
+            row.availability,
+            simulated,
+            diff,
+            if ok { "ok" } else { "MISS" }
+        );
+        if !ok {
+            misses += 1;
+        }
+    }
+    misses
 }
 
 fn main() -> ExitCode {
@@ -92,6 +204,10 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(code) = &opts.explain {
+        return print_explain(code);
+    }
+
     let apps: Vec<AppKind> = match (opts.all, opts.app) {
         (false, Some(app)) => vec![app],
         _ => AppKind::all().to_vec(),
@@ -101,22 +217,62 @@ fn main() -> ExitCode {
         _ => Config::all().to_vec(),
     };
 
+    // Predictions must line up with the simulated windows, so in smoke mode
+    // the analysis itself runs against the shortened schedule.
+    let quick = Scenario::quick(AppKind::PetStore, Config::Centralized);
+    let (warmup, duration) = if opts.smoke {
+        (SimDuration::from_secs(10), SimDuration::from_secs(40))
+    } else {
+        (quick.warmup, quick.duration)
+    };
+    // Smoke windows issue only a handful of requests per session, so the
+    // simulated fraction is quantized; the full windows earn the tight bound.
+    let tolerance = if opts.smoke { 0.08 } else { 0.01 };
+
     let mut failed = false;
-    let mut json_reports = Vec::new();
+    let mut misses = 0;
+    let mut reports = Vec::new();
     for &app in &apps {
         for &config in &configs {
-            let report = analyze_target(app, config);
+            let report = analyze_target_windows(app, config, warmup, duration);
             failed |= report.has_errors();
             match opts.format {
                 Format::Text => print!("{}", report.render_text()),
-                Format::Json => json_reports.push(report.to_json()),
+                Format::Json | Format::Sarif => {}
             }
+            reports.push((app, config, report));
         }
     }
-    if opts.format == Format::Json {
-        println!("[{}]", json_reports.join(","));
+    match opts.format {
+        Format::Text => {}
+        Format::Json => {
+            let docs: Vec<String> = reports.iter().map(|(_, _, r)| r.to_json()).collect();
+            println!("[{}]", docs.join(","));
+        }
+        Format::Sarif => {
+            let docs: Vec<Report> = reports.iter().map(|(_, _, r)| r.clone()).collect();
+            println!("{}", sarif_document(&docs));
+        }
     }
-    if failed {
+
+    if opts.check_faults {
+        println!(
+            "fault cross-check (windows {}s+{}s, tolerance {:.2}):",
+            warmup.as_secs_f64(),
+            duration.as_secs_f64(),
+            tolerance
+        );
+        for (app, config, report) in &reports {
+            misses += check_faults_cell(*app, *config, report, warmup, duration, tolerance);
+        }
+        if misses > 0 {
+            eprintln!("error: {misses} fault cross-check misses");
+        } else {
+            println!("fault cross-check: all cells within {tolerance:.2}");
+        }
+    }
+
+    if failed || misses > 0 {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS

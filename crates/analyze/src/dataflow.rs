@@ -1,0 +1,243 @@
+//! Staleness-lattice dataflow over bound-page programs.
+//!
+//! Each cached read site (entity replica row, edge query cache) serves data
+//! whose distance from the authoritative database is bounded by the
+//! descriptor's propagation mode. The analysis abstract-interprets every
+//! page over a per-table lattice
+//!
+//! ```text
+//!        Fresh  <  Bounded(g)  <  Unbounded
+//! ```
+//!
+//! — `Fresh`: the site always observes the latest committed value
+//! (synchronous push, or invalidation followed by a refetch);
+//! `Bounded(g)`: at most `g` propagation generations behind (asynchronous
+//! push applies each update after a queued delay); `Unbounded`: nothing
+//! ever refreshes the site, staleness grows without bound. Join is max.
+//!
+//! On top of the per-site facts, an inter-page fixpoint propagates *written
+//! tables* along each service-usage pattern's page-flow graph
+//! ([`mutsvc_apps::SessionFlow`]): `IN[p]` is the set of tables some
+//! earlier page of the same session may have written, computed as the union
+//! of `OUT` over `p`'s predecessors until the worklist converges. A cached
+//! read of a table in `IN[p]` whose site is not `Fresh` is a
+//! read-your-writes hazard *across pages* — the inter-page generalisation
+//! of the syntactic W105 — and becomes `E005` when the fault context shows
+//! the write is revocable (see [`crate::reachability`]).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mutsvc_apps::SessionFlow;
+use mutsvc_middleware::{DeploymentDescriptor, UpdatePropagation};
+use mutsvc_relstore::TableId;
+
+use crate::walker::{CachedRead, PageWalk, ReadVia};
+
+/// Abstract staleness of a cached read site: how far behind the
+/// authoritative database the served value can be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Staleness {
+    /// The site always observes the latest committed value.
+    Fresh,
+    /// At most this many propagation generations behind.
+    Bounded(u32),
+    /// Nothing refreshes the site; staleness grows without bound.
+    Unbounded,
+}
+
+impl Staleness {
+    /// Lattice join (least upper bound): the worse of the two.
+    pub fn join(self, other: Staleness) -> Staleness {
+        self.max(other)
+    }
+
+    /// Short rendering label (`fresh`, `bounded(1)`, `unbounded`).
+    pub fn label(self) -> String {
+        match self {
+            Staleness::Fresh => "fresh".to_string(),
+            Staleness::Bounded(g) => format!("bounded({g})"),
+            Staleness::Unbounded => "unbounded".to_string(),
+        }
+    }
+}
+
+/// The abstract staleness of one cached read site, derived from the
+/// propagation mode that maintains it: synchronous push and invalidation
+/// are `Fresh` (an invalidated entry refetches before serving), an
+/// asynchronous push trails by one queued generation, and no propagation
+/// at all leaves the site `Unbounded`.
+pub fn site_staleness(descriptor: &DeploymentDescriptor, via: ReadVia) -> Staleness {
+    let propagation = match via {
+        ReadVia::Replica => descriptor.entity_propagation,
+        ReadVia::QueryCache => descriptor.query_cache.propagation,
+    };
+    match propagation {
+        UpdatePropagation::SyncPush | UpdatePropagation::Invalidate => Staleness::Fresh,
+        UpdatePropagation::AsyncPush => Staleness::Bounded(1),
+        UpdatePropagation::None => Staleness::Unbounded,
+    }
+}
+
+/// A cached read of a table some earlier page of the same session may have
+/// written, at a site that is not `Fresh` — the session can observe state
+/// from before its own write.
+#[derive(Debug, Clone)]
+pub struct InterPageHazard {
+    /// The usage pattern whose flow graph carries the write.
+    pub pattern: &'static str,
+    /// The page performing the cached read.
+    pub page: String,
+    /// The read site.
+    pub site: CachedRead,
+    /// Site staleness (never `Fresh`).
+    pub staleness: Staleness,
+}
+
+/// The result of the staleness dataflow over all pages and flows.
+#[derive(Debug)]
+pub struct StalenessAnalysis {
+    /// Per-page staleness bound: the join over the page's cached read
+    /// sites (`Fresh` when the page reads nothing from caches).
+    pub page_bounds: BTreeMap<String, Staleness>,
+    /// Read sites with unbounded staleness (W110), in walk order.
+    pub unbounded_sites: Vec<(String, CachedRead)>,
+    /// Inter-page read-your-writes hazards over the session flow graphs.
+    pub hazards: Vec<InterPageHazard>,
+    /// Worklist sweeps until the inter-page fixpoint stabilised (max over
+    /// flows).
+    pub iterations: u32,
+    /// Whether every flow reached its fixpoint within the iteration cap.
+    pub converged: bool,
+}
+
+/// Sweeps the iteration cap: generous, and only reachable by a bug — the
+/// carried-write sets grow monotonically, so |pages| × |tables| sweeps
+/// already overshoot the tallest possible chain.
+fn iteration_cap(pages: usize) -> u32 {
+    (2 * pages + 8) as u32
+}
+
+/// Runs the staleness dataflow: per-site lattice facts, then the inter-page
+/// carried-write fixpoint over each session flow graph.
+pub fn analyze_staleness(
+    descriptor: &DeploymentDescriptor,
+    flows: &[SessionFlow],
+    walks: &[PageWalk],
+) -> StalenessAnalysis {
+    let by_label: BTreeMap<&str, &PageWalk> = walks.iter().map(|w| (w.page.as_str(), w)).collect();
+
+    let mut page_bounds = BTreeMap::new();
+    let mut unbounded_sites = Vec::new();
+    for walk in walks {
+        let mut bound = Staleness::Fresh;
+        for site in &walk.cached_reads {
+            let s = site_staleness(descriptor, site.via);
+            bound = bound.join(s);
+            if s == Staleness::Unbounded {
+                unbounded_sites.push((walk.page.clone(), site.clone()));
+            }
+        }
+        page_bounds.insert(walk.page.clone(), bound);
+    }
+
+    let mut hazards = Vec::new();
+    let mut iterations = 0u32;
+    let mut converged = true;
+    for flow in flows {
+        let pages: Vec<&PageWalk> = flow
+            .pages
+            .iter()
+            .filter_map(|p| by_label.get(p).copied())
+            .collect();
+        if pages.is_empty() {
+            continue;
+        }
+        let n = pages.len();
+        let writes: Vec<&BTreeSet<TableId>> = pages.iter().map(|w| &w.written_tables).collect();
+        let mut in_sets: Vec<BTreeSet<TableId>> = vec![BTreeSet::new(); n];
+        let mut out_sets: Vec<BTreeSet<TableId>> = vec![BTreeSet::new(); n];
+        let cap = iteration_cap(n);
+        let mut sweeps = 0u32;
+        loop {
+            let mut changed = false;
+            for i in 0..n {
+                // Predecessors: in a chain, only the previous page; in a
+                // mixed session any page can precede any other (including
+                // re-reaching the fixed first page mid-session).
+                let mut incoming = BTreeSet::new();
+                if flow.chain {
+                    if i > 0 {
+                        incoming.extend(out_sets[i - 1].iter().copied());
+                    }
+                } else {
+                    for out in &out_sets {
+                        incoming.extend(out.iter().copied());
+                    }
+                }
+                if incoming != in_sets[i] {
+                    in_sets[i] = incoming;
+                    changed = true;
+                }
+                let mut outgoing = in_sets[i].clone();
+                outgoing.extend(writes[i].iter().copied());
+                if outgoing != out_sets[i] {
+                    out_sets[i] = outgoing;
+                    changed = true;
+                }
+            }
+            sweeps += 1;
+            if !changed {
+                break;
+            }
+            if sweeps >= cap {
+                converged = false;
+                break;
+            }
+        }
+        iterations = iterations.max(sweeps);
+
+        for (i, walk) in pages.iter().enumerate() {
+            for site in &walk.cached_reads {
+                if !in_sets[i].contains(&site.table) {
+                    continue;
+                }
+                let staleness = site_staleness(descriptor, site.via);
+                if staleness == Staleness::Fresh {
+                    continue;
+                }
+                hazards.push(InterPageHazard {
+                    pattern: flow.pattern,
+                    page: walk.page.clone(),
+                    site: site.clone(),
+                    staleness,
+                });
+            }
+        }
+    }
+
+    StalenessAnalysis {
+        page_bounds,
+        unbounded_sites,
+        hazards,
+        iterations,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_is_ordered_and_join_is_max() {
+        use Staleness::*;
+        assert!(Fresh < Bounded(1));
+        assert!(Bounded(1) < Bounded(2));
+        assert!(Bounded(2) < Unbounded);
+        assert_eq!(Fresh.join(Bounded(1)), Bounded(1));
+        assert_eq!(Bounded(3).join(Bounded(2)), Bounded(3));
+        assert_eq!(Unbounded.join(Fresh), Unbounded);
+        assert_eq!(Fresh.join(Fresh), Fresh);
+        assert_eq!(Bounded(1).label(), "bounded(1)");
+    }
+}

@@ -57,7 +57,7 @@ impl Span {
 }
 
 /// One finding.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
     /// Stable code (`E001`, `W105`, …).
     pub code: &'static str,
@@ -84,8 +84,11 @@ pub struct CrossingNote {
     pub kind: String,
     /// Round trips this crossing costs.
     pub trips: u32,
-    /// Whether the crossing traverses a WAN leg.
+    /// Whether the crossing traverses the wide area at all.
     pub wan: bool,
+    /// Wide-area hops on the crossing's shortest path (0 = LAN-only; 2 or
+    /// more means the crossing relays through multiple WAN legs, W112).
+    pub wan_hops: u32,
 }
 
 /// The wide-area cost summary of one page.
@@ -95,12 +98,25 @@ pub struct PageWanCost {
     pub page: String,
     /// Entry server name for the analyzed (remote) client.
     pub entry: String,
-    /// Wide-area round trips in the call tree (HTTP envelope excluded).
+    /// Hop-weighted wide-area round trips in the call tree (HTTP envelope
+    /// excluded); on a one-hop star this equals the plain WAN trip count.
     pub wan_round_trips: u32,
     /// The §4.2 budget that applies to this page.
     pub limit: u32,
+    /// The page's staleness bound: the lattice join over its cached read
+    /// sites (`fresh` when nothing is served from caches).
+    pub staleness: String,
     /// Every node crossing on the synchronous path.
     pub crossings: Vec<CrossingNote>,
+}
+
+/// One row of the predicted fault-availability table.
+#[derive(Debug, Clone)]
+pub struct AvailabilityRow {
+    /// Episode name (`main-link-partition`, …).
+    pub episode: String,
+    /// Predicted availability of the remote edge-1 group.
+    pub availability: f64,
 }
 
 /// The result of analyzing one application × configuration.
@@ -114,6 +130,12 @@ pub struct Report {
     pub pages: Vec<PageWanCost>,
     /// Findings, errors first.
     pub diagnostics: Vec<Diagnostic>,
+    /// Predicted per-episode availability (empty without a fault context).
+    pub availability: Vec<AvailabilityRow>,
+    /// Worklist sweeps until the staleness dataflow reached fixpoint.
+    pub staleness_iterations: u32,
+    /// Whether the staleness dataflow converged within its iteration cap.
+    pub staleness_converged: bool,
 }
 
 impl Report {
@@ -129,9 +151,31 @@ impl Report {
         self.diagnostics.iter().map(|d| d.code).collect()
     }
 
-    /// Sorts diagnostics errors-first (stable within a severity).
+    /// Sorts diagnostics into a byte-stable order — errors first, then by
+    /// (code, node, page, path, component, message) — and drops exact
+    /// duplicates, so repeated runs render identical output.
     pub fn sort_diagnostics(&mut self) {
-        self.diagnostics.sort_by_key(|d| d.severity);
+        self.diagnostics.sort_by(|a, b| {
+            (
+                a.severity,
+                a.code,
+                &a.node,
+                &a.span.page,
+                &a.span.path,
+                &a.component,
+                &a.message,
+            )
+                .cmp(&(
+                    b.severity,
+                    b.code,
+                    &b.node,
+                    &b.span.page,
+                    &b.span.path,
+                    &b.component,
+                    &b.message,
+                ))
+        });
+        self.diagnostics.dedup();
     }
 
     /// Renders the report in rustc-style plain text.
@@ -167,8 +211,27 @@ impl Report {
         for p in &self.pages {
             let _ = writeln!(
                 out,
-                "  {:<16} entry {:<6} WAN round trips {}/{}",
-                p.page, p.entry, p.wan_round_trips, p.limit
+                "  {:<16} entry {:<6} WAN round trips {}/{}  staleness {}",
+                p.page, p.entry, p.wan_round_trips, p.limit, p.staleness
+            );
+        }
+        if !self.pages.is_empty() {
+            let _ = writeln!(
+                out,
+                "staleness fixpoint: {} sweep(s){}",
+                self.staleness_iterations,
+                if self.staleness_converged {
+                    ""
+                } else {
+                    " (DID NOT CONVERGE)"
+                }
+            );
+        }
+        for row in &self.availability {
+            let _ = writeln!(
+                out,
+                "  predicted availability {:<20} {:.4}",
+                row.episode, row.availability
             );
         }
         out
@@ -187,11 +250,12 @@ impl Report {
             }
             let _ = write!(
                 out,
-                "{{\"page\":{},\"entry\":{},\"wan_round_trips\":{},\"limit\":{},\"crossings\":[",
+                "{{\"page\":{},\"entry\":{},\"wan_round_trips\":{},\"limit\":{},\"staleness\":{},\"crossings\":[",
                 json_str(&p.page),
                 json_str(&p.entry),
                 p.wan_round_trips,
-                p.limit
+                p.limit,
+                json_str(&p.staleness)
             );
             for (j, c) in p.crossings.iter().enumerate() {
                 if j > 0 {
@@ -199,17 +263,35 @@ impl Report {
                 }
                 let _ = write!(
                     out,
-                    "{{\"from\":{},\"to\":{},\"kind\":{},\"trips\":{},\"wan\":{}}}",
+                    "{{\"from\":{},\"to\":{},\"kind\":{},\"trips\":{},\"wan\":{},\"wan_hops\":{}}}",
                     json_str(&c.from),
                     json_str(&c.to),
                     json_str(&c.kind),
                     c.trips,
-                    c.wan
+                    c.wan,
+                    c.wan_hops
                 );
             }
             out.push_str("]}");
         }
-        out.push_str("],\"diagnostics\":[");
+        out.push_str("],\"availability\":[");
+        for (i, row) in self.availability.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"episode\":{},\"availability\":{:.4}}}",
+                json_str(&row.episode),
+                row.availability
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"staleness_iterations\":{},\"staleness_converged\":{},",
+            self.staleness_iterations, self.staleness_converged
+        );
+        out.push_str("\"diagnostics\":[");
         for (i, d) in self.diagnostics.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -229,6 +311,77 @@ impl Report {
         out.push_str("]}");
         out
     }
+
+    /// Renders this report as a single-run SARIF 2.1.0 document.
+    pub fn to_sarif(&self) -> String {
+        sarif_document(std::slice::from_ref(self))
+    }
+
+    /// This report's findings as a SARIF `run` object.
+    fn sarif_run(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"tool\":{\"driver\":{\"name\":\"mutsvc-analyze\",");
+        let _ = write!(
+            out,
+            "\"informationUri\":{},\"rules\":[",
+            json_str("https://github.com/mutsvc/mutsvc")
+        );
+        for (i, doc) in crate::explain::CODES.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"id\":{},\"shortDescription\":{{\"text\":{}}},\"fullDescription\":{{\"text\":{}}},\"helpUri\":{}}}",
+                json_str(doc.code),
+                json_str(doc.summary),
+                json_str(doc.explain),
+                json_str(&format!("paper:{}", doc.section))
+            );
+        }
+        out.push_str("]}},\"results\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let location = match &d.span.page {
+                Some(page) if d.span.path.is_empty() => {
+                    format!("{}/{}/{page}", self.app, self.config)
+                }
+                Some(page) => format!("{}/{}/{page}: {}", self.app, self.config, d.span.path),
+                None => format!("{}/{}: {}", self.app, self.config, d.span.path),
+            };
+            let _ = write!(
+                out,
+                "{{\"ruleId\":{},\"level\":{},\"message\":{{\"text\":{}}},\"locations\":[{{\"logicalLocations\":[{{\"fullyQualifiedName\":{}}}]}}]}}",
+                json_str(d.code),
+                json_str(match d.severity {
+                    Severity::Error => "error",
+                    Severity::Warning => "warning",
+                }),
+                json_str(&d.message),
+                json_str(&location)
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Renders a set of reports as one SARIF 2.1.0 document, one run per
+/// report — the shape GitHub code-scanning ingests for PR annotations.
+pub fn sarif_document(reports: &[Report]) -> String {
+    let mut out = String::new();
+    out.push_str("{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",");
+    out.push_str("\"version\":\"2.1.0\",\"runs\":[");
+    for (i, report) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&report.sarif_run());
+    }
+    out.push_str("]}");
+    out
 }
 
 fn json_opt(s: Option<&str>) -> String {
@@ -272,12 +425,14 @@ mod tests {
                 entry: "edge1".into(),
                 wan_round_trips: 1,
                 limit: 1,
+                staleness: "fresh".into(),
                 crossings: vec![CrossingNote {
                     from: "edge1".into(),
                     to: "main".into(),
                     kind: "rmi".into(),
                     trips: 1,
                     wan: true,
+                    wan_hops: 1,
                 }],
             }],
             diagnostics: vec![Diagnostic {
@@ -288,6 +443,12 @@ mod tests {
                 message: "stub \"caching\" disabled".into(),
                 span: Span::descriptor("descriptor.stub_caching"),
             }],
+            availability: vec![AvailabilityRow {
+                episode: "main-link-partition".into(),
+                availability: 0.9876,
+            }],
+            staleness_iterations: 2,
+            staleness_converged: true,
         }
     }
 
@@ -326,5 +487,93 @@ mod tests {
         assert_eq!(r.diagnostics[0].code, "E001");
         assert!(r.has_errors());
         assert_eq!(r.codes(), vec!["E001", "W103"]);
+    }
+
+    #[test]
+    fn sort_is_total_and_dedupes() {
+        let mk = |code: &'static str, node: Option<&str>, page: Option<&str>| Diagnostic {
+            code,
+            severity: Severity::Warning,
+            component: None,
+            node: node.map(String::from),
+            message: "m".into(),
+            span: Span {
+                page: page.map(String::from),
+                path: String::new(),
+            },
+        };
+        let mut r = sample();
+        r.diagnostics = vec![
+            mk("W105", Some("edge2"), Some("Item")),
+            mk("W101", Some("edge1"), Some("Main")),
+            mk("W101", Some("edge1"), Some("Main")), // exact duplicate
+            mk("W101", Some("edge1"), Some("Item")),
+        ];
+        r.sort_diagnostics();
+        let keys: Vec<_> = r
+            .diagnostics
+            .iter()
+            .map(|d| (d.code, d.span.page.clone().unwrap()))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                ("W101", "Item".to_string()),
+                ("W101", "Main".to_string()),
+                ("W105", "Item".to_string()),
+            ],
+            "sorted by (code, node, page) with duplicates dropped"
+        );
+        // Idempotent: a second sort changes nothing (byte stability).
+        let before = r.render_text();
+        r.sort_diagnostics();
+        assert_eq!(before, r.render_text());
+    }
+
+    #[test]
+    fn sarif_has_2_1_0_shape() {
+        let sarif = sample().to_sarif();
+        // Document envelope.
+        assert!(sarif.starts_with("{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\""));
+        assert!(sarif.contains("\"version\":\"2.1.0\""));
+        assert!(sarif.contains("\"runs\":[{"));
+        // Tool driver with the full rule registry.
+        assert!(sarif.contains("\"tool\":{\"driver\":{\"name\":\"mutsvc-analyze\""));
+        for doc in crate::explain::CODES {
+            assert!(
+                sarif.contains(&format!("\"id\":\"{}\"", doc.code)),
+                "rule {} missing",
+                doc.code
+            );
+        }
+        // Results reference rules by id with level and logical location.
+        assert!(sarif.contains("\"ruleId\":\"W103\""));
+        assert!(sarif.contains("\"level\":\"warning\""));
+        assert!(sarif.contains("\"logicalLocations\":[{\"fullyQualifiedName\":"));
+        // Multi-report documents hold one run per report.
+        let two = sarif_document(&[sample(), sample()]);
+        assert_eq!(two.matches("\"results\":[").count(), 2);
+    }
+
+    #[test]
+    fn text_renders_staleness_and_availability() {
+        let text = sample().render_text();
+        assert!(text.contains("staleness fresh"), "{text}");
+        assert!(text.contains("staleness fixpoint: 2 sweep(s)"), "{text}");
+        assert!(
+            text.contains("predicted availability main-link-partition"),
+            "{text}"
+        );
+        assert!(text.contains("0.9876"), "{text}");
+        let json = sample().to_json();
+        assert!(json.contains("\"staleness\":\"fresh\""), "{json}");
+        assert!(json.contains("\"wan_hops\":1"), "{json}");
+        assert!(
+            json.contains(
+                "\"availability\":[{\"episode\":\"main-link-partition\",\"availability\":0.9876}]"
+            ),
+            "{json}"
+        );
+        assert!(json.contains("\"staleness_converged\":true"), "{json}");
     }
 }

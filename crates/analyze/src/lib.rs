@@ -36,25 +36,50 @@
 //! | `W107` | caching machinery deployed but no page is ever memoizable |
 //! | `W108` | traced WAN round trips disagree with the static walk |
 //! | `W109` | every read-only page needs the wide area: a WAN partition blanks the edges |
+//! | `E005` | a page can observe its own write rolled back after failover |
+//! | `W110` | unbounded staleness reachable on a read path |
+//! | `W111` | failover target statically unreachable during its episode |
+//! | `W112` | binder crossing routes through ≥2 WAN hops (one-hop budget assumption broken) |
+//!
+//! Beyond the flat walk, three dataflow analyses run over the walked pages:
+//! a staleness lattice ([`dataflow`]) abstract-interprets every cached read
+//! against the propagation machinery and propagates written tables across
+//! pages along the service-usage flow graphs; a reachability analysis
+//! ([`reachability`]) predicts per-episode availability under the standard
+//! fault suite; and a multi-hop path model ([`paths`]) prices every
+//! crossing by its shortest-path WAN hop count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dataflow;
 pub mod diagnostics;
+pub mod explain;
+pub mod paths;
+pub mod reachability;
 pub mod walker;
 
 use std::collections::BTreeSet;
 
+use mutsvc_apps::SessionFlow;
 use mutsvc_core::{wan_invariant, AppKind, Config, PaperNodes, Scenario, WanInvariant};
 use mutsvc_middleware::{
     ComponentKind, ComponentRegistry, CrossingKind, DeploymentDescriptor, PageRequest,
     UpdatePropagation,
 };
-use mutsvc_netsim::NodeId;
+use mutsvc_netsim::{NodeId, Topology};
 use mutsvc_relstore::Database;
 
-pub use diagnostics::{CrossingNote, Diagnostic, PageWanCost, Report, Severity, Span};
-pub use walker::{entry_node, walk_page, PageWalk, ReadVia, WalkEvent, WalkEventKind};
+pub use dataflow::{analyze_staleness, site_staleness, Staleness, StalenessAnalysis};
+pub use diagnostics::{
+    sarif_document, AvailabilityRow, CrossingNote, Diagnostic, PageWanCost, Report, Severity, Span,
+};
+pub use explain::{explain, CodeDoc, CODES};
+pub use paths::{PathModel, WAN_HOP_THRESHOLD};
+pub use reachability::{
+    predict_availability, AvailabilityAnalysis, EpisodePrediction, FaultContext, PageFate,
+};
+pub use walker::{entry_node, walk_page, CachedRead, PageWalk, ReadVia, WalkEvent, WalkEventKind};
 
 /// Everything the analyzer needs about one application × configuration.
 pub struct AnalyzeInput<'a> {
@@ -66,12 +91,21 @@ pub struct AnalyzeInput<'a> {
     pub descriptor: &'a DeploymentDescriptor,
     /// Populated database (read-only; used for finder result-set sizes).
     pub db: &'a Database,
-    /// The paper topology's named nodes (WAN classification).
+    /// The paper topology's named nodes (entry wiring and reporting labels).
     pub nodes: &'a PaperNodes,
+    /// The weighted topology graph (multi-hop WAN path costs, episode
+    /// reachability).
+    pub topology: &'a Topology,
     /// Every page to walk.
     pub pages: &'a [PageRequest],
+    /// The service-usage patterns' page-flow graphs (inter-page dataflow
+    /// and availability page weights).
+    pub flows: &'a [SessionFlow],
     /// The §4.2 budget to enforce.
     pub invariant: WanInvariant,
+    /// Fault model to verify availability against (`None` skips the
+    /// reachability analysis and E005/W111).
+    pub fault_context: Option<FaultContext>,
 }
 
 /// The human-readable name of a paper-topology node.
@@ -110,6 +144,9 @@ pub fn analyze(input: &AnalyzeInput<'_>) -> Report {
         config: input.descriptor.name.clone(),
         pages: Vec::new(),
         diagnostics: Vec::new(),
+        availability: Vec::new(),
+        staleness_iterations: 0,
+        staleness_converged: true,
     };
 
     check_placements(input, &mut report);
@@ -119,8 +156,10 @@ pub fn analyze(input: &AnalyzeInput<'_>) -> Report {
         return report;
     }
 
-    let walks = walk_all_pages(input, &mut report);
-    check_wan_budget(input, &walks, &mut report);
+    let model = PathModel::new(input.topology);
+    let walks = walk_all_pages(input, &model, &mut report);
+    check_wan_budget(input, &model, &walks, &mut report);
+    check_multi_hop_crossings(input, &model, &walks, &mut report);
     check_write_locality(input, &walks, &mut report);
     check_propagation_machinery(input, &mut report);
     check_stub_caching(input, &walks, &mut report);
@@ -130,23 +169,68 @@ pub fn analyze(input: &AnalyzeInput<'_>) -> Report {
     check_wan_single_point_of_failure(input, &walks, &mut report);
     emit_walk_lints(input, &walks, &mut report);
 
+    let staleness = analyze_staleness(input.descriptor, input.flows, &walks);
+    report.staleness_iterations = staleness.iterations;
+    report.staleness_converged = staleness.converged;
+    for page in &mut report.pages {
+        if let Some(bound) = staleness.page_bounds.get(&page.page) {
+            page.staleness = bound.label();
+        }
+    }
+    emit_staleness_lints(input, &staleness, &mut report);
+
+    if let Some(ctx) = &input.fault_context {
+        let analysis = predict_availability(input, ctx, &walks);
+        emit_fault_lints(input, ctx, &staleness, &analysis, &mut report);
+        report.availability = analysis
+            .episodes
+            .iter()
+            .map(|e| AvailabilityRow {
+                episode: e.episode.clone(),
+                availability: e.availability,
+            })
+            .collect();
+    }
+
     report.sort_diagnostics();
     report
 }
 
 /// Builds the full analysis for a paper scenario: application, descriptor,
-/// topology and invariant table exactly as the simulator would assemble them.
+/// topology, usage flows, invariant table and standard fault suite exactly
+/// as the simulator would assemble them.
 pub fn analyze_target(app: AppKind, config: Config) -> Report {
-    let (input, nodes) = Scenario::quick(app, config).build();
+    let scenario = Scenario::quick(app, config);
+    analyze_target_windows(app, config, scenario.warmup, scenario.duration)
+}
+
+/// [`analyze_target`] under explicit warm-up/measured windows — the fault
+/// episodes are scheduled relative to these, so predictions line up with a
+/// suite run that shortened them (the bench smoke mode).
+pub fn analyze_target_windows(
+    app: AppKind,
+    config: Config,
+    warmup: mutsvc_desim::time::SimDuration,
+    duration: mutsvc_desim::time::SimDuration,
+) -> Report {
+    let mut scenario = Scenario::quick(app, config);
+    scenario.warmup = warmup;
+    scenario.duration = duration;
+    let (input, nodes) = scenario.build();
     let pages = input.app.all_pages();
+    let flows = input.app.session_flows();
+    let fault_context = FaultContext::standard(&input.topology, &nodes, warmup, duration);
     analyze(&AnalyzeInput {
         app_name: app.name(),
         registry: &input.registry,
         descriptor: &input.descriptor,
         db: &input.db,
         nodes: &nodes,
+        topology: &input.topology,
         pages: &pages,
+        flows: &flows,
         invariant: wan_invariant(config),
+        fault_context: Some(fault_context),
     })
 }
 
@@ -252,7 +336,11 @@ fn check_placements(input: &AnalyzeInput<'_>, report: &mut Report) {
     }
 }
 
-fn walk_all_pages(input: &AnalyzeInput<'_>, report: &mut Report) -> Vec<PageWalk> {
+fn walk_all_pages(
+    input: &AnalyzeInput<'_>,
+    model: &PathModel<'_>,
+    report: &mut Report,
+) -> Vec<PageWalk> {
     let nodes = input.nodes;
     let is_wan = |a, b| nodes.is_wan(a, b);
     let mut walks = Vec::with_capacity(input.pages.len());
@@ -269,19 +357,24 @@ fn walk_all_pages(input: &AnalyzeInput<'_>, report: &mut Report) -> Vec<PageWalk
         let crossings = walk
             .crossings
             .iter()
-            .map(|c| CrossingNote {
-                from: node_label(nodes, c.from),
-                to: node_label(nodes, c.to),
-                kind: kind_label(c.kind).to_string(),
-                trips: c.round_trips(),
-                wan: nodes.is_wan(c.from, c.to),
+            .map(|c| {
+                let hops = model.wan_hops(c.from, c.to);
+                CrossingNote {
+                    from: node_label(nodes, c.from),
+                    to: node_label(nodes, c.to),
+                    kind: kind_label(c.kind).to_string(),
+                    trips: c.round_trips(),
+                    wan: hops > 0,
+                    wan_hops: hops,
+                }
             })
             .collect();
         report.pages.push(PageWanCost {
             page: walk.page.clone(),
             entry: node_label(nodes, entry),
-            wan_round_trips: walk.wan_round_trips(is_wan),
+            wan_round_trips: hop_weighted_wan_trips(model, &walk),
             limit: input.invariant.page_limit(&walk.page),
+            staleness: "fresh".to_string(),
             crossings,
         });
         walks.push(walk);
@@ -289,11 +382,27 @@ fn walk_all_pages(input: &AnalyzeInput<'_>, report: &mut Report) -> Vec<PageWalk
     walks
 }
 
+/// Hop-weighted wide-area cost of a walk: every crossing is charged one
+/// round trip per WAN hop its shortest path traverses, so a relayed
+/// edge-to-edge call costs both wide-area legs (§4.2 on multi-hop
+/// topologies). On the paper's star this equals the flat WAN trip count.
+fn hop_weighted_wan_trips(model: &PathModel<'_>, walk: &PageWalk) -> u32 {
+    walk.crossings
+        .iter()
+        .map(|c| c.round_trips() * model.wan_hops(c.from, c.to))
+        .sum()
+}
+
 /// E003: the §4.2 invariant — each page within its wide-area budget.
-fn check_wan_budget(input: &AnalyzeInput<'_>, walks: &[PageWalk], report: &mut Report) {
+fn check_wan_budget(
+    input: &AnalyzeInput<'_>,
+    model: &PathModel<'_>,
+    walks: &[PageWalk],
+    report: &mut Report,
+) {
     let nodes = input.nodes;
     for walk in walks {
-        let wan = walk.wan_round_trips(|a, b| nodes.is_wan(a, b));
+        let wan = hop_weighted_wan_trips(model, walk);
         let limit = input.invariant.page_limit(&walk.page);
         if wan > limit {
             report.diagnostics.push(Diagnostic {
@@ -613,6 +722,151 @@ fn check_wan_single_point_of_failure(
         ),
         span: Span::descriptor("descriptor.placements"),
     });
+}
+
+fn via_label(via: ReadVia) -> &'static str {
+    match via {
+        ReadVia::Replica => "entity replica",
+        ReadVia::QueryCache => "query cache",
+    }
+}
+
+/// W112: a crossing whose shortest path traverses two or more wide-area
+/// hops. The §4.2 budget and the descriptors were written assuming one hop
+/// per crossing; the budget check already charges the hop-weighted cost,
+/// and this lint points at the crossing whose placement multiplied it.
+fn check_multi_hop_crossings(
+    input: &AnalyzeInput<'_>,
+    model: &PathModel<'_>,
+    walks: &[PageWalk],
+    report: &mut Report,
+) {
+    for walk in walks {
+        let mut seen = BTreeSet::new();
+        for c in &walk.crossings {
+            let hops = model.wan_hops(c.from, c.to);
+            if hops < 2 || !seen.insert((c.from, c.to)) {
+                continue;
+            }
+            let from = node_label(input.nodes, c.from);
+            let to = node_label(input.nodes, c.to);
+            report.diagnostics.push(Diagnostic {
+                code: "W112",
+                severity: Severity::Warning,
+                component: None,
+                node: Some(to.clone()),
+                message: format!(
+                    "page `{}` makes a {} crossing `{from}` → `{to}` whose route traverses \
+                     {hops} wide-area hops — each round trip is charged {hops}× against the \
+                     §4.2 budget",
+                    walk.page,
+                    kind_label(c.kind)
+                ),
+                span: Span::page(walk.page.clone(), format!("{from} -> {to}")),
+            });
+        }
+    }
+}
+
+/// W110: cached read sites with unbounded staleness.
+fn emit_staleness_lints(
+    input: &AnalyzeInput<'_>,
+    staleness: &StalenessAnalysis,
+    report: &mut Report,
+) {
+    for (page, site) in &staleness.unbounded_sites {
+        let spec = input.registry.spec(site.component);
+        let node = node_label(input.nodes, site.node);
+        report.diagnostics.push(Diagnostic {
+            code: "W110",
+            severity: Severity::Warning,
+            component: Some(spec.name.clone()),
+            node: Some(node.clone()),
+            message: format!(
+                "page `{page}` reads table `{}` from a {} on `{node}` that no propagation \
+                 ever refreshes — served staleness is unbounded; declare a propagation mode \
+                 or remove the replica",
+                input.db.table(site.table).name(),
+                via_label(site.via)
+            ),
+            span: Span::page(page.clone(), site.path.clone()),
+        });
+    }
+}
+
+/// W111 from broken failover edges, and E005 from inter-page
+/// read-your-writes hazards whose propagation path some episode severs
+/// while the policy keeps serving.
+fn emit_fault_lints(
+    input: &AnalyzeInput<'_>,
+    ctx: &FaultContext,
+    staleness: &StalenessAnalysis,
+    analysis: &AvailabilityAnalysis,
+    report: &mut Report,
+) {
+    for broken in &analysis.broken_failovers {
+        report.diagnostics.push(Diagnostic {
+            code: "W111",
+            severity: Severity::Warning,
+            component: None,
+            node: Some(node_label(input.nodes, broken.target)),
+            message: format!(
+                "the fault policy fails requests for dead entry `{}` over to `{}`, but \
+                 during episode `{}` the target is itself dead or unreachable from the edge \
+                 clients — the failover edge can never be taken when it is needed",
+                node_label(input.nodes, broken.dead_entry),
+                node_label(input.nodes, broken.target),
+                broken.episode
+            ),
+            span: Span::descriptor("fault policy failover"),
+        });
+    }
+
+    // E005 needs a fault arm that keeps answering through the episode —
+    // strict fail-everything policies surface the inconsistency as an error
+    // to the user instead of serving it.
+    if !(ctx.policy.stale_serve || ctx.policy.failover) {
+        return;
+    }
+    for hazard in &staleness.hazards {
+        let propagation = match hazard.site.via {
+            ReadVia::Replica => input.descriptor.entity_propagation,
+            ReadVia::QueryCache => input.descriptor.query_cache.propagation,
+        };
+        let source = if propagation == UpdatePropagation::AsyncPush {
+            input.descriptor.jms_broker
+        } else {
+            input.descriptor.central_node
+        };
+        let Some(view) = ctx
+            .episodes
+            .iter()
+            .find(|view| reachability::severed(input.topology, view, source, hazard.site.node))
+        else {
+            continue;
+        };
+        let spec = input.registry.spec(hazard.site.component);
+        report.diagnostics.push(Diagnostic {
+            code: "E005",
+            severity: Severity::Error,
+            component: Some(spec.name.clone()),
+            node: Some(node_label(input.nodes, hazard.site.node)),
+            message: format!(
+                "session pattern `{}` can write table `{}` on an earlier page and read it \
+                 back on page `{}` from a {} on `{}` ({}); episode `{}` severs the \
+                 propagation path while the policy keeps serving, so the session observes \
+                 its own write rolled back",
+                hazard.pattern,
+                input.db.table(hazard.site.table).name(),
+                hazard.page,
+                via_label(hazard.site.via),
+                node_label(input.nodes, hazard.site.node),
+                hazard.staleness.label(),
+                view.name
+            ),
+            span: Span::page(hazard.page.clone(), hazard.site.path.clone()),
+        });
+    }
 }
 
 /// W101, W102, W105 from per-page walk events.

@@ -1,0 +1,111 @@
+//! Multi-hop WAN path costs over an arbitrary weighted topology.
+//!
+//! The original walker judged a crossing "WAN or not" through the star
+//! topology's node-name classification ([`mutsvc_core::PaperNodes::is_wan`]),
+//! which silently assumes every wide-area crossing traverses exactly one
+//! WAN leg. [`PathModel`] replaces that with shortest-path reasoning over
+//! the topology graph itself: a crossing's wide-area cost is the number of
+//! WAN *hops* on its route (links whose one-way propagation latency is at
+//! or above [`WAN_HOP_THRESHOLD`]), so the §4.2 budget check stays correct
+//! on meshes where an edge-to-edge call relays through several points of
+//! presence. On the paper's star the two models agree link-for-link (an
+//! equivalence the test below pins), except for the deliberately uncovered
+//! edge↔edge direction, which the star walker never produces but a mesh
+//! would: that route crosses two WAN legs and costs — and warns (`W112`) —
+//! accordingly.
+
+use mutsvc_desim::time::SimDuration;
+use mutsvc_netsim::{NodeId, Topology};
+
+/// One-way link propagation latency at or above which a link counts as a
+/// wide-area hop. Matches the tracer's default WAN classification threshold
+/// so static and traced accounting agree on the same links.
+pub const WAN_HOP_THRESHOLD: SimDuration = SimDuration::from_millis(20);
+
+/// Shortest-path wide-area cost model over a weighted topology.
+pub struct PathModel<'a> {
+    topology: &'a Topology,
+    threshold: SimDuration,
+}
+
+impl<'a> PathModel<'a> {
+    /// A model over `topology` with the standard [`WAN_HOP_THRESHOLD`].
+    pub fn new(topology: &'a Topology) -> PathModel<'a> {
+        PathModel {
+            topology,
+            threshold: WAN_HOP_THRESHOLD,
+        }
+    }
+
+    /// The number of wide-area hops on the routed path `from → to`
+    /// (0 when the nodes coincide or no route exists).
+    pub fn wan_hops(&self, from: NodeId, to: NodeId) -> u32 {
+        if from == to {
+            return 0;
+        }
+        self.topology.route(from, to).map_or(0, |route| {
+            route
+                .iter()
+                .filter(|&&l| self.topology.link(l).latency >= self.threshold)
+                .count() as u32
+        })
+    }
+
+    /// Whether the routed path crosses the wide area at all.
+    pub fn is_wan(&self, from: NodeId, to: NodeId) -> bool {
+        self.wan_hops(from, to) > 0
+    }
+
+    /// Round-trip propagation latency between two nodes.
+    pub fn rtt(&self, a: NodeId, b: NodeId) -> SimDuration {
+        self.topology.rtt(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mutsvc_core::paper_topology;
+
+    /// On the star, hop counting and the node-name classifier agree for
+    /// every pair the walker can produce; the edge↔edge direction (which
+    /// the star walker never routes) is the one genuinely multi-hop pair.
+    #[test]
+    fn star_hops_match_node_classification() {
+        for petstore in [false, true] {
+            let (t, n) = paper_topology(petstore);
+            let model = PathModel::new(&t);
+            for from in t.node_ids() {
+                for to in t.node_ids() {
+                    if from == to {
+                        assert_eq!(model.wan_hops(from, to), 0);
+                        continue;
+                    }
+                    let edge_edge = (from == n.edge1 && to == n.edge2)
+                        || (from == n.edge2 && to == n.edge1)
+                        || (from == n.client_edge1 && to == n.client_edge2)
+                        || (from == n.client_edge2 && to == n.client_edge1)
+                        || ((from == n.edge1 || from == n.client_edge1)
+                            && (to == n.edge2 || to == n.client_edge2))
+                        || ((from == n.edge2 || from == n.client_edge2)
+                            && (to == n.edge1 || to == n.client_edge1));
+                    if edge_edge {
+                        assert_eq!(model.wan_hops(from, to), 2, "{from} -> {to}");
+                        assert!(model.is_wan(from, to));
+                    } else {
+                        assert_eq!(model.is_wan(from, to), n.is_wan(from, to), "{from} -> {to}");
+                        assert!(model.wan_hops(from, to) <= 1, "{from} -> {to}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rtt_reflects_wan_latency() {
+        let (t, n) = paper_topology(false);
+        let model = PathModel::new(&t);
+        assert!(model.rtt(n.edge1, n.main) >= SimDuration::from_millis(200));
+        assert!(model.rtt(n.main, n.router) < SimDuration::from_millis(2));
+    }
+}

@@ -63,6 +63,23 @@ pub enum WalkEventKind {
     },
 }
 
+/// One read served from locally cached state (entity replica row or edge
+/// query cache) during the walk — the program points the staleness dataflow
+/// abstract-interprets.
+#[derive(Debug, Clone)]
+pub struct CachedRead {
+    /// The table read.
+    pub table: TableId,
+    /// How the read was served.
+    pub via: ReadVia,
+    /// The node holding the cached state.
+    pub node: NodeId,
+    /// The component issuing the read.
+    pub component: ComponentId,
+    /// Invocation path of the read site.
+    pub path: String,
+}
+
 /// The result of statically walking one page from one entry server.
 #[derive(Debug)]
 pub struct PageWalk {
@@ -79,6 +96,8 @@ pub struct PageWalk {
     pub tags_issued: BTreeSet<String>,
     /// Tables this page writes.
     pub written_tables: BTreeSet<TableId>,
+    /// Every read served from cached state, in call-tree order.
+    pub cached_reads: Vec<CachedRead>,
 }
 
 impl PageWalk {
@@ -126,6 +145,7 @@ pub fn walk_page(
         events: Vec::new(),
         tags_issued: BTreeSet::new(),
         written_tables: BTreeSet::new(),
+        cached_reads: Vec::new(),
         path: Vec::new(),
     };
     walker.walk_call(entry, &page.root);
@@ -136,6 +156,7 @@ pub fn walk_page(
         events: walker.events,
         tags_issued: walker.tags_issued,
         written_tables: walker.written_tables,
+        cached_reads: walker.cached_reads,
     }
 }
 
@@ -148,6 +169,7 @@ struct Walker<'a> {
     events: Vec<WalkEvent>,
     tags_issued: BTreeSet<String>,
     written_tables: BTreeSet<TableId>,
+    cached_reads: Vec<CachedRead>,
     path: Vec<String>,
 }
 
@@ -316,9 +338,11 @@ impl Walker<'_> {
         }
     }
 
-    /// A read served from local cached state: flag it when this page already
-    /// wrote the same table and propagation is asynchronous — the warm cache
-    /// still holds the pre-write value when the response is assembled (W105).
+    /// A read served from local cached state: always recorded as a
+    /// [`CachedRead`] site for the staleness dataflow, and flagged inline
+    /// when this page already wrote the same table and propagation is
+    /// asynchronous — the warm cache still holds the pre-write value when
+    /// the response is assembled (W105).
     fn note_cached_read(
         &mut self,
         host: NodeId,
@@ -326,6 +350,13 @@ impl Walker<'_> {
         table: TableId,
         via: ReadVia,
     ) {
+        self.cached_reads.push(CachedRead {
+            table,
+            via,
+            node: host,
+            component,
+            path: self.path_string(),
+        });
         if !self.written_tables.contains(&table) {
             return;
         }

@@ -18,14 +18,18 @@ fn report_for(
     let (mut input, nodes) = Scenario::quick(app, config).build();
     damage(&mut input, &nodes);
     let pages = input.app.all_pages();
+    let flows = input.app.session_flows();
     analyze(&AnalyzeInput {
         app_name: app.name(),
         registry: &input.registry,
         descriptor: &input.descriptor,
         db: &input.db,
         nodes: &nodes,
+        topology: &input.topology,
         pages: &pages,
+        flows: &flows,
         invariant: wan_invariant(config),
+        fault_context: None,
     })
 }
 
@@ -197,8 +201,11 @@ fn w105_read_your_writes_under_async_push() {
         descriptor: &input.descriptor,
         db: &input.db,
         nodes: &nodes,
+        topology: &input.topology,
         pages: &pages,
+        flows: &[],
         invariant: wan_invariant(Config::AsyncUpdates),
+        fault_context: None,
     });
     assert!(report.codes().contains(&"W105"), "{}", report.render_text());
     assert!(!report.has_errors(), "{}", report.render_text());
@@ -261,8 +268,11 @@ fn w107_caching_machinery_with_no_memoizable_page() {
         descriptor: &input.descriptor,
         db: &input.db,
         nodes: &nodes,
+        topology: &input.topology,
         pages: &pages,
+        flows: &[],
         invariant: wan_invariant(Config::AsyncUpdates),
+        fault_context: None,
     });
     assert!(report.codes().contains(&"W107"), "{}", report.render_text());
 }
@@ -349,6 +359,173 @@ fn w109_centralized_is_a_wide_area_single_point_of_failure() {
             report.render_text()
         );
     }
+}
+
+#[test]
+fn w110_unbounded_staleness_when_propagation_is_stripped() {
+    // Keep the §4.3 entity replicas but delete the propagation mode that
+    // maintains them: every replica-served read site degrades to Unbounded
+    // on the staleness lattice and the dataflow reports each one.
+    let report = report_for(AppKind::PetStore, Config::StatefulCaching, |input, _| {
+        input.descriptor.entity_propagation = UpdatePropagation::None;
+    });
+    assert!(report.codes().contains(&"W110"), "{}", report.render_text());
+    // The per-page staleness column degrades with the sites.
+    assert!(
+        report.pages.iter().any(|p| p.staleness == "unbounded"),
+        "{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn w111_failover_target_unreachable_during_its_episode() {
+    use mutsvc_analyze::FaultContext;
+    // Damage the edge-crash episode so the central server dies with the
+    // edge: the resilient policy's edge→main failover edge then has nowhere
+    // to land exactly when it is supposed to be taken.
+    let scenario = Scenario::quick(AppKind::PetStore, Config::StatefulCaching);
+    let (warmup, duration) = (scenario.warmup, scenario.duration);
+    let (input, nodes) = scenario.build();
+    let pages = input.app.all_pages();
+    let flows = input.app.session_flows();
+    let mut ctx = FaultContext::standard(&input.topology, &nodes, warmup, duration);
+    for view in &mut ctx.episodes {
+        if view.name == "edge-crash" {
+            view.dead_nodes.push(nodes.main);
+        }
+    }
+    let report = analyze(&AnalyzeInput {
+        app_name: "petstore",
+        registry: &input.registry,
+        descriptor: &input.descriptor,
+        db: &input.db,
+        nodes: &nodes,
+        topology: &input.topology,
+        pages: &pages,
+        flows: &flows,
+        invariant: wan_invariant(Config::StatefulCaching),
+        fault_context: Some(ctx),
+    });
+    assert!(report.codes().contains(&"W111"), "{}", report.render_text());
+    let w111 = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "W111")
+        .unwrap();
+    assert!(w111.message.contains("edge-crash"), "{}", w111.message);
+}
+
+#[test]
+fn w112_relayed_crossing_through_two_wan_hops() {
+    // Maroon the Catalog's only instance on edge-2: pages entered at edge-1
+    // must relay through the router across both wide-area legs, and each
+    // round trip is charged twice against the §4.2 budget.
+    let report = report_for(AppKind::PetStore, Config::RemoteFacade, |input, nodes| {
+        let catalog = input.registry.by_name("Catalog").unwrap();
+        input.descriptor.placements.insert(
+            catalog,
+            Placement {
+                primary: nodes.edge2,
+                replicas: BTreeSet::new(),
+            },
+        );
+    });
+    assert!(report.codes().contains(&"W112"), "{}", report.render_text());
+    let w112 = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "W112")
+        .unwrap();
+    assert!(
+        w112.message.contains("2 wide-area hops"),
+        "{}",
+        w112.message
+    );
+    // The budget check prices the same relay, so the hop-weighted E003
+    // fires alongside the lint that explains it.
+    assert!(report.codes().contains(&"E003"), "{}", report.render_text());
+}
+
+#[test]
+fn e005_own_write_rolled_back_when_the_propagation_path_partitions() {
+    use mutsvc_analyze::FaultContext;
+    use mutsvc_apps::{SessionFlow, SessionKind};
+    // A two-page session: EditItem writes the item table at the center,
+    // ItemAgain re-reads the same table from the edge replica. Under
+    // asynchronous propagation the replica trails the write, and the
+    // main-link partition severs the JMS path while the resilient policy
+    // keeps serving from the edge — the session observes its own write
+    // rolled back.
+    let scenario = Scenario::quick(AppKind::PetStore, Config::AsyncUpdates);
+    let (warmup, duration) = (scenario.warmup, scenario.duration);
+    let (input, nodes) = scenario.build();
+    let mutsvc_apps::App::PetStore(ps) = &input.app else {
+        unreachable!()
+    };
+    let params = ps.representative_params();
+    let t = ps.tables.item;
+    let item = ps.components.item;
+    let web = ps.components.web;
+    let write_root = Call::new(web, "editItem", SimDuration::ZERO).invoke(
+        Call::new(item, "update", SimDuration::ZERO).mutate(Mutation::Update {
+            table: t,
+            id: params.item,
+            column: 2,
+            value: Value::Int(1),
+        }),
+        100,
+        100,
+    );
+    let read_root = Call::new(web, "viewItem", SimDuration::ZERO).invoke(
+        Call::new(item, "load", SimDuration::ZERO).query(
+            Query::ByPk {
+                table: t,
+                id: params.item,
+            },
+            DbAccess::Single,
+        ),
+        100,
+        400,
+    );
+    let pages = vec![
+        PageRequest::new("EditItem", write_root, 8_000),
+        PageRequest::new("ItemAgain", read_root, 8_000),
+    ];
+    let flows = vec![SessionFlow {
+        pattern: "Editor",
+        kind: SessionKind::Transactional,
+        pages: vec!["EditItem", "ItemAgain"],
+        chain: true,
+        weights: vec![0.5, 0.5],
+    }];
+    let ctx = FaultContext::standard(&input.topology, &nodes, warmup, duration);
+    let report = analyze(&AnalyzeInput {
+        app_name: "petstore",
+        registry: &input.registry,
+        descriptor: &input.descriptor,
+        db: &input.db,
+        nodes: &nodes,
+        topology: &input.topology,
+        pages: &pages,
+        flows: &flows,
+        invariant: wan_invariant(Config::AsyncUpdates),
+        fault_context: Some(ctx),
+    });
+    assert!(report.has_errors());
+    assert!(report.codes().contains(&"E005"), "{}", report.render_text());
+    let e005 = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "E005")
+        .unwrap();
+    assert!(e005.message.contains("Editor"), "{}", e005.message);
+    assert!(
+        e005.message.contains("main-link-partition"),
+        "{}",
+        e005.message
+    );
+    assert_eq!(e005.span.page.as_deref(), Some("ItemAgain"));
 }
 
 #[test]

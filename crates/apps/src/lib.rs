@@ -295,6 +295,110 @@ impl App {
             (App::Rubis(_), SessionKind::Transactional) => rubis::BIDDER_SEQUENCE.len(),
         }
     }
+
+    /// Static page-flow graphs of the application's usage patterns, for
+    /// inter-page dataflow: one [`SessionFlow`] per pattern.
+    pub fn session_flows(&self) -> Vec<SessionFlow> {
+        match self {
+            App::PetStore(_) => vec![
+                SessionFlow::mixed(
+                    "Browser",
+                    petstore::BROWSER_SESSION_LENGTH,
+                    petstore::BROWSER_MIX
+                        .iter()
+                        .map(|(p, w)| (p.name(), *w))
+                        .collect(),
+                ),
+                SessionFlow::chain(
+                    "Buyer",
+                    petstore::BUYER_SEQUENCE.iter().map(|p| p.name()).collect(),
+                ),
+            ],
+            App::Rubis(_) => vec![
+                SessionFlow::mixed(
+                    "Browser",
+                    rubis::BROWSER_SESSION_LENGTH,
+                    rubis::BROWSER_MIX
+                        .iter()
+                        .map(|(p, w)| (p.name(), *w))
+                        .collect(),
+                ),
+                SessionFlow::chain(
+                    "Bidder",
+                    rubis::BIDDER_SEQUENCE.iter().map(|p| p.name()).collect(),
+                ),
+            ],
+        }
+    }
+}
+
+/// One service usage pattern as a static page-flow graph: which pages a
+/// session of the pattern can issue, the order constraints between them, and
+/// the stationary per-request weight of each page.
+///
+/// Two shapes cover the paper's patterns: **chains** (transactional
+/// sequences — page *i* is always followed by page *i+1*) and **mixed**
+/// sessions (browsers — a fixed first page, then independent weighted draws,
+/// so any page may follow any other).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionFlow {
+    /// Pattern label ("Browser", "Buyer", "Bidder").
+    pub pattern: &'static str,
+    /// The session kind the pattern belongs to.
+    pub kind: SessionKind,
+    /// Page labels; for chains, in issue order, with `pages[0]` always the
+    /// first request of a session.
+    pub pages: Vec<&'static str>,
+    /// `true`: pages are issued strictly in `pages` order; `false`: after
+    /// `pages[0]`, any page can follow any other.
+    pub chain: bool,
+    /// Stationary probability that a uniformly sampled request of this
+    /// pattern is each page (aligned with `pages`; sums to 1).
+    pub weights: Vec<f64>,
+}
+
+impl SessionFlow {
+    /// A strict page sequence with uniform per-request weights.
+    fn chain(pattern: &'static str, pages: Vec<&'static str>) -> SessionFlow {
+        let w = 1.0 / pages.len() as f64;
+        SessionFlow {
+            pattern,
+            kind: SessionKind::Transactional,
+            weights: vec![w; pages.len()],
+            pages,
+            chain: true,
+        }
+    }
+
+    /// A fixed first page (`mix[0]`) followed by `length − 1` independent
+    /// draws from the percentage mix.
+    fn mixed(pattern: &'static str, length: usize, mix: Vec<(&'static str, f64)>) -> SessionFlow {
+        let first = 1.0 / length as f64;
+        let rest = (length - 1) as f64 / length as f64;
+        let weights = mix
+            .iter()
+            .enumerate()
+            .map(|(i, (_, pct))| rest * pct / 100.0 + if i == 0 { first } else { 0.0 })
+            .collect();
+        SessionFlow {
+            pattern,
+            kind: SessionKind::Browser,
+            pages: mix.into_iter().map(|(p, _)| p).collect(),
+            chain: false,
+            weights,
+        }
+    }
+
+    /// The weight of a page under this pattern (0 when the pattern never
+    /// issues the page).
+    pub fn weight_of(&self, page: &str) -> f64 {
+        self.pages
+            .iter()
+            .zip(&self.weights)
+            .filter(|(p, _)| **p == page)
+            .map(|(_, w)| w)
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -314,6 +418,42 @@ mod tests {
                 assert_eq!(n, app.session_length(kind), "{} {kind:?}", app.name());
                 assert!(app.next_page(&mut s, &mut rng).is_none());
             }
+        }
+    }
+
+    #[test]
+    fn session_flows_cover_patterns_and_weights_sum_to_one() {
+        for (app, _, _) in [App::petstore(true), App::rubis()] {
+            let flows = app.session_flows();
+            assert_eq!(flows.len(), 2, "{}", app.name());
+            for flow in &flows {
+                assert_eq!(flow.pages.len(), flow.weights.len());
+                let total: f64 = flow.weights.iter().sum();
+                assert!(
+                    (total - 1.0).abs() < 1e-9,
+                    "{} {} weights sum to {total}",
+                    app.name(),
+                    flow.pattern
+                );
+                assert!(flow.weights.iter().all(|&w| w > 0.0));
+            }
+            let browser = &flows[0];
+            assert_eq!(browser.pages[0], "Main", "sessions open at Main");
+            assert!(!browser.chain);
+            let chain = &flows[1];
+            assert_eq!(chain.pattern, app.transactional_label());
+            assert!(chain.chain);
+            // Every page of the pattern graph is a page the app can build.
+            let known: Vec<String> = app.all_pages().iter().map(|p| p.page.clone()).collect();
+            for flow in &flows {
+                for page in &flow.pages {
+                    assert!(known.iter().any(|k| k == page), "{page} unknown");
+                }
+            }
+            // The stationary weight of every paper page is reachable via
+            // weight_of, and unknown pages weigh nothing.
+            assert!(browser.weight_of("Main") > 0.0);
+            assert_eq!(browser.weight_of("NotAPage"), 0.0);
         }
     }
 

@@ -1,0 +1,63 @@
+//! Acceptance: the analyzer's static per-episode availability predictions
+//! agree with the fault suite's *simulated* availability — the same runs
+//! that feed `BENCH_faults.json` — within one percentage point, for all
+//! three standard episodes across every application × configuration cell
+//! (resilient policy arm, the arm the predictions model).
+
+use mutsvc_analyze::analyze_target;
+use mutsvc_bench::fault_artifacts::run_fault_suite;
+use mutsvc_core::{AppKind, Config};
+
+const TOLERANCE: f64 = 0.01;
+
+#[test]
+fn static_availability_within_one_point_of_simulated() {
+    for app in AppKind::all() {
+        let cells = run_fault_suite(app, true, false, 42);
+        for config in Config::all() {
+            let report = analyze_target(app, config);
+            let mut checked = 0;
+            for cell in cells
+                .iter()
+                .filter(|c| c.policy == "resilient" && c.config == config)
+            {
+                let episode = cell.case.name();
+                let row = report
+                    .availability
+                    .iter()
+                    .find(|r| r.episode == episode)
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "{}/{}: no prediction for episode `{episode}`",
+                            app.name(),
+                            config.name()
+                        )
+                    });
+                let simulated = cell
+                    .report
+                    .stats
+                    .outcome("remote1")
+                    .expect("remote1 group outcome")
+                    .availability();
+                let diff = (row.availability - simulated).abs();
+                assert!(
+                    diff.is_finite() && diff <= TOLERANCE,
+                    "{}/{} {episode}: predicted {:.4}, simulated {:.4}, diff {:.4} > {TOLERANCE}",
+                    app.name(),
+                    config.name(),
+                    row.availability,
+                    simulated,
+                    diff
+                );
+                checked += 1;
+            }
+            assert_eq!(
+                checked,
+                3,
+                "{}/{}: expected all three standard episodes",
+                app.name(),
+                config.name()
+            );
+        }
+    }
+}

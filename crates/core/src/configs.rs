@@ -94,12 +94,16 @@ pub fn petstore_descriptor(
     }
     if config >= Config::StatefulCaching {
         // Read-only entity replicas plus the edge Catalog/Updater (§4.3).
+        // Propagation is push-based, so replicas are populated as part of
+        // deployment warm-up and kept fresh by pushes (the driver re-runs
+        // the warm-up after a node restart for the same reason).
         b.place_replicated(c.catalog, nodes.main, edges);
         b.place_replicated(c.updater, nodes.main, edges);
         for entity in c.cacheable_entities() {
             b.place_replicated(entity, nodes.main, edges);
         }
         b.entity_propagation(UpdatePropagation::SyncPush);
+        b.eager_cache_warmup(true);
     }
     if config >= Config::QueryCaching {
         // Catalog query caches on the edges; the Pet Store catalog is

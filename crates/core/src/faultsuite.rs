@@ -20,7 +20,7 @@
 
 use mutsvc_desim::fault::{FaultEvent, FaultKind, FaultSchedule};
 use mutsvc_desim::time::SimDuration;
-use mutsvc_netsim::{LinkId, Topology};
+use mutsvc_netsim::{LinkId, NodeId, Topology};
 use serde::{Deserialize, Serialize};
 
 use crate::topology::PaperNodes;
@@ -129,6 +129,118 @@ impl FaultCase {
     }
 }
 
+/// The static fault set of one episode, exposed for consumption by the
+/// deployment verifier: which directed links and nodes are down — and which
+/// links are lossy — while the episode is active, plus its active window.
+///
+/// A view is a pure fold over the scripted [`FaultSchedule`]: events strictly
+/// before the final (heal) timestamp are applied in order, so restores at the
+/// heal tick do not empty the set. For the standard suite the fault set is
+/// constant between onset and heal, so the view is exact; schedules whose
+/// fault set varies mid-episode flatten to the set standing just before heal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpisodeView {
+    /// Stable episode name ([`FaultCase::name`] for the standard suite).
+    pub name: String,
+    /// Directed links that are down while the episode is active.
+    pub dead_links: Vec<LinkId>,
+    /// Nodes whose application process is crashed while active.
+    pub dead_nodes: Vec<NodeId>,
+    /// Directed links dropping messages while active, with drop probability.
+    pub lossy_links: Vec<(LinkId, f64)>,
+    /// Absolute time the fault set takes effect.
+    pub onset: SimDuration,
+    /// Absolute time the fault set is fully restored.
+    pub heal: SimDuration,
+}
+
+impl EpisodeView {
+    /// Folds a scripted schedule into its static fault set.
+    ///
+    /// Dense `u32` indices in the events are mapped back to topology ids;
+    /// onset is the first event's time and heal the last's.
+    pub fn from_schedule(name: &str, schedule: &FaultSchedule, topology: &Topology) -> EpisodeView {
+        let link_at = |index: u32| {
+            topology
+                .link_ids()
+                .nth(index as usize)
+                .expect("schedule link index within topology")
+        };
+        let node_at = |index: u32| {
+            topology
+                .node_ids()
+                .nth(index as usize)
+                .expect("schedule node index within topology")
+        };
+        let mut view = EpisodeView {
+            name: name.to_string(),
+            dead_links: Vec::new(),
+            dead_nodes: Vec::new(),
+            lossy_links: Vec::new(),
+            onset: schedule.events.first().map(|e| e.at).unwrap_or_default(),
+            heal: schedule.events.last().map(|e| e.at).unwrap_or_default(),
+        };
+        for event in &schedule.events {
+            if event.at >= view.heal && schedule.events.len() > 1 {
+                break;
+            }
+            match event.kind {
+                FaultKind::LinkDown { link } => {
+                    let link = link_at(link);
+                    if !view.dead_links.contains(&link) {
+                        view.dead_links.push(link);
+                    }
+                }
+                FaultKind::LinkRestore { link } | FaultKind::LinkDegraded { link, .. } => {
+                    let link = link_at(link);
+                    view.dead_links.retain(|&l| l != link);
+                }
+                FaultKind::NodeCrash { node } => {
+                    let node = node_at(node);
+                    if !view.dead_nodes.contains(&node) {
+                        view.dead_nodes.push(node);
+                    }
+                }
+                FaultKind::NodeRestart { node } => {
+                    let node = node_at(node);
+                    view.dead_nodes.retain(|&n| n != node);
+                }
+                FaultKind::MsgLoss { link, probability } => {
+                    let link = link_at(link);
+                    view.lossy_links.retain(|&(l, _)| l != link);
+                    if probability > 0.0 {
+                        view.lossy_links.push((link, probability));
+                    }
+                }
+            }
+        }
+        view
+    }
+
+    /// How long the fault set is active.
+    pub fn active(&self) -> SimDuration {
+        self.heal.saturating_sub(self.onset)
+    }
+}
+
+impl FaultCase {
+    /// The episode's static fault set against a built paper topology, with
+    /// the same onset/heal timing [`FaultCase::schedule`] scripts.
+    pub fn view(
+        self,
+        topology: &Topology,
+        nodes: &PaperNodes,
+        warmup: SimDuration,
+        duration: SimDuration,
+    ) -> EpisodeView {
+        EpisodeView::from_schedule(
+            self.name(),
+            &self.schedule(topology, nodes, warmup, duration),
+            topology,
+        )
+    }
+}
+
 /// The dense index of the edge-1 WAN leg (`true`: edge1 → router).
 fn directed_link(topology: &Topology, nodes: &PaperNodes, uplink: bool) -> u32 {
     let (from, to) = if uplink {
@@ -171,6 +283,80 @@ mod tests {
             crash.events[0].kind,
             FaultKind::NodeCrash { node } if node == n.edge1.index() as u32
         ));
+    }
+
+    #[test]
+    fn views_expose_the_static_fault_set() {
+        let (t, n) = paper_topology(false);
+        let warmup = SimDuration::from_secs(100);
+        let duration = SimDuration::from_secs(400);
+
+        let partition = FaultCase::MainLinkPartition.view(&t, &n, warmup, duration);
+        assert_eq!(partition.dead_links.len(), 2, "both directions of the leg");
+        assert!(partition.dead_nodes.is_empty() && partition.lossy_links.is_empty());
+        assert_eq!(partition.onset, SimDuration::from_secs(200));
+        assert_eq!(partition.heal, SimDuration::from_secs(400));
+        assert_eq!(partition.active(), duration / 2);
+        for &link in &partition.dead_links {
+            let l = t.link(link);
+            assert!(
+                (l.from == n.edge1 && l.to == n.router) || (l.from == n.router && l.to == n.edge1),
+                "partition cuts the edge-1 leg only"
+            );
+        }
+
+        let crash = FaultCase::EdgeCrash.view(&t, &n, warmup, duration);
+        assert_eq!(crash.dead_nodes, vec![n.edge1]);
+        assert!(crash.dead_links.is_empty() && crash.lossy_links.is_empty());
+
+        let lossy = FaultCase::LossyLink.view(&t, &n, warmup, duration);
+        assert_eq!(lossy.lossy_links.len(), 1);
+        assert_eq!(lossy.lossy_links[0].1, LOSSY_LINK_PROBABILITY);
+        let uplink = t.link(lossy.lossy_links[0].0);
+        assert!(
+            uplink.from == n.edge1 && uplink.to == n.router,
+            "uplink only"
+        );
+        assert!(lossy.dead_links.is_empty() && lossy.dead_nodes.is_empty());
+    }
+
+    #[test]
+    fn view_fold_honors_restores() {
+        let (t, n) = paper_topology(false);
+        let link = directed_link(&t, &n, true);
+        let schedule = FaultSchedule::scripted(vec![
+            FaultEvent {
+                at: SimDuration::from_secs(1),
+                kind: FaultKind::LinkDown { link },
+            },
+            FaultEvent {
+                at: SimDuration::from_secs(2),
+                kind: FaultKind::LinkRestore { link },
+            },
+            FaultEvent {
+                at: SimDuration::from_secs(3),
+                kind: FaultKind::MsgLoss {
+                    link,
+                    probability: 0.2,
+                },
+            },
+            FaultEvent {
+                at: SimDuration::from_secs(4),
+                kind: FaultKind::MsgLoss {
+                    link,
+                    probability: 0.0,
+                },
+            },
+        ]);
+        let view = EpisodeView::from_schedule("custom", &schedule, &t);
+        assert!(view.dead_links.is_empty(), "restored link is not dead");
+        assert_eq!(
+            view.lossy_links,
+            vec![(t.link_ids().nth(link as usize).unwrap(), 0.2)],
+            "loss zeroed only at the heal tick stays in the active set"
+        );
+        assert_eq!(view.onset, SimDuration::from_secs(1));
+        assert_eq!(view.heal, SimDuration::from_secs(4));
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod topology;
 
 pub use configs::{petstore_descriptor, rubis_descriptor, Config};
 pub use experiment::{run_sweep, AppKind, Scenario};
-pub use faultsuite::FaultCase;
+pub use faultsuite::{EpisodeView, FaultCase};
 pub use invariants::{wan_invariant, WanInvariant};
 pub use report::{
     figure_series, measured_mean, render_comparison, render_figure, render_percentiles,

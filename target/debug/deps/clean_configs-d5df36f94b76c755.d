@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/clean_configs-d5df36f94b76c755.d: crates/analyze/tests/clean_configs.rs
+
+/root/repo/target/debug/deps/clean_configs-d5df36f94b76c755: crates/analyze/tests/clean_configs.rs
+
+crates/analyze/tests/clean_configs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden-20d2ef4f8c238b6c.d: crates/analyze/tests/golden.rs
+
+/root/repo/target/debug/deps/golden-20d2ef4f8c238b6c: crates/analyze/tests/golden.rs
+
+crates/analyze/tests/golden.rs:

@@ -1,7 +1,11 @@
-/root/repo/target/debug/deps/mutsvc_analyze-1acc1abe43c50bc1.d: crates/analyze/src/lib.rs crates/analyze/src/diagnostics.rs crates/analyze/src/walker.rs
+/root/repo/target/debug/deps/mutsvc_analyze-1acc1abe43c50bc1.d: crates/analyze/src/lib.rs crates/analyze/src/dataflow.rs crates/analyze/src/diagnostics.rs crates/analyze/src/explain.rs crates/analyze/src/paths.rs crates/analyze/src/reachability.rs crates/analyze/src/walker.rs
 
-/root/repo/target/debug/deps/mutsvc_analyze-1acc1abe43c50bc1: crates/analyze/src/lib.rs crates/analyze/src/diagnostics.rs crates/analyze/src/walker.rs
+/root/repo/target/debug/deps/mutsvc_analyze-1acc1abe43c50bc1: crates/analyze/src/lib.rs crates/analyze/src/dataflow.rs crates/analyze/src/diagnostics.rs crates/analyze/src/explain.rs crates/analyze/src/paths.rs crates/analyze/src/reachability.rs crates/analyze/src/walker.rs
 
 crates/analyze/src/lib.rs:
+crates/analyze/src/dataflow.rs:
 crates/analyze/src/diagnostics.rs:
+crates/analyze/src/explain.rs:
+crates/analyze/src/paths.rs:
+crates/analyze/src/reachability.rs:
 crates/analyze/src/walker.rs:

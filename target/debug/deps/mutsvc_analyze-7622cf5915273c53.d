@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mutsvc_analyze-7622cf5915273c53.d: crates/analyze/src/bin/main.rs
+
+/root/repo/target/debug/deps/mutsvc_analyze-7622cf5915273c53: crates/analyze/src/bin/main.rs
+
+crates/analyze/src/bin/main.rs:

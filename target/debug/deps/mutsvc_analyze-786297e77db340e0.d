@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mutsvc_analyze-786297e77db340e0.d: crates/analyze/src/lib.rs crates/analyze/src/dataflow.rs crates/analyze/src/diagnostics.rs crates/analyze/src/explain.rs crates/analyze/src/paths.rs crates/analyze/src/reachability.rs crates/analyze/src/walker.rs
+
+/root/repo/target/debug/deps/libmutsvc_analyze-786297e77db340e0.rlib: crates/analyze/src/lib.rs crates/analyze/src/dataflow.rs crates/analyze/src/diagnostics.rs crates/analyze/src/explain.rs crates/analyze/src/paths.rs crates/analyze/src/reachability.rs crates/analyze/src/walker.rs
+
+/root/repo/target/debug/deps/libmutsvc_analyze-786297e77db340e0.rmeta: crates/analyze/src/lib.rs crates/analyze/src/dataflow.rs crates/analyze/src/diagnostics.rs crates/analyze/src/explain.rs crates/analyze/src/paths.rs crates/analyze/src/reachability.rs crates/analyze/src/walker.rs
+
+crates/analyze/src/lib.rs:
+crates/analyze/src/dataflow.rs:
+crates/analyze/src/diagnostics.rs:
+crates/analyze/src/explain.rs:
+crates/analyze/src/paths.rs:
+crates/analyze/src/reachability.rs:
+crates/analyze/src/walker.rs:

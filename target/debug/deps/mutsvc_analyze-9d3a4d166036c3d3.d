@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mutsvc_analyze-9d3a4d166036c3d3.d: crates/analyze/src/bin/main.rs
+
+/root/repo/target/debug/deps/mutsvc_analyze-9d3a4d166036c3d3: crates/analyze/src/bin/main.rs
+
+crates/analyze/src/bin/main.rs:

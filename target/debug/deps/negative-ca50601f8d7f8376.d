@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/negative-ca50601f8d7f8376.d: crates/analyze/tests/negative.rs
+
+/root/repo/target/debug/deps/negative-ca50601f8d7f8376: crates/analyze/tests/negative.rs
+
+crates/analyze/tests/negative.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/binder-b73a2cbd703a5195.d: crates/middleware/tests/binder.rs
+
+/root/repo/target/release/deps/binder-b73a2cbd703a5195: crates/middleware/tests/binder.rs
+
+crates/middleware/tests/binder.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/binder_properties-2903a25db15562d8.d: crates/middleware/tests/binder_properties.rs
+
+/root/repo/target/release/deps/binder_properties-2903a25db15562d8: crates/middleware/tests/binder_properties.rs
+
+crates/middleware/tests/binder_properties.rs:

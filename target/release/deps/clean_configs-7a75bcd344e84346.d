@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/clean_configs-7a75bcd344e84346.d: crates/analyze/tests/clean_configs.rs
+
+/root/repo/target/release/deps/clean_configs-7a75bcd344e84346: crates/analyze/tests/clean_configs.rs
+
+crates/analyze/tests/clean_configs.rs:

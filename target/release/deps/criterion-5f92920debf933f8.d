@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/criterion-5f92920debf933f8.d: vendored/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcriterion-5f92920debf933f8.rmeta: vendored/criterion/src/lib.rs Cargo.toml
+
+vendored/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-99551cf672d5bd2a.d: vendored/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-99551cf672d5bd2a: vendored/criterion/src/lib.rs
+
+vendored/criterion/src/lib.rs:

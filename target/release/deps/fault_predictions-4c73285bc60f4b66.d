@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_predictions-4c73285bc60f4b66.d: crates/bench/tests/fault_predictions.rs
+
+/root/repo/target/release/deps/fault_predictions-4c73285bc60f4b66: crates/bench/tests/fault_predictions.rs
+
+crates/bench/tests/fault_predictions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/golden-c39e14b3add6f816.d: crates/analyze/tests/golden.rs
+
+/root/repo/target/release/deps/golden-c39e14b3add6f816: crates/analyze/tests/golden.rs
+
+crates/analyze/tests/golden.rs:

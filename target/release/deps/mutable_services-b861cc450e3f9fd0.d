@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mutable_services-b861cc450e3f9fd0.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libmutable_services-b861cc450e3f9fd0.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,7 +1,11 @@
-/root/repo/target/release/deps/mutsvc_analyze-31a61ad430d19efa.d: crates/analyze/src/lib.rs crates/analyze/src/diagnostics.rs crates/analyze/src/walker.rs
+/root/repo/target/release/deps/mutsvc_analyze-31a61ad430d19efa.d: crates/analyze/src/lib.rs crates/analyze/src/dataflow.rs crates/analyze/src/diagnostics.rs crates/analyze/src/explain.rs crates/analyze/src/paths.rs crates/analyze/src/reachability.rs crates/analyze/src/walker.rs
 
-/root/repo/target/release/deps/mutsvc_analyze-31a61ad430d19efa: crates/analyze/src/lib.rs crates/analyze/src/diagnostics.rs crates/analyze/src/walker.rs
+/root/repo/target/release/deps/mutsvc_analyze-31a61ad430d19efa: crates/analyze/src/lib.rs crates/analyze/src/dataflow.rs crates/analyze/src/diagnostics.rs crates/analyze/src/explain.rs crates/analyze/src/paths.rs crates/analyze/src/reachability.rs crates/analyze/src/walker.rs
 
 crates/analyze/src/lib.rs:
+crates/analyze/src/dataflow.rs:
 crates/analyze/src/diagnostics.rs:
+crates/analyze/src/explain.rs:
+crates/analyze/src/paths.rs:
+crates/analyze/src/reachability.rs:
 crates/analyze/src/walker.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/mutsvc_analyze-38f93277ccc30977.d: crates/analyze/src/lib.rs crates/analyze/src/dataflow.rs crates/analyze/src/diagnostics.rs crates/analyze/src/explain.rs crates/analyze/src/paths.rs crates/analyze/src/reachability.rs crates/analyze/src/walker.rs Cargo.toml
+
+/root/repo/target/release/deps/libmutsvc_analyze-38f93277ccc30977.rmeta: crates/analyze/src/lib.rs crates/analyze/src/dataflow.rs crates/analyze/src/diagnostics.rs crates/analyze/src/explain.rs crates/analyze/src/paths.rs crates/analyze/src/reachability.rs crates/analyze/src/walker.rs Cargo.toml
+
+crates/analyze/src/lib.rs:
+crates/analyze/src/dataflow.rs:
+crates/analyze/src/diagnostics.rs:
+crates/analyze/src/explain.rs:
+crates/analyze/src/paths.rs:
+crates/analyze/src/reachability.rs:
+crates/analyze/src/walker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

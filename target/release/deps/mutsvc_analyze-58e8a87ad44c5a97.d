@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mutsvc_analyze-58e8a87ad44c5a97.d: crates/analyze/src/bin/main.rs
+
+/root/repo/target/release/deps/mutsvc_analyze-58e8a87ad44c5a97: crates/analyze/src/bin/main.rs
+
+crates/analyze/src/bin/main.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mutsvc_analyze-b0b5e2f0254d2d98.d: crates/analyze/src/lib.rs crates/analyze/src/dataflow.rs crates/analyze/src/diagnostics.rs crates/analyze/src/explain.rs crates/analyze/src/paths.rs crates/analyze/src/reachability.rs crates/analyze/src/walker.rs
+
+/root/repo/target/release/deps/libmutsvc_analyze-b0b5e2f0254d2d98.rlib: crates/analyze/src/lib.rs crates/analyze/src/dataflow.rs crates/analyze/src/diagnostics.rs crates/analyze/src/explain.rs crates/analyze/src/paths.rs crates/analyze/src/reachability.rs crates/analyze/src/walker.rs
+
+/root/repo/target/release/deps/libmutsvc_analyze-b0b5e2f0254d2d98.rmeta: crates/analyze/src/lib.rs crates/analyze/src/dataflow.rs crates/analyze/src/diagnostics.rs crates/analyze/src/explain.rs crates/analyze/src/paths.rs crates/analyze/src/reachability.rs crates/analyze/src/walker.rs
+
+crates/analyze/src/lib.rs:
+crates/analyze/src/dataflow.rs:
+crates/analyze/src/diagnostics.rs:
+crates/analyze/src/explain.rs:
+crates/analyze/src/paths.rs:
+crates/analyze/src/reachability.rs:
+crates/analyze/src/walker.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mutsvc_analyze-b33c7ae131e180af.d: crates/analyze/src/bin/main.rs Cargo.toml
+
+/root/repo/target/release/deps/libmutsvc_analyze-b33c7ae131e180af.rmeta: crates/analyze/src/bin/main.rs Cargo.toml
+
+crates/analyze/src/bin/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

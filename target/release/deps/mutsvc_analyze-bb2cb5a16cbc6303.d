@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mutsvc_analyze-bb2cb5a16cbc6303.d: crates/analyze/src/bin/main.rs
+
+/root/repo/target/release/deps/mutsvc_analyze-bb2cb5a16cbc6303: crates/analyze/src/bin/main.rs
+
+crates/analyze/src/bin/main.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/mutsvc_apps-7d506ec814d3d9f3.d: crates/apps/src/lib.rs crates/apps/src/petstore/mod.rs crates/apps/src/petstore/components.rs crates/apps/src/petstore/pages.rs crates/apps/src/petstore/schema.rs crates/apps/src/petstore/sessions.rs crates/apps/src/rubis/mod.rs crates/apps/src/rubis/components.rs crates/apps/src/rubis/pages.rs crates/apps/src/rubis/schema.rs crates/apps/src/rubis/sessions.rs
+
+/root/repo/target/release/deps/mutsvc_apps-7d506ec814d3d9f3: crates/apps/src/lib.rs crates/apps/src/petstore/mod.rs crates/apps/src/petstore/components.rs crates/apps/src/petstore/pages.rs crates/apps/src/petstore/schema.rs crates/apps/src/petstore/sessions.rs crates/apps/src/rubis/mod.rs crates/apps/src/rubis/components.rs crates/apps/src/rubis/pages.rs crates/apps/src/rubis/schema.rs crates/apps/src/rubis/sessions.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/petstore/mod.rs:
+crates/apps/src/petstore/components.rs:
+crates/apps/src/petstore/pages.rs:
+crates/apps/src/petstore/schema.rs:
+crates/apps/src/petstore/sessions.rs:
+crates/apps/src/rubis/mod.rs:
+crates/apps/src/rubis/components.rs:
+crates/apps/src/rubis/pages.rs:
+crates/apps/src/rubis/schema.rs:
+crates/apps/src/rubis/sessions.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/mutsvc_apps-7edeef4b1b767b74.d: crates/apps/src/lib.rs crates/apps/src/petstore/mod.rs crates/apps/src/petstore/components.rs crates/apps/src/petstore/pages.rs crates/apps/src/petstore/schema.rs crates/apps/src/petstore/sessions.rs crates/apps/src/rubis/mod.rs crates/apps/src/rubis/components.rs crates/apps/src/rubis/pages.rs crates/apps/src/rubis/schema.rs crates/apps/src/rubis/sessions.rs Cargo.toml
+
+/root/repo/target/release/deps/libmutsvc_apps-7edeef4b1b767b74.rmeta: crates/apps/src/lib.rs crates/apps/src/petstore/mod.rs crates/apps/src/petstore/components.rs crates/apps/src/petstore/pages.rs crates/apps/src/petstore/schema.rs crates/apps/src/petstore/sessions.rs crates/apps/src/rubis/mod.rs crates/apps/src/rubis/components.rs crates/apps/src/rubis/pages.rs crates/apps/src/rubis/schema.rs crates/apps/src/rubis/sessions.rs Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/petstore/mod.rs:
+crates/apps/src/petstore/components.rs:
+crates/apps/src/petstore/pages.rs:
+crates/apps/src/petstore/schema.rs:
+crates/apps/src/petstore/sessions.rs:
+crates/apps/src/rubis/mod.rs:
+crates/apps/src/rubis/components.rs:
+crates/apps/src/rubis/pages.rs:
+crates/apps/src/rubis/schema.rs:
+crates/apps/src/rubis/sessions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

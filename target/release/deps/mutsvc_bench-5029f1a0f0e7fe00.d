@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mutsvc_bench-5029f1a0f0e7fe00.d: crates/bench/src/lib.rs crates/bench/src/fault_artifacts.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs crates/bench/src/trace_artifacts.rs
+
+/root/repo/target/release/deps/mutsvc_bench-5029f1a0f0e7fe00: crates/bench/src/lib.rs crates/bench/src/fault_artifacts.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs crates/bench/src/trace_artifacts.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/fault_artifacts.rs:
+crates/bench/src/placement_report.rs:
+crates/bench/src/simperf_report.rs:
+crates/bench/src/trace_artifacts.rs:

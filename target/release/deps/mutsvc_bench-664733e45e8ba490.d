@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mutsvc_bench-664733e45e8ba490.d: crates/bench/src/lib.rs crates/bench/src/fault_artifacts.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs crates/bench/src/trace_artifacts.rs Cargo.toml
+
+/root/repo/target/release/deps/libmutsvc_bench-664733e45e8ba490.rmeta: crates/bench/src/lib.rs crates/bench/src/fault_artifacts.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs crates/bench/src/trace_artifacts.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/fault_artifacts.rs:
+crates/bench/src/placement_report.rs:
+crates/bench/src/simperf_report.rs:
+crates/bench/src/trace_artifacts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mutsvc_bench-e1c917e3f81d2e6b.d: crates/bench/src/lib.rs crates/bench/src/fault_artifacts.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs crates/bench/src/trace_artifacts.rs
+
+/root/repo/target/release/deps/libmutsvc_bench-e1c917e3f81d2e6b.rlib: crates/bench/src/lib.rs crates/bench/src/fault_artifacts.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs crates/bench/src/trace_artifacts.rs
+
+/root/repo/target/release/deps/libmutsvc_bench-e1c917e3f81d2e6b.rmeta: crates/bench/src/lib.rs crates/bench/src/fault_artifacts.rs crates/bench/src/placement_report.rs crates/bench/src/simperf_report.rs crates/bench/src/trace_artifacts.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/fault_artifacts.rs:
+crates/bench/src/placement_report.rs:
+crates/bench/src/simperf_report.rs:
+crates/bench/src/trace_artifacts.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/mutsvc_core-b755d0f96db725ad.d: crates/core/src/lib.rs crates/core/src/configs.rs crates/core/src/experiment.rs crates/core/src/faultsuite.rs crates/core/src/invariants.rs crates/core/src/paper.rs crates/core/src/report.rs crates/core/src/topology.rs Cargo.toml
+
+/root/repo/target/release/deps/libmutsvc_core-b755d0f96db725ad.rmeta: crates/core/src/lib.rs crates/core/src/configs.rs crates/core/src/experiment.rs crates/core/src/faultsuite.rs crates/core/src/invariants.rs crates/core/src/paper.rs crates/core/src/report.rs crates/core/src/topology.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/configs.rs:
+crates/core/src/experiment.rs:
+crates/core/src/faultsuite.rs:
+crates/core/src/invariants.rs:
+crates/core/src/paper.rs:
+crates/core/src/report.rs:
+crates/core/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

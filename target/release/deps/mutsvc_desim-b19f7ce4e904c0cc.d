@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/mutsvc_desim-b19f7ce4e904c0cc.d: crates/desim/src/lib.rs crates/desim/src/fault.rs crates/desim/src/metrics.rs crates/desim/src/resource.rs crates/desim/src/rng.rs crates/desim/src/sim.rs crates/desim/src/telemetry.rs crates/desim/src/time.rs crates/desim/src/trace.rs Cargo.toml
+
+/root/repo/target/release/deps/libmutsvc_desim-b19f7ce4e904c0cc.rmeta: crates/desim/src/lib.rs crates/desim/src/fault.rs crates/desim/src/metrics.rs crates/desim/src/resource.rs crates/desim/src/rng.rs crates/desim/src/sim.rs crates/desim/src/telemetry.rs crates/desim/src/time.rs crates/desim/src/trace.rs Cargo.toml
+
+crates/desim/src/lib.rs:
+crates/desim/src/fault.rs:
+crates/desim/src/metrics.rs:
+crates/desim/src/resource.rs:
+crates/desim/src/rng.rs:
+crates/desim/src/sim.rs:
+crates/desim/src/telemetry.rs:
+crates/desim/src/time.rs:
+crates/desim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

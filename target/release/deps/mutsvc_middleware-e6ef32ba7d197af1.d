@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/mutsvc_middleware-e6ef32ba7d197af1.d: crates/middleware/src/lib.rs crates/middleware/src/binding.rs crates/middleware/src/component.rs crates/middleware/src/descriptor.rs crates/middleware/src/invocation.rs crates/middleware/src/state.rs Cargo.toml
+
+/root/repo/target/release/deps/libmutsvc_middleware-e6ef32ba7d197af1.rmeta: crates/middleware/src/lib.rs crates/middleware/src/binding.rs crates/middleware/src/component.rs crates/middleware/src/descriptor.rs crates/middleware/src/invocation.rs crates/middleware/src/state.rs Cargo.toml
+
+crates/middleware/src/lib.rs:
+crates/middleware/src/binding.rs:
+crates/middleware/src/component.rs:
+crates/middleware/src/descriptor.rs:
+crates/middleware/src/invocation.rs:
+crates/middleware/src/state.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mutsvc_netsim-ec5e81c8f2a77eb9.d: crates/netsim/src/lib.rs crates/netsim/src/job.rs crates/netsim/src/network.rs crates/netsim/src/protocol.rs crates/netsim/src/topology.rs Cargo.toml
+
+/root/repo/target/release/deps/libmutsvc_netsim-ec5e81c8f2a77eb9.rmeta: crates/netsim/src/lib.rs crates/netsim/src/job.rs crates/netsim/src/network.rs crates/netsim/src/protocol.rs crates/netsim/src/topology.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/job.rs:
+crates/netsim/src/network.rs:
+crates/netsim/src/protocol.rs:
+crates/netsim/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/mutsvc_placement-0681b178bc859932.d: crates/placement/src/lib.rs crates/placement/src/algorithms/mod.rs crates/placement/src/algorithms/annealing.rs crates/placement/src/algorithms/exhaustive.rs crates/placement/src/algorithms/greedy.rs crates/placement/src/algorithms/kl.rs crates/placement/src/algorithms/multilevel.rs crates/placement/src/algorithms/multistart.rs crates/placement/src/cost.rs crates/placement/src/cost/incremental.rs crates/placement/src/derive.rs crates/placement/src/graph.rs
+
+/root/repo/target/release/deps/mutsvc_placement-0681b178bc859932: crates/placement/src/lib.rs crates/placement/src/algorithms/mod.rs crates/placement/src/algorithms/annealing.rs crates/placement/src/algorithms/exhaustive.rs crates/placement/src/algorithms/greedy.rs crates/placement/src/algorithms/kl.rs crates/placement/src/algorithms/multilevel.rs crates/placement/src/algorithms/multistart.rs crates/placement/src/cost.rs crates/placement/src/cost/incremental.rs crates/placement/src/derive.rs crates/placement/src/graph.rs
+
+crates/placement/src/lib.rs:
+crates/placement/src/algorithms/mod.rs:
+crates/placement/src/algorithms/annealing.rs:
+crates/placement/src/algorithms/exhaustive.rs:
+crates/placement/src/algorithms/greedy.rs:
+crates/placement/src/algorithms/kl.rs:
+crates/placement/src/algorithms/multilevel.rs:
+crates/placement/src/algorithms/multistart.rs:
+crates/placement/src/cost.rs:
+crates/placement/src/cost/incremental.rs:
+crates/placement/src/derive.rs:
+crates/placement/src/graph.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/mutsvc_placement-17eb68eaa6df45bb.d: crates/placement/src/lib.rs crates/placement/src/algorithms/mod.rs crates/placement/src/algorithms/annealing.rs crates/placement/src/algorithms/exhaustive.rs crates/placement/src/algorithms/greedy.rs crates/placement/src/algorithms/kl.rs crates/placement/src/algorithms/multilevel.rs crates/placement/src/algorithms/multistart.rs crates/placement/src/cost.rs crates/placement/src/cost/incremental.rs crates/placement/src/derive.rs crates/placement/src/graph.rs Cargo.toml
+
+/root/repo/target/release/deps/libmutsvc_placement-17eb68eaa6df45bb.rmeta: crates/placement/src/lib.rs crates/placement/src/algorithms/mod.rs crates/placement/src/algorithms/annealing.rs crates/placement/src/algorithms/exhaustive.rs crates/placement/src/algorithms/greedy.rs crates/placement/src/algorithms/kl.rs crates/placement/src/algorithms/multilevel.rs crates/placement/src/algorithms/multistart.rs crates/placement/src/cost.rs crates/placement/src/cost/incremental.rs crates/placement/src/derive.rs crates/placement/src/graph.rs Cargo.toml
+
+crates/placement/src/lib.rs:
+crates/placement/src/algorithms/mod.rs:
+crates/placement/src/algorithms/annealing.rs:
+crates/placement/src/algorithms/exhaustive.rs:
+crates/placement/src/algorithms/greedy.rs:
+crates/placement/src/algorithms/kl.rs:
+crates/placement/src/algorithms/multilevel.rs:
+crates/placement/src/algorithms/multistart.rs:
+crates/placement/src/cost.rs:
+crates/placement/src/cost/incremental.rs:
+crates/placement/src/derive.rs:
+crates/placement/src/graph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

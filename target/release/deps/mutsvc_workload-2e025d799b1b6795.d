@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mutsvc_workload-2e025d799b1b6795.d: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/spec.rs crates/workload/src/stats.rs crates/workload/src/trace_report.rs Cargo.toml
+
+/root/repo/target/release/deps/libmutsvc_workload-2e025d799b1b6795.rmeta: crates/workload/src/lib.rs crates/workload/src/driver.rs crates/workload/src/spec.rs crates/workload/src/stats.rs crates/workload/src/trace_report.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/driver.rs:
+crates/workload/src/spec.rs:
+crates/workload/src/stats.rs:
+crates/workload/src/trace_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/negative-520774a047324ca7.d: crates/analyze/tests/negative.rs
+
+/root/repo/target/release/deps/negative-520774a047324ca7: crates/analyze/tests/negative.rs
+
+crates/analyze/tests/negative.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/petgraph-0a377a9f0532beef.d: vendored/petgraph/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libpetgraph-0a377a9f0532beef.rmeta: vendored/petgraph/src/lib.rs Cargo.toml
+
+vendored/petgraph/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/petgraph-692059ccde43afde.d: vendored/petgraph/src/lib.rs
+
+/root/repo/target/release/deps/petgraph-692059ccde43afde: vendored/petgraph/src/lib.rs
+
+vendored/petgraph/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-39cfeefbb207e632.d: vendored/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest-39cfeefbb207e632.rmeta: vendored/proptest/src/lib.rs Cargo.toml
+
+vendored/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-628c25af402edcbb.d: vendored/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-628c25af402edcbb: vendored/proptest/src/lib.rs
+
+vendored/proptest/src/lib.rs:

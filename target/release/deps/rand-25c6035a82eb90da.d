@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-25c6035a82eb90da.d: vendored/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-25c6035a82eb90da.rmeta: vendored/rand/src/lib.rs Cargo.toml
+
+vendored/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-7313f5c359e797fc.d: vendored/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-7313f5c359e797fc: vendored/rand/src/lib.rs
+
+vendored/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand_chacha-8ac0ac3bbe0404f8.d: vendored/rand_chacha/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand_chacha-8ac0ac3bbe0404f8.rmeta: vendored/rand_chacha/src/lib.rs Cargo.toml
+
+vendored/rand_chacha/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand_chacha-a3fd431a0aa63295.d: vendored/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/rand_chacha-a3fd431a0aa63295: vendored/rand_chacha/src/lib.rs
+
+vendored/rand_chacha/src/lib.rs:

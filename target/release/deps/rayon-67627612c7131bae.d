@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rayon-67627612c7131bae.d: vendored/rayon/src/lib.rs
+
+/root/repo/target/release/deps/rayon-67627612c7131bae: vendored/rayon/src/lib.rs
+
+vendored/rayon/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rayon-d88d883f9c8e4512.d: vendored/rayon/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librayon-d88d883f9c8e4512.rmeta: vendored/rayon/src/lib.rs Cargo.toml
+
+vendored/rayon/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

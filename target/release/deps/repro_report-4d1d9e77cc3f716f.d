@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/repro_report-4d1d9e77cc3f716f.d: crates/bench/src/bin/repro_report.rs Cargo.toml
+
+/root/repo/target/release/deps/librepro_report-4d1d9e77cc3f716f.rmeta: crates/bench/src/bin/repro_report.rs Cargo.toml
+
+crates/bench/src/bin/repro_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_report-5699755b181d1fd5.d: crates/bench/src/bin/repro_report.rs
+
+/root/repo/target/release/deps/repro_report-5699755b181d1fd5: crates/bench/src/bin/repro_report.rs
+
+crates/bench/src/bin/repro_report.rs:

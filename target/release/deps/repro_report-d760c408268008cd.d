@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_report-d760c408268008cd.d: crates/bench/src/bin/repro_report.rs
+
+/root/repo/target/release/deps/repro_report-d760c408268008cd: crates/bench/src/bin/repro_report.rs
+
+crates/bench/src/bin/repro_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scratch-599efb732c976369.d: crates/analyze/tests/scratch.rs
+
+/root/repo/target/release/deps/scratch-599efb732c976369: crates/analyze/tests/scratch.rs
+
+crates/analyze/tests/scratch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-3d3707f4811bce02.d: vendored/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-3d3707f4811bce02: vendored/serde/src/lib.rs
+
+vendored/serde/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde-be25b53fccbfe32c.d: vendored/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde-be25b53fccbfe32c.rmeta: vendored/serde/src/lib.rs Cargo.toml
+
+vendored/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde_derive-3cdd88d919103269.d: vendored/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde_derive-3cdd88d919103269.so: vendored/serde_derive/src/lib.rs Cargo.toml
+
+vendored/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde_derive-40b5be7a138f6e86.d: vendored/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde_derive-40b5be7a138f6e86.rmeta: vendored/serde_derive/src/lib.rs Cargo.toml
+
+vendored/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

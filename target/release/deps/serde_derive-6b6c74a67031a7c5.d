@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-6b6c74a67031a7c5.d: vendored/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/serde_derive-6b6c74a67031a7c5: vendored/serde_derive/src/lib.rs
+
+vendored/serde_derive/src/lib.rs:

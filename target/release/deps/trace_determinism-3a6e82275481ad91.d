@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_determinism-3a6e82275481ad91.d: crates/bench/tests/trace_determinism.rs
+
+/root/repo/target/release/deps/trace_determinism-3a6e82275481ad91: crates/bench/tests/trace_determinism.rs
+
+crates/bench/tests/trace_determinism.rs:

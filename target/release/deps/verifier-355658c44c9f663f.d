@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/verifier-355658c44c9f663f.d: crates/analyze/tests/verifier.rs crates/analyze/tests/../golden/all_cells.txt
+
+/root/repo/target/release/deps/verifier-355658c44c9f663f: crates/analyze/tests/verifier.rs crates/analyze/tests/../golden/all_cells.txt
+
+crates/analyze/tests/verifier.rs:
+crates/analyze/tests/../golden/all_cells.txt:
