@@ -4,7 +4,7 @@
 //! repro-report [--app petstore|rubis|all] [--paper|--quick] [--seed N]
 //!              [--tables] [--figures] [--compare] [--validate]
 //!              [--sessions] [--topology] [--wiring] [--placement]
-//!              [--simperf [--smoke]] [--trace [config] [--smoke]]
+//!              [--simperf [--smoke] [--parallel N]] [--trace [config] [--smoke]]
 //!              [--faults [--smoke]]
 //! ```
 //!
@@ -16,6 +16,10 @@
 //! paper's arrival rate, with the bound-program cache off (the full-binder
 //! baseline) and on, and writes `BENCH_simperf.json`; `--smoke` shortens the
 //! windows and stops at 10× for CI's wall-clock-bounded regression gate.
+//! `--parallel N` caps the conservative-parallel engine's thread ladder
+//! (1/2/4/8) measured on the eight-region fan-out topology; every thread
+//! count is asserted in-process to produce an identical report digest.
+//! `--parallel 0` skips the parallel rows.
 //!
 //! `--trace [config]` re-runs the sweep (or one named configuration) with
 //! per-request tracing and the telemetry registry on, writes a compact span
@@ -45,7 +49,9 @@ use mutsvc_bench::fault_artifacts::{
 };
 use mutsvc_bench::placement_report::{measure_placement_throughput, render_placement_json};
 use mutsvc_bench::run_sweep_parallel;
-use mutsvc_bench::simperf_report::{measure_simperf, render_simperf_json, speedup_at};
+use mutsvc_bench::simperf_report::{
+    measure_simperf, parallel_scaling_at, render_simperf_json, speedup_at, thread_counts,
+};
 use mutsvc_bench::trace_artifacts::{
     config_by_name, render_trace_json, render_wan_rt_table, run_traced_sweep,
     validate_chrome_trace, TraceCell,
@@ -69,6 +75,7 @@ struct Options {
     percentiles: bool,
     placement: bool,
     simperf: bool,
+    parallel: usize,
     smoke: bool,
     trace: bool,
     trace_config: Option<Config>,
@@ -90,6 +97,7 @@ fn parse_args() -> Options {
         percentiles: false,
         placement: false,
         simperf: false,
+        parallel: 8,
         smoke: false,
         trace: false,
         trace_config: None,
@@ -125,6 +133,12 @@ fn parse_args() -> Options {
             "--percentiles" => opts.percentiles = true,
             "--placement" => opts.placement = true,
             "--simperf" => opts.simperf = true,
+            "--parallel" => {
+                opts.parallel = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--parallel needs a thread count (0 skips the parallel rows)");
+                    std::process::exit(2);
+                });
+            }
             "--smoke" => opts.smoke = true,
             "--faults" => opts.faults = true,
             "--trace" => {
@@ -142,7 +156,7 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => {
                 println!(
-                    "repro-report [--app petstore|rubis|all] [--paper|--quick] [--seed N]\n             [--tables] [--figures] [--compare] [--validate] [--percentiles]\n             [--sessions] [--topology] [--wiring] [--placement]\n             [--simperf [--smoke]] [--trace [config] [--smoke]]\n             [--faults [--smoke]]"
+                    "repro-report [--app petstore|rubis|all] [--paper|--quick] [--seed N]\n             [--tables] [--figures] [--compare] [--validate] [--percentiles]\n             [--sessions] [--topology] [--wiring] [--placement]\n             [--simperf [--smoke] [--parallel N]] [--trace [config] [--smoke]]\n             [--faults [--smoke]]"
                 );
                 std::process::exit(0);
             }
@@ -263,17 +277,28 @@ fn print_placement_throughput() {
     }
 }
 
-fn print_simperf(smoke: bool, seed: u64) {
+fn print_simperf(smoke: bool, seed: u64, parallel: usize) {
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
     eprintln!(
-        "measuring simulator hot-path throughput ({} mode, seed {seed})...",
+        "measuring simulator hot-path throughput ({} mode, seed {seed}, \
+         {cores} core(s), parallel cap {parallel})...",
         if smoke { "smoke" } else { "full" }
     );
-    let cells = measure_simperf(smoke, seed);
+    let cells = measure_simperf(smoke, seed, parallel);
     println!("simulator request throughput (requests/sec wall-clock):");
     for cell in &cells {
+        let engine = if cell.threads == 0 {
+            "seq   ".to_string()
+        } else {
+            format!(
+                "par/{}t{}",
+                cell.threads,
+                if cell.threads < 10 { " " } else { "" }
+            )
+        };
         println!(
-            "  {:<9} {:>4}x load  cache {:<3}  {:>9.0} req/s  {:>11.0} events/s  \
-             hit rate {:>5.1}%  boxed {}",
+            "  {:<9} {:>4}x load  {engine}  cache {:<3}  {:>9.0} req/s  \
+             {:>11.0} events/s  hit rate {:>5.1}%  boxed {}",
             cell.app,
             cell.load_factor,
             if cell.bind_cache { "on" } else { "off" },
@@ -283,14 +308,23 @@ fn print_simperf(smoke: bool, seed: u64) {
             cell.boxed_events
         );
     }
-    for &(app, _) in &[("petstore", ()), ("rubis", ())] {
-        let top = if smoke { 10 } else { 100 };
+    let top = if smoke { 10 } else { 100 };
+    for app in ["petstore", "rubis"] {
         println!(
             "  {app}: {:.1}x requests/s with the bound-program cache at {top}x load",
             speedup_at(&cells, app, top)
         );
+        for t in thread_counts(parallel) {
+            if t > 1 {
+                println!(
+                    "  {app}: {:.2}x requests/s at {t} threads vs 1 \
+                     (8-region fan-out, {cores} core(s) available)",
+                    parallel_scaling_at(&cells, app, t)
+                );
+            }
+        }
     }
-    let json = render_simperf_json(&cells);
+    let json = render_simperf_json(&cells, cores);
     let path = "BENCH_simperf.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),
@@ -434,7 +468,7 @@ fn main() {
         print_placement_throughput();
     }
     if opts.simperf {
-        print_simperf(opts.smoke, opts.seed);
+        print_simperf(opts.smoke, opts.seed, opts.parallel);
     }
     if opts.trace {
         print_trace(&opts);

@@ -21,12 +21,20 @@
 //! stay at the handful of control events a run schedules (one stats reset
 //! plus one per perturbation) no matter how many requests fly, or the
 //! measurement itself panics.
+//!
+//! A second family of rows measures the conservative-parallel engine
+//! (DESIGN.md §6.5) on a widened eight-region fan-out topology at thread
+//! counts 1/2/4/8 (capped by `--parallel N`). Because the parallel merge is
+//! deterministic by construction, the bench asserts in-process that every
+//! thread count produces an identical report digest before it reports any
+//! wall-clock number — a scaling figure that changed the answer would panic
+//! instead of printing.
 
 use std::time::Instant;
 
-use mutsvc_core::{AppKind, Config, Scenario};
+use mutsvc_core::{fanout_input, AppKind, Config, Scenario};
 use mutsvc_desim::time::SimDuration;
-use mutsvc_workload::run_experiment;
+use mutsvc_workload::{run_experiment, run_experiment_parallel, ExperimentReport};
 
 /// One measured cell: an application at a load factor, cache on or off.
 #[derive(Debug, Clone)]
@@ -54,6 +62,11 @@ pub struct SimperfCell {
     pub boxed_events: u64,
     /// Bound-program cache hit rate over all issued requests (0 when off).
     pub hit_rate: f64,
+    /// OS threads of the conservative-parallel engine; 0 for rows measured
+    /// on the classic sequential engine.
+    pub threads: usize,
+    /// Events fired per shard, in shard order (empty for sequential rows).
+    pub shard_events: Vec<u64>,
 }
 
 /// Load factors measured: `--smoke` stops at 10× so CI stays inside its
@@ -128,12 +141,97 @@ fn run_cell(app: AppKind, factor: u32, bind_cache: bool, smoke: bool, seed: u64)
         } else {
             report.bind_cache.hits as f64 / issued as f64
         },
+        threads: 0,
+        shard_events: Vec::new(),
     }
 }
 
+/// How many WAN edge regions the parallel rows fan out to. With the local
+/// cluster that makes eight client regions, so eight shards — one per thread
+/// at the widest measured thread count.
+pub const PARALLEL_EDGES: usize = 7;
+
+/// Thread counts measured for the parallel rows: the 1/2/4/8 ladder clipped
+/// to `--parallel N` (1 is always kept as the scaling baseline).
+pub fn thread_counts(cap: usize) -> Vec<usize> {
+    [1, 2, 4, 8]
+        .into_iter()
+        .filter(|&t| t == 1 || t <= cap)
+        .collect()
+}
+
+/// A deterministic fingerprint of everything a parallel run computed:
+/// the merged statistics (every Welford accumulator and P² marker), the
+/// per-shard event counts and the cache counters. Wall-clock is excluded;
+/// two runs that simulated the same history digest identically.
+fn report_digest(report: &ExperimentReport) -> String {
+    format!(
+        "{} {} {:?} {:?} {:?} {:?}",
+        report.completed,
+        report.events_fired,
+        report.shard_events,
+        report.bind_cache,
+        report.stats,
+        report.staleness_ms,
+    )
+}
+
+fn run_parallel_cell(
+    app: AppKind,
+    factor: u32,
+    threads: usize,
+    smoke: bool,
+    seed: u64,
+) -> (SimperfCell, String) {
+    let config = Config::AsyncUpdates;
+    let mut input = fanout_input(app, config, PARALLEL_EDGES, seed);
+    let (warmup, duration) = if smoke {
+        (SimDuration::from_secs(10), SimDuration::from_secs(30))
+    } else {
+        (SimDuration::from_secs(20), SimDuration::from_secs(100))
+    };
+    input.topology.scale_capacity(factor as f64);
+    input.spec = input
+        .spec
+        .scale_rates(factor as f64)
+        .with_duration(warmup, duration)
+        .with_bind_cache(true);
+
+    let started = Instant::now();
+    let report = run_experiment_parallel(input, threads);
+    let wall = started.elapsed().as_secs_f64().max(1e-9);
+    let digest = report_digest(&report);
+
+    let issued = report.bind_cache.hits + report.bind_cache.misses;
+    let cell = SimperfCell {
+        app: app.name(),
+        config: config.name(),
+        load_factor: factor,
+        bind_cache: true,
+        wall_secs: wall,
+        completed: report.completed,
+        requests_per_sec: report.completed as f64 / wall,
+        events_fired: report.events_fired,
+        events_per_sec: report.events_fired as f64 / wall,
+        boxed_events: report.boxed_events,
+        hit_rate: if issued == 0 {
+            0.0
+        } else {
+            report.bind_cache.hits as f64 / issued as f64
+        },
+        threads,
+        shard_events: report.shard_events,
+    };
+    (cell, digest)
+}
+
 /// Measures both applications across the load factors, cache off then on at
-/// each point. Cells come back grouped `(app, factor, [off, on])`.
-pub fn measure_simperf(smoke: bool, seed: u64) -> Vec<SimperfCell> {
+/// each point. Cells come back grouped `(app, factor, [off, on])`. When
+/// `parallel_cap > 0`, appends the conservative-parallel rows: each
+/// application at the top load factor on the eight-region fan-out, at every
+/// [`thread_counts`] point, asserting that all thread counts digest
+/// identically before any number is reported.
+pub fn measure_simperf(smoke: bool, seed: u64, parallel_cap: usize) -> Vec<SimperfCell> {
     let mut cells = Vec::new();
     for app in AppKind::all() {
         for &factor in load_factors(smoke) {
@@ -154,49 +252,93 @@ pub fn measure_simperf(smoke: bool, seed: u64) -> Vec<SimperfCell> {
             }
         }
     }
+    if parallel_cap > 0 {
+        let top = *load_factors(smoke).last().unwrap();
+        for app in AppKind::all() {
+            let mut baseline_digest: Option<String> = None;
+            for threads in thread_counts(parallel_cap) {
+                let (cell, digest) = run_parallel_cell(app, top, threads, smoke, seed);
+                match &baseline_digest {
+                    None => baseline_digest = Some(digest),
+                    Some(expected) => assert_eq!(
+                        expected,
+                        &digest,
+                        "{}/{top}x: {threads}-thread run diverged from the \
+                         1-thread digest — the merge is no longer deterministic",
+                        app.name()
+                    ),
+                }
+                cells.push(cell);
+            }
+        }
+    }
     cells
 }
 
-/// Cache-on over cache-off requests/s for one `(app, factor)` pair.
+/// Cache-on over cache-off requests/s for one `(app, factor)` pair, over
+/// the classic sequential rows.
 pub fn speedup_at(cells: &[SimperfCell], app: &str, factor: u32) -> f64 {
     let rate = |cache: bool| {
         cells
             .iter()
-            .find(|c| c.app == app && c.load_factor == factor && c.bind_cache == cache)
+            .find(|c| {
+                c.app == app && c.load_factor == factor && c.bind_cache == cache && c.threads == 0
+            })
             .map_or(f64::NAN, |c| c.requests_per_sec)
     };
     rate(true) / rate(false)
 }
 
+/// Requests/s of an application's `threads`-thread parallel row over its
+/// 1-thread row — the conservative engine's scaling ratio.
+pub fn parallel_scaling_at(cells: &[SimperfCell], app: &str, threads: usize) -> f64 {
+    let rate = |t: usize| {
+        cells
+            .iter()
+            .find(|c| c.app == app && c.threads == t)
+            .map_or(f64::NAN, |c| c.requests_per_sec)
+    };
+    rate(threads) / rate(1)
+}
+
 /// Renders the cells as the `BENCH_simperf.json` document. Hand-formatted
 /// (the vendored serde is a no-op stand-in); schema per entry:
-/// `{"app", "config", "load_factor", "bind_cache", "wall_secs", "completed",
-/// "requests_per_sec", "events_per_sec", "boxed_events", "hit_rate"}` plus a
-/// `"speedup"` map of `app_factor` → cached/uncached requests/s.
-pub fn render_simperf_json(cells: &[SimperfCell]) -> String {
-    let mut out = String::from("{\n  \"entries\": [\n");
+/// `{"app", "config", "load_factor", "bind_cache", "threads", "wall_secs",
+/// "completed", "requests_per_sec", "events_per_sec", "boxed_events",
+/// "hit_rate", "shard_events"}` (`threads` 0 = classic sequential engine),
+/// plus a top-level `"cores"` (the machine's available parallelism — the
+/// honest context for any scaling ratio), a `"speedup"` map of
+/// `app_factor` → cached/uncached requests/s over the sequential rows, and
+/// a `"parallel_scaling"` map of `app_Nt` → N-thread over 1-thread
+/// requests/s on the fan-out topology.
+pub fn render_simperf_json(cells: &[SimperfCell], cores: usize) -> String {
+    let mut out = format!("{{\n  \"cores\": {cores},\n  \"entries\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let comma = if i + 1 < cells.len() { "," } else { "" };
+        let shards: Vec<String> = c.shard_events.iter().map(u64::to_string).collect();
         out.push_str(&format!(
             "    {{\"app\": \"{}\", \"config\": \"{}\", \"load_factor\": {}, \
-             \"bind_cache\": {}, \"wall_secs\": {:.3}, \"completed\": {}, \
-             \"requests_per_sec\": {:.1}, \"events_per_sec\": {:.1}, \
-             \"boxed_events\": {}, \"hit_rate\": {:.4}}}{comma}\n",
+             \"bind_cache\": {}, \"threads\": {}, \"wall_secs\": {:.3}, \
+             \"completed\": {}, \"requests_per_sec\": {:.1}, \
+             \"events_per_sec\": {:.1}, \"boxed_events\": {}, \
+             \"hit_rate\": {:.4}, \"shard_events\": [{}]}}{comma}\n",
             c.app,
             c.config,
             c.load_factor,
             c.bind_cache,
+            c.threads,
             c.wall_secs,
             c.completed,
             c.requests_per_sec,
             c.events_per_sec,
             c.boxed_events,
-            c.hit_rate
+            c.hit_rate,
+            shards.join(", ")
         ));
     }
     out.push_str("  ],\n  \"speedup\": {");
     let mut pairs = Vec::new();
-    for c in cells {
+    for c in cells.iter().filter(|c| c.threads == 0) {
         if !pairs.contains(&(c.app, c.load_factor)) {
             pairs.push((c.app, c.load_factor));
         }
@@ -208,6 +350,20 @@ pub fn render_simperf_json(cells: &[SimperfCell]) -> String {
             speedup_at(cells, app, *factor)
         ));
     }
+    out.push_str("},\n  \"parallel_scaling\": {");
+    let mut pairs = Vec::new();
+    for c in cells.iter().filter(|c| c.threads > 1) {
+        if !pairs.contains(&(c.app, c.threads)) {
+            pairs.push((c.app, c.threads));
+        }
+    }
+    for (i, (app, threads)) in pairs.iter().enumerate() {
+        let comma = if i + 1 < pairs.len() { "," } else { "" };
+        out.push_str(&format!(
+            "\"{app}_{threads}t\": {:.2}{comma}",
+            parallel_scaling_at(cells, app, *threads)
+        ));
+    }
     out.push_str("}\n}\n");
     out
 }
@@ -216,39 +372,56 @@ pub fn render_simperf_json(cells: &[SimperfCell]) -> String {
 mod tests {
     use super::*;
 
+    fn cell(bind_cache: bool, threads: usize, rps: f64, shard_events: Vec<u64>) -> SimperfCell {
+        SimperfCell {
+            app: "rubis",
+            config: "async-updates",
+            load_factor: 10,
+            bind_cache,
+            wall_secs: 2.0,
+            completed: 3000,
+            requests_per_sec: rps,
+            events_fired: 90_000,
+            events_per_sec: 45_000.0,
+            boxed_events: 1,
+            hit_rate: if bind_cache { 0.93 } else { 0.0 },
+            threads,
+            shard_events,
+        }
+    }
+
     #[test]
     fn json_is_well_formed_and_speedup_indexed() {
         let cells = vec![
-            SimperfCell {
-                app: "rubis",
-                config: "async-updates",
-                load_factor: 10,
-                bind_cache: false,
-                wall_secs: 2.0,
-                completed: 3000,
-                requests_per_sec: 1500.0,
-                events_fired: 90_000,
-                events_per_sec: 45_000.0,
-                boxed_events: 1,
-                hit_rate: 0.0,
-            },
-            SimperfCell {
-                app: "rubis",
-                config: "async-updates",
-                load_factor: 10,
-                bind_cache: true,
-                wall_secs: 0.25,
-                completed: 3000,
-                requests_per_sec: 12_000.0,
-                events_fired: 90_000,
-                events_per_sec: 360_000.0,
-                boxed_events: 1,
-                hit_rate: 0.93,
-            },
+            cell(false, 0, 1500.0, Vec::new()),
+            cell(true, 0, 12_000.0, Vec::new()),
         ];
         assert!((speedup_at(&cells, "rubis", 10) - 8.0).abs() < 1e-9);
-        let json = render_simperf_json(&cells);
+        let json = render_simperf_json(&cells, 8);
+        assert!(json.contains("\"cores\": 8"));
         assert!(json.contains("\"rubis_10x\": 8.00"));
+        assert!(json.contains("\"threads\": 0"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn parallel_rows_index_their_scaling_and_shards() {
+        let cells = vec![
+            cell(true, 0, 12_000.0, Vec::new()),
+            cell(true, 1, 2_000.0, vec![100, 200, 300]),
+            cell(true, 4, 7_000.0, vec![100, 200, 300]),
+        ];
+        assert!((parallel_scaling_at(&cells, "rubis", 4) - 3.5).abs() < 1e-9);
+        // Sequential-row speedup never reads the parallel rows.
+        assert!(speedup_at(&cells, "rubis", 10).is_nan());
+        let json = render_simperf_json(&cells, 1);
+        assert!(json.contains("\"rubis_4t\": 3.50"));
+        assert!(json.contains("\"shard_events\": [100, 200, 300]"));
+        assert!(
+            !json.contains("\"rubis_1t\""),
+            "1t is the baseline, not a ratio"
+        );
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
@@ -257,5 +430,13 @@ mod tests {
     fn smoke_factors_stop_at_ten() {
         assert_eq!(load_factors(true), &[1, 10]);
         assert_eq!(load_factors(false), &[1, 10, 100]);
+    }
+
+    #[test]
+    fn thread_ladder_is_clipped_by_the_cap() {
+        assert_eq!(thread_counts(8), vec![1, 2, 4, 8]);
+        assert_eq!(thread_counts(4), vec![1, 2, 4]);
+        assert_eq!(thread_counts(3), vec![1, 2]);
+        assert_eq!(thread_counts(1), vec![1]);
     }
 }

@@ -1,0 +1,109 @@
+//! Thread-count invariance of the conservative-parallel engine.
+//!
+//! The parallel engine's contract (DESIGN.md §6.5) is that the OS thread
+//! count is invisible in the simulated history: shard decomposition, RNG
+//! streams, window structure and the merge order depend only on the input,
+//! never on scheduling. These tests pin the contract at the artifact level —
+//! the rendered `BENCH_faults.json` for the three standard fault episodes
+//! and the traced span JSONL must be byte-identical at 1, 2, 4 and 8
+//! threads.
+
+use mutsvc_bench::fault_artifacts::{fault_scenario, render_faults_json, validate_faults_json};
+use mutsvc_bench::simperf_report::thread_counts;
+use mutsvc_core::{AppKind, Config, FaultCase};
+use mutsvc_workload::{jsonl, FaultPolicy, TraceSettings};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// The three standard episodes under the resilient policy, rendered through
+/// the real `BENCH_faults.json` renderer, at one thread count.
+fn faults_json_at(threads: usize, seed: u64) -> String {
+    let mut cells = Vec::new();
+    for case in FaultCase::all() {
+        for config in [Config::Centralized, Config::StatefulCaching] {
+            let scenario = fault_scenario(
+                AppKind::PetStore,
+                config,
+                case,
+                FaultPolicy::resilient(),
+                true,
+                true,
+                seed,
+            )
+            .with_parallel(threads);
+            let window = scenario.duration;
+            let report = scenario.run();
+            assert_eq!(
+                report.shard_events.len(),
+                3,
+                "paper topology decomposes into three client regions"
+            );
+            cells.push(mutsvc_bench::fault_artifacts::FaultCell {
+                config,
+                case,
+                policy: "resilient",
+                window,
+                report,
+            });
+        }
+    }
+    render_faults_json(&[(AppKind::PetStore, cells)], seed, "smoke")
+}
+
+#[test]
+fn fault_suite_json_is_byte_identical_at_every_thread_count() {
+    let baseline = faults_json_at(THREADS[0], 42);
+    validate_faults_json(&baseline).expect("single-thread suite renders valid JSON");
+    for &threads in &THREADS[1..] {
+        let json = faults_json_at(threads, 42);
+        assert_eq!(
+            baseline, json,
+            "{threads}-thread fault suite diverged from the 1-thread artifact"
+        );
+    }
+    // The artifact is seed-sensitive, so the equality above is not vacuous.
+    assert_ne!(baseline, faults_json_at(1, 43));
+}
+
+fn span_log_at(threads: usize, seed: u64) -> String {
+    let mut scenario = fault_scenario(
+        AppKind::Rubis,
+        Config::AsyncUpdates,
+        FaultCase::EdgeCrash,
+        FaultPolicy::resilient(),
+        true,
+        true,
+        seed,
+    )
+    .with_parallel(threads);
+    scenario.trace = TraceSettings::full();
+    let report = scenario.run();
+    jsonl(
+        report
+            .trace
+            .as_ref()
+            .expect("traced run must carry trace data"),
+    )
+}
+
+#[test]
+fn span_logs_are_byte_identical_at_every_thread_count() {
+    let baseline = span_log_at(THREADS[0], 7);
+    assert!(!baseline.is_empty());
+    for &threads in &THREADS[1..] {
+        assert_eq!(
+            baseline,
+            span_log_at(threads, 7),
+            "{threads}-thread span log diverged from the 1-thread log"
+        );
+    }
+    assert_ne!(baseline, span_log_at(1, 8), "different seeds must differ");
+}
+
+#[test]
+fn thread_ladder_spans_the_suite() {
+    // The suite's thread counts are exactly the bench ladder at its full
+    // cap, so CI's `--parallel`-capped bench and this suite agree on what
+    // "every thread count" means.
+    assert_eq!(thread_counts(8), THREADS.to_vec());
+}

@@ -7,6 +7,7 @@ use mutsvc_apps::rubis::{tags, RubisComponents};
 use mutsvc_middleware::{
     ComponentRegistry, DeploymentDescriptor, DescriptorBuilder, UpdatePropagation,
 };
+use mutsvc_netsim::NodeId;
 use serde::{Deserialize, Serialize};
 
 use crate::topology::PaperNodes;
@@ -70,26 +71,42 @@ impl Config {
     }
 }
 
-/// Builds the Pet Store deployment descriptor for `config`.
+/// Builds the Pet Store deployment descriptor for `config` on the paper
+/// topology (two edge servers).
 pub fn petstore_descriptor(
     config: Config,
     registry: &ComponentRegistry,
     c: &PsComponents,
     nodes: &PaperNodes,
 ) -> DeploymentDescriptor {
-    let mut b = DescriptorBuilder::new(registry, config.name(), nodes.db);
-    b.central_node(nodes.main);
-    let edges = nodes.edges();
+    petstore_descriptor_on(config, registry, c, nodes.main, nodes.db, &nodes.edges())
+}
+
+/// Builds the Pet Store deployment descriptor for `config` over an
+/// arbitrary set of edge servers — the paper's two, or the wider fan-out
+/// topologies the parallel-engine benchmarks use
+/// ([`crate::topology::fanout_topology`]).
+pub fn petstore_descriptor_on(
+    config: Config,
+    registry: &ComponentRegistry,
+    c: &PsComponents,
+    main: NodeId,
+    db: NodeId,
+    edges: &[NodeId],
+) -> DeploymentDescriptor {
+    let mut b = DescriptorBuilder::new(registry, config.name(), db);
+    b.central_node(main);
+    let edges = || edges.iter().copied();
 
     // Start from everything on main.
     for comp in c.all() {
-        b.place(comp, nodes.main);
+        b.place(comp, main);
     }
 
     if config >= Config::RemoteFacade {
         // Web tier and stateful session beans on every server (§4.2).
         for comp in c.edge_session_components() {
-            b.place_replicated(comp, nodes.main, edges);
+            b.place_replicated(comp, main, edges());
         }
     }
     if config >= Config::StatefulCaching {
@@ -97,10 +114,10 @@ pub fn petstore_descriptor(
         // Propagation is push-based, so replicas are populated as part of
         // deployment warm-up and kept fresh by pushes (the driver re-runs
         // the warm-up after a node restart for the same reason).
-        b.place_replicated(c.catalog, nodes.main, edges);
-        b.place_replicated(c.updater, nodes.main, edges);
+        b.place_replicated(c.catalog, main, edges());
+        b.place_replicated(c.updater, main, edges());
         for entity in c.cacheable_entities() {
-            b.place_replicated(entity, nodes.main, edges);
+            b.place_replicated(entity, main, edges());
         }
         b.entity_propagation(UpdatePropagation::SyncPush);
         b.eager_cache_warmup(true);
@@ -109,7 +126,7 @@ pub fn petstore_descriptor(
         // Catalog query caches on the edges; the Pet Store catalog is
         // read-only, so the paper used the simple pull-based variant (§4.4).
         b.query_cache(
-            edges,
+            edges(),
             [TAG_PRODUCTS_BY_CATEGORY, TAG_ITEMS_BY_PRODUCT],
             UpdatePropagation::Invalidate,
         );
@@ -117,42 +134,56 @@ pub fn petstore_descriptor(
     if config >= Config::AsyncUpdates {
         // Message-driven propagation (§4.5).
         b.entity_propagation(UpdatePropagation::AsyncPush);
-        b.place_replicated(c.update_subscriber, nodes.main, edges);
-        b.jms_broker(nodes.main);
+        b.place_replicated(c.update_subscriber, main, edges());
+        b.jms_broker(main);
     }
 
     b.build().expect("petstore descriptor is complete")
 }
 
-/// Builds the RUBiS deployment descriptor for `config`.
+/// Builds the RUBiS deployment descriptor for `config` on the paper
+/// topology (two edge servers).
 pub fn rubis_descriptor(
     config: Config,
     registry: &ComponentRegistry,
     c: &RubisComponents,
     nodes: &PaperNodes,
 ) -> DeploymentDescriptor {
-    let mut b = DescriptorBuilder::new(registry, config.name(), nodes.db);
-    b.central_node(nodes.main);
-    let edges = nodes.edges();
+    rubis_descriptor_on(config, registry, c, nodes.main, nodes.db, &nodes.edges())
+}
+
+/// Builds the RUBiS deployment descriptor for `config` over an arbitrary
+/// set of edge servers (see [`petstore_descriptor_on`]).
+pub fn rubis_descriptor_on(
+    config: Config,
+    registry: &ComponentRegistry,
+    c: &RubisComponents,
+    main: NodeId,
+    db: NodeId,
+    edges: &[NodeId],
+) -> DeploymentDescriptor {
+    let mut b = DescriptorBuilder::new(registry, config.name(), db);
+    b.central_node(main);
+    let edges = || edges.iter().copied();
 
     for comp in c.all() {
-        b.place(comp, nodes.main);
+        b.place(comp, main);
     }
 
     if config >= Config::RemoteFacade {
         // RUBiS has no stateful session beans: only the servlet tier moves
         // to the edges (§4.2), with EJBHomeFactory stub caching.
-        b.place_replicated(c.web, nodes.main, edges);
+        b.place_replicated(c.web, main, edges());
     }
     if config >= Config::StatefulCaching {
         // Read-only Item and User beans plus the three read façades (§4.3).
         // RUBiS propagation is push-based throughout, so freshly deployed
         // replicas/caches are populated eagerly and kept fresh by pushes.
         for comp in c.edge_read_facades() {
-            b.place_replicated(comp, nodes.main, edges);
+            b.place_replicated(comp, main, edges());
         }
         for entity in c.cacheable_entities() {
-            b.place_replicated(entity, nodes.main, edges);
+            b.place_replicated(entity, main, edges());
         }
         b.entity_propagation(UpdatePropagation::SyncPush);
         b.eager_cache_warmup(true);
@@ -161,15 +192,15 @@ pub fn rubis_descriptor(
         // Every browse/form façade on the edges, all session queries cached,
         // push-based updates in one bulk RMI (§4.4).
         for comp in c.edge_browse_facades() {
-            b.place_replicated(comp, nodes.main, edges);
+            b.place_replicated(comp, main, edges());
         }
-        b.query_cache(edges, tags::ALL, UpdatePropagation::SyncPush);
+        b.query_cache(edges(), tags::ALL, UpdatePropagation::SyncPush);
     }
     if config >= Config::AsyncUpdates {
         b.entity_propagation(UpdatePropagation::AsyncPush);
-        b.query_cache(edges, tags::ALL, UpdatePropagation::AsyncPush);
-        b.place_replicated(c.update_subscriber, nodes.main, edges);
-        b.jms_broker(nodes.main);
+        b.query_cache(edges(), tags::ALL, UpdatePropagation::AsyncPush);
+        b.place_replicated(c.update_subscriber, main, edges());
+        b.jms_broker(main);
     }
 
     b.build().expect("rubis descriptor is complete")

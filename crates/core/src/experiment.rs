@@ -5,14 +5,16 @@ use mutsvc_desim::time::SimDuration;
 use mutsvc_middleware::ContainerCosts;
 use mutsvc_netsim::ProtocolParams;
 use mutsvc_workload::{
-    paper_groups, run_experiment, ExperimentInput, ExperimentReport, FaultPolicy, FaultSettings,
-    TraceSettings, WorkloadSpec,
+    paper_groups, run_experiment, run_experiment_parallel, ClientGroup, ExperimentInput,
+    ExperimentReport, FaultPolicy, FaultSettings, TraceSettings, WorkloadSpec,
 };
 use serde::{Deserialize, Serialize};
 
-use crate::configs::{petstore_descriptor, rubis_descriptor, Config};
+use crate::configs::{
+    petstore_descriptor, petstore_descriptor_on, rubis_descriptor, rubis_descriptor_on, Config,
+};
 use crate::faultsuite::FaultCase;
-use crate::topology::{paper_topology, PaperNodes};
+use crate::topology::{fanout_topology, paper_topology, PaperNodes};
 
 /// Which application a scenario drives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -66,6 +68,13 @@ pub struct Scenario {
     /// set, it replaces `faults.schedule`.
     #[serde(default)]
     pub fault_case: Option<FaultCase>,
+    /// Run on the conservative-parallel engine with up to this many OS
+    /// threads, sharded by client region (DESIGN.md §6.5). `None` (the
+    /// default) keeps the classic sequential engine. The parallel result
+    /// is byte-identical at every thread count, but draws from per-shard
+    /// RNG streams, so it is not bit-comparable to a sequential run.
+    #[serde(default)]
+    pub parallel: Option<usize>,
 }
 
 impl Scenario {
@@ -83,6 +92,7 @@ impl Scenario {
             trace: TraceSettings::off(),
             faults: FaultSettings::off(),
             fault_case: None,
+            parallel: None,
         }
     }
 
@@ -101,6 +111,7 @@ impl Scenario {
             trace: TraceSettings::off(),
             faults: FaultSettings::off(),
             fault_case: None,
+            parallel: None,
         }
     }
 
@@ -138,6 +149,13 @@ impl Scenario {
     pub fn with_fault_case(mut self, case: FaultCase, policy: FaultPolicy) -> Self {
         self.fault_case = Some(case);
         self.faults.policy = policy;
+        self
+    }
+
+    /// Runs on the conservative-parallel engine with up to `threads` OS
+    /// threads (DESIGN.md §6.5).
+    pub fn with_parallel(mut self, threads: usize) -> Self {
+        self.parallel = Some(threads);
         self
     }
 
@@ -219,10 +237,86 @@ impl Scenario {
         )
     }
 
-    /// Builds and runs the experiment.
+    /// Builds and runs the experiment on the engine selected by
+    /// [`Scenario::parallel`].
     pub fn run(&self) -> ExperimentReport {
         let (input, _) = self.build();
-        run_experiment(input)
+        match self.parallel {
+            Some(threads) => run_experiment_parallel(input, threads),
+            None => run_experiment(input),
+        }
+    }
+}
+
+/// Assembles an experiment over a widened [`fanout_topology`]: the paper's
+/// local cluster plus `edges` WAN edge regions, each with its own client
+/// group. The paper's 30 req/s aggregate load is split equally across the
+/// `edges + 1` groups (80 % browsers / 20 % transactional, as in §3.3), so
+/// the offered load stays constant while the region count — and hence the
+/// shard count of the conservative-parallel engine — scales.
+pub fn fanout_input(app: AppKind, config: Config, edges: usize, seed: u64) -> ExperimentInput {
+    let db_on_main = matches!(app, AppKind::Rubis);
+    let (topology, nodes) = fanout_topology(db_on_main, edges);
+
+    let (app, registry, db, descriptor, protocols) = match app {
+        AppKind::PetStore => {
+            let (app, registry, db) = App::petstore(config.uses_facade_app());
+            let c = match &app {
+                App::PetStore(ps) => ps.components,
+                App::Rubis(_) => unreachable!(),
+            };
+            let descriptor =
+                petstore_descriptor_on(config, &registry, &c, nodes.main, nodes.db, &nodes.edges);
+            (
+                app,
+                registry,
+                db,
+                descriptor,
+                ProtocolParams::petstore_stack(),
+            )
+        }
+        AppKind::Rubis => {
+            let (app, registry, db) = App::rubis();
+            let c = match &app {
+                App::Rubis(r) => r.components,
+                App::PetStore(_) => unreachable!(),
+            };
+            let descriptor =
+                rubis_descriptor_on(config, &registry, &c, nodes.main, nodes.db, &nodes.edges);
+            (app, registry, db, descriptor, ProtocolParams::rubis_stack())
+        }
+    };
+
+    let group_rate = 30.0 / (edges + 1) as f64;
+    let mk = |name: String, client, entry| ClientGroup {
+        name,
+        client_node: client,
+        entry_node: entry,
+        browser_rate: group_rate * 0.8,
+        transactional_rate: group_rate * 0.2,
+    };
+    let mut groups = vec![mk("local".to_string(), nodes.client_local, nodes.main)];
+    for (i, (&edge, &clients)) in nodes.edges.iter().zip(&nodes.edge_clients).enumerate() {
+        let entry = if config == Config::Centralized {
+            nodes.main
+        } else {
+            edge
+        };
+        groups.push(mk(format!("remote{}", i + 1), clients, entry));
+    }
+    let spec = WorkloadSpec::paper_load(groups)
+        .with_duration(SimDuration::from_secs(90), SimDuration::from_secs(300))
+        .with_seed(seed);
+
+    ExperimentInput {
+        app,
+        registry,
+        db,
+        descriptor,
+        topology,
+        protocols,
+        container_costs: ContainerCosts::default(),
+        spec,
     }
 }
 
@@ -285,6 +379,45 @@ mod tests {
             central.stats.outcome("remote2").unwrap().availability(),
             1.0
         );
+    }
+
+    #[test]
+    fn fanout_input_splits_the_load_across_regions() {
+        let input = fanout_input(AppKind::PetStore, Config::AsyncUpdates, 7, 7);
+        assert_eq!(input.spec.groups.len(), 8);
+        assert!((input.spec.total_rate() - 30.0).abs() < 1e-9);
+        // Remote groups enter through their own edge server.
+        let entries: std::collections::BTreeSet<_> = input
+            .spec
+            .groups
+            .iter()
+            .map(|g| g.entry_node.index())
+            .collect();
+        assert_eq!(entries.len(), 8, "one entry per region");
+        // The centralized baseline funnels everyone to main.
+        let central = fanout_input(AppKind::PetStore, Config::Centralized, 7, 7);
+        let entries: std::collections::BTreeSet<_> = central
+            .spec
+            .groups
+            .iter()
+            .map(|g| g.entry_node.index())
+            .collect();
+        assert_eq!(entries.len(), 1);
+    }
+
+    #[test]
+    fn parallel_knob_selects_the_sharded_engine() {
+        let base = Scenario::quick(AppKind::PetStore, Config::StatefulCaching);
+        let seq = base.clone().run();
+        assert!(seq.shard_events.is_empty(), "classic engine has no shards");
+        let par = base.with_parallel(2).run();
+        assert_eq!(par.shard_events.len(), 3, "one shard per client region");
+        assert!(par.completed > 1000);
+        // The parallel engine draws per-shard RNG streams, so distributions
+        // agree with the sequential run without being bit-identical.
+        let s = seq.stats.mean_ms("remote1", "Browser", "Item").unwrap();
+        let p = par.stats.mean_ms("remote1", "Browser", "Item").unwrap();
+        assert!((s - p).abs() / s < 0.1, "seq {s} vs par {p}");
     }
 
     #[test]

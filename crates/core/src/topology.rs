@@ -108,6 +108,63 @@ pub fn topology_with_wan(db_on_main: bool, wan_one_way: SimDuration) -> (Topolog
     (b.finalize(), nodes)
 }
 
+/// Node handles of a [`fanout_topology`]: the paper's local cluster plus an
+/// arbitrary number of WAN edge regions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FanoutNodes {
+    /// Main application server.
+    pub main: NodeId,
+    /// Database host (`main` when co-located).
+    pub db: NodeId,
+    /// The central software router.
+    pub router: NodeId,
+    /// Client machines on the main server's LAN.
+    pub client_local: NodeId,
+    /// Edge application servers, one per WAN region.
+    pub edges: Vec<NodeId>,
+    /// Client machines co-located with each edge (same order as `edges`).
+    pub edge_clients: Vec<NodeId>,
+}
+
+/// Builds a widened Figure 2 topology: the paper's local cluster with
+/// `edges` WAN edge regions instead of two. Each edge region is an edge
+/// server plus a client LAN behind a 100 ms shaped leg, so the topology
+/// decomposes into `edges + 1` client regions — the scaling axis of the
+/// conservative-parallel engine benchmarks (DESIGN.md §6.5).
+pub fn fanout_topology(db_on_main: bool, edges: usize) -> (Topology, FanoutNodes) {
+    let mut b = TopologyBuilder::new();
+    let main = b.node("main", 2);
+    let db = if db_on_main { main } else { b.node("db", 2) };
+    let router = b.node("router", 8);
+    let client_local = b.node("client-local", 6);
+    b.duplex_link(main, router, LAN_ONE_WAY, LINK_BANDWIDTH_BPS);
+    if !db_on_main {
+        b.duplex_link(db, router, LAN_ONE_WAY, LINK_BANDWIDTH_BPS);
+    }
+    b.duplex_link(client_local, router, LAN_ONE_WAY, LINK_BANDWIDTH_BPS);
+
+    let mut edge_nodes = Vec::with_capacity(edges);
+    let mut edge_clients = Vec::with_capacity(edges);
+    for i in 1..=edges {
+        let edge = b.node(format!("edge{i}"), 2);
+        let clients = b.node(format!("client-edge{i}"), 6);
+        b.duplex_link(edge, router, WAN_ONE_WAY, LINK_BANDWIDTH_BPS);
+        b.duplex_link(clients, edge, LAN_ONE_WAY, LINK_BANDWIDTH_BPS);
+        edge_nodes.push(edge);
+        edge_clients.push(clients);
+    }
+
+    let nodes = FanoutNodes {
+        main,
+        db,
+        router,
+        client_local,
+        edges: edge_nodes,
+        edge_clients,
+    };
+    (b.finalize(), nodes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +195,23 @@ mod tests {
         assert!(t.rtt(n.main, n.db).as_millis_f64() < 1.0);
         let (_, n) = paper_topology(true);
         assert_eq!(n.db, n.main);
+    }
+
+    #[test]
+    fn fanout_topology_scales_the_region_count() {
+        let (t, n) = fanout_topology(false, 7);
+        assert_eq!(n.edges.len(), 7);
+        let regions = t.regions();
+        let distinct: std::collections::BTreeSet<usize> = regions.iter().copied().collect();
+        assert_eq!(distinct.len(), 8, "local + 7 edge regions");
+        // Every edge client reaches main across exactly one WAN leg.
+        for (&edge, &client) in n.edges.iter().zip(&n.edge_clients) {
+            assert_eq!(regions[edge.index()], regions[client.index()]);
+            assert_ne!(regions[edge.index()], regions[n.main.index()]);
+            let rtt = t.rtt(client, n.main).as_millis_f64();
+            assert!((200.0..202.0).contains(&rtt), "rtt {rtt}");
+        }
+        assert_eq!(t.min_wan_latency(), Some(WAN_ONE_WAY));
     }
 
     #[test]

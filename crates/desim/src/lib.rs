@@ -47,6 +47,7 @@ pub mod fault;
 pub mod metrics;
 pub mod resource;
 pub mod rng;
+pub mod shard;
 pub mod sim;
 pub mod telemetry;
 pub mod time;
@@ -56,6 +57,7 @@ pub use fault::{message_lost, FaultEvent, FaultKind, FaultSchedule, RandomFaults
 pub use metrics::{Histogram, P2Quantile, Summary, Welford};
 pub use resource::FifoResource;
 pub use rng::SimRng;
+pub use shard::{run_conservative, Outbox, ShardWorld};
 pub use sim::{Context, EventFn, Fire, NoEvent, QueueDepths, Simulation};
 pub use telemetry::{MetricId, TelemetryRegistry, TelemetrySnapshot};
 pub use time::{SimDuration, SimTime};

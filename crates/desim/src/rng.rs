@@ -27,6 +27,17 @@ pub mod stream {
     /// Independent of the workload streams, so enabling an (even empty)
     /// fault schedule cannot shift arrival or think-time draws.
     pub const FAULTS: u64 = 3;
+
+    /// The per-shard variant of a base stream, for conservative-parallel
+    /// runs (see [`crate::shard`]): shard `index`'s copy of e.g. `SESSIONS`.
+    ///
+    /// The shard index (plus one) lives in the high 32 bits, so shard
+    /// streams can never collide with the global streams above (whose high
+    /// bits are zero) or with each other. Like the identifiers themselves,
+    /// this encoding is part of the determinism contract.
+    pub const fn shard(base: u64, index: usize) -> u64 {
+        base | ((index as u64 + 1) << 32)
+    }
 }
 
 /// A deterministic random number generator for simulations.

@@ -638,6 +638,39 @@ impl<W, E: Fire<W>> Simulation<W, E> {
         }
         self.clock = self.clock.max(deadline);
     }
+
+    /// Runs until the queue is empty or the next event lies at or after
+    /// `deadline`: the half-open window `[clock, deadline)`. Events exactly
+    /// at `deadline` do *not* fire — they belong to the next window. On
+    /// return the clock is `max(clock, deadline)`, so repeated calls advance.
+    ///
+    /// Conservative parallel windows are built from this: a shard advancing
+    /// through `[w·L, (w+1)·L)` must leave events at the window boundary to
+    /// the next window, where freshly delivered cross-shard messages with
+    /// the same timestamp can still be ordered ahead of them by `seq`.
+    pub fn run_before(&mut self, deadline: SimTime) {
+        while let Some(head) = self.queue.peek_time() {
+            if head >= deadline {
+                break;
+            }
+            self.step();
+        }
+        self.clock = self.clock.max(deadline);
+    }
+
+    /// Sets the far-horizon migration epoch of the two-tier slab store.
+    ///
+    /// The epoch only affects *when* far-future events migrate into the
+    /// near heap, never their firing order (see [`SlabStore`]'s exactness
+    /// invariant), so changing it is behaviour-neutral. Deriving it from the
+    /// topology's minimum WAN link delay makes the far-queue horizon and the
+    /// conservative-parallel lookahead share one source of truth. No-op for
+    /// the inline baseline layout, which has no horizon.
+    pub fn set_far_epoch(&mut self, epoch: SimDuration) {
+        if let Store::Slab(slab) = &mut self.queue.store {
+            slab.epoch = epoch.max(SimDuration::from_micros(1));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -715,6 +748,59 @@ mod tests {
         assert_eq!(*sim.world(), 7);
         sim.run();
         assert_eq!(*sim.world(), 10);
+    }
+
+    #[test]
+    fn run_before_excludes_the_deadline() {
+        let mut sim = Simulation::new(0u32);
+        for t in 1..=10u64 {
+            sim.schedule_at(SimTime::from_secs(t), |w: &mut u32, _| *w += 1);
+        }
+        sim.run_before(SimTime::from_secs(4));
+        // Events strictly before 4 s fire; the 4 s event waits.
+        assert_eq!(*sim.world(), 3);
+        assert_eq!(sim.now(), SimTime::from_secs(4));
+        sim.run_before(SimTime::from_secs(4));
+        assert_eq!(*sim.world(), 3, "repeat call at same deadline is a no-op");
+        sim.run_until(SimTime::from_secs(4));
+        assert_eq!(*sim.world(), 4, "run_until picks up the boundary event");
+        sim.run();
+        assert_eq!(*sim.world(), 10);
+    }
+
+    /// Windowed execution (run_before at every boundary, run_until at the
+    /// end) fires the exact same sequence as one run_until, for any epoch.
+    #[test]
+    fn windowed_execution_matches_run_until() {
+        fn run(windows: Option<u64>, epoch_us: Option<u64>) -> Vec<(u64, u64)> {
+            let mut sim = Simulation::<Vec<(u64, u64)>, NoEvent>::with_events(Vec::new());
+            if let Some(us) = epoch_us {
+                sim.set_far_epoch(SimDuration::from_micros(us));
+            }
+            let mut x = 42u64;
+            for i in 0..300u64 {
+                x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                let at = SimTime::ZERO + SimDuration::from_micros(x % 5_000_000);
+                sim.schedule_at(at, move |w: &mut Vec<(u64, u64)>, ctx| {
+                    w.push((ctx.now().as_micros(), i));
+                });
+            }
+            let horizon = SimTime::from_secs(5);
+            match windows {
+                Some(n) => {
+                    for k in 1..n {
+                        sim.run_before(SimTime::from_micros(5_000_000 * k / n));
+                    }
+                    sim.run_until(horizon);
+                }
+                None => sim.run_until(horizon),
+            }
+            sim.into_world()
+        }
+        let reference = run(None, None);
+        assert_eq!(reference, run(Some(7), None));
+        assert_eq!(reference, run(Some(50), Some(100_000)));
+        assert_eq!(reference, run(Some(3), Some(4_000_000)));
     }
 
     #[test]

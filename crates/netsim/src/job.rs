@@ -305,10 +305,12 @@ pub trait JobWorld: Sized + 'static {
     }
 
     /// Links whose one-way base latency meets this threshold are classified
-    /// as wide-area legs in emitted hop spans. The default cleanly splits
-    /// the paper's topology (sub-millisecond LAN vs 100 ms WAN).
+    /// as wide-area legs in emitted hop spans. The default is the shared
+    /// [`WAN_LATENCY_THRESHOLD`](crate::topology::WAN_LATENCY_THRESHOLD),
+    /// which cleanly splits the paper's topology (sub-millisecond LAN vs
+    /// 100 ms WAN) and matches the conservative-parallel region split.
     fn trace_wan_threshold(&self) -> SimDuration {
-        SimDuration::from_millis(20)
+        crate::topology::WAN_LATENCY_THRESHOLD
     }
 }
 

@@ -66,4 +66,6 @@ pub use job::{
 };
 pub use network::Network;
 pub use protocol::ProtocolParams;
-pub use topology::{LinkId, LinkSpec, NodeId, NodeSpec, Topology, TopologyBuilder};
+pub use topology::{
+    LinkId, LinkSpec, NodeId, NodeSpec, Topology, TopologyBuilder, WAN_LATENCY_THRESHOLD,
+};

@@ -10,6 +10,17 @@ use serde::{Deserialize, Serialize};
 
 use mutsvc_desim::time::SimDuration;
 
+/// One-way latency above which a link counts as wide-area.
+///
+/// The paper's LAN legs cost ~200 µs and its shaped WAN legs ≥100 ms; 20 ms
+/// splits them with two orders of magnitude of slack on either side. The
+/// same threshold classifies traced hops ([`JobWorld::trace_wan_threshold`])
+/// and bounds the conservative-parallel region decomposition
+/// ([`Topology::regions`]), so "WAN" means one thing everywhere.
+///
+/// [`JobWorld::trace_wan_threshold`]: crate::job::JobWorld::trace_wan_threshold
+pub const WAN_LATENCY_THRESHOLD: SimDuration = SimDuration::from_millis(20);
+
 /// Identifies a node (host) in the topology.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(pub(crate) usize);
@@ -303,6 +314,63 @@ impl Topology {
         self.path_latency(a, b) + self.path_latency(b, a)
     }
 
+    /// Partitions the nodes into *regions*: connected components of the
+    /// subgraph keeping only links with latency at or below
+    /// [`WAN_LATENCY_THRESHOLD`]. Returns one region index per node, dense
+    /// from zero, numbered by each region's lowest node index — a pure
+    /// function of the topology, independent of link insertion order.
+    ///
+    /// Hosts in one region interact at LAN speed; hosts in different regions
+    /// only through ≥1 wide-area link, which is exactly the shard boundary
+    /// the conservative-parallel engine needs.
+    pub fn regions(&self) -> Vec<usize> {
+        // Union-find over sub-threshold links (graphs are tiny).
+        let mut parent: Vec<usize> = (0..self.nodes.len()).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for link in &self.links {
+            if link.latency <= WAN_LATENCY_THRESHOLD {
+                let a = find(&mut parent, link.from.0);
+                let b = find(&mut parent, link.to.0);
+                // Lower root wins, keeping numbering insertion-order-free.
+                parent[a.max(b)] = a.min(b);
+            }
+        }
+        let mut dense: Vec<Option<usize>> = vec![None; self.nodes.len()];
+        let mut next = 0;
+        (0..self.nodes.len())
+            .map(|i| {
+                let root = find(&mut parent, i);
+                *dense[root].get_or_insert_with(|| {
+                    let id = next;
+                    next += 1;
+                    id
+                })
+            })
+            .collect()
+    }
+
+    /// The smallest one-way latency among wide-area links (those above
+    /// [`WAN_LATENCY_THRESHOLD`]), or `None` for an all-LAN topology.
+    ///
+    /// This is the conservative-parallel lookahead: every message between
+    /// regions crosses at least one such link, so a shard simulating the
+    /// window `[t, t + lookahead)` cannot be affected by any other shard.
+    /// The far-queue horizon epoch derives from the same value, keeping one
+    /// source of truth for both (see `Simulation::set_far_epoch`).
+    pub fn min_wan_latency(&self) -> Option<SimDuration> {
+        self.links
+            .iter()
+            .map(|l| l.latency)
+            .filter(|&l| l > WAN_LATENCY_THRESHOLD)
+            .min()
+    }
+
     /// Scales every node's relative CPU speed and every link's bandwidth by
     /// `factor` — a deployment provisioned for `factor`× the offered load.
     /// Propagation latencies (and therefore routes) are unchanged. High-rate
@@ -413,5 +481,42 @@ mod tests {
         let mut b = TopologyBuilder::new();
         let a = b.node("a", 1);
         b.directed_link(a, a, ms(1), 1e6);
+    }
+
+    #[test]
+    fn regions_split_at_wan_links() {
+        // main+router+db share a LAN; two edges hang off 100 ms WAN legs.
+        let mut b = TopologyBuilder::new();
+        let main = b.node("main", 2);
+        let router = b.node("router", 4);
+        let db = b.node("db", 2);
+        let edge1 = b.node("edge1", 2);
+        let edge2 = b.node("edge2", 2);
+        b.duplex_link(main, router, SimDuration::from_micros(200), 100e6);
+        b.duplex_link(db, router, SimDuration::from_micros(200), 100e6);
+        b.duplex_link(router, edge1, ms(100), 100e6);
+        b.duplex_link(router, edge2, ms(120), 100e6);
+        let t = b.finalize();
+        let regions = t.regions();
+        assert_eq!(regions[main.0], regions[router.0]);
+        assert_eq!(regions[main.0], regions[db.0]);
+        assert_ne!(regions[main.0], regions[edge1.0]);
+        assert_ne!(regions[edge1.0], regions[edge2.0]);
+        // Dense, numbered by lowest member: main's region is 0.
+        assert_eq!(regions[main.0], 0);
+        assert_eq!(regions[edge1.0], 1);
+        assert_eq!(regions[edge2.0], 2);
+        assert_eq!(t.min_wan_latency(), Some(ms(100)));
+    }
+
+    #[test]
+    fn all_lan_topology_is_one_region_without_lookahead() {
+        let mut b = TopologyBuilder::new();
+        let a = b.node("a", 1);
+        let c = b.node("c", 1);
+        b.duplex_link(a, c, SimDuration::from_micros(200), 100e6);
+        let t = b.finalize();
+        assert_eq!(t.regions(), vec![0, 0]);
+        assert_eq!(t.min_wan_latency(), None);
     }
 }

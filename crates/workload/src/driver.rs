@@ -51,7 +51,11 @@ use crate::stats::WorkloadStats;
 use crate::trace_report::TraceData;
 
 /// Everything needed to run one experiment.
-#[derive(Debug)]
+///
+/// `Clone` exists for the conservative-parallel driver
+/// ([`crate::parallel::run_experiment_parallel`]), which gives every shard
+/// its own full replica of the world's inputs.
+#[derive(Debug, Clone)]
 pub struct ExperimentInput {
     /// The application model.
     pub app: App,
@@ -109,6 +113,9 @@ pub struct ExperimentReport {
     pub boxed_events: u64,
     /// Bound-program cache counters.
     pub bind_cache: BindCacheStats,
+    /// Events fired per shard of a conservative-parallel run, in shard
+    /// order. Empty for classic sequential runs.
+    pub shard_events: Vec<u64>,
     /// Committed request traces and telemetry snapshots (present iff the
     /// spec's [`crate::spec::TraceSettings`] enabled tracing).
     pub trace: Option<TraceData>,
@@ -285,8 +292,29 @@ struct FaultRuntime {
     last_done_failed: bool,
 }
 
+/// Which slice of the experiment one conservative-parallel shard runs:
+/// its index (fixing its derived RNG streams) and the client groups whose
+/// sessions it owns. Built by [`crate::parallel`] from the topology's
+/// client regions — never from the thread count, so the decomposition (and
+/// with it every simulated byte) is identical at any parallelism.
+pub(crate) struct ShardPlan {
+    /// This shard's index in ascending-region order.
+    pub index: usize,
+    /// Per client group: whether this shard simulates its sessions.
+    pub members: Vec<bool>,
+}
+
+/// Cross-shard runtime state of one shard replica: invalidation notes this
+/// shard's writes posted (drained by the parallel driver at each window
+/// boundary) and the payloads of inbound notes already scheduled as
+/// [`Ev::ShardNote`] events.
+struct ShardCtx {
+    outbound: Vec<(SimTime, Vec<TableId>)>,
+    notes: Vec<Vec<TableId>>,
+}
+
 /// The simulation world.
-struct World {
+pub(crate) struct World {
     net: Network,
     jobs: Jobs<World>,
     db: Database,
@@ -321,6 +349,26 @@ struct World {
     /// series is off (the `Ev::Snapshot` event is then never scheduled).
     telemetry_ids: Option<TelemetryIds>,
     fault_rt: FaultRuntime,
+    /// Cross-shard note state; `None` on classic sequential runs, whose
+    /// hot path then pays exactly one predictable branch per full bind.
+    shard: Option<ShardCtx>,
+}
+
+impl World {
+    /// Accepts one inbound cross-shard invalidation note, returning the
+    /// index the caller schedules as [`Ev::ShardNote`].
+    pub(crate) fn shard_note(&mut self, tables: Vec<TableId>) -> u32 {
+        let shard = self.shard.as_mut().expect("note on unsharded world");
+        shard.notes.push(tables);
+        (shard.notes.len() - 1) as u32
+    }
+
+    /// Drains the invalidation notes this shard's writes posted since the
+    /// last window boundary.
+    pub(crate) fn shard_take_outbound(&mut self) -> Vec<(SimTime, Vec<TableId>)> {
+        let shard = self.shard.as_mut().expect("drain on unsharded world");
+        std::mem::take(&mut shard.outbound)
+    }
 }
 
 /// Registered metric handles for the periodic telemetry snapshot.
@@ -404,7 +452,7 @@ impl TelemetryIds {
 /// The driver's typed event payload: every recurring event of a run is one
 /// of these, scheduled without allocation.
 #[derive(Debug, Clone, Copy)]
-enum Ev {
+pub(crate) enum Ev {
     /// Advance an in-flight job (network/CPU step completion).
     Net(NetEvent),
     /// A session's soft-delay timer expired: issue its next request.
@@ -419,6 +467,11 @@ enum Ev {
     Fault { idx: u32 },
     /// A failed request's backoff expired: re-spawn its program.
     Retry { token: u32 },
+    /// A cross-shard invalidation note arrived (conservative-parallel runs
+    /// only): bump the plan cache's generation for the tables a remote
+    /// shard's bind wrote. The payload index points into the shard
+    /// context's note buffer, keeping the event itself `Copy`.
+    ShardNote { idx: u32 },
 }
 
 impl From<NetEvent> for Ev {
@@ -436,7 +489,21 @@ impl Fire<World> for Ev {
             Ev::Snapshot => snapshot_telemetry(world, ctx),
             Ev::Fault { idx } => apply_fault(world, ctx, idx),
             Ev::Retry { token } => retry_request(world, ctx, token),
+            Ev::ShardNote { idx } => apply_shard_note(world, idx),
         }
+    }
+}
+
+/// Applies one inbound cross-shard invalidation note: every memoized plan
+/// reading a table a remote shard wrote must re-bind, exactly as a local
+/// write would force (see [`PlanCache::bump`]).
+fn apply_shard_note(world: &mut World, idx: u32) {
+    let tables = {
+        let shard = world.shard.as_mut().expect("note on unsharded world");
+        std::mem::take(&mut shard.notes[idx as usize])
+    };
+    for &t in &tables {
+        world.plans.bump(t);
     }
 }
 
@@ -903,6 +970,14 @@ fn issue(world: &mut World, ctx: &mut Context<'_, World, Ev>, slot_idx: usize) {
         for &t in &bound.written_tables {
             world.plans.bump(t);
         }
+        // Conservative-parallel runs announce writes to the other shards:
+        // the note rides a WAN path, so its arrival is always at or past
+        // the engine's lookahead horizon.
+        if let Some(shard) = &mut world.shard {
+            if !bound.written_tables.is_empty() {
+                shard.outbound.push((now, bound.written_tables.clone()));
+            }
+        }
         for (tag, apply) in bound.deferred {
             world.deferred.insert(tag, (now, apply));
         }
@@ -1020,8 +1095,16 @@ fn warm_caches(
     }
 }
 
-/// Runs one experiment to completion and reports its measurements.
-pub fn run_experiment(input: ExperimentInput) -> ExperimentReport {
+/// Builds one run's fully-scheduled simulation without running it.
+///
+/// The classic sequential driver (`shard: None`) runs the result straight
+/// to the horizon; the conservative-parallel driver builds one simulation
+/// per [`ShardPlan`] and advances them in lookahead windows
+/// ([`crate::parallel`]). A shard simulates only its own client groups'
+/// sessions and draws from per-shard RNG streams
+/// ([`stream::shard`]) — both fixed by the decomposition, never by the
+/// thread count.
+pub(crate) fn build_sim(input: ExperimentInput, shard: Option<ShardPlan>) -> Simulation<World, Ev> {
     let ExperimentInput {
         app,
         registry,
@@ -1034,13 +1117,30 @@ pub fn run_experiment(input: ExperimentInput) -> ExperimentReport {
     } = input;
 
     let rng = SimRng::seed_from_u64(spec.seed);
-    let mut session_rng = rng.derive(stream::SESSIONS);
-    let world_rng = rng.derive(stream::WORLD);
+    let (mut session_rng, world_rng) = match &shard {
+        Some(p) => (
+            rng.derive(stream::shard(stream::SESSIONS, p.index)),
+            rng.derive(stream::shard(stream::WORLD, p.index)),
+        ),
+        None => (rng.derive(stream::SESSIONS), rng.derive(stream::WORLD)),
+    };
     let measuring_from = SimTime::ZERO + spec.warmup;
+    // Satellite: the slab queue's far-horizon epoch follows the topology —
+    // WAN round trips dominate event spacing, so the minimum WAN leg is the
+    // natural bucket width (500 ms when the topology has no WAN leg at
+    // all). Behavior-neutral: the queue's ordering contract is exact at
+    // any epoch.
+    let far_epoch = topology
+        .min_wan_latency()
+        .unwrap_or(SimDuration::from_millis(500));
 
-    // Create the session slots: one per concurrent client session.
+    // Create the session slots: one per concurrent client session (of the
+    // shard's own groups, when sharded; group indices stay global).
     let mut sessions = Vec::new();
     for (gi, group) in spec.groups.iter().enumerate() {
+        if shard.as_ref().is_some_and(|p| !p.members[gi]) {
+            continue;
+        }
         for (kind, rate) in [
             (SessionKind::Browser, group.browser_rate),
             (SessionKind::Transactional, group.transactional_rate),
@@ -1060,8 +1160,6 @@ pub fn run_experiment(input: ExperimentInput) -> ExperimentReport {
         }
     }
 
-    let config = descriptor.name.clone();
-    let horizon = spec.horizon();
     let n_sessions = sessions.len();
     let soft_delay = spec.soft_delay;
 
@@ -1149,9 +1247,14 @@ pub fn run_experiment(input: ExperimentInput) -> ExperimentReport {
         tracer,
         telemetry,
         telemetry_ids,
+        shard: shard.map(|_| ShardCtx {
+            outbound: Vec::new(),
+            notes: Vec::new(),
+        }),
     };
 
     let mut sim: Simulation<World, Ev> = Simulation::with_events(world);
+    sim.set_far_epoch(far_epoch);
     // The pre-overhaul queue boxed every event; emulate it for baseline runs.
     sim.emulate_boxed_events(legacy);
     // Stagger session starts uniformly across one soft-delay interval.
@@ -1185,11 +1288,25 @@ pub fn run_experiment(input: ExperimentInput) -> ExperimentReport {
         sim.schedule_event_at(SimTime::ZERO + at, Ev::Fault { idx: i as u32 });
     }
 
+    sim
+}
+
+/// Runs one experiment to completion and reports its measurements.
+pub fn run_experiment(input: ExperimentInput) -> ExperimentReport {
+    let horizon = input.spec.horizon();
+    let mut sim = build_sim(input, None);
     sim.run_until(horizon);
+    drain_report(sim)
+}
+
+/// Tears a finished simulation down into its [`ExperimentReport`].
+pub(crate) fn drain_report(sim: Simulation<World, Ev>) -> ExperimentReport {
+    let horizon = sim.world().spec.horizon();
     let events_fired = sim.events_fired();
     let boxed_events = sim.boxed_events_scheduled();
 
     let mut world = sim.into_world();
+    let config = world.descriptor.name.clone();
     let cpu_utilization = world
         .net
         .topology()
@@ -1238,6 +1355,7 @@ pub fn run_experiment(input: ExperimentInput) -> ExperimentReport {
             misses: world.plans.misses,
             invalidations: world.plans.invalidations,
         },
+        shard_events: Vec::new(),
         trace,
     }
 }

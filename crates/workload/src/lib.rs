@@ -12,17 +12,22 @@
 //!   the axes of Tables 6/7 and Figures 7/8.
 //!
 //! [`driver::run_experiment`] wires an application, a deployment descriptor
-//! and a topology into a deterministic discrete-event run.
+//! and a topology into a deterministic discrete-event run;
+//! [`parallel::run_experiment_parallel`] runs the same experiment sharded
+//! by client region under conservative synchronization (DESIGN.md §6.5),
+//! byte-identical at every thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod driver;
+pub mod parallel;
 pub mod spec;
 pub mod stats;
 pub mod trace_report;
 
 pub use driver::{run_experiment, ExperimentInput, ExperimentReport};
+pub use parallel::run_experiment_parallel;
 pub use spec::{
     paper_groups, ClientGroup, FaultPolicy, FaultSettings, NetAction, Perturbation, TraceSettings,
     WorkloadSpec,

@@ -1,0 +1,463 @@
+//! Conservative-parallel experiment driving (DESIGN.md §6.5).
+//!
+//! [`run_experiment_parallel`] shards one experiment by *client region* —
+//! the LAN-connected components of the topology — and runs the shards on
+//! OS threads under conservative synchronization: every shard may safely
+//! advance one *lookahead* window (the minimum WAN leg latency) past the
+//! last barrier, because nothing a remote shard does can reach it sooner
+//! than a WAN crossing.
+//!
+//! # Decomposition
+//!
+//! Each shard owns the client groups whose client node lives in its
+//! region and simulates them against a full replica of the world (network,
+//! database, container state). Requests from a region's sessions still
+//! traverse the shared topology to the central servers, so WAN response
+//! times, CPU load on the central nodes, and per-group statistics are
+//! produced exactly as in a sequential run of that region's load.
+//!
+//! The one cross-shard interaction modeled explicitly is *bind-cache
+//! invalidation*: a shard whose session writes tables posts a note that
+//! reaches every other shard one WAN path later and bumps the affected
+//! table generations there, forcing memoized plans to re-bind — the same
+//! effect a remote write has in a sequential run. What the replica scheme
+//! approximates away is cross-region *contention*: shard A's requests do
+//! not queue behind shard B's on the shared central CPUs, and remote
+//! writes do not mutate a shard's database replica. In the provisioned
+//! regime the benchmarks run (central CPUs well below saturation) the
+//! contention term is negligible; the approximation is documented, not
+//! hidden.
+//!
+//! # Determinism
+//!
+//! The decomposition (regions), the per-shard RNG streams
+//! ([`stream::shard`](mutsvc_desim::rng::stream::shard)), the window
+//! structure, and the canonical cross-shard delivery order are all
+//! functions of the input alone — never of the thread count. A run at 8
+//! threads is byte-identical to a run at 1: same span logs, same fault
+//! tables, same statistics.
+
+use mutsvc_desim::sim::Simulation;
+use mutsvc_desim::time::{SimDuration, SimTime};
+use mutsvc_desim::{run_conservative, Outbox, ShardWorld};
+use mutsvc_netsim::NodeId;
+use mutsvc_relstore::TableId;
+
+use crate::driver::{
+    build_sim, drain_report, Ev, ExperimentInput, ExperimentReport, ShardPlan, World,
+};
+
+/// One shard of a conservative-parallel run: a full driver simulation over
+/// the shard's own client groups, plus the note delays to every peer.
+struct ExperimentShard {
+    sim: Simulation<World, Ev>,
+    index: usize,
+    /// One-way note latency to each destination shard (full shortest-path
+    /// latency between region representatives; `>=` the engine lookahead,
+    /// since every inter-region path crosses a WAN leg).
+    delays: Vec<SimDuration>,
+}
+
+impl ShardWorld for ExperimentShard {
+    type Msg = Vec<TableId>;
+    type Out = ExperimentReport;
+
+    fn deliver(&mut self, at: SimTime, _from: usize, msg: Vec<TableId>) {
+        let idx = self.sim.world_mut().shard_note(msg);
+        self.sim.schedule_event_at(at, Ev::ShardNote { idx });
+    }
+
+    fn advance(&mut self, upto: SimTime, closing: bool, outbox: &mut Outbox<Vec<TableId>>) {
+        if closing {
+            self.sim.run_until(upto);
+        } else {
+            self.sim.run_before(upto);
+        }
+        for (at, tables) in self.sim.world_mut().shard_take_outbound() {
+            for (dest, &delay) in self.delays.iter().enumerate() {
+                if dest != self.index {
+                    outbox.send(dest, at + delay, tables.clone());
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> ExperimentReport {
+        drain_report(self.sim)
+    }
+}
+
+/// How a topology and workload decompose into shards: one shard per client
+/// region, in ascending region order.
+struct Decomposition {
+    /// Per shard: which client groups it owns.
+    members: Vec<Vec<bool>>,
+    /// Per shard: its region's representative (lowest-index) node.
+    reps: Vec<NodeId>,
+}
+
+fn decompose(input: &ExperimentInput) -> Decomposition {
+    let regions = input.topology.regions();
+    // Distinct client regions, ascending. Region ids are already dense and
+    // ordered by lowest member, so this ordering is a pure function of the
+    // topology.
+    let mut shard_regions: Vec<usize> = input
+        .spec
+        .groups
+        .iter()
+        .map(|g| regions[g.client_node.index()])
+        .collect();
+    shard_regions.sort_unstable();
+    shard_regions.dedup();
+
+    let members = shard_regions
+        .iter()
+        .map(|&r| {
+            input
+                .spec
+                .groups
+                .iter()
+                .map(|g| regions[g.client_node.index()] == r)
+                .collect()
+        })
+        .collect();
+    let reps = shard_regions
+        .iter()
+        .map(|&r| {
+            input
+                .topology
+                .node_ids()
+                .find(|n| regions[n.index()] == r)
+                .expect("region has a member")
+        })
+        .collect();
+    Decomposition { members, reps }
+}
+
+/// Runs one experiment sharded by client region on up to `threads` OS
+/// threads, returning the deterministically merged report.
+///
+/// The merged report is byte-identical at every `threads` value (the
+/// decomposition and schedule depend only on the input); its
+/// [`shard_events`](ExperimentReport::shard_events) field records each
+/// shard's event count in shard order. Note that a parallel run is *not*
+/// byte-identical to [`run_experiment`](crate::driver::run_experiment) —
+/// shards draw from per-shard RNG streams — but reproduces the same
+/// workload distributions per seed.
+///
+/// # Panics
+///
+/// Panics if the spec has no client groups, or if the topology puts client
+/// groups in more than one region without any WAN link to derive the
+/// lookahead from (impossible for connected topologies).
+pub fn run_experiment_parallel(input: ExperimentInput, threads: usize) -> ExperimentReport {
+    let d = decompose(&input);
+    let shard_count = d.members.len();
+    assert!(shard_count > 0, "no client groups to shard");
+
+    let min_wan = input.topology.min_wan_latency();
+    if shard_count > 1 {
+        assert!(
+            min_wan.is_some(),
+            "multiple client regions but no WAN link for lookahead"
+        );
+    }
+    // Single-shard runs have no cross-shard traffic; any window width is
+    // safe, and 500 ms keeps the window overhead negligible.
+    let lookahead = min_wan.unwrap_or(SimDuration::from_millis(500));
+    let horizon = input.spec.horizon();
+
+    // Note delays: full shortest-path latency between region
+    // representatives. Every inter-region path crosses at least one WAN
+    // leg, so each delay is >= the lookahead — the conservative contract
+    // the engine asserts per send.
+    let delays: Vec<Vec<SimDuration>> = (0..shard_count)
+        .map(|s| {
+            (0..shard_count)
+                .map(|t| {
+                    if s == t {
+                        SimDuration::ZERO
+                    } else {
+                        input.topology.path_latency(d.reps[s], d.reps[t])
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    let reports = run_conservative(shard_count, threads, lookahead, horizon, |index| {
+        ExperimentShard {
+            sim: build_sim(
+                input.clone(),
+                Some(ShardPlan {
+                    index,
+                    members: d.members[index].clone(),
+                }),
+            ),
+            index,
+            delays: delays[index].clone(),
+        }
+    });
+    merge_reports(reports)
+}
+
+/// Reduces per-shard reports into one, in ascending shard order: summaries
+/// and outcomes merge by key, counters sum, traces concatenate, telemetry
+/// snapshots sum pointwise. Gauge-style telemetry series (queue depths,
+/// fault link counts) therefore read as *sums over shard replicas* in a
+/// merged report.
+fn merge_reports(reports: Vec<ExperimentReport>) -> ExperimentReport {
+    let shard_events: Vec<u64> = reports.iter().map(|r| r.events_fired).collect();
+    let mut iter = reports.into_iter();
+    let mut total = iter.next().expect("at least one shard report");
+    for r in iter {
+        assert_eq!(total.config, r.config, "shards run one configuration");
+        total.stats.merge(&r.stats);
+        total.bind_totals.merge(&r.bind_totals);
+        total.staleness_ms.merge(&r.staleness_ms);
+        for (acc, (name, util)) in total.cpu_utilization.iter_mut().zip(&r.cpu_utilization) {
+            assert_eq!(&acc.0, name, "shards share one topology");
+            acc.1 += util;
+        }
+        total.completed += r.completed;
+        total.events_fired += r.events_fired;
+        total.boxed_events += r.boxed_events;
+        total.bind_cache.enabled |= r.bind_cache.enabled;
+        total.bind_cache.hits += r.bind_cache.hits;
+        total.bind_cache.misses += r.bind_cache.misses;
+        total.bind_cache.invalidations += r.bind_cache.invalidations;
+        match (&mut total.trace, r.trace) {
+            (Some(t), Some(o)) => {
+                t.traces.extend(o.traces);
+                assert_eq!(t.telemetry_names, o.telemetry_names);
+                assert_eq!(t.telemetry.len(), o.telemetry.len());
+                for (a, b) in t.telemetry.iter_mut().zip(o.telemetry) {
+                    assert_eq!(a.at, b.at, "snapshot cadences align");
+                    for (x, y) in a.values.iter_mut().zip(b.values) {
+                        *x += y;
+                    }
+                }
+            }
+            (None, None) => {}
+            _ => unreachable!("every shard runs the same trace settings"),
+        }
+    }
+    total.shard_events = shard_events;
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_experiment;
+    use crate::spec::{paper_groups, TraceSettings, WorkloadSpec};
+    use crate::trace_report::jsonl;
+    use mutsvc_apps::App;
+    use mutsvc_middleware::{ContainerCosts, DescriptorBuilder};
+    use mutsvc_netsim::{ProtocolParams, TopologyBuilder};
+
+    /// A Pet Store experiment over three client regions: a local group on
+    /// the server LAN and two groups behind their own WAN edges.
+    fn three_region_input(seed: u64) -> ExperimentInput {
+        let (app, registry, db) = App::petstore(false);
+        let mut tb = TopologyBuilder::new();
+        let main = tb.node("main", 2);
+        let dbn = tb.node("db", 2);
+        let router = tb.node("router", 8);
+        let edge1 = tb.node("edge1", 2);
+        let edge2 = tb.node("edge2", 2);
+        let lc = tb.node("client-local", 4);
+        let rc1 = tb.node("client-remote1", 4);
+        let rc2 = tb.node("client-remote2", 4);
+        let lan = SimDuration::from_micros(200);
+        tb.duplex_link(main, router, lan, 100e6);
+        tb.duplex_link(dbn, router, lan, 100e6);
+        tb.duplex_link(lc, router, lan, 100e6);
+        tb.duplex_link(edge1, router, SimDuration::from_millis(100), 100e6);
+        tb.duplex_link(edge2, router, SimDuration::from_millis(150), 100e6);
+        tb.duplex_link(rc1, edge1, lan, 100e6);
+        tb.duplex_link(rc2, edge2, lan, 100e6);
+        let topology = tb.finalize();
+
+        let components = match &app {
+            App::PetStore(ps) => ps.components,
+            App::Rubis(_) => unreachable!(),
+        };
+        let mut b = DescriptorBuilder::new(&registry, "centralized", dbn);
+        b.central_node(main);
+        for c in components.all() {
+            b.place(c, main);
+        }
+        let descriptor = b.build().unwrap();
+
+        let groups = paper_groups((lc, main), (rc1, main), (rc2, main));
+        let spec = WorkloadSpec::paper_load(groups)
+            .with_duration(SimDuration::from_secs(10), SimDuration::from_secs(60))
+            .with_seed(seed);
+
+        ExperimentInput {
+            app,
+            registry,
+            db,
+            descriptor,
+            topology,
+            protocols: ProtocolParams::petstore_stack(),
+            container_costs: ContainerCosts::default(),
+            spec,
+        }
+    }
+
+    #[test]
+    fn thread_count_is_invisible_in_the_merged_report() {
+        let run = |threads| {
+            let mut input = three_region_input(71);
+            input.spec = input.spec.with_trace(TraceSettings::full());
+            run_experiment_parallel(input, threads)
+        };
+        let one = run(1);
+        assert_eq!(one.shard_events.len(), 3, "one shard per client region");
+        assert!(one.completed > 500, "completed {}", one.completed);
+        let log = jsonl(one.trace.as_ref().unwrap());
+        for threads in [2, 4, 8] {
+            let r = run(threads);
+            assert_eq!(one.stats, r.stats);
+            assert_eq!(one.completed, r.completed);
+            assert_eq!(one.bind_totals, r.bind_totals);
+            assert_eq!(one.staleness_ms, r.staleness_ms);
+            assert_eq!(one.events_fired, r.events_fired);
+            assert_eq!(one.shard_events, r.shard_events);
+            assert_eq!(one.bind_cache, r.bind_cache);
+            assert_eq!(one.cpu_utilization, r.cpu_utilization);
+            assert_eq!(
+                log,
+                jsonl(r.trace.as_ref().unwrap()),
+                "span log byte-identical at {threads} threads"
+            );
+            assert_eq!(
+                one.trace.as_ref().unwrap().telemetry,
+                r.trace.unwrap().telemetry
+            );
+        }
+    }
+
+    #[test]
+    fn shards_cover_the_whole_offered_load() {
+        let report = run_experiment_parallel(three_region_input(72), 4);
+        // Three groups at 10 req/s over a 60 s measured window.
+        let expected = 30.0 * 60.0;
+        let ratio = report.completed as f64 / expected;
+        assert!((0.9..1.1).contains(&ratio), "ratio {ratio}");
+        // Every shard simulated real work.
+        assert_eq!(report.shard_events.len(), 3);
+        for (i, &n) in report.shard_events.iter().enumerate() {
+            assert!(n > 1_000, "shard {i} fired only {n} events");
+        }
+        assert_eq!(report.events_fired, report.shard_events.iter().sum::<u64>());
+        // Per-group series all present, and remote groups pay the WAN.
+        let local = report.stats.mean_ms("local", "Browser", "Item").unwrap();
+        let r1 = report.stats.mean_ms("remote1", "Browser", "Item").unwrap();
+        let r2 = report.stats.mean_ms("remote2", "Browser", "Item").unwrap();
+        assert!(r1 - local > 350.0, "local {local:.0} remote1 {r1:.0}");
+        assert!(r2 > r1, "the farther edge is slower: {r1:.0} vs {r2:.0}");
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_distributions() {
+        // Not byte-identical (per-shard RNG streams), but the same model:
+        // means per series agree within a few percent.
+        let seq = run_experiment(three_region_input(73));
+        let par = run_experiment_parallel(three_region_input(73), 4);
+        for (group, pattern, page) in [("local", "Browser", "Item"), ("remote1", "Browser", "Item")]
+        {
+            let s = seq.stats.mean_ms(group, pattern, page).unwrap();
+            let p = par.stats.mean_ms(group, pattern, page).unwrap();
+            assert!(
+                (s - p).abs() / s < 0.05,
+                "{group}/{pattern}/{page}: sequential {s:.1}ms parallel {p:.1}ms"
+            );
+        }
+        let ratio = par.completed as f64 / seq.completed as f64;
+        assert!((0.95..1.05).contains(&ratio), "completed ratio {ratio}");
+    }
+
+    #[test]
+    fn cross_shard_notes_invalidate_remote_plans() {
+        let report = run_experiment_parallel(three_region_input(74), 2);
+        assert!(report.bind_cache.enabled);
+        assert!(report.bind_cache.hits > 0);
+        // Buyer commits in any shard invalidate reader plans in all of
+        // them, so invalidations exceed what any one shard's own writes
+        // would produce; at minimum they must occur at all.
+        assert!(report.bind_cache.invalidations > 0);
+    }
+
+    #[test]
+    fn single_region_collapses_to_one_shard() {
+        let mut input = three_region_input(75);
+        // Only the local group remains: one client region, one shard.
+        input.spec.groups.truncate(1);
+        let report = run_experiment_parallel(input, 8);
+        assert_eq!(report.shard_events.len(), 1);
+        assert!(report.completed > 300, "completed {}", report.completed);
+    }
+
+    #[test]
+    fn fault_episodes_replay_identically_at_any_thread_count() {
+        use crate::spec::{FaultPolicy, FaultSettings};
+        use mutsvc_desim::fault::{FaultEvent, FaultKind, FaultSchedule};
+        let run = |threads| {
+            let mut input = three_region_input(76);
+            let out = input
+                .topology
+                .link_ids()
+                .find(|&l| input.topology.link(l).name == "edge1->router")
+                .unwrap()
+                .index() as u32;
+            let back = input
+                .topology
+                .link_ids()
+                .find(|&l| input.topology.link(l).name == "router->edge1")
+                .unwrap()
+                .index() as u32;
+            input.spec = input
+                .spec
+                .with_trace(TraceSettings::full())
+                .with_faults(FaultSettings {
+                    schedule: FaultSchedule::scripted(vec![
+                        FaultEvent {
+                            at: SimDuration::from_secs(20),
+                            kind: FaultKind::LinkDown { link: out },
+                        },
+                        FaultEvent {
+                            at: SimDuration::from_secs(20),
+                            kind: FaultKind::LinkDown { link: back },
+                        },
+                        FaultEvent {
+                            at: SimDuration::from_secs(40),
+                            kind: FaultKind::LinkRestore { link: out },
+                        },
+                        FaultEvent {
+                            at: SimDuration::from_secs(40),
+                            kind: FaultKind::LinkRestore { link: back },
+                        },
+                    ]),
+                    timeout: SimDuration::from_secs(2),
+                    policy: FaultPolicy::none(),
+                });
+            run_experiment_parallel(input, threads)
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.events_fired, b.events_fired);
+        let (ta, tb) = (a.trace.unwrap(), b.trace.unwrap());
+        assert_eq!(jsonl(&ta), jsonl(&tb));
+        assert_eq!(ta.telemetry, tb.telemetry);
+        // The partition actually bit: only the partitioned group failed.
+        let r1 = a.stats.outcome("remote1").unwrap();
+        assert!(r1.failed > 0, "{r1:?}");
+        assert_eq!(a.stats.outcome("local").unwrap().availability(), 1.0);
+        assert_eq!(a.stats.outcome("remote2").unwrap().availability(), 1.0);
+    }
+}

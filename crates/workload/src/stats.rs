@@ -310,6 +310,52 @@ impl WorkloadStats {
             .map(|(k, &i)| (k, &self.series_data[i as usize]))
     }
 
+    /// Folds another run's measurements in, matching series, session
+    /// aggregates and group outcomes *by key* (so the two collections may
+    /// have interned in any order) and summing the staleness histogram.
+    ///
+    /// This is the reduce step of a conservative-parallel run (DESIGN.md
+    /// §6.5): each shard measures its own client groups, and the merged
+    /// collection is identical whichever shard order produced it — merging
+    /// is applied in ascending shard index, which is fixed by the topology,
+    /// so thread count never changes the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the staleness histograms have different geometry (they
+    /// never do: every collection uses the same fixed buckets).
+    pub fn merge(&mut self, other: &WorkloadStats) {
+        use std::collections::btree_map::Entry;
+        self.requests += other.requests;
+        for (key, &oi) in &other.series_index {
+            let id = match self.series_index.entry(key.clone()) {
+                Entry::Occupied(e) => *e.get(),
+                Entry::Vacant(e) => {
+                    let id = self.series_data.len() as u32;
+                    self.series_data.push(Summary::default());
+                    *e.insert(id)
+                }
+            };
+            self.series_data[id as usize].merge(&other.series_data[oi as usize]);
+        }
+        for (key, &oi) in &other.session_index {
+            let id = match self.session_index.entry(key.clone()) {
+                Entry::Occupied(e) => *e.get(),
+                Entry::Vacant(e) => {
+                    let id = self.session_data.len() as u32;
+                    self.session_data.push(Summary::default());
+                    *e.insert(id)
+                }
+            };
+            self.session_data[id as usize].merge(&other.session_data[oi as usize]);
+        }
+        for (group, &oi) in &other.outcome_index {
+            let id = self.intern_group(group);
+            self.outcome_data[id as usize].merge(&other.outcome_data[oi as usize]);
+        }
+        self.staleness.merge(&other.staleness);
+    }
+
     /// All page labels recorded for a pattern, in sorted order.
     pub fn pages_of(&self, pattern: &str) -> Vec<String> {
         let mut pages: Vec<String> = self
@@ -420,6 +466,42 @@ mod tests {
         assert!(s.staleness_histogram().quantile(0.99) >= 30_000.0);
         // An idle group reports full availability, not a 0/0 panic.
         assert_eq!(GroupOutcome::default().availability(), 1.0);
+    }
+
+    #[test]
+    fn merge_matches_by_key_not_intern_order() {
+        // Left interns (A then B); right interns (B then A) plus a series
+        // the left never saw. Merging must line everything up by key.
+        let mut a = WorkloadStats::new();
+        let ga = a.intern_group("local");
+        a.record("local", "Browser", "Item", ms(100));
+        a.record("remote1", "Browser", "Item", ms(400));
+        a.record_outcome_id(ga, true);
+
+        let mut b = WorkloadStats::new();
+        let gb = b.intern_group("remote1");
+        b.record("remote1", "Browser", "Item", ms(600));
+        b.record("local", "Browser", "Item", ms(200));
+        b.record("local", "Buyer", "Commit", ms(50));
+        b.record_outcome_id(gb, false);
+        b.record_stale_serve_id(gb, 10_000.0);
+
+        a.merge(&b);
+        assert_eq!(a.requests(), 5);
+        assert_eq!(a.mean_ms("local", "Browser", "Item"), Some(150.0));
+        assert_eq!(a.mean_ms("remote1", "Browser", "Item"), Some(500.0));
+        assert_eq!(a.mean_ms("local", "Buyer", "Commit"), Some(50.0));
+        let sess = a.session_summary("local", "Browser").unwrap();
+        assert_eq!(sess.count(), 2);
+        assert_eq!(a.outcome("local").unwrap().ok, 1);
+        let r = a.outcome("remote1").unwrap();
+        assert_eq!((r.failed, r.stale_served), (1, 1));
+        assert_eq!(a.staleness_histogram().total(), 1);
+
+        // Merging an empty collection is a no-op.
+        let before = a.clone();
+        a.merge(&WorkloadStats::new());
+        assert_eq!(a, before);
     }
 
     #[test]
