@@ -5,8 +5,9 @@
 //! which silently assumes every wide-area crossing traverses exactly one
 //! WAN leg. [`PathModel`] replaces that with shortest-path reasoning over
 //! the topology graph itself: a crossing's wide-area cost is the number of
-//! WAN *hops* on its route (links whose one-way propagation latency is at
-//! or above [`WAN_HOP_THRESHOLD`]), so the §4.2 budget check stays correct
+//! WAN *hops* on its route (links whose one-way propagation latency is
+//! strictly above [`WAN_HOP_THRESHOLD`]), so the §4.2 budget check stays
+//! correct
 //! on meshes where an edge-to-edge call relays through several points of
 //! presence. On the paper's star the two models agree link-for-link (an
 //! equivalence the test below pins), except for the deliberately uncovered
@@ -15,12 +16,17 @@
 //! accordingly.
 
 use mutsvc_desim::time::SimDuration;
-use mutsvc_netsim::{NodeId, Topology};
+use mutsvc_netsim::{NodeId, Topology, WAN_LATENCY_THRESHOLD};
 
-/// One-way link propagation latency at or above which a link counts as a
-/// wide-area hop. Matches the tracer's default WAN classification threshold
-/// so static and traced accounting agree on the same links.
-pub const WAN_HOP_THRESHOLD: SimDuration = SimDuration::from_millis(20);
+/// One-way link propagation latency above which a link counts as a
+/// wide-area hop — *the same constant* the engine uses everywhere a
+/// WAN/LAN judgement is made ([`mutsvc_netsim::WAN_LATENCY_THRESHOLD`]):
+/// `Topology::regions()` merges links at or below it, the
+/// conservative-parallel engine's lookahead (`min_wan_latency`) and this
+/// hop counter take links strictly above it. One definition, complementary
+/// comparisons — the analyzer, the placement layer's region coarsening and
+/// the shard lookahead can never classify a link differently.
+pub const WAN_HOP_THRESHOLD: SimDuration = WAN_LATENCY_THRESHOLD;
 
 /// Shortest-path wide-area cost model over a weighted topology.
 pub struct PathModel<'a> {
@@ -46,7 +52,7 @@ impl<'a> PathModel<'a> {
         self.topology.route(from, to).map_or(0, |route| {
             route
                 .iter()
-                .filter(|&&l| self.topology.link(l).latency >= self.threshold)
+                .filter(|&&l| self.topology.link(l).latency > self.threshold)
                 .count() as u32
         })
     }

@@ -3,14 +3,16 @@
 //! ```text
 //! repro-report [--app petstore|rubis|all] [--paper|--quick] [--seed N]
 //!              [--tables] [--figures] [--compare] [--validate]
-//!              [--sessions] [--topology] [--wiring] [--placement]
+//!              [--sessions] [--topology] [--wiring] [--placement [--smoke]]
 //!              [--simperf [--smoke] [--parallel N]] [--trace [config] [--smoke]]
 //!              [--faults [--smoke]]
 //! ```
 //!
 //! `--placement` measures placement move-evaluation throughput (full
 //! recompute vs the incremental evaluator) on the paper-derived graphs and
-//! writes `BENCH_placement.json` to the current directory.
+//! on the multi-tier scale ladder (4/16/64/256 hosts), and writes
+//! `BENCH_placement.json` to the current directory; `--smoke` stops the
+//! ladder at the 64-host rung for CI's wall-clock-bounded gate.
 //!
 //! `--simperf` measures simulator request throughput at 1×/10×/100× the
 //! paper's arrival rate, with the bound-program cache off (the full-binder
@@ -47,7 +49,9 @@ use mutsvc_bench::fault_artifacts::{
     partition_ordering_violations, render_availability_table, render_faults_json, run_fault_suite,
     validate_faults_json, FaultCell,
 };
-use mutsvc_bench::placement_report::{measure_placement_throughput, render_placement_json};
+use mutsvc_bench::placement_report::{
+    measure_placement_ladder, measure_placement_throughput, render_placement_json,
+};
 use mutsvc_bench::run_sweep_parallel;
 use mutsvc_bench::simperf_report::{
     measure_simperf, parallel_scaling_at, render_simperf_json, speedup_at, thread_counts,
@@ -156,7 +160,7 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => {
                 println!(
-                    "repro-report [--app petstore|rubis|all] [--paper|--quick] [--seed N]\n             [--tables] [--figures] [--compare] [--validate] [--percentiles]\n             [--sessions] [--topology] [--wiring] [--placement]\n             [--simperf [--smoke] [--parallel N]] [--trace [config] [--smoke]]\n             [--faults [--smoke]]"
+                    "repro-report [--app petstore|rubis|all] [--paper|--quick] [--seed N]\n             [--tables] [--figures] [--compare] [--validate] [--percentiles]\n             [--sessions] [--topology] [--wiring] [--placement [--smoke]]\n             [--simperf [--smoke] [--parallel N]] [--trace [config] [--smoke]]\n             [--faults [--smoke]]"
                 );
                 std::process::exit(0);
             }
@@ -259,14 +263,26 @@ fn print_wiring(app: AppKind) {
     }
 }
 
-fn print_placement_throughput() {
-    eprintln!("measuring placement move throughput (1000-move sequences)...");
-    let cells = measure_placement_throughput(1_000, 42);
+fn print_placement_throughput(smoke: bool) {
+    // The smoke gate (CI) stops the scale ladder at the 64-host rung; the
+    // full report climbs to 256 hosts.
+    let max_hosts = if smoke { 64 } else { 256 };
+    eprintln!(
+        "measuring placement move throughput (1000-move sequences, ladder to {max_hosts} hosts)..."
+    );
+    let mut cells = measure_placement_throughput(1_000, 42);
+    cells.extend(measure_placement_ladder(1_000, 42, max_hosts));
     println!("placement move throughput (moves/sec):");
     for cell in &cells {
         println!(
-            "  {:<10} {:<16} {:>12.0} moves/s  final cost {:>10.1} ms/s",
-            cell.graph, cell.algorithm, cell.moves_per_sec, cell.final_cost
+            "  {:<12} {:<16} {:>4} hosts {:>12.0} moves/s  build {:>8.3} ms  table {:>12} B  final cost {:>10.1} ms/s",
+            cell.graph,
+            cell.algorithm,
+            cell.hosts,
+            cell.moves_per_sec,
+            cell.build_ms,
+            cell.table_bytes,
+            cell.final_cost
         );
     }
     let json = render_placement_json(&cells);
@@ -465,7 +481,7 @@ fn print_faults(opts: &Options) {
 fn main() {
     let opts = parse_args();
     if opts.placement {
-        print_placement_throughput();
+        print_placement_throughput(opts.smoke);
     }
     if opts.simperf {
         print_simperf(opts.smoke, opts.seed, opts.parallel);

@@ -1,17 +1,26 @@
 //! Placement move-throughput measurement shared by the Criterion bench and
 //! the `repro-report --placement` report (`BENCH_placement.json`).
 //!
-//! Both entry points replay the *same* deterministic move sequence against
-//! the paper-derived graphs two ways — re-sweeping the whole graph with
-//! [`cost`] after every move (the pre-evaluator baseline) versus applying
-//! deltas through the incremental [`CostEvaluator`] — so the reported
-//! speedup is an apples-to-apples moves/sec ratio.
+//! Two measurement families feed the report:
+//!
+//! * the *paper graphs* — Pet Store and RUBiS on the 3-host star, replayed
+//!   two ways (re-sweeping the whole graph with [`cost`] after every move
+//!   versus applying deltas through the incremental [`CostEvaluator`]), so
+//!   the reported speedup is an apples-to-apples moves/sec ratio;
+//! * the *scale ladder* — the RUBiS graph re-targeted onto generated
+//!   multi-tier topologies ([`MultiTierSpec::ladder_rung`]: 4, 16, 64 and
+//!   256 application-server hosts), recording evaluator build time and the
+//!   cost-table footprint alongside move throughput. The baseline rows
+//!   carry [`CostEvaluator::dense_table_bytes`] — what the per-edge
+//!   host×host tables the APSP pricing replaced would have cost.
 
 use std::time::Instant;
 
+use mutsvc_core::{multi_tier_topology, paper_topology, MultiTierSpec};
 use mutsvc_desim::rng::SimRng;
 use mutsvc_placement::derive::{petstore_problem, rubis_problem};
 use mutsvc_placement::graph::{HostId, Placement, PlacementProblem};
+use mutsvc_placement::wan::{hosts_from_topology, rehost, ServerSpec};
 use mutsvc_placement::{cost, CostEvaluator, Move};
 use petgraph::graph::NodeIndex;
 
@@ -20,13 +29,27 @@ use petgraph::graph::NodeIndex;
 pub struct PlacementThroughput {
     /// Evaluation strategy: `"full_recompute"` or `"incremental"`.
     pub algorithm: &'static str,
-    /// Graph name: `"petstore"` or `"rubis"`.
-    pub graph: &'static str,
+    /// Graph name: `"petstore"`, `"rubis"`, or a ladder rung such as
+    /// `"rubis-mt64"`.
+    pub graph: String,
+    /// Candidate placement hosts.
+    pub hosts: usize,
+    /// Directed links in the topology behind the host matrix.
+    pub links: usize,
+    /// Components in the application graph.
+    pub components: usize,
     /// Moves evaluated per wall-clock second.
     pub moves_per_sec: f64,
     /// Total cost (ms/s) after the final move — both strategies replay the
     /// same sequence, so the final costs must agree to ~1e-9.
     pub final_cost: f64,
+    /// Evaluator construction time in milliseconds (APSP matrix share +
+    /// flattened index build); zero for the table-free baseline.
+    pub build_ms: f64,
+    /// Cost-table footprint in bytes: the shared distance matrix plus
+    /// per-edge scalar weights for the incremental strategy, or the dense
+    /// per-edge host×host tables it replaced for the baseline.
+    pub table_bytes: usize,
 }
 
 /// Generates a deterministic sequence of `count` valid moves for `problem`,
@@ -107,56 +130,169 @@ fn time_replay(replay: impl Fn() -> f64, moves: usize) -> (f64, f64) {
     (moves as f64 / best, final_cost)
 }
 
+/// Fastest-of-passes evaluator construction time in milliseconds
+/// (`CostEvaluator::new` builds the shared distance matrix, the flattened
+/// node/edge arrays and the seed totals).
+fn time_build(problem: &PlacementProblem) -> f64 {
+    let build = || CostEvaluator::new(problem, Placement::all_on(problem, HostId(0)));
+    drop(build());
+    let mut best = f64::INFINITY;
+    let started = Instant::now();
+    loop {
+        let pass = Instant::now();
+        drop(build());
+        best = best.min(pass.elapsed().as_secs_f64());
+        // Keep one slow construction honest without stretching the report:
+        // at least 3 passes, at most ~80 ms of sampling.
+        if started.elapsed().as_secs_f64() > 0.08 && best.is_finite() {
+            break;
+        }
+    }
+    best * 1e3
+}
+
+/// Measures both strategies on one problem and pushes the two cells.
+fn measure_problem(
+    cells: &mut Vec<PlacementThroughput>,
+    graph: &str,
+    problem: &PlacementProblem,
+    links: usize,
+    moves: usize,
+    seed: u64,
+) {
+    let sequence = move_sequence(problem, moves, seed);
+    let (full_rate, full_cost) = time_replay(|| replay_full_recompute(problem, &sequence), moves);
+    let (inc_rate, inc_cost) = time_replay(|| replay_incremental(problem, &sequence), moves);
+    assert!(
+        (full_cost - inc_cost).abs() <= 1e-9 * full_cost.abs().max(1.0),
+        "{graph}: strategies disagree on the final cost: {full_cost} vs {inc_cost}"
+    );
+    let build_ms = time_build(problem);
+    let eval = CostEvaluator::new(problem, Placement::all_on(problem, HostId(0)));
+    let hosts = problem.hosts.len();
+    let components = problem.graph.len();
+    cells.push(PlacementThroughput {
+        algorithm: "full_recompute",
+        graph: graph.to_string(),
+        hosts,
+        links,
+        components,
+        moves_per_sec: full_rate,
+        final_cost: full_cost,
+        build_ms: 0.0,
+        table_bytes: eval.dense_table_bytes(),
+    });
+    cells.push(PlacementThroughput {
+        algorithm: "incremental",
+        graph: graph.to_string(),
+        hosts,
+        links,
+        components,
+        moves_per_sec: inc_rate,
+        final_cost: inc_cost,
+        build_ms,
+        table_bytes: eval.table_bytes(),
+    });
+}
+
 /// Measures full-recompute vs incremental throughput on both paper-derived
 /// graphs. `moves` is the sequence length per graph (1,000 is plenty).
 pub fn measure_placement_throughput(moves: usize, seed: u64) -> Vec<PlacementThroughput> {
     let mut cells = Vec::new();
     let (petstore, _) = petstore_problem();
     let (rubis, _) = rubis_problem();
-    for (graph, problem) in [("petstore", &petstore), ("rubis", &rubis)] {
-        let sequence = move_sequence(problem, moves, seed);
-        let (full_rate, full_cost) =
-            time_replay(|| replay_full_recompute(problem, &sequence), moves);
-        let (inc_rate, inc_cost) = time_replay(|| replay_incremental(problem, &sequence), moves);
-        assert!(
-            (full_cost - inc_cost).abs() <= 1e-9 * full_cost.abs().max(1.0),
-            "{graph}: strategies disagree on the final cost: {full_cost} vs {inc_cost}"
+    for (graph, problem, db_on_main) in [("petstore", &petstore, true), ("rubis", &rubis, false)] {
+        let links = paper_topology(db_on_main).0.link_count();
+        measure_problem(&mut cells, graph, problem, links, moves, seed);
+    }
+    cells
+}
+
+/// The RUBiS graph re-targeted onto the multi-tier rung with `hosts`
+/// application servers: client traffic splits evenly over the main site and
+/// every edge PoP, regional hubs are pure compute (zero entry share), and
+/// every host pair is priced along the topology's latency-shortest route.
+pub fn ladder_problem(hosts: usize) -> PlacementProblem {
+    let spec = MultiTierSpec::ladder_rung(hosts);
+    let (topology, nodes) = multi_tier_topology(&spec);
+    let server_nodes = nodes.servers();
+    let share = 1.0 / (nodes.edges.len() as f64 + 1.0);
+    let servers: Vec<ServerSpec> = server_nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &node)| ServerSpec {
+            node,
+            // servers() orders main, hubs, edge PoPs; main and the PoPs
+            // originate client traffic, hubs do not.
+            entry_share: if i == 0 || i > nodes.hubs.len() {
+                share
+            } else {
+                0.0
+            },
+            cpu_capacity: f64::INFINITY,
+        })
+        .collect();
+    let (host_list, rtt) = hosts_from_topology(&topology, &servers);
+    let (rubis, _) = rubis_problem();
+    rehost(&rubis, host_list, rtt)
+}
+
+/// Measures the scale ladder up to `max_hosts` (64 for the CI smoke rung,
+/// 256 for the full report).
+pub fn measure_placement_ladder(
+    moves: usize,
+    seed: u64,
+    max_hosts: usize,
+) -> Vec<PlacementThroughput> {
+    let mut cells = Vec::new();
+    for hosts in [4, 16, 64, 256] {
+        if hosts > max_hosts {
+            continue;
+        }
+        let spec = MultiTierSpec::ladder_rung(hosts);
+        let (topology, _) = multi_tier_topology(&spec);
+        let problem = ladder_problem(hosts);
+        let graph = format!("rubis-mt{hosts}");
+        measure_problem(
+            &mut cells,
+            &graph,
+            &problem,
+            topology.link_count(),
+            moves,
+            seed,
         );
-        cells.push(PlacementThroughput {
-            algorithm: "full_recompute",
-            graph,
-            moves_per_sec: full_rate,
-            final_cost: full_cost,
-        });
-        cells.push(PlacementThroughput {
-            algorithm: "incremental",
-            graph,
-            moves_per_sec: inc_rate,
-            final_cost: inc_cost,
-        });
     }
     cells
 }
 
 /// Renders the cells as the `BENCH_placement.json` document. Hand-formatted
 /// (the vendored serde is a no-op stand-in); schema per entry:
-/// `{"algorithm", "graph", "moves_per_sec", "final_cost"}` plus a
-/// per-graph `"speedup"` summary map.
+/// `{"algorithm", "graph", "hosts", "links", "components", "moves_per_sec",
+/// "final_cost", "build_ms", "table_bytes"}` plus a per-graph `"speedup"`
+/// summary map.
 pub fn render_placement_json(cells: &[PlacementThroughput]) -> String {
     let mut out = String::from("{\n  \"entries\": [\n");
     for (i, cell) in cells.iter().enumerate() {
         let comma = if i + 1 < cells.len() { "," } else { "" };
         out.push_str(&format!(
-            "    {{\"algorithm\": \"{}\", \"graph\": \"{}\", \"moves_per_sec\": {:.1}, \"final_cost\": {:.6}}}{comma}\n",
-            cell.algorithm, cell.graph, cell.moves_per_sec, cell.final_cost
+            "    {{\"algorithm\": \"{}\", \"graph\": \"{}\", \"hosts\": {}, \"links\": {}, \"components\": {}, \"moves_per_sec\": {:.1}, \"final_cost\": {:.6}, \"build_ms\": {:.3}, \"table_bytes\": {}}}{comma}\n",
+            cell.algorithm,
+            cell.graph,
+            cell.hosts,
+            cell.links,
+            cell.components,
+            cell.moves_per_sec,
+            cell.final_cost,
+            cell.build_ms,
+            cell.table_bytes
         ));
     }
     out.push_str("  ],\n  \"speedup\": {");
     let graphs: Vec<&str> = {
         let mut seen = Vec::new();
         for cell in cells {
-            if !seen.contains(&cell.graph) {
-                seen.push(cell.graph);
+            if !seen.contains(&cell.graph.as_str()) {
+                seen.push(cell.graph.as_str());
             }
         }
         seen
@@ -190,22 +326,27 @@ mod tests {
         let incremental = replay_incremental(&problem, &sequence);
         assert!((full - incremental).abs() <= 1e-9 * full.abs().max(1.0));
 
+        let cell =
+            |algorithm: &'static str, moves_per_sec: f64, final_cost: f64| PlacementThroughput {
+                algorithm,
+                graph: "rubis".to_string(),
+                hosts: 3,
+                links: 10,
+                components: problem.graph.len(),
+                moves_per_sec,
+                final_cost,
+                build_ms: 0.01,
+                table_bytes: 512,
+            };
         let cells = vec![
-            PlacementThroughput {
-                algorithm: "full_recompute",
-                graph: "rubis",
-                moves_per_sec: 1000.0,
-                final_cost: full,
-            },
-            PlacementThroughput {
-                algorithm: "incremental",
-                graph: "rubis",
-                moves_per_sec: 25_000.0,
-                final_cost: incremental,
-            },
+            cell("full_recompute", 1000.0, full),
+            cell("incremental", 25_000.0, incremental),
         ];
         let json = render_placement_json(&cells);
         assert!(json.contains("\"speedup\": {\"rubis\": 25.0}"));
+        assert!(json.contains("\"hosts\": 3"));
+        assert!(json.contains("\"links\": 10"));
+        assert!(json.contains("\"table_bytes\": 512"));
         assert_eq!(json.matches("\"algorithm\"").count(), 2);
         // Balanced braces/brackets — cheap well-formedness check without a
         // JSON parser in the workspace.
@@ -220,5 +361,23 @@ mod tests {
             move_sequence(&problem, 64, 3),
             move_sequence(&problem, 64, 3)
         );
+    }
+
+    /// The 16-host rung: strategies agree move-for-move on a multi-hop
+    /// WAN-priced host matrix, and the shared-matrix footprint undercuts
+    /// the dense per-edge tables it replaced.
+    #[test]
+    fn ladder_strategies_agree_on_multi_tier_rungs() {
+        let problem = ladder_problem(16);
+        assert_eq!(problem.hosts.len(), 16);
+        let sequence = move_sequence(&problem, 200, 11);
+        let full = replay_full_recompute(&problem, &sequence);
+        let incremental = replay_incremental(&problem, &sequence);
+        assert!(
+            (full - incremental).abs() <= 1e-9 * full.abs().max(1.0),
+            "{full} vs {incremental}"
+        );
+        let eval = CostEvaluator::new(&problem, Placement::all_on(&problem, HostId(0)));
+        assert!(eval.table_bytes() < eval.dense_table_bytes());
     }
 }

@@ -10,8 +10,9 @@
 
 use mutsvc_bench::fault_artifacts::{fault_scenario, render_faults_json, validate_faults_json};
 use mutsvc_bench::simperf_report::thread_counts;
-use mutsvc_core::{AppKind, Config, FaultCase};
-use mutsvc_workload::{jsonl, FaultPolicy, TraceSettings};
+use mutsvc_core::{multi_tier_input, AppKind, Config, FaultCase, MultiTierSpec};
+use mutsvc_desim::time::SimDuration;
+use mutsvc_workload::{jsonl, run_experiment_parallel, FaultPolicy, TraceSettings};
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 
@@ -98,6 +99,60 @@ fn span_logs_are_byte_identical_at_every_thread_count() {
         );
     }
     assert_ne!(baseline, span_log_at(1, 8), "different seeds must differ");
+}
+
+/// A generated multi-tier topology (4 hubs × 8 WAN PoPs → 33 client
+/// regions) run through the conservative-parallel engine at one thread
+/// count: the shard-count scaling cell of the invariance suite.
+fn multi_tier_report_at(threads: usize, seed: u64) -> (String, mutsvc_workload::ExperimentReport) {
+    let spec = MultiTierSpec {
+        hubs: 4,
+        edges_per_hub: 8,
+        metro_edges: false,
+        db_on_main: false,
+    };
+    let mut input = multi_tier_input(AppKind::Rubis, Config::StatefulCaching, &spec, seed);
+    // Short windows: the cell pins determinism across 33 shards, not the
+    // paper's full measurement horizon.
+    input.spec = input
+        .spec
+        .with_duration(SimDuration::from_secs(5), SimDuration::from_secs(20))
+        .with_trace(TraceSettings::full());
+    let report = run_experiment_parallel(input, threads);
+    let log = jsonl(
+        report
+            .trace
+            .as_ref()
+            .expect("traced run carries trace data"),
+    );
+    (log, report)
+}
+
+#[test]
+fn multi_tier_topology_is_byte_identical_at_every_thread_count() {
+    let (baseline_log, baseline) = multi_tier_report_at(THREADS[0], 42);
+    assert!(
+        baseline.shard_events.len() >= 32,
+        "WAN edge tier must decompose into one shard per client region, got {}",
+        baseline.shard_events.len()
+    );
+    assert!(baseline.completed > 100, "completed {}", baseline.completed);
+    for &threads in &THREADS[1..] {
+        let (log, report) = multi_tier_report_at(threads, 42);
+        assert_eq!(baseline.stats, report.stats);
+        assert_eq!(baseline.completed, report.completed);
+        assert_eq!(baseline.events_fired, report.events_fired);
+        assert_eq!(baseline.shard_events, report.shard_events);
+        assert_eq!(
+            baseline_log, log,
+            "{threads}-thread multi-tier span log diverged from the 1-thread log"
+        );
+    }
+    assert_ne!(
+        baseline_log,
+        multi_tier_report_at(1, 43).0,
+        "different seeds must differ"
+    );
 }
 
 #[test]

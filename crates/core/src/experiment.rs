@@ -14,7 +14,9 @@ use crate::configs::{
     petstore_descriptor, petstore_descriptor_on, rubis_descriptor, rubis_descriptor_on, Config,
 };
 use crate::faultsuite::FaultCase;
-use crate::topology::{fanout_topology, paper_topology, PaperNodes};
+use crate::topology::{
+    fanout_topology, multi_tier_topology, paper_topology, MultiTierSpec, PaperNodes,
+};
 
 /// Which application a scenario drives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -320,6 +322,86 @@ pub fn fanout_input(app: AppKind, config: Config, edges: usize, seed: u64) -> Ex
     }
 }
 
+/// Assembles an experiment over a generated [`multi_tier_topology`]: the
+/// paper's core site plus `spec.hubs` regional hubs carrying
+/// `spec.edges_per_hub` edge PoPs each. The application descriptor deploys
+/// its edge-tier components onto every PoP server (hubs stay pure transit,
+/// like the paper's router), and the 30 req/s aggregate load is split
+/// equally across the core client group and one client group per PoP —
+/// with WAN edge legs (`metro_edges: false`) every PoP is its own client
+/// region, so this is the shard-count scaling axis for the
+/// conservative-parallel engine.
+pub fn multi_tier_input(
+    app: AppKind,
+    config: Config,
+    spec: &MultiTierSpec,
+    seed: u64,
+) -> ExperimentInput {
+    let (topology, nodes) = multi_tier_topology(spec);
+
+    let (app, registry, db, descriptor, protocols) = match app {
+        AppKind::PetStore => {
+            let (app, registry, db) = App::petstore(config.uses_facade_app());
+            let c = match &app {
+                App::PetStore(ps) => ps.components,
+                App::Rubis(_) => unreachable!(),
+            };
+            let descriptor =
+                petstore_descriptor_on(config, &registry, &c, nodes.main, nodes.db, &nodes.edges);
+            (
+                app,
+                registry,
+                db,
+                descriptor,
+                ProtocolParams::petstore_stack(),
+            )
+        }
+        AppKind::Rubis => {
+            let (app, registry, db) = App::rubis();
+            let c = match &app {
+                App::Rubis(r) => r.components,
+                App::PetStore(_) => unreachable!(),
+            };
+            let descriptor =
+                rubis_descriptor_on(config, &registry, &c, nodes.main, nodes.db, &nodes.edges);
+            (app, registry, db, descriptor, ProtocolParams::rubis_stack())
+        }
+    };
+
+    let pops = nodes.edges.len();
+    let group_rate = 30.0 / (pops + 1) as f64;
+    let mk = |name: String, client, entry| ClientGroup {
+        name,
+        client_node: client,
+        entry_node: entry,
+        browser_rate: group_rate * 0.8,
+        transactional_rate: group_rate * 0.2,
+    };
+    let mut groups = vec![mk("local".to_string(), nodes.client_local, nodes.main)];
+    for (i, (&edge, &clients)) in nodes.edges.iter().zip(&nodes.edge_clients).enumerate() {
+        let entry = if config == Config::Centralized {
+            nodes.main
+        } else {
+            edge
+        };
+        groups.push(mk(format!("pop{}", i + 1), clients, entry));
+    }
+    let spec = WorkloadSpec::paper_load(groups)
+        .with_duration(SimDuration::from_secs(90), SimDuration::from_secs(300))
+        .with_seed(seed);
+
+    ExperimentInput {
+        app,
+        registry,
+        db,
+        descriptor,
+        topology,
+        protocols,
+        container_costs: ContainerCosts::default(),
+        spec,
+    }
+}
+
 /// Runs the five configurations of one application (the full Table 6 or
 /// Table 7 sweep).
 pub fn run_sweep(app: AppKind, quick: bool, seed: u64) -> Vec<ExperimentReport> {
@@ -403,6 +485,36 @@ mod tests {
             .map(|g| g.entry_node.index())
             .collect();
         assert_eq!(entries.len(), 1);
+    }
+
+    #[test]
+    fn multi_tier_input_deploys_onto_every_pop() {
+        let spec = MultiTierSpec {
+            hubs: 3,
+            edges_per_hub: 2,
+            metro_edges: false,
+            db_on_main: false,
+        };
+        let input = multi_tier_input(AppKind::PetStore, Config::AsyncUpdates, &spec, 7);
+        assert_eq!(input.spec.groups.len(), 7, "local + 6 PoP groups");
+        assert!((input.spec.total_rate() - 30.0).abs() < 1e-9);
+        let entries: std::collections::BTreeSet<_> = input
+            .spec
+            .groups
+            .iter()
+            .map(|g| g.entry_node.index())
+            .collect();
+        assert_eq!(entries.len(), 7, "one entry per PoP plus main");
+        // With WAN edge legs, every PoP group is its own client region —
+        // the shard count of the parallel engine.
+        let regions = input.topology.regions();
+        let client_regions: std::collections::BTreeSet<_> = input
+            .spec
+            .groups
+            .iter()
+            .map(|g| regions[g.client_node.index()])
+            .collect();
+        assert_eq!(client_regions.len(), 7);
     }
 
     #[test]

@@ -34,11 +34,14 @@ pub mod topology;
 pub use configs::{
     petstore_descriptor, petstore_descriptor_on, rubis_descriptor, rubis_descriptor_on, Config,
 };
-pub use experiment::{fanout_input, run_sweep, AppKind, Scenario};
+pub use experiment::{fanout_input, multi_tier_input, run_sweep, AppKind, Scenario};
 pub use faultsuite::{EpisodeView, FaultCase};
 pub use invariants::{wan_invariant, WanInvariant};
 pub use report::{
     figure_series, measured_mean, render_comparison, render_figure, render_percentiles,
     render_table, validate_shapes, FigureBar,
 };
-pub use topology::{fanout_topology, paper_topology, FanoutNodes, PaperNodes};
+pub use topology::{
+    fanout_topology, multi_tier_topology, paper_topology, FanoutNodes, MultiTierNodes,
+    MultiTierSpec, PaperNodes,
+};

@@ -13,6 +13,7 @@ pub mod greedy;
 pub mod kl;
 pub mod multilevel;
 pub mod multistart;
+pub mod regional;
 
 use crate::graph::{Placement, PlacementProblem};
 
@@ -23,6 +24,7 @@ pub use multilevel::{
     partition as multilevel_partition, solve as multilevel_solve, MultilevelOptions,
 };
 pub use multistart::{solve_multistart, MultistartOptions};
+pub use regional::{host_regions, region_medoids, solve_regional, RegionalOptions};
 
 /// Bounded primary-move polish against the true wide-area cost, shared by
 /// the partitioners (KL, multilevel) whose internal objective is a rate×RTT

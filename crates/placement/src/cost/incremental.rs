@@ -5,14 +5,25 @@
 //! iteration overhead and a fresh `load` allocation — yet every move a
 //! search algorithm tries changes the placement of exactly *one* component.
 //! [`CostEvaluator`] exploits that: it flattens the graph once into
-//! cache-friendly CSR-style arrays (per-node incident edge lists, per-edge
-//! host×host cost tables with the `calls_per_sec` weight folded in, a dense
-//! push-cost matrix), keeps the per-host CPU load and the three
-//! [`CostBreakdown`] terms as live state, and re-evaluates only the terms a
-//! move can touch: the edges incident to the moved component, that
-//! component's consistency pushes, and its load contributions. A
-//! single-component move therefore costs `O(degree(node) × entry_hosts +
-//! hosts)` instead of a whole-graph sweep.
+//! cache-friendly CSR-style arrays (per-node incident edge lists), keeps the
+//! per-host CPU load and the three [`CostBreakdown`] terms as live state,
+//! and re-evaluates only the terms a move can touch: the edges incident to
+//! the moved component, that component's consistency pushes, and its load
+//! contributions. A single-component move therefore costs
+//! `O(degree(node) × entry_hosts + hosts)` instead of a whole-graph sweep.
+//!
+//! Communication is priced against **one shared all-pairs distance matrix**
+//! per topology (`hosts²` floats, see
+//! [`shared_distances`]) combined with two scalar weights per edge
+//! (`calls/s × round_trips` and `calls/s × bytes × serialization ms`):
+//! `cost(e, a, b) = w_rtt[e]·dist[a][b] + w_fixed[e]` for `a ≠ b`. Earlier
+//! revisions materialized a dense host×host table *per edge*
+//! (`O(edges × hosts²)` floats), which was fine for the paper's 3-server
+//! star but is ~21 MB for a 256-host multi-tier graph; the shared matrix
+//! brings construction and memory to `O(hosts² + edges)` while pricing
+//! multi-hop WAN paths identically (the matrix rows come from
+//! latency-shortest routes when the problem is derived from a
+//! [`Topology`](mutsvc_netsim::Topology) — see [`crate::wan`]).
 //!
 //! Every [`apply`](CostEvaluator::apply) is reversible via
 //! [`undo`](CostEvaluator::undo) (the evaluator keeps a full undo stack), so
@@ -22,15 +33,22 @@
 //! [`cost_breakdown`](crate::cost::cost_breakdown) — a property test drives
 //! exactly that comparison (`tests/incremental_equivalence.rs`).
 
+use std::sync::Arc;
+
 use petgraph::graph::NodeIndex;
 
 use crate::cost::CostBreakdown;
 use crate::graph::{HostId, Placement, PlacementProblem, Role};
 
-/// Maximum host count supported by the evaluator (replica sets are tracked
-/// as 64-bit host masks). Wide-area placement problems name a handful of
-/// geographic sites, so this is not a practical restriction.
-pub const MAX_HOSTS: usize = 64;
+/// Maximum host count supported by the evaluator. Replica sets are tracked
+/// as multi-word host bitmasks copied to the stack during a primary move,
+/// so the cap is a compile-time stack budget (64 bytes), not a data-model
+/// limit; planet-scale multi-tier graphs (hundreds of edge PoPs) fit with
+/// room to spare.
+pub const MAX_HOSTS: usize = 512;
+
+/// Words of one replica bitmask at [`MAX_HOSTS`].
+const MASK_WORDS_CAP: usize = MAX_HOSTS / 64;
 
 /// A reversible single-component placement mutation — the three move kinds
 /// the search algorithms use.
@@ -58,6 +76,23 @@ pub enum Move {
         /// The replica host being dropped.
         host: HostId,
     },
+}
+
+/// Flattens a problem's host round-trip matrix into the shared distance
+/// matrix the evaluator prices against (`dist[a·H + b] = rtt_ms[a][b]`).
+///
+/// The matrix is behind an [`Arc`] so that parallel searches (multi-start,
+/// region-coarsened refinement) and repeated evaluator constructions over
+/// the same topology share one allocation: at 256 hosts the matrix is
+/// 512 KiB, and it is the only `hosts²`-sized table left in the evaluator.
+pub fn shared_distances(problem: &PlacementProblem) -> Arc<[f64]> {
+    let h = problem.hosts.len();
+    let mut dist = Vec::with_capacity(h * h);
+    for row in &problem.rtt_ms {
+        assert_eq!(row.len(), h, "rtt matrix shape mismatch");
+        dist.extend_from_slice(row);
+    }
+    dist.into()
 }
 
 /// Kahan-compensated running sum: keeps the error of a long +/- delta
@@ -99,6 +134,12 @@ struct Applied {
     absorbed_replica: bool,
 }
 
+/// Tests bit `bit` of a multi-word mask.
+#[inline]
+fn mask_test(words: &[u64], bit: usize) -> bool {
+    words[bit >> 6] & (1u64 << (bit & 63)) != 0
+}
+
 /// Incremental placement cost evaluator.
 ///
 /// Owns a flattened copy of the problem (it does not borrow the
@@ -109,8 +150,13 @@ struct Applied {
 pub struct CostEvaluator {
     // ---- immutable flattened problem ----
     hosts: usize,
+    /// Words per replica bitmask (`⌈hosts / 64⌉`).
+    mask_words: usize,
     /// Entry origins: `(host, entry_share)` for hosts with positive share.
     origins: Vec<(u32, f64)>,
+    /// Σ entry shares (≈1.0 for a validated problem) — folds the origin
+    /// loop away wherever a delta is origin-independent.
+    share_total: f64,
     /// Dense per-host entry share (0.0 for non-entry hosts); the replica
     /// fast path looks a single origin's share up by host index.
     entry_share: Vec<f64>,
@@ -125,15 +171,30 @@ pub struct CostEvaluator {
     edge_src: Vec<u32>,
     edge_dst: Vec<u32>,
     edge_write: Vec<bool>,
-    /// Per edge, dense host×host communication cost with the call rate
-    /// folded in: `edge_cost[e·H² + a·H + b] = calls/s × comm_ms(a, b)`.
-    edge_cost: Vec<f64>,
+    /// Per edge: `calls/s × rmi_round_trips` — the weight on `dist[a][b]`.
+    edge_w_rtt: Vec<f64>,
+    /// Per edge: `calls/s × bytes_per_call × byte_ms` — the distance-free
+    /// serialization term paid whenever the endpoints differ.
+    edge_w_fixed: Vec<f64>,
+    /// Shared host×host round-trip matrix (`dist[a·H + b]`, milliseconds),
+    /// one allocation per topology (see [`shared_distances`]).
+    dist: Arc<[f64]>,
+    /// Share-weighted distance sums: `s_to[a] = Σ_o share(o)·dist[a][o]`
+    /// and `s_from[a] = Σ_o share(o)·dist[o][a]` over the entry origins.
+    /// They collapse the per-origin loop of every "origin on one side of
+    /// the edge" delta to O(1) — crucial once origins number in the
+    /// hundreds (on a 256-host graph an uncollapsed MovePrimary walks
+    /// ~250 origins per incident edge).
+    s_to: Vec<f64>,
+    s_from: Vec<f64>,
     /// CSR incidence: edges touching node `n` are
     /// `inc_edge[inc_start[n]..inc_start[n + 1]]`.
     inc_start: Vec<u32>,
     inc_edge: Vec<u32>,
-    /// Dense host×host consistency push cost (ms per write).
-    push_cost: Vec<f64>,
+    /// Consistency push weights: `push(a, b) = push_rtt·dist[a][b] +
+    /// push_fixed` for `a ≠ b` (replaces the former dense host×host table).
+    push_rtt: f64,
+    push_fixed: f64,
     /// Per host CPU capacity (ms/s).
     capacity: Vec<f64>,
     /// Overload penalty per ms/s of excess, divided by 1000 (as in
@@ -141,7 +202,8 @@ pub struct CostEvaluator {
     overload_scale: f64,
     // ---- live state ----
     primary: Vec<u32>,
-    /// Replica host bitmask per node (bit `h` ⇔ replica at host `h`).
+    /// Replica host bitmasks, `mask_words` words per node (bit `h` of the
+    /// node's words ⇔ replica at host `h`).
     repl_mask: Vec<u64>,
     /// Mirror of the evaluator state as a [`Placement`] (kept in sync so
     /// searches can snapshot the best placement cheaply).
@@ -150,7 +212,22 @@ pub struct CostEvaluator {
     load: Vec<f64>,
     communication: Kahan,
     consistency: Kahan,
+    /// Running overload penalty, updated by [`bump_load`](Self::bump_load)
+    /// whenever a load slot crosses its capacity — `O(slots touched)` per
+    /// move instead of an `O(hosts)` sweep before and after every move.
+    overload_total: Kahan,
     history: Vec<Applied>,
+}
+
+/// Appends the host indices set in a multi-word bitmask.
+fn push_mask_hosts(out: &mut Vec<u32>, words: &[u64]) {
+    for (w, &bits) in words.iter().enumerate() {
+        let mut word = bits;
+        while word != 0 {
+            out.push(((w << 6) + word.trailing_zeros() as usize) as u32);
+            word &= word - 1;
+        }
+    }
 }
 
 impl CostEvaluator {
@@ -161,6 +238,24 @@ impl CostEvaluator {
     /// Panics if the problem has more than [`MAX_HOSTS`] hosts or the
     /// placement arity does not match the graph.
     pub fn new(problem: &PlacementProblem, placement: Placement) -> CostEvaluator {
+        let dist = shared_distances(problem);
+        CostEvaluator::with_distances(problem, placement, dist)
+    }
+
+    /// Builds an evaluator sharing a pre-flattened distance matrix (from
+    /// [`shared_distances`] on the same problem). Parallel multi-start and
+    /// the region-coarsened refinement construct many evaluators over one
+    /// topology; sharing the `hosts²` matrix keeps that O(edges) each.
+    ///
+    /// # Panics
+    ///
+    /// Panics on host-count or placement-arity mismatches, including a
+    /// `dist` of the wrong shape.
+    pub fn with_distances(
+        problem: &PlacementProblem,
+        placement: Placement,
+        dist: Arc<[f64]>,
+    ) -> CostEvaluator {
         let g = &problem.graph.graph;
         let n = g.node_count();
         let h = problem.hosts.len();
@@ -168,6 +263,7 @@ impl CostEvaluator {
             h <= MAX_HOSTS,
             "CostEvaluator supports at most {MAX_HOSTS} hosts, got {h}"
         );
+        assert_eq!(dist.len(), h * h, "distance matrix shape mismatch");
         assert_eq!(placement.primary.len(), n, "placement arity mismatch");
         assert_eq!(placement.replicas.len(), n, "placement arity mismatch");
 
@@ -178,6 +274,7 @@ impl CostEvaluator {
             .filter(|(_, host)| host.entry_share > 0.0)
             .map(|(i, host)| (i as u32, host.entry_share))
             .collect();
+        let share_total: f64 = origins.iter().map(|&(_, s)| s).sum();
 
         let mut role = Vec::with_capacity(n);
         let mut write_rate = Vec::with_capacity(n);
@@ -200,12 +297,15 @@ impl CostEvaluator {
 
         // Flatten edges: keep only those that can ever contribute cost
         // (positive call rate, distinct endpoints), exactly the set
-        // `cost_breakdown` does not skip.
+        // `cost_breakdown` does not skip. Each edge carries two scalars —
+        // the distance weight and the fixed serialization term — instead of
+        // a host×host table.
         let byte_ms = 8.0 / problem.params.bandwidth_bps * 1_000.0;
         let mut edge_src = Vec::new();
         let mut edge_dst = Vec::new();
         let mut edge_write = Vec::new();
-        let mut edge_cost = Vec::new();
+        let mut edge_w_rtt = Vec::new();
+        let mut edge_w_fixed = Vec::new();
         for edge in g.edge_references() {
             let w = edge.weight();
             if w.calls_per_sec <= 0.0 || edge.source() == edge.target() {
@@ -214,17 +314,8 @@ impl CostEvaluator {
             edge_src.push(edge.source().index() as u32);
             edge_dst.push(edge.target().index() as u32);
             edge_write.push(w.write_path);
-            for a in 0..h {
-                for b in 0..h {
-                    let comm = if a == b {
-                        0.0
-                    } else {
-                        problem.rtt_ms[a][b] * problem.params.rmi_round_trips
-                            + w.bytes_per_call * byte_ms
-                    };
-                    edge_cost.push(w.calls_per_sec * comm);
-                }
-            }
+            edge_w_rtt.push(w.calls_per_sec * problem.params.rmi_round_trips);
+            edge_w_fixed.push(w.calls_per_sec * w.bytes_per_call * byte_ms);
         }
 
         // CSR incidence lists (each edge listed under both endpoints).
@@ -247,31 +338,35 @@ impl CostEvaluator {
             }
         }
 
-        let mut push_cost = Vec::with_capacity(h * h);
+        let mut s_to = vec![0.0; h];
+        let mut s_from = vec![0.0; h];
         for a in 0..h {
-            for b in 0..h {
-                push_cost.push(if a == b {
-                    0.0
-                } else {
-                    problem.rtt_ms[a][b] * problem.params.push_round_trips
-                        + problem.params.push_bytes * byte_ms
-                });
+            let mut to_sum = 0.0;
+            let mut from_sum = 0.0;
+            for &(o, share) in &origins {
+                to_sum += share * dist[a * h + o as usize];
+                from_sum += share * dist[o as usize * h + a];
             }
+            s_to[a] = to_sum;
+            s_from[a] = from_sum;
         }
 
+        let mask_words = h.div_ceil(64);
         let primary: Vec<u32> = placement.primary.iter().map(|p| p.0 as u32).collect();
-        let mut repl_mask = vec![0u64; n];
+        let mut repl_mask = vec![0u64; n * mask_words];
         for (i, replicas) in placement.replicas.iter().enumerate() {
             for r in replicas {
                 assert!(r.0 < h, "replica on unknown host {r}");
-                repl_mask[i] |= 1 << r.0;
+                repl_mask[i * mask_words + (r.0 >> 6)] |= 1u64 << (r.0 & 63);
             }
         }
 
         let entry_share = problem.hosts.iter().map(|host| host.entry_share).collect();
         let mut evaluator = CostEvaluator {
             hosts: h,
+            mask_words,
             origins,
+            share_total,
             entry_share,
             role,
             write_rate,
@@ -279,10 +374,15 @@ impl CostEvaluator {
             edge_src,
             edge_dst,
             edge_write,
-            edge_cost,
+            edge_w_rtt,
+            edge_w_fixed,
+            dist,
+            s_to,
+            s_from,
             inc_start,
             inc_edge,
-            push_cost,
+            push_rtt: problem.params.push_round_trips,
+            push_fixed: problem.params.push_bytes * byte_ms,
             capacity: problem.hosts.iter().map(|host| host.cpu_capacity).collect(),
             overload_scale: problem.params.overload_penalty / 1_000.0,
             primary,
@@ -291,10 +391,37 @@ impl CostEvaluator {
             load: vec![0.0; h],
             communication: Kahan::default(),
             consistency: Kahan::default(),
+            overload_total: Kahan::default(),
             history: Vec::new(),
         };
         evaluator.rebuild_totals();
         evaluator
+    }
+
+    /// The shared distance matrix (for handing to further
+    /// [`with_distances`](CostEvaluator::with_distances) constructions).
+    pub fn distances(&self) -> Arc<[f64]> {
+        Arc::clone(&self.dist)
+    }
+
+    /// Bytes held by the cost tables: the shared distance matrix, the
+    /// share-weighted distance sums and the per-edge scalar weights. (The
+    /// matrix is counted in full even though concurrent evaluators share
+    /// one allocation.)
+    pub fn table_bytes(&self) -> usize {
+        (self.dist.len()
+            + self.s_to.len()
+            + self.s_from.len()
+            + self.edge_w_rtt.len()
+            + self.edge_w_fixed.len())
+            * std::mem::size_of::<f64>()
+    }
+
+    /// Bytes the former dense layout (a host×host table per edge plus a
+    /// host×host push matrix) would occupy — the denominator of the memory
+    /// reduction reported by the scaling bench.
+    pub fn dense_table_bytes(&self) -> usize {
+        (self.edge_w_rtt.len() + 1) * self.hosts * self.hosts * std::mem::size_of::<f64>()
     }
 
     /// Recomputes the live state from scratch (used at construction).
@@ -312,6 +439,7 @@ impl CostEvaluator {
         self.consistency = Kahan::new(consistency);
 
         self.load.iter_mut().for_each(|l| *l = 0.0);
+        self.overload_total = Kahan::default();
         for n in 0..self.primary.len() {
             self.shift_load(n, 1.0);
         }
@@ -346,7 +474,7 @@ impl CostEvaluator {
 
     /// Whether `node` currently has a replica at `host`.
     pub fn has_replica(&self, node: NodeIndex, host: HostId) -> bool {
-        self.repl_mask[node.index()] & (1 << host.0) != 0
+        mask_test(self.mask(node.index()), host.0)
     }
 
     /// The current cost breakdown.
@@ -354,7 +482,7 @@ impl CostEvaluator {
         CostBreakdown {
             communication: self.communication.value(),
             consistency: self.consistency.value(),
-            overload: self.overload(),
+            overload: self.overload_total.value(),
         }
     }
 
@@ -407,6 +535,23 @@ impl CostEvaluator {
         }
     }
 
+    /// The replica bitmask words of node `idx`.
+    #[inline]
+    fn mask(&self, idx: usize) -> &[u64] {
+        &self.repl_mask[idx * self.mask_words..(idx + 1) * self.mask_words]
+    }
+
+    /// Sets (`true`) or clears (`false`) host bit `bit` of node `idx`.
+    #[inline]
+    fn set_mask(&mut self, idx: usize, bit: usize, on: bool) {
+        let word = &mut self.repl_mask[idx * self.mask_words + (bit >> 6)];
+        if on {
+            *word |= 1u64 << (bit & 63);
+        } else {
+            *word &= !(1u64 << (bit & 63));
+        }
+    }
+
     /// Validates `mv` and captures the undo record.
     fn check(&self, mv: Move) -> Applied {
         let (node, host) = match mv {
@@ -424,13 +569,13 @@ impl CostEvaluator {
                     "AddReplica at the primary host {host}"
                 );
                 assert!(
-                    self.repl_mask[idx] & (1 << host.0) == 0,
+                    !mask_test(self.mask(idx), host.0),
                     "AddReplica: replica already present at {host}"
                 );
             }
             Move::DropReplica { .. } => {
                 assert!(
-                    self.repl_mask[idx] & (1 << host.0) != 0,
+                    mask_test(self.mask(idx), host.0),
                     "DropReplica: no replica at {host}"
                 );
             }
@@ -439,7 +584,7 @@ impl CostEvaluator {
             mv,
             prev_primary: self.primary[idx],
             absorbed_replica: matches!(mv, Move::MovePrimary { .. })
-                && self.repl_mask[idx] & (1 << host.0) != 0,
+                && mask_test(self.mask(idx), host.0),
         }
     }
 
@@ -452,98 +597,204 @@ impl CostEvaluator {
         }
     }
 
-    /// Re-homes a primary. Every incident edge can re-route for every
-    /// origin, but the *other* endpoint's serving location is unchanged —
-    /// one fused pass evaluates each (edge, origin) cell's old and new
-    /// contributions together instead of sweeping the incidence list twice.
-    fn execute_move_primary(&mut self, idx: usize, to: HostId) -> f64 {
-        let overload_before = self.overload();
-        let cons_old = self.node_consistency(idx);
-        self.shift_load(idx, -1.0);
+    /// Communication cost of edge `e` between serving hosts `a → b`:
+    /// `w_rtt[e]·dist[a][b] + w_fixed[e]`, zero when co-located.
+    #[inline]
+    fn pair_cost(&self, e: usize, a: usize, b: usize) -> f64 {
+        if a == b {
+            0.0
+        } else {
+            self.edge_w_rtt[e] * self.dist[a * self.hosts + b] + self.edge_w_fixed[e]
+        }
+    }
 
-        let p_old = self.primary[idx];
-        let mask_old = self.repl_mask[idx];
+    /// Consistency push cost (ms per write) from primary `a` to replica `b`.
+    #[inline]
+    fn push_cost(&self, a: usize, b: usize) -> f64 {
+        if a == b {
+            0.0
+        } else {
+            self.push_rtt * self.dist[a * self.hosts + b] + self.push_fixed
+        }
+    }
+
+    /// Re-homes a primary. Every incident edge can re-route for every
+    /// origin, but almost every origin takes the *default* route (its
+    /// traffic is served at the primary on the moving side and at the
+    /// primary on the other side), and the default delta is
+    /// origin-independent. Each incident edge is therefore priced as one
+    /// closed-form default term — `share_total` times the primary-to-
+    /// primary change, or a share-weighted distance sum (`s_to`/`s_from`)
+    /// when the far endpoint is an Entry — plus exact corrections for the
+    /// handful of *exceptional* origins (the old/new primaries and the
+    /// replica hosts of either endpoint, where serving is local). Cost:
+    /// `O(degree × (1 + replicas))` instead of `O(degree × origins)`.
+    fn execute_move_primary(&mut self, idx: usize, to: HostId) -> f64 {
+        let entry = self.role[idx] == Role::Entry;
+        let overload_before = self.overload_total.value();
+        let cons_old = self.node_consistency(idx);
+        if !entry {
+            // An Entry serves every origin locally regardless of its
+            // primary: its load never moves.
+            self.shift_load(idx, -1.0);
+        }
+
+        let p_old = self.primary[idx] as usize;
+        let mut mask_old = [0u64; MASK_WORDS_CAP];
+        mask_old[..self.mask_words].copy_from_slice(self.mask(idx));
         self.primary[idx] = to.0 as u32;
-        self.repl_mask[idx] &= !(1 << to.0);
+        self.set_mask(idx, to.0, false);
         self.placement.primary[idx] = to;
         self.placement.replicas[idx].remove(&to);
-        let p_new = self.primary[idx];
-        let mask_new = self.repl_mask[idx];
+        let p_new = to.0;
+        let mut mask_new = [0u64; MASK_WORDS_CAP];
+        mask_new[..self.mask_words].copy_from_slice(self.mask(idx));
 
-        let entry = self.role[idx] == Role::Entry;
-        // Serving location of the moving node under the old / new state.
-        let loc_old = |origin: u32| {
-            if entry || p_old == origin || mask_old & (1 << origin) != 0 {
+        // Serving location of the moving (non-Entry) node under the old /
+        // new state, for an origin host.
+        let loc_old = |origin: usize| {
+            if p_old == origin || mask_test(&mask_old, origin) {
                 origin
             } else {
                 p_old
             }
         };
-        let loc_new = |origin: u32| {
-            if entry || p_new == origin || mask_new & (1 << origin) != 0 {
+        let loc_new = |origin: usize| {
+            if p_new == origin || mask_test(&mask_new, origin) {
                 origin
             } else {
                 p_new
             }
         };
 
-        let h = self.hosts;
         let mut comm_delta = 0.0;
+        // Scratch for the exceptional-origin host set of one edge.
+        let mut exceptional: Vec<u32> = Vec::new();
         for k in self.inc_start[idx]..self.inc_start[idx + 1] {
             let e = self.inc_edge[k as usize] as usize;
             let s = self.edge_src[e] as usize;
             let t = self.edge_dst[e] as usize;
-            let table = &self.edge_cost[e * h * h..(e + 1) * h * h];
             if self.edge_write[e] {
                 // Write traffic executes at primaries; an Entry source
                 // follows the origin instead, so an Entry's own primary
                 // move leaves its outgoing write edges untouched.
                 if s == idx && !entry {
                     let t_primary = self.primary[t] as usize;
-                    let w_old = table[p_old as usize * h + t_primary];
-                    let w_new = table[p_new as usize * h + t_primary];
-                    for &(_, share) in &self.origins {
-                        comm_delta += share * (w_new - w_old);
-                    }
+                    let w_old = self.pair_cost(e, p_old, t_primary);
+                    let w_new = self.pair_cost(e, p_new, t_primary);
+                    comm_delta += self.share_total * (w_new - w_old);
                 } else if t == idx {
                     if self.role[s] == Role::Entry {
-                        for &(origin, share) in &self.origins {
-                            let from = origin as usize * h;
-                            comm_delta += share
-                                * (table[from + p_new as usize] - table[from + p_old as usize]);
-                        }
+                        // Σ_o share·pair(e, o, p) = w_rtt·s_from[p] +
+                        // w_fixed·(share_total − share(p)).
+                        comm_delta += self.edge_w_rtt[e]
+                            * (self.s_from[p_new] - self.s_from[p_old])
+                            + self.edge_w_fixed[e]
+                                * (self.entry_share[p_old] - self.entry_share[p_new]);
                     } else {
-                        let from = self.primary[s] as usize * h;
-                        let w_old = table[from + p_old as usize];
-                        let w_new = table[from + p_new as usize];
-                        for &(_, share) in &self.origins {
-                            comm_delta += share * (w_new - w_old);
-                        }
+                        let from = self.primary[s] as usize;
+                        let w_old = self.pair_cost(e, from, p_old);
+                        let w_new = self.pair_cost(e, from, p_new);
+                        comm_delta += self.share_total * (w_new - w_old);
                     }
                 }
-            } else if s == idx {
-                for &(origin, share) in &self.origins {
-                    let other = self.location(t, origin) as usize;
-                    comm_delta += share
-                        * (table[loc_new(origin) as usize * h + other]
-                            - table[loc_old(origin) as usize * h + other]);
+                continue;
+            }
+            if entry {
+                // An Entry node serves at the origin before and after the
+                // move, so its read edges contribute zero delta.
+                continue;
+            }
+            let idx_is_src = s == idx;
+            let other = if idx_is_src { t } else { s };
+            // Exceptional origins on the moving side: its old/new primary
+            // and its replica hosts (the new mask is the old mask minus
+            // the absorbed bit, so the old mask covers both states).
+            exceptional.clear();
+            exceptional.push(p_old as u32);
+            exceptional.push(p_new as u32);
+            push_mask_hosts(&mut exceptional, &mask_old[..self.mask_words]);
+            if self.role[other] == Role::Entry {
+                // Far side follows the origin. Default (origin served at
+                // the moving primary): Σ_o share·pair(e, p, o), collapsed
+                // through the share-weighted distance sums.
+                let (sum_new, sum_old) = if idx_is_src {
+                    (self.s_to[p_new], self.s_to[p_old])
+                } else {
+                    (self.s_from[p_new], self.s_from[p_old])
+                };
+                comm_delta += self.edge_w_rtt[e] * (sum_new - sum_old)
+                    + self.edge_w_fixed[e] * (self.entry_share[p_old] - self.entry_share[p_new]);
+                exceptional.sort_unstable();
+                exceptional.dedup();
+                for &ou in &exceptional {
+                    let o = ou as usize;
+                    let share = self.entry_share[o];
+                    if share == 0.0 {
+                        continue;
+                    }
+                    let (actual_new, assumed_new, actual_old, assumed_old) = if idx_is_src {
+                        (
+                            self.pair_cost(e, loc_new(o), o),
+                            self.pair_cost(e, p_new, o),
+                            self.pair_cost(e, loc_old(o), o),
+                            self.pair_cost(e, p_old, o),
+                        )
+                    } else {
+                        (
+                            self.pair_cost(e, o, loc_new(o)),
+                            self.pair_cost(e, o, p_new),
+                            self.pair_cost(e, o, loc_old(o)),
+                            self.pair_cost(e, o, p_old),
+                        )
+                    };
+                    comm_delta += share * ((actual_new - assumed_new) - (actual_old - assumed_old));
                 }
             } else {
-                for &(origin, share) in &self.origins {
-                    let other = self.location(s, origin) as usize * h;
-                    comm_delta += share
-                        * (table[other + loc_new(origin) as usize]
-                            - table[other + loc_old(origin) as usize]);
+                // Far side serves at its primary by default; an origin at
+                // the far primary itself serves there too, so only the far
+                // side's *replica* hosts are exceptional.
+                let far = self.primary[other] as usize;
+                let default = if idx_is_src {
+                    self.pair_cost(e, p_new, far) - self.pair_cost(e, p_old, far)
+                } else {
+                    self.pair_cost(e, far, p_new) - self.pair_cost(e, far, p_old)
+                };
+                comm_delta += self.share_total * default;
+                push_mask_hosts(&mut exceptional, self.mask(other));
+                exceptional.sort_unstable();
+                exceptional.dedup();
+                for &ou in &exceptional {
+                    let o = ou as usize;
+                    let share = self.entry_share[o];
+                    if share == 0.0 {
+                        continue;
+                    }
+                    let far_loc = self.location(other, ou) as usize;
+                    let (exact_new, exact_old) = if idx_is_src {
+                        (
+                            self.pair_cost(e, loc_new(o), far_loc),
+                            self.pair_cost(e, loc_old(o), far_loc),
+                        )
+                    } else {
+                        (
+                            self.pair_cost(e, far_loc, loc_new(o)),
+                            self.pair_cost(e, far_loc, loc_old(o)),
+                        )
+                    };
+                    comm_delta += share * ((exact_new - exact_old) - default);
                 }
             }
         }
 
         let cons_new = self.node_consistency(idx);
-        self.shift_load(idx, 1.0);
+        if !entry {
+            self.shift_load(idx, 1.0);
+        }
 
         self.communication.add(comm_delta);
         self.consistency.add(cons_new - cons_old);
-        comm_delta + (cons_new - cons_old) + (self.overload() - overload_before)
+        comm_delta + (cons_new - cons_old) + (self.overload_total.value() - overload_before)
     }
 
     /// Toggles a replica of node `idx` at `host`. Fast path: a replica only
@@ -553,22 +804,21 @@ impl CostEvaluator {
     /// of re-evaluating every incident edge over every origin.
     fn execute_replica(&mut self, idx: usize, host: HostId, adding: bool) -> f64 {
         let v = host.0;
-        let overload_before = self.overload();
+        let overload_before = self.overload_total.value();
 
         // Consistency: exactly the primary → host push edge toggles.
         let mut cons_delta = 0.0;
         let rate = self.write_rate[idx];
         if rate > 0.0 {
-            let d = rate * self.push_cost[self.primary[idx] as usize * self.hosts + v];
+            let d = rate * self.push_cost(self.primary[idx] as usize, v);
             cons_delta = if adding { d } else { -d };
         }
 
         let served_old = self.location(idx, v as u32);
+        self.set_mask(idx, v, adding);
         if adding {
-            self.repl_mask[idx] |= 1 << v;
             self.placement.replicas[idx].insert(host);
         } else {
-            self.repl_mask[idx] &= !(1 << v);
             self.placement.replicas[idx].remove(&host);
         }
         let served_new = self.location(idx, v as u32);
@@ -579,7 +829,6 @@ impl CostEvaluator {
         // consult replicas) and redundant toggles; zero share means no
         // traffic ever originates at `host`.
         if share > 0.0 && served_old != served_new {
-            let h = self.hosts;
             for k in self.inc_start[idx]..self.inc_start[idx + 1] {
                 let e = self.inc_edge[k as usize] as usize;
                 if self.edge_write[e] {
@@ -587,26 +836,31 @@ impl CostEvaluator {
                 }
                 let s = self.edge_src[e] as usize;
                 let t = self.edge_dst[e] as usize;
-                let table = &self.edge_cost[e * h * h..(e + 1) * h * h];
                 let (old, new) = if s == idx {
                     let to = self.location(t, v as u32) as usize;
-                    (served_old as usize * h + to, served_new as usize * h + to)
+                    (
+                        self.pair_cost(e, served_old as usize, to),
+                        self.pair_cost(e, served_new as usize, to),
+                    )
                 } else {
-                    let from = self.location(s, v as u32) as usize * h;
-                    (from + served_old as usize, from + served_new as usize)
+                    let from = self.location(s, v as u32) as usize;
+                    (
+                        self.pair_cost(e, from, served_old as usize),
+                        self.pair_cost(e, from, served_new as usize),
+                    )
                 };
-                comm_delta += share * (table[new] - table[old]);
+                comm_delta += share * (new - old);
             }
             let demand = self.load_ms[idx];
             if demand > 0.0 {
-                self.load[served_old as usize] -= share * demand;
-                self.load[served_new as usize] += share * demand;
+                self.bump_load(served_old as usize, -share * demand);
+                self.bump_load(served_new as usize, share * demand);
             }
         }
 
         self.communication.add(comm_delta);
         self.consistency.add(cons_delta);
-        comm_delta + cons_delta + (self.overload() - overload_before)
+        comm_delta + cons_delta + (self.overload_total.value() - overload_before)
     }
 
     /// Serving location of `node` for traffic originating at `origin`
@@ -616,7 +870,7 @@ impl CostEvaluator {
         if self.role[node] == Role::Entry {
             return origin;
         }
-        if self.primary[node] == origin || self.repl_mask[node] & (1 << origin) != 0 {
+        if self.primary[node] == origin || mask_test(self.mask(node), origin as usize) {
             origin
         } else {
             self.primary[node]
@@ -628,8 +882,6 @@ impl CostEvaluator {
     fn edge_comm(&self, e: usize) -> f64 {
         let s = self.edge_src[e] as usize;
         let t = self.edge_dst[e] as usize;
-        let h = self.hosts;
-        let table = &self.edge_cost[e * h * h..(e + 1) * h * h];
         let mut total = 0.0;
         if self.edge_write[e] {
             // Write-path traffic executes at the primaries; only an Entry
@@ -637,20 +889,17 @@ impl CostEvaluator {
             let to = self.edge_dst_primary(t);
             if self.role[s] == Role::Entry {
                 for &(origin, share) in &self.origins {
-                    total += share * table[origin as usize * h + to];
+                    total += share * self.pair_cost(e, origin as usize, to);
                 }
             } else {
                 let from = self.primary[s] as usize;
-                let w = table[from * h + to];
-                for &(_, share) in &self.origins {
-                    total += share * w;
-                }
+                total += self.share_total * self.pair_cost(e, from, to);
             }
         } else {
             for &(origin, share) in &self.origins {
                 let from = self.location(s, origin) as usize;
                 let to = self.location(t, origin) as usize;
-                total += share * table[from * h + to];
+                total += share * self.pair_cost(e, from, to);
             }
         }
         total
@@ -668,41 +917,76 @@ impl CostEvaluator {
         if rate <= 0.0 {
             return 0.0;
         }
-        let from = self.primary[n] as usize * self.hosts;
-        let mut mask = self.repl_mask[n];
+        let from = self.primary[n] as usize;
+        let base = n * self.mask_words;
         let mut total = 0.0;
-        while mask != 0 {
-            let r = mask.trailing_zeros() as usize;
-            mask &= mask - 1;
-            total += rate * self.push_cost[from + r];
+        for w in 0..self.mask_words {
+            let mut word = self.repl_mask[base + w];
+            while word != 0 {
+                let r = (w << 6) + word.trailing_zeros() as usize;
+                word &= word - 1;
+                total += rate * self.push_cost(from, r);
+            }
         }
         total
     }
 
     /// Adds (`sign = 1.0`) or removes (`sign = -1.0`) node `n`'s CPU load
-    /// contributions at its serving locations.
+    /// contributions at its serving locations. Entry nodes spread their
+    /// demand over every origin; replicated nodes serve locally only at
+    /// replica hosts that actually originate traffic, so the loop runs
+    /// over replicas, not origins, with one primary bucket for the rest.
     fn shift_load(&mut self, n: usize, sign: f64) {
         let demand = self.load_ms[n];
         if demand == 0.0 {
             return;
         }
-        for &(origin, share) in &self.origins {
-            let at = self.location(n, origin) as usize;
-            self.load[at] += sign * share * demand;
+        if self.role[n] == Role::Entry {
+            // Borrow workaround: origins is read-only while load mutates.
+            for i in 0..self.origins.len() {
+                let (origin, share) = self.origins[i];
+                self.bump_load(origin as usize, sign * share * demand);
+            }
+            return;
         }
-    }
-
-    /// Overload penalty from the live load vector (mirrors the overload
-    /// term of `cost_breakdown`).
-    fn overload(&self) -> f64 {
-        let mut total = 0.0;
-        for (h, &l) in self.load.iter().enumerate() {
-            let over = l - self.capacity[h].max(0.0);
-            if over > 0.0 && self.capacity[h].is_finite() {
-                total += over * self.overload_scale;
+        let p = self.primary[n] as usize;
+        let base = n * self.mask_words;
+        let mut repl_share = 0.0;
+        for w in 0..self.mask_words {
+            let mut word = self.repl_mask[base + w];
+            while word != 0 {
+                let r = (w << 6) + word.trailing_zeros() as usize;
+                word &= word - 1;
+                let share = self.entry_share[r];
+                if share > 0.0 {
+                    repl_share += share;
+                    self.bump_load(r, sign * share * demand);
+                }
             }
         }
-        total
+        // Everyone else — including an origin at the primary itself — is
+        // served at the primary.
+        self.bump_load(p, sign * (self.share_total - repl_share) * demand);
+    }
+
+    /// Adjusts one host's load and folds the change of its overload
+    /// penalty into the running [`CostEvaluator::overload_total`] — O(1)
+    /// per touched host instead of a full sweep per move.
+    #[inline]
+    fn bump_load(&mut self, h: usize, delta: f64) {
+        if delta == 0.0 {
+            return;
+        }
+        if self.capacity[h].is_finite() {
+            let cap = self.capacity[h].max(0.0);
+            let before = (self.load[h] - cap).max(0.0);
+            self.load[h] += delta;
+            let after = (self.load[h] - cap).max(0.0);
+            self.overload_total
+                .add((after - before) * self.overload_scale);
+        } else {
+            self.load[h] += delta;
+        }
     }
 }
 
@@ -881,6 +1165,82 @@ mod tests {
             to: HostId(1),
         });
         assert_matches(&p, &eval);
+    }
+
+    /// Beyond 64 hosts the replica bitmask spans several words; the delta
+    /// accounting must keep tracking the full recompute exactly as on the
+    /// paper's 3-host star.
+    #[test]
+    fn wide_host_sets_use_multiword_replica_masks() {
+        let mut p = problem();
+        let h = 130;
+        let share = 1.0 / h as f64;
+        p.hosts = (0..h)
+            .map(|i| Host {
+                name: format!("h{i}"),
+                entry_share: share,
+                cpu_capacity: f64::INFINITY,
+            })
+            .collect();
+        p.rtt_ms = (0..h)
+            .map(|a| {
+                (0..h)
+                    .map(|b| {
+                        if a == b {
+                            0.0
+                        } else {
+                            100.0 + ((a * 31 + b * 17) % 200) as f64
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        // Symmetrize.
+        for a in 0..h {
+            for b in 0..a {
+                p.rtt_ms[a][b] = p.rtt_ms[b][a];
+            }
+        }
+        let entity = p.graph.by_name("entity").unwrap();
+        let svc = p.graph.by_name("svc").unwrap();
+        let mut eval = CostEvaluator::new(&p, Placement::all_on(&p, HostId(0)));
+        assert_matches(&p, &eval);
+        for host in [1usize, 63, 64, 65, 127, 129] {
+            eval.apply(Move::AddReplica {
+                node: entity,
+                host: HostId(host),
+            });
+            assert!(eval.has_replica(entity, HostId(host)));
+            assert_matches(&p, &eval);
+        }
+        eval.apply(Move::MovePrimary {
+            node: svc,
+            to: HostId(129),
+        });
+        assert_matches(&p, &eval);
+        eval.apply(Move::MovePrimary {
+            node: entity,
+            to: HostId(65),
+        });
+        assert!(!eval.has_replica(entity, HostId(65)), "replica absorbed");
+        assert_matches(&p, &eval);
+        while eval.depth() > 0 {
+            eval.undo();
+        }
+        assert_matches(&p, &eval);
+    }
+
+    #[test]
+    fn shared_distance_matrix_is_one_allocation() {
+        let p = problem();
+        let dist = shared_distances(&p);
+        let a = CostEvaluator::with_distances(&p, Placement::all_on(&p, HostId(0)), dist.clone());
+        let b = CostEvaluator::with_distances(&p, Placement::all_on(&p, HostId(1)), a.distances());
+        assert!(Arc::ptr_eq(&dist, &b.distances()));
+        // Table memory is hosts² + 2·hosts + 2 scalars per edge, not
+        // edges × hosts².
+        assert_eq!(a.table_bytes(), (4 + 2 * 2 + 3 * 2) * 8);
+        assert!(a.dense_table_bytes() > a.table_bytes());
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //!   partitioner with RTT-aware refinement;
 //! * [`derive`] — extracting problems from the Pet Store and RUBiS models
 //!   under the paper's workload, with validation that the optimizer
-//!   *recovers the paper's final deployments*.
+//!   *recovers the paper's final deployments*;
+//! * [`wan`] — deriving host matrices from simulated multi-tier topologies
+//!   (latency-shortest multi-hop round trips, the same pricing the engine
+//!   and the static analyzer use).
 //!
 //! ## Example
 //!
@@ -39,8 +42,9 @@ pub mod algorithms;
 pub mod cost;
 pub mod derive;
 pub mod graph;
+pub mod wan;
 
-pub use cost::incremental::{CostEvaluator, Move};
+pub use cost::incremental::{shared_distances, CostEvaluator, Move};
 pub use cost::{cost, cost_breakdown, CostBreakdown};
 pub use graph::{
     Component, ComponentGraph, CostParams, Host, HostId, Interaction, Placement, PlacementProblem,

@@ -1,0 +1,144 @@
+//! Deriving placement problems from simulated WAN topologies.
+//!
+//! The paper's placement instances hand-write a 3-host round-trip matrix.
+//! Multi-tier topologies (regional hubs, CDN edge tiers — see
+//! `mutsvc_core::topology::multi_tier_topology`) have hundreds of candidate
+//! hosts whose pairwise cost is a *multi-hop* WAN path, not a single link.
+//! This module prices those paths the same way the simulator and the static
+//! analyzer do: [`Topology::rtt`] sums latency-shortest routes (Dijkstra per
+//! source, computed once per topology), so the placement matrix, the
+//! analyzer's `PathModel`, and the engine's message timing can never
+//! disagree about what a host pair costs.
+
+use mutsvc_netsim::{NodeId, Topology, WAN_LATENCY_THRESHOLD};
+
+use crate::graph::{Host, PlacementProblem};
+
+/// One candidate placement host drawn from a topology node.
+#[derive(Debug, Clone)]
+pub struct ServerSpec {
+    /// The topology node acting as the host.
+    pub node: NodeId,
+    /// Share of client traffic originating at this host (0 for pure
+    /// compute tiers such as regional hubs).
+    pub entry_share: f64,
+    /// CPU capacity in ms/s ([`f64::INFINITY`] = uncapped).
+    pub cpu_capacity: f64,
+}
+
+/// All-pairs round-trip matrix (milliseconds) over `servers`, priced along
+/// latency-shortest routes of `topology` — `rtt[a][b]` is the full
+/// multi-hop path there and back, exactly what one remote invocation pays.
+///
+/// # Panics
+///
+/// Panics if any server pair is unreachable in the topology.
+pub fn host_matrix(topology: &Topology, servers: &[NodeId]) -> Vec<Vec<f64>> {
+    servers
+        .iter()
+        .map(|&a| {
+            servers
+                .iter()
+                .map(|&b| {
+                    if a == b {
+                        0.0
+                    } else {
+                        topology.rtt(a, b).as_millis_f64()
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Builds the placement host list + round-trip matrix for `servers`,
+/// naming each host after its topology node.
+pub fn hosts_from_topology(
+    topology: &Topology,
+    servers: &[ServerSpec],
+) -> (Vec<Host>, Vec<Vec<f64>>) {
+    let nodes: Vec<NodeId> = servers.iter().map(|s| s.node).collect();
+    let hosts = servers
+        .iter()
+        .map(|s| Host {
+            name: topology.node(s.node).name.clone(),
+            entry_share: s.entry_share,
+            cpu_capacity: s.cpu_capacity,
+        })
+        .collect();
+    (hosts, host_matrix(topology, &nodes))
+}
+
+/// Re-targets a derived problem (same component graph and cost parameters)
+/// onto a different host set — how the scaling bench deploys the RUBiS /
+/// Pet Store graphs onto generated multi-tier topologies.
+///
+/// Pinned components keep their [`HostId`](crate::graph::HostId) indices,
+/// so the new host list must keep the pinned hosts (in practice: the main
+/// server stays index 0) at the same positions.
+///
+/// # Panics
+///
+/// Panics if the rehosted problem fails [`PlacementProblem::validate`]
+/// (malformed matrix, pins out of range, entry shares not summing to 1).
+pub fn rehost(
+    problem: &PlacementProblem,
+    hosts: Vec<Host>,
+    rtt_ms: Vec<Vec<f64>>,
+) -> PlacementProblem {
+    let rehosted = PlacementProblem {
+        hosts,
+        rtt_ms,
+        graph: problem.graph.clone(),
+        params: problem.params.clone(),
+    };
+    if let Err(msg) = rehosted.validate() {
+        panic!("rehosted problem invalid: {msg}");
+    }
+    rehosted
+}
+
+/// The host-pair round-trip bound (milliseconds) under which two hosts
+/// belong to one network region: twice the one-way
+/// [`WAN_LATENCY_THRESHOLD`] the engine and analyzer use, since a placement
+/// matrix stores round trips. Host pairs joined by LAN/metro links stay
+/// strictly under it; any WAN hop pushes the round trip strictly over it.
+pub fn region_rtt_threshold_ms() -> f64 {
+    2.0 * WAN_LATENCY_THRESHOLD.as_millis_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mutsvc_desim::SimDuration;
+    use mutsvc_netsim::TopologyBuilder;
+
+    /// client — router — hub — edge chain: the client↔edge round trip must
+    /// be priced over both WAN legs, not one star hop.
+    #[test]
+    fn host_matrix_prices_multi_hop_paths() {
+        let mut b = TopologyBuilder::new();
+        let main = b.node("main", 2);
+        let router = b.node("router", 8);
+        let hub = b.node("hub", 4);
+        let edge = b.node("edge", 2);
+        b.duplex_link(main, router, SimDuration::from_micros(200), 100e6);
+        b.duplex_link(router, hub, SimDuration::from_millis(60), 100e6);
+        b.duplex_link(hub, edge, SimDuration::from_millis(30), 100e6);
+        let t = b.finalize();
+        let m = host_matrix(&t, &[main, hub, edge]);
+        assert_eq!(m[0][0], 0.0);
+        let main_hub = 2.0 * (0.2 + 60.0);
+        let main_edge = 2.0 * (0.2 + 60.0 + 30.0);
+        assert!((m[0][1] - main_hub).abs() < 1e-9, "{}", m[0][1]);
+        assert!((m[0][2] - main_edge).abs() < 1e-9, "{}", m[0][2]);
+        assert!((m[1][2] - 60.0).abs() < 1e-9, "{}", m[1][2]);
+        // Symmetric (duplex links with equal latency both ways).
+        assert_eq!(m[0][2], m[2][0]);
+    }
+
+    #[test]
+    fn region_threshold_doubles_the_one_way_constant() {
+        assert!((region_rtt_threshold_ms() - 40.0).abs() < 1e-12);
+    }
+}
