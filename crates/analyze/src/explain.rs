@@ -196,6 +196,19 @@ pub const CODES: &[CodeDoc] = &[
                   trips, and this warning points at the crossing whose placement silently \
                   multiplied its cost.",
     },
+    CodeDoc {
+        code: "W113",
+        summary: "SLO latency objective below the static WAN round-trip floor",
+        section: "§4.2",
+        explain: "A service-level latency objective demands responses faster than the \
+                  deployment can physically deliver: the page's hop-weighted wide-area \
+                  round trips, each costing at least twice the topology's cheapest WAN \
+                  one-way latency, already exceed the objective's threshold. No seed, \
+                  cache-hit pattern or load level can bring the page under the target, so \
+                  every run would grade the objective as missed. Loosen the threshold, or \
+                  redeploy (replicas, query caches) so the page sheds wide-area round \
+                  trips.",
+    },
 ];
 
 /// Looks up a code's documentation (case-sensitive, `E…`/`W…`).

@@ -40,6 +40,7 @@
 //! | `W110` | unbounded staleness reachable on a read path |
 //! | `W111` | failover target statically unreachable during its episode |
 //! | `W112` | binder crossing routes through ≥2 WAN hops (one-hop budget assumption broken) |
+//! | `W113` | SLO latency objective below the static WAN round-trip floor |
 //!
 //! Beyond the flat walk, three dataflow analyses run over the walked pages:
 //! a staleness lattice ([`dataflow`]) abstract-interprets every cached read
@@ -69,6 +70,7 @@ use mutsvc_middleware::{
 };
 use mutsvc_netsim::{NodeId, Topology};
 use mutsvc_relstore::Database;
+use mutsvc_workload::SloSpec;
 
 pub use dataflow::{analyze_staleness, site_staleness, Staleness, StalenessAnalysis};
 pub use diagnostics::{
@@ -266,6 +268,57 @@ pub fn cross_check_traced_wan(report: &mut Report, traced: &[(String, f64)]) -> 
                      is not behaving as analyzed"
                 ),
                 span: Span::page(page.clone(), "traced run vs static walk"),
+            });
+            added += 1;
+        }
+    }
+    if added > 0 {
+        report.sort_diagnostics();
+    }
+    added
+}
+
+/// W113: a latency objective the wide area makes unsatisfiable.
+///
+/// Each hop-weighted wide-area round trip the static walker counts for a
+/// page costs at least two traversals of the topology's cheapest WAN leg,
+/// so `wan_round_trips × 2 × min WAN one-way latency` lower-bounds the
+/// page's response time regardless of seed, load or caching luck. A
+/// latency objective whose threshold sits below that floor can never be
+/// met — every run would grade it as missed — so the spec is flagged
+/// statically before simulation time is spent, mirroring what
+/// [`cross_check_traced_wan`] (W108) does for traced round-trip counts.
+/// Objectives naming pages the static report does not cost, and
+/// topologies with no WAN legs at all, produce no warnings. Returns the
+/// number of warnings added.
+pub fn check_slo_reachability(report: &mut Report, slo: &SloSpec, topology: &Topology) -> usize {
+    let Some(min_leg) = topology.min_wan_latency() else {
+        return 0;
+    };
+    let rtt_ms = min_leg.as_millis_f64() * 2.0;
+    let mut added = 0;
+    for obj in &slo.objectives {
+        let Some(cost) = report.pages.iter().find(|p| p.page == obj.page) else {
+            continue;
+        };
+        let floor = f64::from(cost.wan_round_trips) * rtt_ms;
+        if obj.latency_ms < floor {
+            report.diagnostics.push(Diagnostic {
+                code: "W113",
+                severity: Severity::Warning,
+                component: None,
+                node: None,
+                message: format!(
+                    "SLO wants {:.1}% of `{}` under {:.0} ms, but its {} static wide-area \
+                     round trips cost at least {floor:.0} ms on this topology's cheapest \
+                     WAN leg ({rtt_ms:.0} ms per round trip); the objective is \
+                     unsatisfiable as deployed",
+                    obj.target * 100.0,
+                    obj.page,
+                    obj.latency_ms,
+                    cost.wan_round_trips,
+                ),
+                span: Span::page(obj.page.clone(), "SLO objective vs static WAN floor"),
             });
             added += 1;
         }

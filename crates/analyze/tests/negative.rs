@@ -317,6 +317,54 @@ fn w108_traced_wan_rts_disagreeing_with_the_static_walk() {
 }
 
 #[test]
+fn w113_slo_latency_objective_below_the_wan_floor() {
+    use mutsvc_analyze::check_slo_reachability;
+    use mutsvc_core::SloSpec;
+
+    let mut report = report_for(AppKind::PetStore, Config::RemoteFacade, |_, _| {});
+    assert!(!report.codes().contains(&"W113"));
+    let (input, _) = Scenario::quick(AppKind::PetStore, Config::RemoteFacade).build();
+
+    // Remote-façade serves Item through one wide-area façade call, so the
+    // static walk prices it at least one 200 ms round trip on the paper
+    // topology's 100 ms WAN legs.
+    let item_rts = report
+        .pages
+        .iter()
+        .find(|p| p.page == "Item")
+        .unwrap()
+        .wan_round_trips;
+    assert!(item_rts >= 1, "remote-façade Item must cross the WAN");
+    let floor = f64::from(item_rts) * 200.0;
+
+    // Reachable objectives — and objectives naming unknown pages — stay
+    // silent.
+    let fine = SloSpec::new()
+        .page("Item", floor + 50.0, 0.95)
+        .page("NotAPage", 1.0, 0.5);
+    assert_eq!(
+        check_slo_reachability(&mut report, &fine, &input.topology),
+        0
+    );
+    assert!(!report.codes().contains(&"W113"));
+
+    // A threshold under the static floor can never be met on this topology.
+    let hopeless = SloSpec::new().page("Item", floor - 100.0, 0.95);
+    assert_eq!(
+        check_slo_reachability(&mut report, &hopeless, &input.topology),
+        1
+    );
+    assert!(report.codes().contains(&"W113"), "{}", report.render_text());
+    let w113 = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "W113")
+        .unwrap();
+    assert_eq!(w113.span.page.as_deref(), Some("Item"));
+    assert!(w113.message.contains("unsatisfiable"));
+}
+
+#[test]
 fn w106_replicated_stateful_session_off_the_central_node() {
     let report = report_for(
         AppKind::PetStore,

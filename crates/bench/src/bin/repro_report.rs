@@ -5,7 +5,7 @@
 //!              [--tables] [--figures] [--compare] [--validate]
 //!              [--sessions] [--topology] [--wiring] [--placement [--smoke]]
 //!              [--simperf [--smoke] [--parallel N]] [--trace [config] [--smoke]]
-//!              [--faults [--smoke]]
+//!              [--faults [--smoke]] [--metrics [config] [--smoke]]
 //! ```
 //!
 //! `--placement` measures placement move-evaluation throughput (full
@@ -39,6 +39,15 @@
 //! configurations under the partition) and writes `BENCH_faults.json`.
 //! `--smoke` shortens the windows for CI's schema-validation gate.
 //!
+//! `--metrics [config]` re-runs the sweep (or one named configuration) on
+//! the conservative-parallel engine with the windowed metrics recorder
+//! armed, grades each cell against a default SLO spec with the burn-rate
+//! engine, statically cross-checks every objective against the analyzer's
+//! WAN round-trip floor (`W113`, a hard failure), writes one byte-stable
+//! window log per cell (`METRICS_<app>_<config>.jsonl`) and
+//! `BENCH_metrics.json` (SLO verdicts, burn timeline, engine self-profile,
+//! metrics-on/off wall-clock A/B). `--smoke` shortens the windows for CI.
+//!
 //! With no selection flags, everything is printed. `--quick` (default) uses
 //! a 90 s warm-up + 300 s measured window; `--paper` runs the full
 //! one-hour windows of §3.3.
@@ -48,6 +57,10 @@ use mutsvc_apps::rubis::{BIDDER_SEQUENCE, BROWSER_MIX as RUBIS_MIX};
 use mutsvc_bench::fault_artifacts::{
     partition_ordering_violations, render_availability_table, render_faults_json, run_fault_suite,
     validate_faults_json, FaultCell,
+};
+use mutsvc_bench::metrics_artifacts::{
+    metrics_jsonl, render_metrics_json, render_slo_table, run_metrics_sweep, validate_metrics_json,
+    MetricsCell, OverheadSample,
 };
 use mutsvc_bench::placement_report::{
     measure_placement_ladder, measure_placement_throughput, render_placement_json,
@@ -84,6 +97,8 @@ struct Options {
     trace: bool,
     trace_config: Option<Config>,
     faults: bool,
+    metrics: bool,
+    metrics_config: Option<Config>,
 }
 
 fn parse_args() -> Options {
@@ -106,6 +121,8 @@ fn parse_args() -> Options {
         trace: false,
         trace_config: None,
         faults: false,
+        metrics: false,
+        metrics_config: None,
     };
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
@@ -158,9 +175,22 @@ fn parse_args() -> Options {
                     }
                 }
             }
+            "--metrics" => {
+                opts.metrics = true;
+                // Optional configuration name ("remote-facade", ...).
+                if let Some(next) = args.peek() {
+                    if !next.starts_with("--") {
+                        let name = args.next().unwrap();
+                        opts.metrics_config = Some(config_by_name(&name).unwrap_or_else(|| {
+                            eprintln!("unknown --metrics configuration {name:?}");
+                            std::process::exit(2);
+                        }));
+                    }
+                }
+            }
             "--help" | "-h" => {
                 println!(
-                    "repro-report [--app petstore|rubis|all] [--paper|--quick] [--seed N]\n             [--tables] [--figures] [--compare] [--validate] [--percentiles]\n             [--sessions] [--topology] [--wiring] [--placement [--smoke]]\n             [--simperf [--smoke] [--parallel N]] [--trace [config] [--smoke]]\n             [--faults [--smoke]]"
+                    "repro-report [--app petstore|rubis|all] [--paper|--quick] [--seed N]\n             [--tables] [--figures] [--compare] [--validate] [--percentiles]\n             [--sessions] [--topology] [--wiring] [--placement [--smoke]]\n             [--simperf [--smoke] [--parallel N]] [--trace [config] [--smoke]]\n             [--faults [--smoke]] [--metrics [config] [--smoke]]"
                 );
                 std::process::exit(0);
             }
@@ -181,7 +211,8 @@ fn parse_args() -> Options {
         || opts.placement
         || opts.simperf
         || opts.trace
-        || opts.faults)
+        || opts.faults
+        || opts.metrics)
     {
         opts.tables = true;
         opts.figures = true;
@@ -478,6 +509,77 @@ fn print_faults(opts: &Options) {
     }
 }
 
+fn print_metrics(opts: &Options) {
+    let mode = if opts.smoke {
+        "smoke"
+    } else if opts.quick {
+        "quick"
+    } else {
+        "paper"
+    };
+    let configs: Vec<Config> = match opts.metrics_config {
+        Some(config) => vec![config],
+        None => Config::all().to_vec(),
+    };
+    let mut sweeps: Vec<(AppKind, Vec<MetricsCell>, OverheadSample)> = Vec::new();
+    let mut unreachable = 0usize;
+    for &app in &opts.apps {
+        eprintln!(
+            "running {} metrics sweep ({mode} mode, seed {}; recorder on + off A/B)...",
+            app.name(),
+            opts.seed
+        );
+        let (cells, overhead) = run_metrics_sweep(app, &configs, opts.quick, opts.smoke, opts.seed);
+        for cell in &cells {
+            let data = cell.report.metrics.as_ref().unwrap();
+            let path = format!("METRICS_{}_{}.jsonl", app.name(), cell.config.name());
+            match std::fs::write(&path, metrics_jsonl(data)) {
+                Ok(()) => println!("wrote {path} ({} windows)", data.recorder.rows().len()),
+                Err(e) => eprintln!("failed to write {path}: {e}"),
+            }
+            for diag in cell
+                .static_report
+                .diagnostics
+                .iter()
+                .filter(|d| d.code == "W113")
+            {
+                println!("  W113: {}", diag.message);
+            }
+            unreachable += cell.w113;
+        }
+        println!("{}", render_slo_table(app, &cells));
+        println!(
+            "  recording overhead: on {:.0} ms vs off {:.0} ms ({:+.2}%)",
+            overhead.on_ms,
+            overhead.off_ms,
+            overhead.pct()
+        );
+        sweeps.push((app, cells, overhead));
+    }
+    let json = render_metrics_json(&sweeps, opts.seed, mode);
+    match validate_metrics_json(&json) {
+        Ok(cells) => {
+            let path = "BENCH_metrics.json";
+            match std::fs::write(path, &json) {
+                Ok(()) => println!("wrote {path} ({cells} cells)"),
+                Err(e) => eprintln!("failed to write {path}: {e}"),
+            }
+        }
+        Err(e) => {
+            eprintln!("invalid BENCH_metrics.json: {e}");
+            std::process::exit(1);
+        }
+    }
+    if unreachable > 0 {
+        eprintln!(
+            "SLO reachability: {unreachable} W113 warning(s) — an objective sits below \
+             the static WAN round-trip floor"
+        );
+        std::process::exit(1);
+    }
+    println!("SLO reachability: every objective clears the static WAN floor");
+}
+
 fn main() {
     let opts = parse_args();
     if opts.placement {
@@ -491,6 +593,9 @@ fn main() {
     }
     if opts.faults {
         print_faults(&opts);
+    }
+    if opts.metrics {
+        print_metrics(&opts);
     }
     if opts.sessions {
         print_sessions();

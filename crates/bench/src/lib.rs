@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod fault_artifacts;
+pub mod metrics_artifacts;
 pub mod placement_report;
 pub mod simperf_report;
 pub mod trace_artifacts;

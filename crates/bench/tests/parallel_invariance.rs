@@ -9,10 +9,14 @@
 //! threads.
 
 use mutsvc_bench::fault_artifacts::{fault_scenario, render_faults_json, validate_faults_json};
+use mutsvc_bench::metrics_artifacts::{default_slo, metrics_jsonl};
 use mutsvc_bench::simperf_report::thread_counts;
 use mutsvc_core::{multi_tier_input, AppKind, Config, FaultCase, MultiTierSpec};
 use mutsvc_desim::time::SimDuration;
-use mutsvc_workload::{jsonl, run_experiment_parallel, FaultPolicy, TraceSettings};
+use mutsvc_workload::{
+    evaluate, jsonl, run_experiment_parallel, FaultPolicy, MetricsSettings, SloReport,
+    TraceSettings,
+};
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 
@@ -151,6 +155,69 @@ fn multi_tier_topology_is_byte_identical_at_every_thread_count() {
     assert_ne!(
         baseline_log,
         multi_tier_report_at(1, 43).0,
+        "different seeds must differ"
+    );
+}
+
+/// The multi-tier cell with the windowed metrics recorder armed instead of
+/// the tracer: the rendered `METRICS_*.jsonl` window log and the burn-rate
+/// engine's verdicts at one thread count.
+fn multi_tier_metrics_at(
+    threads: usize,
+    seed: u64,
+) -> (String, SloReport, mutsvc_workload::ExperimentReport) {
+    let spec = MultiTierSpec {
+        hubs: 4,
+        edges_per_hub: 8,
+        metro_edges: false,
+        db_on_main: false,
+    };
+    let mut input = multi_tier_input(AppKind::Rubis, Config::StatefulCaching, &spec, seed);
+    input.spec = input
+        .spec
+        .with_duration(SimDuration::from_secs(5), SimDuration::from_secs(20))
+        .with_metrics(MetricsSettings::windowed(SimDuration::from_secs(5)));
+    let report = run_experiment_parallel(input, threads);
+    let data = report
+        .metrics
+        .as_ref()
+        .expect("metrics run carries recorder data");
+    let log = metrics_jsonl(data);
+    let slo = evaluate(&default_slo(AppKind::Rubis), &data.recorder);
+    (log, slo, report)
+}
+
+#[test]
+fn metrics_and_slo_verdicts_are_byte_identical_at_every_thread_count() {
+    let (baseline_log, baseline_slo, baseline) = multi_tier_metrics_at(THREADS[0], 42);
+    let data = baseline.metrics.as_ref().unwrap();
+    assert!(
+        data.shard_profiles.len() >= 32,
+        "one self-profile per shard, got {}",
+        data.shard_profiles.len()
+    );
+    assert!(
+        data.recorder.rows().len() >= 4,
+        "the 25 s horizon rolls several 5 s windows"
+    );
+    assert!(!baseline_log.is_empty());
+    assert!(!baseline_slo.verdicts.is_empty());
+    for &threads in &THREADS[1..] {
+        let (log, slo, report) = multi_tier_metrics_at(threads, 42);
+        assert_eq!(
+            baseline_log, log,
+            "{threads}-thread metrics window log diverged from the 1-thread log"
+        );
+        assert_eq!(
+            baseline_slo, slo,
+            "{threads}-thread SLO verdicts diverged from the 1-thread grade"
+        );
+        assert_eq!(baseline.metrics, report.metrics);
+        assert_eq!(baseline.completed, report.completed);
+    }
+    assert_ne!(
+        baseline_log,
+        multi_tier_metrics_at(1, 43).0,
         "different seeds must differ"
     );
 }

@@ -6,7 +6,8 @@ use mutsvc_middleware::ContainerCosts;
 use mutsvc_netsim::ProtocolParams;
 use mutsvc_workload::{
     paper_groups, run_experiment, run_experiment_parallel, ClientGroup, ExperimentInput,
-    ExperimentReport, FaultPolicy, FaultSettings, TraceSettings, WorkloadSpec,
+    ExperimentReport, FaultPolicy, FaultSettings, MetricsSettings, SloSpec, TraceSettings,
+    WorkloadSpec,
 };
 use serde::{Deserialize, Serialize};
 
@@ -62,6 +63,14 @@ pub struct Scenario {
     /// Tracing and telemetry policy (off by default).
     #[serde(default)]
     pub trace: TraceSettings,
+    /// Windowed metrics recorder policy (off by default).
+    #[serde(default)]
+    pub metrics: MetricsSettings,
+    /// Service-level objectives graded against the metrics windows by
+    /// [`mutsvc_workload::evaluate`]. Carried on the scenario so report
+    /// generators and the static analyzer see the same objectives.
+    #[serde(default)]
+    pub slo: Option<SloSpec>,
     /// Fault schedule, timeout and recovery policy (off by default).
     #[serde(default)]
     pub faults: FaultSettings,
@@ -92,6 +101,8 @@ impl Scenario {
             wan_one_way: None,
             rmi_extra_round_trip_prob: None,
             trace: TraceSettings::off(),
+            metrics: MetricsSettings::off(),
+            slo: None,
             faults: FaultSettings::off(),
             fault_case: None,
             parallel: None,
@@ -111,6 +122,8 @@ impl Scenario {
             wan_one_way: None,
             rmi_extra_round_trip_prob: None,
             trace: TraceSettings::off(),
+            metrics: MetricsSettings::off(),
+            slo: None,
             faults: FaultSettings::off(),
             fault_case: None,
             parallel: None,
@@ -138,6 +151,18 @@ impl Scenario {
     /// Sets the tracing/telemetry policy.
     pub fn with_trace(mut self, trace: TraceSettings) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Sets the windowed metrics recorder policy.
+    pub fn with_metrics(mut self, metrics: MetricsSettings) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Attaches service-level objectives to grade against the metrics windows.
+    pub fn with_slo(mut self, slo: SloSpec) -> Self {
+        self.slo = Some(slo);
         self
     }
 
@@ -222,6 +247,7 @@ impl Scenario {
             .with_duration(self.warmup, self.duration)
             .with_seed(self.seed)
             .with_trace(self.trace)
+            .with_metrics(self.metrics)
             .with_faults(faults);
 
         (

@@ -37,6 +37,7 @@ pub use configs::{
 pub use experiment::{fanout_input, multi_tier_input, run_sweep, AppKind, Scenario};
 pub use faultsuite::{EpisodeView, FaultCase};
 pub use invariants::{wan_invariant, WanInvariant};
+pub use mutsvc_workload::{MetricsSettings, SloSpec};
 pub use report::{
     figure_series, measured_mean, render_comparison, render_figure, render_percentiles,
     render_table, validate_shapes, FigureBar,

@@ -143,13 +143,12 @@ pub fn render_percentiles(app: AppKind, reports: &[ExperimentReport]) -> String 
             for (pattern, page) in columns {
                 let p95 = if remote {
                     // Pool the worse of the two edge groups (conservative).
-                    REMOTE_GROUPS
-                        .iter()
-                        .filter_map(|g| report.stats.series(g, pattern, page))
-                        .map(mutsvc_desim::Summary::p95)
-                        .fold(None, |acc: Option<f64>, v| {
-                            Some(acc.map_or(v, |a| a.max(v)))
-                        })
+                    mutsvc_desim::pooled_max(
+                        REMOTE_GROUPS
+                            .iter()
+                            .filter_map(|g| report.stats.series(g, pattern, page))
+                            .map(mutsvc_desim::Summary::p95),
+                    )
                 } else {
                     report
                         .stats

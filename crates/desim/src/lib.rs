@@ -7,7 +7,9 @@
 //! * a closure-based event [`sim`] scheduler with deterministic tie-breaking,
 //! * analytic multi-server FIFO [`resource`]s (CPUs, link serialization),
 //! * seeded, stream-splittable randomness ([`rng`]),
-//! * constant-memory streaming [`metrics`] (Welford, P² quantiles, histograms).
+//! * constant-memory streaming [`metrics`] (Welford, P² quantiles, histograms),
+//! * windowed time-series [`recorder`]s over exactly-mergeable log-bucketed
+//!   histograms.
 //!
 //! Higher layers (network, middleware, applications) are worlds `W` plugged
 //! into [`Simulation<W>`].
@@ -45,6 +47,7 @@
 
 pub mod fault;
 pub mod metrics;
+pub mod recorder;
 pub mod resource;
 pub mod rng;
 pub mod shard;
@@ -54,7 +57,10 @@ pub mod time;
 pub mod trace;
 
 pub use fault::{message_lost, FaultEvent, FaultKind, FaultSchedule, RandomFaults};
-pub use metrics::{Histogram, P2Quantile, Summary, Welford};
+pub use metrics::{
+    nearest_rank, pooled_max, weighted_mean, Histogram, P2Quantile, Summary, Welford,
+};
+pub use recorder::{CounterId, GaugeId, HistId, LogHistogram, Recorder, WindowRow};
 pub use resource::FifoResource;
 pub use rng::SimRng;
 pub use shard::{run_conservative, Outbox, ShardWorld};

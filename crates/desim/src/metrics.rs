@@ -11,6 +11,46 @@ use serde::{Deserialize, Serialize};
 
 use crate::time::SimDuration;
 
+/// The 1-based nearest rank for quantile `q` over `total` samples:
+/// `⌈q·total⌉` clamped into `[1, total]`, or 0 when the series is empty.
+///
+/// This is *the* quantile-rank rule of the workspace — the uniform and
+/// log-bucketed histograms, the P² warmup path, and the report/bench
+/// percentile tables all resolve ranks through it, so "p95" means the same
+/// sample everywhere.
+pub fn nearest_rank(total: u64, q: f64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total)
+}
+
+/// Count-weighted mean over `(mean, count)` parts; `None` when every part
+/// is empty. Pools per-group response-time means into a population mean
+/// without re-walking samples.
+pub fn weighted_mean(parts: impl IntoIterator<Item = (f64, u64)>) -> Option<f64> {
+    let mut total = 0.0;
+    let mut n = 0u64;
+    for (mean, count) in parts {
+        total += mean * count as f64;
+        n += count;
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(total / n as f64)
+    }
+}
+
+/// Maximum over the values, `None` when empty. The conservative way to pool
+/// a tail percentile across client groups: the population p95 is bounded by
+/// the worst per-group p95, and reports quote that bound.
+pub fn pooled_max(values: impl IntoIterator<Item = f64>) -> Option<f64> {
+    values.into_iter().fold(None, |acc: Option<f64>, v| {
+        Some(acc.map_or(v, |a| a.max(v)))
+    })
+}
+
 /// Welford's online algorithm for mean and variance.
 ///
 /// ```
@@ -269,7 +309,7 @@ impl P2Quantile {
         if self.count < 5 {
             let mut buf = self.warmup.clone();
             buf.sort_by(f64::total_cmp);
-            let rank = ((self.q * buf.len() as f64).ceil() as usize).clamp(1, buf.len());
+            let rank = nearest_rank(buf.len() as u64, self.q) as usize;
             return buf[rank - 1];
         }
         self.heights[2]
@@ -477,10 +517,10 @@ impl Histogram {
     /// (means of quantiles, JSON export) stays well-defined. It previously
     /// returned `f64::INFINITY`, which poisoned any aggregate it touched.
     pub fn quantile(&self, q: f64) -> f64 {
-        if self.total == 0 {
+        let target = nearest_rank(self.total, q);
+        if target == 0 {
             return 0.0;
         }
-        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
         let mut seen = 0;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
@@ -587,6 +627,33 @@ impl Summary {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn nearest_rank_is_clamped_and_ceiled() {
+        assert_eq!(nearest_rank(0, 0.5), 0);
+        assert_eq!(nearest_rank(10, 0.0), 1);
+        assert_eq!(nearest_rank(10, 1.0), 10);
+        assert_eq!(nearest_rank(10, 0.95), 10);
+        assert_eq!(nearest_rank(100, 0.95), 95);
+        assert_eq!(nearest_rank(3, 0.5), 2);
+        // Out-of-range quantiles clamp instead of indexing out of bounds.
+        assert_eq!(nearest_rank(10, -1.0), 1);
+        assert_eq!(nearest_rank(10, 2.0), 10);
+    }
+
+    #[test]
+    fn weighted_mean_pools_by_count() {
+        assert_eq!(weighted_mean([]), None);
+        assert_eq!(weighted_mean([(5.0, 0)]), None);
+        assert_eq!(weighted_mean([(10.0, 1), (20.0, 3)]), Some(17.5));
+        assert_eq!(weighted_mean([(4.0, 2), (0.0, 0)]), Some(4.0));
+    }
+
+    #[test]
+    fn pooled_max_is_none_when_empty() {
+        assert_eq!(pooled_max([]), None);
+        assert_eq!(pooled_max([3.0, 9.0, 1.0]), Some(9.0));
+    }
 
     #[test]
     fn welford_matches_two_pass() {

@@ -80,6 +80,14 @@ impl Network {
         self.latency_overrides[link.index()].unwrap_or(self.topology.link(link).latency)
     }
 
+    /// The effective round-trip propagation time of `link`: twice the
+    /// current one-way latency, including any degradation override. This is
+    /// the value the metrics recorder samples into per-link RTT gauges, so
+    /// windowed series show fault-injected latency changes as they happen.
+    pub fn link_round_trip(&self, link: LinkId) -> SimDuration {
+        self.link_latency(link) * 2
+    }
+
     /// Overrides the latency of one directed link (pass the base latency to
     /// restore). Models link degradation and routing changes mid-run.
     pub fn set_link_latency(&mut self, link: LinkId, latency: SimDuration) {

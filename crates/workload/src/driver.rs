@@ -31,6 +31,7 @@ use std::sync::Arc;
 use mutsvc_apps::{App, PageKey, SessionKind, SessionState};
 use mutsvc_desim::fault::FaultKind;
 use mutsvc_desim::metrics::Summary;
+use mutsvc_desim::recorder::{CounterId, GaugeId, HistId, Recorder};
 use mutsvc_desim::rng::{stream, SimRng};
 use mutsvc_desim::sim::{Context, Fire, Simulation};
 use mutsvc_desim::telemetry::{MetricId, TelemetryRegistry};
@@ -119,6 +120,44 @@ pub struct ExperimentReport {
     /// Committed request traces and telemetry snapshots (present iff the
     /// spec's [`crate::spec::TraceSettings`] enabled tracing).
     pub trace: Option<TraceData>,
+    /// Windowed metric series and engine self-profile (present iff the
+    /// spec's [`crate::spec::MetricsSettings`] armed the recorder).
+    pub metrics: Option<MetricsData>,
+}
+
+/// Windowed metric series of one run: the rolled [`Recorder`] plus the
+/// conservative-parallel engine's per-shard self-profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsData {
+    /// The rolled counter/gauge/histogram series.
+    pub recorder: Recorder,
+    /// Engine self-profile, one entry per shard in ascending shard order.
+    /// Empty for classic sequential runs.
+    pub shard_profiles: Vec<ShardProfile>,
+}
+
+/// Lookahead-window profile of one conservative-parallel shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardProfile {
+    /// Shard index (ascending region order).
+    pub shard: u32,
+    /// Lookahead windows the shard advanced through.
+    pub windows: u64,
+    /// Windows in which the shard fired no events: it was idle but still
+    /// paid the synchronization barrier.
+    pub stalled: u64,
+    /// Events the shard fired over the run.
+    pub events: u64,
+}
+
+impl ShardProfile {
+    /// Fraction of the shard's lookahead windows that did useful work.
+    pub fn utilization(&self) -> f64 {
+        if self.windows == 0 {
+            return 1.0;
+        }
+        1.0 - self.stalled as f64 / self.windows as f64
+    }
 }
 
 struct SessionSlot {
@@ -148,6 +187,9 @@ struct Inflight {
     /// The request's program, retained for retries. `None` when faults are
     /// off — the fault-free hot path never pays the extra `Arc`.
     program: Option<Arc<[Step]>>,
+    /// The page's response-time histogram (set only when `measured` and the
+    /// metrics recorder is armed).
+    hist: Option<HistId>,
 }
 
 /// Identity of a memoized plan: what the request looks like and where it
@@ -313,6 +355,12 @@ struct ShardCtx {
     notes: Vec<Vec<TableId>>,
 }
 
+/// Memo key of one request shape: (group index, pattern, page label).
+type SeriesKey = (u16, &'static str, &'static str);
+/// Memoized per-shape handles: the interned stats series pair plus the
+/// page's response-time histogram (`None` when metrics are off).
+type SeriesIds = (u32, u32, Option<HistId>);
+
 /// The simulation world.
 pub(crate) struct World {
     net: Network,
@@ -330,7 +378,10 @@ pub(crate) struct World {
     deferred_tables: Vec<TableId>,
     plans: PlanCache,
     stats: WorkloadStats,
-    series_memo: HashMap<(u16, &'static str, &'static str), (u32, u32)>,
+    /// Per-(group, pattern, page) series ids plus the page's response-time
+    /// histogram handle (`None` when metrics are off), resolved once and
+    /// replayed on every later request of the same shape.
+    series_memo: HashMap<SeriesKey, SeriesIds>,
     staleness_ms: Summary,
     bind_totals: BindStats,
     sessions: Vec<SessionSlot>,
@@ -352,6 +403,15 @@ pub(crate) struct World {
     /// Cross-shard note state; `None` on classic sequential runs, whose
     /// hot path then pays exactly one predictable branch per full bind.
     shard: Option<ShardCtx>,
+    /// Windowed metrics recorder state; `None` when the spec's
+    /// [`crate::spec::MetricsSettings`] are off — the `Ev::MetricsRoll`
+    /// event is then never scheduled.
+    metrics: Option<MetricsState>,
+    /// Per-event-kind self-profile counts, indexed by [`Ev::kind_index`].
+    /// Always incremented (one unconditional array add per event, cheaper
+    /// than a branch would be); [`MetricsState::flush_ev_counts`] moves the
+    /// totals into the recorder only when metrics are armed.
+    ev_counts: [u64; EV_KINDS],
 }
 
 impl World {
@@ -389,9 +449,10 @@ struct TelemetryIds {
     traces_dropped: MetricId,
     /// `(link, messages metric, bytes metric)` for every WAN leg.
     wan_links: Vec<(LinkId, MetricId, MetricId)>,
-    /// Fault-state gauges, registered only for fault runs so fault-off
-    /// telemetry snapshots stay byte-identical to the pre-fault stack.
+    /// Fault-state gauges (armed-only; see [`TelemetryArms`]).
     faults: Option<FaultGauges>,
+    /// Conservative-parallel self-profile gauges (armed-only).
+    shard: Option<ShardGauges>,
 }
 
 /// Gauges exposing the injected fault state and its request-level impact.
@@ -402,13 +463,33 @@ struct FaultGauges {
     retries: MetricId,
 }
 
+/// Gauges exposing a conservative-parallel shard replica's cross-shard
+/// note flow.
+struct ShardGauges {
+    outbound_pending: MetricId,
+    notes_received: MetricId,
+}
+
+/// Which optional telemetry gauge families a run arms.
+///
+/// The registration rule is uniform: a family's gauges exist in the
+/// registry iff its subsystem is active *this run*, so snapshots of runs
+/// without the subsystem stay byte-identical to a stack that never had it.
+/// Fault gauges arm with a non-empty fault schedule; shard self-profile
+/// gauges arm on conservative-parallel shard replicas.
+#[derive(Debug, Clone, Copy)]
+struct TelemetryArms {
+    faults: bool,
+    sharded: bool,
+}
+
 impl TelemetryIds {
     fn register(
         registry: &mut TelemetryRegistry,
         net: &Network,
         wan_threshold: SimDuration,
         every: SimDuration,
-        with_faults: bool,
+        arms: TelemetryArms,
     ) -> Self {
         let wan_links = net
             .topology()
@@ -439,12 +520,133 @@ impl TelemetryIds {
             traces_committed: registry.register("trace.committed"),
             traces_dropped: registry.register("trace.dropped"),
             wan_links,
-            faults: with_faults.then(|| FaultGauges {
+            faults: arms.faults.then(|| FaultGauges {
                 links_down: registry.register("fault.links_down"),
                 nodes_down: registry.register("fault.nodes_down"),
                 failed: registry.register("fault.requests_failed"),
                 retries: registry.register("fault.retries"),
             }),
+            shard: arms.sharded.then(|| ShardGauges {
+                outbound_pending: registry.register("shard.outbound_pending"),
+                notes_received: registry.register("shard.notes_received"),
+            }),
+        }
+    }
+}
+
+/// How many [`Ev`] kinds the engine self-profile distinguishes.
+const EV_KINDS: usize = 8;
+/// Self-profile counter names, indexed by [`Ev::kind_index`].
+const EV_KIND_NAMES: [&str; EV_KINDS] = [
+    "engine.ev.net",
+    "engine.ev.issue",
+    "engine.ev.done",
+    "engine.ev.snapshot",
+    "engine.ev.fault",
+    "engine.ev.retry",
+    "engine.ev.shard_note",
+    "engine.ev.metrics_roll",
+];
+
+/// Registered recorder handles plus the WAN traffic baselines the roll
+/// event differences against between windows.
+struct MetricsState {
+    window: SimDuration,
+    rec: Recorder,
+    /// Per-event-kind engine counters, indexed by [`Ev::kind_index`].
+    ev_kinds: [CounterId; EV_KINDS],
+    ok: CounterId,
+    failed: CounterId,
+    queue_near: GaugeId,
+    queue_far: GaugeId,
+    slab_free: GaugeId,
+    jobs_in_flight: GaugeId,
+    /// `(page label, histogram)` in the app's page-inventory order.
+    pages: Vec<(String, HistId)>,
+    /// Per-WAN-leg series (same leg set as the telemetry registry's).
+    wan: Vec<WanSeries>,
+}
+
+/// One WAN leg's windowed series: traffic counters record window deltas of
+/// the network's cumulative figures, the gauge samples the leg's current
+/// round trip (including degradation overrides).
+struct WanSeries {
+    link: LinkId,
+    msgs: CounterId,
+    bytes: CounterId,
+    rtt: GaugeId,
+    last_msgs: u64,
+    last_bytes: u64,
+}
+
+impl MetricsState {
+    fn register(net: &Network, app: &App, window: SimDuration, wan_threshold: SimDuration) -> Self {
+        let mut rec = Recorder::new(window);
+        let ev_kinds = EV_KIND_NAMES.map(|n| rec.counter(n));
+        let ok = rec.counter(crate::slo::OK_COUNTER);
+        let failed = rec.counter(crate::slo::FAILED_COUNTER);
+        let queue_near = rec.gauge("engine.queue.near_depth");
+        let queue_far = rec.gauge("engine.queue.far_depth");
+        let slab_free = rec.gauge("engine.queue.slab_free");
+        let jobs_in_flight = rec.gauge("engine.jobs.in_flight");
+        // One histogram per distinct page label, pooled across groups and
+        // patterns; the inventory order is a pure function of the app, so
+        // every shard registers the identical series set.
+        let mut pages: Vec<(String, HistId)> = Vec::new();
+        for page in app.all_pages() {
+            if pages.iter().any(|(l, _)| *l == page.page) {
+                continue;
+            }
+            let id = rec.histogram(&crate::slo::page_series(&page.page));
+            pages.push((page.page, id));
+        }
+        let wan = net
+            .topology()
+            .link_ids()
+            .filter(|&l| net.topology().link(l).latency >= wan_threshold)
+            .map(|l| {
+                let name = &net.topology().link(l).name;
+                WanSeries {
+                    link: l,
+                    msgs: rec.counter(&format!("wan.{name}.msgs")),
+                    bytes: rec.counter(&format!("wan.{name}.bytes")),
+                    rtt: rec.gauge(&format!("wan.{name}.rtt_ms")),
+                    last_msgs: 0,
+                    last_bytes: 0,
+                }
+            })
+            .collect();
+        MetricsState {
+            window,
+            rec,
+            ev_kinds,
+            ok,
+            failed,
+            queue_near,
+            queue_far,
+            slab_free,
+            jobs_in_flight,
+            pages,
+            wan,
+        }
+    }
+
+    fn page_hist(&self, label: &str) -> Option<HistId> {
+        self.pages
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, id)| *id)
+    }
+
+    /// Moves the world's hot-path event-count array into the recorder's
+    /// current window. Called at every roll and at drain, so no count is
+    /// lost when the horizon lands between rolls.
+    fn flush_ev_counts(&mut self, counts: &mut [u64; EV_KINDS]) {
+        for (i, count) in counts.iter_mut().enumerate() {
+            if *count > 0 {
+                self.rec.add(self.ev_kinds[i], *count);
+                *count = 0;
+            }
         }
     }
 }
@@ -472,6 +674,27 @@ pub(crate) enum Ev {
     /// shard's bind wrote. The payload index points into the shard
     /// context's note buffer, keeping the event itself `Copy`.
     ShardNote { idx: u32 },
+    /// Close the current metrics window (scheduled only when the spec's
+    /// [`crate::spec::MetricsSettings`] arm the recorder, so metrics-off
+    /// runs never see this variant).
+    MetricsRoll,
+}
+
+impl Ev {
+    /// Dense kind index for the engine self-profile counters
+    /// ([`EV_KIND_NAMES`]).
+    fn kind_index(&self) -> usize {
+        match self {
+            Ev::Net(_) => 0,
+            Ev::Issue { .. } => 1,
+            Ev::Done { .. } => 2,
+            Ev::Snapshot => 3,
+            Ev::Fault { .. } => 4,
+            Ev::Retry { .. } => 5,
+            Ev::ShardNote { .. } => 6,
+            Ev::MetricsRoll => 7,
+        }
+    }
 }
 
 impl From<NetEvent> for Ev {
@@ -482,6 +705,11 @@ impl From<NetEvent> for Ev {
 
 impl Fire<World> for Ev {
     fn fire(self, world: &mut World, ctx: &mut Context<'_, World, Ev>) {
+        // Engine self-profile: one unconditional, bounds-check-free array
+        // increment per event. Counting unconditionally is cheaper than
+        // branching on whether metrics are armed; the totals only reach the
+        // recorder at flush time when they are.
+        world.ev_counts[self.kind_index() & (EV_KINDS - 1)] += 1;
         match self {
             Ev::Net(NetEvent::Advance { job }) => advance_job(world, ctx, job),
             Ev::Issue { slot } => issue(world, ctx, slot as usize),
@@ -490,6 +718,7 @@ impl Fire<World> for Ev {
             Ev::Fault { idx } => apply_fault(world, ctx, idx),
             Ev::Retry { token } => retry_request(world, ctx, token),
             Ev::ShardNote { idx } => apply_shard_note(world, idx),
+            Ev::MetricsRoll => roll_metrics(world, ctx),
         }
     }
 }
@@ -610,6 +839,14 @@ fn complete_request(world: &mut World, ctx: &mut Context<'_, World, Ev>, token: 
             let response = now - inf.start;
             world.stats.record_ids(inf.series, inf.session, response);
             world.completed += 1;
+            if let Some(m) = &mut world.metrics {
+                m.rec.add(m.ok, 1);
+                if let Some(h) = inf.hist {
+                    m.rec.observe(h, response.as_millis_f64());
+                }
+            }
+        } else if let Some(m) = &mut world.metrics {
+            m.rec.add(m.failed, 1);
         }
     }
     if let Some(tc) = inf.trace {
@@ -650,6 +887,9 @@ fn request_attempt_failed(world: &mut World, ctx: &mut Context<'_, World, Ev>, t
         world.inflight_free.push(token);
         if inf.measured {
             world.stats.record_outcome_id(inf.group as u32, false);
+            if let Some(m) = &mut world.metrics {
+                m.rec.add(m.failed, 1);
+            }
         }
         if let Some(tc) = inf.trace {
             world.tracer.finish_request(tc, now);
@@ -807,11 +1047,52 @@ fn snapshot_telemetry(world: &mut World, ctx: &mut Context<'_, World, Ev>) {
         t.set(f.failed, outcome.failed as f64);
         t.set(f.retries, outcome.retries as f64);
     }
+    if let Some(s) = &ids.shard {
+        let shard = world.shard.as_ref().expect("shard gauges on sharded runs");
+        t.set(s.outbound_pending, shard.outbound.len() as f64);
+        t.set(s.notes_received, shard.notes.len() as f64);
+    }
     t.snapshot(ctx.now());
     if ctx.now() + ids.every <= world.spec.horizon() {
         ctx.schedule_event_in(ids.every, Ev::Snapshot);
     }
     world.telemetry_ids = Some(ids);
+}
+
+/// Samples the engine gauges, folds the WAN traffic deltas, and closes the
+/// current metrics window; re-arms the cadence event until the horizon. The
+/// recorder is pure observation — nothing here touches simulation state, so
+/// metrics-on runs replay metrics-off runs byte-for-byte.
+fn roll_metrics(world: &mut World, ctx: &mut Context<'_, World, Ev>) {
+    // Take the state out so the recorder and the rest of the world can be
+    // borrowed simultaneously.
+    let Some(mut m) = world.metrics.take() else {
+        return;
+    };
+
+    m.flush_ev_counts(&mut world.ev_counts);
+    let depths = ctx.queue_depths();
+    m.rec.set(m.queue_near, depths.near as f64);
+    m.rec.set(m.queue_far, depths.far as f64);
+    m.rec.set(m.slab_free, depths.slab_free as f64);
+    m.rec.set(m.jobs_in_flight, world.jobs.in_flight() as f64);
+    for w in &mut m.wan {
+        let (msgs, bytes) = world.net.link_traffic(w.link);
+        // `reset_stats` at the measured-window boundary moves the cumulative
+        // figures backwards; the saturating delta charges the window holding
+        // the reset only what it observed afterwards.
+        m.rec.add(w.msgs, msgs.saturating_sub(w.last_msgs));
+        m.rec.add(w.bytes, bytes.saturating_sub(w.last_bytes));
+        w.last_msgs = msgs;
+        w.last_bytes = bytes;
+        m.rec
+            .set(w.rtt, world.net.link_round_trip(w.link).as_millis_f64());
+    }
+    m.rec.roll();
+    if ctx.now() + m.window <= world.spec.horizon() {
+        ctx.schedule_event_in(m.window, Ev::MetricsRoll);
+    }
+    world.metrics = Some(m);
 }
 
 /// Issues the next request of session `slot_idx`, then re-schedules itself
@@ -860,28 +1141,31 @@ fn issue(world: &mut World, ctx: &mut Context<'_, World, Ev>, slot_idx: usize) {
         }
     }
 
-    let (series, session) = if measured {
+    let (series, session, hist) = if measured {
         if world.legacy {
             // Pre-overhaul stats path: clone the group name and re-resolve
             // the series through string lookups on every request.
             let name = world.spec.groups[slot_group].name.clone();
-            world.stats.intern(&name, pattern, label)
+            let (series, session) = world.stats.intern(&name, pattern, label);
+            let hist = world.metrics.as_ref().and_then(|m| m.page_hist(label));
+            (series, session, hist)
         } else {
             let memo_key = (slot_group as u16, pattern, label);
             match world.series_memo.get(&memo_key) {
                 Some(&ids) => ids,
                 None => {
-                    let ids =
+                    let (series, session) =
                         world
                             .stats
                             .intern(&world.spec.groups[slot_group].name, pattern, label);
-                    world.series_memo.insert(memo_key, ids);
-                    ids
+                    let hist = world.metrics.as_ref().and_then(|m| m.page_hist(label));
+                    world.series_memo.insert(memo_key, (series, session, hist));
+                    (series, session, hist)
                 }
             }
         }
     } else {
-        (0, 0)
+        (0, 0, None)
     };
     // One branch on the disabled path: `start_request` is only reached when
     // the run's tracer is on; it then applies head sampling itself.
@@ -918,6 +1202,7 @@ fn issue(world: &mut World, ctx: &mut Context<'_, World, Ev>, slot_idx: usize) {
             attempt: 0,
             replayable: false,
             program: None,
+            hist,
         },
     );
 
@@ -1203,12 +1488,24 @@ pub(crate) fn build_sim(input: ExperimentInput, shard: Option<ShardPlan>) -> Sim
             &net,
             SimDuration::from_millis(20),
             spec.trace.telemetry_every,
-            faults_active,
+            TelemetryArms {
+                faults: faults_active,
+                sharded: shard.is_some(),
+            },
         ))
     } else {
         None
     };
     let telemetry_every = telemetry_ids.as_ref().map(|ids| ids.every);
+    let metrics = spec.metrics.active().then(|| {
+        MetricsState::register(
+            &net,
+            &app,
+            spec.metrics.window,
+            SimDuration::from_millis(20),
+        )
+    });
+    let metrics_window = metrics.as_ref().map(|m| m.window);
     // Pre-intern each group's outcome slot so its id equals its index.
     let mut stats = WorkloadStats::new();
     for g in &spec.groups {
@@ -1251,6 +1548,8 @@ pub(crate) fn build_sim(input: ExperimentInput, shard: Option<ShardPlan>) -> Sim
             outbound: Vec::new(),
             notes: Vec::new(),
         }),
+        metrics,
+        ev_counts: [0; EV_KINDS],
     };
 
     let mut sim: Simulation<World, Ev> = Simulation::with_events(world);
@@ -1267,6 +1566,10 @@ pub(crate) fn build_sim(input: ExperimentInput, shard: Option<ShardPlan>) -> Sim
     // Arm the telemetry cadence (typed event; never scheduled when off).
     if let Some(every) = telemetry_every {
         sim.schedule_event_at(SimTime::ZERO + every, Ev::Snapshot);
+    }
+    // Arm the metrics roll cadence (same rule: typed, never when off).
+    if let Some(window) = metrics_window {
+        sim.schedule_event_at(SimTime::ZERO + window, Ev::MetricsRoll);
     }
     // Failure injection. Perturbations change link timing, so every memoized
     // plan (whose steps carry admission-time assumptions) is dropped.
@@ -1340,6 +1643,14 @@ pub(crate) fn drain_report(sim: Simulation<World, Ev>) -> ExperimentReport {
         None
     };
 
+    let metrics = world.metrics.take().map(|mut m| {
+        m.flush_ev_counts(&mut world.ev_counts);
+        MetricsData {
+            recorder: m.rec,
+            shard_profiles: Vec::new(),
+        }
+    });
+
     ExperimentReport {
         config,
         stats: world.stats,
@@ -1357,6 +1668,7 @@ pub(crate) fn drain_report(sim: Simulation<World, Ev>) -> ExperimentReport {
         },
         shard_events: Vec::new(),
         trace,
+        metrics,
     }
 }
 
@@ -2047,5 +2359,205 @@ mod tests {
             ta.telemetry_names.iter().any(|x| x == "fault.nodes_down"),
             "fault gauges registered on fault runs"
         );
+    }
+
+    /// Satellite: the armed-only registration rule, pinned per
+    /// configuration — each optional gauge family appears iff its
+    /// subsystem is active, and never otherwise.
+    #[test]
+    fn telemetry_registry_contents_follow_the_armed_subsystems() {
+        use crate::spec::TraceSettings;
+        let families = |names: &[String]| {
+            (
+                names.iter().any(|n| n.starts_with("fault.")),
+                names.iter().any(|n| n.starts_with("shard.")),
+            )
+        };
+
+        // Plain traced run: neither optional family.
+        let mut input = small_input(57);
+        input.spec = input.spec.with_trace(TraceSettings::full());
+        let plain = run_experiment(input);
+        let names = plain.trace.unwrap().telemetry_names;
+        assert_eq!(families(&names), (false, false), "{names:?}");
+
+        // Fault-armed run: exactly the fault family joins.
+        let mut input = small_input(57);
+        let schedule = wan_partition(&input, 60, 70);
+        input.spec = input
+            .spec
+            .with_trace(TraceSettings::full())
+            .with_faults(FaultSettings {
+                schedule,
+                timeout: sec(2),
+                policy: FaultPolicy::none(),
+            });
+        let faulted = run_experiment(input);
+        let names = faulted.trace.unwrap().telemetry_names;
+        assert_eq!(families(&names), (true, false), "{names:?}");
+
+        // Conservative-parallel shard replica: exactly the shard family.
+        let mut input = small_input(57);
+        input.spec = input.spec.with_trace(TraceSettings::full());
+        let horizon = input.spec.horizon();
+        let mut sim = build_sim(
+            input,
+            Some(ShardPlan {
+                index: 0,
+                members: vec![true, true],
+            }),
+        );
+        sim.run_until(horizon);
+        let sharded = drain_report(sim);
+        let names = sharded.trace.unwrap().telemetry_names;
+        assert_eq!(families(&names), (false, true), "{names:?}");
+        assert!(names.iter().any(|n| n == "shard.outbound_pending"));
+        assert!(names.iter().any(|n| n == "shard.notes_received"));
+    }
+
+    // ---- windowed metrics --------------------------------------------------
+
+    use crate::spec::MetricsSettings;
+
+    #[test]
+    fn metrics_do_not_perturb_the_simulation() {
+        use crate::spec::TraceSettings;
+        use crate::trace_report::jsonl;
+        let run = |metrics: bool| {
+            let mut input = small_input(58);
+            input.spec = input.spec.with_trace(TraceSettings::full());
+            if metrics {
+                input.spec = input
+                    .spec
+                    .with_metrics(MetricsSettings::windowed(SimDuration::from_secs(5)));
+            }
+            run_experiment(input)
+        };
+        let off = run(false);
+        let on = run(true);
+        assert!(off.metrics.is_none());
+        assert!(on.metrics.is_some());
+        assert_eq!(off.stats, on.stats);
+        assert_eq!(off.completed, on.completed);
+        assert_eq!(off.bind_totals, on.bind_totals);
+        assert_eq!(off.staleness_ms, on.staleness_ms);
+        let (to, tn) = (off.trace.unwrap(), on.trace.unwrap());
+        assert_eq!(jsonl(&to), jsonl(&tn), "span logs byte-identical");
+        assert_eq!(to.telemetry_names, tn.telemetry_names);
+        // Telemetry values match everywhere except the engine queue
+        // occupancy gauges, which see the recorder's own pending roll event
+        // in the queue — the observer observing itself, off by at most the
+        // one cadence event. Every simulation-facing series is identical.
+        for (a, b) in to.telemetry.iter().zip(&tn.telemetry) {
+            assert_eq!(a.at, b.at);
+            for ((x, y), name) in a.values.iter().zip(&b.values).zip(&to.telemetry_names) {
+                if name.starts_with("queue.") {
+                    assert!((x - y).abs() <= 1.0, "{name}: {x} vs {y}");
+                } else {
+                    assert_eq!(x, y, "{name}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_runs_are_identical_per_seed() {
+        let run = || {
+            let mut input = small_input(61);
+            input.spec = input
+                .spec
+                .with_metrics(MetricsSettings::windowed(SimDuration::from_secs(5)));
+            run_experiment(input)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn metrics_windows_cover_the_run_and_count_every_request() {
+        let mut input = small_input(59);
+        input.spec = input
+            .spec
+            .with_metrics(MetricsSettings::windowed(SimDuration::from_secs(5)));
+        let report = run_experiment(input);
+        let m = report.metrics.expect("metrics armed");
+        let rec = &m.recorder;
+        assert!(m.shard_profiles.is_empty(), "sequential run");
+        // 150 s horizon at a 5 s window: 30 complete windows.
+        assert_eq!(rec.rows().len(), 30);
+        // Every completed measured request lands in requests.ok…
+        let ok = rec.counter_index("requests.ok").unwrap();
+        let total_ok: u64 = rec.rows().iter().map(|r| r.counters[ok]).sum();
+        assert_eq!(total_ok, report.completed);
+        // …and in exactly one page histogram.
+        let hist_total: u64 = rec
+            .rows()
+            .iter()
+            .flat_map(|r| r.hists.iter())
+            .map(|h| h.total())
+            .sum();
+        assert_eq!(hist_total, report.completed);
+        // The engine self-profile saw at least one Done per completion and
+        // exactly one roll per window.
+        let done = rec.counter_index("engine.ev.done").unwrap();
+        let dones: u64 = rec.rows().iter().map(|r| r.counters[done]).sum();
+        assert!(dones >= report.completed, "{dones}");
+        let rolls = rec.counter_index("engine.ev.metrics_roll").unwrap();
+        for row in rec.rows() {
+            assert_eq!(row.counters[rolls], 1, "window {}", row.index);
+        }
+        // WAN series carried traffic, and the RTT gauge reads the leg's
+        // round trip (100 ms each way, no degradation).
+        let msgs = rec.counter_index("wan.edge1->router.msgs").unwrap();
+        let wan_msgs: u64 = rec.rows().iter().map(|r| r.counters[msgs]).sum();
+        assert!(wan_msgs > 0);
+        let rtt = rec.gauge_index("wan.edge1->router.rtt_ms").unwrap();
+        assert_eq!(rec.rows().last().unwrap().gauges[rtt], 200.0);
+    }
+
+    /// The tentpole end-to-end: a PR 5 fault episode drives the SLO burn
+    /// rate over threshold, the engine stamps breach and recovery windows,
+    /// and the final verdict reflects the outage.
+    #[test]
+    fn slo_burn_rate_flags_a_wan_partition_and_recovers() {
+        use crate::slo::{evaluate, SloEventKind, SloSpec};
+        let mut input = small_input(60);
+        let schedule = wan_partition(&input, 60, 100);
+        input.spec = input
+            .spec
+            .with_metrics(MetricsSettings::windowed(SimDuration::from_secs(10)))
+            .with_faults(FaultSettings {
+                schedule,
+                timeout: sec(2),
+                policy: FaultPolicy::none(),
+            });
+        let report = run_experiment(input);
+        let m = report.metrics.unwrap();
+
+        let slo = SloSpec::new().with_availability(0.999);
+        let out = evaluate(&slo, &m.recorder);
+        let v = &out.verdicts[0];
+        assert!(!v.met, "a 40 s partition must blow 99.9% availability");
+        assert!(v.max_burn > 1.0, "max burn {}", v.max_burn);
+        let breach = out
+            .events
+            .iter()
+            .find(|e| e.kind == SloEventKind::Breach)
+            .expect("breach event");
+        let recovery = out
+            .events
+            .iter()
+            .find(|e| e.kind == SloEventKind::Recovery)
+            .expect("recovery event");
+        assert_eq!(breach.window, 6, "partition starts at 60 s");
+        assert!(recovery.window > breach.window);
+        assert!(recovery.window <= 12, "heals at 100 s: {}", recovery.window);
+
+        // A latency objective the healthy pages meet easily stays clean.
+        let generous = SloSpec::new().page("Item", 10_000.0, 0.5);
+        let clean = evaluate(&generous, &m.recorder);
+        assert!(clean.all_met());
+        assert!(clean.events.is_empty());
     }
 }

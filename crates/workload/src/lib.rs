@@ -16,21 +16,30 @@
 //! [`parallel::run_experiment_parallel`] runs the same experiment sharded
 //! by client region under conservative synchronization (DESIGN.md §6.5),
 //! byte-identical at every thread count.
+//!
+//! With [`spec::MetricsSettings`] armed, a run additionally rolls a
+//! windowed metrics [`recorder`](mutsvc_desim::recorder) — per-page
+//! response-time histograms, request outcome counters, per-WAN-link
+//! traffic, and engine self-profile series — which [`slo::evaluate`]
+//! grades against an [`slo::SloSpec`] via window burn rates (DESIGN.md
+//! §6.7).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod driver;
 pub mod parallel;
+pub mod slo;
 pub mod spec;
 pub mod stats;
 pub mod trace_report;
 
-pub use driver::{run_experiment, ExperimentInput, ExperimentReport};
+pub use driver::{run_experiment, ExperimentInput, ExperimentReport, MetricsData, ShardProfile};
 pub use parallel::run_experiment_parallel;
+pub use slo::{evaluate, SloEvent, SloEventKind, SloObjective, SloReport, SloSpec, SloVerdict};
 pub use spec::{
-    paper_groups, ClientGroup, FaultPolicy, FaultSettings, NetAction, Perturbation, TraceSettings,
-    WorkloadSpec,
+    paper_groups, ClientGroup, FaultPolicy, FaultSettings, MetricsSettings, NetAction,
+    Perturbation, TraceSettings, WorkloadSpec,
 };
 pub use stats::{GroupOutcome, SeriesKey, WorkloadStats};
 pub use trace_report::{chrome_trace_json, jsonl, page_breakdown, PageTraceRow, TraceData};

@@ -44,7 +44,7 @@ use mutsvc_netsim::NodeId;
 use mutsvc_relstore::TableId;
 
 use crate::driver::{
-    build_sim, drain_report, Ev, ExperimentInput, ExperimentReport, ShardPlan, World,
+    build_sim, drain_report, Ev, ExperimentInput, ExperimentReport, ShardPlan, ShardProfile, World,
 };
 
 /// One shard of a conservative-parallel run: a full driver simulation over
@@ -56,6 +56,10 @@ struct ExperimentShard {
     /// latency between region representatives; `>=` the engine lookahead,
     /// since every inter-region path crosses a WAN leg).
     delays: Vec<SimDuration>,
+    /// Lookahead windows advanced through (self-profile).
+    windows: u64,
+    /// Windows that fired no events (self-profile).
+    stalled: u64,
 }
 
 impl ShardWorld for ExperimentShard {
@@ -68,10 +72,15 @@ impl ShardWorld for ExperimentShard {
     }
 
     fn advance(&mut self, upto: SimTime, closing: bool, outbox: &mut Outbox<Vec<TableId>>) {
+        let fired_before = self.sim.events_fired();
         if closing {
             self.sim.run_until(upto);
         } else {
             self.sim.run_before(upto);
+        }
+        self.windows += 1;
+        if self.sim.events_fired() == fired_before {
+            self.stalled += 1;
         }
         for (at, tables) in self.sim.world_mut().shard_take_outbound() {
             for (dest, &delay) in self.delays.iter().enumerate() {
@@ -83,7 +92,17 @@ impl ShardWorld for ExperimentShard {
     }
 
     fn finish(self) -> ExperimentReport {
-        drain_report(self.sim)
+        let (index, windows, stalled) = (self.index, self.windows, self.stalled);
+        let mut report = drain_report(self.sim);
+        if let Some(m) = &mut report.metrics {
+            m.shard_profiles.push(ShardProfile {
+                shard: index as u32,
+                windows,
+                stalled,
+                events: report.events_fired,
+            });
+        }
+        report
     }
 }
 
@@ -196,6 +215,8 @@ pub fn run_experiment_parallel(input: ExperimentInput, threads: usize) -> Experi
             ),
             index,
             delays: delays[index].clone(),
+            windows: 0,
+            stalled: 0,
         }
     });
     merge_reports(reports)
@@ -203,9 +224,9 @@ pub fn run_experiment_parallel(input: ExperimentInput, threads: usize) -> Experi
 
 /// Reduces per-shard reports into one, in ascending shard order: summaries
 /// and outcomes merge by key, counters sum, traces concatenate, telemetry
-/// snapshots sum pointwise. Gauge-style telemetry series (queue depths,
-/// fault link counts) therefore read as *sums over shard replicas* in a
-/// merged report.
+/// snapshots and metrics windows sum pointwise, shard self-profiles
+/// concatenate. Gauge-style series (queue depths, fault link counts)
+/// therefore read as *sums over shard replicas* in a merged report.
 fn merge_reports(reports: Vec<ExperimentReport>) -> ExperimentReport {
     let shard_events: Vec<u64> = reports.iter().map(|r| r.events_fired).collect();
     let mut iter = reports.into_iter();
@@ -240,6 +261,14 @@ fn merge_reports(reports: Vec<ExperimentReport>) -> ExperimentReport {
             }
             (None, None) => {}
             _ => unreachable!("every shard runs the same trace settings"),
+        }
+        match (&mut total.metrics, r.metrics) {
+            (Some(a), Some(b)) => {
+                a.recorder.merge(&b.recorder);
+                a.shard_profiles.extend(b.shard_profiles);
+            }
+            (None, None) => {}
+            _ => unreachable!("every shard runs the same metrics settings"),
         }
     }
     total.shard_events = shard_events;
@@ -399,6 +428,36 @@ mod tests {
         let report = run_experiment_parallel(input, 8);
         assert_eq!(report.shard_events.len(), 1);
         assert!(report.completed > 300, "completed {}", report.completed);
+    }
+
+    #[test]
+    fn metrics_merge_identically_at_any_thread_count() {
+        use crate::spec::MetricsSettings;
+        let run = |threads| {
+            let mut input = three_region_input(77);
+            input.spec = input
+                .spec
+                .with_metrics(MetricsSettings::windowed(SimDuration::from_secs(5)));
+            run_experiment_parallel(input, threads)
+        };
+        let one = run(1);
+        let m1 = one.metrics.as_ref().expect("metrics armed");
+        assert_eq!(m1.shard_profiles.len(), 3, "one profile per shard");
+        for p in &m1.shard_profiles {
+            assert!(p.windows > 0, "{p:?}");
+            assert!(p.events > 1_000, "{p:?}");
+            assert!((0.0..=1.0).contains(&p.utilization()), "{p:?}");
+        }
+        // 70 s horizon at a 5 s window: 14 complete windows per shard,
+        // merged pointwise.
+        assert_eq!(m1.recorder.rows().len(), 14);
+        let ok = m1.recorder.counter_index("requests.ok").unwrap();
+        let total_ok: u64 = m1.recorder.rows().iter().map(|r| r.counters[ok]).sum();
+        assert_eq!(total_ok, one.completed);
+        for threads in [2, 8] {
+            let r = run(threads);
+            assert_eq!(one.metrics, r.metrics, "at {threads} threads");
+        }
     }
 
     #[test]

@@ -75,6 +75,49 @@ impl Default for TraceSettings {
     }
 }
 
+/// Windowed metrics policy for one run. Fully disabled by default: the
+/// driver then never builds a [`mutsvc_desim::Recorder`], never schedules
+/// the roll-cadence event, and each instrumentation site costs a single
+/// branch — the same zero-cost-when-off contract as [`TraceSettings`],
+/// pinned by the metrics-on/off parity test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSettings {
+    /// Master switch for the windowed recorder.
+    pub enabled: bool,
+    /// Window width series roll at (window `k` covers `[k·w, (k+1)·w)`
+    /// of sim time). Ignored unless `enabled`.
+    pub window: SimDuration,
+}
+
+impl MetricsSettings {
+    /// Metrics off (the default).
+    pub fn off() -> Self {
+        MetricsSettings {
+            enabled: false,
+            window: SimDuration::ZERO,
+        }
+    }
+
+    /// Roll windows every `window` of sim time.
+    pub fn windowed(window: SimDuration) -> Self {
+        MetricsSettings {
+            enabled: true,
+            window,
+        }
+    }
+
+    /// Whether the windowed recorder is armed.
+    pub fn active(&self) -> bool {
+        self.enabled && !self.window.is_zero()
+    }
+}
+
+impl Default for MetricsSettings {
+    fn default() -> Self {
+        MetricsSettings::off()
+    }
+}
+
 /// How the client/container stack reacts to injected faults.
 ///
 /// All knobs are deterministic: backoff is computed from the attempt count
@@ -261,6 +304,9 @@ pub struct WorkloadSpec {
     /// default; see [`FaultSettings`]).
     #[serde(default)]
     pub faults: FaultSettings,
+    /// Windowed metrics policy (off by default; see [`MetricsSettings`]).
+    #[serde(default)]
+    pub metrics: MetricsSettings,
 }
 
 fn default_bind_cache() -> bool {
@@ -281,12 +327,19 @@ impl WorkloadSpec {
             legacy_baseline: false,
             trace: TraceSettings::off(),
             faults: FaultSettings::off(),
+            metrics: MetricsSettings::off(),
         }
     }
 
     /// Sets the tracing/telemetry policy.
     pub fn with_trace(mut self, trace: TraceSettings) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Sets the windowed metrics policy.
+    pub fn with_metrics(mut self, metrics: MetricsSettings) -> Self {
+        self.metrics = metrics;
         self
     }
 

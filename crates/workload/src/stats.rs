@@ -264,19 +264,12 @@ impl WorkloadStats {
     /// Mean response time of a page aggregated over several groups (e.g. the
     /// paper's single "remote" column covering both edge client groups).
     pub fn mean_ms_over_groups(&self, groups: &[&str], pattern: &str, page: &str) -> Option<f64> {
-        let mut total = 0.0;
-        let mut n = 0u64;
-        for g in groups {
-            if let Some(s) = self.series(g, pattern, page) {
-                total += s.mean() * s.count() as f64;
-                n += s.count();
-            }
-        }
-        if n == 0 {
-            None
-        } else {
-            Some(total / n as f64)
-        }
+        mutsvc_desim::metrics::weighted_mean(
+            groups
+                .iter()
+                .filter_map(|g| self.series(g, pattern, page))
+                .map(|s| (s.mean(), s.count())),
+        )
     }
 
     /// The session-average summary of a (group, pattern) — Figures 7/8 bars.
@@ -288,19 +281,12 @@ impl WorkloadStats {
 
     /// Session-average response time over several groups.
     pub fn session_mean_over_groups(&self, groups: &[&str], pattern: &str) -> Option<f64> {
-        let mut total = 0.0;
-        let mut n = 0u64;
-        for g in groups {
-            if let Some(s) = self.session_summary(g, pattern) {
-                total += s.mean() * s.count() as f64;
-                n += s.count();
-            }
-        }
-        if n == 0 {
-            None
-        } else {
-            Some(total / n as f64)
-        }
+        mutsvc_desim::metrics::weighted_mean(
+            groups
+                .iter()
+                .filter_map(|g| self.session_summary(g, pattern))
+                .map(|s| (s.mean(), s.count())),
+        )
     }
 
     /// Iterates every series, sorted by key.
