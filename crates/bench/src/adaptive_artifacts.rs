@@ -1,0 +1,549 @@
+//! Adaptation-suite artifacts: `BENCH_adaptive.json` and the controller
+//! on/off tables.
+//!
+//! `repro-report --adaptive` runs the four adaptation episodes
+//! ([`AdaptiveEpisode`]: quiescent, flash-crowd, link-degradation,
+//! diurnal-shift) on the paper topology, each twice — once with the
+//! closed-loop live-migration controller armed (`on`) and once frozen at
+//! the deployment-time placement (`off`) — and reports the stressed
+//! group's session time, every group's request outcomes, the SLO verdicts,
+//! the controller's cost trajectory and its committed migrations per cell.
+//!
+//! The headline results are structural and enforced by
+//! [`validate_adaptive_json`]: the quiescent control commits **zero**
+//! migrations (the drift floor holds against telemetry noise), while
+//! link-degradation commits at least one (the controller re-homes the
+//! session tier when the stressed corridor slows down). Episodes script
+//! drift, not outages, so the on/off delta is attributable to adaptation
+//! alone. Schedules and controller rounds are deterministic: a same-seed
+//! suite run renders `BENCH_adaptive.json` byte-identically.
+
+use crate::fault_artifacts::{after_each, fmt2, fmt4, outcome_json};
+use crate::metrics_artifacts::default_slo;
+use mutsvc_core::{adaptive_episode_input, AdaptiveEpisode, AppKind};
+use mutsvc_desim::time::SimDuration;
+use mutsvc_workload::{
+    evaluate, run_experiment, AdaptiveSettings, ExperimentReport, MoveKind, SloReport,
+};
+
+/// The client group every episode stresses (`EpisodeTargets::group1`).
+pub const STRESSED_GROUP: &str = "remote1";
+
+/// Controller round cadence the suite arms — two telemetry windows per
+/// round at the 5 s recorder window [`adaptive_episode_input`] wires.
+pub fn suite_cadence() -> SimDuration {
+    SimDuration::from_secs(10)
+}
+
+/// Suite windows (warm-up, measured duration). Episode onset lands one
+/// quarter into the measured window and heals at three quarters either
+/// way; smoke compresses the wall clock for CI's schema-validation gate
+/// while still leaving four controller rounds inside the episode.
+pub fn suite_windows(quick: bool, smoke: bool) -> (SimDuration, SimDuration) {
+    if smoke {
+        (SimDuration::from_secs(10), SimDuration::from_secs(80))
+    } else if quick {
+        (SimDuration::from_secs(90), SimDuration::from_secs(300))
+    } else {
+        (SimDuration::from_secs(120), SimDuration::from_secs(600))
+    }
+}
+
+/// The two controller arms every episode runs under.
+pub fn suite_arms() -> [(&'static str, AdaptiveSettings); 2] {
+    [
+        ("on", AdaptiveSettings::every(suite_cadence())),
+        ("off", AdaptiveSettings::off()),
+    ]
+}
+
+/// One adaptation-suite cell: an episode run under one controller arm.
+pub struct AdaptiveCell {
+    /// The scripted episode.
+    pub episode: AdaptiveEpisode,
+    /// Controller-arm name (`"on"` or `"off"`).
+    pub arm: &'static str,
+    /// Measured window (the goodput denominator).
+    pub window: SimDuration,
+    /// The finished run.
+    pub report: ExperimentReport,
+    /// The run graded against the default SLO spec.
+    pub slo: SloReport,
+}
+
+impl AdaptiveCell {
+    /// The stressed group's mean Browser session time, if it completed any.
+    pub fn stressed_session_ms(&self) -> Option<f64> {
+        self.report
+            .stats
+            .session_mean_over_groups(&[STRESSED_GROUP], "Browser")
+    }
+
+    /// The stressed group's availability (1 when nothing was measured).
+    pub fn stressed_availability(&self) -> f64 {
+        self.report
+            .stats
+            .outcome(STRESSED_GROUP)
+            .map_or(1.0, mutsvc_workload::GroupOutcome::availability)
+    }
+
+    /// Migrations the controller committed (0 for the frozen arm).
+    pub fn migration_count(&self) -> usize {
+        self.report
+            .adaptive
+            .as_ref()
+            .map_or(0, |d| d.migrations.len())
+    }
+}
+
+/// Runs the full adaptation suite for one application — every episode ×
+/// controller arm on the paper topology — in parallel. Cells are ordered
+/// episode-major, then arm (`on` before `off`), the order
+/// [`render_adaptive_json`] emits.
+pub fn run_adaptive_suite(app: AppKind, quick: bool, smoke: bool, seed: u64) -> Vec<AdaptiveCell> {
+    let (warmup, duration) = suite_windows(quick, smoke);
+    let slo_spec = default_slo(app);
+    let mut meta = Vec::new();
+    let mut inputs = Vec::new();
+    for episode in AdaptiveEpisode::all() {
+        for (arm, controller) in suite_arms() {
+            meta.push((episode, arm));
+            inputs.push(adaptive_episode_input(
+                app, episode, None, controller, warmup, duration, seed,
+            ));
+        }
+    }
+    let reports: Vec<ExperimentReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .into_iter()
+            .zip(&meta)
+            .map(|(input, &(episode, arm))| {
+                let name = format!("adaptive-{}-{arm}", episode.name());
+                let handle = std::thread::Builder::new()
+                    .name(name.clone())
+                    .spawn_scoped(scope, move || run_experiment(input))
+                    .unwrap_or_else(|e| panic!("failed to spawn {name}: {e}"));
+                (name, handle)
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|(name, handle)| {
+                handle
+                    .join()
+                    .unwrap_or_else(|_| panic!("adaptive cell {name} panicked"))
+            })
+            .collect()
+    });
+    meta.into_iter()
+        .zip(reports)
+        .map(|((episode, arm), report)| {
+            let recorder = &report
+                .metrics
+                .as_ref()
+                .expect("the adaptation suite arms the windowed recorder")
+                .recorder;
+            let slo = evaluate(&slo_spec, recorder);
+            AdaptiveCell {
+                episode,
+                arm,
+                window: duration,
+                report,
+                slo,
+            }
+        })
+        .collect()
+}
+
+fn move_kind_name(kind: MoveKind) -> &'static str {
+    match kind {
+        MoveKind::Primary => "primary",
+        MoveKind::Replica => "replica",
+    }
+}
+
+/// Renders one arm cell of `BENCH_adaptive.json` — the migration schedule,
+/// cost trajectory, per-group outcomes and SLO verdicts of a single run.
+/// Public so the thread-invariance suite can pin the rendered bytes.
+pub fn adaptive_cell_json(cell: &AdaptiveCell) -> String {
+    // `"arm":"..","migration_count":N` stays adjacent: the validator keys
+    // its physics checks (quiescent-zero, degradation-nonzero) on the pair.
+    let mut out = format!(
+        "{{\"arm\":\"{}\",\"migration_count\":{},\"completed\":{},\"stressed\":{{\
+         \"group\":\"{STRESSED_GROUP}\",\"session_mean_ms\":{},\"availability\":{}}}",
+        cell.arm,
+        cell.migration_count(),
+        cell.report.completed,
+        fmt2(cell.stressed_session_ms().unwrap_or(f64::NAN)),
+        fmt4(cell.stressed_availability()),
+    );
+    out.push_str(",\"migrations\":[");
+    if let Some(data) = &cell.report.adaptive {
+        for (i, m) in data.migrations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"at_ms\":{},\"component\":\"{}\",\"kind\":\"{}\",\"from\":\"{}\",\
+                 \"to\":\"{}\",\"modeled_gain_ms_per_s\":{}}}",
+                fmt2(m.decided_at.as_millis_f64()),
+                m.component,
+                move_kind_name(m.kind),
+                m.from,
+                m.to,
+                fmt2(m.modeled_gain),
+            ));
+        }
+    }
+    out.push_str("],\"rounds\":[");
+    if let Some(data) = &cell.report.adaptive {
+        for (i, r) in data.rounds.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"at_ms\":{},\"windows\":{},\"cost_before\":{},\"cost_after\":{},\
+                 \"observed_p50_ms\":{},\"moves\":{}}}",
+                fmt2(r.at.as_millis_f64()),
+                r.windows,
+                fmt2(r.cost_before),
+                fmt2(r.cost_after),
+                fmt2(r.observed_p50_ms),
+                r.moves,
+            ));
+        }
+    }
+    out.push_str("],\"groups\":[");
+    for (i, (group, outcome)) in cell.report.stats.outcomes().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"group\":\"{group}\",\"outcome\":{}}}",
+            outcome_json(outcome, cell.window)
+        ));
+    }
+    out.push_str(&format!(
+        "],\"slo\":{{\"all_met\":{},\"verdicts\":[",
+        cell.slo.all_met()
+    ));
+    for (i, v) in cell.slo.verdicts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"objective\":\"{}\",\"target\":{},\"attained\":{},\"met\":{}}}",
+            v.objective,
+            fmt4(v.target),
+            fmt4(v.attained),
+            v.met,
+        ));
+    }
+    out.push_str("]}}");
+    out
+}
+
+/// Renders `BENCH_adaptive.json`: per app × episode, both controller arms
+/// (migration schedule, cost trajectory, per-group outcomes, SLO verdicts)
+/// plus the stressed group's on-minus-off delta.
+pub fn render_adaptive_json(
+    sweeps: &[(AppKind, Vec<AdaptiveCell>)],
+    seed: u64,
+    mode: &str,
+) -> String {
+    let mut out = format!(
+        "{{\"suite\":\"adaptive\",\"mode\":\"{mode}\",\"seed\":{seed},\"cadence_s\":{},\
+         \"stressed_group\":\"{STRESSED_GROUP}\",\"apps\":[",
+        suite_cadence().as_secs_f64() as u64,
+    );
+    for (ai, (app, cells)) in sweeps.iter().enumerate() {
+        if ai > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n{{\"app\":\"{}\",\"episodes\":[", app.name()));
+        for (ei, episode) in AdaptiveEpisode::all().into_iter().enumerate() {
+            if ei > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n{{\"episode\":\"{}\",\"arms\":[",
+                episode.name()
+            ));
+            let arm = |name| {
+                cells
+                    .iter()
+                    .find(|c| c.episode == episode && c.arm == name)
+                    .expect("suite covers every episode x arm")
+            };
+            let (on, off) = (arm("on"), arm("off"));
+            out.push_str(&format!(
+                "\n{},\n{}",
+                adaptive_cell_json(on),
+                adaptive_cell_json(off)
+            ));
+            let rt_delta = match (on.stressed_session_ms(), off.stressed_session_ms()) {
+                (Some(a), Some(b)) => a - b,
+                _ => f64::NAN,
+            };
+            out.push_str(&format!(
+                "],\"delta\":{{\"stressed_session_mean_ms\":{},\"stressed_availability\":{}}}}}",
+                fmt2(rt_delta),
+                fmt4(on.stressed_availability() - off.stressed_availability()),
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Renders the controller on/off table for one application: the stressed
+/// group's mean session time and availability under each arm, the number
+/// of committed migrations, and the on-arm SLO verdict, per episode.
+pub fn render_adaptive_table(app: AppKind, cells: &[AdaptiveCell]) -> String {
+    let mut out = format!(
+        "{} adaptation suite — controller on vs frozen ({STRESSED_GROUP} group):\n  \
+         {:<18} {:>10} {:>10}   {:>8} {:>8}   {:>10}  {:>8}\n",
+        app.name(),
+        "episode",
+        "on ms",
+        "off ms",
+        "on avail",
+        "off av",
+        "migrations",
+        "SLO(on)",
+    );
+    for episode in AdaptiveEpisode::all() {
+        let arm = |name| {
+            cells
+                .iter()
+                .find(|c| c.episode == episode && c.arm == name)
+                .expect("suite covers every episode x arm")
+        };
+        let (on, off) = (arm("on"), arm("off"));
+        let ms = |c: &AdaptiveCell| {
+            c.stressed_session_ms()
+                .map_or("-".to_string(), |v| format!("{v:.0}"))
+        };
+        out.push_str(&format!(
+            "  {:<18} {:>10} {:>10}   {:>8.4} {:>8.4}   {:>10}  {:>8}\n",
+            episode.name(),
+            ms(on),
+            ms(off),
+            on.stressed_availability(),
+            off.stressed_availability(),
+            on.migration_count(),
+            if on.slo.all_met() { "met" } else { "MISSED" },
+        ));
+    }
+    out
+}
+
+fn leading_number(rest: &str) -> Result<f64, String> {
+    let num = rest.split([',', '}', ']']).next().unwrap_or_default();
+    num.parse()
+        .map_err(|_| format!("bad number {num:?} in adaptive document"))
+}
+
+/// Structurally validates a `BENCH_adaptive.json` document: balanced
+/// braces/brackets, the required header and section keys, known episode
+/// and arm names, every `availability` in `[0, 1]` — and the suite's
+/// physics: the quiescent on-arm committed **zero** migrations while the
+/// link-degradation on-arm committed at least one. Returns the number of
+/// arm cells found.
+///
+/// This is a purpose-built scanner for our own renderer's output, not a
+/// general JSON parser (the vendored `serde` is a stub).
+pub fn validate_adaptive_json(json: &str) -> Result<usize, String> {
+    let (mut braces, mut brackets) = (0i64, 0i64);
+    for ch in json.chars() {
+        match ch {
+            '{' => braces += 1,
+            '}' => braces -= 1,
+            '[' => brackets += 1,
+            ']' => brackets -= 1,
+            _ => {}
+        }
+        if braces < 0 || brackets < 0 {
+            return Err("closing brace before its opener".to_string());
+        }
+    }
+    if braces != 0 || brackets != 0 {
+        return Err(format!(
+            "unbalanced document ({braces} braces, {brackets} brackets open)"
+        ));
+    }
+    if !json.starts_with("{\"suite\":\"adaptive\"") {
+        return Err("missing {\"suite\":\"adaptive\"} header".to_string());
+    }
+    for key in [
+        "\"mode\":",
+        "\"seed\":",
+        "\"apps\":",
+        "\"episodes\":",
+        "\"migrations\":",
+        "\"rounds\":",
+        "\"slo\":",
+        "\"delta\":",
+    ] {
+        if !json.contains(key) {
+            return Err(format!("missing key {key}"));
+        }
+    }
+    for rest in after_each(json, "\"episode\":\"") {
+        let name = rest.split('"').next().unwrap_or_default();
+        if !AdaptiveEpisode::all().iter().any(|e| e.name() == name) {
+            return Err(format!("unknown episode {name:?}"));
+        }
+    }
+    for rest in after_each(json, "\"arm\":\"") {
+        let name = rest.split('"').next().unwrap_or_default();
+        if name != "on" && name != "off" {
+            return Err(format!("unknown controller arm {name:?}"));
+        }
+    }
+    for rest in after_each(json, "\"availability\":") {
+        let v = leading_number(rest)?;
+        if !(0.0..=1.0).contains(&v) {
+            return Err(format!("availability {v} out of [0,1]"));
+        }
+    }
+    // Physics: the on-arm migration count per episode. Episode chunks run
+    // to the next episode header, so the adjacent arm/count pairs below
+    // belong to the episode that opened the chunk.
+    for rest in after_each(json, "\"episode\":\"") {
+        let episode = rest.split('"').next().unwrap_or_default();
+        let chunk = rest.split("\"episode\":\"").next().unwrap_or(rest);
+        let counts = after_each(chunk, "\"arm\":\"on\",\"migration_count\":");
+        if counts.len() != 1 {
+            return Err(format!(
+                "episode {episode:?} has {} on-arms, wanted exactly one",
+                counts.len()
+            ));
+        }
+        let count = leading_number(counts[0])? as i64;
+        match episode {
+            "quiescent" if count != 0 => {
+                return Err(format!(
+                    "the quiescent control committed {count} migrations; the drift floor must \
+                     hold at zero"
+                ));
+            }
+            "link-degradation" if count == 0 => {
+                return Err(
+                    "the link-degradation on-arm committed no migrations; the controller \
+                     must react to the slowed corridor"
+                        .to_string(),
+                );
+            }
+            _ => {}
+        }
+        if after_each(chunk, "\"arm\":\"off\",\"migration_count\":")
+            .first()
+            .map(|r| leading_number(r))
+            .transpose()?
+            != Some(0.0)
+        {
+            return Err(format!(
+                "episode {episode:?} frozen arm reports migrations (or none at all)"
+            ));
+        }
+    }
+    let cells = after_each(json, "\"arm\":\"").len();
+    if cells == 0 {
+        return Err("no arm cells".to_string());
+    }
+    Ok(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_renders_validates_and_pins_the_physics() {
+        let cells = run_adaptive_suite(AppKind::PetStore, true, true, 42);
+        assert_eq!(cells.len(), AdaptiveEpisode::all().len() * 2);
+        let degraded_on = cells
+            .iter()
+            .find(|c| c.episode == AdaptiveEpisode::LinkDegradation && c.arm == "on")
+            .unwrap();
+        assert!(
+            degraded_on.migration_count() > 0,
+            "smoke windows must leave the controller room to react"
+        );
+        let quiescent_on = cells
+            .iter()
+            .find(|c| c.episode == AdaptiveEpisode::Quiescent && c.arm == "on")
+            .unwrap();
+        assert_eq!(quiescent_on.migration_count(), 0);
+        for cell in cells.iter().filter(|c| c.arm == "off") {
+            assert!(cell.report.adaptive.is_none());
+        }
+        let sweeps = [(AppKind::PetStore, cells)];
+        let json = render_adaptive_json(&sweeps, 42, "smoke");
+        assert_eq!(validate_adaptive_json(&json), Ok(8));
+        let table = render_adaptive_table(AppKind::PetStore, &sweeps[0].1);
+        for episode in AdaptiveEpisode::all() {
+            assert!(table.contains(episode.name()));
+        }
+    }
+
+    #[test]
+    fn same_seed_suites_render_byte_identically() {
+        let render = || {
+            let cells = run_adaptive_suite(AppKind::PetStore, true, true, 9);
+            render_adaptive_json(&[(AppKind::PetStore, cells)], 9, "smoke")
+        };
+        assert_eq!(render(), render());
+    }
+
+    /// A minimal well-formed document the rejection tests tamper with.
+    fn minimal_doc(quiescent_on: usize, degradation_on: usize) -> String {
+        let episode = |name: &str, on: usize| {
+            format!(
+                "{{\"episode\":\"{name}\",\"arms\":[\
+                 {{\"arm\":\"on\",\"migration_count\":{on},\"availability\":1.0000,\
+                 \"migrations\":[],\"rounds\":[],\"slo\":{{}}}},\
+                 {{\"arm\":\"off\",\"migration_count\":0,\"availability\":1.0000}}],\
+                 \"delta\":{{}}}}"
+            )
+        };
+        format!(
+            "{{\"suite\":\"adaptive\",\"mode\":\"smoke\",\"seed\":1,\"apps\":[\
+             {{\"app\":\"petstore\",\"episodes\":[{},{},{},{}]}}]}}",
+            episode("quiescent", quiescent_on),
+            episode("flash-crowd", 1),
+            episode("link-degradation", degradation_on),
+            episode("diurnal-shift", 0),
+        )
+    }
+
+    #[test]
+    fn validator_rejects_tampering() {
+        let json = minimal_doc(0, 2);
+        assert_eq!(validate_adaptive_json(&json), Ok(8));
+        // A thrashing quiescent control.
+        assert!(validate_adaptive_json(&minimal_doc(3, 2)).is_err());
+        // A controller asleep through the degradation.
+        assert!(validate_adaptive_json(&minimal_doc(0, 0)).is_err());
+        // A wrong suite header.
+        let bad = json.replacen("\"suite\":\"adaptive\"", "\"suite\":\"faults\"", 1);
+        assert!(validate_adaptive_json(&bad).is_err());
+        // A truncated document.
+        assert!(validate_adaptive_json(&json[..json.len() - 3]).is_err());
+        // An unknown episode name.
+        let bad = json.replace("diurnal-shift", "earthquake");
+        assert!(validate_adaptive_json(&bad).is_err());
+        // An out-of-range availability.
+        let bad = json.replacen("\"availability\":1.0000", "\"availability\":9", 1);
+        assert!(validate_adaptive_json(&bad).is_err());
+        // A migrating frozen arm.
+        let bad = json.replacen(
+            "\"arm\":\"off\",\"migration_count\":0",
+            "\"arm\":\"off\",\"migration_count\":1",
+            1,
+        );
+        assert!(validate_adaptive_json(&bad).is_err());
+    }
+}

@@ -6,6 +6,7 @@
 //!              [--sessions] [--topology] [--wiring] [--placement [--smoke]]
 //!              [--simperf [--smoke] [--parallel N]] [--trace [config] [--smoke]]
 //!              [--faults [--smoke]] [--metrics [config] [--smoke]]
+//!              [--adaptive [--smoke]]
 //! ```
 //!
 //! `--placement` measures placement move-evaluation throughput (full
@@ -48,12 +49,25 @@
 //! `BENCH_metrics.json` (SLO verdicts, burn timeline, engine self-profile,
 //! metrics-on/off wall-clock A/B). `--smoke` shortens the windows for CI.
 //!
+//! `--adaptive` runs the adaptation suite (quiescent, flash-crowd,
+//! link-degradation, diurnal-shift) with the closed-loop live-migration
+//! controller on and off, prints the per-episode on/off table and writes
+//! `BENCH_adaptive.json` (migration schedules, cost trajectories, SLO
+//! verdicts, stressed-group deltas). The written document must pass the
+//! structural validator — the quiescent control commits zero migrations,
+//! the link-degradation episode at least one. `--smoke` shortens the
+//! windows for CI's schema-validation gate.
+//!
 //! With no selection flags, everything is printed. `--quick` (default) uses
 //! a 90 s warm-up + 300 s measured window; `--paper` runs the full
 //! one-hour windows of §3.3.
 
 use mutsvc_apps::petstore::{BROWSER_MIX as PS_MIX, BUYER_SEQUENCE};
 use mutsvc_apps::rubis::{BIDDER_SEQUENCE, BROWSER_MIX as RUBIS_MIX};
+use mutsvc_bench::adaptive_artifacts::{
+    render_adaptive_json, render_adaptive_table, run_adaptive_suite, validate_adaptive_json,
+    AdaptiveCell,
+};
 use mutsvc_bench::fault_artifacts::{
     partition_ordering_violations, render_availability_table, render_faults_json, run_fault_suite,
     validate_faults_json, FaultCell,
@@ -99,6 +113,7 @@ struct Options {
     faults: bool,
     metrics: bool,
     metrics_config: Option<Config>,
+    adaptive: bool,
 }
 
 fn parse_args() -> Options {
@@ -123,6 +138,7 @@ fn parse_args() -> Options {
         faults: false,
         metrics: false,
         metrics_config: None,
+        adaptive: false,
     };
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
@@ -162,6 +178,7 @@ fn parse_args() -> Options {
             }
             "--smoke" => opts.smoke = true,
             "--faults" => opts.faults = true,
+            "--adaptive" => opts.adaptive = true,
             "--trace" => {
                 opts.trace = true;
                 // Optional configuration name ("remote-facade", ...).
@@ -190,7 +207,7 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => {
                 println!(
-                    "repro-report [--app petstore|rubis|all] [--paper|--quick] [--seed N]\n             [--tables] [--figures] [--compare] [--validate] [--percentiles]\n             [--sessions] [--topology] [--wiring] [--placement [--smoke]]\n             [--simperf [--smoke] [--parallel N]] [--trace [config] [--smoke]]\n             [--faults [--smoke]] [--metrics [config] [--smoke]]"
+                    "repro-report [--app petstore|rubis|all] [--paper|--quick] [--seed N]\n             [--tables] [--figures] [--compare] [--validate] [--percentiles]\n             [--sessions] [--topology] [--wiring] [--placement [--smoke]]\n             [--simperf [--smoke] [--parallel N]] [--trace [config] [--smoke]]\n             [--faults [--smoke]] [--metrics [config] [--smoke]]\n             [--adaptive [--smoke]]"
                 );
                 std::process::exit(0);
             }
@@ -212,7 +229,8 @@ fn parse_args() -> Options {
         || opts.simperf
         || opts.trace
         || opts.faults
-        || opts.metrics)
+        || opts.metrics
+        || opts.adaptive)
     {
         opts.tables = true;
         opts.figures = true;
@@ -580,6 +598,60 @@ fn print_metrics(opts: &Options) {
     println!("SLO reachability: every objective clears the static WAN floor");
 }
 
+fn print_adaptive(opts: &Options) {
+    let mode = if opts.smoke {
+        "smoke"
+    } else if opts.quick {
+        "quick"
+    } else {
+        "paper"
+    };
+    let mut sweeps: Vec<(AppKind, Vec<AdaptiveCell>)> = Vec::new();
+    for &app in &opts.apps {
+        eprintln!(
+            "running {} adaptation suite ({mode} mode, seed {}; 4 episodes x controller on/off)...",
+            app.name(),
+            opts.seed
+        );
+        let cells = run_adaptive_suite(app, opts.quick, opts.smoke, opts.seed);
+        println!("{}", render_adaptive_table(app, &cells));
+        for cell in cells.iter().filter(|c| c.arm == "on") {
+            if let Some(data) = &cell.report.adaptive {
+                for m in &data.migrations {
+                    println!(
+                        "  {} @{:.0}s: {} {} {} -> {} (modeled gain {:.0} ms/s)",
+                        cell.episode.name(),
+                        m.decided_at.as_secs_f64(),
+                        match m.kind {
+                            mutsvc_workload::MoveKind::Primary => "re-home",
+                            mutsvc_workload::MoveKind::Replica => "replicate",
+                        },
+                        m.component,
+                        m.from,
+                        m.to,
+                        m.modeled_gain,
+                    );
+                }
+            }
+        }
+        sweeps.push((app, cells));
+    }
+    let json = render_adaptive_json(&sweeps, opts.seed, mode);
+    match validate_adaptive_json(&json) {
+        Ok(cells) => {
+            let path = "BENCH_adaptive.json";
+            match std::fs::write(path, &json) {
+                Ok(()) => println!("wrote {path} ({cells} arm cells)"),
+                Err(e) => eprintln!("failed to write {path}: {e}"),
+            }
+        }
+        Err(e) => {
+            eprintln!("invalid BENCH_adaptive.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let opts = parse_args();
     if opts.placement {
@@ -596,6 +668,9 @@ fn main() {
     }
     if opts.metrics {
         print_metrics(&opts);
+    }
+    if opts.adaptive {
+        print_adaptive(&opts);
     }
     if opts.sessions {
         print_sessions();

@@ -89,7 +89,7 @@ pub fn run_fault_suite(app: AppKind, quick: bool, smoke: bool, seed: u64) -> Vec
         .collect()
 }
 
-fn fmt2(v: f64) -> String {
+pub(crate) fn fmt2(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.2}")
     } else {
@@ -97,7 +97,7 @@ fn fmt2(v: f64) -> String {
     }
 }
 
-fn fmt4(v: f64) -> String {
+pub(crate) fn fmt4(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.4}")
     } else {
@@ -105,7 +105,7 @@ fn fmt4(v: f64) -> String {
     }
 }
 
-fn outcome_json(outcome: &GroupOutcome, window: SimDuration) -> String {
+pub(crate) fn outcome_json(outcome: &GroupOutcome, window: SimDuration) -> String {
     format!(
         "{{\"ok\":{},\"failed\":{},\"retries\":{},\"failovers\":{},\"stale_served\":{},\
          \"availability\":{},\"error_rate\":{},\"goodput_rps\":{}}}",
@@ -259,7 +259,7 @@ pub fn partition_ordering_violations(cells: &[FaultCell]) -> Vec<String> {
     violations
 }
 
-fn after_each<'a>(json: &'a str, key: &str) -> Vec<&'a str> {
+pub(crate) fn after_each<'a>(json: &'a str, key: &str) -> Vec<&'a str> {
     json.match_indices(key)
         .map(|(i, m)| &json[i + m.len()..])
         .collect()

@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive_artifacts;
 pub mod fault_artifacts;
 pub mod metrics_artifacts;
 pub mod placement_report;

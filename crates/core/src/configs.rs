@@ -141,6 +141,50 @@ pub fn petstore_descriptor_on(
     b.build().expect("petstore descriptor is complete")
 }
 
+/// Builds the Pet Store *adaptive baseline*: remote clients enter at their
+/// edge server — the web façade is replicated there, because request
+/// binding requires the root web component at every entry node — but the
+/// stateful session tier and everything behind it stay centralized.
+///
+/// This is the deployment the live-migration controller (DESIGN.md §6.8)
+/// is meant to improve at runtime: when a region's WAN leg degrades or its
+/// demand surges, replicating its session beans out to the stressed edge
+/// is a real, model-visible win, while a quiescent run leaves the
+/// descriptor untouched.
+pub fn petstore_adaptive_baseline(
+    registry: &ComponentRegistry,
+    c: &PsComponents,
+    main: NodeId,
+    db: NodeId,
+    edges: &[NodeId],
+) -> DeploymentDescriptor {
+    let mut b = DescriptorBuilder::new(registry, "adaptive-baseline", db);
+    b.central_node(main);
+    for comp in c.all() {
+        b.place(comp, main);
+    }
+    b.place_replicated(c.web, main, edges.iter().copied());
+    b.build().expect("adaptive baseline descriptor is complete")
+}
+
+/// The RUBiS adaptive baseline (see [`petstore_adaptive_baseline`]): the
+/// servlet tier at every entry, session façades and entities centralized.
+pub fn rubis_adaptive_baseline(
+    registry: &ComponentRegistry,
+    c: &RubisComponents,
+    main: NodeId,
+    db: NodeId,
+    edges: &[NodeId],
+) -> DeploymentDescriptor {
+    let mut b = DescriptorBuilder::new(registry, "adaptive-baseline", db);
+    b.central_node(main);
+    for comp in c.all() {
+        b.place(comp, main);
+    }
+    b.place_replicated(c.web, main, edges.iter().copied());
+    b.build().expect("adaptive baseline descriptor is complete")
+}
+
 /// Builds the RUBiS deployment descriptor for `config` on the paper
 /// topology (two edge servers).
 pub fn rubis_descriptor(

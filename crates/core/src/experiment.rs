@@ -5,16 +5,17 @@ use mutsvc_desim::time::SimDuration;
 use mutsvc_middleware::ContainerCosts;
 use mutsvc_netsim::ProtocolParams;
 use mutsvc_workload::{
-    paper_groups, run_experiment, run_experiment_parallel, ClientGroup, ExperimentInput,
-    ExperimentReport, FaultPolicy, FaultSettings, MetricsSettings, SloSpec, TraceSettings,
-    WorkloadSpec,
+    paper_groups, run_experiment, run_experiment_parallel, AdaptiveSettings, ClientGroup,
+    ExperimentInput, ExperimentReport, FaultPolicy, FaultSettings, MetricsSettings, SloSpec,
+    TraceSettings, WorkloadSpec,
 };
 use serde::{Deserialize, Serialize};
 
 use crate::configs::{
-    petstore_descriptor, petstore_descriptor_on, rubis_descriptor, rubis_descriptor_on, Config,
+    petstore_adaptive_baseline, petstore_descriptor, petstore_descriptor_on,
+    rubis_adaptive_baseline, rubis_descriptor, rubis_descriptor_on, Config,
 };
-use crate::faultsuite::FaultCase;
+use crate::faultsuite::{AdaptiveEpisode, EpisodeTargets, FaultCase};
 use crate::topology::{
     fanout_topology, multi_tier_topology, paper_topology, MultiTierSpec, PaperNodes,
 };
@@ -79,6 +80,12 @@ pub struct Scenario {
     /// set, it replaces `faults.schedule`.
     #[serde(default)]
     pub fault_case: Option<FaultCase>,
+    /// Closed-loop adaptive placement policy (off by default): with the
+    /// controller armed, a run folds observed telemetry into re-priced
+    /// placement problems and commits live migrations (DESIGN.md §6.8).
+    /// Requires an active [`MetricsSettings`] window.
+    #[serde(default)]
+    pub adaptive: AdaptiveSettings,
     /// Run on the conservative-parallel engine with up to this many OS
     /// threads, sharded by client region (DESIGN.md §6.5). `None` (the
     /// default) keeps the classic sequential engine. The parallel result
@@ -105,6 +112,7 @@ impl Scenario {
             slo: None,
             faults: FaultSettings::off(),
             fault_case: None,
+            adaptive: AdaptiveSettings::off(),
             parallel: None,
         }
     }
@@ -126,6 +134,7 @@ impl Scenario {
             slo: None,
             faults: FaultSettings::off(),
             fault_case: None,
+            adaptive: AdaptiveSettings::off(),
             parallel: None,
         }
     }
@@ -176,6 +185,12 @@ impl Scenario {
     pub fn with_fault_case(mut self, case: FaultCase, policy: FaultPolicy) -> Self {
         self.fault_case = Some(case);
         self.faults.policy = policy;
+        self
+    }
+
+    /// Arms the closed-loop adaptive placement controller (DESIGN.md §6.8).
+    pub fn with_adaptive(mut self, adaptive: AdaptiveSettings) -> Self {
+        self.adaptive = adaptive;
         self
     }
 
@@ -248,7 +263,8 @@ impl Scenario {
             .with_seed(self.seed)
             .with_trace(self.trace)
             .with_metrics(self.metrics)
-            .with_faults(faults);
+            .with_faults(faults)
+            .with_adaptive(self.adaptive);
 
         (
             ExperimentInput {
@@ -428,6 +444,129 @@ pub fn multi_tier_input(
     }
 }
 
+/// Assembles one adaptation-suite experiment: the application on its
+/// *adaptive baseline* descriptor (entries at the edges, session tier
+/// centralized — see [`petstore_adaptive_baseline`]), windowed metrics, the
+/// episode's scripted drift, and the given controller policy. Pass
+/// [`AdaptiveSettings::off`] for the control arm of an on/off pair — both
+/// arms share topology, descriptor, load and seed, so any divergence is
+/// the controller's doing.
+///
+/// `tier` selects the network: `None` is the paper's two-edge star;
+/// `Some(spec)` a generated [`multi_tier_topology`] whose edge PoPs all
+/// receive an entry deployment and a client group (load split equally, as
+/// in [`multi_tier_input`]). The episode stresses the first PoP; the
+/// diurnal shift swings between the first and second.
+pub fn adaptive_episode_input(
+    app: AppKind,
+    episode: AdaptiveEpisode,
+    tier: Option<&MultiTierSpec>,
+    controller: AdaptiveSettings,
+    warmup: SimDuration,
+    duration: SimDuration,
+    seed: u64,
+) -> ExperimentInput {
+    let db_on_main = matches!(app, AppKind::Rubis);
+    let (topology, main, db, client_local, edges, edge_clients) = match tier {
+        Some(spec) => {
+            let (t, n) = multi_tier_topology(spec);
+            (t, n.main, n.db, n.client_local, n.edges, n.edge_clients)
+        }
+        None => {
+            let (t, n) = paper_topology(db_on_main);
+            (
+                t,
+                n.main,
+                n.db,
+                n.client_local,
+                vec![n.edge1, n.edge2],
+                vec![n.client_edge1, n.client_edge2],
+            )
+        }
+    };
+    assert!(edges.len() >= 2, "the adaptation suite needs two edge PoPs");
+
+    let (app, registry, db, descriptor, protocols) = match app {
+        AppKind::PetStore => {
+            let (app, registry, dbm) = App::petstore(true);
+            let c = match &app {
+                App::PetStore(ps) => ps.components,
+                App::Rubis(_) => unreachable!(),
+            };
+            let descriptor = petstore_adaptive_baseline(&registry, &c, main, db, &edges);
+            (
+                app,
+                registry,
+                dbm,
+                descriptor,
+                ProtocolParams::petstore_stack(),
+            )
+        }
+        AppKind::Rubis => {
+            let (app, registry, dbm) = App::rubis();
+            let c = match &app {
+                App::Rubis(r) => r.components,
+                App::PetStore(_) => unreachable!(),
+            };
+            let descriptor = rubis_adaptive_baseline(&registry, &c, main, db, &edges);
+            (
+                app,
+                registry,
+                dbm,
+                descriptor,
+                ProtocolParams::rubis_stack(),
+            )
+        }
+    };
+
+    // Load split as in the scaled inputs: 30 req/s across local + one
+    // group per PoP, every remote group entering at its own edge.
+    let group_rate = 30.0 / (edges.len() + 1) as f64;
+    let mk = |name: String, client, entry| ClientGroup {
+        name,
+        client_node: client,
+        entry_node: entry,
+        browser_rate: group_rate * 0.8,
+        transactional_rate: group_rate * 0.2,
+    };
+    let mut groups = vec![mk("local".to_string(), client_local, main)];
+    for (i, (&edge, &clients)) in edges.iter().zip(&edge_clients).enumerate() {
+        groups.push(mk(format!("remote{}", i + 1), clients, edge));
+    }
+
+    let targets = EpisodeTargets {
+        core: main,
+        edge1: edges[0],
+        edge2: edges[1],
+        group1: "remote1".to_string(),
+    };
+    let (schedule, surges) = episode.schedule(&topology, &targets, warmup, duration);
+    let mut spec = WorkloadSpec::paper_load(groups)
+        .with_duration(warmup, duration)
+        .with_seed(seed)
+        .with_metrics(MetricsSettings::windowed(SimDuration::from_secs(5)))
+        .with_faults(FaultSettings {
+            schedule,
+            timeout: SimDuration::from_secs(30),
+            policy: FaultPolicy::none(),
+        })
+        .with_adaptive(controller);
+    for surge in surges {
+        spec = spec.with_surge(surge);
+    }
+
+    ExperimentInput {
+        app,
+        registry,
+        db,
+        descriptor,
+        topology,
+        protocols,
+        container_costs: ContainerCosts::default(),
+        spec,
+    }
+}
+
 /// Runs the five configurations of one application (the full Table 6 or
 /// Table 7 sweep).
 pub fn run_sweep(app: AppKind, quick: bool, seed: u64) -> Vec<ExperimentReport> {
@@ -556,6 +695,104 @@ mod tests {
         let s = seq.stats.mean_ms("remote1", "Browser", "Item").unwrap();
         let p = par.stats.mean_ms("remote1", "Browser", "Item").unwrap();
         assert!((s - p).abs() / s < 0.1, "seq {s} vs par {p}");
+    }
+
+    #[test]
+    fn adaptive_episode_inputs_assemble_on_both_topologies() {
+        let controller = mutsvc_workload::AdaptiveSettings::every(SimDuration::from_secs(10));
+        let (w, d) = (SimDuration::from_secs(90), SimDuration::from_secs(300));
+        let paper = adaptive_episode_input(
+            AppKind::PetStore,
+            AdaptiveEpisode::LinkDegradation,
+            None,
+            controller,
+            w,
+            d,
+            5,
+        );
+        assert_eq!(paper.descriptor.name, "adaptive-baseline");
+        assert_eq!(paper.spec.groups.len(), 3);
+        assert!(paper.spec.adaptive.active());
+        assert!(paper.spec.faults.active());
+        assert!(paper.spec.metrics.active());
+        // Remote groups enter at their own edge, not at main.
+        let entries: std::collections::BTreeSet<_> = paper
+            .spec
+            .groups
+            .iter()
+            .map(|g| g.entry_node.index())
+            .collect();
+        assert_eq!(entries.len(), 3);
+
+        let tier = MultiTierSpec {
+            hubs: 2,
+            edges_per_hub: 2,
+            metro_edges: false,
+            db_on_main: false,
+        };
+        let multi = adaptive_episode_input(
+            AppKind::PetStore,
+            AdaptiveEpisode::FlashCrowd,
+            Some(&tier),
+            mutsvc_workload::AdaptiveSettings::off(),
+            w,
+            d,
+            5,
+        );
+        assert_eq!(multi.spec.groups.len(), 5, "local + 4 PoPs");
+        assert!(!multi.spec.adaptive.active(), "control arm stays off");
+        assert!(!multi.spec.faults.active(), "flash crowd injects no faults");
+        assert_eq!(multi.spec.surges.len(), 1);
+        assert_eq!(multi.spec.surges[0].group, "remote1");
+    }
+
+    #[test]
+    fn controller_beats_frozen_deployment_under_multi_tier_degradation() {
+        let tier = MultiTierSpec {
+            hubs: 2,
+            edges_per_hub: 1,
+            metro_edges: false,
+            db_on_main: false,
+        };
+        let (w, d) = (SimDuration::from_secs(30), SimDuration::from_secs(160));
+        let run = |controller| {
+            run_experiment(adaptive_episode_input(
+                AppKind::PetStore,
+                AdaptiveEpisode::LinkDegradation,
+                Some(&tier),
+                controller,
+                w,
+                d,
+                11,
+            ))
+        };
+        let on = run(mutsvc_workload::AdaptiveSettings::every(
+            SimDuration::from_secs(10),
+        ));
+        let off = run(mutsvc_workload::AdaptiveSettings::off());
+        let data = on.adaptive.as_ref().expect("controller log attached");
+        assert!(
+            !data.migrations.is_empty(),
+            "degrading the stressed PoP's leg must trigger a migration"
+        );
+        assert!(off.adaptive.is_none());
+        // Acceptance: controller-on strictly improves the stressed group's
+        // mean session time or its availability.
+        let on_rt = on
+            .stats
+            .session_mean_over_groups(&["remote1"], "Browser")
+            .unwrap();
+        let off_rt = off
+            .stats
+            .session_mean_over_groups(&["remote1"], "Browser")
+            .unwrap();
+        let on_avail = on.stats.outcome("remote1").unwrap().availability();
+        let off_avail = off.stats.outcome("remote1").unwrap().availability();
+        assert!(
+            on_rt < off_rt || on_avail > off_avail,
+            "adaptation must pay: rt {on_rt:.0} vs {off_rt:.0} ms, \
+             availability {on_avail:.3} vs {off_avail:.3}"
+        );
     }
 
     #[test]

@@ -17,10 +17,16 @@
 //!
 //! Schedules are scripted (not random), so a suite run is a deterministic
 //! function of the scenario seed and timing alone.
+//!
+//! A second, *adaptation* suite ([`AdaptiveEpisode`]) scripts environmental
+//! drift rather than outages — flash crowds, degraded (not dead) WAN legs,
+//! diurnal demand shifts, plus a quiescent control — as the canonical
+//! exercises for the closed-loop placement controller (DESIGN.md §6.8).
 
 use mutsvc_desim::fault::{FaultEvent, FaultKind, FaultSchedule};
 use mutsvc_desim::time::SimDuration;
-use mutsvc_netsim::{LinkId, NodeId, Topology};
+use mutsvc_netsim::{LinkId, NodeId, Topology, WAN_LATENCY_THRESHOLD};
+use mutsvc_workload::Surge;
 use serde::{Deserialize, Serialize};
 
 use crate::topology::PaperNodes;
@@ -241,6 +247,161 @@ impl FaultCase {
     }
 }
 
+/// Latency multiplier of the [`AdaptiveEpisode::LinkDegradation`] episode.
+pub const LINK_DEGRADATION_FACTOR: f64 = 8.0;
+
+/// Latency multiplier each half of [`AdaptiveEpisode::DiurnalShift`]
+/// applies to the off-peak region's WAN leg.
+pub const DIURNAL_SHIFT_FACTOR: f64 = 6.0;
+
+/// Rate multiplier of the [`AdaptiveEpisode::FlashCrowd`] surge.
+pub const FLASH_CROWD_FACTOR: f64 = 4.0;
+
+/// One canonical adaptation episode of the closed-loop suite (DESIGN.md
+/// §6.8): a scripted environmental shift the live-migration controller is
+/// expected to react to — or, for the quiescent control, expected to leave
+/// strictly alone.
+///
+/// Episodes script *drift*, not destruction: links slow down or demand
+/// moves, but nothing partitions, so controller-off runs stay comparable
+/// and any availability delta is attributable to adaptation alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AdaptiveEpisode {
+    /// Nothing changes. The controller must commit zero migrations and
+    /// leave the run byte-identical to a controller-off run's statistics.
+    Quiescent,
+    /// The stressed region's client group surges to
+    /// [`FLASH_CROWD_FACTOR`]× its steady rate for the middle half of the
+    /// measured window, shifting the observed demand shares toward it.
+    FlashCrowd,
+    /// Every WAN link on the corridor between the stressed region's edge
+    /// and the core runs at [`LINK_DEGRADATION_FACTOR`]× latency (both
+    /// directions) for the middle half of the window — the classic
+    /// route-flap/bufferbloat drift case.
+    LinkDegradation,
+    /// Demand follows the sun: the *counterpart* region's leg degrades
+    /// during the first half of the episode and recovers while the
+    /// stressed region's leg degrades for the second half.
+    DiurnalShift,
+}
+
+/// Which nodes and client group an [`AdaptiveEpisode`] stresses. Built by
+/// the scenario assembler from whichever topology is in play (the paper
+/// star or a generated multi-tier network).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpisodeTargets {
+    /// The core site the degraded corridors are measured against (the main
+    /// application server).
+    pub core: NodeId,
+    /// The stressed edge PoP: its corridor degrades, its clients surge.
+    pub edge1: NodeId,
+    /// The counterpart PoP the diurnal shift swings away from.
+    pub edge2: NodeId,
+    /// Name of the client group entering at `edge1`.
+    pub group1: String,
+}
+
+impl AdaptiveEpisode {
+    /// All episodes, in report order.
+    pub fn all() -> [AdaptiveEpisode; 4] {
+        [
+            AdaptiveEpisode::Quiescent,
+            AdaptiveEpisode::FlashCrowd,
+            AdaptiveEpisode::LinkDegradation,
+            AdaptiveEpisode::DiurnalShift,
+        ]
+    }
+
+    /// Stable name used in reports and JSON artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            AdaptiveEpisode::Quiescent => "quiescent",
+            AdaptiveEpisode::FlashCrowd => "flash-crowd",
+            AdaptiveEpisode::LinkDegradation => "link-degradation",
+            AdaptiveEpisode::DiurnalShift => "diurnal-shift",
+        }
+    }
+
+    /// Scripts the episode: onset at one quarter into the measured window,
+    /// full recovery at three quarters (the diurnal shift hands over at the
+    /// midpoint). Returns the fault timeline plus any load surges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a target edge has no route to the core, or the corridor
+    /// between them crosses no WAN link.
+    pub fn schedule(
+        self,
+        topology: &Topology,
+        targets: &EpisodeTargets,
+        warmup: SimDuration,
+        duration: SimDuration,
+    ) -> (FaultSchedule, Vec<Surge>) {
+        let onset = warmup + duration / 4;
+        let midpoint = warmup + duration / 2;
+        let heal = warmup + (duration / 4) * 3;
+        let leg1 = corridor(topology, targets.edge1, targets.core);
+        let degrade = |at, links: &[u32], factor| {
+            links
+                .iter()
+                .map(|&link| FaultEvent {
+                    at,
+                    kind: FaultKind::LinkDegraded { link, factor },
+                })
+                .collect::<Vec<_>>()
+        };
+        let (events, surges) = match self {
+            AdaptiveEpisode::Quiescent => (vec![], vec![]),
+            AdaptiveEpisode::FlashCrowd => (
+                vec![],
+                vec![Surge {
+                    group: targets.group1.clone(),
+                    from: onset,
+                    to: heal,
+                    factor: FLASH_CROWD_FACTOR,
+                }],
+            ),
+            AdaptiveEpisode::LinkDegradation => {
+                let mut events = Vec::new();
+                events.extend(degrade(onset, &leg1, LINK_DEGRADATION_FACTOR));
+                events.extend(degrade(heal, &leg1, 1.0));
+                (events, vec![])
+            }
+            AdaptiveEpisode::DiurnalShift => {
+                let leg2 = corridor(topology, targets.edge2, targets.core);
+                let mut events = Vec::new();
+                events.extend(degrade(onset, &leg2, DIURNAL_SHIFT_FACTOR));
+                events.extend(degrade(midpoint, &leg2, 1.0));
+                events.extend(degrade(midpoint, &leg1, DIURNAL_SHIFT_FACTOR));
+                events.extend(degrade(heal, &leg1, 1.0));
+                (events, vec![])
+            }
+        };
+        (FaultSchedule::scripted(events), surges)
+    }
+}
+
+/// The dense indices of every WAN link on the corridor between an edge PoP
+/// and the core, both directions. On the paper star this is the edge's
+/// shaped leg; on a multi-tier network it is the whole regional path
+/// (PoP → hub → core), so degrading a corridor bites however many WAN
+/// hops the topology stacks. Sub-threshold (LAN/metro) hops are left alone.
+fn corridor(topology: &Topology, edge: NodeId, core: NodeId) -> Vec<u32> {
+    let mut links = Vec::new();
+    for (a, b) in [(edge, core), (core, edge)] {
+        let route = topology
+            .route(a, b)
+            .unwrap_or_else(|| panic!("no route between edge and core"));
+        for &l in route {
+            if topology.link(l).latency > WAN_LATENCY_THRESHOLD {
+                links.push(l.index() as u32);
+            }
+        }
+    }
+    assert!(!links.is_empty(), "corridor crosses no WAN link");
+    links
+}
+
 /// The dense index of the edge-1 WAN leg (`true`: edge1 → router).
 fn directed_link(topology: &Topology, nodes: &PaperNodes, uplink: bool) -> u32 {
     let (from, to) = if uplink {
@@ -357,6 +518,79 @@ mod tests {
         );
         assert_eq!(view.onset, SimDuration::from_secs(1));
         assert_eq!(view.heal, SimDuration::from_secs(4));
+    }
+
+    #[test]
+    fn adaptive_episodes_script_drift_not_outages() {
+        let (t, n) = paper_topology(false);
+        let warmup = SimDuration::from_secs(90);
+        let duration = SimDuration::from_secs(300);
+        let targets = EpisodeTargets {
+            core: n.main,
+            edge1: n.edge1,
+            edge2: n.edge2,
+            group1: "remote1".to_string(),
+        };
+        for episode in AdaptiveEpisode::all() {
+            let (schedule, surges) = episode.schedule(&t, &targets, warmup, duration);
+            // Drift only: no partitions, crashes or message loss.
+            for e in &schedule.events {
+                assert!(
+                    matches!(e.kind, FaultKind::LinkDegraded { .. }),
+                    "{}: {:?}",
+                    episode.name(),
+                    e.kind
+                );
+            }
+            match episode {
+                AdaptiveEpisode::Quiescent => {
+                    assert!(schedule.is_empty() && surges.is_empty());
+                }
+                AdaptiveEpisode::FlashCrowd => {
+                    assert!(schedule.is_empty());
+                    assert_eq!(surges.len(), 1);
+                    assert_eq!(surges[0].group, "remote1");
+                    assert_eq!(surges[0].factor, FLASH_CROWD_FACTOR);
+                    assert_eq!(surges[0].from, SimDuration::from_secs(165));
+                    assert_eq!(surges[0].to, SimDuration::from_secs(315));
+                }
+                AdaptiveEpisode::LinkDegradation => {
+                    assert_eq!(schedule.events.len(), 4, "two legs, degrade + heal");
+                    assert!(surges.is_empty());
+                    assert_eq!(schedule.events[0].at, SimDuration::from_secs(165));
+                    assert_eq!(schedule.events[3].at, SimDuration::from_secs(315));
+                    // Both directions of the edge-1 WAN leg, nothing else.
+                    let (up, down) = (directed_link(&t, &n, true), directed_link(&t, &n, false));
+                    for e in &schedule.events {
+                        let FaultKind::LinkDegraded { link, .. } = e.kind else {
+                            unreachable!()
+                        };
+                        assert!(link == up || link == down, "targets the edge-1 leg");
+                    }
+                }
+                AdaptiveEpisode::DiurnalShift => {
+                    assert_eq!(schedule.events.len(), 8, "handover at the midpoint");
+                    assert!(surges.is_empty());
+                    assert_eq!(schedule.events[0].at, SimDuration::from_secs(165));
+                    assert_eq!(schedule.events[2].at, SimDuration::from_secs(240));
+                    assert_eq!(schedule.events[7].at, SimDuration::from_secs(315));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corridor_picks_the_shaped_legs_not_the_lans() {
+        let (t, n) = paper_topology(false);
+        let links = corridor(&t, n.edge1, n.main);
+        assert_eq!(links.len(), 2, "one shaped leg, both directions");
+        for idx in links {
+            let l = t.link(t.link_ids().nth(idx as usize).unwrap());
+            assert!(
+                (l.from == n.edge1 && l.to == n.router) || (l.from == n.router && l.to == n.edge1),
+                "only the edge-1 WAN leg degrades"
+            );
+        }
     }
 
     #[test]

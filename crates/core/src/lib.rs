@@ -32,10 +32,13 @@ pub mod report;
 pub mod topology;
 
 pub use configs::{
-    petstore_descriptor, petstore_descriptor_on, rubis_descriptor, rubis_descriptor_on, Config,
+    petstore_adaptive_baseline, petstore_descriptor, petstore_descriptor_on,
+    rubis_adaptive_baseline, rubis_descriptor, rubis_descriptor_on, Config,
 };
-pub use experiment::{fanout_input, multi_tier_input, run_sweep, AppKind, Scenario};
-pub use faultsuite::{EpisodeView, FaultCase};
+pub use experiment::{
+    adaptive_episode_input, fanout_input, multi_tier_input, run_sweep, AppKind, Scenario,
+};
+pub use faultsuite::{AdaptiveEpisode, EpisodeTargets, EpisodeView, FaultCase};
 pub use invariants::{wan_invariant, WanInvariant};
 pub use mutsvc_workload::{MetricsSettings, SloSpec};
 pub use report::{

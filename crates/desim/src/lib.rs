@@ -63,7 +63,9 @@ pub use metrics::{
 pub use recorder::{CounterId, GaugeId, HistId, LogHistogram, Recorder, WindowRow};
 pub use resource::FifoResource;
 pub use rng::SimRng;
-pub use shard::{run_conservative, Outbox, ShardWorld};
+pub use shard::{
+    run_conservative, run_coordinated, Coordinator, NoCoordinator, Outbox, ShardWorld,
+};
 pub use sim::{Context, EventFn, Fire, NoEvent, QueueDepths, Simulation};
 pub use telemetry::{MetricId, TelemetryRegistry, TelemetrySnapshot};
 pub use time::{SimDuration, SimTime};

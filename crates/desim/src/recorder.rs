@@ -377,6 +377,20 @@ impl Recorder {
         self.hists[id.0 as usize].record(x);
     }
 
+    /// The current value of a gauge — the last value [`set`](Recorder::set),
+    /// which is exactly what the next [`roll`](Recorder::roll) will sample
+    /// (and, right after a roll, what the freshest row holds).
+    pub fn gauge_value(&self, id: GaugeId) -> f64 {
+        self.gauges[id.0 as usize]
+    }
+
+    /// The row-array slot a counter handle indexes — for reading one
+    /// counter's series out of [`WindowRow::counters`] without a name
+    /// lookup.
+    pub fn counter_slot(&self, id: CounterId) -> usize {
+        id.0 as usize
+    }
+
     /// Closes the current window: counter deltas and histograms move into a
     /// new [`WindowRow`] and reset; gauges are sampled and persist.
     pub fn roll(&mut self) {
@@ -434,20 +448,21 @@ impl Recorder {
     /// pooled to the fleet-wide value, the same convention as the telemetry
     /// snapshot merge).
     ///
+    /// Window counts may differ — a shard that went idle (or finished its
+    /// horizon early) rolls fewer windows. Merging is *row-aligned by window
+    /// index*: shared indices sum, and rows beyond the shorter recorder's
+    /// last roll are carried over as-is, holding only the contributions of
+    /// the replicas that actually rolled them.
+    ///
     /// # Panics
     ///
-    /// Panics when the registration sequences, window widths, or rolled
-    /// window counts differ — those merges would silently misalign series.
+    /// Panics when the registration sequences or window widths differ —
+    /// those merges would silently misalign series.
     pub fn merge(&mut self, other: &Recorder) {
         assert_eq!(self.window, other.window, "recorder windows must align");
         assert_eq!(self.counter_names, other.counter_names, "counter series");
         assert_eq!(self.gauge_names, other.gauge_names, "gauge series");
         assert_eq!(self.hist_names, other.hist_names, "histogram series");
-        assert_eq!(
-            self.rows.len(),
-            other.rows.len(),
-            "shard recorders rolled different window counts"
-        );
         for (a, b) in self.rows.iter_mut().zip(other.rows.iter()) {
             assert_eq!(a.index, b.index, "window indices align");
             for (x, y) in a.counters.iter_mut().zip(b.counters.iter()) {
@@ -459,6 +474,10 @@ impl Recorder {
             for (x, y) in a.hists.iter_mut().zip(b.hists.iter()) {
                 x.merge(y);
             }
+        }
+        if other.rows.len() > self.rows.len() {
+            let from = self.rows.len();
+            self.rows.extend(other.rows[from..].iter().cloned());
         }
         for (x, y) in self.counters.iter_mut().zip(other.counters.iter()) {
             *x += y;
@@ -606,12 +625,38 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "different window counts")]
-    fn merge_rejects_misaligned_windows() {
-        let mut a = Recorder::new(SimDuration::from_secs(1));
-        let b = a.clone();
-        a.roll();
-        a.merge(&b);
+    fn merge_row_aligns_unequal_window_counts() {
+        let build = |rolls: &[u64]| {
+            let mut r = Recorder::new(SimDuration::from_secs(1));
+            let c = r.counter("c");
+            let g = r.gauge("g");
+            let h = r.histogram("h");
+            for &v in rolls {
+                r.add(c, v);
+                r.set(g, v as f64);
+                r.observe(h, v as f64);
+                r.roll();
+            }
+            r
+        };
+        // The longer recorder merges in a shorter (idle-shard) replica: the
+        // shared prefix sums, the tail survives untouched.
+        let mut a = build(&[1, 2, 3]);
+        a.merge(&build(&[10]));
+        assert_eq!(a.rows().len(), 3);
+        assert_eq!(a.rows()[0].counters, vec![11]);
+        assert_eq!(a.rows()[1].counters, vec![2]);
+        assert_eq!(a.rows()[2].counters, vec![3]);
+        assert_eq!(a.rows()[0].hists[0].total(), 2);
+        // The shorter recorder absorbs a longer one: the extra rows carry
+        // over with the longer replica's contribution only.
+        let mut b = build(&[10]);
+        b.merge(&build(&[1, 2, 3]));
+        assert_eq!(b.rows().len(), 3);
+        assert_eq!(b.rows()[0].counters, vec![11]);
+        assert_eq!(b.rows()[1].counters, vec![2]);
+        assert_eq!(b.rows()[2].counters, vec![3]);
+        assert_eq!(b.rows()[2].index, 2);
     }
 
     mod properties {
@@ -673,6 +718,46 @@ mod tests {
                 let mut a_bc = a.clone();
                 a_bc.merge(&bc);
                 prop_assert_eq!(ab_c, a_bc);
+            }
+
+            #[test]
+            fn recorder_merge_row_aligns_any_window_counts(
+                xs in proptest::collection::vec(0u64..100, 0..6),
+                ys in proptest::collection::vec(0u64..100, 0..6),
+                live_a in 0u64..50,
+                live_b in 0u64..50,
+            ) {
+                // A shard that went idle rolls fewer windows; the merge must
+                // align rows by window index, summing the shared prefix and
+                // carrying the longer tail through, for *any* length pair —
+                // including zero rolls on either side.
+                let build = |vals: &[u64], live: u64| {
+                    let mut r = Recorder::new(SimDuration::from_secs(1));
+                    let c = r.counter("c");
+                    let g = r.gauge("g");
+                    for &v in vals {
+                        r.add(c, v);
+                        r.set(g, 1.0);
+                        r.roll();
+                    }
+                    r.add(c, live);
+                    r
+                };
+                let mut a = build(&xs, live_a);
+                a.merge(&build(&ys, live_b));
+                prop_assert_eq!(a.rows().len(), xs.len().max(ys.len()));
+                for (i, row) in a.rows().iter().enumerate() {
+                    prop_assert_eq!(row.index, i as u64);
+                    let want = xs.get(i).copied().unwrap_or(0)
+                        + ys.get(i).copied().unwrap_or(0);
+                    prop_assert_eq!(row.counters[0], want);
+                    // Gauges pool across exactly the replicas that rolled
+                    // this window.
+                    let rollers = u64::from(i < xs.len()) + u64::from(i < ys.len());
+                    prop_assert_eq!(row.gauges[0], rollers as f64);
+                }
+                // Live (unrolled) deltas still sum regardless of row counts.
+                prop_assert_eq!(a.counters[0], live_a + live_b);
             }
 
             #[test]

@@ -27,6 +27,10 @@ pub mod stream {
     /// Independent of the workload streams, so enabling an (even empty)
     /// fault schedule cannot shift arrival or think-time draws.
     pub const FAULTS: u64 = 3;
+    /// Load-surge session generation (flash crowds, diurnal shifts).
+    /// Independent of `SESSIONS`, so a run with an empty surge list draws
+    /// nothing from it and stays byte-identical to a pre-surge build.
+    pub const SURGES: u64 = 4;
 
     /// The per-shard variant of a base stream, for conservative-parallel
     /// runs (see [`crate::shard`]): shard `index`'s copy of e.g. `SESSIONS`.

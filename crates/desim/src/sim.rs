@@ -82,6 +82,37 @@ impl<W, E> Ord for Scheduled<W, E> {
     }
 }
 
+/// An engine-internal typed event held in the side queue: telemetry rolls,
+/// controller ticks — bookkeeping the engine schedules for itself, kept out
+/// of the workload store so queue-depth telemetry never observes it (the
+/// "observer effect": arming metrics used to shift every `queue.*` gauge by
+/// the pending roll event). The `seq` is drawn from the queue's shared
+/// counter, so the merged pop order across both stores is exactly the order
+/// a single queue would produce.
+struct Internal<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Internal<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Internal<E> {}
+impl<E> PartialOrd for Internal<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Internal<E> {
+    // Reversed so that the BinaryHeap (a max-heap) pops the *earliest* event.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
 /// A slab-queue heap key: ordering state only, 24 bytes. The payload lives
 /// in the slab at `slot`, so sift operations never move event payloads.
 #[derive(Clone, Copy)]
@@ -201,9 +232,9 @@ impl<W, E> SlabStore<W, E> {
         }
     }
 
-    fn peek_time(&mut self) -> Option<SimTime> {
+    fn peek_key(&mut self) -> Option<(SimTime, u64)> {
         self.settle();
-        self.near.peek().map(|k| k.time)
+        self.near.peek().map(|k| (k.time, k.seq))
     }
 
     fn pop(&mut self) -> Option<(SimTime, Payload<W, E>)> {
@@ -266,6 +297,13 @@ enum Store<W, E> {
 /// The event queue shared between the driver and in-flight events.
 struct EventQueue<W, E> {
     store: Store<W, E>,
+    /// Engine-internal events (metrics rolls, controller ticks) in a side
+    /// heap: they fire in exact `(time, seq)` order with workload events but
+    /// are invisible to [`EventQueue::depths`], so arming them cannot perturb
+    /// `queue.*` telemetry. Always typed and never boxed — the side heap is
+    /// not part of the measured hot-path layout, so boxed-event emulation
+    /// leaves it alone.
+    internal: BinaryHeap<Internal<E>>,
     seq: u64,
     boxed_events: u64,
     /// When set, typed events are wrapped in a `Box<dyn FnOnce>` at
@@ -279,6 +317,7 @@ impl<W, E> EventQueue<W, E> {
     fn new() -> Self {
         EventQueue {
             store: Store::Slab(SlabStore::new()),
+            internal: BinaryHeap::new(),
             seq: 0,
             boxed_events: 0,
             box_typed: false,
@@ -286,12 +325,16 @@ impl<W, E> EventQueue<W, E> {
     }
 
     fn len(&self) -> usize {
-        match &self.store {
+        let main = match &self.store {
             Store::Inline(heap) => heap.len(),
             Store::Slab(slab) => slab.len(),
-        }
+        };
+        main + self.internal.len()
     }
 
+    /// Occupancy of the *workload* store only: engine-internal side-queue
+    /// events are bookkeeping, not model state, and reporting them would
+    /// make the act of measuring shift the measurement.
     fn depths(&self) -> QueueDepths {
         match &self.store {
             Store::Inline(heap) => QueueDepths {
@@ -309,14 +352,39 @@ impl<W, E> EventQueue<W, E> {
         }
     }
 
-    fn peek_time(&mut self) -> Option<SimTime> {
+    fn peek_main_key(&mut self) -> Option<(SimTime, u64)> {
         match &mut self.store {
-            Store::Inline(heap) => heap.peek().map(|s| s.time),
-            Store::Slab(slab) => slab.peek_time(),
+            Store::Inline(heap) => heap.peek().map(|s| (s.time, s.seq)),
+            Store::Slab(slab) => slab.peek_key(),
+        }
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        let main = self.peek_main_key();
+        let side = self.internal.peek().map(|i| (i.time, i.seq));
+        match (main, side) {
+            (Some(a), Some(b)) => Some(a.min(b).0),
+            (Some(a), None) => Some(a.0),
+            (None, Some(b)) => Some(b.0),
+            (None, None) => None,
         }
     }
 
     fn pop(&mut self) -> Option<(SimTime, Payload<W, E>)> {
+        // Merge the workload store and the internal side heap by (time, seq):
+        // seq values come from one shared counter, so the comparison is total
+        // and the merged order is exactly the single-queue order.
+        let main = self.peek_main_key();
+        let side = self.internal.peek().map(|i| (i.time, i.seq));
+        let take_side = match (main, side) {
+            (Some(m), Some(s)) => s < m,
+            (None, Some(_)) => true,
+            _ => false,
+        };
+        if take_side {
+            let i = self.internal.pop().expect("peeked internal event");
+            return Some((i.time, Payload::Event(i.event)));
+        }
         match &mut self.store {
             Store::Inline(heap) => heap.pop().map(|s| (s.time, s.payload)),
             Store::Slab(slab) => slab.pop(),
@@ -349,6 +417,15 @@ impl<W, E> EventQueue<W, E> {
         } else {
             self.push(time, Payload::Event(event));
         }
+    }
+
+    /// Schedules an engine-internal event on the side heap. Internal events
+    /// share the global `(time, seq)` order but stay invisible to
+    /// [`EventQueue::depths`] and are never boxed under emulation.
+    fn push_internal(&mut self, time: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.internal.push(Internal { time, seq, event });
     }
 
     /// Swaps the physical store, carrying over any pending events.
@@ -450,6 +527,24 @@ impl<'a, W, E> Context<'a, W, E> {
     {
         let at = self.now + delay;
         self.queue.push_event(at, event);
+    }
+
+    /// Schedules an *engine-internal* typed event at absolute time `at`
+    /// (clamped to now). Internal events fire in the same global
+    /// `(time, seq)` order as everything else but are excluded from
+    /// [`Context::queue_depths`], so telemetry that samples queue occupancy
+    /// never observes the engine's own bookkeeping (metrics rolls, adaptive
+    /// controller ticks).
+    pub fn schedule_internal_at(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.now);
+        self.queue.push_internal(at, event);
+    }
+
+    /// Schedules an engine-internal typed event after `delay`. See
+    /// [`Context::schedule_internal_at`].
+    pub fn schedule_internal_in(&mut self, delay: SimDuration, event: E) {
+        let at = self.now + delay;
+        self.queue.push_internal(at, event);
     }
 }
 
@@ -580,6 +675,21 @@ impl<W, E: Fire<W>> Simulation<W, E> {
     pub fn schedule_event_in(&mut self, delay: SimDuration, event: E) {
         let at = self.clock + delay;
         self.queue.push_event(at, event);
+    }
+
+    /// Schedules an engine-internal typed event at absolute time `at`
+    /// (clamped to the clock): same global firing order, invisible to
+    /// [`Simulation::queue_depths`]. See [`Context::schedule_internal_at`].
+    pub fn schedule_internal_at(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.clock);
+        self.queue.push_internal(at, event);
+    }
+
+    /// Schedules an engine-internal typed event `delay` from now. See
+    /// [`Context::schedule_internal_at`].
+    pub fn schedule_internal_in(&mut self, delay: SimDuration, event: E) {
+        let at = self.clock + delay;
+        self.queue.push_internal(at, event);
     }
 
     /// Turns boxed-event emulation on or off (off by default). When on,
@@ -962,5 +1072,68 @@ mod tests {
         sim.schedule_event_at(t, Push(2));
         sim.run();
         assert_eq!(sim.world(), &vec![0, 1, 2]);
+    }
+
+    /// Internal side-queue events interleave with workload events in exact
+    /// insertion order at equal times, but never appear in the telemetry
+    /// depth snapshot — scheduling one cannot shift a `queue.*` gauge.
+    #[test]
+    fn internal_events_order_globally_but_hide_from_depths() {
+        #[derive(Debug)]
+        struct Push(u64);
+        impl Fire<Vec<u64>> for Push {
+            fn fire(self, world: &mut Vec<u64>, ctx: &mut Context<'_, Vec<u64>, Self>) {
+                world.push(self.0);
+                if self.0 == 10 {
+                    // Internal events can re-arm themselves from a firing.
+                    ctx.schedule_internal_in(SimDuration::from_millis(1), Push(11));
+                }
+            }
+        }
+        let mut sim = Simulation::<Vec<u64>, Push>::with_events(Vec::new());
+        let t = SimTime::from_millis(5);
+        sim.schedule_event_at(t, Push(0));
+        sim.schedule_internal_at(t, Push(10));
+        sim.schedule_event_at(t, Push(1));
+        let bare = sim.queue_depths();
+        assert_eq!(bare.near + bare.far, 2, "internal event hidden from depths");
+        assert_eq!(sim.pending_events(), 3, "but counted as pending");
+        sim.run();
+        assert_eq!(sim.world(), &vec![0, 10, 1, 11]);
+        assert_eq!(sim.events_fired(), 4);
+    }
+
+    /// Queue-depth telemetry reads identically whether or not an internal
+    /// event is pending, and boxed emulation leaves internal events typed.
+    #[test]
+    fn arming_an_internal_event_does_not_perturb_depths_or_boxing() {
+        #[derive(Debug)]
+        struct Tick;
+        impl Fire<u32> for Tick {
+            fn fire(self, world: &mut u32, _: &mut Context<'_, u32, Self>) {
+                *world += 1;
+            }
+        }
+        let run = |armed: bool, emulate: bool| {
+            let mut sim = Simulation::<u32, Tick>::with_events(0);
+            sim.emulate_boxed_events(emulate);
+            for t in 1..=20u64 {
+                sim.schedule_event_at(SimTime::from_millis(t), Tick);
+            }
+            if armed {
+                sim.schedule_internal_at(SimTime::from_millis(7), Tick);
+            }
+            let depths = sim.queue_depths();
+            sim.run_until(SimTime::from_millis(3));
+            let mid = sim.queue_depths();
+            (depths, mid, sim.boxed_events_scheduled())
+        };
+        for emulate in [false, true] {
+            let (d_off, m_off, boxed_off) = run(false, emulate);
+            let (d_on, m_on, boxed_on) = run(true, emulate);
+            assert_eq!(d_off, d_on, "pre-run depths must not see the arm");
+            assert_eq!(m_off, m_on, "mid-run depths must not see the arm");
+            assert_eq!(boxed_off, boxed_on, "internal events are never boxed");
+        }
     }
 }

@@ -144,6 +144,45 @@ impl DeploymentDescriptor {
     pub fn replica_nodes(&self, entity: ComponentId) -> impl Iterator<Item = NodeId> + '_ {
         self.placement(entity).replicas.iter().copied()
     }
+
+    /// Re-homes `component`'s authoritative instance onto `to` — the
+    /// descriptor half of a live migration. A read-only replica already at
+    /// `to` is absorbed into the primary role (the same semantics as the
+    /// placement optimizer's `MovePrimary`); the displaced former primary
+    /// keeps no instance. Moving onto the current primary is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the component is not placed.
+    pub fn move_primary(&mut self, component: ComponentId, to: NodeId) {
+        let placement = self
+            .placements
+            .get_mut(&component)
+            .unwrap_or_else(|| panic!("component {component} is not placed"));
+        if placement.primary == to {
+            return;
+        }
+        placement.replicas.remove(&to);
+        placement.primary = to;
+    }
+
+    /// Adds a read-only replica of `component` at `node`: the descriptor
+    /// half of a live replication order (the placement optimizer's
+    /// `AddReplica`). Replicating onto the current primary is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the component is not placed.
+    pub fn add_replica(&mut self, component: ComponentId, node: NodeId) {
+        let placement = self
+            .placements
+            .get_mut(&component)
+            .unwrap_or_else(|| panic!("component {component} is not placed"));
+        if placement.primary == node {
+            return;
+        }
+        placement.replicas.insert(node);
+    }
 }
 
 /// Validating builder for [`DeploymentDescriptor`].
@@ -340,6 +379,25 @@ mod tests {
         let d = b.build().unwrap();
         assert_eq!(d.placement(item).replicas.len(), 1);
         assert_eq!(d.placement(item).nodes().count(), 2);
+    }
+
+    #[test]
+    fn move_primary_rehomes_and_absorbs_destination_replica() {
+        let (reg, web, item, main, edge) = setup();
+        let mut b = DescriptorBuilder::new(&reg, "mv", main);
+        b.place(web, main);
+        b.place_replicated(item, main, [edge]);
+        b.entity_propagation(UpdatePropagation::AsyncPush);
+        let mut d = b.build().unwrap();
+        d.move_primary(item, edge);
+        assert_eq!(d.placement(item).primary, edge);
+        assert!(
+            d.placement(item).replicas.is_empty(),
+            "the destination replica is absorbed, the old primary keeps nothing"
+        );
+        // Moving onto the current primary is a no-op.
+        d.move_primary(web, main);
+        assert_eq!(d.placement(web).primary, main);
     }
 
     #[test]

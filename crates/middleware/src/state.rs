@@ -202,6 +202,14 @@ impl ContainerState {
         self.stubs.retain(|(n, _)| *n != node);
         self.replica_versions.retain(|(_, n, _), _| *n != node);
     }
+
+    /// Drops every node's resolved stubs for one component. A migrated
+    /// component's cached home/remote stubs point at the old host; callers
+    /// re-resolve through JNDI on next use (paying the lookup round trip the
+    /// stub cache normally elides).
+    pub fn invalidate_component_stubs(&mut self, component: ComponentId) {
+        self.stubs.retain(|(_, c)| *c != component);
+    }
 }
 
 #[cfg(test)]
@@ -288,6 +296,21 @@ mod tests {
         assert!(!s.stub_cached(a, c));
         s.cache_stub(a, c);
         assert!(s.stub_cached(a, c));
+    }
+
+    #[test]
+    fn component_stub_invalidation_spans_nodes_but_not_components() {
+        let (_, a, b) = ids();
+        let mut reg = crate::component::ComponentRegistry::new();
+        let c = reg.register("c", crate::component::ComponentKind::StatelessSession);
+        let other = reg.register("other", crate::component::ComponentKind::StatelessSession);
+        let mut s = ContainerState::new();
+        s.cache_stub(a, c);
+        s.cache_stub(b, c);
+        s.cache_stub(a, other);
+        s.invalidate_component_stubs(c);
+        assert!(!s.stub_cached(a, c) && !s.stub_cached(b, c));
+        assert!(s.stub_cached(a, other), "other components keep their stubs");
     }
 
     /// A crash evicts every cache on the node — entity rows, query results,

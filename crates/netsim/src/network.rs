@@ -292,6 +292,29 @@ impl Network {
         self.transfer(there, b, a, resp_bytes)
     }
 
+    /// Bulk state transfer for a live component migration: a small control
+    /// handshake (one round trip of [`Self::MIGRATION_HANDSHAKE_BYTES`])
+    /// followed by `bytes` of component state pushed `from -> to`, occupying
+    /// each hop's serialization queue like any other traffic. Returns the
+    /// time the state is fully installed at `to`; a migration to the current
+    /// host is free.
+    pub fn migrate(&mut self, now: SimTime, from: NodeId, to: NodeId, bytes: u64) -> SimTime {
+        if from == to {
+            return now;
+        }
+        let acked = self.round_trip(
+            now,
+            from,
+            to,
+            Self::MIGRATION_HANDSHAKE_BYTES,
+            Self::MIGRATION_HANDSHAKE_BYTES,
+        );
+        self.transfer(acked, from, to, bytes)
+    }
+
+    /// Control-plane payload of the migration handshake round trip.
+    pub const MIGRATION_HANDSHAKE_BYTES: u64 = 512;
+
     /// CPU utilization of `node` over `[first admission, horizon]`.
     pub fn cpu_utilization(&self, node: NodeId, horizon: SimTime) -> f64 {
         self.cpus[node.index()].utilization(horizon)
@@ -503,6 +526,24 @@ mod tests {
         assert_eq!(net.link_latency(wan), ms(270));
         net.scale_link_latency(wan, 1.0);
         assert_eq!(net.link_latency(wan), ms(90));
+    }
+
+    #[test]
+    fn migration_pays_handshake_then_bulk_transfer() {
+        let (mut net, a, c) = wan_pair();
+        assert_eq!(
+            net.migrate(at(5), a, a, 1_000_000),
+            at(5),
+            "self-migration is free"
+        );
+        let small = net.migrate(SimTime::ZERO, a, c, 12_500);
+        // Lower bound: handshake RTT (200 ms propagation) + one-way bulk
+        // (100 ms propagation + 1 ms serialization per hop).
+        assert!(small >= at(302), "migration finished too early: {small:?}");
+        // More state takes strictly longer on a fresh network.
+        let (mut net2, a2, c2) = wan_pair();
+        let big = net2.migrate(SimTime::ZERO, a2, c2, 1_250_000);
+        assert!(big > small, "bulk size must price the transfer: {big:?}");
     }
 
     #[test]

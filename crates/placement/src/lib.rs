@@ -50,3 +50,6 @@ pub use graph::{
     Component, ComponentGraph, CostParams, Host, HostId, Interaction, Placement, PlacementProblem,
     Role,
 };
+/// Component handle into a [`ComponentGraph`] (re-exported so downstream
+/// crates can name [`Move`] targets without depending on petgraph).
+pub use petgraph::graph::NodeIndex;

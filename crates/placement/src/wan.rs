@@ -10,7 +10,7 @@
 //! analyzer's `PathModel`, and the engine's message timing can never
 //! disagree about what a host pair costs.
 
-use mutsvc_netsim::{NodeId, Topology, WAN_LATENCY_THRESHOLD};
+use mutsvc_netsim::{LinkId, NodeId, Topology, WAN_LATENCY_THRESHOLD};
 
 use crate::graph::{Host, PlacementProblem};
 
@@ -98,6 +98,52 @@ pub fn rehost(
     rehosted
 }
 
+/// [`host_matrix`] with *observed* per-link latencies: the online
+/// re-pricing API the adaptive controller feeds with telemetry.
+///
+/// `observed_one_way_ms[link]` overrides the one-way latency of that
+/// directed link (`None` falls back to the topology's static latency —
+/// telemetry only covers WAN links that carried traffic). Paths still
+/// follow the *static* latency-shortest routes: observation re-prices the
+/// paths the deployed system actually uses, it does not re-route them, so
+/// the matrix stays consistent with the simulator's precomputed routing.
+///
+/// # Panics
+///
+/// Panics if `observed_one_way_ms` is not one entry per directed link, or
+/// if any server pair is unreachable.
+pub fn reprice_matrix(
+    topology: &Topology,
+    servers: &[NodeId],
+    observed_one_way_ms: &[Option<f64>],
+) -> Vec<Vec<f64>> {
+    assert_eq!(
+        observed_one_way_ms.len(),
+        topology.link_count(),
+        "one observed-latency slot per directed link"
+    );
+    let leg = |from: NodeId, to: NodeId| -> f64 {
+        topology
+            .route(from, to)
+            .unwrap_or_else(|| panic!("no route {from} -> {to}"))
+            .iter()
+            .map(|&l: &LinkId| {
+                observed_one_way_ms[l.index()]
+                    .unwrap_or_else(|| topology.link(l).latency.as_millis_f64())
+            })
+            .sum()
+    };
+    servers
+        .iter()
+        .map(|&a| {
+            servers
+                .iter()
+                .map(|&b| if a == b { 0.0 } else { leg(a, b) + leg(b, a) })
+                .collect()
+        })
+        .collect()
+}
+
 /// The host-pair round-trip bound (milliseconds) under which two hosts
 /// belong to one network region: twice the one-way
 /// [`WAN_LATENCY_THRESHOLD`] the engine and analyzer use, since a placement
@@ -135,6 +181,40 @@ mod tests {
         assert!((m[1][2] - 60.0).abs() < 1e-9, "{}", m[1][2]);
         // Symmetric (duplex links with equal latency both ways).
         assert_eq!(m[0][2], m[2][0]);
+    }
+
+    #[test]
+    fn reprice_matrix_overrides_observed_links_and_falls_back_statically() {
+        let mut b = TopologyBuilder::new();
+        let main = b.node("main", 2);
+        let router = b.node("router", 8);
+        let hub = b.node("hub", 4);
+        let edge = b.node("edge", 2);
+        b.duplex_link(main, router, SimDuration::from_micros(200), 100e6);
+        b.duplex_link(router, hub, SimDuration::from_millis(60), 100e6);
+        b.duplex_link(hub, edge, SimDuration::from_millis(30), 100e6);
+        let t = b.finalize();
+        let servers = [main, hub, edge];
+        // No observations: identical to the statically priced matrix.
+        let none = vec![None; t.link_count()];
+        assert_eq!(
+            reprice_matrix(&t, &servers, &none),
+            host_matrix(&t, &servers)
+        );
+        // Degrade the router->hub leg (one direction) to an observed 480 ms.
+        let degraded = t.route(router, hub).unwrap()[0];
+        let mut obs = none.clone();
+        obs[degraded.index()] = Some(480.0);
+        let m = reprice_matrix(&t, &servers, &obs);
+        // main->hub leg now 0.2 + 480, return leg still 60 + 0.2.
+        assert!((m[0][1] - (480.2 + 60.2)).abs() < 1e-9, "{}", m[0][1]);
+        // The hub<->edge pair never crosses the degraded link.
+        assert!((m[1][2] - 60.0).abs() < 1e-9, "{}", m[1][2]);
+        // Asymmetric observation makes the matrix asymmetric, as it should.
+        assert!(
+            (m[1][0] - m[0][1]).abs() < 1e-9,
+            "round trips include both legs"
+        );
     }
 
     #[test]

@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod driver;
 pub mod parallel;
 pub mod slo;
@@ -34,12 +35,15 @@ pub mod spec;
 pub mod stats;
 pub mod trace_report;
 
+pub use adaptive::{
+    AdaptiveData, AdaptiveObs, Controller, MigrationOrder, MigrationRecord, MoveKind, RoundRecord,
+};
 pub use driver::{run_experiment, ExperimentInput, ExperimentReport, MetricsData, ShardProfile};
 pub use parallel::run_experiment_parallel;
 pub use slo::{evaluate, SloEvent, SloEventKind, SloObjective, SloReport, SloSpec, SloVerdict};
 pub use spec::{
-    paper_groups, ClientGroup, FaultPolicy, FaultSettings, MetricsSettings, NetAction,
-    Perturbation, TraceSettings, WorkloadSpec,
+    paper_groups, AdaptiveSettings, ClientGroup, FaultPolicy, FaultSettings, MetricsSettings,
+    NetAction, Perturbation, Surge, TraceSettings, WorkloadSpec,
 };
 pub use stats::{GroupOutcome, SeriesKey, WorkloadStats};
 pub use trace_report::{chrome_trace_json, jsonl, page_breakdown, PageTraceRow, TraceData};

@@ -118,6 +118,93 @@ impl Default for MetricsSettings {
     }
 }
 
+/// Closed-loop adaptive placement policy for one run (DESIGN.md §6.8).
+/// Fully disabled by default: the driver then never builds a controller,
+/// never schedules the controller tick, and each instrumentation site costs
+/// a single branch — the same zero-cost-when-off contract as
+/// [`MetricsSettings`], pinned by the adaptive-off purity test.
+///
+/// The controller only observes *windowed metrics* rows, so an active
+/// adaptive policy requires an active [`MetricsSettings`] whose window it
+/// adopts as its observation granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveSettings {
+    /// Master switch for the live-migration controller.
+    pub enabled: bool,
+    /// Controller round cadence: how often observed telemetry is folded
+    /// into a re-priced placement problem and a move is considered.
+    /// Ignored unless `enabled`.
+    pub cadence: SimDuration,
+    /// Most migrations the controller may commit per round.
+    pub budget_per_round: u32,
+    /// Hysteresis: a round only commits moves whose modeled cost gain is
+    /// at least this fraction of the current total cost, so telemetry
+    /// noise cannot thrash components back and forth.
+    pub hysteresis_pct: f64,
+    /// After migrating, a component sits out of the search for this long.
+    pub cooldown: SimDuration,
+    /// Serialized component state size in bytes: prices the migration
+    /// transfer that occupies the WAN link between old and new primary.
+    pub state_bytes: u64,
+}
+
+impl AdaptiveSettings {
+    /// Controller off (the default).
+    pub fn off() -> Self {
+        AdaptiveSettings {
+            enabled: false,
+            cadence: SimDuration::ZERO,
+            budget_per_round: 0,
+            hysteresis_pct: 0.0,
+            cooldown: SimDuration::ZERO,
+            state_bytes: 0,
+        }
+    }
+
+    /// Controller on at the given round cadence, with the default
+    /// conservative knobs: one move per round, 5 % hysteresis, a
+    /// two-round cooldown, 4 MiB of component state.
+    pub fn every(cadence: SimDuration) -> Self {
+        AdaptiveSettings {
+            enabled: true,
+            cadence,
+            budget_per_round: 1,
+            hysteresis_pct: 0.05,
+            cooldown: cadence * 2,
+            state_bytes: 4 << 20,
+        }
+    }
+
+    /// Whether the controller is armed.
+    pub fn active(&self) -> bool {
+        self.enabled && !self.cadence.is_zero()
+    }
+}
+
+impl Default for AdaptiveSettings {
+    fn default() -> Self {
+        AdaptiveSettings::off()
+    }
+}
+
+/// One scheduled load surge: a client group's offered rates scale by
+/// `factor` over `[from, to)` (offsets from simulation start). The surge
+/// sessions draw from their own RNG stream
+/// ([`stream::SURGES`](mutsvc_desim::rng::stream::SURGES)), so an empty
+/// surge list leaves a run byte-identical to a pre-surge build.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Surge {
+    /// Name of the client group whose load surges.
+    pub group: String,
+    /// Surge onset (offset from simulation start).
+    pub from: SimDuration,
+    /// Surge end: the extra sessions stop issuing at this offset.
+    pub to: SimDuration,
+    /// Rate multiplier during the window (`4.0` = flash crowd at 4× the
+    /// steady rate; the extra sessions model `factor - 1` of offered load).
+    pub factor: f64,
+}
+
 /// How the client/container stack reacts to injected faults.
 ///
 /// All knobs are deterministic: backoff is computed from the attempt count
@@ -307,6 +394,13 @@ pub struct WorkloadSpec {
     /// Windowed metrics policy (off by default; see [`MetricsSettings`]).
     #[serde(default)]
     pub metrics: MetricsSettings,
+    /// Closed-loop adaptive placement (off by default; see
+    /// [`AdaptiveSettings`]).
+    #[serde(default)]
+    pub adaptive: AdaptiveSettings,
+    /// Scheduled load surges (empty by default; see [`Surge`]).
+    #[serde(default)]
+    pub surges: Vec<Surge>,
 }
 
 fn default_bind_cache() -> bool {
@@ -328,6 +422,8 @@ impl WorkloadSpec {
             trace: TraceSettings::off(),
             faults: FaultSettings::off(),
             metrics: MetricsSettings::off(),
+            adaptive: AdaptiveSettings::off(),
+            surges: Vec::new(),
         }
     }
 
@@ -346,6 +442,18 @@ impl WorkloadSpec {
     /// Sets the fault-injection schedule and policy.
     pub fn with_faults(mut self, faults: FaultSettings) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Sets the adaptive-placement policy.
+    pub fn with_adaptive(mut self, adaptive: AdaptiveSettings) -> Self {
+        self.adaptive = adaptive;
+        self
+    }
+
+    /// Schedules a load surge.
+    pub fn with_surge(mut self, surge: Surge) -> Self {
+        self.surges.push(surge);
         self
     }
 
